@@ -1,0 +1,95 @@
+// Command inferd trains and evaluates the §6.3 activity-inference
+// classifier for one device, printing the cross-validated per-activity F1
+// scores — the building block behind Tables 9 and 10.
+//
+// Usage:
+//
+//	inferd -device "Samsung TV" [-lab US] [-reps 30] [-trees 25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/analysis"
+	"github.com/neu-sns/intl-iot-go/internal/cloud"
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/features"
+	"github.com/neu-sns/intl-iot-go/internal/ml"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+func main() {
+	device := flag.String("device", "Samsung TV", "device model name from Table 1")
+	lab := flag.String("lab", "US", "lab: US or GB")
+	reps := flag.Int("reps", 30, "automated repetitions per interaction")
+	trees := flag.Int("trees", 25, "random-forest size")
+	flag.Parse()
+
+	l, err := testbed.NewLab(*lab, cloud.New(), 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inferd: %v\n", err)
+		os.Exit(1)
+	}
+	slot, ok := l.Slot(*device)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "inferd: device %q not deployed in lab %s\n", *device, *lab)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "inferd: running labelled experiments for %s (%s lab)...\n", *device, *lab)
+	ds := &ml.Dataset{FeatureNames: features.Names(features.SetPaper)}
+	clock := testbed.StudyEpoch
+	addRow := func(exp *testbed.Experiment) {
+		ds.Features = append(ds.Features, features.Vector(exp.Packets, features.SetPaper))
+		ds.Labels = append(ds.Labels, exp.Activity)
+		clock = exp.End.Add(15 * time.Second)
+	}
+	for rep := 0; rep < 3; rep++ {
+		addRow(l.RunPower(slot, false, clock, rep))
+	}
+	for ai := range slot.Inst.Profile.Activities {
+		act := &slot.Inst.Profile.Activities[ai]
+		for _, m := range act.Methods {
+			n := *reps
+			if act.Manual || m == devices.MethodLocal {
+				n = 3
+			}
+			for rep := 0; rep < n; rep++ {
+				addRow(l.RunInteraction(slot, act, m, false, clock, rep))
+			}
+		}
+	}
+
+	res := ml.CrossValidate(ds, ml.CVConfig{
+		TrainFrac: 0.7, Repeats: 10, Seed: 42,
+		Forest: ml.ForestConfig{NumTrees: *trees},
+	})
+	fmt.Printf("device: %s (%s lab), %d labelled experiments, %d activities\n",
+		*device, *lab, ds.NumExamples(), len(ds.Classes()))
+	fmt.Printf("device F1 (weighted): %.3f   accuracy: %.3f\n", res.DeviceF1, res.Accuracy)
+	verdict := "NOT inferrable"
+	if res.DeviceF1 > analysis.InferrableThreshold {
+		verdict = "INFERRABLE (F1 > 0.75)"
+	}
+	fmt.Printf("verdict: %s\n\nper-activity F1:\n", verdict)
+	type af struct {
+		label string
+		f1    float64
+	}
+	var rows []af
+	for label, f1 := range res.ActivityF1 {
+		rows = append(rows, af{label, f1})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].f1 > rows[j].f1 })
+	for _, r := range rows {
+		marker := ""
+		if r.f1 > analysis.InferrableThreshold {
+			marker = "  <- inferrable"
+		}
+		fmt.Printf("  %-28s %.3f%s\n", r.label, r.f1, marker)
+	}
+}

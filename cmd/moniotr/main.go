@@ -1,0 +1,143 @@
+// Command moniotr runs the full measurement campaign end to end — both
+// labs, controlled + idle + uncontrolled experiments — and emits every
+// table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	moniotr [-scale quick|bench|paper] [-csv dir] [-tables 2,5,11] [-skip-uncontrolled]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	intliot "github.com/neu-sns/intl-iot-go"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "campaign scale: quick, bench or paper")
+	csvDir := flag.String("csv", "", "also export tables as CSV into this directory")
+	pcapDir := flag.String("pcap", "", "export per-device captures (pcap + label sidecars) into this directory; power experiments only, to bound disk use")
+	tables := flag.String("tables", "all", "comma-separated table list (1-11, fig2, pii, unexpected) or 'all'")
+	skipUncontrolled := flag.Bool("skip-uncontrolled", false, "skip the §7.3 user-study simulation")
+	flag.Parse()
+
+	var cfg intliot.Config
+	switch *scale {
+	case "quick":
+		cfg = intliot.QuickConfig()
+	case "bench":
+		cfg = intliot.QuickConfig()
+		cfg.AutomatedReps = 12
+		cfg.ManualReps = 3
+		cfg.PowerReps = 3
+		cfg.IdleHours = map[string]float64{"US": 6, "GB": 6, "US->GB": 4, "GB->US": 4}
+		cfg.UncontrolledDays = 4
+	case "paper":
+		cfg = intliot.PaperConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "moniotr: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, t := range strings.Split(*tables, ",") {
+		want[strings.TrimSpace(t)] = true
+	}
+	selected := func(key string) bool { return want["all"] || want[key] }
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "moniotr: building labs and running the %s-scale campaign...\n", *scale)
+	study, err := intliot.NewStudy(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
+		os.Exit(1)
+	}
+	study.Run()
+	if *pcapDir != "" {
+		if err := exportCaptures(*pcapDir, study); err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: pcap export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "moniotr: wrote per-device captures to %s\n", *pcapDir)
+	}
+	if !*skipUncontrolled {
+		if err := study.RunUncontrolled(); err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	study.Summary(os.Stderr)
+	fmt.Fprintf(os.Stderr, "moniotr: campaign done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	type entry struct {
+		key   string
+		build func() *intliot.Table
+	}
+	entries := []entry{
+		{"headline", study.Headline},
+		{"1", study.Table1},
+		{"2", study.Table2},
+		{"3", study.Table3},
+		{"4", study.Table4},
+		{"fig2", study.Figure2},
+		{"5", study.Table5},
+		{"6", study.Table6},
+		{"7", func() *intliot.Table { return study.Table7(nil) }},
+		{"8", study.Table8},
+		{"9", study.Table9},
+		{"10", study.Table10},
+		{"11", func() *intliot.Table { return study.Table11(3) }},
+		{"pii", study.PIIReport},
+	}
+	if !*skipUncontrolled {
+		entries = append(entries, entry{"unexpected", study.UnexpectedReport})
+	}
+	for _, e := range entries {
+		if !selected(e.key) {
+			continue
+		}
+		tbl := e.build()
+		tbl.Render(os.Stdout)
+		fmt.Println()
+		if *csvDir != "" {
+			if err := exportCSV(*csvDir, e.key, tbl); err != nil {
+				fmt.Fprintf(os.Stderr, "moniotr: csv export: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// exportCaptures re-runs one power experiment per device and writes it as
+// a pcap + labels pair, giving users real capture artefacts to inspect
+// with pcapinfo or Wireshark.
+func exportCaptures(dir string, study *intliot.Study) error {
+	r := study.Pipeline().Runner
+	for _, lab := range []*testbed.Lab{r.US, r.UK} {
+		for i, slot := range lab.Slots() {
+			exp := lab.RunPower(slot, false, testbed.StudyEpoch, 0)
+			if _, err := testbed.SaveExperiment(dir, i, exp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func exportCSV(dir, key string, tbl *intliot.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "table_"+key+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tbl.RenderCSV(f)
+}

@@ -1,0 +1,105 @@
+// Command mudgen generates RFC 8520 Manufacturer Usage Description
+// profiles for the device catalog and optionally verifies a capture
+// against one.
+//
+// Usage:
+//
+//	mudgen -out profiles/                     # write every device's profile
+//	mudgen -device "TP-Link Plug"             # print one profile
+//	mudgen -device "Fire TV" -check cap.pcap  # check a capture for violations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/mud"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+func main() {
+	outDir := flag.String("out", "", "write one profile per device into this directory")
+	device := flag.String("device", "", "print the profile for one device")
+	check := flag.String("check", "", "pcap file to check against -device's profile")
+	flag.Parse()
+
+	switch {
+	case *outDir != "":
+		if err := writeAll(*outDir); err != nil {
+			fail(err)
+		}
+	case *device != "" && *check != "":
+		if err := checkCapture(*device, *check); err != nil {
+			fail(err)
+		}
+	case *device != "":
+		p, ok := devices.ByName(*device)
+		if !ok {
+			fail(fmt.Errorf("unknown device %q", *device))
+		}
+		js, err := mud.Generate(p).Marshal()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(js))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mudgen -out DIR | -device NAME [-check FILE.pcap]")
+		os.Exit(2)
+	}
+}
+
+func writeAll(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	n := 0
+	for _, p := range devices.Catalog() {
+		js, err := mud.Generate(p).Marshal()
+		if err != nil {
+			return err
+		}
+		name := strings.ReplaceAll(strings.ToLower(p.Name), " ", "-") + ".json"
+		if err := os.WriteFile(filepath.Join(dir, name), js, 0o644); err != nil {
+			return err
+		}
+		n++
+	}
+	fmt.Fprintf(os.Stderr, "mudgen: wrote %d profiles to %s\n", n, dir)
+	return nil
+}
+
+func checkCapture(device, pcapPath string) error {
+	p, ok := devices.ByName(device)
+	if !ok {
+		return fmt.Errorf("unknown device %q", device)
+	}
+	f, err := os.Open(pcapPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	pkts, err := testbed.ReadPcap(f)
+	if err != nil {
+		return err
+	}
+	vs := mud.NewChecker(mud.Generate(p)).Check(pkts)
+	if len(vs) == 0 {
+		fmt.Printf("%s: %d packets, compliant\n", device, len(pkts))
+		return nil
+	}
+	fmt.Printf("%s: %d packets, %d violation(s)\n", device, len(pkts), len(vs))
+	sum := mud.Summary(vs)
+	for _, dest := range mud.SortedDestinations(sum) {
+		fmt.Printf("  %-50s %d flow(s)\n", dest, sum[dest])
+	}
+	return fmt.Errorf("capture violates the profile")
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "mudgen: %v\n", err)
+	os.Exit(1)
+}

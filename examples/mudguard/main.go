@@ -1,0 +1,74 @@
+// Mudguard: the policy-enforcement counterpoint to the paper's
+// measurement approach (§8's MUD discussion, RFC 8520). For each device
+// we generate the MUD profile its manufacturer *could* publish, then
+// replay captured traffic against it — unexpected destinations fall out
+// as deterministic violations instead of statistical inferences.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/neu-sns/intl-iot-go/internal/cloud"
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/mud"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+func main() {
+	internet := cloud.New()
+	us, err := testbed.NewLab(devices.LabUS, internet, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	uk, err := testbed.NewLab(devices.LabUK, internet, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Show one generated profile.
+	p, _ := devices.ByName("TP-Link Plug")
+	doc := mud.Generate(p)
+	js, _ := doc.Marshal()
+	fmt.Println("Generated MUD profile for the TP-Link Plug:")
+	fmt.Println(string(js))
+
+	// Enforce profiles across interesting scenarios.
+	fmt.Println("\nEnforcing profiles against captured traffic:")
+	check := func(lab *testbed.Lab, device string, vpn bool, scenario string) {
+		slot, ok := lab.Slot(device)
+		if !ok {
+			return
+		}
+		d := mud.Generate(slot.Inst.Profile)
+		checker := mud.NewChecker(d)
+		exp := lab.RunPower(slot, vpn, testbed.StudyEpoch, 0)
+		var pkts = exp.Packets
+		for ai := range slot.Inst.Profile.Activities {
+			act := &slot.Inst.Profile.Activities[ai]
+			iexp := lab.RunInteraction(slot, act, act.Methods[0], vpn, exp.End, ai)
+			pkts = append(pkts, iexp.Packets...)
+		}
+		vs := checker.Check(pkts)
+		if len(vs) == 0 {
+			fmt.Printf("  %-34s compliant\n", scenario)
+			return
+		}
+		fmt.Printf("  %-34s %d violation(s):\n", scenario, len(vs))
+		sum := mud.Summary(vs)
+		for _, dest := range mud.SortedDestinations(sum) {
+			fmt.Printf("      %s (%d flows)\n", dest, sum[dest])
+		}
+	}
+
+	check(us, "Echo Dot", false, "Echo Dot, US, direct")
+	check(us, "Fire TV", false, "Fire TV, US, direct")
+	check(us, "Fire TV", true, "Fire TV, US, via VPN")
+	check(uk, "Wansview Cam", false, "Wansview Cam, UK, direct")
+
+	fmt.Println("\nThe VPN leg exposes branch.io (a tracker the profile never")
+	fmt.Println("declared) and the Wansview camera's raw-IP P2P peers — exactly")
+	fmt.Println("the exposures §4 found by measurement.")
+}

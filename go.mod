@@ -1,0 +1,3 @@
+module github.com/neu-sns/intl-iot-go
+
+go 1.22

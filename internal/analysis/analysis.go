@@ -1,0 +1,112 @@
+// Package analysis implements the paper's measurement analyses over
+// captured experiments: destination analysis (§4, RQ1), encryption
+// analysis (§5, RQ2), content analysis — plaintext PII and activity
+// inference (§6, RQ3/RQ4) — and unexpected-behaviour detection (§7, RQ5),
+// with regional comparison (RQ6) woven through every table's columns.
+//
+// Every collector consumes experiments in a streaming fashion via its
+// Visit method, so the full campaign never needs to be held in memory.
+package analysis
+
+import (
+	"strings"
+
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// Columns are the table column keys used throughout the paper:
+// the two labs with direct egress and the two VPN directions.
+var Columns = []string{"US", "GB", "US->GB", "GB->US"}
+
+// BaseColumns are the direct-egress columns.
+var BaseColumns = []string{"US", "GB"}
+
+// ExpType is the experiment-type rollup of Tables 2 and 8.
+type ExpType string
+
+const (
+	ExpIdle    ExpType = "Idle"
+	ExpControl ExpType = "Control"
+	ExpPower   ExpType = "Power"
+	ExpVoice   ExpType = "Voice"
+	ExpVideo   ExpType = "Video"
+	ExpOther   ExpType = "Others"
+)
+
+// ExpTypesForTable2 is the row order of Table 2.
+var ExpTypesForTable2 = []ExpType{ExpIdle, ExpControl, ExpPower, ExpVoice, ExpVideo}
+
+// videoActivities are the interaction activities that stream audio/video.
+var videoActivities = map[string]bool{
+	"watch": true, "record": true, "photo": true, "video": true, "viewinside": true,
+}
+
+// ExpTypes returns every experiment-type bucket an experiment belongs to.
+// A voice interaction is counted under Voice *and* Control, matching the
+// paper's overlapping rows.
+func ExpTypes(exp *testbed.Experiment) []ExpType {
+	switch exp.Kind {
+	case testbed.KindIdle:
+		return []ExpType{ExpIdle}
+	case testbed.KindPower:
+		return []ExpType{ExpControl, ExpPower}
+	case testbed.KindUncontrolled:
+		return nil
+	}
+	types := []ExpType{ExpControl}
+	base := activityBase(exp.Activity)
+	switch {
+	case strings.Contains(exp.Activity, "voice"):
+		types = append(types, ExpVoice)
+	case videoActivities[base]:
+		types = append(types, ExpVideo)
+	default:
+		types = append(types, ExpOther)
+	}
+	return types
+}
+
+// activityBase strips the method prefix from an experiment label:
+// "android_lan_on" → "on", "local_move" → "move", "power" → "power".
+func activityBase(label string) string {
+	for _, prefix := range []string{"android_lan_", "android_wan_", "alexa_voice_", "local_"} {
+		if strings.HasPrefix(label, prefix) {
+			return label[len(prefix):]
+		}
+	}
+	return label
+}
+
+// ActivityGroup is the Table 10 rollup of activity labels.
+type ActivityGroup string
+
+const (
+	GroupPower    ActivityGroup = "Power"
+	GroupVoice    ActivityGroup = "Voice"
+	GroupVideo    ActivityGroup = "Video"
+	GroupOnOff    ActivityGroup = "On/Off"
+	GroupMovement ActivityGroup = "Movement"
+	GroupOthers   ActivityGroup = "Others"
+)
+
+// ActivityGroups is the row order of Table 10.
+var ActivityGroups = []ActivityGroup{GroupPower, GroupVoice, GroupVideo, GroupOnOff, GroupMovement, GroupOthers}
+
+// GroupOf maps an experiment label to its Table 10 group.
+func GroupOf(label string) ActivityGroup {
+	base := activityBase(label)
+	switch {
+	case base == "power":
+		return GroupPower
+	case strings.Contains(label, "voice"):
+		return GroupVoice
+	case videoActivities[base]:
+		return GroupVideo
+	case base == "on" || base == "off":
+		return GroupOnOff
+	case base == "move":
+		return GroupMovement
+	default:
+		return GroupOthers
+	}
+}

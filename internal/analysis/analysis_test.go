@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+func TestActivityBase(t *testing.T) {
+	cases := map[string]string{
+		"android_lan_on":   "on",
+		"android_wan_menu": "menu",
+		"alexa_voice_on":   "on",
+		"local_move":       "move",
+		"power":            "power",
+		"idle":             "idle",
+	}
+	for in, want := range cases {
+		if got := activityBase(in); got != want {
+			t.Errorf("activityBase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	cases := map[string]ActivityGroup{
+		"power":             GroupPower,
+		"local_voice":       GroupVoice,
+		"alexa_voice_on":    GroupVoice, // voice-assistant interactions group as voice
+		"android_wan_watch": GroupVideo,
+		"local_move":        GroupMovement,
+		"android_lan_on":    GroupOnOff,
+		"android_lan_off":   GroupOnOff,
+		"local_menu":        GroupOthers,
+		"local_volume":      GroupOthers,
+	}
+	for in, want := range cases {
+		if got := GroupOf(in); got != want {
+			t.Errorf("GroupOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestExpTypes(t *testing.T) {
+	power := &testbed.Experiment{Kind: testbed.KindPower, Activity: "power"}
+	got := ExpTypes(power)
+	if len(got) != 2 || got[0] != ExpControl || got[1] != ExpPower {
+		t.Errorf("power types = %v", got)
+	}
+	idle := &testbed.Experiment{Kind: testbed.KindIdle, Activity: "idle"}
+	if got := ExpTypes(idle); len(got) != 1 || got[0] != ExpIdle {
+		t.Errorf("idle types = %v", got)
+	}
+	voice := &testbed.Experiment{Kind: testbed.KindInteraction, Activity: "local_voice"}
+	if got := ExpTypes(voice); len(got) != 2 || got[1] != ExpVoice {
+		t.Errorf("voice types = %v", got)
+	}
+	video := &testbed.Experiment{Kind: testbed.KindInteraction, Activity: "android_wan_watch"}
+	if got := ExpTypes(video); len(got) != 2 || got[1] != ExpVideo {
+		t.Errorf("video types = %v", got)
+	}
+	other := &testbed.Experiment{Kind: testbed.KindInteraction, Activity: "android_lan_on"}
+	if got := ExpTypes(other); len(got) != 2 || got[1] != ExpOther {
+		t.Errorf("on types = %v", got)
+	}
+	unc := &testbed.Experiment{Kind: testbed.KindUncontrolled}
+	if got := ExpTypes(unc); got != nil {
+		t.Errorf("uncontrolled types = %v", got)
+	}
+}
+
+func TestEncClassString(t *testing.T) {
+	if EncUnencrypted.String() != "X" || EncEncrypted.String() != "OK" || EncUnknown.String() != "?" {
+		t.Error("EncClass glyphs")
+	}
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/stats"
+)
+
+func statsWelch(a, b []float64) stats.WelchResult { return stats.WelchT(a, b) }
+
+// TestDebugShares logs per-device plaintext shares; useful when tuning
+// the device catalog against the paper's Tables 5–7.
+func TestDebugShares(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("verbose only")
+	}
+	p := testPipeline(t)
+	rows := p.Enc.DeviceRows(nil)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Percent["US"] > rows[j].Percent["US"] })
+	for _, r := range rows[:18] {
+		t.Logf("%-24s US=%5.1f GB=%5.1f US->GB=%5.1f", r.Device, r.Percent["US"], r.Percent["GB"], r.Percent["US->GB"])
+	}
+}
+
+// TestDebugCategory logs Table 6's US column for catalog tuning.
+func TestDebugCategory(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("verbose only")
+	}
+	p := testPipeline(t)
+	for _, cat := range []string{"Cameras", "Smart Hubs", "Home Automation", "TV", "Audio", "Appliances"} {
+		t.Logf("%-16s X=%5.1f OK=%5.1f ?=%5.1f", cat,
+			p.Enc.CategoryShare(cat, EncUnencrypted, "US", false),
+			p.Enc.CategoryShare(cat, EncEncrypted, "US", false),
+			p.Enc.CategoryShare(cat, EncUnknown, "US", false))
+	}
+	for _, et := range []ExpType{ExpControl, ExpPower, ExpVoice, ExpVideo, ExpIdle} {
+		t.Logf("exp %-8s X=%5.1f OK=%5.1f ?=%5.1f", et,
+			p.Enc.ExpShare(et, EncUnencrypted, "US", false),
+			p.Enc.ExpShare(et, EncEncrypted, "US", false),
+			p.Enc.ExpShare(et, EncUnknown, "US", false))
+	}
+}
+
+// TestDebugWelch inspects the Table 7 significance machinery.
+func TestDebugWelch(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("verbose only")
+	}
+	p := testPipeline(t)
+	for _, name := range []string{"TP-Link Plug", "Samsung Dryer", "D-Link Mov Sensor", "Echo Dot"} {
+		t.Logf("%s: vpn-sig=%v region-sig=%v", name,
+			p.Enc.significantDiff(name, "US", "US->GB"),
+			p.Enc.significantDiff(name, "US", "GB"))
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// DHCP log cross-checking (§7.2): "The large number of 'power' activities
+// is due to devices that frequently disconnect and reconnect to the Wi-Fi
+// network (which we verified using DHCP server logs)." The gateway's DHCP
+// server sees a DISCOVER whenever a device rejoins; matching those events
+// against power detections separates benign reconnects from genuinely
+// unexpected behaviour.
+
+// DHCPEvent is one lease negotiation observed at the gateway.
+type DHCPEvent struct {
+	MAC  netx.MAC
+	Time time.Time
+}
+
+// ExtractDHCPLog recovers the gateway's DHCP server log from a capture:
+// every DHCPDISCOVER (BOOTP op 1, option 53 = 1) is a (re)join.
+func ExtractDHCPLog(pkts []*netx.Packet) []DHCPEvent {
+	var out []DHCPEvent
+	for _, p := range pkts {
+		if p.UDP == nil || p.UDP.DstPort != 67 || len(p.Payload) < 244 {
+			continue
+		}
+		if p.Payload[0] != 1 { // BOOTREQUEST
+			continue
+		}
+		// Option 53 at the fixed offset our generator (and most real
+		// clients) uses; fall back to a scan for robustness.
+		if !(p.Payload[240] == 53 && p.Payload[242] == 1) && !hasDiscoverOption(p.Payload[240:]) {
+			continue
+		}
+		var mac netx.MAC
+		copy(mac[:], p.Payload[28:34])
+		out = append(out, DHCPEvent{MAC: mac, Time: p.Meta.Timestamp})
+	}
+	return out
+}
+
+func hasDiscoverOption(opts []byte) bool {
+	for i := 0; i+2 < len(opts); {
+		code := opts[i]
+		if code == 255 {
+			return false
+		}
+		if code == 0 {
+			i++
+			continue
+		}
+		n := int(opts[i+1])
+		if code == 53 && n == 1 && i+2 < len(opts) && opts[i+2] == 1 {
+			return true
+		}
+		i += 2 + n
+	}
+	return false
+}
+
+// ExplainedPowerDetections splits a result's power detections into those
+// explained by a DHCP rejoin within the window and the unexplained rest.
+// The paper treats explained power activity as "not unexpected or
+// suspicious" (§7.2).
+func ExplainedPowerDetections(res *DetectResult, log []DHCPEvent, window time.Duration, macOf func(deviceID string) (netx.MAC, bool)) (explained, unexplained int) {
+	for _, det := range res.Detections {
+		if activityBase(det.Activity) != "power" {
+			continue
+		}
+		mac, ok := macOf(det.DeviceID)
+		if !ok {
+			unexplained++
+			continue
+		}
+		found := false
+		for _, ev := range log {
+			if ev.MAC != mac {
+				continue
+			}
+			d := det.Start.Sub(ev.Time)
+			if d < 0 {
+				d = -d
+			}
+			if d <= window {
+				found = true
+				break
+			}
+		}
+		if found {
+			explained++
+		} else {
+			unexplained++
+		}
+	}
+	return explained, unexplained
+}
+
+// CollectDHCPLog accumulates the log across a set of experiments.
+func CollectDHCPLog(exps []*testbed.Experiment) []DHCPEvent {
+	var out []DHCPEvent
+	for _, e := range exps {
+		out = append(out, ExtractDHCPLog(e.Packets)...)
+	}
+	return out
+}

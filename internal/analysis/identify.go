@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"sort"
+
+	"github.com/neu-sns/intl-iot-go/internal/features"
+	"github.com/neu-sns/intl-iot-go/internal/ml"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// Device identification: §4.4 observes that cloud and CDN providers "not
+// only can learn the types of devices in a household, but also how/when
+// they are used, simply by analyzing the network traffic". This collector
+// quantifies that claim the way the related fingerprinting literature
+// (§8) does: train one global classifier mapping traffic shape → device
+// identity, and evaluate it with the same cross-validation protocol as
+// the activity models.
+type IdentifyCollector struct {
+	// FeatureSet must match the activity models for comparability.
+	FeatureSet features.Set
+	// ByCategory additionally evaluates a category-level classifier.
+	datasets map[string]*ml.Dataset // column → global dataset
+	category map[string]*ml.Dataset
+}
+
+// NewIdentifyCollector builds a collector.
+func NewIdentifyCollector() *IdentifyCollector {
+	return &IdentifyCollector{
+		FeatureSet: features.SetPaper,
+		datasets:   make(map[string]*ml.Dataset),
+		category:   make(map[string]*ml.Dataset),
+	}
+}
+
+// Visit adds one experiment as a (traffic → device) training row.
+func (c *IdentifyCollector) Visit(exp *testbed.Experiment) {
+	if exp.Kind != testbed.KindPower && exp.Kind != testbed.KindInteraction {
+		return
+	}
+	if len(exp.Packets) < 2 {
+		return
+	}
+	vec := features.Vector(exp.Packets, c.FeatureSet)
+	ds := c.datasets[exp.Column]
+	if ds == nil {
+		ds = &ml.Dataset{FeatureNames: features.Names(c.FeatureSet)}
+		c.datasets[exp.Column] = ds
+	}
+	ds.Features = append(ds.Features, vec)
+	ds.Labels = append(ds.Labels, exp.Device.Profile.Name)
+
+	cs := c.category[exp.Column]
+	if cs == nil {
+		cs = &ml.Dataset{FeatureNames: features.Names(c.FeatureSet)}
+		c.category[exp.Column] = cs
+	}
+	cs.Features = append(cs.Features, vec)
+	cs.Labels = append(cs.Labels, string(exp.Device.Profile.Category))
+}
+
+// IdentifyResult is the outcome for one column.
+type IdentifyResult struct {
+	Column string
+	// DeviceF1 is the weighted F1 of the device-level classifier.
+	DeviceF1 float64
+	// DeviceAccuracy is plain accuracy over devices.
+	DeviceAccuracy float64
+	// CategoryF1/CategoryAccuracy evaluate the coarser category task.
+	CategoryF1       float64
+	CategoryAccuracy float64
+	Devices          int
+	Samples          int
+}
+
+// Evaluate cross-validates the identification classifiers per column.
+func (c *IdentifyCollector) Evaluate(cv ml.CVConfig) []IdentifyResult {
+	cols := make([]string, 0, len(c.datasets))
+	for col := range c.datasets {
+		cols = append(cols, col)
+	}
+	sort.Strings(cols)
+	var out []IdentifyResult
+	for _, col := range cols {
+		ds := c.datasets[col]
+		if ds.NumExamples() < 10 {
+			continue
+		}
+		devRes := ml.CrossValidate(ds, cv)
+		catRes := ml.CrossValidate(c.category[col], cv)
+		out = append(out, IdentifyResult{
+			Column:           col,
+			DeviceF1:         devRes.DeviceF1,
+			DeviceAccuracy:   devRes.Accuracy,
+			CategoryF1:       catRes.DeviceF1,
+			CategoryAccuracy: catRes.Accuracy,
+			Devices:          len(ds.Classes()),
+			Samples:          ds.NumExamples(),
+		})
+	}
+	return out
+}

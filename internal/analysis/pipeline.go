@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"github.com/neu-sns/intl-iot-go/internal/experiments"
+	"github.com/neu-sns/intl-iot-go/internal/geo"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// Pipeline bundles every collector and runs the full §4–§7 analysis over
+// a campaign. It is the one-call entry point cmd/moniotr and the
+// benchmarks use.
+type Pipeline struct {
+	Runner   *experiments.Runner
+	Dest     *DestCollector
+	Enc      *EncCollector
+	Content  *ContentCollector
+	Identify *IdentifyCollector
+
+	// Filled by Run:
+	Stats     experiments.Stats
+	IdleStats experiments.Stats
+	Inference []InferenceResult
+	Detector  *Detector
+	IdleHits  *DetectResult
+	// UncontrolledHits and Unexpected are filled by RunUncontrolled.
+	UncontrolledHits *DetectResult
+	Unexpected       map[string]int
+}
+
+// NewPipeline wires collectors to a runner's simulated Internet.
+func NewPipeline(r *experiments.Runner) *Pipeline {
+	locators := map[string]*geo.Locator{
+		"US": r.US.Internet.Locator("US"),
+		"GB": r.US.Internet.Locator("GB"),
+	}
+	return &Pipeline{
+		Runner:   r,
+		Dest:     NewDestCollector(r.US.Internet.Registry, locators),
+		Enc:      NewEncCollector(),
+		Content:  NewContentCollector(),
+		Identify: NewIdentifyCollector(),
+	}
+}
+
+// Run executes controlled + idle experiments through all collectors,
+// trains the inference models, and applies them to the idle captures.
+// Models train on controlled data only, so idle captures stream through
+// detection without buffering — memory stays flat at paper scale.
+func (p *Pipeline) Run(cfg InferConfig) {
+	p.Stats = p.Runner.RunControlled(func(exp *testbed.Experiment) {
+		p.Dest.Visit(exp)
+		p.Enc.Visit(exp)
+		p.Content.Visit(exp)
+		p.Identify.Visit(exp)
+	})
+	p.Inference = p.Content.Infer(cfg)
+	p.Detector = NewDetector(p.Content, p.Inference, cfg)
+	p.IdleHits = NewDetectResult()
+	p.IdleStats = p.Runner.RunIdle(func(exp *testbed.Experiment) {
+		p.Dest.Visit(exp)
+		p.Enc.Visit(exp)
+		p.Detector.VisitIdle(exp, p.IdleHits)
+	})
+}
+
+// RunUncontrolled executes the §7.3 user-study analysis; Run must have
+// been called first (it trains the models).
+func (p *Pipeline) RunUncontrolled() {
+	p.UncontrolledHits = NewDetectResult()
+	p.Unexpected = make(map[string]int)
+	p.Runner.RunUncontrolled(func(res *experiments.UncontrolledResult) {
+		p.Detector.VisitUncontrolled(res, p.UncontrolledHits, p.Unexpected)
+	})
+}

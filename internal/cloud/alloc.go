@@ -1,0 +1,81 @@
+package cloud
+
+import (
+	"hash/fnv"
+	"net/netip"
+)
+
+// allocator hands out deterministic, non-overlapping /16 prefixes per
+// (organisation, country) and stable host addresses per domain within
+// them. Well-known organisations get recognizable base ranges (52/8 for
+// Amazon, ...) so captures read naturally; everyone else draws from a
+// generic public pool.
+type allocator struct {
+	// next16 tracks the next free /16 index within each base /8.
+	next16 map[byte]int
+	// assigned maps "org|country" to its prefix.
+	assigned map[string]netip.Prefix
+	// bases maps org name to a preferred first octet.
+	bases map[string]byte
+	// taken tracks allocated /16s to guarantee non-overlap.
+	taken map[[2]byte]bool
+}
+
+func newAllocator(bases map[string]byte) *allocator {
+	return &allocator{
+		next16:   make(map[byte]int),
+		assigned: make(map[string]netip.Prefix),
+		bases:    bases,
+		taken:    make(map[[2]byte]bool),
+	}
+}
+
+// genericBase is the pool for orgs without a reserved range.
+const genericBase byte = 185
+
+func (a *allocator) prefixFor(org, country string) netip.Prefix {
+	key := org + "|" + country
+	if p, ok := a.assigned[key]; ok {
+		return p
+	}
+	base, ok := a.bases[org]
+	if !ok {
+		base = genericBase
+	}
+	for {
+		idx := a.next16[base]
+		if idx > 255 {
+			// Base /8 exhausted; spill into the next one.
+			base++
+			continue
+		}
+		a.next16[base] = idx + 1
+		k := [2]byte{base, byte(idx)}
+		if a.taken[k] {
+			continue
+		}
+		a.taken[k] = true
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{base, byte(idx), 0, 0}), 16)
+		a.assigned[key] = p
+		return p
+	}
+}
+
+// hostFor returns a stable host address for name inside prefix.
+func (a *allocator) hostFor(prefix netip.Prefix, name string) netip.Addr {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	v := h.Sum32()%65024 + 256 // skip .0.x and broadcast-ish tails
+	p4 := prefix.Addr().As4()
+	return netip.AddrFrom4([4]byte{p4[0], p4[1], byte(v >> 8), byte(v)})
+}
+
+// Prefixes returns every assignment as (org|country → prefix) pairs,
+// useful for building the registry database.
+func (a *allocator) allAssignments() map[string]netip.Prefix {
+	out := make(map[string]netip.Prefix, len(a.assigned))
+	for k, v := range a.assigned {
+		out[k] = v
+	}
+	return out
+}

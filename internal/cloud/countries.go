@@ -1,0 +1,102 @@
+package cloud
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Countries are identified by ISO 3166-1 alpha-2 codes. The coordinate
+// table drives a simple propagation-delay model: RTT between two
+// countries is proportional to great-circle distance (fibre path factor
+// included) plus a fixed processing overhead.
+type latlon struct{ lat, lon float64 }
+
+var countryCoords = map[string]latlon{
+	"US": {39, -98},
+	"CA": {56, -106},
+	"BR": {-10, -55},
+	"GB": {54, -2},
+	"IE": {53, -8},
+	"DE": {51, 10},
+	"NL": {52, 5},
+	"FR": {47, 2},
+	"SE": {62, 15},
+	"CN": {35, 105},
+	"TW": {24, 121},
+	"KR": {37, 127},
+	"JP": {36, 138},
+	"SG": {1, 103},
+	"IN": {20, 77},
+	"AU": {-25, 133},
+	"RU": {60, 100},
+}
+
+// Countries returns the known country codes, sorted.
+func Countries() []string {
+	out := make([]string, 0, len(countryCoords))
+	for c := range countryCoords {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KnownCountry reports whether the model knows code.
+func KnownCountry(code string) bool {
+	_, ok := countryCoords[code]
+	return ok
+}
+
+const earthRadiusKm = 6371
+
+func distanceKm(a, b latlon) float64 {
+	toRad := func(d float64) float64 { return d * math.Pi / 180 }
+	la1, lo1 := toRad(a.lat), toRad(a.lon)
+	la2, lo2 := toRad(b.lat), toRad(b.lon)
+	dla, dlo := la2-la1, lo2-lo1
+	h := math.Sin(dla/2)*math.Sin(dla/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dlo/2)*math.Sin(dlo/2)
+	return 2 * earthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// BaseRTT models the round-trip time between two countries: fibre is
+// ~2/3 c, paths are ~1.5× great-circle, plus ~4 ms access/processing
+// overhead on each side.
+func BaseRTT(from, to string) time.Duration {
+	a, okA := countryCoords[from]
+	b, okB := countryCoords[to]
+	if !okA || !okB {
+		return 150 * time.Millisecond // conservative default
+	}
+	km := distanceKm(a, b) * 1.5
+	// RTT: there and back at 200 km/ms effective speed.
+	ms := 2*km/200 + 8
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// NearestCountry picks, from candidates, the country with the lowest
+// modelled RTT from the given egress country; ties break alphabetically.
+// An empty candidate list returns "".
+func NearestCountry(egress string, candidates []string) string {
+	best, bestRTT := "", time.Duration(math.MaxInt64)
+	sorted := append([]string(nil), candidates...)
+	sort.Strings(sorted)
+	for _, c := range sorted {
+		rtt := BaseRTT(egress, c)
+		if rtt < bestRTT {
+			best, bestRTT = c, rtt
+		}
+	}
+	return best
+}
+
+// MinRTTTable produces the speed-of-light constraint table geo.Locator
+// uses: 80% of the modelled base RTT from the vantage country.
+func MinRTTTable(vantage string) map[string]time.Duration {
+	out := make(map[string]time.Duration, len(countryCoords))
+	for c := range countryCoords {
+		out[c] = BaseRTT(vantage, c) * 8 / 10
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+// Package cloud simulates the server-side Internet the testbed devices
+// talk to: organisations with geo-distributed replicas, DNS resolution
+// with CNAME chains into hosting providers, egress-dependent replica
+// selection, a prefix registry (with realistic mis-registrations), and
+// traceroute simulation for the Passport-style geolocator.
+package cloud
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/dnsmsg"
+	"github.com/neu-sns/intl-iot-go/internal/geo"
+	"github.com/neu-sns/intl-iot-go/internal/orgdb"
+)
+
+// Internet is the simulated server side.
+type Internet struct {
+	Registry *orgdb.Registry
+
+	specs    map[string]*OrgSpec // by org name
+	services map[string]*ServiceSpec
+	alloc    *allocator
+	geoDB    *geo.DB
+	// trueCountry maps allocated prefixes to where the servers really are.
+	trueCountry map[netip.Prefix]string
+}
+
+// New builds the default simulated Internet.
+func New() *Internet {
+	return NewWith(DefaultOrgSpecs(), DefaultServiceSpecs())
+}
+
+// NewWith builds an Internet from explicit catalogs (tests use this).
+func NewWith(orgSpecs []OrgSpec, svcSpecs []ServiceSpec) *Internet {
+	in := &Internet{
+		Registry:    orgdb.NewRegistry(nil),
+		specs:       make(map[string]*OrgSpec),
+		services:    make(map[string]*ServiceSpec),
+		trueCountry: make(map[netip.Prefix]string),
+	}
+	bases := make(map[string]byte)
+	for i := range orgSpecs {
+		s := orgSpecs[i]
+		in.specs[s.Org.Name] = &s
+		o := s.Org
+		in.Registry.Register(&o)
+		if s.Base != 0 {
+			bases[s.Org.Name] = s.Base
+		}
+	}
+	in.alloc = newAllocator(bases)
+	for i := range svcSpecs {
+		s := svcSpecs[i]
+		in.services[strings.ToLower(s.FQDN)] = &s
+	}
+	in.buildGeoDB()
+	return in
+}
+
+// buildGeoDB eagerly allocates prefixes for every (org, replica) pair and
+// registers them, applying the catalog's deliberate mis-registrations.
+func (in *Internet) buildGeoDB() {
+	var entries []geo.Entry
+	names := make([]string, 0, len(in.specs))
+	for n := range in.specs {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic allocation order
+	for _, n := range names {
+		s := in.specs[n]
+		for _, country := range s.Replicas {
+			p := in.alloc.prefixFor(n, country)
+			in.trueCountry[p] = country
+			reg := country
+			if wrong, ok := s.Misregistered[country]; ok {
+				reg = wrong
+			}
+			entries = append(entries, geo.Entry{Prefix: p, Org: n, RegisteredCountry: reg})
+		}
+	}
+	in.geoDB = geo.NewDB(entries)
+}
+
+// GeoDB returns the public registry database (what RIPE/ARIN publish).
+func (in *Internet) GeoDB() *geo.DB { return in.geoDB }
+
+// TrueCountry returns the ground-truth location of an address; tests and
+// EXPERIMENTS.md comparisons use it, the analysis pipeline must not.
+func (in *Internet) TrueCountry(addr netip.Addr) (string, bool) {
+	for p, c := range in.trueCountry {
+		if p.Contains(addr) {
+			return c, true
+		}
+	}
+	return "", false
+}
+
+// Resolution is the outcome of resolving a name from a given egress.
+type Resolution struct {
+	// Query is the FQDN asked for.
+	Query string
+	// Chain holds intermediate CNAME targets (may be empty).
+	Chain []string
+	// Addr is the chosen server address.
+	Addr netip.Addr
+	// OwnerOrg owns the queried domain (party classification uses this).
+	OwnerOrg *orgdb.Org
+	// HostOrg owns the address block serving the name.
+	HostOrg *orgdb.Org
+	// Country is the true country of the selected replica.
+	Country string
+	// Answers are ready-made DNS answer records for the query.
+	Answers []dnsmsg.Resource
+}
+
+// Lookup resolves fqdn as seen from an egress country, selecting the
+// nearest replica of the hosting organisation.
+func (in *Internet) Lookup(fqdn, egress string) (Resolution, error) {
+	fqdn = strings.ToLower(strings.TrimSuffix(fqdn, "."))
+	sld := dnsmsg.SLD(fqdn)
+	owner, ok := in.Registry.BySLD(sld)
+	if !ok {
+		return Resolution{}, fmt.Errorf("cloud: NXDOMAIN %q (no org owns %q)", fqdn, sld)
+	}
+	ownerSpec := in.specs[owner.Name]
+
+	hostName := owner.Name
+	svc := in.services[fqdn]
+	if ownerSpec != nil && len(ownerSpec.Replicas) == 0 && ownerSpec.DefaultHost != "" {
+		hostName = ownerSpec.DefaultHost
+	}
+	if svc != nil {
+		if svc.HostedOn != "" {
+			hostName = svc.HostedOn
+		}
+		if h, ok := svc.HostedByEgress[egress]; ok && h != "" {
+			hostName = h
+		}
+	}
+	hostSpec, ok := in.specs[hostName]
+	if !ok {
+		return Resolution{}, fmt.Errorf("cloud: service %q hosted on unknown org %q", fqdn, hostName)
+	}
+	hostOrg, _ := in.Registry.ByName(hostName)
+
+	replicas := hostSpec.Replicas
+	if ownerSpec != nil && len(ownerSpec.ServiceRegions) > 0 && hostName != owner.Name {
+		// Outsourced hosting: the vendor only rents servers in its
+		// deployment regions, intersected with the host's footprint.
+		if inter := intersect(ownerSpec.ServiceRegions, hostSpec.Replicas); len(inter) > 0 {
+			replicas = inter
+		}
+	}
+	if svc != nil && len(svc.Replicas) > 0 {
+		replicas = svc.Replicas
+	}
+	if len(replicas) == 0 {
+		return Resolution{}, fmt.Errorf("cloud: org %q has no replicas to serve %q", hostName, fqdn)
+	}
+	country := NearestCountry(egress, replicas)
+	prefix := in.alloc.prefixFor(hostName, country)
+	in.trueCountry[prefix] = country
+	addr := in.alloc.hostFor(prefix, fqdn)
+
+	res := Resolution{
+		Query:    fqdn,
+		Addr:     addr,
+		OwnerOrg: owner,
+		HostOrg:  hostOrg,
+		Country:  country,
+	}
+	if hostName != owner.Name && hostOrg != nil && len(hostOrg.Domains) > 0 {
+		cname := cnameFor(fqdn, country, hostOrg.Domains[0])
+		res.Chain = []string{cname}
+		res.Answers = []dnsmsg.Resource{
+			{Name: fqdn, Type: dnsmsg.TypeCNAME, TTL: 300, Target: cname},
+			{Name: cname, Type: dnsmsg.TypeA, TTL: 60, Addr: addr},
+		}
+	} else {
+		res.Answers = []dnsmsg.Resource{
+			{Name: fqdn, Type: dnsmsg.TypeA, TTL: 60, Addr: addr},
+		}
+	}
+	return res, nil
+}
+
+func intersect(a, b []string) []string {
+	set := make(map[string]bool, len(b))
+	for _, x := range b {
+		set[x] = true
+	}
+	var out []string
+	for _, x := range a {
+		if set[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// cnameFor builds a plausible hosting-provider CNAME target, e.g.
+// "ec2-ab12cd34.us.amazonaws.com".
+func cnameFor(fqdn, country, hostDomain string) string {
+	h := fnv.New32a()
+	h.Write([]byte(fqdn))
+	return fmt.Sprintf("edge-%08x.%s.%s", h.Sum32(), strings.ToLower(country), hostDomain)
+}
+
+// ResidentialPeer returns a deterministic "residential" peer address in
+// the given ISP's network; the Wansview camera's P2P behaviour uses this.
+func (in *Internet) ResidentialPeer(ispOrg string, n int) (netip.Addr, error) {
+	spec, ok := in.specs[ispOrg]
+	if !ok || len(spec.Replicas) == 0 {
+		return netip.Addr{}, fmt.Errorf("cloud: unknown ISP org %q", ispOrg)
+	}
+	prefix := in.alloc.prefixFor(ispOrg, spec.Replicas[0])
+	in.trueCountry[prefix] = spec.Replicas[0]
+	return in.alloc.hostFor(prefix, fmt.Sprintf("peer-%d", n)), nil
+}
+
+// Vantage returns a geo.Tracerouter probing from the given country, and a
+// matching speed-of-light table for the locator.
+func (in *Internet) Vantage(country string) (*VantagePoint, map[string]time.Duration) {
+	return &VantagePoint{in: in, country: country}, MinRTTTable(country)
+}
+
+// VantagePoint implements geo.Tracerouter from one country.
+type VantagePoint struct {
+	in      *Internet
+	country string
+}
+
+// Traceroute simulates a forward path: an access hop in the vantage
+// country, a transit hop, and the destination. Hop RTTs follow the
+// distance model with deterministic per-address jitter.
+func (v *VantagePoint) Traceroute(dst netip.Addr) ([]geo.Hop, error) {
+	dstCountry, ok := v.in.TrueCountry(dst)
+	if !ok {
+		return nil, fmt.Errorf("cloud: %v is unreachable (no route)", dst)
+	}
+	full := BaseRTT(v.country, dstCountry)
+	j := jitter(dst)
+	mid := full / 2
+	hops := []geo.Hop{
+		{Addr: hopAddr(v.country, 1), RTT: 2*time.Millisecond + j/4, Country: v.country},
+		{Addr: hopAddr(dstCountry, 2), RTT: mid + j/2, Country: dstCountry},
+		{Addr: dst, RTT: full + j, Country: dstCountry},
+	}
+	return hops, nil
+}
+
+func jitter(a netip.Addr) time.Duration {
+	h := fnv.New32a()
+	b := a.As4()
+	h.Write(b[:])
+	return time.Duration(h.Sum32()%5000) * time.Microsecond
+}
+
+// hopAddr fabricates a stable transit-router address per (country, index).
+func hopAddr(country string, idx int) netip.Addr {
+	h := fnv.New32a()
+	h.Write([]byte(country))
+	v := h.Sum32()
+	return netip.AddrFrom4([4]byte{10, byte(v >> 8), byte(v), byte(idx)})
+}
+
+// Locator builds a ready-to-use Passport-style locator for a vantage
+// country, wired to this Internet's registry and traceroute simulator.
+func (in *Internet) Locator(vantageCountry string) *geo.Locator {
+	tr, minRTT := in.Vantage(vantageCountry)
+	return &geo.Locator{DB: in.geoDB, TR: tr, MinRTTPerCountry: minRTT}
+}

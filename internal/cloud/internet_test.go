@@ -1,0 +1,274 @@
+package cloud
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/orgdb"
+)
+
+func TestLookupVendorDomainHostedOnCloud(t *testing.T) {
+	in := New()
+	res, err := in.Lookup("devs.tplinkcloud.com", "US")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if res.OwnerOrg.Name != "TP-Link" {
+		t.Errorf("owner = %v", res.OwnerOrg.Name)
+	}
+	if res.HostOrg.Name != "Amazon" {
+		t.Errorf("host = %v", res.HostOrg.Name)
+	}
+	if res.Country != "US" {
+		t.Errorf("country = %v", res.Country)
+	}
+	if len(res.Chain) != 1 {
+		t.Fatalf("chain = %v", res.Chain)
+	}
+	if len(res.Answers) != 2 {
+		t.Errorf("answers = %d", len(res.Answers))
+	}
+	if !res.Addr.IsValid() {
+		t.Error("invalid address")
+	}
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	in := New()
+	a, err := in.Lookup("devs.tplinkcloud.com", "US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := in.Lookup("devs.tplinkcloud.com", "US")
+	if a.Addr != b.Addr {
+		t.Fatalf("nondeterministic: %v vs %v", a.Addr, b.Addr)
+	}
+	// A fresh Internet gives the same answer (cross-process determinism).
+	in2 := New()
+	c, _ := in2.Lookup("devs.tplinkcloud.com", "US")
+	if a.Addr != c.Addr {
+		t.Fatalf("cross-instance nondeterminism: %v vs %v", a.Addr, c.Addr)
+	}
+}
+
+func TestLookupEgressSelectsNearReplica(t *testing.T) {
+	in := New()
+	us, err := in.Lookup("api.amazonalexa.com", "US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uk, err := in.Lookup("api.amazonalexa.com", "GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us.Country != "US" {
+		t.Errorf("US egress landed in %v", us.Country)
+	}
+	if uk.Country != "GB" && uk.Country != "IE" {
+		t.Errorf("GB egress landed in %v", uk.Country)
+	}
+	if us.Addr == uk.Addr {
+		t.Error("different replicas should have different addresses")
+	}
+}
+
+func TestLookupSingleHomedOrg(t *testing.T) {
+	in := New()
+	res, err := in.Lookup("ping.nuri.net", "US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Country != "KR" {
+		t.Errorf("Nuri should serve from KR, got %v", res.Country)
+	}
+	if res.OwnerOrg.Kind != orgdb.KindISP {
+		t.Errorf("owner kind = %v", res.OwnerOrg.Kind)
+	}
+}
+
+func TestLookupRiceCookerMultiCloud(t *testing.T) {
+	in := New()
+	us, err := in.Lookup("api.io.mi.com", "US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us.HostOrg.Name != "Alibaba" {
+		t.Errorf("US egress host = %v, want Alibaba", us.HostOrg.Name)
+	}
+	uk, err := in.Lookup("api.io.mi.com", "GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uk.HostOrg.Name != "Kingsoft" {
+		t.Errorf("GB egress host = %v, want Kingsoft (§4.3)", uk.HostOrg.Name)
+	}
+}
+
+func TestLookupNXDOMAIN(t *testing.T) {
+	in := New()
+	if _, err := in.Lookup("nonexistent.example.zz", "US"); err == nil {
+		t.Fatal("expected NXDOMAIN")
+	}
+}
+
+func TestGeoDBCoversAllocatedAddrs(t *testing.T) {
+	in := New()
+	res, err := in.Lookup("echo.api.amazon.com", "US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := in.GeoDB().Lookup(res.Addr)
+	if !ok {
+		t.Fatalf("no registry entry for %v", res.Addr)
+	}
+	if entry.Org != "Amazon" {
+		t.Errorf("registry org = %v", entry.Org)
+	}
+}
+
+func TestMisregisteredPrefixCorrectedByLocator(t *testing.T) {
+	in := New()
+	// Akamai GB replica is registered as US; a GB vantage must correct it.
+	res, err := in.Lookup("fw.samsungotn.net", "GB") // Akamai-hosted
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Country != "GB" {
+		t.Skipf("replica selection landed in %v, not the misregistered GB", res.Country)
+	}
+	entry, ok := in.GeoDB().Lookup(res.Addr)
+	if !ok || entry.RegisteredCountry != "US" {
+		t.Fatalf("expected misregistration to US, got %+v ok=%v", entry, ok)
+	}
+	loc := in.Locator("GB")
+	got, err := loc.Locate(res.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Country != "GB" {
+		t.Errorf("locator returned %v, want GB (corrected)", got.Country)
+	}
+}
+
+func TestLocatorAgreesWithTruthForWellRegistered(t *testing.T) {
+	in := New()
+	res, err := in.Lookup("devs.tplinkcloud.com", "US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := in.Locator("US")
+	got, err := loc.Locate(res.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := in.TrueCountry(res.Addr)
+	if got.Country != truth {
+		t.Errorf("locator %v != truth %v", got.Country, truth)
+	}
+}
+
+func TestResidentialPeer(t *testing.T) {
+	in := New()
+	p1, err := in.ResidentialPeer("WOW", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := in.ResidentialPeer("WOW", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Error("peers should differ")
+	}
+	if c, ok := in.TrueCountry(p1); !ok || c != "US" {
+		t.Errorf("peer country = %v %v", c, ok)
+	}
+	if _, err := in.ResidentialPeer("NotAnISP", 1); err == nil {
+		t.Error("unknown ISP should error")
+	}
+}
+
+func TestTracerouteShape(t *testing.T) {
+	in := New()
+	res, err := in.Lookup("api.aliyun.com", "US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, _ := in.Vantage("US")
+	hops, err := vp.Traceroute(res.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 3 {
+		t.Fatalf("hops = %d", len(hops))
+	}
+	if hops[0].Country != "US" {
+		t.Errorf("first hop country = %v", hops[0].Country)
+	}
+	if hops[len(hops)-1].Addr != res.Addr {
+		t.Error("last hop must be the destination")
+	}
+	for i := 1; i < len(hops); i++ {
+		if hops[i].RTT < hops[i-1].RTT {
+			t.Errorf("RTTs not monotone at hop %d", i)
+		}
+	}
+}
+
+func TestTracerouteUnreachable(t *testing.T) {
+	in := New()
+	vp, _ := in.Vantage("US")
+	if _, err := vp.Traceroute(netip.MustParseAddr("203.0.113.7")); err == nil {
+		t.Fatal("unallocated address should be unreachable")
+	}
+}
+
+func TestBaseRTTSane(t *testing.T) {
+	local := BaseRTT("US", "US")
+	transatlantic := BaseRTT("US", "GB")
+	transpacific := BaseRTT("US", "CN")
+	if local >= transatlantic || transatlantic >= transpacific {
+		t.Errorf("RTT ordering violated: %v %v %v", local, transatlantic, transpacific)
+	}
+	if BaseRTT("US", "ZZ") < 100*time.Millisecond {
+		t.Error("unknown country should be conservative")
+	}
+}
+
+func TestNearestCountry(t *testing.T) {
+	if got := NearestCountry("GB", []string{"US", "IE", "JP"}); got != "IE" {
+		t.Errorf("GB nearest = %v", got)
+	}
+	if got := NearestCountry("US", []string{"CN", "KR"}); got != "KR" {
+		t.Errorf("US nearest of CN/KR = %v", got)
+	}
+	if got := NearestCountry("US", nil); got != "" {
+		t.Errorf("empty candidates = %v", got)
+	}
+}
+
+func TestAllocatorNoOverlap(t *testing.T) {
+	a := newAllocator(map[string]byte{"X": 52, "Y": 52})
+	p1 := a.prefixFor("X", "US")
+	p2 := a.prefixFor("Y", "US")
+	p3 := a.prefixFor("X", "GB")
+	if p1 == p2 || p1 == p3 || p2 == p3 {
+		t.Fatalf("overlapping prefixes: %v %v %v", p1, p2, p3)
+	}
+	if a.prefixFor("X", "US") != p1 {
+		t.Error("allocation not stable")
+	}
+}
+
+func TestCountriesTable(t *testing.T) {
+	if !KnownCountry("US") || !KnownCountry("GB") || !KnownCountry("CN") {
+		t.Error("core countries missing")
+	}
+	if KnownCountry("ZZ") {
+		t.Error("ZZ should be unknown")
+	}
+	if len(Countries()) < 10 {
+		t.Errorf("country table too small: %d", len(Countries()))
+	}
+}

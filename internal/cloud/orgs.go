@@ -1,0 +1,377 @@
+package cloud
+
+import "github.com/neu-sns/intl-iot-go/internal/orgdb"
+
+// OrgSpec extends an orgdb.Org with deployment information: where the
+// organisation operates servers, which address range it is known by, who
+// hosts its services when it runs no servers of its own, and which of its
+// prefixes are mis-registered (the geolocation failure mode Passport
+// corrects, §4.1).
+type OrgSpec struct {
+	Org orgdb.Org
+	// Replicas are the countries where the org operates servers. Empty
+	// means the org outsources hosting entirely (see DefaultHost).
+	Replicas []string
+	// Base is a preferred first octet for allocated prefixes (0 = pool).
+	Base byte
+	// DefaultHost names the org hosting this org's services when
+	// Replicas is empty (e.g. TP-Link → Amazon).
+	DefaultHost string
+	// ServiceRegions restricts where a hosted org actually rents
+	// servers. Most consumer-IoT vendors deploy a single cloud region
+	// regardless of customer location — the paper's "reliance on
+	// infrastructure with limited geodiversity" (§4.2). Empty means the
+	// hosting org's full footprint.
+	ServiceRegions []string
+	// Misregistered maps a true replica country to the (wrong) country
+	// its prefix is registered under.
+	Misregistered map[string]string
+}
+
+// ServiceSpec overrides resolution behaviour for one fully qualified
+// domain name.
+type ServiceSpec struct {
+	FQDN string
+	// HostedOn overrides the hosting org.
+	HostedOn string
+	// HostedByEgress overrides the hosting org per egress country; this
+	// models multi-cloud vendors whose replica choice depends on the
+	// client's region (the Xiaomi rice cooker's Alibaba/Kingsoft split,
+	// §4.3).
+	HostedByEgress map[string]string
+	// Replicas restricts the countries considered for this service.
+	Replicas []string
+}
+
+// DefaultOrgSpecs is the simulated Internet's organisation catalog: every
+// organisation the 81 devices of Table 1 contact, with kinds, HQ
+// jurisdictions, owned domains and server deployments.
+func DefaultOrgSpecs() []OrgSpec {
+	return []OrgSpec{
+		// ---- Clouds and CDNs (support parties) ----
+		{
+			Org: orgdb.Org{Name: "Amazon", Kind: orgdb.KindCloud, Country: "US",
+				Domains: []string{"amazon.com", "amazonaws.com", "a2z.com", "amazonalexa.com",
+					"cloudfront.net", "amazonvideo.com", "media-amazon.com"}},
+			Replicas: []string{"US", "IE", "GB", "DE", "JP", "SG", "AU", "BR", "IN"},
+			Base:     52,
+		},
+		{
+			Org: orgdb.Org{Name: "Google", Kind: orgdb.KindCloud, Country: "US",
+				Domains: []string{"google.com", "googleapis.com", "gstatic.com", "googlevideo.com",
+					"googleusercontent.com", "1e100.net", "nest.com", "withgoogle.com"}},
+			Replicas: []string{"US", "IE", "NL", "DE", "SG", "JP", "AU", "IN"},
+			Base:     142,
+		},
+		{
+			Org: orgdb.Org{Name: "Akamai", Kind: orgdb.KindCDN, Country: "US",
+				Domains: []string{"akamai.net", "akamaiedge.net", "akamaized.net", "akadns.net"}},
+			Replicas: []string{"US", "GB", "DE", "NL", "JP", "SG", "AU", "BR", "IN", "KR"},
+			Base:     104,
+			// Akamai edge prefixes are classically registered to the US HQ
+			// regardless of deployment country.
+			Misregistered: map[string]string{"GB": "US", "DE": "US", "KR": "US"},
+		},
+		{
+			Org: orgdb.Org{Name: "Microsoft", Kind: orgdb.KindCloud, Country: "US",
+				Domains: []string{"microsoft.com", "azure.com", "windows.com", "msftncsi.com", "live.com"}},
+			Replicas: []string{"US", "IE", "NL", "SG", "JP"},
+			Base:     40,
+		},
+		{
+			Org:      orgdb.Org{Name: "Fastly", Kind: orgdb.KindCDN, Country: "US", Domains: []string{"fastly.net"}},
+			Replicas: []string{"US", "GB", "DE", "JP"},
+		},
+		{
+			Org:      orgdb.Org{Name: "Edgecast", Kind: orgdb.KindCDN, Country: "US", Domains: []string{"edgecastcdn.net"}},
+			Replicas: []string{"US", "GB"},
+		},
+		{
+			Org:      orgdb.Org{Name: "Cloudflare", Kind: orgdb.KindCDN, Country: "US", Domains: []string{"cloudflare.com", "cloudflare.net"}},
+			Replicas: []string{"US", "GB", "DE", "SG"},
+		},
+		{
+			Org: orgdb.Org{Name: "Alibaba", Kind: orgdb.KindCloud, Country: "CN",
+				Domains: []string{"alibaba.com", "aliyun.com", "alibabacloud.com", "taobao.com"}},
+			Replicas: []string{"CN", "SG", "US", "DE"},
+			Base:     47,
+		},
+		{
+			Org:      orgdb.Org{Name: "Kingsoft", Kind: orgdb.KindCloud, Country: "CN", Domains: []string{"ksyun.com", "kingsoft.com"}},
+			Replicas: []string{"CN", "DE", "US"},
+			Base:     120,
+		},
+		{
+			Org:      orgdb.Org{Name: "21Vianet", Kind: orgdb.KindCloud, Country: "CN", Domains: []string{"21vianet.com", "vnet.cn"}},
+			Replicas: []string{"CN"},
+		},
+		{
+			Org:      orgdb.Org{Name: "Beijing Huaxiay", Kind: orgdb.KindCloud, Country: "CN", Domains: []string{"huaxiay.com"}},
+			Replicas: []string{"CN"},
+		},
+		{
+			Org:      orgdb.Org{Name: "HVVC", Kind: orgdb.KindCloud, Country: "US", Domains: []string{"hvvc.us"}},
+			Replicas: []string{"US"},
+		},
+
+		// ---- Trackers and content (third parties) ----
+		{
+			Org:      orgdb.Org{Name: "Doubleclick", Kind: orgdb.KindTracker, Country: "US", Domains: []string{"doubleclick.net"}},
+			Replicas: []string{"US", "IE"},
+		},
+		{
+			Org:      orgdb.Org{Name: "Adobe", Kind: orgdb.KindTracker, Country: "US", Domains: []string{"omtrdc.net", "adobe.com", "demdex.net"}},
+			Replicas: []string{"US"},
+		},
+		{
+			Org:      orgdb.Org{Name: "Branch", Kind: orgdb.KindTracker, Country: "US", Domains: []string{"branch.io"}},
+			Replicas: []string{"US"},
+		},
+		{
+			Org:      orgdb.Org{Name: "Facebook", Kind: orgdb.KindTracker, Country: "US", Domains: []string{"facebook.com", "fbcdn.net"}},
+			Replicas: []string{"US", "IE"},
+		},
+		{
+			Org:      orgdb.Org{Name: "Scorecard", Kind: orgdb.KindTracker, Country: "US", Domains: []string{"scorecardresearch.com"}},
+			Replicas: []string{"US"},
+		},
+		{
+			Org:      orgdb.Org{Name: "Netflix", Kind: orgdb.KindContent, Country: "US", Domains: []string{"netflix.com", "nflxvideo.net", "nflxso.net"}},
+			Replicas: []string{"US", "NL", "GB"},
+		},
+		{
+			Org:      orgdb.Org{Name: "Tuya", Kind: orgdb.KindManufacturer, Country: "CN", Domains: []string{"tuya.com", "tuyaus.com", "tuyaeu.com"}},
+			Replicas: []string{"CN", "US", "DE"},
+		},
+
+		// ---- ISPs (third parties) ----
+		{
+			Org:      orgdb.Org{Name: "Nuri", Kind: orgdb.KindISP, Country: "KR", Domains: []string{"nuri.net"}},
+			Replicas: []string{"KR"},
+		},
+		{
+			Org:      orgdb.Org{Name: "WOW", Kind: orgdb.KindISP, Country: "US", Domains: []string{"wowinc.com"}},
+			Replicas: []string{"US"},
+		},
+		{
+			Org:      orgdb.Org{Name: "AT&T", Kind: orgdb.KindISP, Country: "US", Domains: []string{"att.com", "attwifi.com"}},
+			Replicas: []string{"US"},
+		},
+		{
+			Org:      orgdb.Org{Name: "Vodafone", Kind: orgdb.KindISP, Country: "GB", Domains: []string{"vodafone.co.uk"}},
+			Replicas: []string{"GB"},
+		},
+		{
+			Org:      orgdb.Org{Name: "Chunghwa", Kind: orgdb.KindCloud, Country: "TW", Domains: []string{"hinet.net", "cht.com.tw"}},
+			Replicas: []string{"TW"},
+		},
+
+		// ---- Device manufacturers ----
+		{
+			Org:            orgdb.Org{Name: "TP-Link", Kind: orgdb.KindManufacturer, Country: "CN", Domains: []string{"tplinkcloud.com", "tp-link.com", "tplinkra.com"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org: orgdb.Org{Name: "Samsung", Kind: orgdb.KindManufacturer, Country: "KR",
+				Domains: []string{"samsung.com", "samsungcloud.com", "samsungelectronics.com",
+					"samsungcloudsolution.com", "samsungotn.net", "samsungacr.com", "smartthings.com"}},
+			Replicas: []string{"KR", "US", "DE"},
+		},
+		{
+			Org:      orgdb.Org{Name: "LG", Kind: orgdb.KindManufacturer, Country: "KR", Domains: []string{"lge.com", "lgtvsdp.com", "lgtvcommon.com", "lgsmartad.com"}},
+			Replicas: []string{"KR", "US", "DE"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Roku", Kind: orgdb.KindManufacturer, Country: "US", Domains: []string{"roku.com", "rokutime.com", "ravm.tv"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:      orgdb.Org{Name: "Apple", Kind: orgdb.KindManufacturer, Country: "US", Domains: []string{"apple.com", "icloud.com", "mzstatic.com", "aaplimg.com"}},
+			Replicas: []string{"US", "IE"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Signify", Kind: orgdb.KindManufacturer, Country: "NL", Domains: []string{"meethue.com", "philips.com", "philips-hue.com"}},
+			DefaultHost:    "Google",
+			ServiceRegions: []string{"NL"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Belkin", Kind: orgdb.KindManufacturer, Country: "US", Domains: []string{"xbcs.net", "belkin.com"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:            orgdb.Org{Name: "D-Link", Kind: orgdb.KindManufacturer, Country: "TW", Domains: []string{"dlink.com", "mydlink.com"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:         orgdb.Org{Name: "Wansview", Kind: orgdb.KindManufacturer, Country: "CN", Domains: []string{"wansview.com", "ajcloud.net"}},
+			DefaultHost: "Alibaba",
+			// Wansview and Yi rent US capacity too, so European customers
+			// are served from the US — part of why most UK-lab traffic
+			// still terminates in the US (Figure 2).
+			ServiceRegions: []string{"CN", "US"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Xiaomi", Kind: orgdb.KindManufacturer, Country: "CN", Domains: []string{"mi.com", "xiaomi.com", "miwifi.com"}},
+			DefaultHost:    "Alibaba",
+			ServiceRegions: []string{"CN"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Yi", Kind: orgdb.KindManufacturer, Country: "CN", Domains: []string{"xiaoyi.com", "yitechnology.com"}},
+			DefaultHost:    "Kingsoft",
+			ServiceRegions: []string{"CN", "US"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Zmodo", Kind: orgdb.KindManufacturer, Country: "US", Domains: []string{"zmodo.com", "meshare.com"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Ring", Kind: orgdb.KindManufacturer, Country: "US", Domains: []string{"ring.com"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Immedia", Kind: orgdb.KindManufacturer, Country: "US", Domains: []string{"immedia-semi.com", "blinkforhome.com"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Amcrest", Kind: orgdb.KindManufacturer, Country: "US", Domains: []string{"amcrest.com", "amcrestcloud.com"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Lefun", Kind: orgdb.KindManufacturer, Country: "CN", Domains: []string{"lefunsmart.com"}},
+			DefaultHost:    "Alibaba",
+			ServiceRegions: []string{"CN"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Luohe", Kind: orgdb.KindManufacturer, Country: "CN", Domains: []string{"lh-cam.net"}},
+			DefaultHost:    "Beijing Huaxiay",
+			ServiceRegions: []string{"CN"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Microseven", Kind: orgdb.KindManufacturer, Country: "US", Domains: []string{"microseven.com"}},
+			DefaultHost:    "HVVC",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:            orgdb.Org{Name: "WiMaker", Kind: orgdb.KindManufacturer, Country: "CN", Domains: []string{"cloudlinks.cn"}},
+			DefaultHost:    "21Vianet",
+			ServiceRegions: []string{"CN"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Bosiwo", Kind: orgdb.KindManufacturer, Country: "CN", Domains: []string{"bosiwo.com"}},
+			DefaultHost:    "Beijing Huaxiay",
+			ServiceRegions: []string{"CN"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Insteon", Kind: orgdb.KindManufacturer, Country: "US", Domains: []string{"insteon.com"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Osram", Kind: orgdb.KindManufacturer, Country: "DE", Domains: []string{"lightify-api.org", "osram.com"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"DE"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Sengled", Kind: orgdb.KindManufacturer, Country: "CN", Domains: []string{"sengled.com"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Wink", Kind: orgdb.KindManufacturer, Country: "US", Domains: []string{"wink.com", "winkapp.com"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Honeywell", Kind: orgdb.KindManufacturer, Country: "US", Domains: []string{"honeywell.com", "alarmnet.com"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Zengge", Kind: orgdb.KindManufacturer, Country: "CN", Domains: []string{"magichue.net"}},
+			DefaultHost:    "Alibaba",
+			ServiceRegions: []string{"CN"},
+		},
+		{
+			Org:            orgdb.Org{Name: "FluxSmart", Kind: orgdb.KindManufacturer, Country: "CN", Domains: []string{"fluxsmart.com"}},
+			DefaultHost:    "Alibaba",
+			ServiceRegions: []string{"CN"},
+		},
+		{
+			Org:            orgdb.Org{Name: "GE", Kind: orgdb.KindManufacturer, Country: "US", Domains: []string{"geappliances.com"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Behmor", Kind: orgdb.KindManufacturer, Country: "US", Domains: []string{"behmor.com"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Anova", Kind: orgdb.KindManufacturer, Country: "US", Domains: []string{"anovaculinary.com"}},
+			DefaultHost:    "Google",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:      orgdb.Org{Name: "Netatmo", Kind: orgdb.KindManufacturer, Country: "FR", Domains: []string{"netatmo.com", "netatmo.net"}},
+			Replicas: []string{"FR"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Smarter", Kind: orgdb.KindManufacturer, Country: "GB", Domains: []string{"smarter.am"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"GB"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Harman", Kind: orgdb.KindManufacturer, Country: "US", Domains: []string{"harmanaudio.com"}},
+			DefaultHost:    "Microsoft",
+			ServiceRegions: []string{"US"},
+		},
+		{
+			Org:            orgdb.Org{Name: "Anker", Kind: orgdb.KindManufacturer, Country: "CN", Domains: []string{"eufylife.com"}},
+			DefaultHost:    "Amazon",
+			ServiceRegions: []string{"US"},
+		},
+	}
+}
+
+// DefaultServiceSpecs are the per-FQDN overrides the default catalog needs.
+func DefaultServiceSpecs() []ServiceSpec {
+	return []ServiceSpec{
+		// The Xiaomi rice cooker's API resolves to Alibaba's US replica
+		// from a US egress but to Kingsoft when egressing in Europe
+		// (§4.3's "contacted Kingsoft only when connected via VPN").
+		{
+			FQDN: "api.io.mi.com",
+			HostedByEgress: map[string]string{
+				"US": "Alibaba",
+				"GB": "Kingsoft", "IE": "Kingsoft", "DE": "Kingsoft",
+				"FR": "Kingsoft", "NL": "Kingsoft",
+			},
+		},
+		// Netflix's TV beacon endpoint is served from its own CDN.
+		{FQDN: "api-global.netflix.com", Replicas: []string{"US", "NL", "GB"}},
+		// Samsung's firmware CDN rides Akamai.
+		{FQDN: "fw.samsungotn.net", HostedOn: "Akamai"},
+		// Apple's TV content CDN rides Akamai.
+		{FQDN: "cdn.mzstatic.com", HostedOn: "Akamai"},
+		// Roku's time service is self-hosted on AWS US only.
+		{FQDN: "time.rokutime.com", Replicas: []string{"US"}},
+		// Nuri is the Korean transit host several Samsung devices ping.
+		{FQDN: "ping.nuri.net", Replicas: []string{"KR"}},
+		// HQ check-in endpoints are single-homed in the vendor's home
+		// jurisdiction; they are why so many devices send traffic across
+		// borders (Figure 2, §4.2).
+		{FQDN: "checkin.samsungelectronics.com", Replicas: []string{"KR"}},
+		{FQDN: "checkin.lge.com", Replicas: []string{"KR"}},
+		{FQDN: "checkin.dlink.com", HostedOn: "Chunghwa"},
+		{FQDN: "log.ajcloud.net", Replicas: []string{"CN"}},
+		{FQDN: "log.xiaoyi.com", Replicas: []string{"CN"}},
+	}
+}

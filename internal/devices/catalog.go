@@ -1,0 +1,435 @@
+package devices
+
+import (
+	"fmt"
+	"time"
+)
+
+// Catalog returns all device models of Table 1. The inventory reproduces
+// the paper's §3.1 totals: 55 distinct models, 26 common to both labs,
+// 46 US instances and 35 UK instances (81 total).
+func Catalog() []*Profile {
+	var out []*Profile
+	out = append(out, cameras()...)
+	out = append(out, smartHubs()...)
+	out = append(out, homeAutomation()...)
+	out = append(out, tvs()...)
+	out = append(out, audio()...)
+	out = append(out, appliances()...)
+	for _, p := range out {
+		attachInfra(p)
+	}
+	return out
+}
+
+// hostingDomain maps a manufacturer to a direct hosting-provider FQDN
+// suffix its devices contact alongside the vendor's own domains (raw EC2
+// hosts, storage buckets, ...) — the reason support parties dominate the
+// paper's destination tables.
+var hostingDomain = map[string]string{
+	"Amazon": "compute.amazonaws.com", "Ring": "compute.amazonaws.com",
+	"Immedia": "compute.amazonaws.com", "Amcrest": "compute.amazonaws.com",
+	"D-Link": "compute.amazonaws.com", "Zmodo": "compute.amazonaws.com",
+	"Insteon": "compute.amazonaws.com", "Sengled": "compute.amazonaws.com",
+	"Wink": "compute.amazonaws.com", "SmartThings": "compute.amazonaws.com",
+	"Honeywell": "compute.amazonaws.com", "Belkin": "compute.amazonaws.com",
+	"TP-Link": "compute.amazonaws.com", "GE": "compute.amazonaws.com",
+	"Behmor": "compute.amazonaws.com", "Smarter": "compute.amazonaws.com",
+	"Osram": "compute.amazonaws.com", "Samsung": "compute.amazonaws.com",
+	"Netatmo": "compute.amazonaws.com",
+	"Google":  "storage.googleapis.com", "Nest": "storage.googleapis.com",
+	"Signify": "storage.googleapis.com", "Anova": "storage.googleapis.com",
+	"Harman": "blob.azure.com", "Anker": "compute.amazonaws.com",
+	"Xiaomi": "oss-cn.aliyun.com", "Zengge": "oss-cn.aliyun.com",
+	"FluxSmart": "oss-cn.aliyun.com", "Wansview": "oss-cn.aliyun.com",
+	"Lefun": "oss-cn.aliyun.com",
+	"Yi":    "ks3.ksyun.com",
+	"Luohe": "cdn.huaxiay.com", "Bosiwo": "cdn.huaxiay.com",
+	"WiMaker":    "vnet.cn",
+	"Microseven": "hvvc.us",
+	"LG":         "fw.edgecastcdn.net", "Apple": "dl.akamaiedge.net",
+	"Roku": "compute.amazonaws.com",
+}
+
+// hqDomain maps manufacturers to single-homed HQ check-in services in
+// their home jurisdiction; these are why so many devices send traffic
+// across borders (Figure 2, §4.2: "56% of the US devices ... contact
+// destinations outside their region").
+var hqDomain = map[string]string{
+	"Samsung":  "checkin.samsungelectronics.com",
+	"LG":       "checkin.lge.com",
+	"D-Link":   "checkin.dlink.com",
+	"Wansview": "log.ajcloud.net",
+	"Yi":       "log.xiaoyi.com",
+}
+
+// ntpDomain picks the time service a vendor's firmware ships with.
+var ntpDomain = map[string]string{
+	"Amazon": "ntp.amazonaws.com", "Ring": "ntp.amazonaws.com",
+	"Immedia": "ntp.amazonaws.com", "Amcrest": "ntp.amazonaws.com",
+	"D-Link": "ntp.amazonaws.com", "Zmodo": "ntp.amazonaws.com",
+	"Insteon":     "ntp.amazonaws.com",
+	"SmartThings": "ntp.amazonaws.com",
+	"Belkin":      "ntp.amazonaws.com",
+	"TP-Link":     "ntp.amazonaws.com",
+
+	"Anker": "ntp.amazonaws.com", "Roku": "ntp.amazonaws.com",
+	"Harman": "time.windows.com",
+	"Xiaomi": "ntp.aliyun.com", "Zengge": "ntp.aliyun.com",
+	"FluxSmart": "ntp.aliyun.com", "Wansview": "ntp.aliyun.com",
+	"Lefun": "ntp.aliyun.com", "Yi": "ntp.aliyun.com",
+	"Luohe": "ntp.aliyun.com", "Bosiwo": "ntp.aliyun.com",
+	"WiMaker": "ntp.aliyun.com",
+	// Everyone else defaults to time.google.com via the builders.
+}
+
+// attachInfra appends the direct hosting-provider endpoint and rewrites
+// the NTP endpoint to the vendor's time service.
+func attachInfra(p *Profile) {
+	if dom, ok := hostingDomain[p.Manufacturer]; ok {
+		wire := WireTLS
+		if p.Category == CatCamera {
+			// Camera storage uploads use proprietary framing — part of
+			// the cameras' dominant "unknown" share in Table 6.
+			wire = WireTCPMixed
+		}
+		p.Endpoints = append(p.Endpoints, Endpoint{
+			Key:    "cloud",
+			Domain: slugDomain(p.Name) + "." + dom,
+			Port:   443,
+			Wire:   wire,
+		})
+		p.PowerEndpoints = append(p.PowerEndpoints, "cloud")
+		if p.Category == CatCamera {
+			// Camera uploads land in raw storage/compute hosts, which is
+			// why video experiments reach so many support parties
+			// (Table 2's Video row).
+			for i := range p.Activities {
+				p.Activities[i].Endpoints = append(p.Activities[i].Endpoints, "cloud")
+			}
+		}
+	}
+	if ntp, ok := ntpDomain[p.Manufacturer]; ok {
+		for i := range p.Endpoints {
+			if p.Endpoints[i].Key == "ntp" {
+				p.Endpoints[i].Domain = ntp
+			}
+		}
+	}
+	if hq, ok := hqDomain[p.Manufacturer]; ok {
+		p.Endpoints = append(p.Endpoints, Endpoint{
+			Key: "hq", Domain: hq, Port: 443, Wire: WireTLS,
+		})
+		p.PowerEndpoints = append(p.PowerEndpoints, "hq")
+	}
+}
+
+// slugDomain renders a device name as a DNS label.
+func slugDomain(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+32)
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			out = append(out, c)
+		case c == ' ' || c == '-':
+			out = append(out, '-')
+		}
+	}
+	return string(out)
+}
+
+// ByName returns the catalog model with the given name.
+func ByName(name string) (*Profile, bool) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+var (
+	both   = []string{LabUS, LabUK}
+	usOnly = []string{LabUS}
+	ukOnly = []string{LabUK}
+)
+
+func ms(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+// sig is shorthand for building signatures.
+func sig(packets int, sizeMean, sizeStd float64, iat, iatStd time.Duration, down float64) Signature {
+	return Signature{
+		Packets: packets, PktJitter: packets / 4,
+		SizeMean: sizeMean, SizeStd: sizeStd,
+		IATMean: iat, IATStd: iatStd,
+		DownFactor: down,
+	}
+}
+
+// oui derives a deterministic vendor OUI from a seed byte.
+func oui(a, b, c byte) [3]byte { return [3]byte{a, b, c} }
+
+// ---------------------------------------------------------------------------
+// Cameras (15 models; Blink Cam, Ring Doorbell, Wansview Cam, Xiaomi Cam and
+// Yi Cam common → 20 instances).
+// ---------------------------------------------------------------------------
+
+func cameras() []*Profile {
+	var out []*Profile
+
+	mk := func(name, manufacturer, apiDomain string, labs []string, o [3]byte, distinct float64) *Profile {
+		p := &Profile{
+			Name: name, Category: CatCamera, Manufacturer: manufacturer,
+			Labs: labs, OUI: o, Distinct: distinct,
+			Endpoints: []Endpoint{
+				{Key: "api", Domain: apiDomain, Port: 443, Wire: WireTLS},
+				{Key: "stream", Domain: "stream." + sldOf(apiDomain), Port: 8443, Wire: WireTCPMixed},
+				{Key: "media", Domain: "media." + sldOf(apiDomain), Port: 443, Wire: WireTCPMixed},
+				{Key: "ntp", Domain: "time.google.com", Port: 123, Wire: WireNTP},
+			},
+			PowerEndpoints: []string{"api", "ntp"},
+			PowerSig:       sig(42, 420, 160, ms(60), ms(40), 2.4),
+			Activities: []Activity{
+				{Name: "move", Methods: []Method{MethodLocal}, Endpoints: []string{"media", "api"},
+					Sig: sig(36, 950, 220, ms(35), ms(18), 0.15)},
+				{Name: "watch", Methods: []Method{MethodWAN}, Endpoints: []string{"stream", "media", "api"},
+					Sig: sig(90, 1180, 150, ms(18), ms(8), 0.08)},
+				{Name: "record", Methods: []Method{MethodLAN, MethodWAN}, Endpoints: []string{"media", "api"},
+					Sig: sig(70, 1240, 120, ms(22), ms(9), 0.05)},
+				{Name: "photo", Methods: []Method{MethodLAN, MethodWAN}, Endpoints: []string{"media", "api"},
+					Sig: sig(14, 1020, 260, ms(45), ms(22), 0.2)},
+			},
+			Idle: IdleSpec{
+				HeartbeatPeriod:   47 * time.Second,
+				HeartbeatEndpoint: "stream",
+				NTPPeriod:         17 * time.Minute,
+				ReconnectsPerHour: map[string]float64{LabUS: 0.12, LabUK: 0.1, "US->GB": 0.12, "GB->US": 0.1},
+			},
+		}
+		return p
+	}
+
+	cloudcam := mk("Amazon Cloudcam", "Amazon", "cloudcam.amazon.com", usOnly, oui(0x74, 0xc2, 0x46), 0.9)
+	out = append(out, cloudcam)
+
+	amcrest := mk("Amcrest Cam", "Amcrest", "api.amcrestcloud.com", usOnly, oui(0x9c, 0x8e, 0xcd), 0.75)
+	amcrest.Endpoints[1].Wire = WireTCPEnc // premium camera, encrypted stream
+	out = append(out, amcrest)
+
+	blink := mk("Blink Cam", "Immedia", "rest-prod.immedia-semi.com", both, oui(0xf4, 0xb8, 0x5e), 0.85)
+	blink.Related = []string{"Amazon"}
+	out = append(out, blink)
+
+	blinkHub := mk("Blink Hub", "Immedia", "hub-prod.immedia-semi.com", usOnly, oui(0xf4, 0xb8, 0x5f), 0.6)
+	blinkHub.Related = []string{"Amazon"}
+	out = append(out, blinkHub)
+
+	bosiwo := mk("Bosiwo Cam", "Bosiwo", "api.bosiwo.com", ukOnly, oui(0x38, 0x01, 0x46), 0.5)
+	// Cheap camera: plaintext control channel and MJPEG video.
+	bosiwo.Endpoints[1].Wire = WireTCPPlain
+	bosiwo.Endpoints[2].Wire = WireMediaHTTP
+	bosiwo.Idle.HeartbeatEndpoint = "api"
+	out = append(out, bosiwo)
+
+	dlinkCam := mk("D-Link Cam", "D-Link", "api.mydlink.com", usOnly, oui(0xb0, 0xc5, 0x54), 0.7)
+	out = append(out, dlinkCam)
+
+	lefun := mk("Lefun Cam", "Lefun", "api.lefunsmart.com", usOnly, oui(0x00, 0x5a, 0x39), 0.55)
+	lefun.Endpoints[1].Wire = WireTCPMixed
+	out = append(out, lefun)
+
+	luohe := mk("Luohe Cam", "Luohe", "cam.lh-cam.net", usOnly, oui(0x00, 0x5a, 0x40), 0.5)
+	luohe.Endpoints[1].Wire = WireTCPMixed
+	out = append(out, luohe)
+
+	microseven := mk("Microseven Cam", "Microseven", "api.microseven.com", usOnly, oui(0x00, 0x62, 0x6e), 0.8)
+	// Streams video over plaintext HTTP — the biggest US plaintext source
+	// in Table 6.
+	microseven.Endpoints[2].Wire = WireMediaHTTP
+	microseven.Endpoints[1].Wire = WireTCPPlain
+	microseven.Idle.HeartbeatEndpoint = "api"
+	out = append(out, microseven)
+
+	ring := mk("Ring Doorbell", "Ring", "fw.ring.com", both, oui(0x0c, 0x47, 0xc9), 0.9)
+	ring.Related = []string{"Amazon"}
+	ring.Activities = append(ring.Activities, Activity{
+		Name: "ring", Methods: []Method{MethodLocal}, Endpoints: []string{"api", "media"},
+		Sig: sig(48, 1100, 180, ms(25), ms(12), 0.12),
+	})
+	// §7.3: records video on motion with no user intent, in the field.
+	ring.Idle.Spurious = append(ring.Idle.Spurious, SpuriousActivity{
+		ActivityName: "move", Method: MethodLocal,
+		PerHour: map[string]float64{}, // only in uncontrolled runs (motion-driven)
+	})
+	out = append(out, ring)
+
+	wansview := mk("Wansview Cam", "Wansview", "api.ajcloud.net", both, oui(0x78, 0xa5, 0xdd), 0.85)
+	// P2P rendezvous with residential peers (§4.2's wowinc.com finding,
+	// observed from the UK lab).
+	wansview.Endpoints = append(wansview.Endpoints,
+		Endpoint{Key: "p2p", PeerISP: "WOW", Port: 32100, Wire: WireUDPEnc, Labs: ukOnly},
+		Endpoint{Key: "relay", Domain: "relay.ajcloud.net", Port: 32100, Wire: WireUDPEnc},
+	)
+	wansview.Activities[1].Endpoints = []string{"stream", "media", "relay", "api", "p2p"}
+	// §7.2: frequent idle "move" detections in both labs; power storms
+	// under VPN (Table 11: 151 power detections US→GB).
+	wansview.Idle.Spurious = append(wansview.Idle.Spurious, SpuriousActivity{
+		ActivityName: "move", Method: MethodLocal,
+		PerHour: map[string]float64{LabUS: 4.1, LabUK: 4.2},
+	})
+	wansview.Idle.ReconnectsPerHour = map[string]float64{
+		LabUS: 0.14, LabUK: 0.06, "US->GB": 5.6, "GB->US": 0.01,
+	}
+	out = append(out, wansview)
+
+	wimaker := mk("WiMaker Spy Camera", "WiMaker", "charger.cloudlinks.cn", ukOnly, oui(0x60, 0x01, 0x94), 0.6)
+	// The UK lab's plaintext-heavy camera (Table 6 note).
+	wimaker.Endpoints[1].Wire = WireTCPPlain
+	wimaker.Endpoints[2].Wire = WireMediaHTTP
+	wimaker.Idle.HeartbeatEndpoint = "api"
+	out = append(out, wimaker)
+
+	xiaomiCam := mk("Xiaomi Cam", "Xiaomi", "cam.api.io.mi.com", both, oui(0x78, 0x11, 0xdc), 0.8)
+	// §6.2: on motion, sends MAC + hour/date in plaintext to an EC2
+	// domain, with video in the payload.
+	xiaomiCam.Endpoints = append(xiaomiCam.Endpoints,
+		Endpoint{Key: "motion-log", Domain: "motion-xiaomi.us-east-1.compute.amazonaws.com", Port: 80, Wire: WireHTTP})
+	xiaomiCam.Activities[0].Endpoints = []string{"media", "motion-log", "api"}
+	xiaomiCam.PII = append(xiaomiCam.PII,
+		PIILeak{Template: "mac={mac}&ts={hour_date}&motion=1", Endpoint: "motion-log",
+			When: LeakOnActivity, ActivityName: "move"})
+	out = append(out, xiaomiCam)
+
+	yi := mk("Yi Cam", "Yi", "api.us.xiaoyi.com", both, oui(0x0c, 0x8c, 0x24), 0.8)
+	out = append(out, yi)
+
+	zmodo := mk("ZModo Doorbell", "Zmodo", "api.meshare.com", usOnly, oui(0x7c, 0xc7, 0x09), 0.9)
+	zmodo.Activities = append(zmodo.Activities, Activity{
+		Name: "ring", Methods: []Method{MethodLocal}, Endpoints: []string{"api", "media"},
+		Sig: sig(44, 1050, 200, ms(28), ms(12), 0.15),
+	})
+	// Uploads plaintext snapshots on power and on motion (§7.3), and
+	// floods idle periods with motion-like traffic (Table 11: 1845
+	// detections in 28 h).
+	zmodo.Endpoints = append(zmodo.Endpoints,
+		Endpoint{Key: "snap", Domain: "snap.meshare.com", Port: 80, Wire: WireMediaHTTP})
+	zmodo.Activities[0].Endpoints = []string{"media", "snap", "api"}
+	zmodo.Idle.Spurious = append(zmodo.Idle.Spurious, SpuriousActivity{
+		ActivityName: "move", Method: MethodLocal,
+		PerHour: map[string]float64{LabUS: 66},
+	})
+	out = append(out, zmodo)
+
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Smart hubs (7 models, all common → 14 instances).
+// ---------------------------------------------------------------------------
+
+func smartHubs() []*Profile {
+	var out []*Profile
+
+	mk := func(name, manufacturer, apiDomain string, o [3]byte) *Profile {
+		return &Profile{
+			Name: name, Category: CatHub, Manufacturer: manufacturer,
+			Labs: both, OUI: o, Distinct: 0.35,
+			Endpoints: []Endpoint{
+				{Key: "api", Domain: apiDomain, Port: 443, Wire: WireTLS},
+				{Key: "bridge", Domain: "bridge." + sldOf(apiDomain), Port: 8883, Wire: WireTCPMixed},
+				{Key: "fw", Domain: "fw." + sldOf(apiDomain), Port: 80, Wire: WireHTTP},
+				{Key: "ntp", Domain: "time.google.com", Port: 123, Wire: WireNTP},
+			},
+			PowerEndpoints: []string{"api", "bridge", "fw", "ntp"},
+			PowerSig:       sig(38, 380, 140, ms(70), ms(45), 2.0),
+			Activities: []Activity{
+				{Name: "on", Methods: []Method{MethodLAN, MethodWAN, MethodVoice}, Endpoints: []string{"bridge"},
+					Sig: sig(8, 210, 60, ms(90), ms(50), 1.1)},
+				{Name: "off", Methods: []Method{MethodLAN, MethodWAN, MethodVoice}, Endpoints: []string{"bridge"},
+					Sig: sig(8, 205, 60, ms(92), ms(50), 1.1)},
+				{Name: "brightness", Methods: []Method{MethodLAN, MethodWAN}, Endpoints: []string{"bridge"},
+					Sig: sig(9, 215, 62, ms(88), ms(50), 1.1)},
+				{Name: "color", Methods: []Method{MethodLAN, MethodWAN}, Endpoints: []string{"bridge"},
+					Sig: sig(9, 220, 64, ms(87), ms(50), 1.1)},
+				{Name: "move", Methods: []Method{MethodLocal}, Endpoints: []string{"bridge"},
+					Sig: sig(7, 190, 55, ms(95), ms(55), 1.0)},
+			},
+			Idle: IdleSpec{
+				HeartbeatPeriod:   61 * time.Second,
+				HeartbeatEndpoint: "bridge",
+				NTPPeriod:         31 * time.Minute,
+				ReconnectsPerHour: map[string]float64{LabUS: 0.05, LabUK: 0.06, "US->GB": 0.1, "GB->US": 0.08},
+			},
+		}
+	}
+
+	insteon := mk("Insteon Hub", "Insteon", "connect.insteon.com", oui(0x00, 0x0e, 0xf3))
+	// §6.2: sends its MAC in plaintext to an EC2 domain — UK lab only.
+	insteon.Endpoints = append(insteon.Endpoints,
+		Endpoint{Key: "reg", Domain: "reg-insteon.us-east-1.compute.amazonaws.com", Port: 80, Wire: WireHTTP})
+	insteon.PowerEndpoints = append(insteon.PowerEndpoints, "reg")
+	insteon.PII = append(insteon.PII, PIILeak{
+		Template: "hub={mac_nocolon}&cmd=status", Endpoint: "reg",
+		When: LeakOnPower, Labs: ukOnly,
+	})
+	out = append(out, insteon)
+
+	lightify := mk("Lightify Hub", "Osram", "api.lightify-api.org", oui(0x84, 0x18, 0x26))
+	// Table 11: idle power detections, more under VPN.
+	lightify.Idle.ReconnectsPerHour = map[string]float64{LabUK: 0.04, "US->GB": 0.16, "GB->US": 0.08}
+	out = append(out, lightify)
+
+	hue := mk("Philips Hue Hub", "Signify", "api.meethue.com", oui(0x00, 0x17, 0x88))
+	out = append(out, hue)
+
+	sengled := mk("Sengled Hub", "Sengled", "cloud.sengled.com", oui(0xb0, 0xce, 0x18))
+	out = append(out, sengled)
+
+	smartthings := mk("SmartThings Hub", "SmartThings", "api.smartthings.com", oui(0x24, 0xfd, 0x5b))
+	smartthings.Related = []string{"Samsung"}
+	smartthings.Distinct = 0.65 // the one hub Table 9 can infer in the US
+	out = append(out, smartthings)
+
+	wink := mk("Wink 2 Hub", "Wink", "api.wink.com", oui(0xb4, 0x79, 0xa7))
+	out = append(out, wink)
+
+	xiaomiHub := mk("Xiaomi Hub", "Xiaomi", "hub.api.io.mi.com", oui(0x04, 0xcf, 0x8c))
+	out = append(out, xiaomiHub)
+
+	return out
+}
+
+// sldOf trims the leftmost label of a FQDN, approximating "the vendor's
+// zone" for derived endpoints. "api.meethue.com" → "meethue.com".
+func sldOf(fqdn string) string {
+	for i := 0; i < len(fqdn); i++ {
+		if fqdn[i] == '.' {
+			return fqdn[i+1:]
+		}
+	}
+	return fqdn
+}
+
+// instanceCheck panics when the catalog drifts from the §3.1 totals; it
+// runs from tests.
+func instanceCheck(profiles []*Profile) error {
+	us, uk, common := 0, 0, 0
+	for _, p := range profiles {
+		if p.InLab(LabUS) {
+			us++
+		}
+		if p.InLab(LabUK) {
+			uk++
+		}
+		if p.Common() {
+			common++
+		}
+	}
+	if us != 46 || uk != 35 || common != 26 {
+		return fmt.Errorf("inventory drift: US=%d UK=%d common=%d (want 46/35/26)", us, uk, common)
+	}
+	return nil
+}

@@ -1,0 +1,449 @@
+package devices
+
+import "time"
+
+// ---------------------------------------------------------------------------
+// Home automation (10 models, 6 common → 16 instances).
+// ---------------------------------------------------------------------------
+
+func homeAutomation() []*Profile {
+	var out []*Profile
+
+	mk := func(name, manufacturer, apiDomain string, labs []string, o [3]byte) *Profile {
+		return &Profile{
+			Name: name, Category: CatHomeAuto, Manufacturer: manufacturer,
+			Labs: labs, OUI: o, Distinct: 0.2,
+			Endpoints: []Endpoint{
+				{Key: "api", Domain: apiDomain, Port: 443, Wire: WireTLS},
+				{Key: "ctl", Domain: "ctl." + sldOf(apiDomain), Port: 8886, Wire: WireTCPMixed},
+				{Key: "ntp", Domain: "time.google.com", Port: 123, Wire: WireNTP},
+			},
+			PowerEndpoints: []string{"api", "ctl", "ntp"},
+			PowerSig:       sig(30, 340, 120, ms(80), ms(45), 1.8),
+			Activities: []Activity{
+				{Name: "on", Methods: []Method{MethodLAN, MethodWAN, MethodVoice}, Endpoints: []string{"ctl", "api"},
+					Sig: sig(6, 180, 50, ms(95), ms(55), 1.0)},
+				{Name: "off", Methods: []Method{MethodLAN, MethodWAN, MethodVoice}, Endpoints: []string{"ctl", "api"},
+					Sig: sig(6, 178, 50, ms(96), ms(55), 1.0)},
+			},
+			Idle: IdleSpec{
+				HeartbeatPeriod:   73 * time.Second,
+				HeartbeatEndpoint: "ctl",
+				NTPPeriod:         29 * time.Minute,
+				ReconnectsPerHour: map[string]float64{LabUS: 0.04, LabUK: 0.05, "US->GB": 0.07, "GB->US": 0.06},
+			},
+		}
+	}
+
+	dlinkMov := mk("D-Link Mov Sensor", "D-Link", "mov.mydlink.com", usOnly, oui(0xb0, 0xc5, 0x55))
+	// Chatty plaintext sensor (Table 7: 14.9% unencrypted, 24.6% via VPN).
+	dlinkMov.Endpoints[1].Wire = WireTCPPlain
+	dlinkMov.Endpoints[1].ColumnPacketFactor = map[string]float64{"US->GB": 1.8}
+	dlinkMov.Idle.HeartbeatEndpoint = "api"
+	dlinkMov.Activities = append(dlinkMov.Activities, Activity{
+		Name: "move", Methods: []Method{MethodLocal}, Endpoints: []string{"ctl"},
+		Sig: sig(7, 185, 52, ms(90), ms(52), 1.0)})
+	out = append(out, dlinkMov)
+
+	flux := mk("Flux Bulb", "FluxSmart", "api.fluxsmart.com", usOnly, oui(0xac, 0xcf, 0x23))
+	flux.Activities = append(flux.Activities,
+		Activity{Name: "brightness", Methods: []Method{MethodLAN, MethodWAN}, Endpoints: []string{"ctl"},
+			Sig: sig(7, 182, 52, ms(94), ms(54), 1.0)},
+		Activity{Name: "color", Methods: []Method{MethodLAN, MethodWAN}, Endpoints: []string{"ctl"},
+			Sig: sig(7, 186, 52, ms(93), ms(54), 1.0)})
+	out = append(out, flux)
+
+	honeywell := mk("Honeywell T-stat", "Honeywell", "tstat.alarmnet.com", both, oui(0x00, 0xd0, 0x2d))
+	honeywell.Activities = append(honeywell.Activities, Activity{
+		Name: "settemp", Methods: []Method{MethodLAN, MethodWAN, MethodVoice}, Endpoints: []string{"api"},
+		Sig: sig(9, 260, 70, ms(85), ms(48), 1.3)})
+	out = append(out, honeywell)
+
+	magichome := mk("Magichome Strip", "Zengge", "wifi.magichue.net", both, oui(0xac, 0xcf, 0x24))
+	// §6.2: sends its MAC in plaintext to an Alibaba-hosted domain, from
+	// both labs.
+	magichome.Endpoints[1].Wire = WireTCPPlain
+	magichome.Idle.HeartbeatEndpoint = "api"
+	magichome.PII = append(magichome.PII, PIILeak{
+		Template: "{\"mac\":\"{mac}\",\"state\":\"sync\"}", Endpoint: "ctl", When: LeakAlways,
+	})
+	magichome.Activities = append(magichome.Activities,
+		Activity{Name: "color", Methods: []Method{MethodLAN, MethodWAN}, Endpoints: []string{"ctl"},
+			Sig: sig(7, 184, 52, ms(92), ms(54), 1.0)})
+	out = append(out, magichome)
+
+	nest := mk("Nest T-stat", "Nest", "api.nest.com", both, oui(0x18, 0xb4, 0x30))
+	nest.Related = []string{"Google"}
+	nest.Endpoints[1].Wire = WireTLS // Google-grade transport
+	nest.Activities = append(nest.Activities, Activity{
+		Name: "settemp", Methods: []Method{MethodLAN, MethodWAN, MethodVoice}, Endpoints: []string{"api"},
+		Sig: sig(10, 290, 80, ms(80), ms(45), 1.4)})
+	out = append(out, nest)
+
+	philipsBulb := mk("Philips Bulb", "Signify", "bulb.meethue.com", ukOnly, oui(0x00, 0x17, 0x89))
+	philipsBulb.Activities = append(philipsBulb.Activities,
+		Activity{Name: "brightness", Methods: []Method{MethodLAN, MethodWAN}, Endpoints: []string{"ctl"},
+			Sig: sig(7, 183, 52, ms(93), ms(54), 1.0)})
+	out = append(out, philipsBulb)
+
+	tplinkBulb := mk("TP-Link Bulb", "TP-Link", "use1-api.tplinkcloud.com", both, oui(0x50, 0xc7, 0xbf))
+	tplinkBulb.Endpoints[1].Wire = WireTCPPlain // TP-Link's JSON-over-TCP local protocol
+	tplinkBulb.Endpoints[1].ColumnPacketFactor = map[string]float64{
+		"GB": 0.55, "US->GB": 1.4, "GB->US": 1.35,
+	}
+	tplinkBulb.Idle.HeartbeatEndpoint = "api"
+	tplinkBulb.Endpoints = append(tplinkBulb.Endpoints,
+		Endpoint{Key: "branch", Domain: "api.branch.io", Port: 443, Wire: WireTLS, VPNOnly: true})
+	tplinkBulb.PowerEndpoints = append(tplinkBulb.PowerEndpoints, "branch")
+	tplinkBulb.Activities = append(tplinkBulb.Activities,
+		Activity{Name: "brightness", Methods: []Method{MethodLAN, MethodWAN, MethodVoice}, Endpoints: []string{"ctl", "api"},
+			Sig: sig(7, 181, 52, ms(94), ms(54), 1.0)},
+		Activity{Name: "color", Methods: []Method{MethodLAN, MethodWAN}, Endpoints: []string{"ctl", "api"},
+			Sig: sig(7, 185, 52, ms(93), ms(54), 1.0)})
+	out = append(out, tplinkBulb)
+
+	tplinkPlug := mk("TP-Link Plug", "TP-Link", "use1-api.tplinkcloud.com", both, oui(0x50, 0xc7, 0xc0))
+	tplinkPlug.Endpoints[1].Wire = WireTCPPlain // Table 7's top plaintext device
+	tplinkPlug.Endpoints[1].ColumnPacketFactor = map[string]float64{
+		"GB": 0.5, "US->GB": 1.45, "GB->US": 1.4,
+	}
+	tplinkPlug.Idle.HeartbeatEndpoint = "api"
+	tplinkPlug.Endpoints = append(tplinkPlug.Endpoints,
+		Endpoint{Key: "branch", Domain: "api.branch.io", Port: 443, Wire: WireTLS, VPNOnly: true})
+	tplinkPlug.PowerEndpoints = append(tplinkPlug.PowerEndpoints, "branch")
+	out = append(out, tplinkPlug)
+
+	wemo := mk("WeMo Plug", "Belkin", "api.xbcs.net", both, oui(0x14, 0x91, 0x82))
+	out = append(out, wemo)
+
+	xiaomiStrip := mk("Xiaomi Strip", "Xiaomi", "strip.api.io.mi.com", ukOnly, oui(0x04, 0xcf, 0x8d))
+	xiaomiStrip.Activities = append(xiaomiStrip.Activities,
+		Activity{Name: "color", Methods: []Method{MethodLAN, MethodWAN}, Endpoints: []string{"ctl"},
+			Sig: sig(7, 184, 52, ms(92), ms(54), 1.0)})
+	out = append(out, xiaomiStrip)
+
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// TVs (5 models, 4 common → 9 instances).
+// ---------------------------------------------------------------------------
+
+func tvs() []*Profile {
+	var out []*Profile
+
+	mk := func(name, manufacturer, apiDomain string, labs []string, o [3]byte) *Profile {
+		return &Profile{
+			Name: name, Category: CatTV, Manufacturer: manufacturer,
+			Labs: labs, OUI: o, Distinct: 0.8,
+			Endpoints: []Endpoint{
+				{Key: "api", Domain: apiDomain, Port: 443, Wire: WireTLS},
+				{Key: "menu", Domain: "menu." + sldOf(apiDomain), Port: 80, Wire: WireHTTP},
+				{Key: "cdn", Domain: "cdn.mzstatic.com", Port: 443, Wire: WireTLS},
+				{Key: "netflix", Domain: "api-global.netflix.com", Port: 443, Wire: WireTLS},
+				// Proprietary casting/telemetry channel: the partly
+				// encrypted traffic behind the TV rows' "unknown" share.
+				{Key: "cast", Domain: "cast." + sldOf(apiDomain), Port: 8009, Wire: WireTCPMixed},
+				{Key: "ntp", Domain: "time.google.com", Port: 123, Wire: WireNTP},
+			},
+			PowerEndpoints: []string{"api", "menu", "netflix", "cast", "ntp"},
+			PowerSig:       sig(65, 540, 210, ms(45), ms(28), 3.2),
+			Activities: []Activity{
+				{Name: "menu", Methods: []Method{MethodLocal, MethodLAN}, Endpoints: []string{"menu", "cast", "cdn"},
+					Sig: sig(26, 680, 240, ms(55), ms(30), 3.5)},
+				{Name: "voice", Methods: []Method{MethodLocal}, Endpoints: []string{"api", "cast"},
+					Sig: sig(18, 420, 110, ms(60), ms(25), 1.6)},
+				{Name: "volume", Methods: []Method{MethodLocal, MethodLAN}, Endpoints: []string{"cast", "api"},
+					Sig: sig(5, 160, 40, ms(110), ms(60), 1.0)},
+			},
+			Idle: IdleSpec{
+				HeartbeatPeriod:   101 * time.Second,
+				HeartbeatEndpoint: "api",
+				NTPPeriod:         23 * time.Minute,
+				ReconnectsPerHour: map[string]float64{LabUS: 0.04, LabUK: 0.1, "US->GB": 0.1, "GB->US": 0.04},
+				// TVs refresh their menus while idle (§7.2).
+				Spurious: []SpuriousActivity{{
+					ActivityName: "menu", Method: MethodLocal,
+					PerHour: map[string]float64{LabUS: 0.4, LabUK: 0.3, "US->GB": 0.1, "GB->US": 0.1},
+				}},
+			},
+		}
+	}
+
+	apple := mk("Apple TV", "Apple", "gs.apple.com", both, oui(0x90, 0xdd, 0x5d))
+	apple.Endpoints[1].Domain = "menu.apple.com"
+	apple.Endpoints[2].Domain = "cdn.mzstatic.com"
+	apple.Idle.Spurious[0].PerHour = map[string]float64{LabUS: 0.6, LabUK: 2.2, "US->GB": 0.45, "GB->US": 0.33}
+	apple.Idle.Spurious = append(apple.Idle.Spurious, SpuriousActivity{
+		ActivityName: "voice", Method: MethodLocal,
+		PerHour: map[string]float64{LabUK: 0.06, "US->GB": 0.04, "GB->US": 0.1},
+	})
+	out = append(out, apple)
+
+	fire := mk("Fire TV", "Amazon", "atv-ext.amazon.com", both, oui(0x74, 0xc2, 0x47))
+	fire.Endpoints[1].Domain = "menu.amazonvideo.com"
+	fire.Endpoints[2].Domain = "d1.cloudfront.net"
+	fire.Endpoints = append(fire.Endpoints,
+		Endpoint{Key: "branch", Domain: "api.branch.io", Port: 443, Wire: WireTLS, VPNOnly: true},
+		Endpoint{Key: "tracker", Domain: "device-metrics.doubleclick.net", Port: 443, Wire: WireTLS})
+	fire.PowerEndpoints = append(fire.PowerEndpoints, "branch", "tracker")
+	fire.Idle.Spurious = append(fire.Idle.Spurious,
+		SpuriousActivity{ActivityName: "menu", Method: MethodLAN,
+			PerHour: map[string]float64{LabUS: 0.22, "US->GB": 0.22}},
+		SpuriousActivity{ActivityName: "voice", Method: MethodLocal,
+			PerHour: map[string]float64{"US->GB": 0.45, "GB->US": 0.48}})
+	out = append(out, fire)
+
+	lg := mk("LG TV", "LG", "api.lgtvsdp.com", usOnly, oui(0xcc, 0x2d, 0x8c))
+	lg.Endpoints[1].Domain = "menu.lgtvcommon.com"
+	lg.Endpoints[2].Domain = "lgcdn.akamaized.net"
+	lg.Endpoints = append(lg.Endpoints,
+		Endpoint{Key: "ads", Domain: "ads.lgsmartad.com", Port: 443, Wire: WireTLS})
+	lg.PowerEndpoints = append(lg.PowerEndpoints, "ads")
+	lg.Activities = append(lg.Activities, Activity{
+		Name: "off", Methods: []Method{MethodLocal}, Endpoints: []string{"api"},
+		Sig: sig(9, 240, 70, ms(75), ms(40), 1.2)})
+	lg.Idle.Spurious = append(lg.Idle.Spurious,
+		SpuriousActivity{ActivityName: "off", Method: MethodLocal,
+			PerHour: map[string]float64{"US->GB": 0.63}},
+		SpuriousActivity{ActivityName: "voice", Method: MethodLocal,
+			PerHour: map[string]float64{"US->GB": 0.15}},
+		SpuriousActivity{ActivityName: "menu", Method: MethodLAN,
+			PerHour: map[string]float64{"US->GB": 0.11}})
+	out = append(out, lg)
+
+	roku := mk("Roku TV", "Roku", "api.roku.com", both, oui(0xd8, 0x31, 0x34))
+	roku.Endpoints[1].Domain = "menu.roku.com"
+	roku.Endpoints[2].Domain = "roku-cdn.akamaized.net"
+	roku.Endpoints = append(roku.Endpoints,
+		Endpoint{Key: "time", Domain: "time.rokutime.com", Port: 80, Wire: WireHTTP},
+		Endpoint{Key: "tracker", Domain: "beacon.scorecardresearch.com", Port: 443, Wire: WireTLS})
+	roku.PowerEndpoints = append(roku.PowerEndpoints, "time", "tracker")
+	roku.Activities = append(roku.Activities, Activity{
+		Name: "remote", Methods: []Method{MethodLAN}, Endpoints: []string{"api"},
+		Sig: sig(12, 310, 90, ms(65), ms(35), 1.3)})
+	roku.Idle.Spurious = append(roku.Idle.Spurious,
+		SpuriousActivity{ActivityName: "menu", Method: MethodLocal,
+			PerHour: map[string]float64{LabUS: 0.39, "US->GB": 0.11}},
+		SpuriousActivity{ActivityName: "remote", Method: MethodLAN,
+			PerHour: map[string]float64{LabUS: 0.04, LabUK: 0.03, "GB->US": 1.6}})
+	out = append(out, roku)
+
+	samsung := mk("Samsung TV", "Samsung", "api.samsungcloudsolution.com", both, oui(0x8c, 0xea, 0x48))
+	samsung.Endpoints[1].Domain = "menu.samsungcloudsolution.com"
+	samsung.Endpoints[2].Domain = "samsung-cdn.akamaized.net"
+	samsung.Endpoints = append(samsung.Endpoints,
+		Endpoint{Key: "acr", Domain: "log.samsungacr.com", Port: 443, Wire: WireTLS},
+		Endpoint{Key: "fwcdn", Domain: "fw.samsungotn.net", Port: 80, Wire: WireHTTP},
+		Endpoint{Key: "nuri", Domain: "ping.nuri.net", Port: 80, Wire: WireHTTP},
+		Endpoint{Key: "facebook", Domain: "graph.facebook.com", Port: 443, Wire: WireTLS, Labs: usOnly})
+	samsung.PowerEndpoints = append(samsung.PowerEndpoints, "acr", "fwcdn", "nuri", "facebook")
+	out = append(out, samsung)
+
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Audio (7 models, 4 common → 11 instances).
+// ---------------------------------------------------------------------------
+
+func audio() []*Profile {
+	var out []*Profile
+
+	mk := func(name, manufacturer, apiDomain string, labs []string, o [3]byte, distinct float64) *Profile {
+		return &Profile{
+			Name: name, Category: CatAudio, Manufacturer: manufacturer,
+			Labs: labs, OUI: o, Distinct: distinct,
+			Endpoints: []Endpoint{
+				{Key: "api", Domain: apiDomain, Port: 443, Wire: WireTLS},
+				{Key: "voice", Domain: "voice." + sldOf(apiDomain), Port: 443, Wire: WireTLS},
+				{Key: "meta", Domain: "meta." + sldOf(apiDomain), Port: 80, Wire: WireHTTP},
+				{Key: "cdn", Domain: slugDomain(name) + ".audio-cdn.akamaized.net", Port: 443, Wire: WireTLS},
+				// Music/cast sync channel: proprietary and only partly
+				// encrypted, the audio rows' "unknown" share (§5.2).
+				{Key: "sync", Domain: "sync." + sldOf(apiDomain), Port: 4070, Wire: WireTCPMixed},
+				{Key: "ntp", Domain: "time.google.com", Port: 123, Wire: WireNTP},
+			},
+			PowerEndpoints: []string{"api", "voice", "meta", "cdn", "sync", "ntp"},
+			PowerSig:       sig(48, 460, 180, ms(55), ms(32), 2.6),
+			Activities: []Activity{
+				{Name: "voice", Methods: []Method{MethodLocal}, Endpoints: []string{"voice", "sync", "cdn"},
+					Sig: sig(32, 760, 190, ms(42), ms(20), 2.2)},
+				{Name: "volume", Methods: []Method{MethodLocal}, Endpoints: []string{"sync", "api"},
+					Sig: sig(6, 190, 55, ms(100), ms(55), 1.0)},
+			},
+			Idle: IdleSpec{
+				HeartbeatPeriod:   53 * time.Second,
+				HeartbeatEndpoint: "sync",
+				NTPPeriod:         19 * time.Minute,
+				ReconnectsPerHour: map[string]float64{LabUS: 0.05, LabUK: 0.07, "US->GB": 0.1, "GB->US": 0.1},
+			},
+		}
+	}
+
+	allure := mk("Allure with Alexa", "Anker", "avs.amazonalexa.com", usOnly, oui(0x00, 0x71, 0x47), 0.6)
+	allure.Related = []string{"Amazon"}
+	out = append(out, allure)
+
+	echoDot := mk("Echo Dot", "Amazon", "avs-alexa.amazon.com", both, oui(0x74, 0xc2, 0x48), 0.85)
+	echoDot.Idle.Spurious = append(echoDot.Idle.Spurious, SpuriousActivity{
+		ActivityName: "volume", Method: MethodLocal,
+		PerHour: map[string]float64{"US->GB": 9.6},
+	})
+	echoDot.Idle.ReconnectsPerHour = map[string]float64{LabUS: 0.07, "US->GB": 0.11}
+	out = append(out, echoDot)
+
+	echoSpot := mk("Echo Spot", "Amazon", "avs-alexa.amazon.com", both, oui(0x74, 0xc2, 0x49), 0.85)
+	echoSpot.Idle.Spurious = append(echoSpot.Idle.Spurious, SpuriousActivity{
+		ActivityName: "volume", Method: MethodLocal,
+		PerHour: map[string]float64{LabUS: 0.18},
+	})
+	out = append(out, echoSpot)
+
+	echoPlus := mk("Echo Plus", "Amazon", "avs-alexa.amazon.com", both, oui(0x74, 0xc2, 0x4a), 0.85)
+	echoPlus.Idle.Spurious = append(echoPlus.Idle.Spurious, SpuriousActivity{
+		ActivityName: "volume", Method: MethodLocal,
+		PerHour: map[string]float64{"GB->US": 0.55},
+	})
+	out = append(out, echoPlus)
+
+	ghMini := mk("Google Home Mini", "Google", "clients.google.com", both, oui(0x30, 0xfd, 0x38), 0.8)
+	ghMini.Endpoints[1].Domain = "voice.googleapis.com"
+	ghMini.Endpoints[1].Wire = WireQUIC // Google backends speak QUIC
+	ghMini.Endpoints[2].Domain = "connectivitycheck.gstatic.com"
+	ghMini.Idle.Spurious = append(ghMini.Idle.Spurious, SpuriousActivity{
+		ActivityName: "voice", Method: MethodLocal,
+		PerHour: map[string]float64{LabUS: 0.11},
+	})
+	ghMini.Idle.ReconnectsPerHour = map[string]float64{LabUK: 0.1, "US->GB": 6.1, "GB->US": 0.19}
+	out = append(out, ghMini)
+
+	ghome := mk("Google Home", "Google", "clients.google.com", ukOnly, oui(0x30, 0xfd, 0x39), 0.8)
+	ghome.Endpoints[1].Domain = "voice.googleapis.com"
+	ghome.Endpoints[1].Wire = WireQUIC
+	ghome.Endpoints[2].Domain = "connectivitycheck.gstatic.com"
+	ghome.Idle.ReconnectsPerHour = map[string]float64{LabUK: 0.13, "GB->US": 0.11}
+	out = append(out, ghome)
+
+	invoke := mk("Invoke with Cortana", "Harman", "cortana.live.com", usOnly, oui(0x00, 0x71, 0x48), 0.7)
+	invoke.Related = []string{"Microsoft"}
+	invoke.Idle.Spurious = append(invoke.Idle.Spurious,
+		SpuriousActivity{ActivityName: "voice", Method: MethodLocal,
+			PerHour: map[string]float64{"US->GB": 0.15}},
+		SpuriousActivity{ActivityName: "volume", Method: MethodLocal,
+			PerHour: map[string]float64{"US->GB": 0.15}})
+	out = append(out, invoke)
+
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Appliances (11 models, none common → 11 instances).
+// ---------------------------------------------------------------------------
+
+func appliances() []*Profile {
+	var out []*Profile
+
+	mk := func(name, manufacturer, apiDomain string, labs []string, o [3]byte) *Profile {
+		return &Profile{
+			Name: name, Category: CatAppliance, Manufacturer: manufacturer,
+			Labs: labs, OUI: o, Distinct: 0.3,
+			Endpoints: []Endpoint{
+				{Key: "api", Domain: apiDomain, Port: 443, Wire: WireTLS},
+				{Key: "telemetry", Domain: "telemetry." + sldOf(apiDomain), Port: 8899, Wire: WireTCPMixed},
+				{Key: "ntp", Domain: "time.google.com", Port: 123, Wire: WireNTP},
+			},
+			PowerEndpoints: []string{"api", "telemetry", "ntp"},
+			PowerSig:       sig(26, 320, 110, ms(85), ms(50), 1.7),
+			Activities: []Activity{
+				{Name: "start", Methods: []Method{MethodLocal, MethodLAN, MethodWAN}, Endpoints: []string{"telemetry"},
+					Manual: true, Sig: sig(8, 230, 65, ms(90), ms(50), 1.2)},
+				{Name: "stop", Methods: []Method{MethodLocal, MethodLAN, MethodWAN}, Endpoints: []string{"telemetry"},
+					Manual: true, Sig: sig(8, 226, 65, ms(92), ms(50), 1.2)},
+			},
+			Idle: IdleSpec{
+				HeartbeatPeriod:   89 * time.Second,
+				HeartbeatEndpoint: "telemetry",
+				NTPPeriod:         37 * time.Minute,
+				ReconnectsPerHour: map[string]float64{LabUS: 0.04, LabUK: 0.05, "US->GB": 0.06, "GB->US": 0.07},
+			},
+		}
+	}
+
+	anova := mk("Anova Sousvide", "Anova", "api.anovaculinary.com", ukOnly, oui(0xf0, 0xb5, 0xb7))
+	anova.Activities = append(anova.Activities, Activity{
+		Name: "settemp", Methods: []Method{MethodLAN, MethodWAN}, Endpoints: []string{"telemetry"},
+		Manual: true, Sig: sig(8, 232, 66, ms(91), ms(50), 1.2)})
+	// Table 11: unstable UK Wi-Fi made the cooker reconnect constantly.
+	anova.Idle.ReconnectsPerHour = map[string]float64{LabUK: 2.1, "GB->US": 1.4}
+	out = append(out, anova)
+
+	behmor := mk("Behmor Brewer", "Behmor", "api.behmor.com", usOnly, oui(0x60, 0x01, 0x95))
+	out = append(out, behmor)
+
+	ge := mk("GE Microwave", "GE", "iot.geappliances.com", usOnly, oui(0xd8, 0x28, 0xc9))
+	out = append(out, ge)
+
+	netatmo := mk("Netatmo Weather", "Netatmo", "api.netatmo.net", ukOnly, oui(0x70, 0xee, 0x50))
+	netatmo.Activities = append(netatmo.Activities, Activity{
+		Name: "graphs", Methods: []Method{MethodWAN}, Endpoints: []string{"api"},
+		Sig: sig(16, 540, 160, ms(60), ms(30), 3.0)})
+	netatmo.Idle.Spurious = append(netatmo.Idle.Spurious, SpuriousActivity{
+		ActivityName: "graphs", Method: MethodWAN,
+		PerHour: map[string]float64{"GB->US": 0.74},
+	})
+	out = append(out, netatmo)
+
+	samsungDryer := mk("Samsung Dryer", "Samsung", "dryer.samsungcloud.com", usOnly, oui(0x8c, 0xea, 0x49))
+	samsungDryer.Endpoints[1].Wire = WireTCPPlain // Table 7: ~28% plaintext
+	samsungDryer.Endpoints[1].ColumnPacketFactor = map[string]float64{"US->GB": 1.3}
+	samsungDryer.Idle.HeartbeatEndpoint = "api"
+	out = append(out, samsungDryer)
+
+	samsungFridge := mk("Samsung Fridge", "Samsung", "fridge.samsungcloud.com", usOnly, oui(0x8c, 0xea, 0x4a))
+	samsungFridge.Distinct = 0.65
+	samsungFridge.Endpoints = append(samsungFridge.Endpoints,
+		// Registration beacons go to a raw EC2 host (§6.2: "sending MAC
+		// addresses unencrypted to an EC2 domain").
+		Endpoint{Key: "reg", Domain: "reg-samsung-rf263.us-east-1.compute.amazonaws.com", Port: 80, Wire: WireHTTP})
+	samsungFridge.PowerEndpoints = append(samsungFridge.PowerEndpoints, "reg")
+	// §6.2: sends its MAC unencrypted to an EC2 domain.
+	samsungFridge.PII = append(samsungFridge.PII, PIILeak{
+		Template: "device={mac}&model=RF263", Endpoint: "reg", When: LeakOnPower})
+	samsungFridge.Activities = append(samsungFridge.Activities,
+		Activity{Name: "viewinside", Methods: []Method{MethodLocal, MethodWAN}, Endpoints: []string{"api", "cloud"},
+			Sig: sig(22, 880, 240, ms(40), ms(20), 4.0)},
+		Activity{Name: "voice", Methods: []Method{MethodLocal}, Endpoints: []string{"api"},
+			Sig: sig(18, 640, 170, ms(48), ms(24), 2.0)},
+		Activity{Name: "volume", Methods: []Method{MethodLocal}, Endpoints: []string{"api"},
+			Sig: sig(6, 190, 55, ms(100), ms(55), 1.0)})
+	samsungFridge.Idle.Spurious = append(samsungFridge.Idle.Spurious,
+		SpuriousActivity{ActivityName: "voice", Method: MethodLocal,
+			PerHour: map[string]float64{LabUS: 0.21}},
+		SpuriousActivity{ActivityName: "viewinside", Method: MethodLocal,
+			PerHour: map[string]float64{LabUS: 0.11}})
+	out = append(out, samsungFridge)
+
+	samsungWasher := mk("Samsung Washer", "Samsung", "washer.samsungcloud.com", usOnly, oui(0x8c, 0xea, 0x4b))
+	samsungWasher.Endpoints[1].Wire = WireTCPPlain
+	samsungWasher.Endpoints[1].ColumnPacketFactor = map[string]float64{"US->GB": 1.3}
+	samsungWasher.Idle.HeartbeatEndpoint = "api"
+	out = append(out, samsungWasher)
+
+	smarterBrewer := mk("Smarter Brewer", "Smarter", "brewer.smarter.am", ukOnly, oui(0x5c, 0xcf, 0x7f))
+	out = append(out, smarterBrewer)
+
+	ikettle := mk("Smarter iKettle", "Smarter", "kettle.smarter.am", ukOnly, oui(0x5c, 0xcf, 0x80))
+	ikettle.Activities = append(ikettle.Activities, Activity{
+		Name: "settemp", Methods: []Method{MethodLAN}, Endpoints: []string{"telemetry"},
+		Manual: true, Sig: sig(8, 228, 66, ms(91), ms(50), 1.2)})
+	out = append(out, ikettle)
+
+	xiaomiCleaner := mk("Xiaomi Cleaner", "Xiaomi", "cleaner.api.io.mi.com", usOnly, oui(0x04, 0xcf, 0x8e))
+	out = append(out, xiaomiCleaner)
+
+	riceCooker := mk("Xiaomi Rice Cooker", "Xiaomi", "api.io.mi.com", usOnly, oui(0x04, 0xcf, 0x8f))
+	out = append(out, riceCooker)
+
+	return out
+}

@@ -1,0 +1,146 @@
+package devices
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+	"github.com/neu-sns/intl-iot-go/internal/pii"
+)
+
+// Instance is one physical device in one lab: a catalog profile plus the
+// identity the testbed assigned it (MAC) and the PII its account was
+// registered with (the ground truth the §6 PII scanner searches for).
+type Instance struct {
+	Profile *Profile
+	Lab     string
+	MAC     netx.MAC
+	PII     *pii.Corpus
+}
+
+// ID returns a stable identifier like "us/samsung-fridge".
+func (in *Instance) ID() string {
+	return strings.ToLower(in.Lab) + "/" + slug(in.Profile.Name)
+}
+
+func slug(name string) string {
+	out := make([]byte, 0, len(name))
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, byte(r))
+		case r == ' ' || r == '-' || r == '_':
+			out = append(out, '-')
+		}
+	}
+	return string(out)
+}
+
+// registrant holds the lab's study account details; both labs register
+// devices under the study's persona in their own jurisdiction (§3.3:
+// "user accounts ... created in the same country as the lab").
+var registrants = map[string]struct {
+	name, email, city, phone string
+}{
+	LabUS: {"Jane Doe", "jane.doe@moniotrlab.example", "Boston, MA", "+1-617-555-0188"},
+	LabUK: {"John Bull", "john.bull@moniotrlab.example", "London", "+44-20-7946-0188"},
+}
+
+// NewInstance creates the deterministic identity of a profile deployed in
+// a lab.
+func NewInstance(p *Profile, lab string) *Instance {
+	mac := macFor(p, lab)
+	reg := registrants[lab]
+	c := pii.NewCorpus(
+		pii.Item{Kind: pii.KindMAC, Value: mac.String()},
+		pii.Item{Kind: pii.KindUUID, Value: uuidFor(p, lab)},
+		pii.Item{Kind: pii.KindDeviceID, Value: fmt.Sprintf("%s-%08x", slug(p.Name), hash32(p.Name+lab+"devid"))},
+		pii.Item{Kind: pii.KindSerial, Value: fmt.Sprintf("SN%010d", hash32(p.Name+lab+"serial"))},
+		pii.Item{Kind: pii.KindName, Value: reg.name},
+		pii.Item{Kind: pii.KindEmail, Value: reg.email},
+		pii.Item{Kind: pii.KindGeo, Value: reg.city},
+		pii.Item{Kind: pii.KindPhone, Value: reg.phone},
+		pii.Item{Kind: pii.KindDeviceName, Value: reg.name + "'s " + p.Name},
+		pii.Item{Kind: pii.KindSSID, Value: "moniotr-" + strings.ToLower(lab)},
+	)
+	return &Instance{Profile: p, Lab: lab, MAC: mac, PII: c}
+}
+
+// Instances expands the catalog into the 81 per-lab device instances.
+func Instances() []*Instance {
+	var out []*Instance
+	for _, p := range Catalog() {
+		for _, lab := range p.Labs {
+			out = append(out, NewInstance(p, lab))
+		}
+	}
+	return out
+}
+
+// InstancesInLab filters Instances by lab.
+func InstancesInLab(lab string) []*Instance {
+	var out []*Instance
+	for _, in := range Instances() {
+		if in.Lab == lab {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+func macFor(p *Profile, lab string) netx.MAC {
+	h := hash32(p.Name + "|" + lab)
+	return netx.MAC{p.OUI[0], p.OUI[1], p.OUI[2], byte(h >> 16), byte(h >> 8), byte(h)}
+}
+
+func uuidFor(p *Profile, lab string) string {
+	a := hash32(p.Name + lab + "uuid-a")
+	b := hash32(p.Name + lab + "uuid-b")
+	return fmt.Sprintf("%08x-%04x-4%03x-8%03x-%08x%04x",
+		a, b>>16, b&0xfff, (a>>4)&0xfff, b, a&0xffff)
+}
+
+func hash32(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// ExpandTemplate substitutes PII placeholders in a leak template with the
+// instance's ground-truth values. {hour_date} expands to a timestamp-like
+// token filled in by the generator.
+func (in *Instance) ExpandTemplate(tpl string, hourDate string) string {
+	vals := map[string]string{}
+	for _, it := range in.PII.Items() {
+		switch it.Kind {
+		case pii.KindMAC:
+			vals["mac"] = it.Value
+			vals["mac_nocolon"] = strings.ReplaceAll(it.Value, ":", "")
+		case pii.KindUUID:
+			vals["uuid"] = it.Value
+		case pii.KindDeviceID:
+			vals["device_id"] = it.Value
+		case pii.KindSerial:
+			vals["serial"] = it.Value
+		case pii.KindName:
+			vals["name"] = it.Value
+		case pii.KindEmail:
+			vals["email"] = it.Value
+		case pii.KindGeo:
+			vals["geo"] = it.Value
+		case pii.KindPhone:
+			vals["phone"] = it.Value
+		case pii.KindDeviceName:
+			vals["device_name"] = it.Value
+		case pii.KindSSID:
+			vals["ssid"] = it.Value
+		}
+	}
+	vals["hour_date"] = hourDate
+	out := tpl
+	for k, v := range vals {
+		out = strings.ReplaceAll(out, "{"+k+"}", v)
+	}
+	return out
+}

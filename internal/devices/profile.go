@@ -1,0 +1,241 @@
+// Package devices models the 81 consumer IoT devices of the paper's
+// Table 1: their categories, manufacturers, lab deployments, network
+// endpoints, per-activity traffic signatures, PII leaks, and idle
+// behaviour. The synth.go generator turns a profile plus an experiment
+// request into wire-accurate packet sequences.
+package devices
+
+import (
+	"time"
+)
+
+// Category mirrors Table 1's six device categories.
+type Category string
+
+const (
+	CatCamera    Category = "Cameras"
+	CatHub       Category = "Smart Hubs"
+	CatHomeAuto  Category = "Home Automation"
+	CatTV        Category = "TV"
+	CatAudio     Category = "Audio"
+	CatAppliance Category = "Appliances"
+)
+
+// AllCategories in the paper's presentation order.
+var AllCategories = []Category{CatCamera, CatHub, CatHomeAuto, CatTV, CatAudio, CatAppliance}
+
+// Lab codes. The UK lab's country code is GB.
+const (
+	LabUS = "US"
+	LabUK = "GB"
+)
+
+// Wire is the application protocol an endpoint speaks; it determines what
+// the encryption analysis should conclude about the flow.
+type Wire string
+
+const (
+	WireTLS       Wire = "tls"       // TLS with SNI: encrypted
+	WireHTTP      Wire = "http"      // cleartext HTTP: unencrypted
+	WireHTTPS     Wire = "https"     // alias of TLS on 443
+	WireTCPEnc    Wire = "tcp-enc"   // proprietary binary, high entropy
+	WireTCPPlain  Wire = "tcp-plain" // proprietary textual, low entropy
+	WireTCPMixed  Wire = "tcp-mixed" // proprietary, partly encrypted: "unknown"
+	WireUDPEnc    Wire = "udp-enc"
+	WireUDPPlain  Wire = "udp-plain"
+	WireMediaTCP  Wire = "media-tcp"  // raw media stream (MP4 framing)
+	WireMediaHTTP Wire = "media-http" // media over HTTP (JPEG/MP4 body)
+	WireQUIC      Wire = "quic"       // QUIC over UDP 443: encrypted
+	WireNTP       Wire = "ntp"
+)
+
+// Endpoint is one destination a device talks to.
+type Endpoint struct {
+	// Key names the endpoint within the profile (activities refer to it).
+	Key string
+	// Domain is the FQDN contacted; empty for P2P endpoints.
+	Domain string
+	// PeerISP selects residential peers in that ISP's network instead of
+	// a DNS name (the Wansview camera's P2P rendezvous).
+	PeerISP string
+	// Port is the destination port.
+	Port uint16
+	// Wire is the protocol spoken.
+	Wire Wire
+	// Labs restricts the endpoint to specific labs (nil = both).
+	Labs []string
+	// VPNOnly marks endpoints contacted only when egressing via VPN
+	// (e.g. branch.io appearing for Fire TV under VPN, §4.2).
+	VPNOnly bool
+	// DirectOnly marks endpoints never contacted via VPN.
+	DirectOnly bool
+	// ColumnPacketFactor scales flow sizes per table column ("US", "GB",
+	// "US->GB", "GB->US"). Real devices change how chatty a channel is
+	// with region and egress — the TP-Link pair's local protocol talks
+	// half as much from the UK and noticeably more over VPN (Table 7's
+	// significant differences).
+	ColumnPacketFactor map[string]float64
+}
+
+// Method is how an interaction is triggered (§3.3).
+type Method string
+
+const (
+	MethodLocal Method = "local"       // physical interaction
+	MethodLAN   Method = "android_lan" // companion app, same network
+	MethodWAN   Method = "android_wan" // companion app, cloud path
+	MethodVoice Method = "alexa_voice" // via the Echo Spot assistant
+)
+
+// Signature describes the traffic shape of one activity: the generator
+// draws packet counts, sizes and inter-arrival times from it. Signatures
+// are what make activities distinguishable (or not) to the §6 classifier.
+type Signature struct {
+	// Packets is the mean number of data packets (device→server).
+	Packets int
+	// PktJitter is the ± range applied to Packets.
+	PktJitter int
+	// SizeMean and SizeStd parameterize data packet payload sizes.
+	SizeMean float64
+	SizeStd  float64
+	// IATMean and IATStd parameterize inter-packet gaps.
+	IATMean time.Duration
+	IATStd  time.Duration
+	// DownFactor scales the response volume relative to the request
+	// volume (2.0 = server sends twice as much).
+	DownFactor float64
+}
+
+// Activity is one labelled interaction of Table 1's bottom row.
+type Activity struct {
+	// Name is the canonical activity key ("move", "on", "menu", ...).
+	Name string
+	// Methods lists how the interaction can be triggered.
+	Methods []Method
+	// Endpoints lists the endpoint keys exercised.
+	Endpoints []string
+	// Sig is the traffic signature.
+	Sig Signature
+	// Manual marks activities that cannot be automated safely (§3.3);
+	// these repeat 3× instead of 30×.
+	Manual bool
+}
+
+// LeakWhen scopes a PII leak to a traffic phase.
+type LeakWhen string
+
+const (
+	LeakOnPower    LeakWhen = "power"
+	LeakOnActivity LeakWhen = "activity" // attached to ActivityName
+	LeakAlways     LeakWhen = "always"   // every plaintext message
+)
+
+// PIILeak declares that a device writes a PII template into plaintext
+// traffic toward an endpoint (§6.2's findings).
+type PIILeak struct {
+	// Template uses {mac}, {mac_nocolon}, {uuid}, {device_id}, {email},
+	// {name}, {device_name}, {geo}, {ssid}, {serial} placeholders.
+	Template string
+	// Endpoint is the endpoint key carrying the leak.
+	Endpoint string
+	// When scopes the leak.
+	When LeakWhen
+	// ActivityName scopes LeakOnActivity.
+	ActivityName string
+	// Labs restricts the leak (the Insteon hub leaks only from the UK).
+	Labs []string
+}
+
+// SpuriousActivity is idle-time traffic that looks exactly like a real
+// activity (§7.2's unexpected behaviours).
+type SpuriousActivity struct {
+	// ActivityName is the activity whose signature is replayed.
+	ActivityName string
+	// Method is the apparent interaction method.
+	Method Method
+	// PerHour maps a column key ("US", "GB", "US->GB", "GB->US") to the
+	// expected emissions per idle hour; missing keys mean none.
+	PerHour map[string]float64
+}
+
+// IdleSpec describes background behaviour when nobody uses the device.
+type IdleSpec struct {
+	// HeartbeatPeriod is the keep-alive cadence (0 disables).
+	HeartbeatPeriod time.Duration
+	// HeartbeatEndpoint is the endpoint key receiving keep-alives.
+	HeartbeatEndpoint string
+	// ReconnectsPerHour models Wi-Fi drops that replay the power
+	// handshake (why "power" dominates Table 11).
+	ReconnectsPerHour map[string]float64
+	// Spurious lists unexpected idle emissions.
+	Spurious []SpuriousActivity
+	// NTPPeriod is the time-sync cadence (0 disables).
+	NTPPeriod time.Duration
+}
+
+// Profile is one device model.
+type Profile struct {
+	// Name is the Table 1 device name.
+	Name string
+	// Category is the Table 1 category.
+	Category Category
+	// Manufacturer is the first-party organisation name.
+	Manufacturer string
+	// Related lists additional first-party organisations (§2.1's
+	// "related company responsible for fulfilling the device
+	// functionality": Google for Nest, Microsoft for the Invoke, ...).
+	Related []string
+	// Labs lists where the model is deployed: LabUS, LabUK or both.
+	Labs []string
+	// OUI is the manufacturer MAC prefix for generated identities.
+	OUI [3]byte
+	// Endpoints are the destinations the device contacts.
+	Endpoints []Endpoint
+	// Activities are the interactions of Table 1's bottom row.
+	Activities []Activity
+	// PowerEndpoints are exercised during the power-on handshake.
+	PowerEndpoints []string
+	// PowerSig shapes the power-on burst.
+	PowerSig Signature
+	// PII lists plaintext exposures.
+	PII []PIILeak
+	// Idle describes background behaviour.
+	Idle IdleSpec
+	// Distinct controls how separable this device's activity signatures
+	// are (1.0 = fully separable, 0 = identical). Cameras/TVs are high,
+	// home-automation devices low — this is what reproduces Table 9.
+	Distinct float64
+}
+
+// InLab reports whether the model is deployed in the given lab.
+func (p *Profile) InLab(lab string) bool {
+	for _, l := range p.Labs {
+		if l == lab {
+			return true
+		}
+	}
+	return false
+}
+
+// Endpoint returns the endpoint with the given key.
+func (p *Profile) Endpoint(key string) (*Endpoint, bool) {
+	for i := range p.Endpoints {
+		if p.Endpoints[i].Key == key {
+			return &p.Endpoints[i], true
+		}
+	}
+	return nil, false
+}
+
+// Activity returns the activity with the given name.
+func (p *Profile) Activity(name string) (*Activity, bool) {
+	for i := range p.Activities {
+		if p.Activities[i].Name == name {
+			return &p.Activities[i], true
+		}
+	}
+	return nil, false
+}
+
+// Common reports whether the model is in both labs.
+func (p *Profile) Common() bool { return p.InLab(LabUS) && p.InLab(LabUK) }

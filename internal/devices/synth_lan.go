@@ -1,0 +1,164 @@
+package devices
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+)
+
+// LAN chatter: the broadcast/multicast traffic every consumer device
+// emits on boot — ARP resolution of the gateway, a DHCP exchange, and
+// SSDP/mDNS discovery. The paper's analyses explicitly exclude LAN
+// traffic (§4.1 footnote); synthesizing it keeps the exclusion paths
+// honest and makes captures look like real tcpdump output.
+
+var (
+	ssdpAddr = netip.MustParseAddr("239.255.255.250")
+	mdnsAddr = netip.MustParseAddr("224.0.0.251")
+	bcast    = netip.MustParseAddr("255.255.255.255")
+)
+
+// BootLAN emits the boot-time LAN sequence. It precedes the power
+// handshake in RunPower captures.
+func (g *Gen) BootLAN(start time.Time) ([]*netx.Packet, time.Time) {
+	now := start
+	var pkts []*netx.Packet
+
+	// DHCP DISCOVER/OFFER/REQUEST/ACK (shapes only; options abbreviated).
+	xid := g.Env.Rng.Uint32()
+	for i, kind := range []byte{1, 2, 3, 5} { // discover, offer, request, ack
+		up := kind == 1 || kind == 3
+		payload := dhcpPayload(kind, xid, g.Env.DeviceMAC, g.Env.DeviceIP)
+		var p *netx.Packet
+		if up {
+			p = &netx.Packet{
+				Meta: netx.CaptureInfo{Timestamp: now},
+				Eth:  netx.Ethernet{Src: g.Env.DeviceMAC, Dst: netx.Broadcast, EtherType: netx.EtherTypeIPv4},
+				IPv4: &netx.IPv4{TTL: 64, Protocol: netx.ProtoUDP,
+					Src: netip.MustParseAddr("0.0.0.0"), Dst: bcast},
+				UDP:     &netx.UDP{SrcPort: 68, DstPort: 67},
+				Payload: payload,
+			}
+		} else {
+			p = &netx.Packet{
+				Meta: netx.CaptureInfo{Timestamp: now},
+				Eth:  netx.Ethernet{Src: g.Env.GatewayMAC, Dst: g.Env.DeviceMAC, EtherType: netx.EtherTypeIPv4},
+				IPv4: &netx.IPv4{TTL: 64, Protocol: netx.ProtoUDP,
+					Src: g.Env.GatewayIP, Dst: g.Env.DeviceIP},
+				UDP:     &netx.UDP{SrcPort: 67, DstPort: 68},
+				Payload: payload,
+			}
+		}
+		p.Meta.Length = p.WireLen()
+		p.Meta.CaptureLength = p.Meta.Length
+		pkts = append(pkts, p)
+		now = now.Add(time.Duration(8+4*i) * time.Millisecond)
+	}
+
+	// ARP: who-has gateway.
+	req := &netx.Packet{
+		Meta: netx.CaptureInfo{Timestamp: now},
+		Eth:  netx.Ethernet{Src: g.Env.DeviceMAC, Dst: netx.Broadcast, EtherType: netx.EtherTypeARP},
+		ARP: &netx.ARP{Op: netx.ARPRequest,
+			SenderMAC: g.Env.DeviceMAC, SenderIP: g.Env.DeviceIP, TargetIP: g.Env.GatewayIP},
+	}
+	req.Meta.Length = req.WireLen()
+	pkts = append(pkts, req)
+	now = now.Add(2 * time.Millisecond)
+	rep := &netx.Packet{
+		Meta: netx.CaptureInfo{Timestamp: now},
+		Eth:  netx.Ethernet{Src: g.Env.GatewayMAC, Dst: g.Env.DeviceMAC, EtherType: netx.EtherTypeARP},
+		ARP: &netx.ARP{Op: netx.ARPReply,
+			SenderMAC: g.Env.GatewayMAC, SenderIP: g.Env.GatewayIP,
+			TargetMAC: g.Env.DeviceMAC, TargetIP: g.Env.DeviceIP},
+	}
+	rep.Meta.Length = rep.WireLen()
+	pkts = append(pkts, rep)
+	now = now.Add(3 * time.Millisecond)
+
+	// SSDP NOTIFY and an mDNS announcement.
+	ssdp := fmt.Sprintf("NOTIFY * HTTP/1.1\r\nHOST: 239.255.255.250:1900\r\nNT: upnp:rootdevice\r\nUSN: uuid:%s\r\nSERVER: %s\r\n\r\n",
+		slug(g.Inst.Profile.Name), g.Inst.Profile.Name)
+	sp := g.multicastPacket(now, ssdpAddr, 1900, 1900, []byte(ssdp))
+	pkts = append(pkts, sp)
+	now = now.Add(5 * time.Millisecond)
+
+	mdns := mdnsAnnouncement(slug(g.Inst.Profile.Name), g.Env.DeviceIP)
+	mp := g.multicastPacket(now, mdnsAddr, 5353, 5353, mdns)
+	pkts = append(pkts, mp)
+	now = now.Add(5 * time.Millisecond)
+
+	return pkts, now
+}
+
+func (g *Gen) multicastPacket(ts time.Time, dst netip.Addr, sport, dport uint16, payload []byte) *netx.Packet {
+	d4 := dst.As4()
+	p := &netx.Packet{
+		Meta: netx.CaptureInfo{Timestamp: ts},
+		Eth: netx.Ethernet{
+			Src:       g.Env.DeviceMAC,
+			Dst:       netx.MAC{0x01, 0x00, 0x5e, d4[1] & 0x7f, d4[2], d4[3]},
+			EtherType: netx.EtherTypeIPv4,
+		},
+		IPv4:    &netx.IPv4{TTL: 1, Protocol: netx.ProtoUDP, Src: g.Env.DeviceIP, Dst: dst},
+		UDP:     &netx.UDP{SrcPort: sport, DstPort: dport},
+		Payload: payload,
+	}
+	p.Meta.Length = p.WireLen()
+	p.Meta.CaptureLength = p.Meta.Length
+	return p
+}
+
+// dhcpPayload builds a minimal BOOTP/DHCP message.
+func dhcpPayload(msgType byte, xid uint32, mac netx.MAC, ip netip.Addr) []byte {
+	b := make([]byte, 244)
+	op := byte(1) // BOOTREQUEST
+	if msgType == 2 || msgType == 5 {
+		op = 2
+	}
+	b[0], b[1], b[2], b[3] = op, 1, 6, 0
+	b[4], b[5], b[6], b[7] = byte(xid>>24), byte(xid>>16), byte(xid>>8), byte(xid)
+	if msgType == 2 || msgType == 5 {
+		a := ip.As4()
+		copy(b[16:20], a[:]) // yiaddr
+	}
+	copy(b[28:34], mac[:])
+	// magic cookie + option 53 (message type) + end.
+	copy(b[236:240], []byte{0x63, 0x82, 0x53, 0x63})
+	b[240], b[241], b[242] = 53, 1, msgType
+	b[243] = 255
+	return b
+}
+
+// mdnsAnnouncement builds a tiny mDNS response advertising the device.
+func mdnsAnnouncement(host string, ip netip.Addr) []byte {
+	// Hand-rolled: header with QR=1, one answer (A record, cache-flush).
+	name := host + ".local"
+	var b []byte
+	b = append(b, 0, 0, 0x84, 0, 0, 0, 0, 1, 0, 0, 0, 0)
+	for _, label := range splitLabels(name) {
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	b = append(b, 0)
+	b = append(b, 0, 1, 0x80, 1) // TYPE A, cache-flush | IN
+	b = append(b, 0, 0, 0x0e, 0x10, 0, 4)
+	a := ip.As4()
+	return append(b, a[:]...)
+}
+
+func splitLabels(name string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i == len(name) || name[i] == '.' {
+			if i > start {
+				out = append(out, name[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

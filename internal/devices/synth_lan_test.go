@@ -1,0 +1,87 @@
+package devices
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+)
+
+func TestBootLANShape(t *testing.T) {
+	p, _ := ByName("TP-Link Plug")
+	inst := NewInstance(p, LabUS)
+	g := NewGen(inst, testEnv(t, LabUS, false, 21))
+	pkts, end := g.BootLAN(synthStart)
+	if len(pkts) < 8 {
+		t.Fatalf("boot chatter too small: %d packets", len(pkts))
+	}
+	if !end.After(synthStart) {
+		t.Error("time did not advance")
+	}
+	var sawDHCP, sawARPReq, sawARPRep, sawSSDP, sawMDNS bool
+	for _, pk := range pkts {
+		// Every frame must round-trip through wire bytes.
+		if _, err := netx.Decode(pk.Meta.Timestamp, pk.Serialize()); err != nil {
+			t.Fatalf("boot packet does not round-trip: %v", err)
+		}
+		switch {
+		case pk.UDP != nil && pk.UDP.DstPort == 67:
+			sawDHCP = true
+			if pk.Payload[240] != 53 {
+				t.Error("DHCP option 53 missing")
+			}
+		case pk.ARP != nil && pk.ARP.Op == netx.ARPRequest:
+			sawARPReq = true
+		case pk.ARP != nil && pk.ARP.Op == netx.ARPReply:
+			sawARPRep = true
+		case pk.UDP != nil && pk.UDP.DstPort == 1900:
+			sawSSDP = true
+			if !strings.HasPrefix(string(pk.Payload), "NOTIFY * HTTP/1.1") {
+				t.Error("SSDP payload malformed")
+			}
+		case pk.UDP != nil && pk.UDP.DstPort == 5353:
+			sawMDNS = true
+		}
+	}
+	for name, saw := range map[string]bool{
+		"dhcp": sawDHCP, "arp-req": sawARPReq, "arp-rep": sawARPRep,
+		"ssdp": sawSSDP, "mdns": sawMDNS,
+	} {
+		if !saw {
+			t.Errorf("boot chatter missing %s", name)
+		}
+	}
+}
+
+func TestBootLANStaysLocal(t *testing.T) {
+	p, _ := ByName("Echo Dot")
+	inst := NewInstance(p, LabUS)
+	g := NewGen(inst, testEnv(t, LabUS, false, 22))
+	pkts, _ := g.BootLAN(synthStart)
+	for _, pk := range pkts {
+		dst, ok := pk.NetworkDst()
+		if !ok {
+			continue // ARP
+		}
+		if !dst.IsPrivate() && !dst.IsMulticast() &&
+			dst.String() != "255.255.255.255" {
+			t.Errorf("boot packet escaped the LAN: %v", dst)
+		}
+	}
+}
+
+func TestPowerIncludesBootChatter(t *testing.T) {
+	p, _ := ByName("Samsung TV")
+	inst := NewInstance(p, LabUS)
+	g := NewGen(inst, testEnv(t, LabUS, false, 23))
+	pkts, _ := g.Power(synthStart)
+	foundARP := false
+	for _, pk := range pkts {
+		if pk.ARP != nil {
+			foundARP = true
+		}
+	}
+	if !foundARP {
+		t.Error("power capture missing boot-time ARP")
+	}
+}

@@ -1,0 +1,393 @@
+// Package dnsmsg implements the DNS wire format (RFC 1035) for the message
+// shapes IoT devices emit: queries and responses carrying A, AAAA, CNAME
+// and PTR records, including name compression on the write path and
+// compression-pointer chasing on the read path.
+//
+// The destination analysis (§4.1 of the paper) depends on this codec: each
+// device flow's destination IP is mapped back to a second-level domain by
+// replaying the DNS responses captured from the device.
+package dnsmsg
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+)
+
+// Record types.
+const (
+	TypeA     uint16 = 1
+	TypeNS    uint16 = 2
+	TypeCNAME uint16 = 5
+	TypePTR   uint16 = 12
+	TypeTXT   uint16 = 16
+	TypeAAAA  uint16 = 28
+)
+
+// ClassIN is the Internet class.
+const ClassIN uint16 = 1
+
+// Response codes.
+const (
+	RCodeSuccess  uint8 = 0
+	RCodeNameErr  uint8 = 3 // NXDOMAIN
+	RCodeRefused  uint8 = 5
+	RCodeServFail uint8 = 2
+)
+
+// Header flag bits within the 16-bit flags word.
+const (
+	flagQR uint16 = 1 << 15
+	flagAA uint16 = 1 << 10
+	flagTC uint16 = 1 << 9
+	flagRD uint16 = 1 << 8
+	flagRA uint16 = 1 << 7
+)
+
+// Question is a DNS question entry.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// Resource is a DNS answer/authority/additional record. Exactly one of the
+// typed payload fields is meaningful given Type.
+type Resource struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+
+	// Addr holds the address for A/AAAA records.
+	Addr netx.Addr
+	// Target holds the target name for CNAME/NS/PTR records.
+	Target string
+	// Text holds TXT record strings joined as-is.
+	Text string
+}
+
+// Message is a DNS message.
+type Message struct {
+	ID        uint16
+	Response  bool
+	Authority bool
+	RecDesire bool
+	RecAvail  bool
+	RCode     uint8
+
+	Questions []Question
+	Answers   []Resource
+}
+
+// NewQuery builds a standard recursive query for (name, type).
+func NewQuery(id uint16, name string, qtype uint16) *Message {
+	return &Message{
+		ID:        id,
+		RecDesire: true,
+		Questions: []Question{{Name: name, Type: qtype, Class: ClassIN}},
+	}
+}
+
+// NewResponse builds a response mirroring q's ID and question.
+func NewResponse(q *Message, answers []Resource) *Message {
+	m := &Message{
+		ID:        q.ID,
+		Response:  true,
+		RecDesire: q.RecDesire,
+		RecAvail:  true,
+		Questions: append([]Question(nil), q.Questions...),
+		Answers:   answers,
+	}
+	return m
+}
+
+// errors
+var (
+	errShort    = errors.New("dnsmsg: message too short")
+	errBadName  = errors.New("dnsmsg: malformed name")
+	errPtrLoop  = errors.New("dnsmsg: compression pointer loop")
+	errNameSize = errors.New("dnsmsg: name exceeds 255 octets")
+)
+
+// Append serializes the message, appending to dst. Names are compressed
+// against earlier occurrences.
+func (m *Message) Append(dst []byte) []byte {
+	offsets := map[string]int{}
+	base := len(dst)
+	hdr := make([]byte, 12)
+	be16put(hdr[0:2], m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= flagQR
+	}
+	if m.Authority {
+		flags |= flagAA
+	}
+	if m.RecDesire {
+		flags |= flagRD
+	}
+	if m.RecAvail {
+		flags |= flagRA
+	}
+	flags |= uint16(m.RCode & 0xf)
+	be16put(hdr[2:4], flags)
+	be16put(hdr[4:6], uint16(len(m.Questions)))
+	be16put(hdr[6:8], uint16(len(m.Answers)))
+	dst = append(dst, hdr...)
+	for _, q := range m.Questions {
+		dst = appendName(dst, base, q.Name, offsets)
+		dst = append16(dst, q.Type)
+		dst = append16(dst, q.Class)
+	}
+	for _, a := range m.Answers {
+		dst = appendResource(dst, base, a, offsets)
+	}
+	return dst
+}
+
+// Pack serializes the message into a fresh buffer.
+func (m *Message) Pack() []byte { return m.Append(nil) }
+
+func appendResource(dst []byte, base int, r Resource, offsets map[string]int) []byte {
+	dst = appendName(dst, base, r.Name, offsets)
+	dst = append16(dst, r.Type)
+	cls := r.Class
+	if cls == 0 {
+		cls = ClassIN
+	}
+	dst = append16(dst, cls)
+	dst = append(dst, byte(r.TTL>>24), byte(r.TTL>>16), byte(r.TTL>>8), byte(r.TTL))
+	switch r.Type {
+	case TypeA:
+		a := r.Addr.As4()
+		dst = append16(dst, 4)
+		dst = append(dst, a[:]...)
+	case TypeAAAA:
+		a := r.Addr.As16()
+		dst = append16(dst, 16)
+		dst = append(dst, a[:]...)
+	case TypeCNAME, TypeNS, TypePTR:
+		// RDATA length depends on compression; write placeholder then fix.
+		lenAt := len(dst)
+		dst = append16(dst, 0)
+		start := len(dst)
+		dst = appendName(dst, base, r.Target, offsets)
+		be16put(dst[lenAt:lenAt+2], uint16(len(dst)-start))
+	case TypeTXT:
+		txt := r.Text
+		if len(txt) > 255 {
+			txt = txt[:255]
+		}
+		dst = append16(dst, uint16(len(txt)+1))
+		dst = append(dst, byte(len(txt)))
+		dst = append(dst, txt...)
+	default:
+		dst = append16(dst, 0)
+	}
+	return dst
+}
+
+// appendName writes a possibly-compressed domain name. offsets maps a
+// (case-normalized) suffix to its absolute offset from base.
+func appendName(dst []byte, base int, name string, offsets map[string]int) []byte {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return append(dst, 0)
+	}
+	labels := strings.Split(name, ".")
+	for i := range labels {
+		suffix := strings.ToLower(strings.Join(labels[i:], "."))
+		if off, ok := offsets[suffix]; ok && off < 0x3fff {
+			return append(dst, byte(0xc0|off>>8), byte(off))
+		}
+		off := len(dst) - base
+		if off < 0x3fff {
+			offsets[suffix] = off
+		}
+		l := labels[i]
+		if len(l) > 63 {
+			l = l[:63]
+		}
+		dst = append(dst, byte(len(l)))
+		dst = append(dst, l...)
+	}
+	return append(dst, 0)
+}
+
+// Parse decodes a DNS message.
+func Parse(b []byte) (*Message, error) {
+	if len(b) < 12 {
+		return nil, errShort
+	}
+	m := &Message{ID: be16(b[0:2])}
+	flags := be16(b[2:4])
+	m.Response = flags&flagQR != 0
+	m.Authority = flags&flagAA != 0
+	m.RecDesire = flags&flagRD != 0
+	m.RecAvail = flags&flagRA != 0
+	m.RCode = uint8(flags & 0xf)
+	qd := int(be16(b[4:6]))
+	an := int(be16(b[6:8]))
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, n, err := parseName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		off = n
+		if off+4 > len(b) {
+			return nil, errShort
+		}
+		m.Questions = append(m.Questions, Question{
+			Name: name, Type: be16(b[off : off+2]), Class: be16(b[off+2 : off+4]),
+		})
+		off += 4
+	}
+	for i := 0; i < an; i++ {
+		r, n, err := parseResource(b, off)
+		if err != nil {
+			return nil, err
+		}
+		m.Answers = append(m.Answers, r)
+		off = n
+	}
+	return m, nil
+}
+
+func parseResource(b []byte, off int) (Resource, int, error) {
+	name, off, err := parseName(b, off)
+	if err != nil {
+		return Resource{}, 0, err
+	}
+	if off+10 > len(b) {
+		return Resource{}, 0, errShort
+	}
+	r := Resource{
+		Name:  name,
+		Type:  be16(b[off : off+2]),
+		Class: be16(b[off+2 : off+4]),
+		TTL: uint32(b[off+4])<<24 | uint32(b[off+5])<<16 |
+			uint32(b[off+6])<<8 | uint32(b[off+7]),
+	}
+	rdlen := int(be16(b[off+8 : off+10]))
+	off += 10
+	if off+rdlen > len(b) {
+		return Resource{}, 0, errShort
+	}
+	rdata := b[off : off+rdlen]
+	switch r.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return Resource{}, 0, fmt.Errorf("dnsmsg: A record with %d-byte rdata", rdlen)
+		}
+		var a [4]byte
+		copy(a[:], rdata)
+		r.Addr = netip.AddrFrom4(a)
+	case TypeAAAA:
+		if rdlen != 16 {
+			return Resource{}, 0, fmt.Errorf("dnsmsg: AAAA record with %d-byte rdata", rdlen)
+		}
+		var a [16]byte
+		copy(a[:], rdata)
+		r.Addr = netip.AddrFrom16(a)
+	case TypeCNAME, TypeNS, TypePTR:
+		// The target may use compression pointers into the full message.
+		t, _, err := parseName(b, off)
+		if err != nil {
+			return Resource{}, 0, err
+		}
+		r.Target = t
+	case TypeTXT:
+		if rdlen > 0 {
+			n := int(rdata[0])
+			if n+1 <= rdlen {
+				r.Text = string(rdata[1 : 1+n])
+			}
+		}
+	}
+	return r, off + rdlen, nil
+}
+
+// parseName decodes a possibly-compressed name starting at off, returning
+// the dotted name and the offset just past the name's in-place encoding.
+func parseName(b []byte, off int) (string, int, error) {
+	var labels []string
+	jumped := false
+	end := off
+	hops := 0
+	total := 0
+	for {
+		if off >= len(b) {
+			return "", 0, errShort
+		}
+		c := int(b[off])
+		switch {
+		case c == 0:
+			if !jumped {
+				end = off + 1
+			}
+			name := strings.Join(labels, ".")
+			return name, end, nil
+		case c&0xc0 == 0xc0:
+			if off+1 >= len(b) {
+				return "", 0, errShort
+			}
+			ptr := (c&0x3f)<<8 | int(b[off+1])
+			if !jumped {
+				end = off + 2
+			}
+			jumped = true
+			hops++
+			if hops > 32 {
+				return "", 0, errPtrLoop
+			}
+			off = ptr
+		case c&0xc0 != 0:
+			return "", 0, errBadName
+		default:
+			if off+1+c > len(b) {
+				return "", 0, errShort
+			}
+			total += c + 1
+			if total > 255 {
+				return "", 0, errNameSize
+			}
+			labels = append(labels, string(b[off+1:off+1+c]))
+			off += 1 + c
+		}
+	}
+}
+
+// SLD returns the second-level domain of a host name, e.g.
+// "devs.tplinkcloud.com" → "tplinkcloud.com". Multi-part public suffixes
+// common in our simulated zones (co.uk, com.cn, com.sg) are handled.
+func SLD(name string) string {
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	parts := strings.Split(name, ".")
+	if len(parts) < 2 {
+		return name
+	}
+	tldIdx := len(parts) - 1
+	// Effective TLDs with two labels.
+	two := parts[len(parts)-2] + "." + parts[len(parts)-1]
+	switch two {
+	case "co.uk", "org.uk", "ac.uk", "gov.uk",
+		"com.cn", "net.cn", "org.cn",
+		"com.sg", "com.au", "co.jp", "co.kr", "com.br":
+		if len(parts) < 3 {
+			return name
+		}
+		tldIdx = len(parts) - 2
+	}
+	return strings.Join(parts[tldIdx-1:], ".")
+}
+
+func be16(b []byte) uint16       { return uint16(b[0])<<8 | uint16(b[1]) }
+func be16put(b []byte, v uint16) { b[0], b[1] = byte(v>>8), byte(v) }
+func append16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v>>8), byte(v))
+}

@@ -1,0 +1,182 @@
+package dnsmsg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0x1234, "devs.tplinkcloud.com", TypeA)
+	m, err := Parse(q.Pack())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.ID != 0x1234 || m.Response {
+		t.Errorf("header: %+v", m)
+	}
+	if len(m.Questions) != 1 {
+		t.Fatalf("questions = %d", len(m.Questions))
+	}
+	if m.Questions[0].Name != "devs.tplinkcloud.com" || m.Questions[0].Type != TypeA {
+		t.Errorf("question: %+v", m.Questions[0])
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	q := NewQuery(7, "api.amazonalexa.com", TypeA)
+	resp := NewResponse(q, []Resource{
+		{Name: "api.amazonalexa.com", Type: TypeCNAME, TTL: 60, Target: "alexa.us-east-1.elb.amazonaws.com"},
+		{Name: "alexa.us-east-1.elb.amazonaws.com", Type: TypeA, TTL: 60, Addr: netx.MustParseAddr("52.94.236.10")},
+	})
+	m, err := Parse(resp.Pack())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !m.Response || m.ID != 7 {
+		t.Errorf("header: %+v", m)
+	}
+	if len(m.Answers) != 2 {
+		t.Fatalf("answers = %d", len(m.Answers))
+	}
+	if m.Answers[0].Type != TypeCNAME || m.Answers[0].Target != "alexa.us-east-1.elb.amazonaws.com" {
+		t.Errorf("cname: %+v", m.Answers[0])
+	}
+	if m.Answers[1].Addr != netx.MustParseAddr("52.94.236.10") {
+		t.Errorf("A addr: %v", m.Answers[1].Addr)
+	}
+	if m.Answers[1].TTL != 60 {
+		t.Errorf("TTL: %d", m.Answers[1].TTL)
+	}
+}
+
+func TestAAAARoundTrip(t *testing.T) {
+	q := NewQuery(9, "ipv6.google.com", TypeAAAA)
+	resp := NewResponse(q, []Resource{
+		{Name: "ipv6.google.com", Type: TypeAAAA, TTL: 300, Addr: netx.MustParseAddr("2607:f8b0::1")},
+	})
+	m, err := Parse(resp.Pack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Answers[0].Addr != netx.MustParseAddr("2607:f8b0::1") {
+		t.Errorf("AAAA addr: %v", m.Answers[0].Addr)
+	}
+}
+
+func TestTXTRoundTrip(t *testing.T) {
+	q := NewQuery(3, "probe.example.com", TypeTXT)
+	resp := NewResponse(q, []Resource{
+		{Name: "probe.example.com", Type: TypeTXT, TTL: 30, Text: "v=1; fw=2.0.1"},
+	})
+	m, err := Parse(resp.Pack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Answers[0].Text != "v=1; fw=2.0.1" {
+		t.Errorf("TXT: %q", m.Answers[0].Text)
+	}
+}
+
+func TestNameCompressionUsed(t *testing.T) {
+	// A response where answer name equals question name should compress to
+	// a 2-byte pointer, making the message shorter than the uncompressed
+	// encoding.
+	q := NewQuery(1, "very.long.subdomain.example-cloud-provider.com", TypeA)
+	resp := NewResponse(q, []Resource{
+		{Name: "very.long.subdomain.example-cloud-provider.com", Type: TypeA, Addr: netx.MustParseAddr("10.0.0.1")},
+	})
+	packed := resp.Pack()
+	nameLen := len("very.long.subdomain.example-cloud-provider.com") + 2
+	uncompressed := 12 + nameLen + 4 + nameLen + 10 + 4
+	if len(packed) >= uncompressed {
+		t.Fatalf("no compression: packed %d bytes, uncompressed %d", len(packed), uncompressed)
+	}
+	// And it must still parse back correctly.
+	m, err := Parse(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Answers[0].Name != "very.long.subdomain.example-cloud-provider.com" {
+		t.Errorf("decompressed name: %q", m.Answers[0].Name)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte{1, 2, 3}); err == nil {
+		t.Error("short message should error")
+	}
+	// Pointer loop: name at offset 12 points at itself.
+	msg := make([]byte, 16)
+	msg[4], msg[5] = 0, 1 // one question
+	msg[12], msg[13] = 0xc0, 12
+	if _, err := Parse(msg); err == nil {
+		t.Error("pointer loop should error")
+	}
+}
+
+func TestRCodePropagates(t *testing.T) {
+	m := &Message{ID: 5, Response: true, RCode: RCodeNameErr}
+	got, err := Parse(m.Pack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RCode != RCodeNameErr {
+		t.Errorf("RCode = %d", got.RCode)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(id uint16, host string, a, b, c, d byte) bool {
+		// Sanitize host into a valid name.
+		host = sanitizeName(host)
+		q := NewQuery(id, host+".example.com", TypeA)
+		addr := netx.MustParseAddr("10.1.2.3")
+		_ = []byte{a, b, c, d}
+		resp := NewResponse(q, []Resource{{Name: host + ".example.com", Type: TypeA, Addr: addr}})
+		m, err := Parse(resp.Pack())
+		if err != nil {
+			return false
+		}
+		return m.ID == id && len(m.Answers) == 1 && m.Answers[0].Addr == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		}
+		if b.Len() >= 20 {
+			break
+		}
+	}
+	if b.Len() == 0 {
+		return "dev"
+	}
+	return b.String()
+}
+
+func TestSLD(t *testing.T) {
+	cases := map[string]string{
+		"devs.tplinkcloud.com":      "tplinkcloud.com",
+		"tplinkcloud.com":           "tplinkcloud.com",
+		"a.b.c.amazonaws.com":       "amazonaws.com",
+		"cdn.samsungcloud.co.uk":    "samsungcloud.co.uk",
+		"api.mi.com.cn":             "mi.com.cn",
+		"localhost":                 "localhost",
+		"Echo.Amazon.COM.":          "amazon.com",
+		"metrics.iot.us.example.io": "example.io",
+	}
+	for in, want := range cases {
+		if got := SLD(in); got != want {
+			t.Errorf("SLD(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

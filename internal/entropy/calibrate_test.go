@@ -1,0 +1,43 @@
+package entropy
+
+import "testing"
+
+func TestCalibrateReproducesSection51(t *testing.T) {
+	cal, err := Calibrate(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.1: H_enc(TLS) ≈ 0.85 (0.80–0.87); AEAD ciphertext is nearly
+	// uniform so our simulated pages land at the top of that band.
+	if cal.TLS.Mean < 0.8 {
+		t.Errorf("TLS mean entropy = %v, want > 0.8", cal.TLS.Mean)
+	}
+	// §5.1: fernet-style armored ciphertext ≈ 0.73 (0.67–0.75): base64
+	// caps entropy at log2(64)/8 = 0.75.
+	if cal.Fernet.Mean < 0.65 || cal.Fernet.Mean > 0.76 {
+		t.Errorf("fernet mean entropy = %v, want ≈ 0.73", cal.Fernet.Mean)
+	}
+	// §5.1: unencrypted web content ≈ 0.55 (0.35–0.62).
+	if cal.Plain.Mean < 0.35 || cal.Plain.Mean > 0.65 {
+		t.Errorf("plaintext mean entropy = %v, want ≈ 0.55", cal.Plain.Mean)
+	}
+	// Ordering: plain < fernet < TLS, with clear gaps.
+	if !(cal.Plain.Mean < cal.Fernet.Mean && cal.Fernet.Mean < cal.TLS.Mean) {
+		t.Errorf("ordering violated: %v %v %v", cal.Plain.Mean, cal.Fernet.Mean, cal.TLS.Mean)
+	}
+	// The paper's thresholds separate TLS from plaintext.
+	if cal.Plain.Max >= 0.8 {
+		t.Errorf("plaintext max %v crosses the encrypted threshold", cal.Plain.Max)
+	}
+	if cal.TLS.Min <= 0.4 {
+		t.Errorf("TLS min %v crosses the unencrypted threshold", cal.TLS.Min)
+	}
+}
+
+func TestCalibrateDeterministic(t *testing.T) {
+	a, _ := Calibrate(5, 7)
+	b, _ := Calibrate(5, 7)
+	if a.TLS.Mean != b.TLS.Mean || a.Plain.Mean != b.Plain.Mean {
+		t.Error("calibration not deterministic")
+	}
+}

@@ -1,0 +1,111 @@
+package entropy
+
+import (
+	"github.com/neu-sns/intl-iot-go/internal/httpmsg"
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+	"github.com/neu-sns/intl-iot-go/internal/tlsmsg"
+)
+
+// FlowVerdict is the result of classifying one flow.
+type FlowVerdict struct {
+	Class Class
+	// Method records how the verdict was reached: "tls", "quic", "http",
+	// "dns", "ntp", "encoding:<name>", "entropy", "printable", or "empty".
+	Method string
+	// Entropy is the measured payload entropy when Method == "entropy".
+	Entropy float64
+}
+
+// ClassifyFlow reproduces the paper's per-flow pipeline:
+//
+//  1. Wireshark-style protocol identification: TLS and QUIC are
+//     encrypted; DNS, NTP and HTTP with textual bodies are unencrypted.
+//  2. Known encodings (media/compression magic) are unencrypted media.
+//  3. Otherwise classify by normalized byte entropy of the payload.
+func ClassifyFlow(f *netx.Flow, t Thresholds) FlowVerdict {
+	up := f.PayloadUp(4096)
+	down := f.PayloadDown(4096)
+	head := up
+	if len(head) == 0 {
+		head = down
+	}
+	if len(head) == 0 {
+		return FlowVerdict{Class: ClassUnknown, Method: "empty"}
+	}
+
+	// Step 1: protocol identification.
+	if tlsmsg.LooksLikeTLS(up) || tlsmsg.LooksLikeTLS(down) {
+		return FlowVerdict{Class: ClassEncrypted, Method: "tls"}
+	}
+	if isQUIC(f, up) {
+		return FlowVerdict{Class: ClassEncrypted, Method: "quic"}
+	}
+	if isDNS(f) {
+		return FlowVerdict{Class: ClassUnencrypted, Method: "dns"}
+	}
+	if isNTP(f) {
+		return FlowVerdict{Class: ClassUnencrypted, Method: "ntp"}
+	}
+	if httpmsg.LooksLikeHTTPRequest(up) || httpmsg.LooksLikeHTTPResponse(down) {
+		// HTTP framing is plaintext, but bodies may be media (step 2) or
+		// even encrypted blobs tunnelled over HTTP; classify the body.
+		body := httpBody(up, down)
+		if len(body) >= t.MinPayload {
+			if enc, ok := DetectEncoding(body); ok {
+				return FlowVerdict{Class: ClassMedia, Method: "encoding:" + enc}
+			}
+			if c := t.ClassifyEntropy(body); c == ClassEncrypted {
+				return FlowVerdict{Class: ClassEncrypted, Method: "http-encrypted-body", Entropy: Shannon(body)}
+			}
+		}
+		return FlowVerdict{Class: ClassUnencrypted, Method: "http"}
+	}
+
+	// Step 2: encodings.
+	for _, b := range [][]byte{up, down} {
+		if enc, ok := DetectEncoding(b); ok {
+			return FlowVerdict{Class: ClassMedia, Method: "encoding:" + enc}
+		}
+	}
+
+	// Step 3: entropy over the combined payload.
+	all := append(append([]byte(nil), up...), down...)
+	if IsMostlyPrintable(all, 0.95) {
+		return FlowVerdict{Class: ClassUnencrypted, Method: "printable"}
+	}
+	v := FlowVerdict{Class: t.ClassifyEntropy(all), Method: "entropy", Entropy: Shannon(all)}
+	return v
+}
+
+func isQUIC(f *netx.Flow, up []byte) bool {
+	if f.Key.Proto != netx.ProtoUDP {
+		return false
+	}
+	port := f.Responder.Port
+	if port != 443 && port != 80 {
+		return false
+	}
+	// QUIC long header: first byte has the high bit set.
+	return len(up) > 0 && up[0]&0x80 != 0
+}
+
+func isDNS(f *netx.Flow) bool {
+	return f.Key.Proto == netx.ProtoUDP &&
+		(f.Responder.Port == 53 || f.Initiator.Port == 53 ||
+			f.Responder.Port == 5353 || f.Initiator.Port == 5353)
+}
+
+func isNTP(f *netx.Flow) bool {
+	return f.Key.Proto == netx.ProtoUDP &&
+		(f.Responder.Port == 123 || f.Initiator.Port == 123)
+}
+
+func httpBody(up, down []byte) []byte {
+	if resp, err := httpmsg.ParseResponse(down); err == nil && len(resp.Body) > 0 {
+		return resp.Body
+	}
+	if req, err := httpmsg.ParseRequest(up); err == nil && len(req.Body) > 0 {
+		return req.Body
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		c := weightedChoice(rng, activeChoices)
+		counts[c.name]++
+	}
+	// Every choice must be reachable.
+	for _, c := range activeChoices {
+		if counts[c.name] == 0 {
+			t.Errorf("choice %q never drawn", c.name)
+		}
+	}
+	// Heavier weights draw more often: fridge (5) vs brewer (1).
+	if counts["Samsung Fridge"] <= counts["Behmor Brewer"] {
+		t.Errorf("weighting ignored: fridge=%d brewer=%d",
+			counts["Samsung Fridge"], counts["Behmor Brewer"])
+	}
+}
+
+func TestActiveChoicesResolve(t *testing.T) {
+	// Every scripted participant interaction must reference a real US
+	// device and one of its real activities.
+	r, err := NewRunner(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range activeChoices {
+		slot, ok := r.US.Slot(c.name)
+		if !ok {
+			t.Errorf("active device %q not in US lab", c.name)
+			continue
+		}
+		if _, ok := slot.Inst.Profile.Activity(c.activity); !ok {
+			t.Errorf("%s: activity %q undefined", c.name, c.activity)
+		}
+	}
+	for _, c := range passiveDevices {
+		slot, ok := r.US.Slot(c.name)
+		if !ok {
+			t.Errorf("passive device %q not in US lab", c.name)
+			continue
+		}
+		if _, ok := slot.Inst.Profile.Activity(c.activity); !ok {
+			t.Errorf("%s: activity %q undefined", c.name, c.activity)
+		}
+	}
+}
+
+func TestRngForDeterministic(t *testing.T) {
+	a := rngFor(1, "x", "y")
+	b := rngFor(1, "x", "y")
+	if a.Int63() != b.Int63() {
+		t.Error("rngFor not deterministic")
+	}
+	c := rngFor(1, "x", "z")
+	d := rngFor(2, "x", "y")
+	if e := rngFor(1, "x", "y"); e.Int63() == c.Int63() && e.Int63() == d.Int63() {
+		t.Error("rngFor ignores tags/seed")
+	}
+}

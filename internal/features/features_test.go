@@ -1,0 +1,177 @@
+package features
+
+import (
+	"testing"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+)
+
+var t0 = time.Date(2019, 4, 1, 10, 0, 0, 0, time.UTC)
+
+func pkt(ts time.Time, size int) *netx.Packet {
+	return &netx.Packet{
+		Meta: netx.CaptureInfo{Timestamp: ts, Length: size},
+		Eth:  netx.Ethernet{EtherType: netx.EtherTypeIPv4},
+		IPv4: &netx.IPv4{Protocol: netx.ProtoTCP,
+			Src: netx.MustParseAddr("192.168.10.15"),
+			Dst: netx.MustParseAddr("52.1.2.3")},
+		TCP: &netx.TCP{SrcPort: 40000, DstPort: 443},
+	}
+}
+
+func TestVectorWidthMatchesNames(t *testing.T) {
+	for _, s := range []Set{SetPaper, SetExtended} {
+		pkts := []*netx.Packet{pkt(t0, 100), pkt(t0.Add(time.Second), 200)}
+		v := Vector(pkts, s)
+		if len(v) != NumFeatures(s) {
+			t.Errorf("set %d: vector %d, NumFeatures %d", s, len(v), NumFeatures(s))
+		}
+		if len(Names(s)) != NumFeatures(s) {
+			t.Errorf("set %d: names %d, NumFeatures %d", s, len(Names(s)), NumFeatures(s))
+		}
+	}
+}
+
+func TestVectorValues(t *testing.T) {
+	pkts := []*netx.Packet{
+		pkt(t0, 100),
+		pkt(t0.Add(time.Second), 300),
+		pkt(t0.Add(3*time.Second), 200),
+	}
+	v := Vector(pkts, SetPaper)
+	// size stats: min 100, max 300, mean 200.
+	if v[0] != 100 || v[1] != 300 || v[2] != 200 {
+		t.Errorf("size min/max/mean = %v %v %v", v[0], v[1], v[2])
+	}
+	// iat stats start at offset 14: min 1s, max 2s, mean 1.5s.
+	if v[14] != 1 || v[15] != 2 || v[16] != 1.5 {
+		t.Errorf("iat min/max/mean = %v %v %v", v[14], v[15], v[16])
+	}
+}
+
+func TestVectorSinglePacket(t *testing.T) {
+	v := Vector([]*netx.Packet{pkt(t0, 64)}, SetPaper)
+	if v[0] != 64 || v[1] != 64 {
+		t.Errorf("size stats: %v", v[:3])
+	}
+	// No inter-arrivals: all IAT stats zero.
+	for i := 14; i < 28; i++ {
+		if v[i] != 0 {
+			t.Errorf("iat feature %d = %v, want 0", i, v[i])
+		}
+	}
+}
+
+func TestVectorEmpty(t *testing.T) {
+	v := Vector(nil, SetPaper)
+	if len(v) != NumFeatures(SetPaper) {
+		t.Fatalf("len = %d", len(v))
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("feature %d = %v", i, x)
+		}
+	}
+}
+
+func TestVectorExtendedFeatures(t *testing.T) {
+	pkts := []*netx.Packet{pkt(t0, 100), pkt(t0.Add(2*time.Second), 100)}
+	v := Vector(pkts, SetExtended)
+	n := NumFeatures(SetPaper)
+	if v[n] != 200 { // total bytes
+		t.Errorf("total_bytes = %v", v[n])
+	}
+	if v[n+1] != 2 { // total packets
+		t.Errorf("total_packets = %v", v[n+1])
+	}
+	if v[n+2] != 1 { // all packets from private (device) addr
+		t.Errorf("frac_up = %v", v[n+2])
+	}
+	if v[n+3] != 2 { // duration seconds
+		t.Errorf("duration = %v", v[n+3])
+	}
+}
+
+func TestVectorUsesWireLenFallback(t *testing.T) {
+	p := pkt(t0, 0) // Meta.Length unset
+	v := Vector([]*netx.Packet{p}, SetPaper)
+	if v[0] <= 0 {
+		t.Errorf("size should fall back to WireLen, got %v", v[0])
+	}
+}
+
+func TestSegmentBasic(t *testing.T) {
+	pkts := []*netx.Packet{
+		pkt(t0, 100),
+		pkt(t0.Add(500*time.Millisecond), 100),
+		pkt(t0.Add(1*time.Second), 100),
+		// gap of 5s > 2s threshold
+		pkt(t0.Add(6*time.Second), 100),
+		pkt(t0.Add(7*time.Second), 100),
+	}
+	units := Segment(pkts, DefaultUnitGap)
+	if len(units) != 2 {
+		t.Fatalf("units = %d", len(units))
+	}
+	if len(units[0].Packets) != 3 || len(units[1].Packets) != 2 {
+		t.Errorf("unit sizes: %d, %d", len(units[0].Packets), len(units[1].Packets))
+	}
+	if units[0].Duration() != time.Second {
+		t.Errorf("unit 0 duration = %v", units[0].Duration())
+	}
+	if !units[1].Start.Equal(t0.Add(6 * time.Second)) {
+		t.Errorf("unit 1 start = %v", units[1].Start)
+	}
+}
+
+func TestSegmentBoundaryExactlyGap(t *testing.T) {
+	// Gap exactly equal to threshold does NOT split (must exceed).
+	pkts := []*netx.Packet{pkt(t0, 1), pkt(t0.Add(2*time.Second), 1)}
+	if units := Segment(pkts, 2*time.Second); len(units) != 1 {
+		t.Fatalf("units = %d, want 1", len(units))
+	}
+	pkts2 := []*netx.Packet{pkt(t0, 1), pkt(t0.Add(2*time.Second+time.Nanosecond), 1)}
+	if units := Segment(pkts2, 2*time.Second); len(units) != 2 {
+		t.Fatalf("units = %d, want 2", len(units))
+	}
+}
+
+func TestSegmentEmptyAndDefaults(t *testing.T) {
+	if Segment(nil, 0) != nil {
+		t.Error("empty input should yield nil")
+	}
+	pkts := []*netx.Packet{pkt(t0, 1), pkt(t0.Add(3*time.Second), 1)}
+	// gap<=0 falls back to the 2s default, so 3s gap splits.
+	if units := Segment(pkts, 0); len(units) != 2 {
+		t.Fatalf("default gap: units = %d", len(units))
+	}
+}
+
+func TestSegmentSinglePacket(t *testing.T) {
+	units := Segment([]*netx.Packet{pkt(t0, 1)}, DefaultUnitGap)
+	if len(units) != 1 || len(units[0].Packets) != 1 {
+		t.Fatalf("units: %+v", units)
+	}
+	if units[0].Duration() != 0 {
+		t.Errorf("duration = %v", units[0].Duration())
+	}
+}
+
+func TestDistinctSignaturesYieldDistinctVectors(t *testing.T) {
+	// A fast burst of big packets (video) vs slow heartbeat of small ones:
+	// their vectors must differ substantially in both size and IAT means.
+	var video, heartbeat []*netx.Packet
+	for i := 0; i < 50; i++ {
+		video = append(video, pkt(t0.Add(time.Duration(i)*20*time.Millisecond), 1400))
+		heartbeat = append(heartbeat, pkt(t0.Add(time.Duration(i)*time.Second), 80))
+	}
+	v1 := Vector(video, SetPaper)
+	v2 := Vector(heartbeat, SetPaper)
+	if v1[2] <= v2[2] {
+		t.Error("video mean size should exceed heartbeat mean size")
+	}
+	if v1[16] >= v2[16] {
+		t.Error("video mean IAT should be below heartbeat mean IAT")
+	}
+}

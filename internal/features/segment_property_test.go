@@ -1,0 +1,89 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+)
+
+// TestSegmentPartitionProperty checks the fundamental segmentation
+// invariants over random packet timings: every packet lands in exactly
+// one unit, order is preserved, and all intra-unit gaps respect the
+// threshold while inter-unit gaps exceed it.
+func TestSegmentPartitionProperty(t *testing.T) {
+	base := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%64) + 1
+		pkts := make([]*netx.Packet, count)
+		ts := base
+		for i := range pkts {
+			ts = ts.Add(time.Duration(rng.Intn(5000)) * time.Millisecond)
+			pkts[i] = &netx.Packet{Meta: netx.CaptureInfo{Timestamp: ts, Length: 60}}
+		}
+		gap := 2 * time.Second
+		units := Segment(pkts, gap)
+		total := 0
+		idx := 0
+		for ui, u := range units {
+			if len(u.Packets) == 0 {
+				return false
+			}
+			total += len(u.Packets)
+			for pi, p := range u.Packets {
+				if p != pkts[idx] {
+					return false // order or partition violated
+				}
+				if pi > 0 && p.Meta.Timestamp.Sub(u.Packets[pi-1].Meta.Timestamp) > gap {
+					return false // intra-unit gap too large
+				}
+				idx++
+			}
+			if ui > 0 {
+				prev := units[ui-1].Packets
+				boundary := u.Packets[0].Meta.Timestamp.Sub(prev[len(prev)-1].Meta.Timestamp)
+				if boundary <= gap {
+					return false // units should have been merged
+				}
+			}
+			if !u.Start.Equal(u.Packets[0].Meta.Timestamp) ||
+				!u.End.Equal(u.Packets[len(u.Packets)-1].Meta.Timestamp) {
+				return false
+			}
+		}
+		return total == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVectorFiniteProperty: feature vectors never contain NaN or Inf for
+// any packet sequence the generator can emit.
+func TestVectorFiniteProperty(t *testing.T) {
+	base := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n % 32)
+		pkts := make([]*netx.Packet, count)
+		ts := base
+		for i := range pkts {
+			ts = ts.Add(time.Duration(rng.Intn(3000)) * time.Millisecond)
+			pkts[i] = &netx.Packet{Meta: netx.CaptureInfo{Timestamp: ts, Length: rng.Intn(1500) + 1}}
+		}
+		for _, set := range []Set{SetPaper, SetExtended} {
+			for _, v := range Vector(pkts, set) {
+				if v != v || v > 1e18 || v < -1e18 { // NaN or absurd
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

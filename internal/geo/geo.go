@@ -1,0 +1,153 @@
+// Package geo implements IP geolocation in the style of the Passport tool
+// the paper uses (§4.1): a registry prior (the country a prefix is
+// *registered* in, which is often wrong for globally deployed CDNs and
+// clouds) refined with traceroute evidence (the countries of forward-path
+// hops and the speed-of-light constraint implied by round-trip times).
+package geo
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// Entry is one registered prefix.
+type Entry struct {
+	Prefix netip.Prefix
+	// Org is the registered owner.
+	Org string
+	// RegisteredCountry is the country the registry reports, which may
+	// differ from where the hosts actually are.
+	RegisteredCountry string
+}
+
+// DB is a longest-prefix-match registry database.
+type DB struct {
+	entries []Entry // sorted by prefix bits descending for LPM scan
+}
+
+// NewDB builds a DB from entries.
+func NewDB(entries []Entry) *DB {
+	db := &DB{entries: append([]Entry(nil), entries...)}
+	sort.Slice(db.entries, func(i, j int) bool {
+		return db.entries[i].Prefix.Bits() > db.entries[j].Prefix.Bits()
+	})
+	return db
+}
+
+// Add registers one prefix.
+func (db *DB) Add(e Entry) {
+	db.entries = append(db.entries, e)
+	sort.Slice(db.entries, func(i, j int) bool {
+		return db.entries[i].Prefix.Bits() > db.entries[j].Prefix.Bits()
+	})
+}
+
+// Lookup returns the longest-prefix-match entry for addr.
+func (db *DB) Lookup(addr netip.Addr) (Entry, bool) {
+	for _, e := range db.entries {
+		if e.Prefix.Contains(addr) {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Len is the number of registered prefixes.
+func (db *DB) Len() int { return len(db.entries) }
+
+// Hop is one traceroute hop observation.
+type Hop struct {
+	Addr netip.Addr
+	RTT  time.Duration
+	// Country is the hop's location when known (transit routers are
+	// typically resolvable via their registry entries).
+	Country string
+}
+
+// Tracerouter produces a forward path toward an address. The testbed's
+// simulated Internet implements this; a real deployment would shell out
+// to scamper/traceroute.
+type Tracerouter interface {
+	Traceroute(dst netip.Addr) ([]Hop, error)
+}
+
+// Locator combines the registry prior with traceroute evidence.
+type Locator struct {
+	DB *DB
+	TR Tracerouter
+	// MinRTTPerCountry maps a country code to the minimum plausible RTT
+	// from the vantage point; used as the speed-of-light filter. When a
+	// destination's measured RTT is far below the minimum RTT to its
+	// registered country, the registration is considered wrong.
+	MinRTTPerCountry map[string]time.Duration
+}
+
+// Result is a geolocation verdict.
+type Result struct {
+	Country string
+	// Source records the winning evidence: "registry", "traceroute", or
+	// "rtt-corrected".
+	Source string
+	// Org is the registered owner when known.
+	Org string
+}
+
+// Locate infers the country hosting addr.
+//
+// Decision procedure (a simplification of Passport's):
+//  1. Take the registry country as the prior.
+//  2. If traceroute evidence is available, the country of the last
+//     located hop(s) is a strong signal for the destination's country.
+//  3. If the destination RTT is inconsistent with the registered country
+//     (speed-of-light violation), prefer the traceroute country.
+func (l *Locator) Locate(addr netip.Addr) (Result, error) {
+	entry, haveReg := l.DB.Lookup(addr)
+	res := Result{Country: entry.RegisteredCountry, Source: "registry", Org: entry.Org}
+
+	var hops []Hop
+	if l.TR != nil {
+		var err error
+		hops, err = l.TR.Traceroute(addr)
+		if err != nil && !haveReg {
+			return Result{}, fmt.Errorf("geo: no registry entry and traceroute failed: %w", err)
+		}
+	}
+	if len(hops) == 0 {
+		if !haveReg {
+			return Result{}, fmt.Errorf("geo: no evidence for %v", addr)
+		}
+		return res, nil
+	}
+
+	// Last located hop country (skip unlocated hops).
+	lastCountry := ""
+	for i := len(hops) - 1; i >= 0; i-- {
+		if hops[i].Country != "" {
+			lastCountry = hops[i].Country
+			break
+		}
+	}
+	dstRTT := hops[len(hops)-1].RTT
+
+	if !haveReg {
+		if lastCountry == "" {
+			return Result{}, fmt.Errorf("geo: no evidence for %v", addr)
+		}
+		return Result{Country: lastCountry, Source: "traceroute"}, nil
+	}
+
+	if lastCountry != "" && lastCountry != res.Country {
+		// Disagreement: use the RTT constraint to arbitrate. If reaching
+		// the registered country needs more time than we measured, the
+		// registration must be wrong.
+		if min, ok := l.MinRTTPerCountry[res.Country]; ok && dstRTT < min {
+			return Result{Country: lastCountry, Source: "rtt-corrected", Org: entry.Org}, nil
+		}
+		// Otherwise trust the forward path's terminal hop: Passport
+		// weighs path evidence above registry data.
+		return Result{Country: lastCountry, Source: "traceroute", Org: entry.Org}, nil
+	}
+	return res, nil
+}

@@ -1,0 +1,159 @@
+package geo
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func testDB() *DB {
+	return NewDB([]Entry{
+		{Prefix: netip.MustParsePrefix("52.0.0.0/8"), Org: "Amazon", RegisteredCountry: "US"},
+		{Prefix: netip.MustParsePrefix("52.56.0.0/16"), Org: "Amazon", RegisteredCountry: "GB"},
+		{Prefix: netip.MustParsePrefix("47.88.0.0/16"), Org: "Alibaba", RegisteredCountry: "CN"},
+		// Deliberately mis-registered: servers physically in GB but the
+		// prefix is registered in the US (the common CDN failure mode).
+		{Prefix: netip.MustParsePrefix("104.64.0.0/16"), Org: "Akamai", RegisteredCountry: "US"},
+	})
+}
+
+func TestLookupLongestPrefix(t *testing.T) {
+	db := testDB()
+	e, ok := db.Lookup(netip.MustParseAddr("52.56.1.1"))
+	if !ok || e.RegisteredCountry != "GB" {
+		t.Fatalf("LPM failed: %+v %v", e, ok)
+	}
+	e, ok = db.Lookup(netip.MustParseAddr("52.1.1.1"))
+	if !ok || e.RegisteredCountry != "US" {
+		t.Fatalf("fallback to /8 failed: %+v %v", e, ok)
+	}
+	if _, ok := db.Lookup(netip.MustParseAddr("9.9.9.9")); ok {
+		t.Fatal("unregistered address should miss")
+	}
+}
+
+func TestDBAdd(t *testing.T) {
+	db := testDB()
+	n := db.Len()
+	db.Add(Entry{Prefix: netip.MustParsePrefix("9.9.9.0/24"), Org: "Quad9", RegisteredCountry: "CH"})
+	if db.Len() != n+1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if e, ok := db.Lookup(netip.MustParseAddr("9.9.9.9")); !ok || e.Org != "Quad9" {
+		t.Fatalf("added entry not found: %+v", e)
+	}
+}
+
+// fakeTR returns a fixed path.
+type fakeTR struct {
+	hops []Hop
+	err  error
+}
+
+func (f fakeTR) Traceroute(netip.Addr) ([]Hop, error) { return f.hops, f.err }
+
+func TestLocateRegistryOnly(t *testing.T) {
+	l := &Locator{DB: testDB()}
+	res, err := l.Locate(netip.MustParseAddr("47.88.3.4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Country != "CN" || res.Source != "registry" || res.Org != "Alibaba" {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestLocateTracerouteAgreement(t *testing.T) {
+	l := &Locator{
+		DB: testDB(),
+		TR: fakeTR{hops: []Hop{
+			{Country: "US", RTT: 5 * time.Millisecond},
+			{Country: "US", RTT: 12 * time.Millisecond},
+		}},
+	}
+	res, err := l.Locate(netip.MustParseAddr("52.1.1.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Country != "US" {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestLocateRTTCorrection(t *testing.T) {
+	// Vantage point in GB; destination registered US but 3 ms away with a
+	// GB terminal hop: registration must be wrong.
+	l := &Locator{
+		DB: testDB(),
+		TR: fakeTR{hops: []Hop{
+			{Country: "GB", RTT: 1 * time.Millisecond},
+			{Country: "GB", RTT: 3 * time.Millisecond},
+		}},
+		MinRTTPerCountry: map[string]time.Duration{"US": 60 * time.Millisecond},
+	}
+	res, err := l.Locate(netip.MustParseAddr("104.64.9.9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Country != "GB" || res.Source != "rtt-corrected" {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestLocateTraceroutePreferredOnDisagreement(t *testing.T) {
+	// No RTT constraint configured: path evidence still wins.
+	l := &Locator{
+		DB: testDB(),
+		TR: fakeTR{hops: []Hop{{Country: "DE", RTT: 20 * time.Millisecond}}},
+	}
+	res, err := l.Locate(netip.MustParseAddr("104.64.9.9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Country != "DE" || res.Source != "traceroute" {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestLocateUnlocatedHopsSkipped(t *testing.T) {
+	l := &Locator{
+		DB: testDB(),
+		TR: fakeTR{hops: []Hop{
+			{Country: "US", RTT: 5 * time.Millisecond},
+			{Country: "", RTT: 80 * time.Millisecond}, // anonymous hop
+		}},
+	}
+	res, err := l.Locate(netip.MustParseAddr("52.1.1.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Country != "US" {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestLocateNoEvidence(t *testing.T) {
+	l := &Locator{DB: NewDB(nil)}
+	if _, err := l.Locate(netip.MustParseAddr("1.2.3.4")); err == nil {
+		t.Fatal("expected error with no evidence")
+	}
+	l2 := &Locator{DB: NewDB(nil), TR: fakeTR{err: errors.New("down")}}
+	if _, err := l2.Locate(netip.MustParseAddr("1.2.3.4")); err == nil {
+		t.Fatal("expected error when traceroute fails and no registry")
+	}
+}
+
+func TestLocateTracerouteOnly(t *testing.T) {
+	l := &Locator{
+		DB: NewDB(nil),
+		TR: fakeTR{hops: []Hop{{Country: "KR", RTT: 90 * time.Millisecond}}},
+	}
+	res, err := l.Locate(netip.MustParseAddr("1.2.3.4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Country != "KR" || res.Source != "traceroute" {
+		t.Errorf("res = %+v", res)
+	}
+}

@@ -1,0 +1,233 @@
+// Package httpmsg implements a tolerant HTTP/1.x codec for raw TCP payload
+// streams. Unlike net/http it parses partial captures (a request whose
+// body was truncated by the snap length still yields its method, target
+// and Host header), which is what the destination and PII analyses need.
+package httpmsg
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Request is a parsed HTTP request head plus (possibly partial) body.
+type Request struct {
+	Method  string
+	Target  string
+	Proto   string
+	Headers map[string]string // canonical-cased keys
+	Body    []byte
+}
+
+// Response is a parsed HTTP response head plus (possibly partial) body.
+type Response struct {
+	Proto      string
+	StatusCode int
+	Status     string
+	Headers    map[string]string
+	Body       []byte
+}
+
+// Host returns the Host header of the request.
+func (r *Request) Host() string { return r.Headers["Host"] }
+
+// Marshal renders the request to wire bytes. A Content-Length header is
+// added when a body is present and none was set.
+func (r *Request) Marshal() []byte {
+	var b bytes.Buffer
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	target := r.Target
+	if target == "" {
+		target = "/"
+	}
+	fmt.Fprintf(&b, "%s %s %s\r\n", r.Method, target, proto)
+	writeHeaders(&b, r.Headers, len(r.Body))
+	b.WriteString("\r\n")
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+// Marshal renders the response to wire bytes.
+func (r *Response) Marshal() []byte {
+	var b bytes.Buffer
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	status := r.Status
+	if status == "" {
+		status = defaultStatus(r.StatusCode)
+	}
+	fmt.Fprintf(&b, "%s %d %s\r\n", proto, r.StatusCode, status)
+	writeHeaders(&b, r.Headers, len(r.Body))
+	b.WriteString("\r\n")
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+func writeHeaders(b *bytes.Buffer, headers map[string]string, bodyLen int) {
+	keys := make([]string, 0, len(headers))
+	hasCL := false
+	for k := range headers {
+		if strings.EqualFold(k, "Content-Length") {
+			hasCL = true
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s: %s\r\n", k, headers[k])
+	}
+	if !hasCL && bodyLen > 0 {
+		fmt.Fprintf(b, "Content-Length: %d\r\n", bodyLen)
+	}
+}
+
+func defaultStatus(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 204:
+		return "No Content"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 400:
+		return "Bad Request"
+	case 401:
+		return "Unauthorized"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Unknown"
+	}
+}
+
+// LooksLikeHTTPRequest reports whether b plausibly begins an HTTP request.
+func LooksLikeHTTPRequest(b []byte) bool {
+	for _, m := range [...]string{"GET ", "POST ", "PUT ", "HEAD ", "DELETE ", "OPTIONS ", "PATCH ", "CONNECT "} {
+		if len(b) >= len(m) && string(b[:len(m)]) == m {
+			return true
+		}
+	}
+	return false
+}
+
+// LooksLikeHTTPResponse reports whether b plausibly begins an HTTP response.
+func LooksLikeHTTPResponse(b []byte) bool {
+	return bytes.HasPrefix(b, []byte("HTTP/1.")) || bytes.HasPrefix(b, []byte("HTTP/2"))
+}
+
+// ParseRequest parses a request from the head of a client→server stream.
+// Truncated bodies are returned as-is; a missing final CRLF only loses the
+// body, never the head.
+func ParseRequest(b []byte) (*Request, error) {
+	if !LooksLikeHTTPRequest(b) {
+		return nil, fmt.Errorf("httpmsg: not an HTTP request")
+	}
+	head, body := splitHead(b)
+	lines := strings.Split(head, "\r\n")
+	first := strings.SplitN(lines[0], " ", 3)
+	if len(first) < 2 {
+		return nil, fmt.Errorf("httpmsg: malformed request line %q", lines[0])
+	}
+	req := &Request{Method: first[0], Target: first[1], Headers: parseHeaders(lines[1:]), Body: body}
+	if len(first) == 3 {
+		req.Proto = first[2]
+	}
+	if cl, ok := req.Headers["Content-Length"]; ok {
+		if n, err := strconv.Atoi(strings.TrimSpace(cl)); err == nil && n >= 0 && n < len(req.Body) {
+			req.Body = req.Body[:n]
+		}
+	}
+	return req, nil
+}
+
+// ParseResponse parses a response from the head of a server→client stream.
+func ParseResponse(b []byte) (*Response, error) {
+	if !LooksLikeHTTPResponse(b) {
+		return nil, fmt.Errorf("httpmsg: not an HTTP response")
+	}
+	head, body := splitHead(b)
+	lines := strings.Split(head, "\r\n")
+	first := strings.SplitN(lines[0], " ", 3)
+	if len(first) < 2 {
+		return nil, fmt.Errorf("httpmsg: malformed status line %q", lines[0])
+	}
+	code, err := strconv.Atoi(first[1])
+	if err != nil {
+		return nil, fmt.Errorf("httpmsg: bad status code %q", first[1])
+	}
+	resp := &Response{Proto: first[0], StatusCode: code, Headers: parseHeaders(lines[1:]), Body: body}
+	if len(first) == 3 {
+		resp.Status = first[2]
+	}
+	return resp, nil
+}
+
+// splitHead separates the header block from the body; if no blank line is
+// present the whole buffer is the head (truncated capture).
+func splitHead(b []byte) (string, []byte) {
+	if i := bytes.Index(b, []byte("\r\n\r\n")); i >= 0 {
+		return string(b[:i]), b[i+4:]
+	}
+	return string(b), nil
+}
+
+func parseHeaders(lines []string) map[string]string {
+	h := make(map[string]string, len(lines))
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		i := strings.IndexByte(line, ':')
+		if i < 0 {
+			continue
+		}
+		key := canonicalKey(strings.TrimSpace(line[:i]))
+		h[key] = strings.TrimSpace(line[i+1:])
+	}
+	return h
+}
+
+// canonicalKey normalizes header names to Canonical-Cased form.
+func canonicalKey(s string) string {
+	b := []byte(s)
+	upper := true
+	for i, c := range b {
+		if upper && 'a' <= c && c <= 'z' {
+			b[i] = c - 32
+		} else if !upper && 'A' <= c && c <= 'Z' {
+			b[i] = c + 32
+		}
+		upper = c == '-'
+	}
+	return string(b)
+}
+
+// ExtractHost scans a client→server stream for an HTTP request and returns
+// its Host header value (without port), if present.
+func ExtractHost(stream []byte) (string, bool) {
+	req, err := ParseRequest(stream)
+	if err != nil {
+		return "", false
+	}
+	host := req.Host()
+	if host == "" {
+		return "", false
+	}
+	if i := strings.LastIndexByte(host, ':'); i > 0 && !strings.Contains(host, "]") {
+		host = host[:i]
+	}
+	return host, true
+}

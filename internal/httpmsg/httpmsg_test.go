@@ -1,0 +1,148 @@
+package httpmsg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := &Request{
+		Method: "POST",
+		Target: "/v1/telemetry",
+		Headers: map[string]string{
+			"Host":         "metrics.samsungcloud.com",
+			"Content-Type": "application/json",
+		},
+		Body: []byte(`{"mac":"74:da:38:1b:20:01"}`),
+	}
+	got, err := ParseRequest(req.Marshal())
+	if err != nil {
+		t.Fatalf("ParseRequest: %v", err)
+	}
+	if got.Method != "POST" || got.Target != "/v1/telemetry" || got.Proto != "HTTP/1.1" {
+		t.Errorf("request line: %+v", got)
+	}
+	if got.Host() != "metrics.samsungcloud.com" {
+		t.Errorf("Host = %q", got.Host())
+	}
+	if !bytes.Equal(got.Body, req.Body) {
+		t.Errorf("body = %q", got.Body)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := &Response{
+		StatusCode: 200,
+		Headers:    map[string]string{"Content-Type": "text/plain"},
+		Body:       []byte("ok"),
+	}
+	got, err := ParseResponse(resp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StatusCode != 200 || got.Status != "OK" {
+		t.Errorf("status: %d %q", got.StatusCode, got.Status)
+	}
+	if string(got.Body) != "ok" {
+		t.Errorf("body: %q", got.Body)
+	}
+}
+
+func TestTruncatedRequestStillYieldsHead(t *testing.T) {
+	full := (&Request{
+		Method:  "GET",
+		Target:  "/firmware/v2.bin",
+		Headers: map[string]string{"Host": "fw.wansview.com"},
+	}).Marshal()
+	// Cut mid-headers.
+	cut := full[:len(full)-6]
+	got, err := ParseRequest(cut)
+	if err != nil {
+		t.Fatalf("ParseRequest(truncated): %v", err)
+	}
+	if got.Method != "GET" || got.Target != "/firmware/v2.bin" {
+		t.Errorf("head: %+v", got)
+	}
+}
+
+func TestContentLengthTrimsBody(t *testing.T) {
+	raw := "POST /x HTTP/1.1\r\nHost: a.com\r\nContent-Length: 3\r\n\r\nabcEXTRA"
+	got, err := ParseRequest([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body) != "abc" {
+		t.Errorf("body = %q", got.Body)
+	}
+}
+
+func TestExtractHost(t *testing.T) {
+	req := (&Request{Method: "GET", Target: "/", Headers: map[string]string{"Host": "api.tuyaus.com:8080"}}).Marshal()
+	host, ok := ExtractHost(req)
+	if !ok || host != "api.tuyaus.com" {
+		t.Fatalf("ExtractHost = %q, %v", host, ok)
+	}
+	if _, ok := ExtractHost([]byte{0x16, 0x03, 0x01}); ok {
+		t.Error("TLS bytes misdetected as HTTP")
+	}
+	noHost := (&Request{Method: "GET", Target: "/"}).Marshal()
+	if _, ok := ExtractHost(noHost); ok {
+		t.Error("request without Host should not extract")
+	}
+}
+
+func TestHeaderCanonicalization(t *testing.T) {
+	raw := "GET / HTTP/1.1\r\nhOsT: x.com\r\nx-device-id: abc\r\n\r\n"
+	got, err := ParseRequest([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Headers["Host"] != "x.com" {
+		t.Errorf("Host header: %v", got.Headers)
+	}
+	if got.Headers["X-Device-Id"] != "abc" {
+		t.Errorf("custom header: %v", got.Headers)
+	}
+}
+
+func TestLooksLike(t *testing.T) {
+	if !LooksLikeHTTPRequest([]byte("GET / HTTP/1.1\r\n")) {
+		t.Error("GET not detected")
+	}
+	if LooksLikeHTTPRequest([]byte("GETX")) {
+		t.Error("GETX misdetected")
+	}
+	if !LooksLikeHTTPResponse([]byte("HTTP/1.1 200 OK\r\n")) {
+		t.Error("response not detected")
+	}
+	if LooksLikeHTTPResponse([]byte("NOPE")) {
+		t.Error("NOPE misdetected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseRequest([]byte("\x16\x03\x01")); err == nil {
+		t.Error("TLS should not parse as request")
+	}
+	if _, err := ParseResponse([]byte("HTTP/1.1 abc OK\r\n\r\n")); err == nil {
+		t.Error("bad status code should error")
+	}
+}
+
+func TestMarshalAddsContentLength(t *testing.T) {
+	req := &Request{Method: "POST", Target: "/", Body: []byte("12345")}
+	wire := string(req.Marshal())
+	if !strings.Contains(wire, "Content-Length: 5\r\n") {
+		t.Errorf("missing Content-Length: %q", wire)
+	}
+}
+
+func TestResponseDefaultStatusTexts(t *testing.T) {
+	for _, code := range []int{200, 204, 301, 302, 400, 401, 403, 404, 500, 599} {
+		r := &Response{StatusCode: code}
+		if _, err := ParseResponse(r.Marshal()); err != nil {
+			t.Errorf("code %d: %v", code, err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package ml implements the machine-learning stack the paper's activity
+// inference uses (§6.1, §6.3): CART decision trees, a bagged random forest
+// with per-split feature subsampling, and stratified repeated
+// cross-validation. Everything is deterministic given a seed and built on
+// the standard library only.
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dataset is a design matrix with string labels.
+type Dataset struct {
+	// Features holds one row per example; all rows have equal length.
+	Features [][]float64
+	// Labels holds the class label of each row.
+	Labels []string
+	// FeatureNames optionally names the columns (for importance reports).
+	FeatureNames []string
+}
+
+// NumExamples is the number of rows.
+func (d *Dataset) NumExamples() int { return len(d.Features) }
+
+// NumFeatures is the number of columns (0 for an empty dataset).
+func (d *Dataset) NumFeatures() int {
+	if len(d.Features) == 0 {
+		return 0
+	}
+	return len(d.Features[0])
+}
+
+// Validate checks structural invariants.
+func (d *Dataset) Validate() error {
+	if len(d.Features) != len(d.Labels) {
+		return fmt.Errorf("ml: %d feature rows but %d labels", len(d.Features), len(d.Labels))
+	}
+	if len(d.Features) == 0 {
+		return nil
+	}
+	w := len(d.Features[0])
+	for i, row := range d.Features {
+		if len(row) != w {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), w)
+		}
+	}
+	if d.FeatureNames != nil && len(d.FeatureNames) != w {
+		return fmt.Errorf("ml: %d feature names for %d features", len(d.FeatureNames), w)
+	}
+	return nil
+}
+
+// Classes returns the distinct labels in first-seen order.
+func (d *Dataset) Classes() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, l := range d.Labels {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Subset returns a view of the dataset restricted to the given row
+// indices (rows are shared, not copied).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	sub := &Dataset{
+		Features:     make([][]float64, len(idx)),
+		Labels:       make([]string, len(idx)),
+		FeatureNames: d.FeatureNames,
+	}
+	for i, j := range idx {
+		sub.Features[i] = d.Features[j]
+		sub.Labels[i] = d.Labels[j]
+	}
+	return sub
+}
+
+// StratifiedSplit partitions the dataset into train/test index sets with
+// approximately trainFrac of each class in the training set. Classes with
+// a single example go to the training set.
+func StratifiedSplit(d *Dataset, trainFrac float64, rng *rand.Rand) (train, test []int) {
+	byClass := make(map[string][]int)
+	for i, l := range d.Labels {
+		byClass[l] = append(byClass[l], i)
+	}
+	for _, cls := range d.Classes() { // deterministic iteration order
+		idx := byClass[cls]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		nTrain := int(float64(len(idx))*trainFrac + 0.5)
+		if nTrain < 1 {
+			nTrain = 1
+		}
+		if nTrain > len(idx) {
+			nTrain = len(idx)
+		}
+		train = append(train, idx[:nTrain]...)
+		test = append(test, idx[nTrain:]...)
+	}
+	return train, test
+}

@@ -1,0 +1,96 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	// NumTrees is the ensemble size (default 50).
+	NumTrees int
+	// Tree configures individual trees; FeatureSubset 0 defaults to
+	// sqrt(numFeatures), the standard heuristic for classification.
+	Tree TreeConfig
+	// Seed drives bootstrap sampling and feature subsampling.
+	Seed int64
+}
+
+// DefaultForestConfig matches the scale the paper's classifiers used.
+var DefaultForestConfig = ForestConfig{
+	NumTrees: 50,
+	Tree:     TreeConfig{MaxDepth: 24, MinSamplesSplit: 2},
+}
+
+// Forest is a trained random-forest classifier.
+type Forest struct {
+	trees   []*Tree
+	classes []string
+}
+
+// TrainForest fits a bagged forest on d.
+func TrainForest(d *Dataset, cfg ForestConfig) *Forest {
+	if cfg.NumTrees <= 0 {
+		cfg.NumTrees = DefaultForestConfig.NumTrees
+	}
+	tcfg := cfg.Tree
+	if tcfg.MaxDepth == 0 && tcfg.MinSamplesSplit == 0 {
+		tcfg = DefaultForestConfig.Tree
+	}
+	if tcfg.FeatureSubset == 0 {
+		tcfg.FeatureSubset = int(math.Sqrt(float64(d.NumFeatures())) + 0.5)
+		if tcfg.FeatureSubset < 1 {
+			tcfg.FeatureSubset = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{classes: d.Classes()}
+	n := d.NumExamples()
+	for t := 0; t < cfg.NumTrees; t++ {
+		// Bootstrap sample with replacement.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		boot := d.Subset(idx)
+		treeRng := rand.New(rand.NewSource(rng.Int63()))
+		f.trees = append(f.trees, TrainTree(boot, tcfg, treeRng))
+	}
+	return f
+}
+
+// NumTrees is the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Predict returns the majority-vote class for x.
+func (f *Forest) Predict(x []float64) string {
+	votes := make(map[string]int)
+	for _, t := range f.trees {
+		votes[t.Predict(x)]++
+	}
+	best, bestN := "", -1
+	keys := make([]string, 0, len(votes))
+	for k := range votes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if votes[k] > bestN {
+			best, bestN = k, votes[k]
+		}
+	}
+	return best
+}
+
+// PredictProba returns the per-class vote share for x.
+func (f *Forest) PredictProba(x []float64) map[string]float64 {
+	votes := make(map[string]float64)
+	for _, t := range f.trees {
+		votes[t.Predict(x)]++
+	}
+	for k := range votes {
+		votes[k] /= float64(len(f.trees))
+	}
+	return votes
+}

@@ -1,0 +1,282 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthDataset builds a separable 2-class problem with noise: class "a"
+// clusters near (0,0,...), class "b" near (5,5,...).
+func synthDataset(n, features int, gap float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		row := make([]float64, features)
+		label := "a"
+		base := 0.0
+		if i%2 == 1 {
+			label = "b"
+			base = gap
+		}
+		for j := range row {
+			row[j] = base + rng.NormFloat64()
+		}
+		d.Features = append(d.Features, row)
+		d.Labels = append(d.Labels, label)
+	}
+	return d
+}
+
+func TestDatasetValidate(t *testing.T) {
+	d := &Dataset{Features: [][]float64{{1, 2}, {3, 4}}, Labels: []string{"x", "y"}}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Dataset{Features: [][]float64{{1, 2}, {3}}, Labels: []string{"x", "y"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	mismatched := &Dataset{Features: [][]float64{{1}}, Labels: []string{"x", "y"}}
+	if err := mismatched.Validate(); err == nil {
+		t.Error("label mismatch should fail")
+	}
+	named := &Dataset{Features: [][]float64{{1, 2}}, Labels: []string{"x"}, FeatureNames: []string{"only-one"}}
+	if err := named.Validate(); err == nil {
+		t.Error("feature-name mismatch should fail")
+	}
+	empty := &Dataset{}
+	if err := empty.Validate(); err != nil {
+		t.Errorf("empty dataset: %v", err)
+	}
+}
+
+func TestDatasetClassesOrder(t *testing.T) {
+	d := &Dataset{Labels: []string{"b", "a", "b", "c"}, Features: [][]float64{{0}, {0}, {0}, {0}}}
+	got := d.Classes()
+	if len(got) != 3 || got[0] != "b" || got[1] != "a" || got[2] != "c" {
+		t.Errorf("Classes = %v", got)
+	}
+}
+
+func TestStratifiedSplitPreservesClasses(t *testing.T) {
+	d := synthDataset(100, 2, 5, 1)
+	rng := rand.New(rand.NewSource(2))
+	train, test := StratifiedSplit(d, 0.7, rng)
+	if len(train)+len(test) != 100 {
+		t.Fatalf("split sizes: %d + %d", len(train), len(test))
+	}
+	counts := map[string]int{}
+	for _, i := range train {
+		counts[d.Labels[i]]++
+	}
+	// Each class has 50 examples; expect 35 in train.
+	if counts["a"] != 35 || counts["b"] != 35 {
+		t.Errorf("train class counts: %v", counts)
+	}
+}
+
+func TestStratifiedSplitSingletonClass(t *testing.T) {
+	d := &Dataset{
+		Features: [][]float64{{1}, {2}, {3}},
+		Labels:   []string{"solo", "big", "big"},
+	}
+	rng := rand.New(rand.NewSource(1))
+	train, test := StratifiedSplit(d, 0.7, rng)
+	foundSolo := false
+	for _, i := range train {
+		if d.Labels[i] == "solo" {
+			foundSolo = true
+		}
+	}
+	if !foundSolo {
+		t.Error("singleton class must land in training set")
+	}
+	_ = test
+}
+
+func TestTreeLearnsSeparableData(t *testing.T) {
+	d := synthDataset(200, 4, 6, 3)
+	tree := TrainTree(d, DefaultTreeConfig, nil)
+	correct := 0
+	for i, row := range d.Features {
+		if tree.Predict(row) == d.Labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 200; acc < 0.95 {
+		t.Errorf("training accuracy = %v", acc)
+	}
+	if tree.Depth() < 1 {
+		t.Error("tree should have at least one split")
+	}
+	if tree.NodeCount() < 3 {
+		t.Errorf("NodeCount = %d", tree.NodeCount())
+	}
+}
+
+func TestTreePureLeaf(t *testing.T) {
+	d := &Dataset{
+		Features: [][]float64{{1}, {2}, {3}},
+		Labels:   []string{"same", "same", "same"},
+	}
+	tree := TrainTree(d, DefaultTreeConfig, nil)
+	if tree.Depth() != 0 {
+		t.Errorf("pure dataset should be a leaf, depth %d", tree.Depth())
+	}
+	if tree.Predict([]float64{99}) != "same" {
+		t.Error("wrong leaf class")
+	}
+}
+
+func TestTreeMaxDepth(t *testing.T) {
+	d := synthDataset(200, 4, 1, 4) // overlapping classes force deep trees
+	tree := TrainTree(d, TreeConfig{MaxDepth: 3, MinSamplesSplit: 2}, nil)
+	if tree.Depth() > 3 {
+		t.Errorf("depth %d exceeds max 3", tree.Depth())
+	}
+}
+
+func TestTreeConstantFeatures(t *testing.T) {
+	d := &Dataset{
+		Features: [][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}},
+		Labels:   []string{"a", "b", "a", "b"},
+	}
+	tree := TrainTree(d, DefaultTreeConfig, nil)
+	// No split possible; majority (tie -> lexicographic) leaf.
+	if tree.Depth() != 0 {
+		t.Errorf("unsplittable data should give a leaf, depth %d", tree.Depth())
+	}
+	if got := tree.Predict([]float64{5, 5}); got != "a" {
+		t.Errorf("tie-break = %q, want lexicographic first", got)
+	}
+}
+
+func TestForestLearnsAndIsDeterministic(t *testing.T) {
+	d := synthDataset(200, 6, 5, 5)
+	cfg := ForestConfig{NumTrees: 15, Seed: 42}
+	f1 := TrainForest(d, cfg)
+	f2 := TrainForest(d, cfg)
+	if f1.NumTrees() != 15 {
+		t.Fatalf("NumTrees = %d", f1.NumTrees())
+	}
+	for i, row := range d.Features {
+		if f1.Predict(row) != f2.Predict(row) {
+			t.Fatalf("nondeterministic prediction at row %d", i)
+		}
+	}
+	correct := 0
+	for i, row := range d.Features {
+		if f1.Predict(row) == d.Labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 200; acc < 0.95 {
+		t.Errorf("forest training accuracy = %v", acc)
+	}
+}
+
+func TestForestPredictProba(t *testing.T) {
+	d := synthDataset(100, 3, 8, 6)
+	f := TrainForest(d, ForestConfig{NumTrees: 10, Seed: 1})
+	proba := f.PredictProba([]float64{0, 0, 0})
+	var total float64
+	for _, p := range proba {
+		total += p
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("probabilities sum to %v", total)
+	}
+	if proba["a"] < 0.8 {
+		t.Errorf("P(a|origin) = %v", proba["a"])
+	}
+}
+
+func TestForestGeneralizes(t *testing.T) {
+	train := synthDataset(300, 4, 5, 7)
+	test := synthDataset(100, 4, 5, 8)
+	f := TrainForest(train, ForestConfig{NumTrees: 25, Seed: 9})
+	correct := 0
+	for i, row := range test.Features {
+		if f.Predict(row) == test.Labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 100; acc < 0.9 {
+		t.Errorf("test accuracy = %v", acc)
+	}
+}
+
+func TestCrossValidateSeparable(t *testing.T) {
+	d := synthDataset(120, 4, 6, 10)
+	res := CrossValidate(d, CVConfig{TrainFrac: 0.7, Repeats: 5, Seed: 11,
+		Forest: ForestConfig{NumTrees: 10}})
+	if res.Repeats != 5 {
+		t.Fatalf("Repeats = %d", res.Repeats)
+	}
+	if res.DeviceF1 < 0.9 {
+		t.Errorf("DeviceF1 = %v", res.DeviceF1)
+	}
+	if res.ActivityF1["a"] < 0.9 || res.ActivityF1["b"] < 0.9 {
+		t.Errorf("ActivityF1 = %v", res.ActivityF1)
+	}
+	if res.Accuracy < 0.9 {
+		t.Errorf("Accuracy = %v", res.Accuracy)
+	}
+}
+
+func TestCrossValidateRandomLabelsLowF1(t *testing.T) {
+	// Labels independent of features: F1 should hover near chance, far
+	// below the paper's 0.75 inferrability bar.
+	rng := rand.New(rand.NewSource(12))
+	d := &Dataset{}
+	for i := 0; i < 200; i++ {
+		d.Features = append(d.Features, []float64{rng.Float64(), rng.Float64()})
+		label := "a"
+		if rng.Intn(2) == 1 {
+			label = "b"
+		}
+		d.Labels = append(d.Labels, label)
+	}
+	res := CrossValidate(d, CVConfig{TrainFrac: 0.7, Repeats: 5, Seed: 13,
+		Forest: ForestConfig{NumTrees: 10}})
+	if res.DeviceF1 > 0.75 {
+		t.Errorf("random labels gave DeviceF1 = %v (should be uninferrable)", res.DeviceF1)
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	d := synthDataset(80, 3, 4, 20)
+	cfg := CVConfig{TrainFrac: 0.7, Repeats: 3, Seed: 21, Forest: ForestConfig{NumTrees: 5}}
+	a := CrossValidate(d, cfg)
+	b := CrossValidate(d, cfg)
+	if a.DeviceF1 != b.DeviceF1 || a.Accuracy != b.Accuracy {
+		t.Errorf("nondeterministic CV: %v vs %v", a, b)
+	}
+}
+
+func TestPredictionWithinClassesProperty(t *testing.T) {
+	d := synthDataset(60, 3, 5, 30)
+	f := TrainForest(d, ForestConfig{NumTrees: 5, Seed: 31})
+	valid := map[string]bool{"a": true, "b": true}
+	prop := func(x, y, z float64) bool {
+		return valid[f.Predict([]float64{x, y, z})]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsetSharesRows(t *testing.T) {
+	d := synthDataset(10, 2, 5, 40)
+	sub := d.Subset([]int{0, 5, 9})
+	if sub.NumExamples() != 3 {
+		t.Fatalf("NumExamples = %d", sub.NumExamples())
+	}
+	if &sub.Features[0][0] != &d.Features[0][0] {
+		t.Error("subset should share row storage")
+	}
+	if sub.Labels[1] != d.Labels[5] {
+		t.Error("labels not mapped")
+	}
+}

@@ -1,0 +1,226 @@
+package ml
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// TreeConfig controls decision-tree induction.
+type TreeConfig struct {
+	// MaxDepth limits the tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinSamplesSplit is the minimum node size eligible for splitting.
+	MinSamplesSplit int
+	// MinImpurityDecrease is the minimum Gini decrease for a split.
+	MinImpurityDecrease float64
+	// FeatureSubset, if > 0, samples that many candidate features per
+	// split (the random-forest "mtry" parameter). 0 considers all.
+	FeatureSubset int
+}
+
+// DefaultTreeConfig mirrors common CART defaults.
+var DefaultTreeConfig = TreeConfig{MaxDepth: 24, MinSamplesSplit: 2}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	// leaf payload
+	class string
+	votes map[string]int
+}
+
+// Tree is a trained CART classifier.
+type Tree struct {
+	root    *node
+	classes []string
+}
+
+// TrainTree fits a CART tree on d. The rng drives feature subsampling
+// when cfg.FeatureSubset > 0; it may be nil when FeatureSubset == 0.
+func TrainTree(d *Dataset, cfg TreeConfig, rng *rand.Rand) *Tree {
+	if cfg.MinSamplesSplit < 2 {
+		cfg.MinSamplesSplit = 2
+	}
+	idx := make([]int, d.NumExamples())
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{classes: d.Classes()}
+	t.root = grow(d, idx, cfg, rng, 0)
+	return t
+}
+
+func grow(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand, depth int) *node {
+	votes := countVotes(d, idx)
+	if len(votes) == 1 ||
+		len(idx) < cfg.MinSamplesSplit ||
+		(cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) {
+		return leaf(votes)
+	}
+	feat, thr, gain := bestSplit(d, idx, cfg, rng)
+	if feat < 0 || gain <= cfg.MinImpurityDecrease {
+		return leaf(votes)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.Features[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return leaf(votes)
+	}
+	return &node{
+		feature:   feat,
+		threshold: thr,
+		left:      grow(d, left, cfg, rng, depth+1),
+		right:     grow(d, right, cfg, rng, depth+1),
+	}
+}
+
+func leaf(votes map[string]int) *node {
+	best, bestN := "", -1
+	// Deterministic tie-break by label order.
+	keys := make([]string, 0, len(votes))
+	for k := range votes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if votes[k] > bestN {
+			best, bestN = k, votes[k]
+		}
+	}
+	return &node{feature: -1, class: best, votes: votes}
+}
+
+func countVotes(d *Dataset, idx []int) map[string]int {
+	votes := make(map[string]int)
+	for _, i := range idx {
+		votes[d.Labels[i]]++
+	}
+	return votes
+}
+
+// gini computes the Gini impurity of a vote count.
+func gini(votes map[string]int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range votes {
+		p := float64(c) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+// bestSplit finds the (feature, threshold) pair with maximum Gini
+// decrease. Thresholds are midpoints between consecutive distinct sorted
+// feature values.
+func bestSplit(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand) (int, float64, float64) {
+	nf := d.NumFeatures()
+	if nf == 0 {
+		return -1, 0, 0
+	}
+	features := make([]int, nf)
+	for i := range features {
+		features[i] = i
+	}
+	if cfg.FeatureSubset > 0 && cfg.FeatureSubset < nf && rng != nil {
+		rng.Shuffle(nf, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:cfg.FeatureSubset]
+		sort.Ints(features) // determinism of tie-breaks
+	}
+
+	parentVotes := countVotes(d, idx)
+	parentGini := gini(parentVotes, len(idx))
+	bestFeat, bestThr, bestGain := -1, 0.0, 0.0
+
+	type valLabel struct {
+		v     float64
+		label string
+	}
+	vl := make([]valLabel, len(idx))
+
+	for _, f := range features {
+		for i, j := range idx {
+			vl[i] = valLabel{d.Features[j][f], d.Labels[j]}
+		}
+		sort.Slice(vl, func(a, b int) bool { return vl[a].v < vl[b].v })
+
+		leftVotes := make(map[string]int)
+		rightVotes := make(map[string]int)
+		for _, e := range vl {
+			rightVotes[e.label]++
+		}
+		nLeft := 0
+		nTotal := len(vl)
+		for i := 0; i < nTotal-1; i++ {
+			leftVotes[vl[i].label]++
+			rightVotes[vl[i].label]--
+			if rightVotes[vl[i].label] == 0 {
+				delete(rightVotes, vl[i].label)
+			}
+			nLeft++
+			if vl[i].v == vl[i+1].v {
+				continue // can't split between equal values
+			}
+			nRight := nTotal - nLeft
+			w := float64(nLeft)/float64(nTotal)*gini(leftVotes, nLeft) +
+				float64(nRight)/float64(nTotal)*gini(rightVotes, nRight)
+			gain := parentGini - w
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThr = (vl[i].v + vl[i+1].v) / 2
+			}
+		}
+	}
+	return bestFeat, bestThr, bestGain
+}
+
+// Predict returns the predicted class for one feature vector.
+func (t *Tree) Predict(x []float64) string {
+	n := t.root
+	for n.feature >= 0 {
+		if n.feature < len(x) && x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}
+
+// Depth returns the depth of the tree (a single leaf has depth 0).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n == nil || n.feature < 0 {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// NodeCount returns the number of nodes in the tree.
+func (t *Tree) NodeCount() int { return nodeCount(t.root) }
+
+func nodeCount(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.feature < 0 {
+		return 1
+	}
+	return 1 + nodeCount(n.left) + nodeCount(n.right)
+}

@@ -1,0 +1,143 @@
+package mud
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/cloud"
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+func TestGenerateDocument(t *testing.T) {
+	p, _ := devices.ByName("TP-Link Plug")
+	doc := Generate(p)
+	if doc.Manufacturer != "TP-Link" || doc.ModelName != "TP-Link Plug" {
+		t.Errorf("header: %+v", doc)
+	}
+	if len(doc.FromDevice) < 3 {
+		t.Fatalf("ACEs = %d", len(doc.FromDevice))
+	}
+	// DNS rule first; VPN-only endpoints (branch.io) excluded.
+	if !doc.FromDevice[0].LocalNetworks {
+		t.Error("missing local DNS rule")
+	}
+	for _, ace := range doc.FromDevice {
+		if strings.Contains(ace.DNSName, "branch.io") {
+			t.Error("VPN-only endpoint leaked into profile")
+		}
+	}
+}
+
+func TestDocumentRoundTrip(t *testing.T) {
+	p, _ := devices.ByName("Echo Dot")
+	doc := Generate(p)
+	b, err := doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelName != doc.ModelName || len(got.FromDevice) != len(doc.FromDevice) {
+		t.Errorf("round trip: %+v", got)
+	}
+	if _, err := Parse([]byte(`{"mud-version": 9}`)); err == nil {
+		t.Error("unsupported version accepted")
+	}
+	if _, err := Parse([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestMatchName(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"api.example.com", "api.example.com", true},
+		{"api.example.com", "other.example.com", false},
+		{"*.example.com", "api.example.com", true},
+		{"*.example.com", "example.com", true},
+		{"*.example.com", "examplexcom", false},
+		{"api.example.com", "", false},
+	}
+	for _, c := range cases {
+		if got := matchName(c.pattern, c.name); got != c.want {
+			t.Errorf("matchName(%q, %q) = %v", c.pattern, c.name, got)
+		}
+	}
+}
+
+func TestCheckerCompliantDevice(t *testing.T) {
+	lab, err := testbed.NewLab(devices.LabUS, cloud.New(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, _ := lab.Slot("Echo Dot")
+	doc := Generate(slot.Inst.Profile)
+	exp := lab.RunPower(slot, false, testbed.StudyEpoch, 0)
+	vs := NewChecker(doc).Check(exp.Packets)
+	if len(vs) != 0 {
+		t.Errorf("compliant device flagged: %+v", vs)
+	}
+}
+
+func TestCheckerFlagsVPNOnlyDestinations(t *testing.T) {
+	lab, err := testbed.NewLab(devices.LabUS, cloud.New(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, _ := lab.Slot("Fire TV")
+	doc := Generate(slot.Inst.Profile)
+	// Under VPN the Fire TV contacts branch.io, which the manufacturer's
+	// profile never declared.
+	exp := lab.RunPower(slot, true, testbed.StudyEpoch, 0)
+	vs := NewChecker(doc).Check(exp.Packets)
+	found := false
+	for _, v := range vs {
+		if strings.Contains(v.Destination, "branch.io") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("branch.io contact not flagged: %+v", Summary(vs))
+	}
+}
+
+func TestCheckerFlagsP2PPeers(t *testing.T) {
+	lab, err := testbed.NewLab(devices.LabUK, cloud.New(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, _ := lab.Slot("Wansview Cam")
+	doc := Generate(slot.Inst.Profile)
+	act, _ := slot.Inst.Profile.Activity("watch")
+	exp := lab.RunInteraction(slot, act, devices.MethodWAN, false, testbed.StudyEpoch, 0)
+	vs := NewChecker(doc).Check(exp.Packets)
+	// The P2P peer has no DNS binding — a raw-address violation.
+	found := false
+	for _, v := range vs {
+		if strings.Contains(v.Reason, "raw address") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("P2P peer contact not flagged: %+v", vs)
+	}
+}
+
+func TestSummaryAndSort(t *testing.T) {
+	vs := []Violation{
+		{Destination: "a.com"}, {Destination: "a.com"}, {Destination: "b.com"},
+	}
+	m := Summary(vs)
+	if m["a.com"] != 2 || m["b.com"] != 1 {
+		t.Errorf("summary: %v", m)
+	}
+	order := SortedDestinations(m)
+	if order[0] != "a.com" || order[1] != "b.com" {
+		t.Errorf("order: %v", order)
+	}
+}

@@ -1,0 +1,56 @@
+package netx
+
+// Internet checksum (RFC 1071) and the TCP/UDP pseudo-header variants.
+
+// checksumFold folds a 32-bit accumulator into the ones'-complement sum.
+func checksumFold(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// checksumAdd accumulates data into sum without folding.
+func checksumAdd(sum uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+// Checksum computes the RFC 1071 Internet checksum of data.
+func Checksum(data []byte) uint16 {
+	return checksumFold(checksumAdd(0, data))
+}
+
+// pseudoHeaderSum accumulates the IPv4/IPv6 pseudo header used by TCP and
+// UDP checksums.
+func pseudoHeaderSum(src, dst Addr, proto uint8, length int) uint32 {
+	var sum uint32
+	if src.Is4() {
+		s, d := src.As4(), dst.As4()
+		sum = checksumAdd(sum, s[:])
+		sum = checksumAdd(sum, d[:])
+		sum += uint32(proto)
+		sum += uint32(length)
+		return sum
+	}
+	s, d := src.As16(), dst.As16()
+	sum = checksumAdd(sum, s[:])
+	sum = checksumAdd(sum, d[:])
+	sum += uint32(length)
+	sum += uint32(proto)
+	return sum
+}
+
+// TransportChecksum computes the checksum of a TCP or UDP segment,
+// including the pseudo header derived from the enclosing IP layer.
+func TransportChecksum(src, dst Addr, proto uint8, segment []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, len(segment))
+	sum = checksumAdd(sum, segment)
+	return checksumFold(sum)
+}

@@ -1,0 +1,88 @@
+package netx
+
+import "fmt"
+
+// EtherType values used by the testbed.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+	EtherTypeIPv6 uint16 = 0x86dd
+)
+
+// EthernetHeaderLen is the length of an untagged Ethernet II header.
+const EthernetHeaderLen = 14
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	Src       MAC
+	Dst       MAC
+	EtherType uint16
+}
+
+// decodeEthernet parses an Ethernet II header and returns the header and
+// the payload that follows it.
+func decodeEthernet(b []byte) (Ethernet, []byte, error) {
+	if len(b) < EthernetHeaderLen {
+		return Ethernet{}, nil, fmt.Errorf("netx: ethernet frame too short (%d bytes)", len(b))
+	}
+	var e Ethernet
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.EtherType = be16(b[12:14])
+	return e, b[EthernetHeaderLen:], nil
+}
+
+// appendEthernet serializes the header, appending to dst.
+func appendEthernet(dst []byte, e Ethernet) []byte {
+	dst = append(dst, e.Dst[:]...)
+	dst = append(dst, e.Src[:]...)
+	dst = append(dst, byte(e.EtherType>>8), byte(e.EtherType))
+	return dst
+}
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARP is an IPv4-over-Ethernet ARP message.
+type ARP struct {
+	Op        uint16
+	SenderMAC MAC
+	SenderIP  Addr
+	TargetMAC MAC
+	TargetIP  Addr
+}
+
+const arpLen = 28
+
+func decodeARP(b []byte) (*ARP, error) {
+	if len(b) < arpLen {
+		return nil, fmt.Errorf("netx: arp message too short (%d bytes)", len(b))
+	}
+	if be16(b[0:2]) != 1 || be16(b[2:4]) != EtherTypeIPv4 || b[4] != 6 || b[5] != 4 {
+		return nil, fmt.Errorf("netx: unsupported arp hardware/protocol combination")
+	}
+	a := &ARP{Op: be16(b[6:8])}
+	copy(a.SenderMAC[:], b[8:14])
+	a.SenderIP = addr4(b[14:18])
+	copy(a.TargetMAC[:], b[18:24])
+	a.TargetIP = addr4(b[24:28])
+	return a, nil
+}
+
+func appendARP(dst []byte, a *ARP) []byte {
+	buf := make([]byte, arpLen)
+	put16(buf[0:2], 1) // Ethernet
+	put16(buf[2:4], EtherTypeIPv4)
+	buf[4], buf[5] = 6, 4
+	put16(buf[6:8], a.Op)
+	copy(buf[8:14], a.SenderMAC[:])
+	sip := a.SenderIP.As4()
+	copy(buf[14:18], sip[:])
+	copy(buf[18:24], a.TargetMAC[:])
+	tip := a.TargetIP.As4()
+	copy(buf[24:28], tip[:])
+	return append(dst, buf...)
+}

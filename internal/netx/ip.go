@@ -1,0 +1,161 @@
+package netx
+
+import "fmt"
+
+// IP protocol numbers used by the testbed.
+const (
+	ProtoICMP   uint8 = 1
+	ProtoTCP    uint8 = 6
+	ProtoUDP    uint8 = 17
+	ProtoICMPv6 uint8 = 58
+)
+
+// IPv4HeaderLen is the length of an option-less IPv4 header.
+const IPv4HeaderLen = 20
+
+// IPv4 is an IPv4 header without options.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // upper 3 bits of the fragment word
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Src      Addr
+	Dst      Addr
+	// Length is the total length field as decoded from the wire; it is
+	// recomputed during serialization.
+	Length uint16
+}
+
+func decodeIPv4(b []byte) (*IPv4, []byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return nil, nil, fmt.Errorf("netx: ipv4 header too short (%d bytes)", len(b))
+	}
+	if v := b[0] >> 4; v != 4 {
+		return nil, nil, fmt.Errorf("netx: ipv4 version field is %d", v)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return nil, nil, fmt.Errorf("netx: ipv4 bad IHL %d", ihl)
+	}
+	h := &IPv4{
+		TOS:      b[1],
+		Length:   be16(b[2:4]),
+		ID:       be16(b[4:6]),
+		Flags:    b[6] >> 5,
+		FragOff:  be16(b[6:8]) & 0x1fff,
+		TTL:      b[8],
+		Protocol: b[9],
+		Src:      addr4(b[12:16]),
+		Dst:      addr4(b[16:20]),
+	}
+	end := int(h.Length)
+	if end < ihl || end > len(b) {
+		end = len(b)
+	}
+	return h, b[ihl:end], nil
+}
+
+func appendIPv4(dst []byte, h *IPv4, payloadLen int) []byte {
+	total := IPv4HeaderLen + payloadLen
+	buf := make([]byte, IPv4HeaderLen)
+	buf[0] = 4<<4 | 5
+	buf[1] = h.TOS
+	put16(buf[2:4], uint16(total))
+	put16(buf[4:6], h.ID)
+	put16(buf[6:8], uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	buf[8] = h.TTL
+	buf[9] = h.Protocol
+	src, dip := h.Src.As4(), h.Dst.As4()
+	copy(buf[12:16], src[:])
+	copy(buf[16:20], dip[:])
+	put16(buf[10:12], Checksum(buf))
+	return append(dst, buf...)
+}
+
+// IPv6HeaderLen is the length of an IPv6 fixed header.
+const IPv6HeaderLen = 40
+
+// IPv6 is an IPv6 fixed header (extension headers are not modelled; the
+// testbed never emits them).
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	NextHeader   uint8
+	HopLimit     uint8
+	Src          Addr
+	Dst          Addr
+	PayloadLen   uint16
+}
+
+func decodeIPv6(b []byte) (*IPv6, []byte, error) {
+	if len(b) < IPv6HeaderLen {
+		return nil, nil, fmt.Errorf("netx: ipv6 header too short (%d bytes)", len(b))
+	}
+	if v := b[0] >> 4; v != 6 {
+		return nil, nil, fmt.Errorf("netx: ipv6 version field is %d", v)
+	}
+	h := &IPv6{
+		TrafficClass: b[0]<<4 | b[1]>>4,
+		FlowLabel:    be32(b[0:4]) & 0xfffff,
+		PayloadLen:   be16(b[4:6]),
+		NextHeader:   b[6],
+		HopLimit:     b[7],
+		Src:          addr16(b[8:24]),
+		Dst:          addr16(b[24:40]),
+	}
+	end := IPv6HeaderLen + int(h.PayloadLen)
+	if end > len(b) {
+		end = len(b)
+	}
+	return h, b[IPv6HeaderLen:end], nil
+}
+
+func appendIPv6(dst []byte, h *IPv6, payloadLen int) []byte {
+	buf := make([]byte, IPv6HeaderLen)
+	put32(buf[0:4], 6<<28|uint32(h.TrafficClass)<<20|h.FlowLabel&0xfffff)
+	put16(buf[4:6], uint16(payloadLen))
+	buf[6] = h.NextHeader
+	buf[7] = h.HopLimit
+	src, dip := h.Src.As16(), h.Dst.As16()
+	copy(buf[8:24], src[:])
+	copy(buf[24:40], dip[:])
+	return append(dst, buf...)
+}
+
+// ICMP message types used by the testbed (echo for traceroute simulation).
+const (
+	ICMPEchoReply      uint8 = 0
+	ICMPEchoRequest    uint8 = 8
+	ICMPTimeExceeded   uint8 = 11
+	ICMPDestUnreachMsg uint8 = 3
+)
+
+// ICMP is an ICMPv4 message (header plus opaque body).
+type ICMP struct {
+	Type uint8
+	Code uint8
+	ID   uint16
+	Seq  uint16
+	Body []byte
+}
+
+func decodeICMP(b []byte) (*ICMP, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("netx: icmp message too short (%d bytes)", len(b))
+	}
+	m := &ICMP{Type: b[0], Code: b[1], ID: be16(b[4:6]), Seq: be16(b[6:8])}
+	m.Body = append([]byte(nil), b[8:]...)
+	return m, nil
+}
+
+func appendICMP(dst []byte, m *ICMP) []byte {
+	buf := make([]byte, 8+len(m.Body))
+	buf[0], buf[1] = m.Type, m.Code
+	put16(buf[4:6], m.ID)
+	put16(buf[6:8], m.Seq)
+	copy(buf[8:], m.Body)
+	put16(buf[2:4], Checksum(buf))
+	return append(dst, buf...)
+}

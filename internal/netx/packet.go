@@ -1,0 +1,242 @@
+package netx
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// CaptureInfo mirrors the metadata a capture engine records per packet.
+type CaptureInfo struct {
+	Timestamp     time.Time
+	CaptureLength int
+	Length        int
+}
+
+// Packet is a decoded (or to-be-serialized) frame. Exactly one of the
+// network-layer pointers and at most one of the transport-layer pointers is
+// non-nil. Payload is the application-layer payload (possibly empty).
+type Packet struct {
+	Meta CaptureInfo
+
+	Eth  Ethernet
+	ARP  *ARP
+	IPv4 *IPv4
+	IPv6 *IPv6
+	ICMP *ICMP
+	TCP  *TCP
+	UDP  *UDP
+
+	Payload []byte
+}
+
+// Decode parses a full Ethernet frame into a Packet. Unknown or truncated
+// upper layers degrade gracefully: the decoded prefix is kept and the rest
+// is exposed as Payload, so a single malformed layer never loses a packet
+// (mirroring gopacket's ErrorLayer behaviour).
+func Decode(ts time.Time, frame []byte) (*Packet, error) {
+	eth, rest, err := decodeEthernet(frame)
+	if err != nil {
+		return nil, err
+	}
+	p := &Packet{
+		Meta: CaptureInfo{Timestamp: ts, CaptureLength: len(frame), Length: len(frame)},
+		Eth:  eth,
+	}
+	switch eth.EtherType {
+	case EtherTypeARP:
+		a, err := decodeARP(rest)
+		if err != nil {
+			p.Payload = rest
+			return p, nil
+		}
+		p.ARP = a
+	case EtherTypeIPv4:
+		h, body, err := decodeIPv4(rest)
+		if err != nil {
+			p.Payload = rest
+			return p, nil
+		}
+		p.IPv4 = h
+		p.decodeTransport(h.Protocol, body)
+	case EtherTypeIPv6:
+		h, body, err := decodeIPv6(rest)
+		if err != nil {
+			p.Payload = rest
+			return p, nil
+		}
+		p.IPv6 = h
+		p.decodeTransport(h.NextHeader, body)
+	default:
+		p.Payload = rest
+	}
+	return p, nil
+}
+
+func (p *Packet) decodeTransport(proto uint8, body []byte) {
+	switch proto {
+	case ProtoTCP:
+		t, payload, err := decodeTCP(body)
+		if err != nil {
+			p.Payload = body
+			return
+		}
+		p.TCP = t
+		p.Payload = payload
+	case ProtoUDP:
+		u, payload, err := decodeUDP(body)
+		if err != nil {
+			p.Payload = body
+			return
+		}
+		p.UDP = u
+		p.Payload = payload
+	case ProtoICMP, ProtoICMPv6:
+		m, err := decodeICMP(body)
+		if err != nil {
+			p.Payload = body
+			return
+		}
+		p.ICMP = m
+	default:
+		p.Payload = body
+	}
+}
+
+// Serialize renders the packet to wire bytes, computing lengths and
+// checksums. It is the inverse of Decode for every packet shape the
+// testbed emits.
+func (p *Packet) Serialize() []byte {
+	out := make([]byte, 0, EthernetHeaderLen+IPv4HeaderLen+TCPHeaderLen+len(p.Payload))
+	out = appendEthernet(out, p.Eth)
+	switch {
+	case p.ARP != nil:
+		out = appendARP(out, p.ARP)
+	case p.IPv4 != nil:
+		out = p.serializeIPv4(out)
+	case p.IPv6 != nil:
+		out = p.serializeIPv6(out)
+	default:
+		out = append(out, p.Payload...)
+	}
+	return out
+}
+
+func (p *Packet) transportLen() int {
+	switch {
+	case p.TCP != nil:
+		return TCPHeaderLen + len(p.Payload)
+	case p.UDP != nil:
+		return UDPHeaderLen + len(p.Payload)
+	case p.ICMP != nil:
+		return 8 + len(p.ICMP.Body)
+	default:
+		return len(p.Payload)
+	}
+}
+
+func (p *Packet) appendTransport(out []byte, src, dst Addr) []byte {
+	switch {
+	case p.TCP != nil:
+		return appendTCP(out, p.TCP, src, dst, p.Payload)
+	case p.UDP != nil:
+		return appendUDP(out, p.UDP, src, dst, p.Payload)
+	case p.ICMP != nil:
+		return appendICMP(out, p.ICMP)
+	default:
+		return append(out, p.Payload...)
+	}
+}
+
+func (p *Packet) serializeIPv4(out []byte) []byte {
+	h := p.IPv4
+	out = appendIPv4(out, h, p.transportLen())
+	return p.appendTransport(out, h.Src, h.Dst)
+}
+
+func (p *Packet) serializeIPv6(out []byte) []byte {
+	h := p.IPv6
+	out = appendIPv6(out, h, p.transportLen())
+	return p.appendTransport(out, h.Src, h.Dst)
+}
+
+// NetworkSrc returns the network-layer source address, if any.
+func (p *Packet) NetworkSrc() (Addr, bool) {
+	switch {
+	case p.IPv4 != nil:
+		return p.IPv4.Src, true
+	case p.IPv6 != nil:
+		return p.IPv6.Src, true
+	}
+	return Addr{}, false
+}
+
+// NetworkDst returns the network-layer destination address, if any.
+func (p *Packet) NetworkDst() (Addr, bool) {
+	switch {
+	case p.IPv4 != nil:
+		return p.IPv4.Dst, true
+	case p.IPv6 != nil:
+		return p.IPv6.Dst, true
+	}
+	return Addr{}, false
+}
+
+// TransportPorts returns (srcPort, dstPort, proto) for TCP/UDP packets.
+func (p *Packet) TransportPorts() (srcPort, dstPort uint16, proto uint8, ok bool) {
+	switch {
+	case p.TCP != nil:
+		return p.TCP.SrcPort, p.TCP.DstPort, ProtoTCP, true
+	case p.UDP != nil:
+		return p.UDP.SrcPort, p.UDP.DstPort, ProtoUDP, true
+	}
+	return 0, 0, 0, false
+}
+
+// WireLen is the serialized length of the packet in bytes.
+func (p *Packet) WireLen() int {
+	n := EthernetHeaderLen
+	switch {
+	case p.ARP != nil:
+		return n + arpLen
+	case p.IPv4 != nil:
+		n += IPv4HeaderLen
+	case p.IPv6 != nil:
+		n += IPv6HeaderLen
+	default:
+		return n + len(p.Payload)
+	}
+	return n + p.transportLen()
+}
+
+// String renders a tcpdump-style one-line summary, useful in cmd/pcapinfo
+// and debugging output.
+func (p *Packet) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s ", p.Meta.Timestamp.Format("15:04:05.000000"))
+	switch {
+	case p.ARP != nil:
+		if p.ARP.Op == ARPRequest {
+			fmt.Fprintf(&b, "ARP who-has %s tell %s", p.ARP.TargetIP, p.ARP.SenderIP)
+		} else {
+			fmt.Fprintf(&b, "ARP %s is-at %s", p.ARP.SenderIP, p.ARP.SenderMAC)
+		}
+	case p.TCP != nil:
+		src, _ := p.NetworkSrc()
+		dst, _ := p.NetworkDst()
+		fmt.Fprintf(&b, "IP %s.%d > %s.%d: Flags [%s], length %d",
+			src, p.TCP.SrcPort, dst, p.TCP.DstPort, p.TCP.FlagString(), len(p.Payload))
+	case p.UDP != nil:
+		src, _ := p.NetworkSrc()
+		dst, _ := p.NetworkDst()
+		fmt.Fprintf(&b, "IP %s.%d > %s.%d: UDP, length %d",
+			src, p.UDP.SrcPort, dst, p.UDP.DstPort, len(p.Payload))
+	case p.ICMP != nil:
+		src, _ := p.NetworkSrc()
+		dst, _ := p.NetworkDst()
+		fmt.Fprintf(&b, "IP %s > %s: ICMP type %d code %d", src, dst, p.ICMP.Type, p.ICMP.Code)
+	default:
+		fmt.Fprintf(&b, "%s > %s ethertype 0x%04x length %d", p.Eth.Src, p.Eth.Dst, p.Eth.EtherType, len(p.Payload))
+	}
+	return b.String()
+}

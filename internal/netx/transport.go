@@ -1,0 +1,116 @@
+package netx
+
+import "fmt"
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << 0
+	TCPSyn uint8 = 1 << 1
+	TCPRst uint8 = 1 << 2
+	TCPPsh uint8 = 1 << 3
+	TCPAck uint8 = 1 << 4
+	TCPUrg uint8 = 1 << 5
+)
+
+// TCPHeaderLen is the length of an option-less TCP header.
+const TCPHeaderLen = 20
+
+// TCP is a TCP segment header without options.
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+}
+
+// FlagString renders the flags in tcpdump-like notation, e.g. "SA" for
+// SYN+ACK.
+func (t *TCP) FlagString() string {
+	names := []struct {
+		bit uint8
+		c   byte
+	}{{TCPSyn, 'S'}, {TCPFin, 'F'}, {TCPRst, 'R'}, {TCPPsh, 'P'}, {TCPAck, 'A'}, {TCPUrg, 'U'}}
+	out := make([]byte, 0, 6)
+	for _, n := range names {
+		if t.Flags&n.bit != 0 {
+			out = append(out, n.c)
+		}
+	}
+	if len(out) == 0 {
+		return "."
+	}
+	return string(out)
+}
+
+func decodeTCP(b []byte) (*TCP, []byte, error) {
+	if len(b) < TCPHeaderLen {
+		return nil, nil, fmt.Errorf("netx: tcp segment too short (%d bytes)", len(b))
+	}
+	dataOff := int(b[12]>>4) * 4
+	if dataOff < TCPHeaderLen || dataOff > len(b) {
+		return nil, nil, fmt.Errorf("netx: tcp bad data offset %d", dataOff)
+	}
+	h := &TCP{
+		SrcPort: be16(b[0:2]),
+		DstPort: be16(b[2:4]),
+		Seq:     be32(b[4:8]),
+		Ack:     be32(b[8:12]),
+		Flags:   b[13],
+		Window:  be16(b[14:16]),
+	}
+	return h, b[dataOff:], nil
+}
+
+// appendTCP serializes the TCP header plus payload, computing the checksum
+// over the pseudo header derived from src/dst.
+func appendTCP(dst []byte, h *TCP, src, dip Addr, payload []byte) []byte {
+	seg := make([]byte, TCPHeaderLen+len(payload))
+	put16(seg[0:2], h.SrcPort)
+	put16(seg[2:4], h.DstPort)
+	put32(seg[4:8], h.Seq)
+	put32(seg[8:12], h.Ack)
+	seg[12] = 5 << 4
+	seg[13] = h.Flags
+	put16(seg[14:16], h.Window)
+	copy(seg[TCPHeaderLen:], payload)
+	put16(seg[16:18], TransportChecksum(src, dip, ProtoTCP, seg))
+	return append(dst, seg...)
+}
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// UDP is a UDP datagram header.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Length  uint16
+}
+
+func decodeUDP(b []byte) (*UDP, []byte, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, nil, fmt.Errorf("netx: udp datagram too short (%d bytes)", len(b))
+	}
+	h := &UDP{SrcPort: be16(b[0:2]), DstPort: be16(b[2:4]), Length: be16(b[4:6])}
+	end := int(h.Length)
+	if end < UDPHeaderLen || end > len(b) {
+		end = len(b)
+	}
+	return h, b[UDPHeaderLen:end], nil
+}
+
+func appendUDP(dst []byte, h *UDP, src, dip Addr, payload []byte) []byte {
+	seg := make([]byte, UDPHeaderLen+len(payload))
+	put16(seg[0:2], h.SrcPort)
+	put16(seg[2:4], h.DstPort)
+	put16(seg[4:6], uint16(len(seg)))
+	copy(seg[UDPHeaderLen:], payload)
+	sum := TransportChecksum(src, dip, ProtoUDP, seg)
+	if sum == 0 {
+		sum = 0xffff // RFC 768: transmitted as all ones
+	}
+	put16(seg[6:8], sum)
+	return append(dst, seg...)
+}

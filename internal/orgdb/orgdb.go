@@ -1,0 +1,175 @@
+// Package orgdb implements the organisation labelling and party
+// classification of §4.1: mapping a second-level domain (or, failing that,
+// the registered owner of an IP prefix) to an organisation, and
+// classifying that organisation as first, support, or third party with
+// respect to a given device.
+package orgdb
+
+import (
+	"sort"
+	"strings"
+)
+
+// Kind describes what an organisation does; it drives support-party
+// classification ("the company states on its website that it is
+// specialized in providing connectivity (CDN) or cloud services").
+type Kind int
+
+const (
+	// KindManufacturer makes or operates consumer devices/services.
+	KindManufacturer Kind = iota
+	// KindCloud provides outsourced computing (IaaS/PaaS).
+	KindCloud
+	// KindCDN provides content delivery / connectivity.
+	KindCDN
+	// KindTracker provides advertising or analytics.
+	KindTracker
+	// KindContent provides consumer content services (e.g. streaming).
+	KindContent
+	// KindISP provides Internet access.
+	KindISP
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindManufacturer:
+		return "manufacturer"
+	case KindCloud:
+		return "cloud"
+	case KindCDN:
+		return "cdn"
+	case KindTracker:
+		return "tracker"
+	case KindContent:
+		return "content"
+	case KindISP:
+		return "isp"
+	default:
+		return "unknown"
+	}
+}
+
+// PartyType is the §2.1 classification of a traffic destination.
+type PartyType int
+
+const (
+	// PartyFirst is the manufacturer or a related company responsible for
+	// fulfilling the device functionality.
+	PartyFirst PartyType = iota
+	// PartySupport provides outsourced computing resources (cloud/CDN).
+	PartySupport
+	// PartyThird is any other party (trackers, content, ISPs, ...).
+	PartyThird
+)
+
+// String implements fmt.Stringer.
+func (p PartyType) String() string {
+	switch p {
+	case PartyFirst:
+		return "first"
+	case PartySupport:
+		return "support"
+	default:
+		return "third"
+	}
+}
+
+// Org is one organisation.
+type Org struct {
+	// Name is the canonical organisation name ("Amazon", "Kingsoft").
+	Name string
+	// Kind is the organisation's primary business.
+	Kind Kind
+	// Country is the ISO 3166-1 alpha-2 code of the HQ jurisdiction.
+	Country string
+	// Domains are the second-level domains the organisation owns.
+	Domains []string
+}
+
+// Registry maps domains to organisations.
+type Registry struct {
+	byDomain map[string]*Org
+	byName   map[string]*Org
+	orgs     []*Org
+}
+
+// NewRegistry builds a registry from org definitions. Later registrations
+// of the same domain override earlier ones.
+func NewRegistry(orgs []Org) *Registry {
+	r := &Registry{
+		byDomain: make(map[string]*Org),
+		byName:   make(map[string]*Org),
+	}
+	for i := range orgs {
+		o := orgs[i]
+		r.Register(&o)
+	}
+	return r
+}
+
+// Register adds one organisation.
+func (r *Registry) Register(o *Org) {
+	r.orgs = append(r.orgs, o)
+	r.byName[strings.ToLower(o.Name)] = o
+	for _, d := range o.Domains {
+		r.byDomain[strings.ToLower(d)] = o
+	}
+}
+
+// ByName looks an organisation up by name (case-insensitive).
+func (r *Registry) ByName(name string) (*Org, bool) {
+	o, ok := r.byName[strings.ToLower(name)]
+	return o, ok
+}
+
+// BySLD maps a second-level domain to its owning organisation using the
+// WHOIS-style domain table first, then the common-sense rule of §4.1
+// ("'Google' is the organization for google.com"): the label before the
+// public suffix matched against known org names.
+func (r *Registry) BySLD(sld string) (*Org, bool) {
+	sld = strings.ToLower(strings.TrimSuffix(sld, "."))
+	if o, ok := r.byDomain[sld]; ok {
+		return o, true
+	}
+	// Common-sense: leftmost label of the SLD vs org names.
+	label := sld
+	if i := strings.IndexByte(sld, '.'); i > 0 {
+		label = sld[:i]
+	}
+	if o, ok := r.byName[label]; ok {
+		return o, true
+	}
+	return nil, false
+}
+
+// Orgs returns all registered organisations sorted by name.
+func (r *Registry) Orgs() []*Org {
+	out := append([]*Org(nil), r.orgs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Classify determines the party type of an organisation with respect to a
+// device, given the device's manufacturer org name and any related
+// companies responsible for fulfilling the device functionality (§2.1,
+// e.g. Google is first party for the Nest thermostat).
+func Classify(org *Org, manufacturer string, related []string) PartyType {
+	if org == nil {
+		return PartyThird
+	}
+	if strings.EqualFold(org.Name, manufacturer) {
+		return PartyFirst
+	}
+	for _, rel := range related {
+		if strings.EqualFold(org.Name, rel) {
+			return PartyFirst
+		}
+	}
+	switch org.Kind {
+	case KindCloud, KindCDN:
+		return PartySupport
+	default:
+		return PartyThird
+	}
+}

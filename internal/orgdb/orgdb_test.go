@@ -1,0 +1,155 @@
+package orgdb
+
+import "testing"
+
+func testRegistry() *Registry {
+	return NewRegistry([]Org{
+		{Name: "Amazon", Kind: KindCloud, Country: "US",
+			Domains: []string{"amazon.com", "amazonaws.com", "amazonalexa.com", "a2z.com"}},
+		{Name: "Google", Kind: KindCloud, Country: "US",
+			Domains: []string{"google.com", "googleapis.com", "nest.com", "gstatic.com"}},
+		{Name: "TP-Link", Kind: KindManufacturer, Country: "CN",
+			Domains: []string{"tplinkcloud.com", "tp-link.com"}},
+		{Name: "Netflix", Kind: KindContent, Country: "US",
+			Domains: []string{"netflix.com", "nflxvideo.net"}},
+		{Name: "Doubleclick", Kind: KindTracker, Country: "US",
+			Domains: []string{"doubleclick.net"}},
+		{Name: "Akamai", Kind: KindCDN, Country: "US",
+			Domains: []string{"akamai.net", "akamaiedge.net"}},
+		{Name: "Nuri", Kind: KindISP, Country: "KR",
+			Domains: []string{"nuri.net"}},
+	})
+}
+
+func TestBySLDDirect(t *testing.T) {
+	r := testRegistry()
+	o, ok := r.BySLD("amazonaws.com")
+	if !ok || o.Name != "Amazon" {
+		t.Fatalf("BySLD(amazonaws.com) = %v, %v", o, ok)
+	}
+}
+
+func TestBySLDCaseAndDot(t *testing.T) {
+	r := testRegistry()
+	o, ok := r.BySLD("NETFLIX.COM.")
+	if !ok || o.Name != "Netflix" {
+		t.Fatalf("case-insensitive lookup failed: %v %v", o, ok)
+	}
+}
+
+func TestBySLDCommonSense(t *testing.T) {
+	r := testRegistry()
+	// google.co.uk is not in the domain table but the label matches.
+	o, ok := r.BySLD("google.co.uk")
+	if !ok || o.Name != "Google" {
+		t.Fatalf("common-sense rule failed: %v %v", o, ok)
+	}
+}
+
+func TestBySLDUnknown(t *testing.T) {
+	r := testRegistry()
+	if _, ok := r.BySLD("mysterycorp.io"); ok {
+		t.Fatal("unknown SLD should miss")
+	}
+}
+
+func TestByName(t *testing.T) {
+	r := testRegistry()
+	if _, ok := r.ByName("akamai"); !ok {
+		t.Fatal("ByName(akamai) missed")
+	}
+	if _, ok := r.ByName("nobody"); ok {
+		t.Fatal("ByName(nobody) hit")
+	}
+}
+
+func TestClassifyFirstParty(t *testing.T) {
+	r := testRegistry()
+	tplink, _ := r.ByName("TP-Link")
+	if got := Classify(tplink, "TP-Link", nil); got != PartyFirst {
+		t.Errorf("manufacturer org = %v", got)
+	}
+}
+
+func TestClassifyRelatedFirstParty(t *testing.T) {
+	r := testRegistry()
+	google, _ := r.ByName("Google")
+	// Nest thermostat: manufacturer "Nest", Google is a related company.
+	if got := Classify(google, "Nest", []string{"Google"}); got != PartyFirst {
+		t.Errorf("related org = %v", got)
+	}
+}
+
+func TestClassifySupport(t *testing.T) {
+	r := testRegistry()
+	amazon, _ := r.ByName("Amazon")
+	if got := Classify(amazon, "TP-Link", nil); got != PartySupport {
+		t.Errorf("cloud org = %v", got)
+	}
+	akamai, _ := r.ByName("Akamai")
+	if got := Classify(akamai, "Samsung", nil); got != PartySupport {
+		t.Errorf("cdn org = %v", got)
+	}
+}
+
+func TestClassifyThird(t *testing.T) {
+	r := testRegistry()
+	netflix, _ := r.ByName("Netflix")
+	if got := Classify(netflix, "Samsung", nil); got != PartyThird {
+		t.Errorf("content org = %v", got)
+	}
+	dc, _ := r.ByName("Doubleclick")
+	if got := Classify(dc, "LG", nil); got != PartyThird {
+		t.Errorf("tracker org = %v", got)
+	}
+	nuri, _ := r.ByName("Nuri")
+	if got := Classify(nuri, "Samsung", nil); got != PartyThird {
+		t.Errorf("isp org = %v", got)
+	}
+	if got := Classify(nil, "Samsung", nil); got != PartyThird {
+		t.Errorf("nil org = %v", got)
+	}
+}
+
+func TestClassifyAmazonFirstForEcho(t *testing.T) {
+	r := testRegistry()
+	amazon, _ := r.ByName("Amazon")
+	// Echo Dot: Amazon is the manufacturer, so Amazon-owned domains are
+	// first party even though Amazon is also a cloud provider.
+	if got := Classify(amazon, "Amazon", nil); got != PartyFirst {
+		t.Errorf("Amazon for Echo = %v", got)
+	}
+}
+
+func TestPartyAndKindStrings(t *testing.T) {
+	if PartyFirst.String() != "first" || PartySupport.String() != "support" || PartyThird.String() != "third" {
+		t.Error("PartyType strings")
+	}
+	for k, want := range map[Kind]string{
+		KindManufacturer: "manufacturer", KindCloud: "cloud", KindCDN: "cdn",
+		KindTracker: "tracker", KindContent: "content", KindISP: "isp",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestOrgsSorted(t *testing.T) {
+	r := testRegistry()
+	orgs := r.Orgs()
+	for i := 1; i < len(orgs); i++ {
+		if orgs[i-1].Name > orgs[i].Name {
+			t.Fatalf("orgs not sorted at %d", i)
+		}
+	}
+}
+
+func TestRegisterOverrides(t *testing.T) {
+	r := testRegistry()
+	r.Register(&Org{Name: "NewCo", Kind: KindTracker, Country: "US", Domains: []string{"netflix.com"}})
+	o, ok := r.BySLD("netflix.com")
+	if !ok || o.Name != "NewCo" {
+		t.Fatalf("override failed: %v", o)
+	}
+}

@@ -1,0 +1,91 @@
+package pcapio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Label marks a time window of a device's capture as belonging to one
+// experiment ("turn on the smart light", "power", "idle", ...). The
+// Mon(IoT)r testbed stores these alongside the per-MAC pcap files; we use a
+// simple tab-separated text format:
+//
+//	<start RFC3339Nano> \t <end RFC3339Nano> \t <experiment> \t <activity>
+type Label struct {
+	Start      time.Time
+	End        time.Time
+	Experiment string // power | interaction | idle | uncontrolled
+	Activity   string // e.g. "local_move", "android_lan_on", "voice_volume"
+}
+
+// Contains reports whether ts falls inside the half-open window
+// [Start, End).
+func (l Label) Contains(ts time.Time) bool {
+	return !ts.Before(l.Start) && ts.Before(l.End)
+}
+
+// Duration of the labelled window.
+func (l Label) Duration() time.Duration { return l.End.Sub(l.Start) }
+
+// WriteLabels serializes labels, sorted by start time.
+func WriteLabels(w io.Writer, labels []Label) error {
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start.Before(sorted[j].Start) })
+	bw := bufio.NewWriter(w)
+	for _, l := range sorted {
+		if strings.ContainsAny(l.Experiment+l.Activity, "\t\n") {
+			return fmt.Errorf("pcapio: label fields must not contain tabs or newlines: %q/%q", l.Experiment, l.Activity)
+		}
+		fmt.Fprintf(bw, "%s\t%s\t%s\t%s\n",
+			l.Start.UTC().Format(time.RFC3339Nano),
+			l.End.UTC().Format(time.RFC3339Nano),
+			l.Experiment, l.Activity)
+	}
+	return bw.Flush()
+}
+
+// ReadLabels parses a label sidecar stream.
+func ReadLabels(r io.Reader) ([]Label, error) {
+	var out []Label
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("pcapio: label line %d: want 4 tab-separated fields, got %d", lineNo, len(parts))
+		}
+		start, err := time.Parse(time.RFC3339Nano, parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("pcapio: label line %d: bad start time: %w", lineNo, err)
+		}
+		end, err := time.Parse(time.RFC3339Nano, parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("pcapio: label line %d: bad end time: %w", lineNo, err)
+		}
+		if end.Before(start) {
+			return nil, fmt.Errorf("pcapio: label line %d: end before start", lineNo)
+		}
+		out = append(out, Label{Start: start, End: end, Experiment: parts[2], Activity: parts[3]})
+	}
+	return out, sc.Err()
+}
+
+// FindLabel returns the first label containing ts, if any.
+func FindLabel(labels []Label, ts time.Time) (Label, bool) {
+	for _, l := range labels {
+		if l.Contains(ts) {
+			return l, true
+		}
+	}
+	return Label{}, false
+}

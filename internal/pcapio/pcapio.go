@@ -1,0 +1,212 @@
+// Package pcapio reads and writes classic libpcap capture files
+// (https://wiki.wireshark.org/Development/LibpcapFileFormat), the format
+// tcpdump produced on the Mon(IoT)r gateways. Both microsecond
+// (0xa1b2c3d4) and nanosecond (0xa1b23c4d) variants are supported, as is
+// byte-swapped reading for files written on opposite-endian machines.
+//
+// The package also implements the label sidecar files the testbed uses to
+// mark which experiment produced a window of traffic (§3.2 of the paper).
+package pcapio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic numbers of the classic pcap format.
+const (
+	MagicMicroseconds = 0xa1b2c3d4
+	MagicNanoseconds  = 0xa1b23c4d
+)
+
+// LinkTypeEthernet is the only link type the testbed uses.
+const LinkTypeEthernet = 1
+
+const (
+	fileHeaderLen   = 24
+	packetHeaderLen = 16
+	// DefaultSnapLen matches tcpdump's modern default.
+	DefaultSnapLen = 262144
+)
+
+// ErrBadMagic reports a file that is not a classic pcap capture.
+var ErrBadMagic = errors.New("pcapio: bad magic number")
+
+// Record is one captured packet: its timestamp, the bytes captured and the
+// original wire length.
+type Record struct {
+	Time    time.Time
+	Data    []byte
+	OrigLen int
+}
+
+// Writer writes a classic pcap stream.
+type Writer struct {
+	w       *bufio.Writer
+	nano    bool
+	snaplen int
+	count   int
+}
+
+// WriterOptions configure a Writer.
+type WriterOptions struct {
+	// Nanosecond selects the 0xa1b23c4d variant.
+	Nanosecond bool
+	// SnapLen caps captured bytes per packet; 0 means DefaultSnapLen.
+	SnapLen int
+	// LinkType defaults to LinkTypeEthernet.
+	LinkType uint32
+}
+
+// NewWriter writes a pcap file header to w and returns a Writer.
+func NewWriter(w io.Writer, opts WriterOptions) (*Writer, error) {
+	if opts.SnapLen <= 0 {
+		opts.SnapLen = DefaultSnapLen
+	}
+	if opts.LinkType == 0 {
+		opts.LinkType = LinkTypeEthernet
+	}
+	bw := bufio.NewWriter(w)
+	hdr := make([]byte, fileHeaderLen)
+	magic := uint32(MagicMicroseconds)
+	if opts.Nanosecond {
+		magic = MagicNanoseconds
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // version 2.4
+	binary.LittleEndian.PutUint16(hdr[6:8], 4)
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(opts.SnapLen))
+	binary.LittleEndian.PutUint32(hdr[20:24], opts.LinkType)
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, nano: opts.Nanosecond, snaplen: opts.SnapLen}, nil
+}
+
+// WritePacket appends one record, truncating to the snap length.
+func (w *Writer) WritePacket(ts time.Time, data []byte) error {
+	origLen := len(data)
+	if len(data) > w.snaplen {
+		data = data[:w.snaplen]
+	}
+	hdr := make([]byte, packetHeaderLen)
+	sec := ts.Unix()
+	var sub int64
+	if w.nano {
+		sub = int64(ts.Nanosecond())
+	} else {
+		sub = int64(ts.Nanosecond() / 1000)
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(sec))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(sub))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(origLen))
+	if _, err := w.w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.w.Write(data)
+	if err == nil {
+		w.count++
+	}
+	return err
+}
+
+// Count is the number of packets written so far.
+func (w *Writer) Count() int { return w.count }
+
+// Flush flushes buffered bytes to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader reads a classic pcap stream.
+type Reader struct {
+	r        *bufio.Reader
+	order    binary.ByteOrder
+	nano     bool
+	snaplen  int
+	linkType uint32
+}
+
+// NewReader parses the file header from r.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, fileHeaderLen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("pcapio: reading file header: %w", err)
+	}
+	rd := &Reader{r: br}
+	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
+	magicBE := binary.BigEndian.Uint32(hdr[0:4])
+	switch {
+	case magicLE == MagicMicroseconds:
+		rd.order = binary.LittleEndian
+	case magicLE == MagicNanoseconds:
+		rd.order, rd.nano = binary.LittleEndian, true
+	case magicBE == MagicMicroseconds:
+		rd.order = binary.BigEndian
+	case magicBE == MagicNanoseconds:
+		rd.order, rd.nano = binary.BigEndian, true
+	default:
+		return nil, ErrBadMagic
+	}
+	rd.snaplen = int(rd.order.Uint32(hdr[16:20]))
+	rd.linkType = rd.order.Uint32(hdr[20:24])
+	return rd, nil
+}
+
+// LinkType returns the capture's link type.
+func (r *Reader) LinkType() uint32 { return r.linkType }
+
+// SnapLen returns the capture's snap length.
+func (r *Reader) SnapLen() int { return r.snaplen }
+
+// Nanosecond reports whether timestamps carry nanosecond precision.
+func (r *Reader) Nanosecond() bool { return r.nano }
+
+// Next reads the next record. It returns io.EOF at a clean end of file.
+func (r *Reader) Next() (Record, error) {
+	hdr := make([]byte, packetHeaderLen)
+	if _, err := io.ReadFull(r.r, hdr); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("pcapio: reading packet header: %w", err)
+	}
+	sec := int64(r.order.Uint32(hdr[0:4]))
+	sub := int64(r.order.Uint32(hdr[4:8]))
+	capLen := int(r.order.Uint32(hdr[8:12]))
+	origLen := int(r.order.Uint32(hdr[12:16]))
+	if capLen < 0 || capLen > r.snaplen+packetHeaderLen+65536 {
+		return Record{}, fmt.Errorf("pcapio: implausible capture length %d", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, fmt.Errorf("pcapio: reading packet body: %w", err)
+	}
+	var ts time.Time
+	if r.nano {
+		ts = time.Unix(sec, sub).UTC()
+	} else {
+		ts = time.Unix(sec, sub*1000).UTC()
+	}
+	return Record{Time: ts, Data: data, OrigLen: origLen}, nil
+}
+
+// ReadAll drains the stream into a slice.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

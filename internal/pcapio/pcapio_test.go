@@ -1,0 +1,265 @@
+package pcapio
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2019, 4, 1, 9, 30, 0, 123456000, time.UTC)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WriterOptions{})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	frames := [][]byte{
+		{1, 2, 3, 4, 5},
+		bytes.Repeat([]byte{0xaa}, 1500),
+		{},
+	}
+	for i, f := range frames {
+		if err := w.WritePacket(t0.Add(time.Duration(i)*time.Second), f); err != nil {
+			t.Fatalf("WritePacket: %v", err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Errorf("LinkType = %d", r.LinkType())
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i, rec := range recs {
+		if !bytes.Equal(rec.Data, frames[i]) {
+			t.Errorf("record %d data mismatch", i)
+		}
+		want := t0.Add(time.Duration(i) * time.Second)
+		if !rec.Time.Equal(want) {
+			t.Errorf("record %d time = %v, want %v", i, rec.Time, want)
+		}
+	}
+}
+
+func TestNanosecondPrecision(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, WriterOptions{Nanosecond: true})
+	ts := t0.Add(789 * time.Nanosecond)
+	if err := w.WritePacket(ts, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Nanosecond() {
+		t.Fatal("reader did not detect nanosecond magic")
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Time.Equal(ts) {
+		t.Fatalf("time = %v, want %v", rec.Time, ts)
+	}
+}
+
+func TestMicrosecondTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, WriterOptions{})
+	ts := t0.Add(789 * time.Nanosecond) // sub-microsecond part must drop
+	w.WritePacket(ts, []byte{1})
+	w.Flush()
+	r, _ := NewReader(&buf)
+	rec, _ := r.Next()
+	if rec.Time.Nanosecond()%1000 != 0 {
+		t.Fatalf("microsecond file retained ns precision: %v", rec.Time)
+	}
+}
+
+func TestSnapLenTruncates(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, WriterOptions{SnapLen: 10})
+	data := bytes.Repeat([]byte{0x55}, 100)
+	w.WritePacket(t0, data)
+	w.Flush()
+	r, _ := NewReader(&buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Data) != 10 {
+		t.Fatalf("captured %d bytes, want 10", len(rec.Data))
+	}
+	if rec.OrigLen != 100 {
+		t.Fatalf("OrigLen = %d, want 100", rec.OrigLen)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestShortHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("expected error for short header")
+	}
+}
+
+func TestEOFAfterLastPacket(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, WriterOptions{})
+	w.WritePacket(t0, []byte{9})
+	w.Flush()
+	r, _ := NewReader(&buf)
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, WriterOptions{})
+		for i, p := range payloads {
+			if len(p) > 4096 {
+				p = p[:4096]
+			}
+			if err := w.WritePacket(t0.Add(time.Duration(i)*time.Millisecond), p); err != nil {
+				return false
+			}
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		recs, err := r.ReadAll()
+		if err != nil || len(recs) != len(payloads) {
+			return false
+		}
+		for i, p := range payloads {
+			if len(p) > 4096 {
+				p = p[:4096]
+			}
+			if !bytes.Equal(recs[i].Data, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelsRoundTrip(t *testing.T) {
+	labels := []Label{
+		{Start: t0.Add(time.Minute), End: t0.Add(2 * time.Minute), Experiment: "interaction", Activity: "android_lan_on"},
+		{Start: t0, End: t0.Add(time.Minute), Experiment: "power", Activity: "power"},
+	}
+	var buf bytes.Buffer
+	if err := WriteLabels(&buf, labels); err != nil {
+		t.Fatalf("WriteLabels: %v", err)
+	}
+	got, err := ReadLabels(&buf)
+	if err != nil {
+		t.Fatalf("ReadLabels: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("labels = %d", len(got))
+	}
+	// Output is sorted by start.
+	if got[0].Experiment != "power" || got[1].Activity != "android_lan_on" {
+		t.Errorf("unexpected order: %+v", got)
+	}
+	if !got[0].Start.Equal(t0) {
+		t.Errorf("start = %v", got[0].Start)
+	}
+}
+
+func TestLabelContains(t *testing.T) {
+	l := Label{Start: t0, End: t0.Add(time.Minute)}
+	if !l.Contains(t0) {
+		t.Error("start should be contained")
+	}
+	if l.Contains(t0.Add(time.Minute)) {
+		t.Error("end should be excluded")
+	}
+	if l.Contains(t0.Add(-time.Second)) {
+		t.Error("before start should be excluded")
+	}
+	if l.Duration() != time.Minute {
+		t.Errorf("Duration = %v", l.Duration())
+	}
+}
+
+func TestLabelRejectsTabs(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteLabels(&buf, []Label{{Start: t0, End: t0, Experiment: "a\tb"}})
+	if err == nil {
+		t.Fatal("expected error for tab in experiment name")
+	}
+}
+
+func TestReadLabelsErrors(t *testing.T) {
+	cases := []string{
+		"one\ttwo\tthree",
+		"bad\t2019-04-01T00:00:00Z\tx\ty",
+		"2019-04-01T00:00:00Z\tbad\tx\ty",
+		"2019-04-01T01:00:00Z\t2019-04-01T00:00:00Z\tx\ty", // end before start
+	}
+	for _, c := range cases {
+		if _, err := ReadLabels(strings.NewReader(c + "\n")); err == nil {
+			t.Errorf("ReadLabels(%q): expected error", c)
+		}
+	}
+}
+
+func TestReadLabelsSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\n2019-04-01T00:00:00Z\t2019-04-01T00:01:00Z\tidle\tidle\n"
+	got, err := ReadLabels(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Experiment != "idle" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestFindLabel(t *testing.T) {
+	labels := []Label{
+		{Start: t0, End: t0.Add(time.Minute), Experiment: "power", Activity: "power"},
+		{Start: t0.Add(time.Hour), End: t0.Add(2 * time.Hour), Experiment: "idle", Activity: "idle"},
+	}
+	if l, ok := FindLabel(labels, t0.Add(30*time.Second)); !ok || l.Experiment != "power" {
+		t.Errorf("FindLabel in first window: %v %v", l, ok)
+	}
+	if _, ok := FindLabel(labels, t0.Add(30*time.Minute)); ok {
+		t.Error("FindLabel in gap should miss")
+	}
+}

@@ -1,0 +1,171 @@
+// Package pii implements the plaintext PII detection of §6.1/§6.2: given
+// the PII known for a device (identifiers assigned at manufacture plus
+// personal information supplied at account registration), it searches
+// network payloads for those values under the encodings leaky firmware
+// actually uses — raw text, upper/lower hex, base64, URL escaping, and
+// JSON string embedding.
+package pii
+
+import (
+	"encoding/base64"
+	"encoding/hex"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// Kind categorizes a PII item, mirroring §2.1's "stored data" taxonomy.
+type Kind string
+
+const (
+	KindMAC        Kind = "mac_address"
+	KindUUID       Kind = "uuid"
+	KindDeviceID   Kind = "device_id"
+	KindSerial     Kind = "serial_number"
+	KindName       Kind = "person_name"
+	KindEmail      Kind = "email"
+	KindAddress    Kind = "postal_address"
+	KindPhone      Kind = "phone_number"
+	KindUsername   Kind = "username"
+	KindPassword   Kind = "password"
+	KindGeo        Kind = "geolocation"
+	KindDeviceName Kind = "device_name" // user-specified, e.g. "John Doe's Roku TV"
+	KindSSID       Kind = "wifi_ssid"
+)
+
+// Item is one piece of PII to look for.
+type Item struct {
+	Kind  Kind
+	Value string
+}
+
+// Corpus is the set of PII known for a device (the testbed knows ground
+// truth because it created the accounts and assigned the identifiers).
+type Corpus struct {
+	items []Item
+}
+
+// NewCorpus builds a corpus; empty values are skipped.
+func NewCorpus(items ...Item) *Corpus {
+	c := &Corpus{}
+	for _, it := range items {
+		if strings.TrimSpace(it.Value) != "" {
+			c.items = append(c.items, it)
+		}
+	}
+	return c
+}
+
+// Add appends an item.
+func (c *Corpus) Add(kind Kind, value string) {
+	if strings.TrimSpace(value) != "" {
+		c.items = append(c.items, Item{Kind: kind, Value: value})
+	}
+}
+
+// Items returns a copy of the corpus contents.
+func (c *Corpus) Items() []Item { return append([]Item(nil), c.items...) }
+
+// Len is the number of items.
+func (c *Corpus) Len() int { return len(c.items) }
+
+// Match is one detected exposure.
+type Match struct {
+	Item     Item
+	Encoding string // "plain", "hex", "base64", "urlescape", "nocolon", ...
+	Offset   int    // byte offset of the match in the scanned payload
+}
+
+// Scanner matches a corpus against payloads under multiple encodings. It
+// precomputes the encoded needles once so scanning is a set of
+// substring searches.
+type Scanner struct {
+	needles []needle
+}
+
+type needle struct {
+	item     Item
+	encoding string
+	bytes    string // lower-cased needle
+}
+
+// NewScanner compiles a scanner for the corpus.
+func NewScanner(c *Corpus) *Scanner {
+	s := &Scanner{}
+	for _, it := range c.items {
+		s.addNeedles(it)
+	}
+	// Longer needles first so the most specific encoding is reported.
+	sort.SliceStable(s.needles, func(i, j int) bool {
+		return len(s.needles[i].bytes) > len(s.needles[j].bytes)
+	})
+	return s
+}
+
+func (s *Scanner) addNeedles(it Item) {
+	add := func(encoding, v string) {
+		if len(v) < 4 {
+			return // too short to search for reliably
+		}
+		s.needles = append(s.needles, needle{item: it, encoding: encoding, bytes: strings.ToLower(v)})
+	}
+	v := it.Value
+	add("plain", v)
+	add("base64", base64.StdEncoding.EncodeToString([]byte(v)))
+	add("base64url", base64.URLEncoding.EncodeToString([]byte(v)))
+	add("hex", hex.EncodeToString([]byte(v)))
+	if esc := url.QueryEscape(v); esc != v {
+		add("urlescape", esc)
+	}
+	if it.Kind == KindMAC {
+		// MACs leak with separators stripped or swapped.
+		add("nocolon", strings.ReplaceAll(v, ":", ""))
+		add("dashes", strings.ReplaceAll(v, ":", "-"))
+	}
+	if strings.Contains(v, " ") {
+		// Names/addresses often appear with '+' or '%20' or concatenated.
+		add("plusjoined", strings.ReplaceAll(v, " ", "+"))
+		add("concat", strings.ReplaceAll(v, " ", ""))
+	}
+}
+
+// Scan searches payload for every needle and returns all matches
+// (deduplicated per (item, encoding)).
+func (s *Scanner) Scan(payload []byte) []Match {
+	if len(payload) == 0 || len(s.needles) == 0 {
+		return nil
+	}
+	hay := strings.ToLower(string(payload))
+	seen := make(map[string]bool)
+	var out []Match
+	for _, n := range s.needles {
+		idx := strings.Index(hay, n.bytes)
+		if idx < 0 {
+			continue
+		}
+		key := string(n.item.Kind) + "\x00" + n.item.Value + "\x00" + n.encoding
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Match{Item: n.item, Encoding: n.encoding, Offset: idx})
+	}
+	return out
+}
+
+// ScanString is Scan for string payloads.
+func (s *Scanner) ScanString(payload string) []Match { return s.Scan([]byte(payload)) }
+
+// KindsFound summarizes the distinct kinds present in a match set.
+func KindsFound(matches []Match) []Kind {
+	set := make(map[Kind]bool)
+	for _, m := range matches {
+		set[m.Item.Kind] = true
+	}
+	out := make([]Kind, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,24 @@
+package report_test
+
+import (
+	"os"
+
+	"github.com/neu-sns/intl-iot-go/internal/report"
+)
+
+// ExampleTable demonstrates the renderer used for every paper table.
+func ExampleTable() {
+	tbl := &report.Table{
+		Title:   "Demo",
+		Headers: []string{"Device", "Unencrypted %"},
+	}
+	tbl.AddRow("TP-Link Plug", "18.6")
+	tbl.AddRow("Echo Dot", "0.7")
+	tbl.Render(os.Stdout)
+	// Output:
+	// Demo
+	// Device        Unencrypted %
+	// ---------------------------
+	// TP-Link Plug  18.6
+	// Echo Dot      0.7
+}

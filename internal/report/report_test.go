@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Value"},
+	}
+	tbl.AddRow("short", "1")
+	tbl.AddRow("a-much-longer-name", "22")
+	out := tbl.String()
+	if !strings.HasPrefix(out, "Demo\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Non-final columns align: the last cell starts at the same offset.
+	off3 := strings.Index(lines[3], "1")
+	off4 := strings.Index(lines[4], "22")
+	if off3 != off4 {
+		t.Errorf("rows not aligned:\n%q\n%q", lines[3], lines[4])
+	}
+}
+
+func TestAddRowPads(t *testing.T) {
+	tbl := &Table{Headers: []string{"A", "B", "C"}}
+	tbl.AddRow("only-one")
+	if len(tbl.Rows[0]) != 3 {
+		t.Fatalf("row width = %d", len(tbl.Rows[0]))
+	}
+	if tbl.Rows[0][1] != "" || tbl.Rows[0][2] != "" {
+		t.Error("missing cells should be empty")
+	}
+	tbl.AddRow("a", "b", "c", "overflow")
+	if len(tbl.Rows[1]) != 3 {
+		t.Error("overflow cells should be dropped")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"X", "Y"}}
+	tbl.AddRow("a,b", "2")
+	var b strings.Builder
+	if err := tbl.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "X,Y\na;b,2\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestTable1Inventory(t *testing.T) {
+	tbl := Table1()
+	if len(tbl.Rows) != 55 {
+		t.Fatalf("Table 1 rows = %d, want 55 distinct models", len(tbl.Rows))
+	}
+	us, uk, common := 0, 0, 0
+	for _, r := range tbl.Rows {
+		if r[2] == "x" {
+			us++
+		}
+		if r[3] == "x" {
+			uk++
+		}
+		if r[2] == "x" && r[3] == "x" {
+			common++
+		}
+	}
+	if us != 46 || uk != 35 || common != 26 {
+		t.Errorf("inventory: US=%d UK=%d common=%d", us, uk, common)
+	}
+}
+
+func TestHelperFormats(t *testing.T) {
+	if itoa(42) != "42" {
+		t.Error("itoa")
+	}
+	if ftoa(3.14159) != "3.1" {
+		t.Error("ftoa")
+	}
+	if mb(1500000) != "1.5" {
+		t.Error("mb")
+	}
+}

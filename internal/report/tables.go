@@ -1,0 +1,321 @@
+package report
+
+import (
+	"sort"
+
+	"github.com/neu-sns/intl-iot-go/internal/analysis"
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/orgdb"
+)
+
+// columnHeaders is the 8-column layout shared by Tables 2–10:
+// US, UK, US∩, UK∩, then the four VPN variants.
+var columnHeaders = []string{"US", "UK", "US∩", "UK∩", "VPN US->UK", "VPN UK->US", "VPN US∩", "VPN UK∩"}
+
+// cells8 evaluates a (column, commonOnly) cell function over the layout.
+func cells8(f func(column string, common bool) string) []string {
+	return []string{
+		f("US", false), f("GB", false), f("US", true), f("GB", true),
+		f("US->GB", false), f("GB->US", false), f("US->GB", true), f("GB->US", true),
+	}
+}
+
+// Table1 renders the device inventory (§3.1).
+func Table1() *Table {
+	t := &Table{
+		Title:   "Table 1: IoT devices under test",
+		Headers: []string{"Category", "Device", "US", "UK"},
+	}
+	for _, cat := range devices.AllCategories {
+		for _, p := range devices.Catalog() {
+			if p.Category != cat {
+				continue
+			}
+			us, uk := "", ""
+			if p.InLab(devices.LabUS) {
+				us = "x"
+			}
+			if p.InLab(devices.LabUK) {
+				uk = "x"
+			}
+			t.AddRow(string(cat), p.Name, us, uk)
+		}
+	}
+	return t
+}
+
+// Table2 renders non-first parties by experiment type (§4.2).
+func Table2(d *analysis.DestCollector) *Table {
+	t := &Table{
+		Title:   "Table 2: Non-first parties contacted, by experiment type",
+		Headers: append([]string{"Experiment", "Party"}, columnHeaders...),
+	}
+	addRows := func(label string, count func(party orgdb.PartyType, col string, common bool) int) {
+		for _, party := range []orgdb.PartyType{orgdb.PartySupport, orgdb.PartyThird} {
+			name := "Support"
+			if party == orgdb.PartyThird {
+				name = "Third"
+			}
+			p := party
+			t.AddRow(append([]string{label, name}, cells8(func(col string, common bool) string {
+				return itoa(count(p, col, common))
+			})...)...)
+		}
+	}
+	for _, et := range analysis.ExpTypesForTable2 {
+		e := et
+		addRows(string(et), func(party orgdb.PartyType, col string, common bool) int {
+			return d.CountByExpParty(e, party, col, common)
+		})
+	}
+	addRows("Total", d.TotalByParty)
+	return t
+}
+
+// Table3 renders non-first parties by device category (§4.2).
+func Table3(d *analysis.DestCollector) *Table {
+	t := &Table{
+		Title:   "Table 3: Non-first parties contacted, by device category",
+		Headers: append([]string{"Category", "Party"}, columnHeaders...),
+	}
+	for _, cat := range devices.AllCategories {
+		for _, party := range []orgdb.PartyType{orgdb.PartySupport, orgdb.PartyThird} {
+			name := "Support"
+			if party == orgdb.PartyThird {
+				name = "Third"
+			}
+			c, p := string(cat), party
+			t.AddRow(append([]string{c, name}, cells8(func(col string, common bool) string {
+				return itoa(d.CountByCategoryParty(c, p, col, common))
+			})...)...)
+		}
+	}
+	return t
+}
+
+// Table4 renders the organisations contacted by the most devices (§4.3).
+func Table4(d *analysis.DestCollector, n int) *Table {
+	t := &Table{
+		Title:   "Table 4: Organizations contacted by multiple devices",
+		Headers: append([]string{"Organization"}, columnHeaders...),
+	}
+	for _, row := range d.TopOrganizations(n) {
+		t.AddRow(
+			row.Org,
+			itoa(row.Counts["US"]), itoa(row.Counts["GB"]),
+			itoa(row.Counts["US∩"]), itoa(row.Counts["GB∩"]),
+			itoa(row.Counts["US->GB"]), itoa(row.Counts["GB->US"]),
+			itoa(row.Counts["US->GB∩"]), itoa(row.Counts["GB->US∩"]),
+		)
+	}
+	return t
+}
+
+// Figure2 renders the traffic-volume flow data (lab → category →
+// destination region) as a band table; the Sankey of the paper is a
+// visualization of exactly these rows.
+func Figure2(d *analysis.DestCollector, topN int) *Table {
+	t := &Table{
+		Title:   "Figure 2: Traffic volume by lab, category and destination region (MB)",
+		Headers: []string{"Lab", "Category", "Region", "MB"},
+	}
+	for _, b := range d.TrafficBands(topN) {
+		lab := "US"
+		if b.Lab == "GB" {
+			lab = "UK"
+		}
+		t.AddRow(lab, b.Category, b.Country, mb(b.Bytes))
+	}
+	return t
+}
+
+// Table5 renders the encryption-share quartile counts (§5.2).
+func Table5(e *analysis.EncCollector) *Table {
+	t := &Table{
+		Title:   "Table 5: Devices by encryption percentage, quartile groups",
+		Headers: append([]string{"Enc", "Range"}, columnHeaders...),
+	}
+	ranges := []string{">75", "50-75", "25-50", "<25"}
+	for _, class := range analysis.EncClasses {
+		for qi, rng := range ranges {
+			c, q := class, qi
+			t.AddRow(append([]string{class.String(), rng}, cells8(func(col string, common bool) string {
+				return itoa(e.QuartileCounts(c, col, common)[q])
+			})...)...)
+		}
+	}
+	return t
+}
+
+// Table6 renders percent of bytes per class by category (§5.2).
+func Table6(e *analysis.EncCollector) *Table {
+	t := &Table{
+		Title:   "Table 6: Percent of bytes sent per encryption class, by category",
+		Headers: append([]string{"Enc", "Type"}, columnHeaders...),
+	}
+	for _, class := range analysis.EncClasses {
+		for _, cat := range devices.AllCategories {
+			c, cl := string(cat), class
+			t.AddRow(append([]string{class.String(), c}, cells8(func(col string, common bool) string {
+				return ftoa(e.CategoryShare(c, cl, col, common))
+			})...)...)
+		}
+	}
+	return t
+}
+
+// Table7 renders per-device unencrypted percentages with significance
+// markers: "*" marks a significant direct-vs-VPN difference (the paper's
+// bold), "~" a significant US-vs-UK difference (the paper's italic).
+func Table7(e *analysis.EncCollector, names []string) *Table {
+	t := &Table{
+		Title:   "Table 7: Average percent of unencrypted bytes per device (*=VPN sig, ~=region sig)",
+		Headers: []string{"Device", "US", "UK", "VPN US->UK", "VPN UK->US"},
+	}
+	for _, row := range e.DeviceRows(names) {
+		name := row.Device
+		if row.SigVPN {
+			name += " *"
+		}
+		if row.SigRegion {
+			name += " ~"
+		}
+		cell := func(col string) string {
+			if v, ok := row.Percent[col]; ok {
+				return ftoa(v)
+			}
+			return "-"
+		}
+		t.AddRow(name, cell("US"), cell("GB"), cell("US->GB"), cell("GB->US"))
+	}
+	return t
+}
+
+// Table8 renders percent of bytes per class by experiment type (§5.2).
+func Table8(e *analysis.EncCollector) *Table {
+	t := &Table{
+		Title:   "Table 8: Percent of bytes sent per encryption class, by experiment type",
+		Headers: append([]string{"Enc", "Exp (#D)"}, columnHeaders...),
+	}
+	expRows := []analysis.ExpType{
+		analysis.ExpControl, analysis.ExpPower, analysis.ExpVoice,
+		analysis.ExpVideo, analysis.ExpOther, analysis.ExpIdle,
+	}
+	for _, class := range analysis.EncClasses {
+		for _, et := range expRows {
+			c, ex := class, et
+			label := string(et) + " (" + itoa(e.ExpDeviceCount(et)) + ")"
+			t.AddRow(append([]string{class.String(), label}, cells8(func(col string, common bool) string {
+				return ftoa(e.ExpShare(ex, c, col, common))
+			})...)...)
+		}
+	}
+	return t
+}
+
+// Table9 renders inferrable devices by category (§6.3).
+func Table9(results []analysis.InferenceResult) *Table {
+	t := &Table{
+		Title:   "Table 9: Inferrable devices (F1 > 0.75), by category",
+		Headers: append([]string{"Category"}, columnHeaders...),
+	}
+	for _, cat := range devices.AllCategories {
+		c := string(cat)
+		t.AddRow(append([]string{c}, cells8(func(col string, common bool) string {
+			return itoa(analysis.InferrableDevicesByCategory(results, col, common)[c])
+		})...)...)
+	}
+	return t
+}
+
+// Table10 renders inferrable activities by activity group (§6.3).
+func Table10(results []analysis.InferenceResult) *Table {
+	t := &Table{
+		Title:   "Table 10: Inferrable activities (F1 > 0.75), by activity group",
+		Headers: append([]string{"Activity (#D)"}, columnHeaders...),
+	}
+	withGroup := analysis.DevicesWithActivityGroup(results, "US")
+	for _, g := range analysis.ActivityGroups {
+		grp := g
+		label := string(g) + " (" + itoa(withGroup[g]) + ")"
+		t.AddRow(append([]string{label}, cells8(func(col string, common bool) string {
+			return itoa(analysis.InferrableActivitiesByGroup(results, col, common)[grp])
+		})...)...)
+	}
+	return t
+}
+
+// Table11 renders detected activity instances in idle traffic (§7.2).
+func Table11(res *analysis.DetectResult, minInstances int) *Table {
+	t := &Table{
+		Title:   "Table 11: Detected activity instances in idle experiments",
+		Headers: []string{"Device", "Activity", "US", "UK", "VPN US->UK", "VPN UK->US"},
+	}
+	t.AddRow("TOTAL HOURS", "-",
+		ftoa(res.Hours["US"]), ftoa(res.Hours["GB"]),
+		ftoa(res.Hours["US->GB"]), ftoa(res.Hours["GB->US"]))
+	for _, row := range res.Table11(minInstances) {
+		cell := func(col string) string {
+			if n := row.Counts[col]; n > 0 {
+				return itoa(n)
+			}
+			return "-"
+		}
+		t.AddRow(row.Device, row.Activity, cell("US"), cell("GB"), cell("US->GB"), cell("GB->US"))
+	}
+	return t
+}
+
+// Headline renders the paper's §1/§9 summary statistics.
+func Headline(d *analysis.DestCollector) *Table {
+	t := &Table{
+		Title:   "Headline findings (§1, §9)",
+		Headers: []string{"Metric", "Paper", "Measured"},
+	}
+	withNFP, total := d.DevicesWithNonFirstParty()
+	t.AddRow("devices with ≥1 non-first-party destination",
+		"72/81", itoa(withNFP)+"/"+itoa(total))
+	t.AddRow("US devices contacting destinations outside region",
+		"56.0%", ftoa(d.OutOfRegionShare("US")*100)+"%")
+	t.AddRow("UK devices contacting destinations outside region",
+		"83.8%", ftoa(d.OutOfRegionShare("GB")*100)+"%")
+	t.AddRow("share of US destinations that are non-first-party",
+		"57.5%", ftoa(d.NonFirstPartyShare("US")*100)+"%")
+	t.AddRow("share of UK destinations that are non-first-party",
+		"50.3%", ftoa(d.NonFirstPartyShare("GB")*100)+"%")
+	return t
+}
+
+// PIIReport renders the §6.2 plaintext-exposure findings.
+func PIIReport(findings []analysis.PIIFinding) *Table {
+	t := &Table{
+		Title:   "PII exposed in plaintext (§6.2)",
+		Headers: []string{"Device", "Lab", "Column", "Kind", "Encoding", "During"},
+	}
+	for _, f := range findings {
+		t.AddRow(f.Device, f.Lab, f.Column, string(f.Kind), f.Encoding, f.Activity)
+	}
+	return t
+}
+
+// UnexpectedReport renders the §7.3 user-study findings.
+func UnexpectedReport(unexpected map[string]int) *Table {
+	t := &Table{
+		Title:   "Unexpected behaviour in uncontrolled experiments (§7.3)",
+		Headers: []string{"Device | Activity", "Instances"},
+	}
+	keys := make([]string, 0, len(unexpected))
+	for k := range unexpected {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if unexpected[keys[i]] != unexpected[keys[j]] {
+			return unexpected[keys[i]] > unexpected[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	for _, k := range keys {
+		t.AddRow(k, itoa(unexpected[k]))
+	}
+	return t
+}

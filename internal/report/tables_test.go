@@ -1,0 +1,159 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/analysis"
+	"github.com/neu-sns/intl-iot-go/internal/cloud"
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/geo"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// miniCollectors runs a handful of experiments through fresh collectors.
+func miniCollectors(t *testing.T) (*analysis.DestCollector, *analysis.EncCollector, *analysis.ContentCollector) {
+	t.Helper()
+	in := cloud.New()
+	us, err := testbed.NewLab(devices.LabUS, in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest := analysis.NewDestCollector(in.Registry, map[string]*geo.Locator{
+		"US": in.Locator("US"), "GB": in.Locator("GB"),
+	})
+	enc := analysis.NewEncCollector()
+	content := analysis.NewContentCollector()
+	clock := testbed.StudyEpoch
+	for _, name := range []string{"Samsung TV", "Echo Dot", "TP-Link Plug"} {
+		slot, ok := us.Slot(name)
+		if !ok {
+			t.Fatalf("device %q missing", name)
+		}
+		for rep := 0; rep < 3; rep++ {
+			exp := us.RunPower(slot, false, clock, rep)
+			dest.Visit(exp)
+			enc.Visit(exp)
+			content.Visit(exp)
+			clock = exp.End.Add(time.Minute)
+		}
+	}
+	return dest, enc, content
+}
+
+func TestTable2Builder(t *testing.T) {
+	dest, _, _ := miniCollectors(t)
+	tbl := Table2(dest)
+	// 5 experiment types + Total, × 2 parties.
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if len(tbl.Headers) != 10 {
+		t.Fatalf("headers = %d", len(tbl.Headers))
+	}
+	if !strings.Contains(tbl.String(), "Power") {
+		t.Error("missing Power row")
+	}
+}
+
+func TestTable3Builder(t *testing.T) {
+	dest, _, _ := miniCollectors(t)
+	tbl := Table3(dest)
+	if len(tbl.Rows) != 12 { // 6 categories × 2 parties
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestTable4Builder(t *testing.T) {
+	dest, _, _ := miniCollectors(t)
+	tbl := Table4(dest, 3)
+	if len(tbl.Rows) == 0 || len(tbl.Rows) > 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFigure2Builder(t *testing.T) {
+	dest, _, _ := miniCollectors(t)
+	tbl := Figure2(dest, 7)
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no bands")
+	}
+	for _, r := range tbl.Rows {
+		if r[0] != "US" && r[0] != "UK" {
+			t.Errorf("lab cell = %q", r[0])
+		}
+	}
+}
+
+func TestTables5Through8Builders(t *testing.T) {
+	_, enc, _ := miniCollectors(t)
+	if got := len(Table5(enc).Rows); got != 12 { // 3 classes × 4 quartiles
+		t.Errorf("table5 rows = %d", got)
+	}
+	if got := len(Table6(enc).Rows); got != 18 { // 3 classes × 6 categories
+		t.Errorf("table6 rows = %d", got)
+	}
+	if got := len(Table7(enc, []string{"Samsung TV"}).Rows); got != 1 {
+		t.Errorf("table7 rows = %d", got)
+	}
+	if got := len(Table8(enc).Rows); got != 18 { // 3 classes × 6 exp types
+		t.Errorf("table8 rows = %d", got)
+	}
+}
+
+func TestTables9And10Builders(t *testing.T) {
+	results := []analysis.InferenceResult{
+		{DeviceID: "us/x", Category: "Cameras", Column: "US", DeviceF1: 0.9,
+			ActivityF1: map[string]float64{"local_move": 0.95}},
+	}
+	t9 := Table9(results)
+	if len(t9.Rows) != 6 {
+		t.Errorf("table9 rows = %d", len(t9.Rows))
+	}
+	if t9.Rows[0][1] != "1" { // cameras US column
+		t.Errorf("cameras cell = %q", t9.Rows[0][1])
+	}
+	t10 := Table10(results)
+	if len(t10.Rows) != 6 {
+		t.Errorf("table10 rows = %d", len(t10.Rows))
+	}
+}
+
+func TestTable11Builder(t *testing.T) {
+	res := analysis.NewDetectResult()
+	res.Counts[analysis.DetectKey{Device: "Cam", Activity: "local_move", Column: "US"}] = 9
+	tbl := Table11(res, 3)
+	if len(tbl.Rows) != 2 { // hours row + one detection row
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[1][2] != "9" {
+		t.Errorf("US cell = %q", tbl.Rows[1][2])
+	}
+	if tbl.Rows[1][3] != "-" {
+		t.Errorf("empty cell = %q", tbl.Rows[1][3])
+	}
+}
+
+func TestHeadlineBuilder(t *testing.T) {
+	dest, _, _ := miniCollectors(t)
+	tbl := Headline(dest)
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.String(), "72/81") {
+		t.Error("paper reference missing")
+	}
+}
+
+func TestPIIAndUnexpectedBuilders(t *testing.T) {
+	_, _, content := miniCollectors(t)
+	pii := PIIReport(content.Findings())
+	if len(pii.Headers) != 6 {
+		t.Errorf("pii headers = %d", len(pii.Headers))
+	}
+	un := UnexpectedReport(map[string]int{"Cam|move": 4, "TV|menu": 2})
+	if len(un.Rows) != 2 || un.Rows[0][0] != "Cam|move" {
+		t.Errorf("unexpected rows = %+v", un.Rows)
+	}
+}

@@ -1,0 +1,145 @@
+package stats
+
+// ConfusionMatrix accumulates multi-class classification outcomes keyed by
+// class name.
+type ConfusionMatrix struct {
+	classes []string
+	index   map[string]int
+	counts  [][]int // counts[actual][predicted]
+}
+
+// NewConfusionMatrix returns an empty matrix; unseen classes are added on
+// first use.
+func NewConfusionMatrix() *ConfusionMatrix {
+	return &ConfusionMatrix{index: make(map[string]int)}
+}
+
+func (m *ConfusionMatrix) classIdx(name string) int {
+	if i, ok := m.index[name]; ok {
+		return i
+	}
+	i := len(m.classes)
+	m.index[name] = i
+	m.classes = append(m.classes, name)
+	for j := range m.counts {
+		m.counts[j] = append(m.counts[j], 0)
+	}
+	m.counts = append(m.counts, make([]int, len(m.classes)))
+	return i
+}
+
+// Add records one (actual, predicted) observation.
+func (m *ConfusionMatrix) Add(actual, predicted string) {
+	a := m.classIdx(actual)
+	p := m.classIdx(predicted)
+	m.counts[a][p]++
+}
+
+// Classes returns the class names in first-seen order.
+func (m *ConfusionMatrix) Classes() []string {
+	return append([]string(nil), m.classes...)
+}
+
+// Total is the number of observations recorded.
+func (m *ConfusionMatrix) Total() int {
+	total := 0
+	for _, row := range m.counts {
+		for _, c := range row {
+			total += c
+		}
+	}
+	return total
+}
+
+// Accuracy is the fraction of observations on the diagonal.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	total := m.Total()
+	if total == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range m.counts {
+		correct += m.counts[i][i]
+	}
+	return float64(correct) / float64(total)
+}
+
+// ClassMetrics holds per-class precision, recall and F1.
+type ClassMetrics struct {
+	Class     string
+	Support   int // number of actual observations of the class
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// PerClass computes precision/recall/F1 for every class. Classes with no
+// predicted instances have precision 0; classes with no actual instances
+// have recall 0.
+func (m *ConfusionMatrix) PerClass() []ClassMetrics {
+	out := make([]ClassMetrics, len(m.classes))
+	for i, name := range m.classes {
+		tp := m.counts[i][i]
+		actual := 0
+		for _, c := range m.counts[i] {
+			actual += c
+		}
+		predicted := 0
+		for j := range m.counts {
+			predicted += m.counts[j][i]
+		}
+		cm := ClassMetrics{Class: name, Support: actual}
+		if predicted > 0 {
+			cm.Precision = float64(tp) / float64(predicted)
+		}
+		if actual > 0 {
+			cm.Recall = float64(tp) / float64(actual)
+		}
+		if cm.Precision+cm.Recall > 0 {
+			cm.F1 = 2 * cm.Precision * cm.Recall / (cm.Precision + cm.Recall)
+		}
+		out[i] = cm
+	}
+	return out
+}
+
+// MacroF1 is the unweighted mean of per-class F1 scores — the "F1 score
+// for the device" of §6.3, aggregated across all its activities.
+func (m *ConfusionMatrix) MacroF1() float64 {
+	per := m.PerClass()
+	if len(per) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range per {
+		sum += c.F1
+	}
+	return sum / float64(len(per))
+}
+
+// WeightedF1 is the support-weighted mean of per-class F1 scores; it is
+// more stable than macro-F1 when manual interactions contribute only a
+// handful of samples per class.
+func (m *ConfusionMatrix) WeightedF1() float64 {
+	per := m.PerClass()
+	totalSupport := 0
+	var sum float64
+	for _, c := range per {
+		sum += c.F1 * float64(c.Support)
+		totalSupport += c.Support
+	}
+	if totalSupport == 0 {
+		return 0
+	}
+	return sum / float64(totalSupport)
+}
+
+// F1For returns the F1 score of one class ("the F1 score for the
+// activity"), or (0, false) if the class was never observed.
+func (m *ConfusionMatrix) F1For(class string) (float64, bool) {
+	i, ok := m.index[class]
+	if !ok {
+		return 0, false
+	}
+	return m.PerClass()[i].F1, true
+}

@@ -1,0 +1,251 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("N/Min/Max: %+v", s)
+	}
+	if !almost(s.Mean, 3, 1e-12) {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if !almost(s.Std, math.Sqrt(2), 1e-12) { // population std
+		t.Errorf("Std = %v", s.Std)
+	}
+	if !almost(s.Skewness, 0, 1e-12) {
+		t.Errorf("Skewness = %v", s.Skewness)
+	}
+	if !almost(s.Deciles[4], 3, 1e-12) { // median
+		t.Errorf("median = %v", s.Deciles[4])
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Errorf("empty: %+v", s)
+	}
+}
+
+func TestSummarizeConstant(t *testing.T) {
+	s := Summarize([]float64{7, 7, 7, 7})
+	if s.Std != 0 || s.Skewness != 0 || s.Kurtosis != 0 {
+		t.Errorf("constant: %+v", s)
+	}
+}
+
+func TestSkewnessSign(t *testing.T) {
+	right := Summarize([]float64{1, 1, 1, 1, 10}) // long right tail
+	if right.Skewness <= 0 {
+		t.Errorf("right-skewed sample has skewness %v", right.Skewness)
+	}
+	left := Summarize([]float64{10, 10, 10, 10, 1})
+	if left.Skewness >= 0 {
+		t.Errorf("left-skewed sample has skewness %v", left.Skewness)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	if got := Quantile(sorted, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(sorted, 1); got != 4 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(sorted, 0.5); !almost(got, 2.5, 1e-12) {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := Quantile([]float64{9}, 0.3); got != 9 {
+		t.Errorf("single = %v", got)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		return Quantile(sorted, q1) <= Quantile(sorted, q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelchTIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	r := WelchT(a, a)
+	if r.P < 0.99 {
+		t.Errorf("identical samples p = %v", r.P)
+	}
+}
+
+func TestWelchTClearlyDifferent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = 10 + rng.NormFloat64()
+	}
+	r := WelchT(a, b)
+	if r.P > 1e-6 {
+		t.Errorf("clearly different samples p = %v", r.P)
+	}
+	if r.T > 0 {
+		t.Errorf("t should be negative (a < b): %v", r.T)
+	}
+}
+
+func TestWelchTSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	r := WelchT(a, b)
+	if r.P < 0.01 {
+		t.Errorf("same-distribution samples p = %v (false positive)", r.P)
+	}
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	if r := WelchT([]float64{1}, []float64{2, 3}); r.P != 1 {
+		t.Errorf("tiny sample p = %v", r.P)
+	}
+	if r := WelchT([]float64{5, 5, 5}, []float64{5, 5, 5}); r.P != 1 {
+		t.Errorf("zero-variance equal p = %v", r.P)
+	}
+	if r := WelchT([]float64{5, 5, 5}, []float64{9, 9, 9}); r.P != 0 {
+		t.Errorf("zero-variance different p = %v", r.P)
+	}
+}
+
+func TestStudentTSFKnownValues(t *testing.T) {
+	// For df=10, P(T > 2.228) ≈ 0.025 (classic t-table value).
+	if got := studentTSF(2.228, 10); !almost(got, 0.025, 0.002) {
+		t.Errorf("sf(2.228, 10) = %v", got)
+	}
+	// For df=1 (Cauchy), P(T > 1) = 0.25.
+	if got := studentTSF(1, 1); !almost(got, 0.25, 0.005) {
+		t.Errorf("sf(1, 1) = %v", got)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	if Mean(nil) != 0 || Variance([]float64{3}) != 0 {
+		t.Error("degenerate cases")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5, 1e-12) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if !almost(Variance(xs), 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v", Variance(xs))
+	}
+	if !almost(StdDev(xs), math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", StdDev(xs))
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	m := NewConfusionMatrix()
+	// power: 3 correct, 1 confused with move.
+	m.Add("power", "power")
+	m.Add("power", "power")
+	m.Add("power", "power")
+	m.Add("power", "move")
+	// move: 2 correct.
+	m.Add("move", "move")
+	m.Add("move", "move")
+
+	if m.Total() != 6 {
+		t.Errorf("Total = %d", m.Total())
+	}
+	if !almost(m.Accuracy(), 5.0/6, 1e-12) {
+		t.Errorf("Accuracy = %v", m.Accuracy())
+	}
+	per := m.PerClass()
+	if len(per) != 2 {
+		t.Fatalf("classes = %d", len(per))
+	}
+	// power: precision 3/3=1, recall 3/4.
+	f1, ok := m.F1For("power")
+	if !ok {
+		t.Fatal("power class missing")
+	}
+	wantF1 := 2 * 1.0 * 0.75 / 1.75
+	if !almost(f1, wantF1, 1e-12) {
+		t.Errorf("F1(power) = %v, want %v", f1, wantF1)
+	}
+	if _, ok := m.F1For("absent"); ok {
+		t.Error("F1For(absent) should miss")
+	}
+	if m.MacroF1() <= 0 || m.MacroF1() > 1 {
+		t.Errorf("MacroF1 = %v", m.MacroF1())
+	}
+}
+
+func TestConfusionMatrixPerfect(t *testing.T) {
+	m := NewConfusionMatrix()
+	for i := 0; i < 10; i++ {
+		m.Add("a", "a")
+		m.Add("b", "b")
+	}
+	if m.MacroF1() != 1 || m.Accuracy() != 1 {
+		t.Errorf("perfect classifier: macroF1=%v acc=%v", m.MacroF1(), m.Accuracy())
+	}
+}
+
+func TestConfusionMatrixEmpty(t *testing.T) {
+	m := NewConfusionMatrix()
+	if m.Accuracy() != 0 || m.MacroF1() != 0 || m.Total() != 0 {
+		t.Error("empty matrix should be all zeros")
+	}
+}
+
+func TestConfusionMatrixNewClassAfterRows(t *testing.T) {
+	m := NewConfusionMatrix()
+	m.Add("a", "a")
+	m.Add("a", "c") // class c introduced as prediction only
+	per := m.PerClass()
+	var cMetrics *ClassMetrics
+	for i := range per {
+		if per[i].Class == "c" {
+			cMetrics = &per[i]
+		}
+	}
+	if cMetrics == nil {
+		t.Fatal("class c missing")
+	}
+	if cMetrics.Support != 0 || cMetrics.Precision != 0 {
+		t.Errorf("class c: %+v", cMetrics)
+	}
+}

@@ -1,0 +1,338 @@
+// Package testbed models the two Mon(IoT)r labs (§3.2): a gateway server
+// providing NAT and DNS to a private IoT network, per-MAC traffic capture
+// with experiment labels, and a VPN tunnel between the labs that swaps the
+// egress IP (and therefore the region servers see).
+package testbed
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/cloud"
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+	"github.com/neu-sns/intl-iot-go/internal/pcapio"
+)
+
+// StudyEpoch is the simulated wall clock's zero: the experiments of the
+// paper ran during April 2019.
+var StudyEpoch = time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+
+// Lab is one testbed site.
+type Lab struct {
+	// Name is the lab's country code: "US" or "GB".
+	Name string
+	// Internet is the simulated server side (shared between labs).
+	Internet *cloud.Internet
+	// Subnet is the private IoT network.
+	Subnet netip.Prefix
+	// GatewayIP doubles as the DNS resolver address.
+	GatewayIP  netip.Addr
+	GatewayMAC netx.MAC
+	// PeerName is the other lab's country code (the VPN egress).
+	PeerName string
+
+	slots []*DeviceSlot
+	seed  int64
+}
+
+// DeviceSlot is one device attached to a lab network.
+type DeviceSlot struct {
+	Inst *devices.Instance
+	IP   netip.Addr
+}
+
+// NewLab builds a lab and attaches every catalog device deployed there.
+func NewLab(name string, internet *cloud.Internet, seed int64) (*Lab, error) {
+	var subnet netip.Prefix
+	var peer string
+	switch name {
+	case devices.LabUS:
+		subnet = netip.MustParsePrefix("192.168.10.0/24")
+		peer = devices.LabUK
+	case devices.LabUK:
+		subnet = netip.MustParsePrefix("192.168.20.0/24")
+		peer = devices.LabUS
+	default:
+		return nil, fmt.Errorf("testbed: unknown lab %q", name)
+	}
+	base := subnet.Addr().As4()
+	l := &Lab{
+		Name:       name,
+		Internet:   internet,
+		Subnet:     subnet,
+		GatewayIP:  netip.AddrFrom4([4]byte{base[0], base[1], base[2], 1}),
+		GatewayMAC: netx.MAC{0x02, 0x00, 0x00, 0x00, base[2], 0x01},
+		PeerName:   peer,
+		seed:       seed,
+	}
+	host := byte(10)
+	for _, inst := range devices.InstancesInLab(name) {
+		l.slots = append(l.slots, &DeviceSlot{
+			Inst: inst,
+			IP:   netip.AddrFrom4([4]byte{base[0], base[1], base[2], host}),
+		})
+		host++
+		if host == 0 { // wrapped: subnet too small
+			return nil, fmt.Errorf("testbed: subnet %v exhausted", subnet)
+		}
+	}
+	return l, nil
+}
+
+// Slots returns the attached devices.
+func (l *Lab) Slots() []*DeviceSlot { return l.slots }
+
+// Slot returns the slot for a device model name.
+func (l *Lab) Slot(deviceName string) (*DeviceSlot, bool) {
+	for _, s := range l.slots {
+		if s.Inst.Profile.Name == deviceName {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Egress returns the country traffic exits from, given the VPN state.
+func (l *Lab) Egress(vpn bool) string {
+	if vpn {
+		return l.PeerName
+	}
+	return l.Name
+}
+
+// Column returns the table-column key ("US", "GB", "US->GB", "GB->US").
+func (l *Lab) Column(vpn bool) string {
+	if !vpn {
+		return l.Name
+	}
+	return l.Name + "->" + l.PeerName
+}
+
+// env builds the generator environment for a slot.
+func (l *Lab) env(slot *DeviceSlot, vpn bool, rng *rand.Rand) *devices.Env {
+	egress := l.Egress(vpn)
+	return &devices.Env{
+		Lookup: func(fqdn string) (cloud.Resolution, error) {
+			return l.Internet.Lookup(fqdn, egress)
+		},
+		Peer:       l.Internet.ResidentialPeer,
+		DeviceIP:   slot.IP,
+		GatewayIP:  l.GatewayIP,
+		DNSAddr:    l.GatewayIP,
+		DeviceMAC:  slot.Inst.MAC,
+		GatewayMAC: l.GatewayMAC,
+		Lab:        l.Name,
+		VPN:        vpn,
+		Rng:        rng,
+	}
+}
+
+// ExperimentKind mirrors §3.3's experiment taxonomy.
+type ExperimentKind string
+
+const (
+	KindPower        ExperimentKind = "power"
+	KindInteraction  ExperimentKind = "interaction"
+	KindIdle         ExperimentKind = "idle"
+	KindUncontrolled ExperimentKind = "uncontrolled"
+)
+
+// Experiment is one labelled capture window for one device.
+type Experiment struct {
+	Lab      string
+	VPN      bool
+	Column   string
+	Device   *devices.Instance
+	DeviceIP netip.Addr
+	Kind     ExperimentKind
+	// Activity is the label ("power", "local_move", "android_lan_on",
+	// "idle", ...).
+	Activity string
+	Start    time.Time
+	End      time.Time
+	Packets  []*netx.Packet
+	// IdleEvents is the generator's ground truth for idle/uncontrolled
+	// windows: which activity-like emissions actually happened.
+	IdleEvents []devices.IdleEvent
+}
+
+// Bytes is the total captured wire volume.
+func (e *Experiment) Bytes() int {
+	total := 0
+	for _, p := range e.Packets {
+		total += p.Meta.Length
+	}
+	return total
+}
+
+// Label converts the experiment to a capture label.
+func (e *Experiment) Label() pcapio.Label {
+	return pcapio.Label{Start: e.Start, End: e.End, Experiment: string(e.Kind), Activity: e.Activity}
+}
+
+// expSeed derives the deterministic RNG seed of one experiment.
+func (l *Lab) expSeed(slot *DeviceSlot, kind ExperimentKind, label string, vpn bool, rep int) int64 {
+	h := int64(1469598103934665603)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= int64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(l.Name)
+	mix(slot.Inst.ID())
+	mix(string(kind))
+	mix(label)
+	if vpn {
+		mix("vpn")
+	}
+	h ^= int64(rep) * 16777619
+	h ^= l.seed
+	return h
+}
+
+// RunPower performs one power experiment (§3.3).
+func (l *Lab) RunPower(slot *DeviceSlot, vpn bool, start time.Time, rep int) *Experiment {
+	rng := rand.New(rand.NewSource(l.expSeed(slot, KindPower, "power", vpn, rep)))
+	g := devices.NewGen(slot.Inst, l.env(slot, vpn, rng))
+	pkts, end := g.Power(start)
+	return &Experiment{
+		Lab: l.Name, VPN: vpn, Column: l.Column(vpn),
+		Device: slot.Inst, DeviceIP: slot.IP,
+		Kind: KindPower, Activity: "power",
+		Start: start, End: end.Add(2 * time.Second), Packets: pkts,
+	}
+}
+
+// RunInteraction performs one labelled interaction experiment.
+func (l *Lab) RunInteraction(slot *DeviceSlot, act *devices.Activity, method devices.Method, vpn bool, start time.Time, rep int) *Experiment {
+	label := string(method) + "_" + act.Name
+	rng := rand.New(rand.NewSource(l.expSeed(slot, KindInteraction, label, vpn, rep)))
+	g := devices.NewGen(slot.Inst, l.env(slot, vpn, rng))
+	pkts, end := g.Interaction(act, method, start)
+	return &Experiment{
+		Lab: l.Name, VPN: vpn, Column: l.Column(vpn),
+		Device: slot.Inst, DeviceIP: slot.IP,
+		Kind: KindInteraction, Activity: label,
+		Start: start, End: end.Add(5 * time.Second), Packets: pkts,
+	}
+}
+
+// RunIdle captures an idle window.
+func (l *Lab) RunIdle(slot *DeviceSlot, vpn bool, start time.Time, dur time.Duration, rep int) *Experiment {
+	rng := rand.New(rand.NewSource(l.expSeed(slot, KindIdle, "idle", vpn, rep)))
+	g := devices.NewGen(slot.Inst, l.env(slot, vpn, rng))
+	pkts, events := g.Idle(start, dur)
+	return &Experiment{
+		Lab: l.Name, VPN: vpn, Column: l.Column(vpn),
+		Device: slot.Inst, DeviceIP: slot.IP,
+		Kind: KindIdle, Activity: "idle",
+		Start: start, End: start.Add(dur), Packets: pkts, IdleEvents: events,
+	}
+}
+
+// WritePcap serializes an experiment's packets as a classic pcap stream,
+// exactly as the gateway's per-MAC tcpdump would have recorded them.
+func WritePcap(w io.Writer, exp *Experiment) error {
+	pw, err := pcapio.NewWriter(w, pcapio.WriterOptions{})
+	if err != nil {
+		return err
+	}
+	for _, p := range exp.Packets {
+		if err := pw.WritePacket(p.Meta.Timestamp, p.Serialize()); err != nil {
+			return err
+		}
+	}
+	return pw.Flush()
+}
+
+// SaveExperiment writes an experiment the way the Mon(IoT)r gateway laid
+// out captures on disk: "<dir>/<device-id>/<n>.pcap" plus a
+// "<n>.labels" sidecar marking the experiment window. It returns the
+// pcap path.
+func SaveExperiment(dir string, n int, exp *Experiment) (string, error) {
+	devDir := filepath.Join(dir, filepath.FromSlash(exp.Device.ID()))
+	if err := os.MkdirAll(devDir, 0o755); err != nil {
+		return "", err
+	}
+	pcapPath := filepath.Join(devDir, fmt.Sprintf("%06d.pcap", n))
+	f, err := os.Create(pcapPath)
+	if err != nil {
+		return "", err
+	}
+	if err := WritePcap(f, exp); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	lf, err := os.Create(filepath.Join(devDir, fmt.Sprintf("%06d.labels", n)))
+	if err != nil {
+		return "", err
+	}
+	defer lf.Close()
+	if err := pcapio.WriteLabels(lf, []pcapio.Label{exp.Label()}); err != nil {
+		return "", err
+	}
+	return pcapPath, nil
+}
+
+// LoadExperiment reads a capture written by SaveExperiment back into
+// packets plus its labels.
+func LoadExperiment(pcapPath string) ([]*netx.Packet, []pcapio.Label, error) {
+	f, err := os.Open(pcapPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	pkts, err := ReadPcap(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	labelPath := strings.TrimSuffix(pcapPath, ".pcap") + ".labels"
+	lf, err := os.Open(labelPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return pkts, nil, nil
+		}
+		return nil, nil, err
+	}
+	defer lf.Close()
+	labels, err := pcapio.ReadLabels(lf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkts, labels, nil
+}
+
+// ReadPcap decodes a pcap stream back into packets (the analysis-side
+// entry point for on-disk captures).
+func ReadPcap(r io.Reader) ([]*netx.Packet, error) {
+	pr, err := pcapio.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := pr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	pkts := make([]*netx.Packet, 0, len(recs))
+	for _, rec := range recs {
+		p, err := netx.Decode(rec.Time, rec.Data)
+		if err != nil {
+			continue // tolerate malformed frames like tcpdump does
+		}
+		p.Meta.Length = rec.OrigLen
+		p.Meta.CaptureLength = len(rec.Data)
+		pkts = append(pkts, p)
+	}
+	return pkts, nil
+}

@@ -1,0 +1,214 @@
+package testbed
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/cloud"
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+)
+
+func newLabs(t *testing.T) (*Lab, *Lab) {
+	t.Helper()
+	in := cloud.New()
+	us, err := NewLab(devices.LabUS, in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uk, err := NewLab(devices.LabUK, in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return us, uk
+}
+
+func TestLabSetup(t *testing.T) {
+	us, uk := newLabs(t)
+	if len(us.Slots()) != 46 {
+		t.Errorf("US slots = %d", len(us.Slots()))
+	}
+	if len(uk.Slots()) != 35 {
+		t.Errorf("UK slots = %d", len(uk.Slots()))
+	}
+	seen := map[string]bool{}
+	for _, s := range us.Slots() {
+		if !us.Subnet.Contains(s.IP) {
+			t.Errorf("%s IP %v outside subnet", s.Inst.ID(), s.IP)
+		}
+		if seen[s.IP.String()] {
+			t.Errorf("duplicate IP %v", s.IP)
+		}
+		seen[s.IP.String()] = true
+	}
+	if _, err := NewLab("FR", cloud.New(), 1); err == nil {
+		t.Error("unknown lab should error")
+	}
+}
+
+func TestEgressAndColumn(t *testing.T) {
+	us, uk := newLabs(t)
+	if us.Egress(false) != "US" || us.Egress(true) != "GB" {
+		t.Error("US egress wrong")
+	}
+	if uk.Egress(false) != "GB" || uk.Egress(true) != "US" {
+		t.Error("UK egress wrong")
+	}
+	if us.Column(true) != "US->GB" || uk.Column(true) != "GB->US" {
+		t.Error("column keys wrong")
+	}
+}
+
+func TestRunPowerExperiment(t *testing.T) {
+	us, _ := newLabs(t)
+	slot, ok := us.Slot("Samsung TV")
+	if !ok {
+		t.Fatal("Samsung TV missing from US lab")
+	}
+	exp := us.RunPower(slot, false, StudyEpoch, 0)
+	if exp.Kind != KindPower || exp.Activity != "power" {
+		t.Errorf("experiment meta: %+v", exp)
+	}
+	if len(exp.Packets) < 20 {
+		t.Fatalf("too few packets: %d", len(exp.Packets))
+	}
+	if exp.Bytes() <= 0 {
+		t.Error("no bytes recorded")
+	}
+	// Packets use the slot's IP.
+	found := false
+	for _, p := range exp.Packets {
+		if src, ok := p.NetworkSrc(); ok && src == slot.IP {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no packet sourced from device IP")
+	}
+	lbl := exp.Label()
+	if lbl.Experiment != "power" || !lbl.Contains(exp.Start) {
+		t.Errorf("label: %+v", lbl)
+	}
+}
+
+func TestRunPowerDeterministic(t *testing.T) {
+	us, _ := newLabs(t)
+	slot, _ := us.Slot("Echo Dot")
+	a := us.RunPower(slot, false, StudyEpoch, 3)
+	b := us.RunPower(slot, false, StudyEpoch, 3)
+	if len(a.Packets) != len(b.Packets) {
+		t.Fatal("same rep differs")
+	}
+	c := us.RunPower(slot, false, StudyEpoch, 4)
+	if len(a.Packets) == len(c.Packets) {
+		// Not necessarily different, but payload bytes should differ.
+		same := true
+		for i := range a.Packets {
+			if !bytes.Equal(a.Packets[i].Serialize(), c.Packets[i].Serialize()) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different reps produced identical traffic")
+		}
+	}
+}
+
+func TestRunInteraction(t *testing.T) {
+	_, uk := newLabs(t)
+	slot, ok := uk.Slot("TP-Link Plug")
+	if !ok {
+		t.Fatal("TP-Link Plug missing from UK lab")
+	}
+	act, _ := slot.Inst.Profile.Activity("on")
+	exp := uk.RunInteraction(slot, act, devices.MethodLAN, false, StudyEpoch, 0)
+	if exp.Activity != "android_lan_on" {
+		t.Errorf("label = %q", exp.Activity)
+	}
+	if len(exp.Packets) == 0 {
+		t.Fatal("no packets")
+	}
+}
+
+func TestRunIdleCollectsEvents(t *testing.T) {
+	us, _ := newLabs(t)
+	slot, _ := us.Slot("ZModo Doorbell")
+	exp := us.RunIdle(slot, false, StudyEpoch, time.Hour, 0)
+	if exp.Kind != KindIdle {
+		t.Errorf("kind = %v", exp.Kind)
+	}
+	if len(exp.IdleEvents) == 0 {
+		t.Fatal("Zmodo idle should produce spurious events")
+	}
+	if exp.End.Sub(exp.Start) != time.Hour {
+		t.Errorf("window = %v", exp.End.Sub(exp.Start))
+	}
+}
+
+func TestVPNChangesDestinations(t *testing.T) {
+	us, _ := newLabs(t)
+	slot, _ := us.Slot("Xiaomi Rice Cooker")
+	direct := us.RunPower(slot, false, StudyEpoch, 0)
+	vpn := us.RunPower(slot, true, StudyEpoch, 0)
+	dsts := func(exp *Experiment) map[string]bool {
+		out := map[string]bool{}
+		for _, p := range exp.Packets {
+			if dst, ok := p.NetworkDst(); ok && !dst.IsPrivate() {
+				out[dst.String()] = true
+			}
+		}
+		return out
+	}
+	d1, d2 := dsts(direct), dsts(vpn)
+	same := true
+	for k := range d1 {
+		if !d2[k] {
+			same = false
+		}
+	}
+	if same && len(d1) == len(d2) {
+		t.Error("VPN egress should select different replicas for the rice cooker")
+	}
+}
+
+func TestPcapRoundTripThroughDisk(t *testing.T) {
+	us, _ := newLabs(t)
+	slot, _ := us.Slot("Ring Doorbell")
+	exp := us.RunPower(slot, false, StudyEpoch, 0)
+
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, exp); err != nil {
+		t.Fatalf("WritePcap: %v", err)
+	}
+	pkts, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatalf("ReadPcap: %v", err)
+	}
+	if len(pkts) != len(exp.Packets) {
+		t.Fatalf("round trip lost packets: %d vs %d", len(pkts), len(exp.Packets))
+	}
+	for i := range pkts {
+		if pkts[i].TCP != nil && exp.Packets[i].TCP != nil {
+			if pkts[i].TCP.SrcPort != exp.Packets[i].TCP.SrcPort {
+				t.Fatalf("packet %d port mismatch", i)
+			}
+		}
+		if !bytes.Equal(pkts[i].Payload, exp.Packets[i].Payload) {
+			t.Fatalf("packet %d payload mismatch", i)
+		}
+	}
+}
+
+func TestCommonDevicesInBothLabs(t *testing.T) {
+	us, uk := newLabs(t)
+	common := 0
+	for _, s := range us.Slots() {
+		if _, ok := uk.Slot(s.Inst.Profile.Name); ok {
+			common++
+		}
+	}
+	if common != 26 {
+		t.Errorf("common devices = %d, want 26", common)
+	}
+}

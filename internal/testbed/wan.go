@@ -1,0 +1,182 @@
+package testbed
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+)
+
+// The WAN view: what a passive observer at the lab's ISP sees (§2.1's
+// "network eavesdropper"). The gateway NATs every device flow to the
+// lab's public address, and — when the VPN is up — wraps everything in a
+// single encrypted tunnel to the peer lab. The paper's RQ4 eavesdropper
+// sits exactly here.
+
+// PublicIP returns the lab's public egress address.
+func (l *Lab) PublicIP() netip.Addr {
+	if l.Name == "US" {
+		return netip.MustParseAddr("155.33.17.2")
+	}
+	return netip.MustParseAddr("146.169.8.2")
+}
+
+// peerPublicIP is the other lab's egress (the VPN far end).
+func (l *Lab) peerPublicIP() netip.Addr {
+	if l.Name == "US" {
+		return netip.MustParseAddr("146.169.8.2")
+	}
+	return netip.MustParseAddr("155.33.17.2")
+}
+
+// natTable maps (device IP, device port, proto) to a translated source
+// port, deterministically.
+func natPort(devIP netip.Addr, devPort uint16, proto uint8) uint16 {
+	h := fnv.New32a()
+	b := devIP.As4()
+	h.Write(b[:])
+	h.Write([]byte{byte(devPort >> 8), byte(devPort), proto})
+	return uint16(h.Sum32()%28000) + 32768
+}
+
+// WANView translates an experiment's capture into the packets the ISP
+// would record on the gateway's WAN interface:
+//
+//   - LAN-only traffic (DHCP, ARP, SSDP/mDNS, the DNS exchange with the
+//     gateway resolver) never leaves the house and disappears;
+//   - everything else is NATed: the device's private address becomes the
+//     lab's public IP with a translated source port;
+//   - under VPN, each packet is instead encapsulated in the tunnel: the
+//     observer sees only gateway→gateway UDP datagrams of matching sizes
+//     and timing — destinations are hidden, but the traffic *shape*
+//     survives, which is exactly why the paper's timing-feature
+//     classifier still works across egress configurations (§6.1).
+func WANView(l *Lab, exp *Experiment) []*netx.Packet {
+	pub := l.PublicIP()
+	var out []*netx.Packet
+	for _, p := range exp.Packets {
+		dst, ok := p.NetworkDst()
+		if !ok {
+			continue // ARP never crosses the gateway
+		}
+		src, _ := p.NetworkSrc()
+		if isLANOnly(src, dst, l) {
+			continue
+		}
+		up := l.Subnet.Contains(src)
+		if exp.VPN {
+			out = append(out, l.tunnelPacket(p, up))
+			continue
+		}
+		q := clonePacket(p)
+		sp, dp, proto, hasPorts := p.TransportPorts()
+		if up {
+			setSrc(q, pub)
+			if hasPorts {
+				setSrcPort(q, natPort(src, sp, proto))
+			}
+		} else {
+			setDst(q, pub)
+			if hasPorts {
+				setDstPort(q, natPort(dst, dp, proto))
+			}
+		}
+		q.Meta.Length = q.WireLen()
+		q.Meta.CaptureLength = q.Meta.Length
+		out = append(out, q)
+	}
+	return out
+}
+
+// isLANOnly reports whether the packet never crosses the WAN interface.
+func isLANOnly(src, dst netip.Addr, l *Lab) bool {
+	local := func(a netip.Addr) bool {
+		return l.Subnet.Contains(a) || a.IsMulticast() || a.IsLoopback() ||
+			a.IsUnspecified() || a == netip.AddrFrom4([4]byte{255, 255, 255, 255}) ||
+			a == l.GatewayIP
+	}
+	return local(src) && local(dst)
+}
+
+// tunnelPacket wraps one inner packet as a VPN datagram between the two
+// gateways: UDP 4500 (IPsec NAT-T framing), ESP-opaque payload whose
+// length tracks the inner packet plus encapsulation overhead.
+func (l *Lab) tunnelPacket(inner *netx.Packet, up bool) *netx.Packet {
+	const espOverhead = 57 // ESP header + IV + padding + ICV, typical
+	payload := make([]byte, inner.WireLen()+espOverhead-netx.EthernetHeaderLen)
+	// Opaque ciphertext: deterministic per inner packet so WANView is
+	// reproducible without threading an RNG through.
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v|%d", inner.Meta.Timestamp.UnixNano(), inner.WireLen())
+	seed := h.Sum64()
+	for i := range payload {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		payload[i] = byte(seed >> 33)
+	}
+	p := &netx.Packet{
+		Meta: netx.CaptureInfo{Timestamp: inner.Meta.Timestamp},
+		Eth:  netx.Ethernet{EtherType: netx.EtherTypeIPv4},
+	}
+	src, dst := l.PublicIP(), l.peerPublicIP()
+	if !up {
+		src, dst = dst, src
+	}
+	p.IPv4 = &netx.IPv4{TTL: 64, Protocol: netx.ProtoUDP, Src: src, Dst: dst}
+	p.UDP = &netx.UDP{SrcPort: 4500, DstPort: 4500}
+	p.Payload = payload
+	p.Meta.Length = p.WireLen()
+	p.Meta.CaptureLength = p.Meta.Length
+	return p
+}
+
+func clonePacket(p *netx.Packet) *netx.Packet {
+	q := *p
+	if p.IPv4 != nil {
+		v := *p.IPv4
+		q.IPv4 = &v
+	}
+	if p.IPv6 != nil {
+		v := *p.IPv6
+		q.IPv6 = &v
+	}
+	if p.TCP != nil {
+		v := *p.TCP
+		q.TCP = &v
+	}
+	if p.UDP != nil {
+		v := *p.UDP
+		q.UDP = &v
+	}
+	return &q
+}
+
+func setSrc(p *netx.Packet, a netip.Addr) {
+	if p.IPv4 != nil {
+		p.IPv4.Src = a
+	}
+}
+
+func setDst(p *netx.Packet, a netip.Addr) {
+	if p.IPv4 != nil {
+		p.IPv4.Dst = a
+	}
+}
+
+func setSrcPort(p *netx.Packet, port uint16) {
+	if p.TCP != nil {
+		p.TCP.SrcPort = port
+	}
+	if p.UDP != nil {
+		p.UDP.SrcPort = port
+	}
+}
+
+func setDstPort(p *netx.Packet, port uint16) {
+	if p.TCP != nil {
+		p.TCP.DstPort = port
+	}
+	if p.UDP != nil {
+		p.UDP.DstPort = port
+	}
+}

@@ -1,0 +1,124 @@
+package testbed
+
+import (
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/features"
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+)
+
+func TestWANViewNAT(t *testing.T) {
+	us, _ := newLabs(t)
+	slot, _ := us.Slot("Echo Dot")
+	exp := us.RunPower(slot, false, StudyEpoch, 0)
+	wan := WANView(us, exp)
+
+	if len(wan) == 0 {
+		t.Fatal("empty WAN view")
+	}
+	if len(wan) >= len(exp.Packets) {
+		t.Errorf("LAN traffic not stripped: %d wan vs %d lan", len(wan), len(exp.Packets))
+	}
+	pub := us.PublicIP()
+	for _, p := range wan {
+		src, _ := p.NetworkSrc()
+		dst, _ := p.NetworkDst()
+		if src != pub && dst != pub {
+			t.Fatalf("packet not NATed: %v -> %v", src, dst)
+		}
+		if src.IsPrivate() || dst.IsPrivate() {
+			t.Fatalf("private address leaked to WAN: %v -> %v", src, dst)
+		}
+		// Round-trip through wire bytes still holds after rewriting.
+		if _, err := netx.Decode(p.Meta.Timestamp, p.Serialize()); err != nil {
+			t.Fatalf("WAN packet does not round-trip: %v", err)
+		}
+	}
+}
+
+func TestWANViewNATPortsConsistent(t *testing.T) {
+	us, _ := newLabs(t)
+	slot, _ := us.Slot("Echo Dot")
+	exp := us.RunPower(slot, false, StudyEpoch, 0)
+	wan := WANView(us, exp)
+	// Bidirectional flows must still pair up after translation.
+	flows := netx.AssembleFlows(wan)
+	for _, f := range flows {
+		if f.PacketsUp > 0 && f.PacketsDown == 0 && f.Key.Proto == netx.ProtoTCP {
+			t.Errorf("flow %v lost its return direction after NAT", f.Key)
+		}
+	}
+}
+
+func TestWANViewVPNTunnel(t *testing.T) {
+	us, _ := newLabs(t)
+	slot, _ := us.Slot("Echo Dot")
+	exp := us.RunPower(slot, true, StudyEpoch, 0)
+	wan := WANView(us, exp)
+	if len(wan) == 0 {
+		t.Fatal("empty tunnel view")
+	}
+	peer := us.peerPublicIP()
+	pub := us.PublicIP()
+	for _, p := range wan {
+		src, _ := p.NetworkSrc()
+		dst, _ := p.NetworkDst()
+		if !(src == pub && dst == peer) && !(src == peer && dst == pub) {
+			t.Fatalf("tunnel packet between %v and %v", src, dst)
+		}
+		if p.UDP == nil || p.UDP.DstPort != 4500 {
+			t.Fatal("tunnel packet not UDP 4500")
+		}
+	}
+	// The tunnel hides destinations: exactly one flow.
+	if flows := netx.AssembleFlows(wan); len(flows) != 1 {
+		t.Errorf("tunnel should collapse to one flow, got %d", len(flows))
+	}
+}
+
+// TestWANViewPreservesTimingSignature is the §6.1 robustness claim: the
+// classifier's timing features survive both NAT and the VPN tunnel, so an
+// ISP-side observer infers activities regardless of egress configuration.
+func TestWANViewPreservesTimingSignature(t *testing.T) {
+	us, _ := newLabs(t)
+	slot, _ := us.Slot("Echo Dot")
+	act, _ := slot.Inst.Profile.Activity("voice")
+
+	lan := us.RunInteraction(slot, act, devices.MethodLocal, false, StudyEpoch, 0)
+	wanDirect := WANView(us, lan)
+	vpnExp := us.RunInteraction(slot, act, devices.MethodLocal, true, StudyEpoch, 0)
+	wanVPN := WANView(us, vpnExp)
+
+	vLAN := features.Vector(lan.Packets, features.SetPaper)
+	vNAT := features.Vector(wanDirect, features.SetPaper)
+	vVPN := features.Vector(wanVPN, features.SetPaper)
+
+	// Mean packet size and mean IAT shift by at most modest factors.
+	within := func(a, b, factor float64) bool {
+		if a == 0 || b == 0 {
+			return a == b
+		}
+		r := a / b
+		return r > 1/factor && r < factor
+	}
+	if !within(vLAN[2], vNAT[2], 1.5) {
+		t.Errorf("NAT shifted mean size too much: %v vs %v", vLAN[2], vNAT[2])
+	}
+	if !within(vLAN[2], vVPN[2], 1.5) {
+		t.Errorf("tunnel shifted mean size too much: %v vs %v", vLAN[2], vVPN[2])
+	}
+	if !within(vLAN[16], vNAT[16], 2.0) {
+		t.Errorf("NAT shifted mean IAT too much: %v vs %v", vLAN[16], vVPN[16])
+	}
+}
+
+func TestPublicIPsDiffer(t *testing.T) {
+	us, uk := newLabs(t)
+	if us.PublicIP() == uk.PublicIP() {
+		t.Fatal("labs share a public IP")
+	}
+	if us.peerPublicIP() != uk.PublicIP() {
+		t.Fatal("peer wiring wrong")
+	}
+}

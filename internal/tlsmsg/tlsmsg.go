@@ -1,0 +1,394 @@
+// Package tlsmsg implements the subset of the TLS 1.2 wire format
+// (RFC 5246) needed by the testbed and the analysis pipeline: record
+// framing, ClientHello with SNI and ALPN extensions, ServerHello, and
+// application-data records.
+//
+// The testbed's simulated devices use this codec to emit realistic TLS
+// handshakes; the analysis pipeline uses it to (a) detect TLS flows the
+// way Wireshark's dissector does (§5.1) and (b) recover server names from
+// the SNI extension when no DNS mapping exists (§4.1).
+package tlsmsg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Record content types.
+const (
+	TypeChangeCipherSpec uint8 = 20
+	TypeAlert            uint8 = 21
+	TypeHandshake        uint8 = 22
+	TypeApplicationData  uint8 = 23
+)
+
+// Handshake message types.
+const (
+	HandshakeClientHello uint8 = 1
+	HandshakeServerHello uint8 = 2
+	HandshakeCertificate uint8 = 11
+	HandshakeServerDone  uint8 = 14
+	HandshakeClientKeyEx uint8 = 16
+	HandshakeFinished    uint8 = 20
+)
+
+// Protocol versions as they appear on the wire.
+const (
+	VersionTLS10 uint16 = 0x0301
+	VersionTLS11 uint16 = 0x0302
+	VersionTLS12 uint16 = 0x0303
+	VersionTLS13 uint16 = 0x0304
+)
+
+// Extension codes.
+const (
+	extServerName uint16 = 0
+	extALPN       uint16 = 16
+)
+
+// RecordHeaderLen is the length of a TLS record header.
+const RecordHeaderLen = 5
+
+// Common cipher suites (a representative sample of the 14 suites the
+// paper's entropy calibration used).
+var DefaultCipherSuites = []uint16{
+	0xc02f, // ECDHE-RSA-AES128-GCM-SHA256
+	0xc030, // ECDHE-RSA-AES256-GCM-SHA384
+	0xc02b, // ECDHE-ECDSA-AES128-GCM-SHA256
+	0xc02c, // ECDHE-ECDSA-AES256-GCM-SHA384
+	0xcca8, // ECDHE-RSA-CHACHA20-POLY1305
+	0xcca9, // ECDHE-ECDSA-CHACHA20-POLY1305
+	0x009c, // RSA-AES128-GCM-SHA256
+	0x009d, // RSA-AES256-GCM-SHA384
+	0x002f, // RSA-AES128-CBC-SHA
+	0x0035, // RSA-AES256-CBC-SHA
+	0xc013, // ECDHE-RSA-AES128-CBC-SHA
+	0xc014, // ECDHE-RSA-AES256-CBC-SHA
+	0x003c, // RSA-AES128-CBC-SHA256
+	0x009e, // DHE-RSA-AES128-GCM-SHA256
+}
+
+// Record is one TLS record.
+type Record struct {
+	Type    uint8
+	Version uint16
+	Body    []byte
+}
+
+// AppendRecord serializes a record, appending to dst.
+func AppendRecord(dst []byte, r Record) []byte {
+	dst = append(dst, r.Type, byte(r.Version>>8), byte(r.Version))
+	dst = append(dst, byte(len(r.Body)>>8), byte(len(r.Body)))
+	return append(dst, r.Body...)
+}
+
+var errShort = errors.New("tlsmsg: truncated record")
+
+// ParseRecord reads one record from the head of b, returning the record
+// and the remaining bytes.
+func ParseRecord(b []byte) (Record, []byte, error) {
+	if len(b) < RecordHeaderLen {
+		return Record{}, nil, errShort
+	}
+	r := Record{Type: b[0], Version: uint16(b[1])<<8 | uint16(b[2])}
+	n := int(b[3])<<8 | int(b[4])
+	if len(b) < RecordHeaderLen+n {
+		return Record{}, nil, errShort
+	}
+	r.Body = b[RecordHeaderLen : RecordHeaderLen+n]
+	return r, b[RecordHeaderLen+n:], nil
+}
+
+// LooksLikeTLS reports whether b begins with a plausible TLS record
+// header; this is the same heuristic Wireshark's dissector applies.
+func LooksLikeTLS(b []byte) bool {
+	if len(b) < RecordHeaderLen {
+		return false
+	}
+	if b[0] < TypeChangeCipherSpec || b[0] > TypeApplicationData {
+		return false
+	}
+	ver := uint16(b[1])<<8 | uint16(b[2])
+	if ver < 0x0300 || ver > 0x0304 {
+		return false
+	}
+	n := int(b[3])<<8 | int(b[4])
+	return n > 0 && n <= 1<<14+2048
+}
+
+// ClientHello carries the fields the testbed and analysis care about.
+type ClientHello struct {
+	Version      uint16
+	Random       [32]byte
+	SessionID    []byte
+	CipherSuites []uint16
+	ServerName   string
+	ALPN         []string
+}
+
+// Marshal serializes the ClientHello as a complete handshake record.
+func (h *ClientHello) Marshal() []byte {
+	body := h.marshalBody()
+	hs := make([]byte, 0, len(body)+4)
+	hs = append(hs, HandshakeClientHello, byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+	hs = append(hs, body...)
+	return AppendRecord(nil, Record{Type: TypeHandshake, Version: VersionTLS10, Body: hs})
+}
+
+func (h *ClientHello) marshalBody() []byte {
+	ver := h.Version
+	if ver == 0 {
+		ver = VersionTLS12
+	}
+	suites := h.CipherSuites
+	if len(suites) == 0 {
+		suites = DefaultCipherSuites
+	}
+	var b []byte
+	b = append(b, byte(ver>>8), byte(ver))
+	b = append(b, h.Random[:]...)
+	b = append(b, byte(len(h.SessionID)))
+	b = append(b, h.SessionID...)
+	b = append(b, byte(len(suites)*2>>8), byte(len(suites)*2))
+	for _, s := range suites {
+		b = append(b, byte(s>>8), byte(s))
+	}
+	b = append(b, 1, 0) // compression methods: null
+
+	var ext []byte
+	if h.ServerName != "" {
+		ext = appendSNI(ext, h.ServerName)
+	}
+	if len(h.ALPN) > 0 {
+		ext = appendALPN(ext, h.ALPN)
+	}
+	b = append(b, byte(len(ext)>>8), byte(len(ext)))
+	return append(b, ext...)
+}
+
+func appendSNI(ext []byte, name string) []byte {
+	// server_name extension: list of (type=0, len, name).
+	entry := make([]byte, 0, len(name)+3)
+	entry = append(entry, 0, byte(len(name)>>8), byte(len(name)))
+	entry = append(entry, name...)
+	list := make([]byte, 0, len(entry)+2)
+	list = append(list, byte(len(entry)>>8), byte(len(entry)))
+	list = append(list, entry...)
+	ext = append(ext, byte(extServerName>>8), byte(extServerName))
+	ext = append(ext, byte(len(list)>>8), byte(len(list)))
+	return append(ext, list...)
+}
+
+func appendALPN(ext []byte, protos []string) []byte {
+	var list []byte
+	for _, p := range protos {
+		if len(p) > 255 {
+			p = p[:255]
+		}
+		list = append(list, byte(len(p)))
+		list = append(list, p...)
+	}
+	body := make([]byte, 0, len(list)+2)
+	body = append(body, byte(len(list)>>8), byte(len(list)))
+	body = append(body, list...)
+	ext = append(ext, byte(extALPN>>8), byte(extALPN))
+	ext = append(ext, byte(len(body)>>8), byte(len(body)))
+	return append(ext, body...)
+}
+
+// ParseClientHello parses a ClientHello handshake record (as produced by
+// Marshal, or any standards-compliant encoder).
+func ParseClientHello(b []byte) (*ClientHello, error) {
+	rec, _, err := ParseRecord(b)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Type != TypeHandshake {
+		return nil, fmt.Errorf("tlsmsg: record type %d is not handshake", rec.Type)
+	}
+	hs := rec.Body
+	if len(hs) < 4 || hs[0] != HandshakeClientHello {
+		return nil, errors.New("tlsmsg: not a ClientHello")
+	}
+	n := int(hs[1])<<16 | int(hs[2])<<8 | int(hs[3])
+	if len(hs) < 4+n {
+		return nil, errShort
+	}
+	body := hs[4 : 4+n]
+	return parseClientHelloBody(body)
+}
+
+func parseClientHelloBody(b []byte) (*ClientHello, error) {
+	h := &ClientHello{}
+	if len(b) < 35 {
+		return nil, errShort
+	}
+	h.Version = uint16(b[0])<<8 | uint16(b[1])
+	copy(h.Random[:], b[2:34])
+	off := 34
+	sidLen := int(b[off])
+	off++
+	if off+sidLen > len(b) {
+		return nil, errShort
+	}
+	h.SessionID = append([]byte(nil), b[off:off+sidLen]...)
+	off += sidLen
+	if off+2 > len(b) {
+		return nil, errShort
+	}
+	csLen := int(b[off])<<8 | int(b[off+1])
+	off += 2
+	if off+csLen > len(b) || csLen%2 != 0 {
+		return nil, errShort
+	}
+	for i := 0; i < csLen; i += 2 {
+		h.CipherSuites = append(h.CipherSuites, uint16(b[off+i])<<8|uint16(b[off+i+1]))
+	}
+	off += csLen
+	if off >= len(b) {
+		return h, nil
+	}
+	compLen := int(b[off])
+	off += 1 + compLen
+	if off+2 > len(b) {
+		return h, nil // no extensions
+	}
+	extLen := int(b[off])<<8 | int(b[off+1])
+	off += 2
+	if off+extLen > len(b) {
+		return nil, errShort
+	}
+	return h, parseExtensions(h, b[off:off+extLen])
+}
+
+func parseExtensions(h *ClientHello, b []byte) error {
+	for len(b) >= 4 {
+		code := uint16(b[0])<<8 | uint16(b[1])
+		n := int(b[2])<<8 | int(b[3])
+		if 4+n > len(b) {
+			return errShort
+		}
+		body := b[4 : 4+n]
+		switch code {
+		case extServerName:
+			if name, ok := parseSNIExtension(body); ok {
+				h.ServerName = name
+			}
+		case extALPN:
+			h.ALPN = parseALPNExtension(body)
+		}
+		b = b[4+n:]
+	}
+	return nil
+}
+
+func parseSNIExtension(b []byte) (string, bool) {
+	if len(b) < 2 {
+		return "", false
+	}
+	listLen := int(b[0])<<8 | int(b[1])
+	b = b[2:]
+	if listLen > len(b) {
+		return "", false
+	}
+	for len(b) >= 3 {
+		typ := b[0]
+		n := int(b[1])<<8 | int(b[2])
+		if 3+n > len(b) {
+			return "", false
+		}
+		if typ == 0 {
+			return string(b[3 : 3+n]), true
+		}
+		b = b[3+n:]
+	}
+	return "", false
+}
+
+func parseALPNExtension(b []byte) []string {
+	if len(b) < 2 {
+		return nil
+	}
+	n := int(b[0])<<8 | int(b[1])
+	b = b[2:]
+	if n > len(b) {
+		n = len(b)
+	}
+	var out []string
+	for off := 0; off < n; {
+		l := int(b[off])
+		off++
+		if off+l > n {
+			break
+		}
+		out = append(out, string(b[off:off+l]))
+		off += l
+	}
+	return out
+}
+
+// ExtractSNI scans a raw client-to-server byte stream for a ClientHello
+// and returns the server name, if present. This is the analysis-side entry
+// point: it tolerates leading non-TLS bytes being absent but does not scan
+// past the first record.
+func ExtractSNI(stream []byte) (string, bool) {
+	if !LooksLikeTLS(stream) {
+		return "", false
+	}
+	h, err := ParseClientHello(stream)
+	if err != nil || h.ServerName == "" {
+		return "", false
+	}
+	return h.ServerName, true
+}
+
+// ServerHello is the subset of ServerHello the testbed emits.
+type ServerHello struct {
+	Version     uint16
+	Random      [32]byte
+	CipherSuite uint16
+}
+
+// Marshal serializes the ServerHello as a complete handshake record.
+func (h *ServerHello) Marshal() []byte {
+	ver := h.Version
+	if ver == 0 {
+		ver = VersionTLS12
+	}
+	var b []byte
+	b = append(b, byte(ver>>8), byte(ver))
+	b = append(b, h.Random[:]...)
+	b = append(b, 0) // empty session id
+	b = append(b, byte(h.CipherSuite>>8), byte(h.CipherSuite))
+	b = append(b, 0)    // null compression
+	b = append(b, 0, 0) // no extensions
+	hs := make([]byte, 0, len(b)+4)
+	hs = append(hs, HandshakeServerHello, byte(len(b)>>16), byte(len(b)>>8), byte(len(b)))
+	hs = append(hs, b...)
+	return AppendRecord(nil, Record{Type: TypeHandshake, Version: VersionTLS12, Body: hs})
+}
+
+// ParseServerHello parses a ServerHello handshake record.
+func ParseServerHello(b []byte) (*ServerHello, error) {
+	rec, _, err := ParseRecord(b)
+	if err != nil {
+		return nil, err
+	}
+	hs := rec.Body
+	if len(hs) < 4 || hs[0] != HandshakeServerHello {
+		return nil, errors.New("tlsmsg: not a ServerHello")
+	}
+	body := hs[4:]
+	if len(body) < 38 {
+		return nil, errShort
+	}
+	h := &ServerHello{Version: uint16(body[0])<<8 | uint16(body[1])}
+	copy(h.Random[:], body[2:34])
+	sidLen := int(body[34])
+	off := 35 + sidLen
+	if off+2 > len(body) {
+		return nil, errShort
+	}
+	h.CipherSuite = uint16(body[off])<<8 | uint16(body[off+1])
+	return h, nil
+}

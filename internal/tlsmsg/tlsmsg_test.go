@@ -1,0 +1,173 @@
+package tlsmsg
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestClientHelloRoundTrip(t *testing.T) {
+	ch := &ClientHello{
+		ServerName: "devs.tplinkcloud.com",
+		ALPN:       []string{"h2", "http/1.1"},
+	}
+	ch.Random[0] = 0xde
+	wire := ch.Marshal()
+
+	got, err := ParseClientHello(wire)
+	if err != nil {
+		t.Fatalf("ParseClientHello: %v", err)
+	}
+	if got.ServerName != "devs.tplinkcloud.com" {
+		t.Errorf("SNI = %q", got.ServerName)
+	}
+	if len(got.ALPN) != 2 || got.ALPN[0] != "h2" {
+		t.Errorf("ALPN = %v", got.ALPN)
+	}
+	if got.Version != VersionTLS12 {
+		t.Errorf("version = %04x", got.Version)
+	}
+	if len(got.CipherSuites) != len(DefaultCipherSuites) {
+		t.Errorf("suites = %d", len(got.CipherSuites))
+	}
+	if got.Random[0] != 0xde {
+		t.Errorf("random[0] = %x", got.Random[0])
+	}
+}
+
+func TestClientHelloNoExtensions(t *testing.T) {
+	ch := &ClientHello{CipherSuites: []uint16{0x002f}}
+	got, err := ParseClientHello(ch.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ServerName != "" || len(got.ALPN) != 0 {
+		t.Errorf("unexpected extensions: %+v", got)
+	}
+	if len(got.CipherSuites) != 1 || got.CipherSuites[0] != 0x002f {
+		t.Errorf("suites = %v", got.CipherSuites)
+	}
+}
+
+func TestServerHelloRoundTrip(t *testing.T) {
+	sh := &ServerHello{CipherSuite: 0xc02f}
+	sh.Random[5] = 0x42
+	got, err := ParseServerHello(sh.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CipherSuite != 0xc02f || got.Random[5] != 0x42 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestExtractSNI(t *testing.T) {
+	ch := &ClientHello{ServerName: "api.xiaomi.com"}
+	name, ok := ExtractSNI(ch.Marshal())
+	if !ok || name != "api.xiaomi.com" {
+		t.Fatalf("ExtractSNI = %q, %v", name, ok)
+	}
+	if _, ok := ExtractSNI([]byte("GET / HTTP/1.1\r\n")); ok {
+		t.Error("HTTP payload misdetected as TLS")
+	}
+	if _, ok := ExtractSNI(nil); ok {
+		t.Error("empty payload misdetected")
+	}
+}
+
+func TestLooksLikeTLS(t *testing.T) {
+	app := AppendRecord(nil, Record{Type: TypeApplicationData, Version: VersionTLS12, Body: []byte{1, 2, 3}})
+	if !LooksLikeTLS(app) {
+		t.Error("application data record not detected")
+	}
+	if LooksLikeTLS([]byte{0x16, 0x03, 0x01, 0x00}) {
+		t.Error("4-byte prefix should not be detected")
+	}
+	if LooksLikeTLS([]byte("HELLO WORLD THIS IS PLAIN")) {
+		t.Error("plaintext misdetected")
+	}
+	// Version out of range.
+	if LooksLikeTLS([]byte{0x17, 0x05, 0x05, 0x00, 0x10}) {
+		t.Error("bad version accepted")
+	}
+	// Oversized record length.
+	if LooksLikeTLS([]byte{0x17, 0x03, 0x03, 0xff, 0xff}) {
+		t.Error("oversized record accepted")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	body := []byte("payload bytes")
+	wire := AppendRecord(nil, Record{Type: TypeAlert, Version: VersionTLS12, Body: body})
+	rec, rest, err := ParseRecord(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type != TypeAlert || !bytes.Equal(rec.Body, body) || len(rest) != 0 {
+		t.Errorf("rec=%+v rest=%d", rec, len(rest))
+	}
+}
+
+func TestParseRecordTruncated(t *testing.T) {
+	wire := AppendRecord(nil, Record{Type: TypeHandshake, Version: VersionTLS12, Body: make([]byte, 100)})
+	if _, _, err := ParseRecord(wire[:50]); err == nil {
+		t.Error("truncated record should error")
+	}
+}
+
+func TestMultipleRecords(t *testing.T) {
+	wire := AppendRecord(nil, Record{Type: TypeHandshake, Version: VersionTLS12, Body: []byte{1}})
+	wire = AppendRecord(wire, Record{Type: TypeApplicationData, Version: VersionTLS12, Body: []byte{2, 3}})
+	r1, rest, err := ParseRecord(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, rest, err := ParseRecord(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Type != TypeHandshake || r2.Type != TypeApplicationData || len(rest) != 0 {
+		t.Errorf("r1=%+v r2=%+v", r1, r2)
+	}
+}
+
+func TestSNIRoundTripProperty(t *testing.T) {
+	f := func(nameBytes []byte) bool {
+		name := sanitize(nameBytes)
+		if name == "" {
+			return true
+		}
+		ch := &ClientHello{ServerName: name}
+		got, ok := ExtractSNI(ch.Marshal())
+		return ok && got == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(b []byte) string {
+	out := make([]byte, 0, 30)
+	for _, c := range b {
+		if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '.' || c == '-' {
+			out = append(out, c)
+		}
+		if len(out) >= 30 {
+			break
+		}
+	}
+	return string(out)
+}
+
+func TestParseClientHelloErrors(t *testing.T) {
+	// Not a handshake record.
+	app := AppendRecord(nil, Record{Type: TypeApplicationData, Version: VersionTLS12, Body: []byte{1, 2, 3, 4}})
+	if _, err := ParseClientHello(app); err == nil {
+		t.Error("application data should not parse as ClientHello")
+	}
+	// ServerHello inside a handshake record.
+	sh := (&ServerHello{}).Marshal()
+	if _, err := ParseClientHello(sh); err == nil {
+		t.Error("ServerHello should not parse as ClientHello")
+	}
+}

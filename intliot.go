@@ -1,0 +1,161 @@
+// Package intliot is a Go reproduction of "Information Exposure From
+// Consumer IoT Devices: A Multidimensional, Network-Informed Measurement
+// Approach" (Ren et al., ACM IMC 2019).
+//
+// The package simulates the paper's full measurement stack — the 81
+// consumer IoT devices of Table 1, the US/UK Mon(IoT)r testbeds with NAT,
+// per-MAC capture and an inter-lab VPN, and the server-side Internet they
+// talk to — then runs the paper's analyses over the captured traffic:
+//
+//   - destination analysis (§4): party classification and geolocation of
+//     every traffic destination (Tables 2–4, Figure 2);
+//   - encryption analysis (§5): protocol + entropy classification of
+//     every flow (Tables 5–8);
+//   - content analysis (§6): plaintext PII detection and random-forest
+//     activity inference (Tables 9–10);
+//   - unexpected behaviour (§7): traffic-unit segmentation and
+//     high-accuracy model replay over idle and user-study captures
+//     (Table 11).
+//
+// Quick start:
+//
+//	study, err := intliot.NewStudy(intliot.QuickConfig())
+//	if err != nil { ... }
+//	study.Run()
+//	study.Table2().Render(os.Stdout)
+package intliot
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/neu-sns/intl-iot-go/internal/analysis"
+	"github.com/neu-sns/intl-iot-go/internal/experiments"
+	"github.com/neu-sns/intl-iot-go/internal/report"
+)
+
+// Config sizes a measurement campaign; see PaperConfig and QuickConfig.
+type Config = experiments.Config
+
+// PaperConfig reproduces the paper's §3.3 experiment counts: 30 automated
+// repetitions, 3 manual, 3 power, the Table 11 idle hours, VPN repetition
+// of every controlled experiment, and 180 user-study days.
+func PaperConfig() Config { return experiments.PaperConfig() }
+
+// QuickConfig is a scaled-down campaign that preserves every analysis
+// shape while running in seconds; examples and tests use it.
+func QuickConfig() Config { return experiments.QuickConfig() }
+
+// Table is a rendered result table; see its Render and RenderCSV methods.
+type Table = report.Table
+
+// InferenceResult is the per-device activity-inference outcome (§6.3).
+type InferenceResult = analysis.InferenceResult
+
+// PIIFinding is one plaintext PII exposure (§6.2).
+type PIIFinding = analysis.PIIFinding
+
+// Study is one full measurement campaign plus its analyses.
+type Study struct {
+	pipeline *analysis.Pipeline
+	inferCfg analysis.InferConfig
+	ran      bool
+}
+
+// NewStudy builds the two labs over a fresh simulated Internet.
+func NewStudy(cfg Config) (*Study, error) {
+	r, err := experiments.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{
+		pipeline: analysis.NewPipeline(r),
+		inferCfg: analysis.DefaultInferConfig(),
+	}, nil
+}
+
+// SetInferenceConfig overrides the §6.3 cross-validation parameters;
+// call before Run.
+func (s *Study) SetInferenceConfig(cfg analysis.InferConfig) { s.inferCfg = cfg }
+
+// Run executes the controlled and idle campaigns and every analysis.
+func (s *Study) Run() {
+	s.pipeline.Run(s.inferCfg)
+	s.ran = true
+}
+
+// RunUncontrolled executes the §7.3 user-study analysis; Run must have
+// completed first.
+func (s *Study) RunUncontrolled() error {
+	if !s.ran {
+		return fmt.Errorf("intliot: RunUncontrolled requires Run first")
+	}
+	s.pipeline.RunUncontrolled()
+	return nil
+}
+
+// Summary writes campaign statistics.
+func (s *Study) Summary(w io.Writer) {
+	fmt.Fprintf(w, "controlled: %s\n", s.pipeline.Stats)
+	fmt.Fprintf(w, "idle:       %s\n", s.pipeline.IdleStats)
+}
+
+// Pipeline exposes the underlying collectors for advanced use.
+func (s *Study) Pipeline() *analysis.Pipeline { return s.pipeline }
+
+// Table1 renders the device inventory.
+func (s *Study) Table1() *Table { return report.Table1() }
+
+// Table2 renders non-first parties by experiment type.
+func (s *Study) Table2() *Table { return report.Table2(s.pipeline.Dest) }
+
+// Table3 renders non-first parties by device category.
+func (s *Study) Table3() *Table { return report.Table3(s.pipeline.Dest) }
+
+// Table4 renders the ten most-contacted organisations.
+func (s *Study) Table4() *Table { return report.Table4(s.pipeline.Dest, 10) }
+
+// Figure2 renders the traffic-volume band data behind Figure 2.
+func (s *Study) Figure2() *Table { return report.Figure2(s.pipeline.Dest, 7) }
+
+// Table5 renders encryption quartile counts.
+func (s *Study) Table5() *Table { return report.Table5(s.pipeline.Enc) }
+
+// Table6 renders encryption class shares by category.
+func (s *Study) Table6() *Table { return report.Table6(s.pipeline.Enc) }
+
+// Table7 renders per-device unencrypted percentages; names nil = all.
+func (s *Study) Table7(names []string) *Table { return report.Table7(s.pipeline.Enc, names) }
+
+// Table8 renders encryption class shares by experiment type.
+func (s *Study) Table8() *Table { return report.Table8(s.pipeline.Enc) }
+
+// Table9 renders inferrable devices by category.
+func (s *Study) Table9() *Table { return report.Table9(s.pipeline.Inference) }
+
+// Table10 renders inferrable activities by group.
+func (s *Study) Table10() *Table { return report.Table10(s.pipeline.Inference) }
+
+// Table11 renders idle-detected activity instances (rows with at least
+// minInstances detections in some column; the paper uses 3).
+func (s *Study) Table11(minInstances int) *Table {
+	return report.Table11(s.pipeline.IdleHits, minInstances)
+}
+
+// Headline renders the §1/§9 summary statistics next to the paper's.
+func (s *Study) Headline() *Table { return report.Headline(s.pipeline.Dest) }
+
+// PIIReport renders the plaintext PII findings.
+func (s *Study) PIIReport() *Table { return report.PIIReport(s.pipeline.Content.Findings()) }
+
+// UnexpectedReport renders the §7.3 user-study findings (requires
+// RunUncontrolled).
+func (s *Study) UnexpectedReport() *Table {
+	return report.UnexpectedReport(s.pipeline.Unexpected)
+}
+
+// Inference exposes the raw per-device cross-validation results.
+func (s *Study) Inference() []InferenceResult { return s.pipeline.Inference }
+
+// Findings exposes the raw PII findings.
+func (s *Study) Findings() []PIIFinding { return s.pipeline.Content.Findings() }

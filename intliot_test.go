@@ -1,0 +1,84 @@
+package intliot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunUncontrolledRequiresRun(t *testing.T) {
+	s, err := NewStudy(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUncontrolled(); err == nil {
+		t.Fatal("RunUncontrolled before Run should error")
+	}
+}
+
+func TestTable1AvailableWithoutRun(t *testing.T) {
+	s, err := NewStudy(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := s.Table1()
+	if len(tbl.Rows) != 55 {
+		t.Fatalf("Table 1 rows = %d", len(tbl.Rows))
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "Samsung Fridge") {
+		t.Error("inventory missing Samsung Fridge")
+	}
+}
+
+func TestConfigsDiffer(t *testing.T) {
+	q, p := QuickConfig(), PaperConfig()
+	if q.AutomatedReps >= p.AutomatedReps {
+		t.Error("quick config should be smaller than paper config")
+	}
+	if p.AutomatedReps != 30 || p.ManualReps != 3 {
+		t.Errorf("paper config drifted: %+v", p)
+	}
+	if p.IdleHours["US"] != 28 || p.IdleHours["GB"] != 31 {
+		t.Errorf("paper idle hours drifted: %+v", p.IdleHours)
+	}
+}
+
+// TestStudySmoke runs the tiniest possible full study through the public
+// API; the heavier campaigns are exercised by the analysis tests and the
+// benchmarks.
+func TestStudySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke study skipped in -short")
+	}
+	cfg := Config{
+		Seed:          1,
+		AutomatedReps: 2,
+		ManualReps:    1,
+		PowerReps:     1,
+		IdleHours:     map[string]float64{"US": 0.5},
+		VPN:           false,
+	}
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	var sb strings.Builder
+	s.Summary(&sb)
+	if !strings.Contains(sb.String(), "experiments") {
+		t.Errorf("summary: %q", sb.String())
+	}
+	for name, tbl := range map[string]*Table{
+		"t2": s.Table2(), "t3": s.Table3(), "t4": s.Table4(),
+		"f2": s.Figure2(), "t5": s.Table5(), "t6": s.Table6(),
+		"t7": s.Table7(nil), "t8": s.Table8(), "t9": s.Table9(),
+		"t10": s.Table10(), "t11": s.Table11(1), "pii": s.PIIReport(),
+	} {
+		if tbl == nil || len(tbl.Headers) == 0 {
+			t.Errorf("table %s empty", name)
+		}
+	}
+	if len(s.Findings()) == 0 {
+		t.Error("no PII findings in smoke study")
+	}
+}
