@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check vet fmt build test race bench
+
+# Pre-PR gate: everything here must pass before sending a change.
+check: vet fmt build race
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

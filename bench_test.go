@@ -54,6 +54,10 @@ func benchConfig() intliot.Config {
 	}
 }
 
+// sharedStudy builds the campaign once, instrumented, and writes the
+// metrics snapshot to BENCH_pipeline.json so successive benchmark runs
+// leave a comparable perf trajectory (stage wall times, experiments/sec,
+// worker utilization, synthesis volume).
 func sharedStudy(b *testing.B) *intliot.Study {
 	b.Helper()
 	studyOnce.Do(func() {
@@ -61,9 +65,16 @@ func sharedStudy(b *testing.B) *intliot.Study {
 		if err != nil {
 			panic(err)
 		}
+		reg := intliot.NewMetrics()
+		s.SetObs(reg)
 		s.Run()
 		if err := s.RunUncontrolled(); err != nil {
 			panic(err)
+		}
+		if err := reg.WriteJSONFile("BENCH_pipeline.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: metrics snapshot: %v\n", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "bench: wrote campaign metrics to BENCH_pipeline.json")
 		}
 		study = s
 	})

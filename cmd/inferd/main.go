@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	inferd -device "Samsung TV" [-lab US] [-reps 30] [-trees 25]
+//	inferd -device "Samsung TV" [-lab US] [-reps 30] [-trees 25] [-metrics out.json]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"github.com/neu-sns/intl-iot-go/internal/devices"
 	"github.com/neu-sns/intl-iot-go/internal/features"
 	"github.com/neu-sns/intl-iot-go/internal/ml"
+	"github.com/neu-sns/intl-iot-go/internal/obs"
 	"github.com/neu-sns/intl-iot-go/internal/testbed"
 )
 
@@ -27,12 +28,26 @@ func main() {
 	lab := flag.String("lab", "US", "lab: US or GB")
 	reps := flag.Int("reps", 30, "automated repetitions per interaction")
 	trees := flag.Int("trees", 25, "random-forest size")
+	metricsOut := flag.String("metrics", "", "instrument the run and write a metrics JSON snapshot to this file")
 	flag.Parse()
 
 	l, err := testbed.NewLab(*lab, cloud.New(), 1)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "inferd: %v\n", err)
 		os.Exit(1)
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		// Fail fast on an unwritable path rather than after the run.
+		probe, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inferd: metrics export: %v\n", err)
+			os.Exit(1)
+		}
+		probe.Close()
+		reg = obs.NewRegistry()
+		l.SetObs(reg)
+		l.Internet.SetObs(reg)
 	}
 	slot, ok := l.Slot(*device)
 	if !ok {
@@ -41,6 +56,7 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "inferd: running labelled experiments for %s (%s lab)...\n", *device, *lab)
+	synthSpan := reg.StartSpan("stage:synthesize")
 	ds := &ml.Dataset{FeatureNames: features.Names(features.SetPaper)}
 	clock := testbed.StudyEpoch
 	addRow := func(exp *testbed.Experiment) {
@@ -64,10 +80,20 @@ func main() {
 		}
 	}
 
+	synthSpan.End()
+	cvSpan := reg.StartSpan("stage:crossvalidate")
 	res := ml.CrossValidate(ds, ml.CVConfig{
 		TrainFrac: 0.7, Repeats: 10, Seed: 42,
 		Forest: ml.ForestConfig{NumTrees: *trees},
 	})
+	cvSpan.End()
+	if *metricsOut != "" {
+		if err := reg.WriteJSONFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "inferd: metrics export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "inferd: wrote metrics to %s\n", *metricsOut)
+	}
 	fmt.Printf("device: %s (%s lab), %d labelled experiments, %d activities\n",
 		*device, *lab, ds.NumExamples(), len(ds.Classes()))
 	fmt.Printf("device F1 (weighted): %.3f   accuracy: %.3f\n", res.DeviceF1, res.Accuracy)

@@ -5,17 +5,28 @@
 // Usage:
 //
 //	moniotr [-scale quick|bench|paper] [-csv dir] [-tables 2,5,11] [-skip-uncontrolled]
+//	        [-metrics out.json] [-pprof :6060]
+//
+// With -metrics the campaign is instrumented end to end (stage wall
+// times, per-collector visit counts, synthesis throughput, DNS and pcap
+// volume), a progress line is printed to stderr every two seconds, and
+// the final snapshot is written to the given JSON file. Metrics change
+// no table output. -pprof serves net/http/pprof on the given address for
+// live CPU/heap profiling of paper-scale runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	intliot "github.com/neu-sns/intl-iot-go"
+	"github.com/neu-sns/intl-iot-go/internal/obs"
 	"github.com/neu-sns/intl-iot-go/internal/testbed"
 )
 
@@ -25,7 +36,18 @@ func main() {
 	pcapDir := flag.String("pcap", "", "export per-device captures (pcap + label sidecars) into this directory; power experiments only, to bound disk use")
 	tables := flag.String("tables", "all", "comma-separated table list (1-11, fig2, pii, unexpected) or 'all'")
 	skipUncontrolled := flag.Bool("skip-uncontrolled", false, "skip the §7.3 user-study simulation")
+	metricsOut := flag.String("metrics", "", "instrument the campaign and write a metrics JSON snapshot to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "moniotr: pprof: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "moniotr: pprof listening on %s\n", *pprofAddr)
+	}
 
 	var cfg intliot.Config
 	switch *scale {
@@ -58,6 +80,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
 		os.Exit(1)
 	}
+	var reg *intliot.Metrics
+	stopProgress := func() {}
+	if *metricsOut != "" {
+		// Fail fast on an unwritable path: a paper-scale campaign runs
+		// for minutes, and losing its metrics at the end is worse than
+		// refusing to start.
+		probe, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: metrics export: %v\n", err)
+			os.Exit(1)
+		}
+		probe.Close()
+		reg = intliot.NewMetrics()
+		study.SetObs(reg)
+		obs.SetDefault(reg) // pcap round-trip counters
+		stopProgress = progressLoop(reg)
+	}
 	study.Run()
 	if *pcapDir != "" {
 		if err := exportCaptures(*pcapDir, study); err != nil {
@@ -72,6 +111,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	stopProgress()
 	study.Summary(os.Stderr)
 	fmt.Fprintf(os.Stderr, "moniotr: campaign done in %v\n\n", time.Since(start).Round(time.Millisecond))
 
@@ -111,6 +151,44 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+
+	if *metricsOut != "" {
+		if err := reg.WriteJSONFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: metrics export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "moniotr: wrote metrics to %s\n", *metricsOut)
+	}
+}
+
+// progressLoop prints a campaign progress line to stderr every two
+// seconds until the returned stop function is called.
+func progressLoop(reg *intliot.Metrics) func() {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				fmt.Fprintf(os.Stderr,
+					"moniotr: progress: stage=%s experiments=%d packets=%.1fM bytes=%.1fMB dns=%d\n",
+					reg.Label("stage"),
+					reg.Counter("experiments_total").Value(),
+					float64(reg.Counter("packets_synthesized_total").Value())/1e6,
+					float64(reg.Counter("bytes_synthesized_total").Value())/1e6,
+					reg.Counter("dns_queries_total").Value())
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
 	}
 }
 

@@ -1,11 +1,3 @@
-// Package analysis implements the paper's measurement analyses over
-// captured experiments: destination analysis (§4, RQ1), encryption
-// analysis (§5, RQ2), content analysis — plaintext PII and activity
-// inference (§6, RQ3/RQ4) — and unexpected-behaviour detection (§7, RQ5),
-// with regional comparison (RQ6) woven through every table's columns.
-//
-// Every collector consumes experiments in a streaming fashion via its
-// Visit method, so the full campaign never needs to be held in memory.
 package analysis
 
 import (

@@ -1,8 +1,11 @@
 package analysis
 
 import (
+	"time"
+
 	"github.com/neu-sns/intl-iot-go/internal/experiments"
 	"github.com/neu-sns/intl-iot-go/internal/geo"
+	"github.com/neu-sns/intl-iot-go/internal/obs"
 	"github.com/neu-sns/intl-iot-go/internal/testbed"
 )
 
@@ -25,6 +28,37 @@ type Pipeline struct {
 	// UncontrolledHits and Unexpected are filled by RunUncontrolled.
 	UncontrolledHits *DetectResult
 	Unexpected       map[string]int
+
+	// metrics is nil unless SetObs attached a registry.
+	metrics *obs.Registry
+}
+
+// SetObs attaches a metrics registry to the pipeline and its runner. Run
+// then records per-stage wall-time spans (stage:controlled, stage:train,
+// stage:idle, stage:uncontrolled) and per-collector visit counts and
+// cumulative visit time. Call before Run; instrumentation is nil-safe
+// and changes no analysis output.
+func (p *Pipeline) SetObs(reg *obs.Registry) {
+	p.metrics = reg
+	p.Runner.SetObs(reg)
+}
+
+// timedVisitor wraps visit so each call increments
+// collector_visits.<name> and adds its latency to
+// collector_visit_ns.<name>. With no registry the visitor is returned
+// untouched, keeping the hot path allocation- and timer-free.
+func (p *Pipeline) timedVisitor(name string, visit func(*testbed.Experiment)) func(*testbed.Experiment) {
+	if p.metrics == nil {
+		return visit
+	}
+	visits := p.metrics.Counter("collector_visits." + name)
+	spent := p.metrics.Counter("collector_visit_ns." + name)
+	return func(exp *testbed.Experiment) {
+		t0 := time.Now()
+		visit(exp)
+		spent.Add(int64(time.Since(t0)))
+		visits.Inc()
+	}
 }
 
 // NewPipeline wires collectors to a runner's simulated Internet.
@@ -47,20 +81,38 @@ func NewPipeline(r *experiments.Runner) *Pipeline {
 // Models train on controlled data only, so idle captures stream through
 // detection without buffering — memory stays flat at paper scale.
 func (p *Pipeline) Run(cfg InferConfig) {
+	var (
+		dest     = p.timedVisitor("dest", p.Dest.Visit)
+		enc      = p.timedVisitor("enc", p.Enc.Visit)
+		content  = p.timedVisitor("content", p.Content.Visit)
+		identify = p.timedVisitor("identify", p.Identify.Visit)
+	)
+	span := p.metrics.StartSpan("stage:controlled")
 	p.Stats = p.Runner.RunControlled(func(exp *testbed.Experiment) {
-		p.Dest.Visit(exp)
-		p.Enc.Visit(exp)
-		p.Content.Visit(exp)
-		p.Identify.Visit(exp)
+		dest(exp)
+		enc(exp)
+		content(exp)
+		identify(exp)
 	})
+	span.End()
+
+	span = p.metrics.StartSpan("stage:train")
+	p.metrics.SetLabel("stage", "train")
 	p.Inference = p.Content.Infer(cfg)
 	p.Detector = NewDetector(p.Content, p.Inference, cfg)
+	span.End()
+
 	p.IdleHits = NewDetectResult()
-	p.IdleStats = p.Runner.RunIdle(func(exp *testbed.Experiment) {
-		p.Dest.Visit(exp)
-		p.Enc.Visit(exp)
+	detect := p.timedVisitor("detector", func(exp *testbed.Experiment) {
 		p.Detector.VisitIdle(exp, p.IdleHits)
 	})
+	span = p.metrics.StartSpan("stage:idle")
+	p.IdleStats = p.Runner.RunIdle(func(exp *testbed.Experiment) {
+		dest(exp)
+		enc(exp)
+		detect(exp)
+	})
+	span.End()
 }
 
 // RunUncontrolled executes the §7.3 user-study analysis; Run must have
@@ -68,7 +120,9 @@ func (p *Pipeline) Run(cfg InferConfig) {
 func (p *Pipeline) RunUncontrolled() {
 	p.UncontrolledHits = NewDetectResult()
 	p.Unexpected = make(map[string]int)
+	span := p.metrics.StartSpan("stage:uncontrolled")
 	p.Runner.RunUncontrolled(func(res *experiments.UncontrolledResult) {
 		p.Detector.VisitUncontrolled(res, p.UncontrolledHits, p.Unexpected)
 	})
+	span.End()
 }

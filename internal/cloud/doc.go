@@ -1,0 +1,6 @@
+// Package cloud simulates the server-side Internet the testbed devices
+// talk to: organisations with geo-distributed replicas, DNS resolution
+// with CNAME chains into hosting providers, egress-dependent replica
+// selection, a prefix registry (with realistic mis-registrations), and
+// traceroute simulation for the Passport-style geolocator.
+package cloud

@@ -1,8 +1,3 @@
-// Package cloud simulates the server-side Internet the testbed devices
-// talk to: organisations with geo-distributed replicas, DNS resolution
-// with CNAME chains into hosting providers, egress-dependent replica
-// selection, a prefix registry (with realistic mis-registrations), and
-// traceroute simulation for the Passport-style geolocator.
 package cloud
 
 import (
@@ -11,23 +6,36 @@ import (
 	"net/netip"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/neu-sns/intl-iot-go/internal/dnsmsg"
 	"github.com/neu-sns/intl-iot-go/internal/geo"
+	"github.com/neu-sns/intl-iot-go/internal/obs"
 	"github.com/neu-sns/intl-iot-go/internal/orgdb"
 )
 
-// Internet is the simulated server side.
+// Internet is the simulated server side. Lookup, ResidentialPeer and
+// TrueCountry are safe for concurrent use: the parallel experiment
+// runner resolves names from many workers while the analysis side
+// geolocates addresses.
 type Internet struct {
 	Registry *orgdb.Registry
 
 	specs    map[string]*OrgSpec // by org name
 	services map[string]*ServiceSpec
-	alloc    *allocator
 	geoDB    *geo.DB
+
+	// mu guards the lazily grown allocation state below.
+	mu    sync.Mutex
+	alloc *allocator
 	// trueCountry maps allocated prefixes to where the servers really are.
 	trueCountry map[netip.Prefix]string
+
+	// Observability (set before running experiments; nil = disabled).
+	metrics    *obs.Registry
+	dnsQueries *obs.Counter
+	dnsCNAMEs  *obs.Counter
 }
 
 // New builds the default simulated Internet.
@@ -89,9 +97,20 @@ func (in *Internet) buildGeoDB() {
 // GeoDB returns the public registry database (what RIPE/ARIN publish).
 func (in *Internet) GeoDB() *geo.DB { return in.geoDB }
 
+// SetObs attaches a metrics registry; Lookup then counts DNS queries,
+// CNAME chains and per-organisation connections. Call before running
+// experiments (the field is read concurrently afterwards).
+func (in *Internet) SetObs(reg *obs.Registry) {
+	in.metrics = reg
+	in.dnsQueries = reg.Counter("dns_queries_total")
+	in.dnsCNAMEs = reg.Counter("dns_cname_chains_total")
+}
+
 // TrueCountry returns the ground-truth location of an address; tests and
 // EXPERIMENTS.md comparisons use it, the analysis pipeline must not.
 func (in *Internet) TrueCountry(addr netip.Addr) (string, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	for p, c := range in.trueCountry {
 		if p.Contains(addr) {
 			return c, true
@@ -121,6 +140,7 @@ type Resolution struct {
 // Lookup resolves fqdn as seen from an egress country, selecting the
 // nearest replica of the hosting organisation.
 func (in *Internet) Lookup(fqdn, egress string) (Resolution, error) {
+	in.dnsQueries.Inc()
 	fqdn = strings.ToLower(strings.TrimSuffix(fqdn, "."))
 	sld := dnsmsg.SLD(fqdn)
 	owner, ok := in.Registry.BySLD(sld)
@@ -163,9 +183,16 @@ func (in *Internet) Lookup(fqdn, egress string) (Resolution, error) {
 		return Resolution{}, fmt.Errorf("cloud: org %q has no replicas to serve %q", hostName, fqdn)
 	}
 	country := NearestCountry(egress, replicas)
+	in.mu.Lock()
 	prefix := in.alloc.prefixFor(hostName, country)
 	in.trueCountry[prefix] = country
+	in.mu.Unlock()
 	addr := in.alloc.hostFor(prefix, fqdn)
+	if in.metrics != nil {
+		// Each resolution precedes one connection in the synthesis
+		// model, so this doubles as a connections-by-organisation count.
+		in.metrics.Counter("org_connections." + owner.Name).Inc()
+	}
 
 	res := Resolution{
 		Query:    fqdn,
@@ -175,6 +202,7 @@ func (in *Internet) Lookup(fqdn, egress string) (Resolution, error) {
 		Country:  country,
 	}
 	if hostName != owner.Name && hostOrg != nil && len(hostOrg.Domains) > 0 {
+		in.dnsCNAMEs.Inc()
 		cname := cnameFor(fqdn, country, hostOrg.Domains[0])
 		res.Chain = []string{cname}
 		res.Answers = []dnsmsg.Resource{
@@ -218,8 +246,10 @@ func (in *Internet) ResidentialPeer(ispOrg string, n int) (netip.Addr, error) {
 	if !ok || len(spec.Replicas) == 0 {
 		return netip.Addr{}, fmt.Errorf("cloud: unknown ISP org %q", ispOrg)
 	}
+	in.mu.Lock()
 	prefix := in.alloc.prefixFor(ispOrg, spec.Replicas[0])
 	in.trueCountry[prefix] = spec.Replicas[0]
+	in.mu.Unlock()
 	return in.alloc.hostFor(prefix, fmt.Sprintf("peer-%d", n)), nil
 }
 

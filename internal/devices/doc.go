@@ -1,0 +1,6 @@
+// Package devices models the 81 consumer IoT devices of the paper's
+// Table 1: their categories, manufacturers, lab deployments, network
+// endpoints, per-activity traffic signatures, PII leaks, and idle
+// behaviour. The synth.go generator turns a profile plus an experiment
+// request into wire-accurate packet sequences.
+package devices

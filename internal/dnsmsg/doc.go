@@ -1,0 +1,9 @@
+// Package dnsmsg implements the DNS wire format (RFC 1035) for the message
+// shapes IoT devices emit: queries and responses carrying A, AAAA, CNAME
+// and PTR records, including name compression on the write path and
+// compression-pointer chasing on the read path.
+//
+// The destination analysis (§4.1 of the paper) depends on this codec: each
+// device flow's destination IP is mapped back to a second-level domain by
+// replaying the DNS responses captured from the device.
+package dnsmsg

@@ -1,8 +1,3 @@
-// Package entropy implements the paper's encryption-detection pipeline
-// (§5.1): protocol-based identification first (TLS/QUIC records are
-// encrypted), then known-encoding magic bytes (media and compressed
-// content are *unencrypted* even though high-entropy), and finally
-// normalized byte-entropy thresholds for everything else.
 package entropy
 
 import "math"

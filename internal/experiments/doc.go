@@ -1,0 +1,11 @@
+// Package experiments orchestrates the paper's §3.3 measurement campaign:
+// power, interaction (local / LAN app / cloud app / voice), idle and
+// uncontrolled experiments across the US and UK labs, with and without
+// the inter-lab VPN, at the paper's repetition counts (30 automated, 3
+// manual, 3 power).
+//
+// Experiments stream to a visitor so the full campaign (tens of
+// thousands of experiments, millions of packets) never lives in memory
+// at once — the analyses aggregate as they go, exactly as the original
+// pipeline post-processed pcaps device by device.
+package experiments

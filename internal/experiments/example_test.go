@@ -1,0 +1,36 @@
+package experiments_test
+
+import (
+	"fmt"
+
+	"github.com/neu-sns/intl-iot-go/internal/experiments"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// ExampleRunner runs a minimal controlled campaign — one repetition of
+// every power and interaction experiment over both labs, no VPN — and
+// streams the experiments to a counting visitor. The synthesis order is
+// deterministic for a fixed seed regardless of the worker count.
+func ExampleRunner() {
+	r, err := experiments.NewRunner(experiments.Config{
+		Seed:          1,
+		AutomatedReps: 1,
+		ManualReps:    1,
+		PowerReps:     1,
+		Workers:       1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	byKind := map[testbed.ExperimentKind]int{}
+	stats := r.RunControlled(func(exp *testbed.Experiment) {
+		byKind[exp.Kind]++
+	})
+	fmt.Println("experiments:", stats.Experiments)
+	fmt.Println("power:", byKind[testbed.KindPower])
+	fmt.Println("interaction:", byKind[testbed.KindInteraction])
+	// Output:
+	// experiments: 633
+	// power: 81
+	// interaction: 552
+}

@@ -1,13 +1,3 @@
-// Package experiments orchestrates the paper's §3.3 measurement campaign:
-// power, interaction (local / LAN app / cloud app / voice), idle and
-// uncontrolled experiments across the US and UK labs, with and without
-// the inter-lab VPN, at the paper's repetition counts (30 automated, 3
-// manual, 3 power).
-//
-// Experiments stream to a visitor so the full campaign (tens of
-// thousands of experiments, millions of packets) never lives in memory
-// at once — the analyses aggregate as they go, exactly as the original
-// pipeline post-processed pcaps device by device.
 package experiments
 
 import (
@@ -15,10 +5,12 @@ import (
 	"math/rand"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/neu-sns/intl-iot-go/internal/cloud"
 	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/obs"
 	"github.com/neu-sns/intl-iot-go/internal/testbed"
 )
 
@@ -81,6 +73,23 @@ type Runner struct {
 	US  *testbed.Lab
 	UK  *testbed.Lab
 	Cfg Config
+
+	// metrics is nil unless SetObs attached a registry; every
+	// instrumentation site below is nil-safe, so a disabled runner pays
+	// only nil checks.
+	metrics *obs.Registry
+}
+
+// SetObs attaches a metrics registry to the runner, both labs and the
+// shared simulated Internet. The runner then reports per-leg synthesis
+// latency, experiments/sec, worker utilization and queue depth per
+// campaign phase. Call before running experiments; the registry is read
+// concurrently by the synthesis workers afterwards.
+func (r *Runner) SetObs(reg *obs.Registry) {
+	r.metrics = reg
+	r.US.SetObs(reg)
+	r.UK.SetObs(reg)
+	r.US.Internet.SetObs(reg) // shared with r.UK
 }
 
 // NewRunner builds both labs over a shared simulated Internet.
@@ -167,6 +176,86 @@ func (r *Runner) runControlledJob(j controlledJob) []*testbed.Experiment {
 	return out
 }
 
+// fanOut executes numJobs synthesis jobs on the configured worker count
+// and hands every produced experiment to deliver in submission order, so
+// analyses see a deterministic stream regardless of parallelism. Memory
+// stays bounded at ~workers in-flight legs: each job gets a result
+// channel, workers fill them, the consumer drains them in order.
+//
+// When a metrics registry is attached, fanOut reports per-leg synthesis
+// latency (<stage>_leg_seconds), live queue depth (<stage>_queue_depth),
+// throughput (<stage>_experiments_per_sec) and worker utilization — the
+// share of worker wall time spent synthesizing (<stage>_worker_utilization).
+func (r *Runner) fanOut(stage string, numJobs int, run func(int) []*testbed.Experiment, deliver func(int, *testbed.Experiment)) {
+	workers := r.Cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numJobs {
+		workers = numJobs
+	}
+
+	var (
+		legHist = r.metrics.Histogram(stage+"_leg_seconds", obs.DurationBuckets)
+		queue   = r.metrics.Gauge(stage + "_queue_depth")
+		busyNS  atomic.Int64
+		start   time.Time
+	)
+	if r.metrics != nil {
+		start = time.Now()
+		r.metrics.SetLabel("stage", stage)
+		queue.Set(float64(numJobs))
+		r.metrics.Gauge(stage + "_workers").Set(float64(workers))
+	}
+
+	results := make([]chan []*testbed.Experiment, numJobs)
+	for i := range results {
+		results[i] = make(chan []*testbed.Experiment, 1)
+	}
+	next := make(chan int)
+	go func() {
+		for i := 0; i < numJobs; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range next {
+				if r.metrics == nil {
+					results[i] <- run(i)
+					continue
+				}
+				t0 := time.Now()
+				out := run(i)
+				d := time.Since(t0)
+				busyNS.Add(int64(d))
+				legHist.ObserveDuration(d)
+				queue.Add(-1)
+				results[i] <- out
+			}
+		}()
+	}
+
+	count := 0
+	for i := 0; i < numJobs; i++ {
+		for _, exp := range <-results[i] {
+			count++
+			deliver(i, exp)
+		}
+	}
+	if r.metrics != nil {
+		r.metrics.Counter(stage + "_experiments_total").Add(int64(count))
+		if wall := time.Since(start).Seconds(); wall > 0 {
+			r.metrics.Gauge(stage + "_experiments_per_sec").Set(float64(count) / wall)
+			if workers > 0 {
+				r.metrics.Gauge(stage + "_worker_utilization").Set(
+					float64(busyNS.Load()) / 1e9 / (wall * float64(workers)))
+			}
+		}
+	}
+}
+
 // RunControlled executes the full controlled matrix (power + interaction)
 // and streams each experiment to visit. Synthesis runs on Cfg.Workers
 // goroutines; delivery order (and therefore every analysis result) is
@@ -180,50 +269,22 @@ func (r *Runner) RunControlled(visit Visitor) Stats {
 			}
 		}
 	}
-	workers := r.Cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
-	// Ordered fan-out: each job gets a result channel; workers fill them,
-	// the consumer drains them in submission order so memory stays
-	// bounded at ~workers in-flight legs.
-	results := make([]chan []*testbed.Experiment, len(jobs))
-	for i := range results {
-		results[i] = make(chan []*testbed.Experiment, 1)
-	}
-	next := make(chan int)
-	go func() {
-		for i := range jobs {
-			next <- i
-		}
-		close(next)
-	}()
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range next {
-				results[i] <- r.runControlledJob(jobs[i])
-			}
-		}()
-	}
-
 	var stats Stats
-	for i, j := range jobs {
-		for _, exp := range <-results[i] {
+	expTotal := r.metrics.Counter("experiments_total")
+	r.fanOut("controlled", len(jobs),
+		func(i int) []*testbed.Experiment { return r.runControlledJob(jobs[i]) },
+		func(i int, exp *testbed.Experiment) {
 			automated := false
 			if exp.Kind == testbed.KindInteraction {
 				// §3.3: physical interactions and Manual-flagged
 				// activities are performed by hand.
 				automated = !strings.HasPrefix(exp.Activity, "local_") &&
-					!r.manualActivity(j.slot, exp.Activity)
+					!r.manualActivity(jobs[i].slot, exp.Activity)
 			}
 			stats.absorb(exp, automated)
+			expTotal.Inc()
 			visit(exp)
-		}
-	}
+		})
 	return stats
 }
 
@@ -289,39 +350,15 @@ func (r *Runner) RunIdle(visit Visitor) Stats {
 		return out
 	}
 
-	workers := r.Cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	results := make([]chan []*testbed.Experiment, len(jobs))
-	for i := range results {
-		results[i] = make(chan []*testbed.Experiment, 1)
-	}
-	next := make(chan int)
-	go func() {
-		for i := range jobs {
-			next <- i
-		}
-		close(next)
-	}()
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range next {
-				results[i] <- runJob(jobs[i])
-			}
-		}()
-	}
-
 	var stats Stats
-	for i := range jobs {
-		for _, exp := range <-results[i] {
+	expTotal := r.metrics.Counter("experiments_total")
+	r.fanOut("idle", len(jobs),
+		func(i int) []*testbed.Experiment { return runJob(jobs[i]) },
+		func(_ int, exp *testbed.Experiment) {
 			stats.absorb(exp, false)
+			expTotal.Inc()
 			visit(exp)
-		}
-	}
+		})
 	return stats
 }
 

@@ -70,6 +70,9 @@ func (r *Runner) RunUncontrolled(visit func(*UncontrolledResult)) Stats {
 	var stats Stats
 	lab := r.US
 	rng := rngFor(r.Cfg.Seed, "uncontrolled")
+	r.metrics.SetLabel("stage", "uncontrolled")
+	expTotal := r.metrics.Counter("experiments_total")
+	uncTotal := r.metrics.Counter("uncontrolled_experiments_total")
 
 	// The study ran September 2018 – February 2019.
 	studyStart := time.Date(2018, 9, 1, 0, 0, 0, 0, time.UTC)
@@ -145,6 +148,8 @@ func (r *Runner) RunUncontrolled(visit func(*UncontrolledResult)) Stats {
 			stats.Experiments++
 			stats.Packets += int64(len(res.Experiment.Packets))
 			stats.Bytes += int64(res.Experiment.Bytes())
+			expTotal.Inc()
+			uncTotal.Inc()
 			visit(res)
 		}
 	}

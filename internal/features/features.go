@@ -1,11 +1,3 @@
-// Package features turns captured packet sequences into the feature
-// vectors the paper's activity-inference classifier consumes (§6.1):
-// timing statistics of packet sizes and inter-arrival times — min, max,
-// mean, deciles, skewness and kurtosis — deliberately avoiding text- or
-// host-based features that vary across deployment regions.
-//
-// It also implements the traffic-unit segmentation of §7.1: a traffic
-// unit is a maximal packet run whose inter-packet gaps are all ≤ 2 s.
 package features
 
 import (

@@ -1,0 +1,6 @@
+// Package geo implements IP geolocation in the style of the Passport tool
+// the paper uses (§4.1): a registry prior (the country a prefix is
+// *registered* in, which is often wrong for globally deployed CDNs and
+// clouds) refined with traceroute evidence (the countries of forward-path
+// hops and the speed-of-light constraint implied by round-trip times).
+package geo

@@ -1,0 +1,5 @@
+// Package httpmsg implements a tolerant HTTP/1.x codec for raw TCP payload
+// streams. Unlike net/http it parses partial captures (a request whose
+// body was truncated by the snap length still yields its method, target
+// and Host header), which is what the destination and PII analyses need.
+package httpmsg

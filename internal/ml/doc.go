@@ -1,0 +1,6 @@
+// Package ml implements the machine-learning stack the paper's activity
+// inference uses (§6.1, §6.3): CART decision trees, a bagged random forest
+// with per-split feature subsampling, and stratified repeated
+// cross-validation. Everything is deterministic given a seed and built on
+// the standard library only.
+package ml

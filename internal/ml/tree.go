@@ -107,17 +107,20 @@ func countVotes(d *Dataset, idx []int) map[string]int {
 	return votes
 }
 
-// gini computes the Gini impurity of a vote count.
+// gini computes the Gini impurity of a vote count. The sum of squared
+// counts is accumulated in integers so the result does not depend on map
+// iteration order (float accumulation order would perturb the low bits
+// and make split selection — and hence whole trees — nondeterministic).
 func gini(votes map[string]int, total int) float64 {
 	if total == 0 {
 		return 0
 	}
-	g := 1.0
+	var sumSq int64
 	for _, c := range votes {
-		p := float64(c) / float64(total)
-		g -= p * p
+		sumSq += int64(c) * int64(c)
 	}
-	return g
+	t := int64(total)
+	return 1 - float64(sumSq)/float64(t*t)
 }
 
 // bestSplit finds the (feature, threshold) pair with maximum Gini

@@ -1,14 +1,3 @@
-// Package mud implements a practical subset of the Manufacturer Usage
-// Description specification (RFC 8520), the IETF standard the paper's
-// related-work section (§8) positions as the policy-enforcement
-// alternative to its measurement approach: manufacturers declare what a
-// device is *supposed* to talk to, and the network blocks or flags
-// everything else.
-//
-// The package generates MUD profiles from the device catalog (what a
-// cooperating manufacturer would publish) and checks captured traffic
-// against them — turning the paper's §7 anomaly question into a
-// deterministic compliance question.
 package mud
 
 import (

@@ -1,0 +1,11 @@
+// Package netx implements a from-scratch packet model with wire-format
+// codecs for Ethernet, ARP, IPv4, IPv6, ICMP, TCP and UDP, plus
+// gopacket-style flow and endpoint abstractions.
+//
+// The package is the foundation of the testbed: simulated devices emit
+// netx.Packet values, the gateway rewrites them (NAT), and the capture
+// subsystem serializes them into libpcap files which the analysis pipeline
+// decodes again through this same package. Round-tripping through real wire
+// bytes keeps the analysis honest: it only ever sees what tcpdump would
+// have seen.
+package netx

@@ -1,0 +1,25 @@
+// Package obs is the measurement pipeline's observability layer: a
+// dependency-free metrics registry (counters, gauges, histograms with
+// fixed bucket layouts, string labels), a span-style stage timer, and
+// JSON/text exporters.
+//
+// The paper's campaign (§3.3) spans 34,586 controlled experiments plus
+// weeks of idle and user-study captures; this package is how the
+// reproduction reports where that time and volume go — per-stage wall
+// times in analysis.Pipeline, per-leg synthesis latency and worker
+// utilization in experiments.Runner, packets/bytes synthesized in
+// testbed, and DNS/connection counts in cloud.
+//
+// Every method is nil-safe: a nil *Registry (and the nil *Counter,
+// *Gauge, *Histogram and *Span values it hands out) turns the entire
+// layer into no-ops, so instrumented hot paths cost a nil check when
+// metrics are disabled. All mutating operations are safe for concurrent
+// use; the parallel experiment runner updates counters from many worker
+// goroutines at once.
+//
+// Instrumented code takes a *Registry explicitly where a natural
+// injection point exists (Runner, Pipeline, Lab, Internet). Package-level
+// functions with no such point (testbed's pcap round-trip) consult the
+// process-wide Default registry, which is nil until a CLI or benchmark
+// opts in via SetDefault.
+package obs

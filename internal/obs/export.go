@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Snapshot is a point-in-time copy of a registry's metrics, shaped for
+// serialization. Map keys serialize in sorted order (encoding/json) and
+// spans appear in start order, so two snapshots of identical campaigns
+// diff cleanly.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Labels     map[string]string            `json:"labels,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      []SpanSnapshot               `json:"spans,omitempty"`
+}
+
+// HistogramSnapshot is one histogram's state. Counts has one more entry
+// than Bounds: the final slot counts observations above the last bound.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Mean returns Sum/Count (0 for an empty histogram).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// SpanSnapshot is one stage timing. Running marks spans not yet ended at
+// snapshot time; their Seconds reflect time elapsed so far.
+type SpanSnapshot struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Running bool    `json:"running,omitempty"`
+}
+
+// Snapshot copies the registry's current state. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for k, c := range r.counters {
+			s.Counters[k] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for k, g := range r.gauges {
+			s.Gauges[k] = g.Value()
+		}
+	}
+	if len(r.labels) > 0 {
+		s.Labels = make(map[string]string, len(r.labels))
+		for k, v := range r.labels {
+			s.Labels[k] = v
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for k, h := range r.hists {
+			h.mu.Lock()
+			hs := HistogramSnapshot{
+				Count:  h.count,
+				Sum:    h.sum,
+				Min:    h.min,
+				Max:    h.max,
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: append([]int64(nil), h.counts...),
+			}
+			h.mu.Unlock()
+			if hs.Count == 0 {
+				hs.Min, hs.Max = 0, 0
+			}
+			s.Histograms[k] = hs
+		}
+	}
+	for _, sp := range r.spans {
+		ss := SpanSnapshot{Name: sp.name}
+		if sp.done {
+			ss.Seconds = sp.dur.Seconds()
+		} else {
+			ss.Seconds = r.now().Sub(sp.start).Seconds()
+			ss.Running = true
+		}
+		s.Spans = append(s.Spans, ss)
+	}
+	return s
+}
+
+// WriteJSON serializes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot as a human-readable report.
+func (s Snapshot) WriteText(w io.Writer) error {
+	if len(s.Spans) > 0 {
+		fmt.Fprintf(w, "stages:\n")
+		for _, sp := range s.Spans {
+			mark := ""
+			if sp.Running {
+				mark = " (running)"
+			}
+			fmt.Fprintf(w, "  %-32s %10.3fs%s\n", sp.Name, sp.Seconds, mark)
+		}
+	}
+	writeSorted(w, "labels", s.Labels, func(v string) string { return v })
+	writeSorted(w, "counters", s.Counters, func(v int64) string { return fmt.Sprintf("%d", v) })
+	writeSorted(w, "gauges", s.Gauges, func(v float64) string { return fmt.Sprintf("%g", v) })
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(w, "histograms:\n")
+		for _, k := range sortedKeys(s.Histograms) {
+			h := s.Histograms[k]
+			fmt.Fprintf(w, "  %-32s n=%d mean=%g min=%g max=%g\n", k, h.Count, h.Mean(), h.Min, h.Max)
+		}
+	}
+	return nil
+}
+
+// WriteJSONFile snapshots the registry and writes it to path; the
+// convenience the CLIs and benchmarks use. No-op on a nil registry.
+func (r *Registry) WriteJSONFile(path string) error {
+	if r == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeSorted[V any](w io.Writer, title string, m map[string]V, render func(V) string) {
+	if len(m) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s:\n", title)
+	for _, k := range sortedKeys(m) {
+		fmt.Fprintf(w, "  %-32s %s\n", k, render(m[k]))
+	}
+}

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named metrics. The zero value is not usable; create one
+// with NewRegistry. A nil *Registry is valid everywhere and makes every
+// operation a no-op, which is how instrumented code stays zero-cost when
+// observability is disabled.
+type Registry struct {
+	mu       sync.Mutex
+	now      func() time.Time
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	labels   map[string]string
+	spans    []*Span
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		now:      time.Now,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		labels:   make(map[string]string),
+	}
+}
+
+// defaultReg is the process-wide registry used by package-level code with
+// no injection point (e.g. testbed's pcap round-trip counters).
+var defaultReg atomic.Pointer[Registry]
+
+// SetDefault installs r as the process-wide default registry. Passing nil
+// disables default-registry instrumentation again.
+func SetDefault(r *Registry) { defaultReg.Store(r) }
+
+// Default returns the process-wide registry, or nil if none is installed.
+func Default() *Registry { return defaultReg.Load() }
+
+// Counter returns the named counter, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (ascending; an implicit +Inf overflow bucket is
+// appended) on first use. Later calls ignore the bounds argument.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1),
+			min: math.Inf(1), max: math.Inf(-1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetLabel records a string-valued annotation (e.g. the current pipeline
+// stage). Labels appear in snapshots alongside the numeric metrics.
+func (r *Registry) SetLabel(name, value string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.labels[name] = value
+	r.mu.Unlock()
+}
+
+// Label returns a label's current value ("" when unset or nil registry).
+func (r *Registry) Label(name string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.labels[name]
+}
+
+// Counter is a monotonically increasing integer, safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on nil.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64, safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. No-op on nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta to the gauge. No-op on nil.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets and tracks
+// count/sum/min/max. Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; counts has one extra overflow slot
+	counts []int64
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Observe records one sample. No-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds. No-op on nil.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Fixed bucket layouts shared by the instrumented subsystems, so
+// snapshots from different runs line up bucket for bucket.
+var (
+	// DurationBuckets (seconds) covers microsecond collector visits up
+	// to multi-minute campaign stages.
+	DurationBuckets = []float64{
+		1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300,
+	}
+	// SizeBuckets (bytes) covers single packets up to whole-campaign
+	// capture volumes.
+	SizeBuckets = []float64{
+		256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216, 67108864,
+	}
+)
+
+// Span measures the wall time of one named stage. Obtain via StartSpan,
+// stop with End. A nil *Span is a no-op.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+	dur   time.Duration
+	done  bool
+}
+
+// StartSpan begins timing a named stage and registers it with the
+// registry. Returns nil on a nil registry.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	s := &Span{r: r, name: name, start: r.now()}
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+	return s
+}
+
+// End stops the span and returns its duration. Safe to call more than
+// once (later calls return the recorded duration). No-op on nil.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	if !s.done {
+		s.dur = s.r.now().Sub(s.start)
+		s.done = true
+	}
+	return s.dur
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("x") != c {
+		t.Fatal("Counter did not return the same instance")
+	}
+	g := r.Gauge("y")
+	g.Set(1.5)
+	g.Add(1.0)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	// 0.5 and 1 land in <=1; 5 in <=10; 50 in <=100; 500 overflows.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Min != 0.5 || s.Max != 500 {
+		t.Fatalf("min/max = %g/%g, want 0.5/500", s.Min, s.Max)
+	}
+	if s.Sum != 556.5 {
+		t.Fatalf("sum = %g, want 556.5", s.Sum)
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, gauge and histogram from
+// many goroutines; run with -race to verify the registry is race-clean
+// the way the parallel experiment runner needs it to be.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("lat", DurationBuckets)
+			g := r.Gauge("acc")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) * 1e-6)
+				r.SetLabel("stage", "concurrent")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("acc").Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %g, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("lat", nil).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestNilRegistryNoops verifies the disabled path: every operation on a
+// nil registry (and the nil metrics it returns) must be a safe no-op.
+func TestNilRegistryNoops(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Counter("c").Add(5)
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d, want 0", got)
+	}
+	r.Gauge("g").Set(3)
+	r.Gauge("g").Add(1)
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Fatalf("nil gauge value = %g, want 0", got)
+	}
+	r.Histogram("h", DurationBuckets).Observe(1)
+	r.Histogram("h", nil).ObserveDuration(time.Second)
+	if got := r.Histogram("h", nil).Count(); got != 0 {
+		t.Fatalf("nil histogram count = %d, want 0", got)
+	}
+	r.SetLabel("l", "v")
+	if got := r.Label("l"); got != "" {
+		t.Fatalf("nil label = %q, want empty", got)
+	}
+	sp := r.StartSpan("stage")
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil span duration = %v, want 0", d)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Spans) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON on empty snapshot: %v", err)
+	}
+	if err := r.WriteJSONFile(filepath.Join(t.TempDir(), "never-created.json")); err != nil {
+		t.Fatalf("nil WriteJSONFile: %v", err)
+	}
+}
+
+func TestSpanTiming(t *testing.T) {
+	r := NewRegistry()
+	clock := time.Unix(0, 0)
+	r.now = func() time.Time { return clock }
+	sp := r.StartSpan("stage")
+	clock = clock.Add(1500 * time.Millisecond)
+	if d := sp.End(); d != 1500*time.Millisecond {
+		t.Fatalf("span duration = %v, want 1.5s", d)
+	}
+	// End is idempotent.
+	clock = clock.Add(time.Hour)
+	if d := sp.End(); d != 1500*time.Millisecond {
+		t.Fatalf("second End = %v, want 1.5s", d)
+	}
+	running := r.StartSpan("open")
+	clock = clock.Add(2 * time.Second)
+	s := r.Snapshot()
+	if len(s.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(s.Spans))
+	}
+	if s.Spans[0].Running || s.Spans[0].Seconds != 1.5 {
+		t.Fatalf("ended span snapshot wrong: %+v", s.Spans[0])
+	}
+	if !s.Spans[1].Running || s.Spans[1].Seconds != 2 {
+		t.Fatalf("running span snapshot wrong: %+v", s.Spans[1])
+	}
+	running.End()
+}
+
+// TestGoldenJSONExport freezes the clock, builds a small registry and
+// compares the JSON export byte for byte against testdata/snapshot.json.
+func TestGoldenJSONExport(t *testing.T) {
+	r := NewRegistry()
+	clock := time.Unix(1000, 0)
+	r.now = func() time.Time { return clock }
+
+	sp := r.StartSpan("stage:controlled")
+	clock = clock.Add(2500 * time.Millisecond)
+	sp.End()
+	r.Counter("experiments_total").Add(128)
+	r.Counter("packets_synthesized").Add(40960)
+	r.Gauge("controlled_experiments_per_sec").Set(51.2)
+	r.SetLabel("stage", "controlled")
+	h := r.Histogram("leg_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "snapshot.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden file: %v (regenerate by writing buf: %s)", err, buf.String())
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON export differs from %s:\ngot:\n%s\nwant:\n%s", golden, buf.String(), want)
+	}
+}
+
+func TestDefaultRegistry(t *testing.T) {
+	if Default() != nil {
+		t.Fatal("default registry should start nil")
+	}
+	r := NewRegistry()
+	SetDefault(r)
+	defer SetDefault(nil)
+	Default().Counter("via_default").Inc()
+	if got := r.Counter("via_default").Value(); got != 1 {
+		t.Fatalf("counter via default = %d, want 1", got)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(1.25)
+	r.SetLabel("stage", "idle")
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	sp := r.StartSpan("s")
+	sp.End()
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"stages:", "counters:", "gauges:", "labels:", "histograms:", "c ", "idle"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("text export missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+// Package orgdb implements the organisation labelling and party
+// classification of §4.1: mapping a second-level domain (or, failing that,
+// the registered owner of an IP prefix) to an organisation, and
+// classifying that organisation as first, support, or third party with
+// respect to a given device.
+package orgdb

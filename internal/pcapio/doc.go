@@ -1,0 +1,9 @@
+// Package pcapio reads and writes classic libpcap capture files
+// (https://wiki.wireshark.org/Development/LibpcapFileFormat), the format
+// tcpdump produced on the Mon(IoT)r gateways. Both microsecond
+// (0xa1b2c3d4) and nanosecond (0xa1b23c4d) variants are supported, as is
+// byte-swapped reading for files written on opposite-endian machines.
+//
+// The package also implements the label sidecar files the testbed uses to
+// mark which experiment produced a window of traffic (§3.2 of the paper).
+package pcapio

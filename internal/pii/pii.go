@@ -1,9 +1,3 @@
-// Package pii implements the plaintext PII detection of §6.1/§6.2: given
-// the PII known for a device (identifiers assigned at manufacture plus
-// personal information supplied at account registration), it searches
-// network payloads for those values under the encodings leaky firmware
-// actually uses — raw text, upper/lower hex, base64, URL escaping, and
-// JSON string embedding.
 package pii
 
 import (

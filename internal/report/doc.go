@@ -1,0 +1,5 @@
+// Package report renders the paper's tables and figures as aligned text
+// and CSV. Each Table* builder consumes the matching analysis collector
+// and emits the same rows the paper reports, so a diff against the
+// published tables is a column-by-column comparison.
+package report

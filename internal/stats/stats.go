@@ -1,8 +1,3 @@
-// Package stats provides the descriptive statistics the feature extractor
-// needs (min/max/mean/deciles/skewness/kurtosis, §6.1 of the paper), the
-// Welch t-test used to mark statistically significant differences in
-// Table 7, and the classification metrics (precision/recall/F1) used to
-// decide inferrability (§6.3).
 package stats
 
 import (

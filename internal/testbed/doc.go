@@ -1,0 +1,5 @@
+// Package testbed models the two Mon(IoT)r labs (§3.2): a gateway server
+// providing NAT and DNS to a private IoT network, per-MAC traffic capture
+// with experiment labels, and a VPN tunnel between the labs that swaps the
+// egress IP (and therefore the region servers see).
+package testbed

@@ -1,7 +1,3 @@
-// Package testbed models the two Mon(IoT)r labs (§3.2): a gateway server
-// providing NAT and DNS to a private IoT network, per-MAC traffic capture
-// with experiment labels, and a VPN tunnel between the labs that swaps the
-// egress IP (and therefore the region servers see).
 package testbed
 
 import (
@@ -17,6 +13,7 @@ import (
 	"github.com/neu-sns/intl-iot-go/internal/cloud"
 	"github.com/neu-sns/intl-iot-go/internal/devices"
 	"github.com/neu-sns/intl-iot-go/internal/netx"
+	"github.com/neu-sns/intl-iot-go/internal/obs"
 	"github.com/neu-sns/intl-iot-go/internal/pcapio"
 )
 
@@ -40,6 +37,10 @@ type Lab struct {
 
 	slots []*DeviceSlot
 	seed  int64
+
+	// Synthesis volume counters (nil until SetObs; nil-safe).
+	pktsSynth  *obs.Counter
+	bytesSynth *obs.Counter
 }
 
 // DeviceSlot is one device attached to a lab network.
@@ -84,6 +85,24 @@ func NewLab(name string, internet *cloud.Internet, seed int64) (*Lab, error) {
 		}
 	}
 	return l, nil
+}
+
+// SetObs attaches a metrics registry; every experiment the lab runs then
+// counts its synthesized packets and wire bytes. Call before running
+// experiments (workers read the counters concurrently afterwards).
+func (l *Lab) SetObs(reg *obs.Registry) {
+	l.pktsSynth = reg.Counter("packets_synthesized_total")
+	l.bytesSynth = reg.Counter("bytes_synthesized_total")
+}
+
+// countSynth records an experiment's synthesis volume; no-op when
+// observability is disabled (nil counters).
+func (l *Lab) countSynth(exp *Experiment) {
+	if l.pktsSynth == nil {
+		return
+	}
+	l.pktsSynth.Add(int64(len(exp.Packets)))
+	l.bytesSynth.Add(int64(exp.Bytes()))
 }
 
 // Slots returns the attached devices.
@@ -203,12 +222,14 @@ func (l *Lab) RunPower(slot *DeviceSlot, vpn bool, start time.Time, rep int) *Ex
 	rng := rand.New(rand.NewSource(l.expSeed(slot, KindPower, "power", vpn, rep)))
 	g := devices.NewGen(slot.Inst, l.env(slot, vpn, rng))
 	pkts, end := g.Power(start)
-	return &Experiment{
+	exp := &Experiment{
 		Lab: l.Name, VPN: vpn, Column: l.Column(vpn),
 		Device: slot.Inst, DeviceIP: slot.IP,
 		Kind: KindPower, Activity: "power",
 		Start: start, End: end.Add(2 * time.Second), Packets: pkts,
 	}
+	l.countSynth(exp)
+	return exp
 }
 
 // RunInteraction performs one labelled interaction experiment.
@@ -217,12 +238,14 @@ func (l *Lab) RunInteraction(slot *DeviceSlot, act *devices.Activity, method dev
 	rng := rand.New(rand.NewSource(l.expSeed(slot, KindInteraction, label, vpn, rep)))
 	g := devices.NewGen(slot.Inst, l.env(slot, vpn, rng))
 	pkts, end := g.Interaction(act, method, start)
-	return &Experiment{
+	exp := &Experiment{
 		Lab: l.Name, VPN: vpn, Column: l.Column(vpn),
 		Device: slot.Inst, DeviceIP: slot.IP,
 		Kind: KindInteraction, Activity: label,
 		Start: start, End: end.Add(5 * time.Second), Packets: pkts,
 	}
+	l.countSynth(exp)
+	return exp
 }
 
 // RunIdle captures an idle window.
@@ -230,12 +253,14 @@ func (l *Lab) RunIdle(slot *DeviceSlot, vpn bool, start time.Time, dur time.Dura
 	rng := rand.New(rand.NewSource(l.expSeed(slot, KindIdle, "idle", vpn, rep)))
 	g := devices.NewGen(slot.Inst, l.env(slot, vpn, rng))
 	pkts, events := g.Idle(start, dur)
-	return &Experiment{
+	exp := &Experiment{
 		Lab: l.Name, VPN: vpn, Column: l.Column(vpn),
 		Device: slot.Inst, DeviceIP: slot.IP,
 		Kind: KindIdle, Activity: "idle",
 		Start: start, End: start.Add(dur), Packets: pkts, IdleEvents: events,
 	}
+	l.countSynth(exp)
+	return exp
 }
 
 // WritePcap serializes an experiment's packets as a classic pcap stream,
@@ -245,10 +270,15 @@ func WritePcap(w io.Writer, exp *Experiment) error {
 	if err != nil {
 		return err
 	}
+	pkts := obs.Default().Counter("pcap_write_packets_total")
+	bytec := obs.Default().Counter("pcap_write_bytes_total")
 	for _, p := range exp.Packets {
-		if err := pw.WritePacket(p.Meta.Timestamp, p.Serialize()); err != nil {
+		data := p.Serialize()
+		if err := pw.WritePacket(p.Meta.Timestamp, data); err != nil {
 			return err
 		}
+		pkts.Inc()
+		bytec.Add(int64(len(data)))
 	}
 	return pw.Flush()
 }
@@ -324,8 +354,12 @@ func ReadPcap(r io.Reader) ([]*netx.Packet, error) {
 	if err != nil {
 		return nil, err
 	}
+	pktc := obs.Default().Counter("pcap_read_packets_total")
+	bytec := obs.Default().Counter("pcap_read_bytes_total")
 	pkts := make([]*netx.Packet, 0, len(recs))
 	for _, rec := range recs {
+		pktc.Inc()
+		bytec.Add(int64(len(rec.Data)))
 		p, err := netx.Decode(rec.Time, rec.Data)
 		if err != nil {
 			continue // tolerate malformed frames like tcpdump does

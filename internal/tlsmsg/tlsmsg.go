@@ -1,12 +1,3 @@
-// Package tlsmsg implements the subset of the TLS 1.2 wire format
-// (RFC 5246) needed by the testbed and the analysis pipeline: record
-// framing, ClientHello with SNI and ALPN extensions, ServerHello, and
-// application-data records.
-//
-// The testbed's simulated devices use this codec to emit realistic TLS
-// handshakes; the analysis pipeline uses it to (a) detect TLS flows the
-// way Wireshark's dissector does (§5.1) and (b) recover server names from
-// the SNI extension when no DNS mapping exists (§4.1).
 package tlsmsg
 
 import (

@@ -31,6 +31,7 @@ import (
 
 	"github.com/neu-sns/intl-iot-go/internal/analysis"
 	"github.com/neu-sns/intl-iot-go/internal/experiments"
+	"github.com/neu-sns/intl-iot-go/internal/obs"
 	"github.com/neu-sns/intl-iot-go/internal/report"
 )
 
@@ -77,6 +78,20 @@ func NewStudy(cfg Config) (*Study, error) {
 // SetInferenceConfig overrides the §6.3 cross-validation parameters;
 // call before Run.
 func (s *Study) SetInferenceConfig(cfg analysis.InferConfig) { s.inferCfg = cfg }
+
+// Metrics is the observability registry; see internal/obs.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty observability registry for SetObs.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// SetObs attaches a metrics registry to the whole stack — pipeline,
+// runner, both labs and the simulated Internet. Run then records stage
+// wall times, per-collector visit counts and times, synthesis throughput
+// and volume. Call before Run; a nil registry (the default) keeps every
+// instrumentation site a no-op, and enabling metrics changes no analysis
+// output.
+func (s *Study) SetObs(reg *Metrics) { s.pipeline.SetObs(reg) }
 
 // Run executes the controlled and idle campaigns and every analysis.
 func (s *Study) Run() {
