@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet fmt build test race bench
+.PHONY: check vet fmt build test race bench fuzz smoke
 
 # Pre-PR gate: everything here must pass before sending a change.
-check: vet fmt build race
+check: vet fmt build race smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,3 +23,23 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Run every pcap-parsing fuzzer briefly; the seed corpus plus a few
+# seconds of mutation catches framing regressions without CI-scale cost.
+fuzz:
+	@for f in $$($(GO) test ./internal/pcapio -list '^Fuzz' | grep '^Fuzz'); do \
+		echo "fuzzing $$f"; \
+		$(GO) test ./internal/pcapio -run '^$$' -fuzz "^$$f$$" -fuzztime 5s || exit 1; \
+	done
+
+# End-to-end capture round trip: export a tiny campaign as per-device
+# pcaps, re-ingest it, and require byte-identical table output.
+smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o "$$tmp/moniotr" ./cmd/moniotr && \
+	"$$tmp/moniotr" -scale tiny -skip-uncontrolled -export-captures "$$tmp/caps" \
+		> "$$tmp/direct.out" 2> "$$tmp/direct.err" && \
+	"$$tmp/moniotr" -ingest "$$tmp/caps" \
+		> "$$tmp/ingested.out" 2> "$$tmp/ingested.err" && \
+	cmp "$$tmp/direct.out" "$$tmp/ingested.out" && \
+	echo "smoke: export->ingest tables byte-identical"

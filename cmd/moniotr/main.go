@@ -4,8 +4,15 @@
 //
 // Usage:
 //
-//	moniotr [-scale quick|bench|paper] [-csv dir] [-tables 2,5,11] [-skip-uncontrolled]
-//	        [-metrics out.json] [-pprof :6060]
+//	moniotr [-scale tiny|quick|bench|paper] [-csv dir] [-tables 2,5,11] [-skip-uncontrolled]
+//	        [-export-captures dir] [-ingest dir] [-metrics out.json] [-pprof :6060]
+//
+// With -export-captures the campaign is additionally written to disk as
+// a Mon(IoT)r-style capture directory (per-device pcaps + label
+// sidecars). With -ingest the campaign is not synthesized at all:
+// experiments are read back from such a directory and analysed,
+// producing the same tables — byte-identical for a directory written by
+// -export-captures at the same scale.
 //
 // With -metrics the campaign is instrumented end to end (stage wall
 // times, per-collector visit counts, synthesis throughput, DNS and pcap
@@ -26,14 +33,15 @@ import (
 	"time"
 
 	intliot "github.com/neu-sns/intl-iot-go"
+	"github.com/neu-sns/intl-iot-go/internal/ingest"
 	"github.com/neu-sns/intl-iot-go/internal/obs"
-	"github.com/neu-sns/intl-iot-go/internal/testbed"
 )
 
 func main() {
-	scale := flag.String("scale", "quick", "campaign scale: quick, bench or paper")
+	scale := flag.String("scale", "quick", "campaign scale: tiny, quick, bench or paper")
 	csvDir := flag.String("csv", "", "also export tables as CSV into this directory")
-	pcapDir := flag.String("pcap", "", "export per-device captures (pcap + label sidecars) into this directory; power experiments only, to bound disk use")
+	exportDir := flag.String("export-captures", "", "write the campaign to this directory as per-device pcaps + label sidecars")
+	ingestDir := flag.String("ingest", "", "skip synthesis and ingest a capture directory (as written by -export-captures)")
 	tables := flag.String("tables", "all", "comma-separated table list (1-11, fig2, pii, unexpected) or 'all'")
 	skipUncontrolled := flag.Bool("skip-uncontrolled", false, "skip the §7.3 user-study simulation")
 	metricsOut := flag.String("metrics", "", "instrument the campaign and write a metrics JSON snapshot to this file")
@@ -51,6 +59,13 @@ func main() {
 
 	var cfg intliot.Config
 	switch *scale {
+	case "tiny":
+		cfg = intliot.QuickConfig()
+		cfg.AutomatedReps = 1
+		cfg.ManualReps = 1
+		cfg.PowerReps = 1
+		cfg.IdleHours = map[string]float64{"US": 1, "GB": 1, "US->GB": 1, "GB->US": 1}
+		cfg.UncontrolledDays = 1
 	case "quick":
 		cfg = intliot.QuickConfig()
 	case "bench":
@@ -74,11 +89,29 @@ func main() {
 	selected := func(key string) bool { return want["all"] || want[key] }
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "moniotr: building labs and running the %s-scale campaign...\n", *scale)
-	study, err := intliot.NewStudy(cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
-		os.Exit(1)
+	var study *intliot.Study
+	var src *ingest.Source
+	if *ingestDir != "" {
+		fmt.Fprintf(os.Stderr, "moniotr: ingesting captures from %s...\n", *ingestDir)
+		var err error
+		src, err = ingest.Open(*ingestDir, ingest.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
+			os.Exit(1)
+		}
+		study = intliot.NewStudyFromSource(src)
+		if !*skipUncontrolled {
+			fmt.Fprintln(os.Stderr, "moniotr: capture directories carry no user-study campaign; skipping uncontrolled analysis")
+			*skipUncontrolled = true
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "moniotr: building labs and running the %s-scale campaign...\n", *scale)
+		s, err := intliot.NewStudy(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
+			os.Exit(1)
+		}
+		study = s
 	}
 	var reg *intliot.Metrics
 	stopProgress := func() {}
@@ -98,12 +131,18 @@ func main() {
 		stopProgress = progressLoop(reg)
 	}
 	study.Run()
-	if *pcapDir != "" {
-		if err := exportCaptures(*pcapDir, study); err != nil {
-			fmt.Fprintf(os.Stderr, "moniotr: pcap export: %v\n", err)
+	if src != nil {
+		fmt.Fprintf(os.Stderr, "moniotr: ingest: %s\n", src.Report())
+	}
+	if *exportDir != "" {
+		if src != nil {
+			fmt.Fprintln(os.Stderr, "moniotr: -export-captures is ignored with -ingest")
+		} else if err := ingest.Export(*exportDir, study.Pipeline().Runner()); err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: capture export: %v\n", err)
 			os.Exit(1)
+		} else {
+			fmt.Fprintf(os.Stderr, "moniotr: wrote per-device captures to %s\n", *exportDir)
 		}
-		fmt.Fprintf(os.Stderr, "moniotr: wrote per-device captures to %s\n", *pcapDir)
 	}
 	if !*skipUncontrolled {
 		if err := study.RunUncontrolled(); err != nil {
@@ -190,22 +229,6 @@ func progressLoop(reg *intliot.Metrics) func() {
 		close(stop)
 		<-done
 	}
-}
-
-// exportCaptures re-runs one power experiment per device and writes it as
-// a pcap + labels pair, giving users real capture artefacts to inspect
-// with pcapinfo or Wireshark.
-func exportCaptures(dir string, study *intliot.Study) error {
-	r := study.Pipeline().Runner
-	for _, lab := range []*testbed.Lab{r.US, r.UK} {
-		for i, slot := range lab.Slots() {
-			exp := lab.RunPower(slot, false, testbed.StudyEpoch, 0)
-			if _, err := testbed.SaveExperiment(dir, i, exp); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }
 
 func exportCSV(dir, key string, tbl *intliot.Table) error {

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/dnsmsg"
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+)
+
+// The ingest subsystem identifies each capture file's device from the
+// evidence a real gateway would see. These tests drive IdentifyCapture
+// through every evidence tier with synthetic packets.
+
+func usCatalog(t *testing.T) []*devices.Instance {
+	t.Helper()
+	catalog := devices.InstancesInLab(devices.LabUS)
+	if len(catalog) == 0 {
+		t.Fatal("empty US catalog")
+	}
+	return catalog
+}
+
+func findInstance(t *testing.T, catalog []*devices.Instance, id string) *devices.Instance {
+	t.Helper()
+	for _, inst := range catalog {
+		if inst.ID() == id {
+			return inst
+		}
+	}
+	t.Fatalf("instance %s not in catalog", id)
+	return nil
+}
+
+// localMAC is a locally-administered address matching no vendor OUI.
+var localMAC = netx.MAC{0x02, 0x00, 0x5e, 0x12, 0x34, 0x56}
+
+func srcPacket(mac netx.MAC) *netx.Packet {
+	return &netx.Packet{Eth: netx.Ethernet{Src: mac, EtherType: netx.EtherTypeIPv4}}
+}
+
+// dhcpDiscoverWithHostname builds a BOOTREQUEST carrying option 12.
+func dhcpDiscoverWithHostname(src netx.MAC, hostname string) *netx.Packet {
+	b := make([]byte, 240)
+	b[0], b[1], b[2], b[3] = 1, 1, 6, 0
+	copy(b[28:34], src[:])
+	copy(b[236:240], []byte{0x63, 0x82, 0x53, 0x63})
+	b = append(b, 53, 1, 1) // DHCPDISCOVER
+	b = append(b, 12, byte(len(hostname)))
+	b = append(b, hostname...)
+	b = append(b, 255)
+	return &netx.Packet{
+		Eth:     netx.Ethernet{Src: src, Dst: netx.Broadcast, EtherType: netx.EtherTypeIPv4},
+		UDP:     &netx.UDP{SrcPort: 68, DstPort: 67},
+		Payload: b,
+	}
+}
+
+func dnsQuery(src netx.MAC, name string) *netx.Packet {
+	return &netx.Packet{
+		Eth:     netx.Ethernet{Src: src, EtherType: netx.EtherTypeIPv4},
+		UDP:     &netx.UDP{SrcPort: 50000, DstPort: 53},
+		Payload: dnsmsg.NewQuery(1, name, dnsmsg.TypeA).Pack(),
+	}
+}
+
+func TestIdentifyByExactMAC(t *testing.T) {
+	catalog := usCatalog(t)
+	want := catalog[3]
+	ev := GatherCaptureEvidence([]*netx.Packet{srcPacket(want.MAC), srcPacket(want.MAC)})
+	inst, method, err := IdentifyCapture(ev, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.ID() != want.ID() || method != IdentifyByMAC {
+		t.Fatalf("got (%s, %s), want (%s, %s)", inst.ID(), method, want.ID(), IdentifyByMAC)
+	}
+}
+
+func TestIdentifyByOUIOnly(t *testing.T) {
+	catalog := usCatalog(t)
+	want := findInstance(t, catalog, "us/amcrest-cam")
+	// Same vendor prefix, different NIC suffix: a replaced unit.
+	drifted := want.MAC
+	drifted[3] ^= 0xff
+	drifted[5] ^= 0xa5
+	if _, ok := MatchMAC(drifted, catalog); ok {
+		t.Fatal("drifted MAC collides with the catalog; pick other bytes")
+	}
+	ev := GatherCaptureEvidence([]*netx.Packet{srcPacket(drifted)})
+	inst, method, err := IdentifyCapture(ev, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.ID() != want.ID() || method != IdentifyByOUI {
+		t.Fatalf("got (%s, %s), want (%s, %s)", inst.ID(), method, want.ID(), IdentifyByOUI)
+	}
+}
+
+func TestIdentifyByDHCPHostnameOnly(t *testing.T) {
+	catalog := usCatalog(t)
+	want := findInstance(t, catalog, "us/ring-doorbell")
+	// The asserted hostname matches after slug normalization even when
+	// the capitalization and separators differ from the catalog name.
+	pkts := []*netx.Packet{dhcpDiscoverWithHostname(localMAC, "Ring_Doorbell")}
+	ev := GatherCaptureEvidence(pkts)
+	if len(ev.Hostnames) != 1 || ev.Hostnames[0] != "Ring_Doorbell" {
+		t.Fatalf("hostnames = %v, want [Ring_Doorbell]", ev.Hostnames)
+	}
+	inst, method, err := IdentifyCapture(ev, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.ID() != want.ID() || method != IdentifyByHostname {
+		t.Fatalf("got (%s, %s), want (%s, %s)", inst.ID(), method, want.ID(), IdentifyByHostname)
+	}
+}
+
+func TestIdentifyByMDNSName(t *testing.T) {
+	catalog := usCatalog(t)
+	want := findInstance(t, catalog, "us/lefun-cam")
+	mdns := &netx.Packet{
+		Eth:     netx.Ethernet{Src: localMAC, EtherType: netx.EtherTypeIPv4},
+		UDP:     &netx.UDP{SrcPort: 5353, DstPort: 5353},
+		Payload: dnsmsg.NewQuery(0, "lefun-cam.local", dnsmsg.TypePTR).Pack(),
+	}
+	inst, method, err := IdentifyCapture(GatherCaptureEvidence([]*netx.Packet{mdns}), catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.ID() != want.ID() || method != IdentifyByHostname {
+		t.Fatalf("got (%s, %s), want (%s, %s)", inst.ID(), method, want.ID(), IdentifyByHostname)
+	}
+}
+
+func TestIdentifyBySSDPName(t *testing.T) {
+	catalog := usCatalog(t)
+	want := findInstance(t, catalog, "us/microseven-cam")
+	ssdp := &netx.Packet{
+		Eth: netx.Ethernet{Src: localMAC, EtherType: netx.EtherTypeIPv4},
+		UDP: &netx.UDP{SrcPort: 1900, DstPort: 1900},
+		Payload: []byte("NOTIFY * HTTP/1.1\r\nHOST: 239.255.255.250:1900\r\n" +
+			"NT: upnp:rootdevice\r\nUSN: uuid:microseven-cam::upnp:rootdevice\r\n\r\n"),
+	}
+	inst, method, err := IdentifyCapture(GatherCaptureEvidence([]*netx.Packet{ssdp}), catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.ID() != want.ID() || method != IdentifyByHostname {
+		t.Fatalf("got (%s, %s), want (%s, %s)", inst.ID(), method, want.ID(), IdentifyByHostname)
+	}
+}
+
+func TestIdentifyByDNSPatternOnly(t *testing.T) {
+	catalog := usCatalog(t)
+	want := findInstance(t, catalog, "us/amcrest-cam")
+	// Query exactly the names the device's firmware resolves; the source
+	// MAC matches no vendor (a MAC-randomizing device).
+	var pkts []*netx.Packet
+	for _, ep := range want.Profile.Endpoints {
+		if ep.Domain != "" {
+			pkts = append(pkts, dnsQuery(localMAC, ep.Domain))
+		}
+	}
+	if len(pkts) < 2 {
+		t.Fatalf("profile %s has %d domains; need >= 2", want.ID(), len(pkts))
+	}
+	inst, method, err := IdentifyCapture(GatherCaptureEvidence(pkts), catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.ID() != want.ID() || method != IdentifyByDNS {
+		t.Fatalf("got (%s, %s), want (%s, %s)", inst.ID(), method, want.ID(), IdentifyByDNS)
+	}
+}
+
+func TestIdentifyConflictingEvidenceHostnameWins(t *testing.T) {
+	catalog := usCatalog(t)
+	asserted := findInstance(t, catalog, "us/ring-doorbell")
+	decoy := findInstance(t, catalog, "us/amcrest-cam")
+	// The capture asserts one device's hostname but queries another
+	// device's domains: the stronger (self-asserted) tier must win.
+	pkts := []*netx.Packet{dhcpDiscoverWithHostname(localMAC, "ring-doorbell")}
+	for _, ep := range decoy.Profile.Endpoints {
+		if ep.Domain != "" {
+			pkts = append(pkts, dnsQuery(localMAC, ep.Domain))
+		}
+	}
+	inst, method, err := IdentifyCapture(GatherCaptureEvidence(pkts), catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.ID() != asserted.ID() || method != IdentifyByHostname {
+		t.Fatalf("got (%s, %s), want (%s, %s)", inst.ID(), method, asserted.ID(), IdentifyByHostname)
+	}
+}
+
+func TestIdentifyConflictingMACsRejected(t *testing.T) {
+	catalog := usCatalog(t)
+	pkts := []*netx.Packet{srcPacket(catalog[0].MAC), srcPacket(catalog[1].MAC)}
+	_, _, err := IdentifyCapture(GatherCaptureEvidence(pkts), catalog)
+	if err == nil {
+		t.Fatal("two catalog devices in one per-device capture should be rejected")
+	}
+	if !strings.Contains(err.Error(), "conflicting") {
+		t.Fatalf("error %q should mention conflicting evidence", err)
+	}
+}
+
+func TestIdentifyNoEvidence(t *testing.T) {
+	catalog := usCatalog(t)
+	ev := GatherCaptureEvidence([]*netx.Packet{srcPacket(localMAC)})
+	if _, _, err := IdentifyCapture(ev, catalog); err == nil {
+		t.Fatal("evidence-free capture should not identify")
+	}
+}
+
+func TestGatherEvidenceSkipsMulticastSources(t *testing.T) {
+	mcast := netx.MAC{0x01, 0x00, 0x5e, 0x00, 0x00, 0xfb}
+	ev := GatherCaptureEvidence([]*netx.Packet{
+		srcPacket(mcast), srcPacket(netx.Broadcast), srcPacket(netx.MAC{}),
+	})
+	if len(ev.SrcPackets) != 0 {
+		t.Fatalf("SrcPackets = %v, want empty", ev.SrcPackets)
+	}
+}

@@ -11,9 +11,10 @@ import (
 
 // Pipeline bundles every collector and runs the full §4–§7 analysis over
 // a campaign. It is the one-call entry point cmd/moniotr and the
-// benchmarks use.
+// benchmarks use. Experiments come from a Source — either the in-process
+// synthesis runner or a capture-directory ingester.
 type Pipeline struct {
-	Runner   *experiments.Runner
+	Source   Source
 	Dest     *DestCollector
 	Enc      *EncCollector
 	Content  *ContentCollector
@@ -33,14 +34,23 @@ type Pipeline struct {
 	metrics *obs.Registry
 }
 
-// SetObs attaches a metrics registry to the pipeline and its runner. Run
+// Runner returns the synthesis runner when the pipeline's source is one,
+// or nil for capture-replay sources. The §7.3 uncontrolled analysis and
+// the capture exporter need the runner itself; everything else should go
+// through Source.
+func (p *Pipeline) Runner() *experiments.Runner {
+	r, _ := p.Source.(*experiments.Runner)
+	return r
+}
+
+// SetObs attaches a metrics registry to the pipeline and its source. Run
 // then records per-stage wall-time spans (stage:controlled, stage:train,
 // stage:idle, stage:uncontrolled) and per-collector visit counts and
 // cumulative visit time. Call before Run; instrumentation is nil-safe
 // and changes no analysis output.
 func (p *Pipeline) SetObs(reg *obs.Registry) {
 	p.metrics = reg
-	p.Runner.SetObs(reg)
+	p.Source.SetObs(reg)
 }
 
 // timedVisitor wraps visit so each call increments
@@ -61,15 +71,16 @@ func (p *Pipeline) timedVisitor(name string, visit func(*testbed.Experiment)) fu
 	}
 }
 
-// NewPipeline wires collectors to a runner's simulated Internet.
-func NewPipeline(r *experiments.Runner) *Pipeline {
+// NewPipeline wires collectors to an experiment source's Internet model.
+func NewPipeline(src Source) *Pipeline {
+	internet := src.Internet()
 	locators := map[string]*geo.Locator{
-		"US": r.US.Internet.Locator("US"),
-		"GB": r.US.Internet.Locator("GB"),
+		"US": internet.Locator("US"),
+		"GB": internet.Locator("GB"),
 	}
 	return &Pipeline{
-		Runner:   r,
-		Dest:     NewDestCollector(r.US.Internet.Registry, locators),
+		Source:   src,
+		Dest:     NewDestCollector(internet.Registry, locators),
 		Enc:      NewEncCollector(),
 		Content:  NewContentCollector(),
 		Identify: NewIdentifyCollector(),
@@ -88,7 +99,7 @@ func (p *Pipeline) Run(cfg InferConfig) {
 		identify = p.timedVisitor("identify", p.Identify.Visit)
 	)
 	span := p.metrics.StartSpan("stage:controlled")
-	p.Stats = p.Runner.RunControlled(func(exp *testbed.Experiment) {
+	p.Stats = p.Source.RunControlled(func(exp *testbed.Experiment) {
 		dest(exp)
 		enc(exp)
 		content(exp)
@@ -107,7 +118,7 @@ func (p *Pipeline) Run(cfg InferConfig) {
 		p.Detector.VisitIdle(exp, p.IdleHits)
 	})
 	span = p.metrics.StartSpan("stage:idle")
-	p.IdleStats = p.Runner.RunIdle(func(exp *testbed.Experiment) {
+	p.IdleStats = p.Source.RunIdle(func(exp *testbed.Experiment) {
 		dest(exp)
 		enc(exp)
 		detect(exp)
@@ -116,12 +127,18 @@ func (p *Pipeline) Run(cfg InferConfig) {
 }
 
 // RunUncontrolled executes the §7.3 user-study analysis; Run must have
-// been called first (it trains the models).
+// been called first (it trains the models). It requires a synthesis
+// runner source — a capture directory carries no uncontrolled campaign —
+// and is a no-op otherwise (callers can check Runner() == nil).
 func (p *Pipeline) RunUncontrolled() {
+	r := p.Runner()
+	if r == nil {
+		return
+	}
 	p.UncontrolledHits = NewDetectResult()
 	p.Unexpected = make(map[string]int)
 	span := p.metrics.StartSpan("stage:uncontrolled")
-	p.Runner.RunUncontrolled(func(res *experiments.UncontrolledResult) {
+	r.RunUncontrolled(func(res *experiments.UncontrolledResult) {
 		p.Detector.VisitUncontrolled(res, p.UncontrolledHits, p.Unexpected)
 	})
 	span.End()

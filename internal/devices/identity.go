@@ -24,6 +24,11 @@ func (in *Instance) ID() string {
 	return strings.ToLower(in.Lab) + "/" + slug(in.Profile.Name)
 }
 
+// Slug normalizes a device model name to its identifier form
+// ("Samsung Fridge" → "samsung-fridge"). Capture ingestion uses it to
+// match DHCP/mDNS/SSDP-asserted hostnames against the catalog.
+func Slug(name string) string { return slug(name) }
+
 func slug(name string) string {
 	out := make([]byte, 0, len(name))
 	for _, r := range strings.ToLower(name) {

@@ -92,6 +92,10 @@ func (r *Runner) SetObs(reg *obs.Registry) {
 	r.US.Internet.SetObs(reg) // shared with r.UK
 }
 
+// Internet exposes the simulated server side both labs talk to; the
+// analysis pipeline needs it to geolocate and classify destinations.
+func (r *Runner) Internet() *cloud.Internet { return r.US.Internet }
+
 // NewRunner builds both labs over a shared simulated Internet.
 func NewRunner(cfg Config) (*Runner, error) {
 	internet := cloud.New()
@@ -276,10 +280,7 @@ func (r *Runner) RunControlled(visit Visitor) Stats {
 		func(i int, exp *testbed.Experiment) {
 			automated := false
 			if exp.Kind == testbed.KindInteraction {
-				// §3.3: physical interactions and Manual-flagged
-				// activities are performed by hand.
-				automated = !strings.HasPrefix(exp.Activity, "local_") &&
-					!r.manualActivity(jobs[i].slot, exp.Activity)
+				automated = ActivityAutomated(jobs[i].slot.Inst, exp.Activity)
 			}
 			stats.absorb(exp, automated)
 			expTotal.Inc()
@@ -288,17 +289,24 @@ func (r *Runner) RunControlled(visit Visitor) Stats {
 	return stats
 }
 
-// manualActivity reports whether the experiment label corresponds to a
-// Manual-flagged activity of the device.
-func (r *Runner) manualActivity(slot *testbed.DeviceSlot, label string) bool {
-	for _, act := range slot.Inst.Profile.Activities {
+// ActivityAutomated reports whether a controlled interaction with the
+// given label was triggered by automation (§3.3): physical ("local_*")
+// interactions and Manual-flagged activities are performed by hand,
+// everything else by the testbed's app/voice automation. The capture
+// ingester uses this to reconstruct a campaign's automated/manual split
+// from labelled experiment windows alone.
+func ActivityAutomated(inst *devices.Instance, label string) bool {
+	if strings.HasPrefix(label, "local_") {
+		return false
+	}
+	for _, act := range inst.Profile.Activities {
 		if strings.HasSuffix(label, "_"+act.Name) || label == act.Name {
 			if act.Manual {
-				return true
+				return false
 			}
 		}
 	}
-	return false
+	return true
 }
 
 // repsFor applies §3.3's repetition policy: physical/manual interactions

@@ -1,0 +1,89 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/neu-sns/intl-iot-go/internal/experiments"
+	"github.com/neu-sns/intl-iot-go/internal/pcapio"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// Export writes a full campaign as a Mon(IoT)r-style capture directory:
+//
+//	<dir>/controlled/<lab>/<device>/<n>.pcap + .labels
+//	<dir>/idle/<lab>/<device>/<n>.pcap + .labels
+//
+// one experiment per file, numbered in delivery order per device so the
+// recording order survives on disk. Captures use the nanosecond pcap
+// variant: synthesized timestamps carry sub-microsecond precision, and
+// rounding them would perturb the inter-arrival features the §6 models
+// train on, breaking Export→Open round-trip fidelity.
+//
+// Export drives its own synthesis pass over the runner; because
+// experiment seeds depend only on (lab, device, label, rep), the
+// captures are identical to the ones any other pass produced.
+func Export(dir string, r *experiments.Runner) error {
+	seq := make(map[string]int)
+	var firstErr error
+	save := func(top string) experiments.Visitor {
+		return func(exp *testbed.Experiment) {
+			if firstErr != nil {
+				return
+			}
+			devDir := filepath.Join(dir, top, filepath.FromSlash(exp.Device.ID()))
+			n := seq[devDir]
+			seq[devDir] = n + 1
+			if err := writeCapture(devDir, n, exp); err != nil {
+				firstErr = err
+			}
+		}
+	}
+	r.RunControlled(save("controlled"))
+	if firstErr != nil {
+		return fmt.Errorf("ingest: export: %w", firstErr)
+	}
+	r.RunIdle(save("idle"))
+	if firstErr != nil {
+		return fmt.Errorf("ingest: export: %w", firstErr)
+	}
+	return nil
+}
+
+// writeCapture stores one experiment as "<devDir>/<n>.pcap" plus its
+// ".labels" sidecar.
+func writeCapture(devDir string, n int, exp *testbed.Experiment) error {
+	if err := os.MkdirAll(devDir, 0o755); err != nil {
+		return err
+	}
+	base := filepath.Join(devDir, fmt.Sprintf("%06d", n))
+	f, err := os.Create(base + ".pcap")
+	if err != nil {
+		return err
+	}
+	pw, err := pcapio.NewWriter(f, pcapio.WriterOptions{Nanosecond: true})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for _, p := range exp.Packets {
+		if err := pw.WritePacket(p.Meta.Timestamp, p.Serialize()); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	lf, err := os.Create(base + ".labels")
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	return pcapio.WriteLabels(lf, []pcapio.Label{exp.Label()})
+}

@@ -1,0 +1,524 @@
+package ingest
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/analysis"
+	"github.com/neu-sns/intl-iot-go/internal/cloud"
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/experiments"
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+	"github.com/neu-sns/intl-iot-go/internal/obs"
+	"github.com/neu-sns/intl-iot-go/internal/pcapio"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// Options configure a capture-directory source.
+type Options struct {
+	// Workers bounds the per-file parse parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Catalog lists the candidate device instances; nil means the full
+	// two-lab catalog (devices.Instances()).
+	Catalog []*devices.Instance
+	// Internet overrides the simulated server-side model handed to the
+	// pipeline; nil builds a fresh cloud.New(), which is
+	// allocation-deterministic and therefore matches the model the
+	// captures were synthesized against.
+	Internet *cloud.Internet
+}
+
+// SkipReport counts traffic dropped during ingestion, by reason.
+type SkipReport struct {
+	// TruncatedFiles is the number of pcaps that ended mid-record; their
+	// decoded prefix is kept.
+	TruncatedFiles int
+	// UnknownDevice is the number of pcaps whose owning device could not
+	// be identified against the catalog.
+	UnknownDevice int
+	// UnlabeledPackets counts packets falling outside every labelled
+	// experiment window (including windows with unusable labels).
+	UnlabeledPackets int
+	// DecodeErrors counts records that did not parse as Ethernet frames.
+	DecodeErrors int
+	// BadFiles counts files that are not readable pcaps at all.
+	BadFiles int
+}
+
+// Report summarizes one ingestion run.
+type Report struct {
+	Files       int
+	Records     int
+	Bytes       int64
+	Experiments int
+	Skips       SkipReport
+}
+
+// String renders the report compactly for log output.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"%d files, %d records (%.1f MB) -> %d experiments; skipped: %d truncated, %d unknown-device, %d unlabeled pkts, %d undecodable, %d bad files",
+		r.Files, r.Records, float64(r.Bytes)/1e6, r.Experiments,
+		r.Skips.TruncatedFiles, r.Skips.UnknownDevice, r.Skips.UnlabeledPackets,
+		r.Skips.DecodeErrors, r.Skips.BadFiles)
+}
+
+// Source replays a capture directory as an experiment stream. It
+// implements analysis.Source; hand it to analysis.NewPipeline (or
+// intliot.NewStudyFromSource) in place of the synthesis runner. Each
+// Run* method delivers its experiments once: like a capture tape, the
+// source is consumed as it plays.
+type Source struct {
+	root     string
+	opts     Options
+	internet *cloud.Internet
+	catalog  []*devices.Instance
+	files    []string // root-relative pcap paths, lexically sorted
+
+	metrics *obs.Registry
+
+	once       sync.Once
+	report     Report
+	controlled []*entry
+	idle       []*entry
+}
+
+var _ analysis.Source = (*Source)(nil)
+
+// entry is one buffered experiment plus its replay-order key.
+type entry struct {
+	exp *testbed.Experiment
+	key sortKey
+}
+
+// sortKey reproduces the synthesis runner's delivery order: labs in
+// catalog order, the plain leg before the VPN leg, devices in catalog
+// order, then capture position (files are numbered in recording order,
+// windows ordered by start time within a file).
+type sortKey struct {
+	lab    int
+	vpn    int
+	slot   int
+	dir    string
+	file   string
+	window int
+}
+
+func (a sortKey) less(b sortKey) bool {
+	switch {
+	case a.lab != b.lab:
+		return a.lab < b.lab
+	case a.vpn != b.vpn:
+		return a.vpn < b.vpn
+	case a.slot != b.slot:
+		return a.slot < b.slot
+	case a.dir != b.dir:
+		return a.dir < b.dir
+	case a.file != b.file:
+		return a.file < b.file
+	}
+	return a.window < b.window
+}
+
+// Open scans root for capture files. It fails only when the directory
+// itself is unusable or holds no pcaps at all; per-file problems are
+// deferred to ingestion, where they are counted and skipped.
+func Open(root string, opts Options) (*Source, error) {
+	s := &Source{root: root, opts: opts}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".pcap") {
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			s.files = append(s.files, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	if len(s.files) == 0 {
+		return nil, fmt.Errorf("ingest: no .pcap files under %s", root)
+	}
+	sort.Strings(s.files)
+	s.internet = opts.Internet
+	if s.internet == nil {
+		s.internet = cloud.New()
+	}
+	s.catalog = opts.Catalog
+	if s.catalog == nil {
+		s.catalog = devices.Instances()
+	}
+	return s, nil
+}
+
+// Internet exposes the server-side model for the destination analysis.
+func (s *Source) Internet() *cloud.Internet { return s.internet }
+
+// SetObs attaches a metrics registry. Call before the first Run*; the
+// load pass records files/records/bytes, per-file decode latency and
+// per-reason skip counts under the ingest_* names.
+func (s *Source) SetObs(reg *obs.Registry) { s.metrics = reg }
+
+// Report returns the ingestion counts; valid after the first Run*.
+func (s *Source) Report() Report {
+	s.load()
+	return s.report
+}
+
+// RunControlled replays the controlled (power + interaction) experiments
+// in campaign order.
+func (s *Source) RunControlled(visit experiments.Visitor) experiments.Stats {
+	s.load()
+	return s.replay(s.controlled, visit)
+}
+
+// RunIdle replays the idle capture windows in campaign order.
+func (s *Source) RunIdle(visit experiments.Visitor) experiments.Stats {
+	s.load()
+	return s.replay(s.idle, visit)
+}
+
+func (s *Source) replay(entries []*entry, visit experiments.Visitor) experiments.Stats {
+	var stats experiments.Stats
+	expTotal := s.metrics.Counter("experiments_total")
+	for i, e := range entries {
+		if e == nil {
+			continue
+		}
+		exp := e.exp
+		stats.Experiments++
+		switch exp.Kind {
+		case testbed.KindPower:
+			stats.Power++
+		case testbed.KindInteraction:
+			if experiments.ActivityAutomated(exp.Device, exp.Activity) {
+				stats.Automated++
+			} else {
+				stats.Manual++
+			}
+		}
+		stats.Packets += int64(len(exp.Packets))
+		stats.Bytes += int64(exp.Bytes())
+		expTotal.Inc()
+		visit(exp)
+		entries[i] = nil // the tape is consumed as it plays
+	}
+	return stats
+}
+
+// fileResult carries one worker's output back to the merge step.
+type fileResult struct {
+	entries []*entry
+	report  Report
+}
+
+// load parses every capture file once, with bounded parallelism, then
+// sorts the buffered experiments into campaign replay order.
+func (s *Source) load() {
+	s.once.Do(func() {
+		workers := s.opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(s.files) {
+			workers = len(s.files)
+		}
+
+		var (
+			filesC   = s.metrics.Counter("ingest_files_total")
+			recordsC = s.metrics.Counter("ingest_records_total")
+			bytesC   = s.metrics.Counter("ingest_bytes_total")
+			expC     = s.metrics.Counter("ingest_experiments_total")
+			decodeH  = s.metrics.Histogram("ingest_file_decode_seconds", obs.DurationBuckets)
+		)
+
+		slots := slotIndex(s.catalog)
+		next := make(chan string)
+		results := make(chan fileResult)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for rel := range next {
+					t0 := time.Now()
+					res := s.parseFile(rel, slots)
+					decodeH.ObserveDuration(time.Since(t0))
+					results <- res
+				}
+			}()
+		}
+		go func() {
+			for _, rel := range s.files {
+				next <- rel
+			}
+			close(next)
+			wg.Wait()
+			close(results)
+		}()
+
+		var all []*entry
+		for res := range results {
+			all = append(all, res.entries...)
+			s.report.Files += res.report.Files
+			s.report.Records += res.report.Records
+			s.report.Bytes += res.report.Bytes
+			s.report.Experiments += res.report.Experiments
+			s.report.Skips.TruncatedFiles += res.report.Skips.TruncatedFiles
+			s.report.Skips.UnknownDevice += res.report.Skips.UnknownDevice
+			s.report.Skips.UnlabeledPackets += res.report.Skips.UnlabeledPackets
+			s.report.Skips.DecodeErrors += res.report.Skips.DecodeErrors
+			s.report.Skips.BadFiles += res.report.Skips.BadFiles
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].key.less(all[j].key) })
+		for _, e := range all {
+			switch e.exp.Kind {
+			case testbed.KindIdle:
+				s.idle = append(s.idle, e)
+			default:
+				s.controlled = append(s.controlled, e)
+			}
+		}
+
+		filesC.Add(int64(s.report.Files))
+		recordsC.Add(int64(s.report.Records))
+		bytesC.Add(s.report.Bytes)
+		expC.Add(int64(s.report.Experiments))
+		s.metrics.Counter("ingest_skips.truncated").Add(int64(s.report.Skips.TruncatedFiles))
+		s.metrics.Counter("ingest_skips.unknown_device").Add(int64(s.report.Skips.UnknownDevice))
+		s.metrics.Counter("ingest_skips.unlabeled").Add(int64(s.report.Skips.UnlabeledPackets))
+		s.metrics.Counter("ingest_skips.decode").Add(int64(s.report.Skips.DecodeErrors))
+		s.metrics.Counter("ingest_skips.bad_file").Add(int64(s.report.Skips.BadFiles))
+	})
+}
+
+// slotPos locates an instance in the campaign order: lab index in
+// catalog lab order, slot index in the lab's device order.
+type slotPos struct{ lab, slot int }
+
+func slotIndex(catalog []*devices.Instance) map[string]slotPos {
+	out := make(map[string]slotPos, len(catalog))
+	for labIdx, lab := range []string{devices.LabUS, devices.LabUK} {
+		slot := 0
+		for _, inst := range catalog {
+			if inst.Lab != lab {
+				continue
+			}
+			out[inst.ID()] = slotPos{lab: labIdx, slot: slot}
+			slot++
+		}
+	}
+	return out
+}
+
+// parseFile ingests one capture: decode, identify, slice into windows.
+// Every failure mode is a counted skip; parseFile never aborts the run.
+func (s *Source) parseFile(rel string, slots map[string]slotPos) fileResult {
+	var res fileResult
+	res.report.Files = 1
+
+	f, err := os.Open(filepath.Join(s.root, rel))
+	if err != nil {
+		res.report.Skips.BadFiles++
+		return res
+	}
+	defer f.Close()
+	rd, err := pcapio.NewReader(f)
+	if err != nil {
+		res.report.Skips.BadFiles++
+		return res
+	}
+
+	var pkts []*netx.Packet
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Any mid-stream failure ends the file but keeps the decoded
+			// prefix; truncation gets its own reason, other framing
+			// corruption counts as a bad file.
+			if _, ok := err.(*pcapio.ErrTruncated); ok {
+				res.report.Skips.TruncatedFiles++
+			} else {
+				res.report.Skips.BadFiles++
+			}
+			break
+		}
+		res.report.Records++
+		res.report.Bytes += int64(len(rec.Data))
+		p, err := netx.Decode(rec.Time, rec.Data)
+		if err != nil {
+			res.report.Skips.DecodeErrors++
+			continue
+		}
+		p.Meta.Length = rec.OrigLen
+		pkts = append(pkts, p)
+	}
+
+	labels := s.readLabels(rel)
+	if len(labels) == 0 {
+		// A capture without experiment windows contributes nothing.
+		res.report.Skips.UnlabeledPackets += len(pkts)
+		return res
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Start.Before(labels[j].Start) })
+
+	inst := s.identify(rel, pkts)
+	if inst == nil {
+		res.report.Skips.UnknownDevice++
+		return res
+	}
+	pos, ok := slots[inst.ID()]
+	if !ok {
+		res.report.Skips.UnknownDevice++
+		return res
+	}
+
+	dir, file := filepath.Split(rel)
+	claimed := make([]bool, len(pkts))
+	for wi, l := range labels {
+		kind, ok := labelKind(l.Experiment)
+		if !ok {
+			continue // counted below with the window's packets
+		}
+		var window []*netx.Packet
+		for i, p := range pkts {
+			if !claimed[i] && l.Contains(p.Meta.Timestamp) {
+				claimed[i] = true
+				window = append(window, p)
+			}
+		}
+		vpn := l.Tag("vpn") == "1"
+		res.entries = append(res.entries, &entry{
+			exp: &testbed.Experiment{
+				Lab:      inst.Lab,
+				VPN:      vpn,
+				Column:   column(inst.Lab, vpn),
+				Device:   inst,
+				Kind:     kind,
+				Activity: l.Activity,
+				Start:    l.Start,
+				End:      l.End,
+				Packets:  window,
+			},
+			key: sortKey{lab: pos.lab, vpn: b2i(vpn), slot: pos.slot, dir: dir, file: file, window: wi},
+		})
+		res.report.Experiments++
+	}
+	for _, c := range claimed {
+		if !c {
+			res.report.Skips.UnlabeledPackets++
+		}
+	}
+	return res
+}
+
+// readLabels loads the sidecar next to a pcap; a missing or unreadable
+// sidecar is the same as an unlabeled capture.
+func (s *Source) readLabels(rel string) []pcapio.Label {
+	path := filepath.Join(s.root, strings.TrimSuffix(rel, ".pcap")+".labels")
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	labels, err := pcapio.ReadLabels(f)
+	if err != nil {
+		return nil
+	}
+	return labels
+}
+
+// identify resolves a capture file to its device: traffic evidence
+// first (exact MAC, asserted hostname, OUI, DNS fingerprint), then the
+// Mon(IoT)r directory convention "<lab>/<device>/" as a last resort —
+// needed for idle windows of devices quiet enough to emit nothing.
+func (s *Source) identify(rel string, pkts []*netx.Packet) *devices.Instance {
+	catalog := s.catalog
+	if lab, ok := labFromPath(rel); ok {
+		scoped := catalog[:0:0]
+		for _, inst := range catalog {
+			if inst.Lab == lab {
+				scoped = append(scoped, inst)
+			}
+		}
+		if len(scoped) > 0 {
+			catalog = scoped
+		}
+	}
+	if len(pkts) > 0 {
+		if inst, _, err := analysis.IdentifyCapture(analysis.GatherCaptureEvidence(pkts), catalog); err == nil {
+			return inst
+		}
+	}
+	// Directory fallback: the two path segments above the file name form
+	// the instance ID ("us/amcrest-cam").
+	parts := strings.Split(filepath.ToSlash(filepath.Dir(rel)), "/")
+	if len(parts) >= 2 {
+		id := parts[len(parts)-2] + "/" + parts[len(parts)-1]
+		for _, inst := range catalog {
+			if inst.ID() == id {
+				return inst
+			}
+		}
+	}
+	return nil
+}
+
+// labFromPath finds a lab directory segment ("us", "gb") in the path.
+func labFromPath(rel string) (string, bool) {
+	for _, seg := range strings.Split(filepath.ToSlash(rel), "/") {
+		for _, lab := range []string{devices.LabUS, devices.LabUK} {
+			if seg == strings.ToLower(lab) {
+				return lab, true
+			}
+		}
+	}
+	return "", false
+}
+
+func labelKind(experiment string) (testbed.ExperimentKind, bool) {
+	switch experiment {
+	case string(testbed.KindPower):
+		return testbed.KindPower, true
+	case string(testbed.KindInteraction):
+		return testbed.KindInteraction, true
+	case string(testbed.KindIdle):
+		return testbed.KindIdle, true
+	}
+	return "", false
+}
+
+// column names the table column for a lab leg, mirroring
+// testbed.Lab.Column.
+func column(lab string, vpn bool) string {
+	if !vpn {
+		return lab
+	}
+	if lab == devices.LabUS {
+		return devices.LabUS + "->" + devices.LabUK
+	}
+	return devices.LabUK + "->" + devices.LabUS
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,97 @@
+package ingest_test
+
+import (
+	"bytes"
+	"testing"
+
+	intliot "github.com/neu-sns/intl-iot-go"
+	"github.com/neu-sns/intl-iot-go/internal/analysis"
+	"github.com/neu-sns/intl-iot-go/internal/ingest"
+	"github.com/neu-sns/intl-iot-go/internal/ml"
+)
+
+// TestExportIngestRoundTrip is the subsystem's acceptance test: a
+// campaign exported to disk and re-ingested must reproduce every report
+// table byte for byte. This holds only if (a) nanosecond pcap timestamps
+// survive the disk round trip, (b) per-device identification recovers
+// every instance, (c) the vpn=1 label tag restores the inter-lab
+// columns, and (d) the replay order matches the synthesis delivery
+// order — dataset row order feeds the forest training.
+func TestExportIngestRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second campaign round trip")
+	}
+	cfg := intliot.Config{
+		Seed:          1,
+		AutomatedReps: 1,
+		ManualReps:    1,
+		PowerReps:     1,
+		IdleHours:     map[string]float64{"US": 1, "GB": 1, "US->GB": 1, "GB->US": 1},
+		VPN:           true,
+	}
+	inferCfg := analysis.InferConfig{CV: ml.CVConfig{
+		TrainFrac: 0.7, Repeats: 2, Seed: 42,
+		Forest: ml.ForestConfig{NumTrees: 5},
+	}}
+
+	direct, err := intliot.NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct.SetInferenceConfig(inferCfg)
+	direct.Run()
+
+	dir := t.TempDir()
+	if err := ingest.Export(dir, direct.Pipeline().Runner()); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := ingest.Open(dir, ingest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := intliot.NewStudyFromSource(src)
+	replayed.SetInferenceConfig(inferCfg)
+	replayed.Run()
+
+	rep := src.Report()
+	if rep.Skips != (ingest.SkipReport{}) {
+		t.Fatalf("clean export should re-ingest without skips, got %s", rep)
+	}
+	if rep.Experiments == 0 {
+		t.Fatal("no experiments ingested")
+	}
+
+	if err := replayed.RunUncontrolled(); err == nil {
+		t.Error("capture-backed study should refuse RunUncontrolled")
+	}
+
+	tables := map[string]func(s *intliot.Study) *intliot.Table{
+		"headline": (*intliot.Study).Headline,
+		"table2":   (*intliot.Study).Table2,
+		"table3":   (*intliot.Study).Table3,
+		"table4":   (*intliot.Study).Table4,
+		"figure2":  (*intliot.Study).Figure2,
+		"table5":   (*intliot.Study).Table5,
+		"table6":   (*intliot.Study).Table6,
+		"table7":   func(s *intliot.Study) *intliot.Table { return s.Table7(nil) },
+		"table8":   (*intliot.Study).Table8,
+		"table9":   (*intliot.Study).Table9,
+		"table10":  (*intliot.Study).Table10,
+		"table11":  func(s *intliot.Study) *intliot.Table { return s.Table11(1) },
+		"pii":      (*intliot.Study).PIIReport,
+	}
+	for name, build := range tables {
+		var want, got bytes.Buffer
+		if err := build(direct).RenderCSV(&want); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := build(replayed).RenderCSV(&got); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("%s differs after export->ingest round trip:\n--- direct ---\n%s\n--- ingested ---\n%s",
+				name, want.String(), got.String())
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package pcapio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fuzzSeed builds a well-formed capture with two records.
+func fuzzSeed(t testing.TB, nano bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WriterOptions{Nanosecond: nano})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Date(2019, 4, 1, 0, 0, 0, 123456789, time.UTC)
+	if err := w.WritePacket(ts, []byte{0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(ts.Add(time.Millisecond), bytes.Repeat([]byte{0x42}, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// byteSwapped flips the file to the opposite endianness, mimicking a
+// capture written on a big-endian machine (readers must honour the
+// swapped magic).
+func byteSwapped(seed []byte) []byte {
+	out := append([]byte(nil), seed...)
+	swap32 := func(off int) {
+		out[off], out[off+1], out[off+2], out[off+3] = out[off+3], out[off+2], out[off+1], out[off]
+	}
+	swap16 := func(off int) { out[off], out[off+1] = out[off+1], out[off] }
+	swap32(0)
+	swap16(4)
+	swap16(6)
+	swap32(8)
+	swap32(12)
+	swap32(16)
+	swap32(20)
+	off := fileHeaderLen
+	for off+packetHeaderLen <= len(out) {
+		capLen := int(out[off+8]) | int(out[off+9])<<8 | int(out[off+10])<<16 | int(out[off+11])<<24
+		swap32(off)
+		swap32(off + 4)
+		swap32(off + 8)
+		swap32(off + 12)
+		off += packetHeaderLen + capLen
+	}
+	return out
+}
+
+// FuzzReader throws arbitrary bytes at NewReader/Next. The invariant is
+// purely defensive: no panic, no runaway allocation, and errors are
+// either io.EOF, *ErrTruncated or a descriptive parse error.
+func FuzzReader(f *testing.F) {
+	micro := fuzzSeed(f, false)
+	f.Add(micro)
+	f.Add(fuzzSeed(f, true))
+	f.Add(byteSwapped(micro))
+	f.Add(micro[:len(micro)-3]) // truncated trailing record
+	f.Add(micro[:fileHeaderLen+5])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for {
+			rec, err := r.Next()
+			if err != nil {
+				var trunc *ErrTruncated
+				if errors.Is(err, io.EOF) || errors.As(err, &trunc) {
+					return
+				}
+				if !strings.HasPrefix(err.Error(), "pcapio:") {
+					t.Fatalf("unexpected error shape: %v", err)
+				}
+				return
+			}
+			if len(rec.Data) > MaxSnapLen+packetHeaderLen+65536 {
+				t.Fatalf("oversized record slipped through: %d bytes", len(rec.Data))
+			}
+		}
+	})
+}
+
+// FuzzReadLabels exercises the sidecar parser with hostile text.
+func FuzzReadLabels(f *testing.F) {
+	f.Add("2019-04-01T00:00:00Z\t2019-04-01T00:01:00Z\tpower\tpower\n")
+	f.Add("# offset: +05:30\n2019-04-01T05:30:00\t2019-04-01T05:31:00\tidle\tidle\n")
+	f.Add("2019-04-01T00:00:00Z\t2019-04-01T00:01:00Z\tinteraction\tandroid_lan_on\tvpn=1\n")
+	f.Add("# comment\n\nnot\ta\tlabel\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		labels, err := ReadLabels(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		for _, l := range labels {
+			if l.End.Before(l.Start) {
+				t.Fatalf("parser admitted end<start: %+v", l)
+			}
+		}
+	})
+}

@@ -14,12 +14,25 @@ import (
 // Mon(IoT)r testbed stores these alongside the per-MAC pcap files; we use a
 // simple tab-separated text format:
 //
-//	<start RFC3339Nano> \t <end RFC3339Nano> \t <experiment> \t <activity>
+//	<start RFC3339Nano> \t <end RFC3339Nano> \t <experiment> \t <activity> [\t k=v,k=v]
+//
+// The optional fifth field carries comma-separated key=value tags (the
+// campaign exporter uses it to preserve per-experiment metadata such as
+// the VPN leg). Timestamps keep whatever UTC offset the writing gateway
+// recorded; sidecars produced by tools that log naive local times may
+// declare that offset once in a header comment:
+//
+//	# offset: -04:00
+//
+// Naive timestamps (no zone suffix) are then interpreted in the declared
+// offset instead of being silently assumed UTC.
 type Label struct {
 	Start      time.Time
 	End        time.Time
 	Experiment string // power | interaction | idle | uncontrolled
 	Activity   string // e.g. "local_move", "android_lan_on", "voice_volume"
+	// Tags are optional key=value annotations from the fifth field.
+	Tags map[string]string
 }
 
 // Contains reports whether ts falls inside the half-open window
@@ -31,7 +44,12 @@ func (l Label) Contains(ts time.Time) bool {
 // Duration of the labelled window.
 func (l Label) Duration() time.Duration { return l.End.Sub(l.Start) }
 
-// WriteLabels serializes labels, sorted by start time.
+// Tag returns the named tag's value ("" when absent).
+func (l Label) Tag(key string) string { return l.Tags[key] }
+
+// WriteLabels serializes labels, sorted by start time. Timestamps are
+// written in each label's own UTC offset, so non-UTC sidecars round-trip
+// byte-for-byte through ReadLabels.
 func WriteLabels(w io.Writer, labels []Label) error {
 	sorted := append([]Label(nil), labels...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start.Before(sorted[j].Start) })
@@ -40,42 +58,132 @@ func WriteLabels(w io.Writer, labels []Label) error {
 		if strings.ContainsAny(l.Experiment+l.Activity, "\t\n") {
 			return fmt.Errorf("pcapio: label fields must not contain tabs or newlines: %q/%q", l.Experiment, l.Activity)
 		}
-		fmt.Fprintf(bw, "%s\t%s\t%s\t%s\n",
-			l.Start.UTC().Format(time.RFC3339Nano),
-			l.End.UTC().Format(time.RFC3339Nano),
+		fmt.Fprintf(bw, "%s\t%s\t%s\t%s",
+			l.Start.Format(time.RFC3339Nano),
+			l.End.Format(time.RFC3339Nano),
 			l.Experiment, l.Activity)
+		if len(l.Tags) > 0 {
+			keys := make([]string, 0, len(l.Tags))
+			for k := range l.Tags {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				v := l.Tags[k]
+				if strings.ContainsAny(k+v, "\t\n,=") {
+					return fmt.Errorf("pcapio: label tag must not contain tabs, newlines, commas or '=': %q=%q", k, v)
+				}
+				parts = append(parts, k+"="+v)
+			}
+			fmt.Fprintf(bw, "\t%s", strings.Join(parts, ","))
+		}
+		fmt.Fprintln(bw)
 	}
 	return bw.Flush()
 }
 
-// ReadLabels parses a label sidecar stream.
+// naiveLayouts are timestamp shapes without a zone suffix; they are
+// interpreted in the sidecar's declared offset (see ReadLabels).
+var naiveLayouts = []string{
+	"2006-01-02T15:04:05.999999999",
+	"2006-01-02 15:04:05.999999999",
+}
+
+// parseLabelTime parses one sidecar timestamp. Zone-qualified RFC 3339
+// stamps keep their recorded offset; naive stamps are interpreted in loc.
+func parseLabelTime(s string, loc *time.Location) (time.Time, error) {
+	if t, err := time.Parse(time.RFC3339Nano, s); err == nil {
+		return t, nil
+	}
+	var firstErr error
+	for _, layout := range naiveLayouts {
+		t, err := time.ParseInLocation(layout, s, loc)
+		if err == nil {
+			return t, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return time.Time{}, firstErr
+}
+
+// parseOffset turns "+05:30", "-04:00" or "Z" into a fixed zone.
+func parseOffset(s string) (*time.Location, error) {
+	if s == "Z" || s == "z" || s == "+00:00" || s == "-00:00" {
+		return time.UTC, nil
+	}
+	var sign int
+	switch {
+	case strings.HasPrefix(s, "+"):
+		sign = 1
+	case strings.HasPrefix(s, "-"):
+		sign = -1
+	default:
+		return nil, fmt.Errorf("pcapio: bad offset %q (want ±hh:mm)", s)
+	}
+	var hh, mm int
+	if _, err := fmt.Sscanf(s[1:], "%02d:%02d", &hh, &mm); err != nil || hh > 23 || mm > 59 {
+		return nil, fmt.Errorf("pcapio: bad offset %q (want ±hh:mm)", s)
+	}
+	return time.FixedZone("UTC"+s, sign*(hh*3600+mm*60)), nil
+}
+
+// ReadLabels parses a label sidecar stream. A "# offset: ±hh:mm" header
+// comment declares the zone of naive (offset-less) timestamps in the
+// file; without it naive timestamps are read as UTC. Timestamps carrying
+// their own RFC 3339 offset are always honoured as written.
 func ReadLabels(r io.Reader) ([]Label, error) {
 	var out []Label
+	loc := time.UTC
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			directive := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			if rest, ok := strings.CutPrefix(directive, "offset:"); ok {
+				l, err := parseOffset(strings.TrimSpace(rest))
+				if err != nil {
+					return nil, fmt.Errorf("pcapio: label line %d: %w", lineNo, err)
+				}
+				loc = l
+			}
 			continue
 		}
 		parts := strings.Split(line, "\t")
-		if len(parts) != 4 {
-			return nil, fmt.Errorf("pcapio: label line %d: want 4 tab-separated fields, got %d", lineNo, len(parts))
+		if len(parts) != 4 && len(parts) != 5 {
+			return nil, fmt.Errorf("pcapio: label line %d: want 4 or 5 tab-separated fields, got %d", lineNo, len(parts))
 		}
-		start, err := time.Parse(time.RFC3339Nano, parts[0])
+		start, err := parseLabelTime(parts[0], loc)
 		if err != nil {
 			return nil, fmt.Errorf("pcapio: label line %d: bad start time: %w", lineNo, err)
 		}
-		end, err := time.Parse(time.RFC3339Nano, parts[1])
+		end, err := parseLabelTime(parts[1], loc)
 		if err != nil {
 			return nil, fmt.Errorf("pcapio: label line %d: bad end time: %w", lineNo, err)
 		}
 		if end.Before(start) {
 			return nil, fmt.Errorf("pcapio: label line %d: end before start", lineNo)
 		}
-		out = append(out, Label{Start: start, End: end, Experiment: parts[2], Activity: parts[3]})
+		l := Label{Start: start, End: end, Experiment: parts[2], Activity: parts[3]}
+		if len(parts) == 5 && parts[4] != "" {
+			l.Tags = make(map[string]string)
+			for _, kv := range strings.Split(parts[4], ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok || k == "" {
+					return nil, fmt.Errorf("pcapio: label line %d: bad tag %q (want key=value)", lineNo, kv)
+				}
+				l.Tags[k] = v
+			}
+		}
+		out = append(out, l)
 	}
 	return out, sc.Err()
 }

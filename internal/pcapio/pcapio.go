@@ -23,10 +23,29 @@ const (
 	packetHeaderLen = 16
 	// DefaultSnapLen matches tcpdump's modern default.
 	DefaultSnapLen = 262144
+	// MaxSnapLen caps the snap length a Reader accepts. Corrupt file
+	// headers otherwise announce multi-gigabyte snap lengths and every
+	// record read turns into a huge allocation; no real capture tool
+	// writes snap lengths anywhere near this bound.
+	MaxSnapLen = 1 << 22
 )
 
 // ErrBadMagic reports a file that is not a classic pcap capture.
 var ErrBadMagic = errors.New("pcapio: bad magic number")
+
+// ErrTruncated reports a partial trailing record: the stream ended in the
+// middle of a packet header or body, typically because the capturing
+// process was killed mid-write. Offset is the byte offset of the
+// truncated record's header, so callers can report how much of the file
+// was readable. Ingestion treats this as "count and continue" rather
+// than fatal: everything before Offset decoded cleanly.
+type ErrTruncated struct {
+	Offset int64
+}
+
+func (e *ErrTruncated) Error() string {
+	return fmt.Sprintf("pcapio: truncated record at offset %d", e.Offset)
+}
 
 // Record is one captured packet: its timestamp, the bytes captured and the
 // original wire length.
@@ -121,6 +140,8 @@ type Reader struct {
 	nano     bool
 	snaplen  int
 	linkType uint32
+	// offset is the byte position of the next unread record header.
+	offset int64
 }
 
 // NewReader parses the file header from r.
@@ -146,7 +167,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, ErrBadMagic
 	}
 	rd.snaplen = int(rd.order.Uint32(hdr[16:20]))
+	if rd.snaplen > MaxSnapLen {
+		return nil, fmt.Errorf("pcapio: snap length %d exceeds sane cap %d", rd.snaplen, MaxSnapLen)
+	}
 	rd.linkType = rd.order.Uint32(hdr[20:24])
+	rd.offset = fileHeaderLen
 	return rd, nil
 }
 
@@ -159,26 +184,47 @@ func (r *Reader) SnapLen() int { return r.snaplen }
 // Nanosecond reports whether timestamps carry nanosecond precision.
 func (r *Reader) Nanosecond() bool { return r.nano }
 
-// Next reads the next record. It returns io.EOF at a clean end of file.
+// Next reads the next record. It returns io.EOF at a clean end of file
+// and a *ErrTruncated (wrapping the record's byte offset) when the stream
+// ends inside a record, so callers can count-and-continue past partially
+// written trailing records.
 func (r *Reader) Next() (Record, error) {
+	start := r.offset
 	hdr := make([]byte, packetHeaderLen)
-	if _, err := io.ReadFull(r.r, hdr); err != nil {
+	if n, err := io.ReadFull(r.r, hdr); err != nil {
 		if err == io.EOF {
 			return Record{}, io.EOF
 		}
+		if err == io.ErrUnexpectedEOF {
+			return Record{}, &ErrTruncated{Offset: start}
+		}
+		r.offset += int64(n)
 		return Record{}, fmt.Errorf("pcapio: reading packet header: %w", err)
 	}
+	r.offset += packetHeaderLen
 	sec := int64(r.order.Uint32(hdr[0:4]))
 	sub := int64(r.order.Uint32(hdr[4:8]))
 	capLen := int(r.order.Uint32(hdr[8:12]))
 	origLen := int(r.order.Uint32(hdr[12:16]))
-	if capLen < 0 || capLen > r.snaplen+packetHeaderLen+65536 {
+	// Reject record lengths beyond what the announced snap length (or, for
+	// files announcing snaplen 0, the tcpdump default) could have
+	// produced: corrupt headers must not turn into huge allocations.
+	bound := r.snaplen
+	if bound <= 0 {
+		bound = DefaultSnapLen
+	}
+	if capLen < 0 || capLen > bound+packetHeaderLen+65536 {
 		return Record{}, fmt.Errorf("pcapio: implausible capture length %d", capLen)
 	}
 	data := make([]byte, capLen)
-	if _, err := io.ReadFull(r.r, data); err != nil {
+	if n, err := io.ReadFull(r.r, data); err != nil {
+		r.offset += int64(n)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Record{}, &ErrTruncated{Offset: start}
+		}
 		return Record{}, fmt.Errorf("pcapio: reading packet body: %w", err)
 	}
+	r.offset += int64(capLen)
 	var ts time.Time
 	if r.nano {
 		ts = time.Unix(sec, sub).UTC()

@@ -2,6 +2,8 @@ package pcapio
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -261,5 +263,162 @@ func TestFindLabel(t *testing.T) {
 	}
 	if _, ok := FindLabel(labels, t0.Add(30*time.Minute)); ok {
 		t.Error("FindLabel in gap should miss")
+	}
+}
+
+func TestTruncatedRecordTyped(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, WriterOptions{})
+	w.WritePacket(t0, []byte{1, 2, 3, 4})
+	w.WritePacket(t0.Add(time.Second), []byte{5, 6, 7, 8})
+	w.Flush()
+	full := buf.Bytes()
+
+	secondHdr := int64(fileHeaderLen + packetHeaderLen + 4)
+	cases := []struct {
+		name string
+		cut  int // bytes kept
+		want int64
+	}{
+		{"mid-body", len(full) - 2, secondHdr},
+		{"mid-header", int(secondHdr) + 7, secondHdr},
+		{"after-first", int(secondHdr) + packetHeaderLen + 1, secondHdr},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r, err := NewReader(bytes.NewReader(full[:c.cut]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.Next(); err != nil {
+				t.Fatalf("first record: %v", err)
+			}
+			_, err = r.Next()
+			var trunc *ErrTruncated
+			if !errors.As(err, &trunc) {
+				t.Fatalf("err = %v, want *ErrTruncated", err)
+			}
+			if trunc.Offset != c.want {
+				t.Errorf("Offset = %d, want %d", trunc.Offset, c.want)
+			}
+		})
+	}
+}
+
+func TestSnapLenCapRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, WriterOptions{})
+	w.WritePacket(t0, []byte{1})
+	w.Flush()
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint32(b[16:20], uint32(MaxSnapLen+1))
+	if _, err := NewReader(bytes.NewReader(b)); err == nil {
+		t.Fatal("expected error for snaplen over MaxSnapLen")
+	}
+}
+
+func TestImplausibleRecordLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, WriterOptions{SnapLen: 1024})
+	w.WritePacket(t0, []byte{1})
+	w.Flush()
+	b := buf.Bytes()
+	// Corrupt the record's capture length to something enormous.
+	binary.LittleEndian.PutUint32(b[fileHeaderLen+8:fileHeaderLen+12], 0x7fffffff)
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	if err == nil {
+		t.Fatal("expected error for implausible capture length")
+	}
+	var trunc *ErrTruncated
+	if errors.As(err, &trunc) {
+		t.Fatalf("corrupt length misreported as truncation: %v", err)
+	}
+}
+
+func TestLabelsNonUTCOffsetRoundTrip(t *testing.T) {
+	ist := time.FixedZone("UTC+05:30", 5*3600+30*60)
+	labels := []Label{{
+		Start:      time.Date(2019, 4, 1, 9, 30, 0, 0, ist),
+		End:        time.Date(2019, 4, 1, 10, 0, 0, 0, ist),
+		Experiment: "idle", Activity: "idle",
+	}}
+	var buf bytes.Buffer
+	if err := WriteLabels(&buf, labels); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "+05:30") {
+		t.Fatalf("offset not preserved in %q", text)
+	}
+	got, err := ReadLabels(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].Start.Equal(labels[0].Start) || !got[0].End.Equal(labels[0].End) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, off := got[0].Start.Zone(); off != 5*3600+30*60 {
+		t.Errorf("zone offset = %d, want +05:30", off)
+	}
+	// A second write must reproduce the same bytes.
+	var buf2 bytes.Buffer
+	if err := WriteLabels(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != text {
+		t.Errorf("re-write differs:\n%q\n%q", buf2.String(), text)
+	}
+}
+
+func TestLabelsNaiveTimestampsUseDeclaredOffset(t *testing.T) {
+	in := "# offset: -04:00\n" +
+		"2019-04-01T09:30:00\t2019-04-01T10:00:00\tpower\tpower\n"
+	got, err := ReadLabels(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(2019, 4, 1, 13, 30, 0, 0, time.UTC)
+	if len(got) != 1 || !got[0].Start.Equal(want) {
+		t.Fatalf("start = %v, want %v", got[0].Start, want)
+	}
+	// Without the header the same stamp is read as UTC.
+	got, err = ReadLabels(strings.NewReader("2019-04-01T09:30:00\t2019-04-01T10:00:00\tpower\tpower\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Start.Equal(time.Date(2019, 4, 1, 9, 30, 0, 0, time.UTC)) {
+		t.Fatalf("naive-as-UTC start = %v", got[0].Start)
+	}
+}
+
+func TestLabelTagsRoundTrip(t *testing.T) {
+	labels := []Label{{
+		Start: t0, End: t0.Add(time.Minute),
+		Experiment: "interaction", Activity: "android_lan_on",
+		Tags: map[string]string{"vpn": "1", "gateway": "gw2"},
+	}}
+	var buf bytes.Buffer
+	if err := WriteLabels(&buf, labels); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\tgateway=gw2,vpn=1\n") {
+		t.Fatalf("tags field missing: %q", buf.String())
+	}
+	got, err := ReadLabels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Tag("vpn") != "1" || got[0].Tag("gateway") != "gw2" {
+		t.Fatalf("tags = %+v", got[0].Tags)
+	}
+	// Tags with reserved characters are rejected at write time.
+	bad := []Label{{Start: t0, End: t0, Experiment: "x", Activity: "y",
+		Tags: map[string]string{"k": "a,b"}}}
+	if err := WriteLabels(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("expected error for comma in tag value")
 	}
 }

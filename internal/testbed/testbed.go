@@ -191,9 +191,15 @@ func (e *Experiment) Bytes() int {
 	return total
 }
 
-// Label converts the experiment to a capture label.
+// Label converts the experiment to a capture label. VPN legs are marked
+// with a "vpn=1" tag so re-ingested captures land in the right table
+// column ("US->GB" vs "US").
 func (e *Experiment) Label() pcapio.Label {
-	return pcapio.Label{Start: e.Start, End: e.End, Experiment: string(e.Kind), Activity: e.Activity}
+	l := pcapio.Label{Start: e.Start, End: e.End, Experiment: string(e.Kind), Activity: e.Activity}
+	if e.VPN {
+		l.Tags = map[string]string{"vpn": "1"}
+	}
+	return l
 }
 
 // expSeed derives the deterministic RNG seed of one experiment.

@@ -69,10 +69,23 @@ func NewStudy(cfg Config) (*Study, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewStudyFromSource(r), nil
+}
+
+// Source yields labelled experiments to the analysis pipeline. The
+// synthesis runner is the default implementation; internal/ingest
+// provides one that replays on-disk Mon(IoT)r capture directories.
+type Source = analysis.Source
+
+// NewStudyFromSource runs the analyses over an arbitrary experiment
+// source, such as an ingested capture directory. Studies built this way
+// support everything except RunUncontrolled, which needs the in-process
+// user-study simulation.
+func NewStudyFromSource(src Source) *Study {
 	return &Study{
-		pipeline: analysis.NewPipeline(r),
+		pipeline: analysis.NewPipeline(src),
 		inferCfg: analysis.DefaultInferConfig(),
-	}, nil
+	}
 }
 
 // SetInferenceConfig overrides the §6.3 cross-validation parameters;
@@ -100,10 +113,14 @@ func (s *Study) Run() {
 }
 
 // RunUncontrolled executes the §7.3 user-study analysis; Run must have
-// completed first.
+// completed first, and the study must be runner-backed (capture-replay
+// sources carry no uncontrolled campaign).
 func (s *Study) RunUncontrolled() error {
 	if !s.ran {
 		return fmt.Errorf("intliot: RunUncontrolled requires Run first")
+	}
+	if s.pipeline.Runner() == nil {
+		return fmt.Errorf("intliot: RunUncontrolled requires a synthesis runner source")
 	}
 	s.pipeline.RunUncontrolled()
 	return nil
