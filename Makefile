@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: check vet fmt build test race bench fuzz smoke
+.PHONY: check vet fmt build test race racecore bench fuzz smoke chaos
 
 # Pre-PR gate: everything here must pass before sending a change.
-check: vet fmt build race smoke
+# racecore runs first: the packages that juggle goroutines and the fault
+# engine fail fast before the full -race sweep.
+check: vet fmt build racecore race smoke chaos
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +22,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race gate over the concurrency-heavy packages: the impairment
+# engine (consulted from parallel lab goroutines), the shared cloud
+# model, and the campaign runner that fans out across labs.
+racecore:
+	$(GO) test -race ./internal/faults/... ./internal/cloud/... ./internal/experiments/...
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -43,3 +51,18 @@ smoke:
 		> "$$tmp/ingested.out" 2> "$$tmp/ingested.err" && \
 	cmp "$$tmp/direct.out" "$$tmp/ingested.out" && \
 	echo "smoke: export->ingest tables byte-identical"
+
+# Chaos smoke: a tiny campaign over an impaired network must complete
+# with no fatal errors, reproduce byte-identically under the same seed,
+# and account for every injected fault in the metrics snapshot.
+chaos:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o "$$tmp/moniotr" ./cmd/moniotr && \
+	"$$tmp/moniotr" -scale tiny -skip-uncontrolled -faults lossy-home -fault-seed 7 \
+		-metrics "$$tmp/metrics.json" > "$$tmp/a.out" 2> "$$tmp/a.err" && \
+	"$$tmp/moniotr" -scale tiny -skip-uncontrolled -faults lossy-home -fault-seed 7 \
+		> "$$tmp/b.out" 2> "$$tmp/b.err" && \
+	cmp "$$tmp/a.out" "$$tmp/b.out" && \
+	grep -q '"faults_pkts_dropped_total"' "$$tmp/metrics.json" && \
+	grep -q '"faults_retransmissions_total"' "$$tmp/metrics.json" && \
+	echo "chaos: lossy-home campaign reproducible, faults accounted"

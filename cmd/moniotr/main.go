@@ -5,7 +5,8 @@
 // Usage:
 //
 //	moniotr [-scale tiny|quick|bench|paper] [-csv dir] [-tables 2,5,11] [-skip-uncontrolled]
-//	        [-export-captures dir] [-ingest dir] [-metrics out.json] [-pprof :6060]
+//	        [-export-captures dir] [-ingest dir] [-strict] [-metrics out.json] [-pprof :6060]
+//	        [-faults clean|lossy-home|flaky-vpn|outage] [-fault-seed n]
 //
 // With -export-captures the campaign is additionally written to disk as
 // a Mon(IoT)r-style capture directory (per-device pcaps + label
@@ -20,6 +21,14 @@
 // the final snapshot is written to the given JSON file. Metrics change
 // no table output. -pprof serves net/http/pprof on the given address for
 // live CPU/heap profiling of paper-scale runs.
+//
+// With -faults the campaign runs over an impaired network: the named
+// profile injects deterministic packet loss, latency, DNS failures,
+// server outages and VPN tunnel flaps, seeded by -fault-seed (default:
+// the campaign seed). The "clean" profile is byte-identical to omitting
+// the flag. With -strict an ingest run exits non-zero if anything was
+// count-and-skipped (truncated files, unknown devices, unlabeled
+// packets), for CI gating.
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"time"
 
 	intliot "github.com/neu-sns/intl-iot-go"
+	"github.com/neu-sns/intl-iot-go/internal/faults"
 	"github.com/neu-sns/intl-iot-go/internal/ingest"
 	"github.com/neu-sns/intl-iot-go/internal/obs"
 )
@@ -46,7 +56,15 @@ func main() {
 	skipUncontrolled := flag.Bool("skip-uncontrolled", false, "skip the §7.3 user-study simulation")
 	metricsOut := flag.String("metrics", "", "instrument the campaign and write a metrics JSON snapshot to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+	faultProfile := flag.String("faults", "", "run the campaign under a network-impairment profile (clean, lossy-home, flaky-vpn, outage)")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for the impairment engine (0 = campaign seed)")
+	strict := flag.Bool("strict", false, "with -ingest: exit non-zero if any capture content was skipped")
 	flag.Parse()
+
+	if _, err := faults.ByName(*faultProfile); err != nil {
+		fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -82,6 +100,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	cfg.FaultProfile = *faultProfile
+	cfg.FaultSeed = *faultSeed
+
 	want := map[string]bool{}
 	for _, t := range strings.Split(*tables, ",") {
 		want[strings.TrimSpace(t)] = true
@@ -92,6 +113,9 @@ func main() {
 	var study *intliot.Study
 	var src *ingest.Source
 	if *ingestDir != "" {
+		if *faultProfile != "" && *faultProfile != "clean" {
+			fmt.Fprintln(os.Stderr, "moniotr: -faults shapes synthesis only and is ignored with -ingest")
+		}
 		fmt.Fprintf(os.Stderr, "moniotr: ingesting captures from %s...\n", *ingestDir)
 		var err error
 		src, err = ingest.Open(*ingestDir, ingest.Options{})
@@ -133,6 +157,12 @@ func main() {
 	study.Run()
 	if src != nil {
 		fmt.Fprintf(os.Stderr, "moniotr: ingest: %s\n", src.Report())
+		if *strict {
+			if err := src.Report().Strict(); err != nil {
+				fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	if *exportDir != "" {
 		if src != nil {

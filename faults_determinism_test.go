@@ -1,0 +1,71 @@
+package intliot
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderAll flattens every report table into one string; byte-equality of
+// two renders is the reproducibility contract the fault engine must keep.
+func renderAll(s *Study) string {
+	var sb strings.Builder
+	for _, tbl := range []*Table{
+		s.Headline(), s.Table2(), s.Table3(), s.Table4(), s.Figure2(),
+		s.Table5(), s.Table6(), s.Table7(nil), s.Table8(),
+		s.Table9(), s.Table10(), s.Table11(1), s.PIIReport(),
+	} {
+		sb.WriteString(tbl.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func tinyFaultConfig(profile string, seed int64) Config {
+	return Config{
+		Seed:          1,
+		AutomatedReps: 2,
+		ManualReps:    1,
+		PowerReps:     1,
+		IdleHours:     map[string]float64{"US": 0.5},
+		FaultProfile:  profile,
+		FaultSeed:     seed,
+	}
+}
+
+func runTiny(t *testing.T, profile string, seed int64) string {
+	t.Helper()
+	s, err := NewStudy(tinyFaultConfig(profile, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	return renderAll(s)
+}
+
+// The two reproducibility guarantees of the impairment engine, end to
+// end through the public API: a zero-impairment profile changes nothing,
+// and a fixed profile+seed is byte-identical run to run.
+func TestFaultDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full studies skipped in -short")
+	}
+	base := runTiny(t, "", 0)
+	clean := runTiny(t, "clean", 0)
+	if base != clean {
+		t.Error("clean profile output differs from no-faults run")
+	}
+
+	lossyA := runTiny(t, "lossy-home", 42)
+	lossyB := runTiny(t, "lossy-home", 42)
+	if lossyA != lossyB {
+		t.Error("same profile and seed produced different tables")
+	}
+	if lossyA == base {
+		t.Error("lossy-home output identical to clean run; faults had no effect")
+	}
+
+	lossyC := runTiny(t, "lossy-home", 43)
+	if lossyC == lossyA {
+		t.Error("different fault seeds produced identical tables")
+	}
+}

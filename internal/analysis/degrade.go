@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"net/netip"
+
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// Graceful degradation for impaired captures (lossy links, flapping
+// tunnels, refusing servers). Real captures carry TCP retransmissions,
+// DNS queries that were never answered, and half-open flows from failed
+// connection attempts; the collectors must not double-count the former
+// nor trip over the latter. The pipeline runs every experiment through
+// degradeExp first: retransmitted segments are deduplicated (so byte and
+// packet statistics reflect the application traffic, not the loss rate)
+// and the residual damage is counted per reason in the obs registry —
+// never fatal, never silently wrong. Clean captures pass through
+// untouched: DedupRetransmissions returns the original slice when it
+// finds no duplicates, which keeps fault-free runs byte-identical.
+
+// DedupRetransmissions removes TCP segments that duplicate an earlier
+// segment's (flow, direction, sequence number, length) — the signature of
+// a retransmission — keeping the first copy. It returns the input slice
+// unchanged (and 0) when the capture holds no duplicates.
+func DedupRetransmissions(pkts []*netx.Packet) ([]*netx.Packet, int) {
+	type segKey struct {
+		src, dst netip.Addr
+		sp, dp   uint16
+		seq      uint32
+		plen     int
+	}
+	var seen map[segKey]bool
+	var out []*netx.Packet
+	dropped := 0
+	for i, p := range pkts {
+		if p.TCP == nil || len(p.Payload) == 0 {
+			if out != nil {
+				out = append(out, p)
+			}
+			continue
+		}
+		src, okS := p.NetworkSrc()
+		dst, okD := p.NetworkDst()
+		if !okS || !okD {
+			if out != nil {
+				out = append(out, p)
+			}
+			continue
+		}
+		k := segKey{src, dst, p.TCP.SrcPort, p.TCP.DstPort, p.TCP.Seq, len(p.Payload)}
+		if seen == nil {
+			seen = make(map[segKey]bool)
+		}
+		if seen[k] {
+			dropped++
+			if out == nil {
+				out = append(out, pkts[:i]...)
+			}
+			continue
+		}
+		seen[k] = true
+		if out != nil {
+			out = append(out, p)
+		}
+	}
+	if out == nil {
+		return pkts, 0
+	}
+	return out, dropped
+}
+
+// CountUnansweredDNS counts DNS queries (UDP to port 53) that never got a
+// response back to the querying port — resolver timeouts, or answers lost
+// on the way home.
+func CountUnansweredDNS(pkts []*netx.Packet) int {
+	queries := map[uint16]int{}
+	answers := map[uint16]int{}
+	for _, p := range pkts {
+		if p.UDP == nil {
+			continue
+		}
+		switch {
+		case p.UDP.DstPort == 53:
+			queries[p.UDP.SrcPort]++
+		case p.UDP.SrcPort == 53:
+			answers[p.UDP.DstPort]++
+		}
+	}
+	unanswered := 0
+	for port, q := range queries {
+		if a := answers[port]; q > a {
+			unanswered += q - a
+		}
+	}
+	return unanswered
+}
+
+// CountHalfOpenFlows counts TCP flows that never completed their
+// handshake: a client SYN with no SYN|ACK from the server (refused or
+// blackholed connection attempts).
+func CountHalfOpenFlows(pkts []*netx.Packet) int {
+	type state struct{ syn, synAck bool }
+	flows := map[netx.FlowKey]*state{}
+	for _, p := range pkts {
+		if p.TCP == nil {
+			continue
+		}
+		src, okS := p.NetworkSrc()
+		dst, okD := p.NetworkDst()
+		if !okS || !okD {
+			continue
+		}
+		sp, dp, proto, _ := p.TransportPorts()
+		key := netx.NewFlowKey(netx.Endpoint{Addr: src, Port: sp}, netx.Endpoint{Addr: dst, Port: dp}, proto)
+		st := flows[key]
+		if st == nil {
+			st = &state{}
+			flows[key] = st
+		}
+		if p.TCP.Flags&netx.TCPSyn != 0 {
+			if p.TCP.Flags&netx.TCPAck != 0 {
+				st.synAck = true
+			} else {
+				st.syn = true
+			}
+		}
+	}
+	n := 0
+	for _, st := range flows {
+		if st.syn && !st.synAck {
+			n++
+		}
+	}
+	return n
+}
+
+// degradeExp normalizes one experiment in place before the collectors see
+// it, and counts what it found under degrade_* in the metrics registry
+// (nil-safe; diagnostics are skipped entirely when metrics are off).
+func (p *Pipeline) degradeExp(exp *testbed.Experiment) {
+	pkts, retx := DedupRetransmissions(exp.Packets)
+	exp.Packets = pkts
+	if p.metrics == nil {
+		return
+	}
+	if retx > 0 {
+		p.metrics.Counter("degrade_retransmissions_deduped_total").Add(int64(retx))
+	}
+	if n := CountUnansweredDNS(pkts); n > 0 {
+		p.metrics.Counter("degrade_dns_unanswered_total").Add(int64(n))
+	}
+	if n := CountHalfOpenFlows(pkts); n > 0 {
+		p.metrics.Counter("degrade_half_open_flows_total").Add(int64(n))
+	}
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+)
+
+func tcpSeg(ts time.Time, src, dst string, sp, dp uint16, seq uint32, flags uint8, payload []byte) *netx.Packet {
+	return &netx.Packet{
+		Meta: netx.CaptureInfo{Timestamp: ts, Length: netx.EthernetHeaderLen + netx.IPv4HeaderLen + netx.TCPHeaderLen + len(payload)},
+		Eth:  netx.Ethernet{EtherType: netx.EtherTypeIPv4},
+		IPv4: &netx.IPv4{TTL: 64, Protocol: netx.ProtoTCP,
+			Src: netx.MustParseAddr(src), Dst: netx.MustParseAddr(dst)},
+		TCP:     &netx.TCP{SrcPort: sp, DstPort: dp, Seq: seq, Flags: flags},
+		Payload: payload,
+	}
+}
+
+func udpPkt(src, dst string, sp, dp uint16) *netx.Packet {
+	return &netx.Packet{
+		Eth: netx.Ethernet{EtherType: netx.EtherTypeIPv4},
+		IPv4: &netx.IPv4{TTL: 64, Protocol: netx.ProtoUDP,
+			Src: netx.MustParseAddr(src), Dst: netx.MustParseAddr(dst)},
+		UDP: &netx.UDP{SrcPort: sp, DstPort: dp},
+	}
+}
+
+func TestDedupRetransmissionsCleanPassThrough(t *testing.T) {
+	base := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	pkts := []*netx.Packet{
+		tcpSeg(base, "192.168.10.5", "52.1.2.3", 40000, 443, 100, netx.TCPAck|netx.TCPPsh, []byte("abc")),
+		tcpSeg(base.Add(time.Millisecond), "52.1.2.3", "192.168.10.5", 443, 40000, 900, netx.TCPAck|netx.TCPPsh, []byte("reply")),
+		tcpSeg(base.Add(2*time.Millisecond), "192.168.10.5", "52.1.2.3", 40000, 443, 103, netx.TCPAck|netx.TCPPsh, []byte("def")),
+	}
+	out, dropped := DedupRetransmissions(pkts)
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	// Clean captures must return the identical slice, not a copy.
+	if len(out) != len(pkts) || &out[0] != &pkts[0] {
+		t.Fatal("clean capture was copied instead of passed through")
+	}
+}
+
+func TestDedupRetransmissionsDropsDuplicates(t *testing.T) {
+	base := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	orig := tcpSeg(base, "192.168.10.5", "52.1.2.3", 40000, 443, 100, netx.TCPAck|netx.TCPPsh, []byte("abc"))
+	retx := tcpSeg(base.Add(200*time.Millisecond), "192.168.10.5", "52.1.2.3", 40000, 443, 100, netx.TCPAck|netx.TCPPsh, []byte("abc"))
+	next := tcpSeg(base.Add(210*time.Millisecond), "192.168.10.5", "52.1.2.3", 40000, 443, 103, netx.TCPAck|netx.TCPPsh, []byte("def"))
+	// A bare ACK with no payload shares seq numbers legally; it must
+	// survive.
+	ack := tcpSeg(base.Add(205*time.Millisecond), "52.1.2.3", "192.168.10.5", 443, 40000, 900, netx.TCPAck, nil)
+	out, dropped := DedupRetransmissions([]*netx.Packet{orig, retx, ack, next})
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	if len(out) != 3 {
+		t.Fatalf("len(out) = %d, want 3", len(out))
+	}
+	if out[0] != orig || out[1] != ack || out[2] != next {
+		t.Fatal("wrong packets survived dedup")
+	}
+}
+
+func TestDedupRetransmissionsKeepsDirectionsSeparate(t *testing.T) {
+	base := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	// Same seq and length in opposite directions is NOT a retransmission.
+	up := tcpSeg(base, "192.168.10.5", "52.1.2.3", 40000, 443, 100, netx.TCPAck|netx.TCPPsh, []byte("abc"))
+	down := tcpSeg(base.Add(time.Millisecond), "52.1.2.3", "192.168.10.5", 443, 40000, 100, netx.TCPAck|netx.TCPPsh, []byte("xyz"))
+	out, dropped := DedupRetransmissions([]*netx.Packet{up, down})
+	if dropped != 0 || len(out) != 2 {
+		t.Fatalf("dropped = %d len = %d, want 0 and 2", dropped, len(out))
+	}
+}
+
+func TestCountUnansweredDNS(t *testing.T) {
+	pkts := []*netx.Packet{
+		udpPkt("192.168.10.5", "192.168.10.1", 50001, 53), // answered
+		udpPkt("192.168.10.1", "192.168.10.5", 53, 50001),
+		udpPkt("192.168.10.5", "192.168.10.1", 50002, 53), // lost
+		udpPkt("192.168.10.5", "192.168.10.1", 50002, 53), // retried, lost again
+		udpPkt("192.168.10.5", "52.1.2.3", 40000, 443),    // not DNS
+	}
+	if n := CountUnansweredDNS(pkts); n != 2 {
+		t.Fatalf("unanswered = %d, want 2", n)
+	}
+	if n := CountUnansweredDNS(nil); n != 0 {
+		t.Fatalf("unanswered on empty = %d, want 0", n)
+	}
+}
+
+func TestCountHalfOpenFlows(t *testing.T) {
+	base := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	pkts := []*netx.Packet{
+		// Completed handshake.
+		tcpSeg(base, "192.168.10.5", "52.1.2.3", 40000, 443, 1, netx.TCPSyn, nil),
+		tcpSeg(base, "52.1.2.3", "192.168.10.5", 443, 40000, 1, netx.TCPSyn|netx.TCPAck, nil),
+		// Blackholed: SYN plus a retransmitted SYN, no answer.
+		tcpSeg(base, "192.168.10.5", "52.9.9.9", 40001, 443, 7, netx.TCPSyn, nil),
+		tcpSeg(base.Add(time.Second), "192.168.10.5", "52.9.9.9", 40001, 443, 7, netx.TCPSyn, nil),
+	}
+	if n := CountHalfOpenFlows(pkts); n != 1 {
+		t.Fatalf("half-open = %d, want 1", n)
+	}
+}

@@ -93,6 +93,7 @@ func NewPipeline(src Source) *Pipeline {
 // detection without buffering — memory stays flat at paper scale.
 func (p *Pipeline) Run(cfg InferConfig) {
 	var (
+		degrade  = p.timedVisitor("degrade", p.degradeExp)
 		dest     = p.timedVisitor("dest", p.Dest.Visit)
 		enc      = p.timedVisitor("enc", p.Enc.Visit)
 		content  = p.timedVisitor("content", p.Content.Visit)
@@ -100,6 +101,7 @@ func (p *Pipeline) Run(cfg InferConfig) {
 	)
 	span := p.metrics.StartSpan("stage:controlled")
 	p.Stats = p.Source.RunControlled(func(exp *testbed.Experiment) {
+		degrade(exp)
 		dest(exp)
 		enc(exp)
 		content(exp)
@@ -119,6 +121,7 @@ func (p *Pipeline) Run(cfg InferConfig) {
 	})
 	span = p.metrics.StartSpan("stage:idle")
 	p.IdleStats = p.Source.RunIdle(func(exp *testbed.Experiment) {
+		degrade(exp)
 		dest(exp)
 		enc(exp)
 		detect(exp)
@@ -139,6 +142,7 @@ func (p *Pipeline) RunUncontrolled() {
 	p.Unexpected = make(map[string]int)
 	span := p.metrics.StartSpan("stage:uncontrolled")
 	r.RunUncontrolled(func(res *experiments.UncontrolledResult) {
+		p.degradeExp(res.Experiment)
 		p.Detector.VisitUncontrolled(res, p.UncontrolledHits, p.Unexpected)
 	})
 	span.End()

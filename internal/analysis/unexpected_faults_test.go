@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/experiments"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// Loss and retransmission alone must never manufacture an "unexpected
+// behaviour" finding (§7.3): an impaired idle capture whose ground truth
+// is empty — the device did nothing — must classify to nothing, even
+// though the wire now carries duplicated segments, SYN retries and
+// RTO-delayed responses. The degrade pass is what makes this hold:
+// retransmitted segments would otherwise inflate heartbeat traffic units
+// past the detector's size filter.
+func TestImpairedIdleProducesNoFalseUnexpected(t *testing.T) {
+	p := testPipeline(t)
+	if p.Detector.ModelCount() == 0 {
+		t.Fatal("no trained models to test against")
+	}
+
+	cfg := experiments.Config{
+		Seed:         1,
+		IdleHours:    map[string]float64{"US": 2, "GB": 2},
+		FaultProfile: "lossy-home",
+	}
+	r, err := experiments.NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var visited, modelled, retx int
+	unexpected := make(map[string]int)
+	out := NewDetectResult()
+	r.RunIdle(func(exp *testbed.Experiment) {
+		// Windows with idle events carry genuine device activity; any
+		// detection there is legitimate. Only event-free windows can
+		// prove that impairment alone triggers nothing.
+		if len(exp.IdleEvents) != 0 {
+			return
+		}
+		visited++
+		if p.Detector.HasModel(exp.Device.ID(), exp.Column) {
+			modelled++
+		}
+		pkts, n := DedupRetransmissions(exp.Packets)
+		retx += n
+		exp.Packets = pkts
+		res := &experiments.UncontrolledResult{Experiment: exp}
+		p.Detector.VisitUncontrolled(res, out, unexpected)
+	})
+	if visited == 0 {
+		t.Fatal("no event-free idle windows synthesized")
+	}
+	if modelled == 0 {
+		t.Fatal("no event-free idle window hit a modelled device; test proves nothing")
+	}
+	if retx == 0 {
+		t.Fatal("lossy-home produced no retransmissions; impairment not exercised")
+	}
+	if len(unexpected) != 0 {
+		t.Errorf("impairment alone produced unexpected findings: %v", unexpected)
+	}
+}

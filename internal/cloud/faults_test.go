@@ -1,0 +1,158 @@
+package cloud
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/faults"
+	"github.com/neu-sns/intl-iot-go/internal/geo"
+)
+
+// Traceroute jitter must be a pure function of (seed, destination): two
+// Internets with the same seed agree hop for hop, and concurrent vantage
+// queries cannot perturb each other.
+func TestTracerouteJitterSeeded(t *testing.T) {
+	mk := func(seed int64) (*Internet, netip.Addr) {
+		in := New()
+		in.SetSeed(seed)
+		res, err := in.Lookup("alexa.amazon.com", "US")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in, res.Addr
+	}
+	a, addrA := mk(42)
+	b, addrB := mk(42)
+	if addrA != addrB {
+		t.Fatalf("address allocation diverged: %v vs %v", addrA, addrB)
+	}
+	vpA, _ := a.Vantage("US")
+	vpB, _ := b.Vantage("US")
+	hopsA, err := vpA.Traceroute(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hopsB, err := vpB.Traceroute(addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hopsA {
+		if hopsA[i].RTT != hopsB[i].RTT {
+			t.Fatalf("hop %d RTT diverged: %v vs %v", i, hopsA[i].RTT, hopsB[i].RTT)
+		}
+	}
+
+	c, addrC := mk(43)
+	vpC, _ := c.Vantage("US")
+	hopsC, err := vpC.Traceroute(addrC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hopsC[2].RTT == hopsA[2].RTT {
+		t.Fatal("different seeds produced identical destination jitter")
+	}
+}
+
+func TestTracerouteConcurrentVantageIdentical(t *testing.T) {
+	in := New()
+	in.SetSeed(7)
+	res, err := in.Lookup("alexa.amazon.com", "US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, _ := in.Vantage("US")
+	want, err := vp.Traceroute(res.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vp, _ := in.Vantage("US")
+			for i := 0; i < 50; i++ {
+				got, err := vp.Traceroute(res.Addr)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for h := range got {
+					if got[h] != want[h] {
+						t.Errorf("hop %d diverged under concurrency", h)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Seed 0 must reproduce the historical unseeded jitter so fault-free
+// campaigns stay byte-identical with tables rendered before seeding
+// existed.
+func TestJitterSeedZeroIsLegacy(t *testing.T) {
+	in := New()
+	addr := netip.AddrFrom4([4]byte{203, 0, 113, 9})
+	legacy := in.jitter(addr)
+	in.SetSeed(0)
+	if got := in.jitter(addr); got != legacy {
+		t.Fatalf("seed 0 changed jitter: %v vs %v", got, legacy)
+	}
+	in.SetSeed(99)
+	if got := in.jitter(addr); got == legacy {
+		t.Fatal("non-zero seed did not change jitter")
+	}
+}
+
+func TestResolveWithoutEngineMatchesLookup(t *testing.T) {
+	in := New()
+	a, err := in.Resolve("alexa.amazon.com", "US", ResolveOpts{Time: time.Unix(1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := in.Lookup("alexa.amazon.com", "US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Addr != b.Addr || a.Country != b.Country {
+		t.Fatalf("Resolve diverged from Lookup: %+v vs %+v", a, b)
+	}
+}
+
+func TestResolveSurfacesDNSFaults(t *testing.T) {
+	prof, err := faults.ByName("lossy-home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New()
+	in.SetFaults(faults.New(prof, 12345))
+	var faulted, ok int
+	for i := 0; i < 500; i++ {
+		_, err := in.Resolve("alexa.amazon.com", "US", ResolveOpts{
+			Time:    time.Unix(int64(i), 0),
+			Attempt: 0,
+		})
+		if err == nil {
+			ok++
+			continue
+		}
+		var de *faults.DNSError
+		if !errors.As(err, &de) {
+			t.Fatalf("unexpected error type: %v", err)
+		}
+		faulted++
+	}
+	if faulted == 0 {
+		t.Fatal("lossy-home never faulted a query in 500 attempts at 4% rate")
+	}
+	if ok == 0 {
+		t.Fatal("every query faulted — devices could never reach their cloud")
+	}
+}
+
+var _ geo.Tracerouter = (*VantagePoint)(nil)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/neu-sns/intl-iot-go/internal/dnsmsg"
+	"github.com/neu-sns/intl-iot-go/internal/faults"
 	"github.com/neu-sns/intl-iot-go/internal/geo"
 	"github.com/neu-sns/intl-iot-go/internal/obs"
 	"github.com/neu-sns/intl-iot-go/internal/orgdb"
@@ -36,6 +37,12 @@ type Internet struct {
 	metrics    *obs.Registry
 	dnsQueries *obs.Counter
 	dnsCNAMEs  *obs.Counter
+
+	// Fault injection (set before running experiments; nil = perfect WAN).
+	faultEng *faults.Engine
+	// seed mixes into traceroute jitter; 0 keeps the legacy unseeded
+	// hash so historical tables stay byte-identical.
+	seed int64
 }
 
 // New builds the default simulated Internet.
@@ -106,6 +113,21 @@ func (in *Internet) SetObs(reg *obs.Registry) {
 	in.dnsCNAMEs = reg.Counter("dns_cname_chains_total")
 }
 
+// SetFaults attaches a network-impairment engine; Resolve then consults
+// it on every query attempt. Call before running experiments (the field
+// is read concurrently afterwards). A nil engine means a perfect WAN.
+func (in *Internet) SetFaults(e *faults.Engine) { in.faultEng = e }
+
+// Faults returns the attached impairment engine (nil when the WAN is
+// perfect).
+func (in *Internet) Faults() *faults.Engine { return in.faultEng }
+
+// SetSeed derives traceroute jitter from the study seed, so geolocation
+// tables are reproducible for a fixed seed no matter how many vantage
+// points probe concurrently. Call before running experiments. Seed 0 (the
+// default) keeps the legacy seed-free jitter hash.
+func (in *Internet) SetSeed(seed int64) { in.seed = seed }
+
 // TrueCountry returns the ground-truth location of an address; tests and
 // EXPERIMENTS.md comparisons use it, the analysis pipeline must not.
 func (in *Internet) TrueCountry(addr netip.Addr) (string, bool) {
@@ -137,10 +159,36 @@ type Resolution struct {
 	Answers []dnsmsg.Resource
 }
 
+// ResolveOpts carries the context of one resolution attempt that the
+// fault engine needs: when the query happens, whether it travels the VPN
+// tunnel, and which retry it is (0 = first attempt).
+type ResolveOpts struct {
+	VPN     bool
+	Time    time.Time
+	Attempt int
+}
+
+// Resolve is Lookup plus fault injection: if an impairment engine is
+// attached it decides the fate of this query attempt first, returning a
+// *faults.DNSError for SERVFAIL/timeout so device generators can emit
+// the matching wire traffic and retry with backoff. Without an engine it
+// behaves exactly like Lookup.
+func (in *Internet) Resolve(fqdn, egress string, opts ResolveOpts) (Resolution, error) {
+	in.dnsQueries.Inc()
+	if out := in.faultEng.DNS(strings.ToLower(strings.TrimSuffix(fqdn, ".")), opts.VPN, opts.Time, opts.Attempt); out != faults.DNSOK {
+		return Resolution{Query: fqdn}, &faults.DNSError{Query: fqdn, Outcome: out}
+	}
+	return in.lookup(fqdn, egress)
+}
+
 // Lookup resolves fqdn as seen from an egress country, selecting the
 // nearest replica of the hosting organisation.
 func (in *Internet) Lookup(fqdn, egress string) (Resolution, error) {
 	in.dnsQueries.Inc()
+	return in.lookup(fqdn, egress)
+}
+
+func (in *Internet) lookup(fqdn, egress string) (Resolution, error) {
 	fqdn = strings.ToLower(strings.TrimSuffix(fqdn, "."))
 	sld := dnsmsg.SLD(fqdn)
 	owner, ok := in.Registry.BySLD(sld)
@@ -274,7 +322,7 @@ func (v *VantagePoint) Traceroute(dst netip.Addr) ([]geo.Hop, error) {
 		return nil, fmt.Errorf("cloud: %v is unreachable (no route)", dst)
 	}
 	full := BaseRTT(v.country, dstCountry)
-	j := jitter(dst)
+	j := v.in.jitter(dst)
 	mid := full / 2
 	hops := []geo.Hop{
 		{Addr: hopAddr(v.country, 1), RTT: 2*time.Millisecond + j/4, Country: v.country},
@@ -284,8 +332,19 @@ func (v *VantagePoint) Traceroute(dst netip.Addr) ([]geo.Hop, error) {
 	return hops, nil
 }
 
-func jitter(a netip.Addr) time.Duration {
+// jitter is the per-destination traceroute jitter: a pure function of
+// (study seed, address), never of call order, so concurrent vantage
+// queries see identical hop RTTs. Seed 0 reproduces the historical
+// seed-free hash bit for bit.
+func (in *Internet) jitter(a netip.Addr) time.Duration {
 	h := fnv.New32a()
+	if in.seed != 0 {
+		var s [8]byte
+		for i := range s {
+			s[i] = byte(uint64(in.seed) >> (8 * i))
+		}
+		h.Write(s[:])
+	}
 	b := a.As4()
 	h.Write(b[:])
 	return time.Duration(h.Sum32()%5000) * time.Microsecond

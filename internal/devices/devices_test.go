@@ -27,7 +27,9 @@ func testEnv(t *testing.T, lab string, vpn bool, seed int64) *Env {
 		}
 	}
 	return &Env{
-		Lookup:     func(fqdn string) (cloud.Resolution, error) { return in.Lookup(fqdn, egress) },
+		Lookup: func(fqdn string, t time.Time, attempt int) (cloud.Resolution, error) {
+			return in.Resolve(fqdn, egress, cloud.ResolveOpts{VPN: vpn, Time: t, Attempt: attempt})
+		},
 		Peer:       in.ResidentialPeer,
 		DeviceIP:   netip.MustParseAddr("192.168.10.15"),
 		GatewayIP:  netip.MustParseAddr("192.168.10.1"),

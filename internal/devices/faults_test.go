@@ -1,0 +1,203 @@
+package devices
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/cloud"
+	"github.com/neu-sns/intl-iot-go/internal/dnsmsg"
+	"github.com/neu-sns/intl-iot-go/internal/faults"
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+)
+
+// faultEnv is testEnv with an impairment engine attached — to the Env
+// (flow-level loss, latency, resets) and to the cloud model (DNS and
+// connection faults), the same wiring the experiment runner performs.
+func faultEnv(t *testing.T, lab string, seed int64, prof faults.Profile) *Env {
+	t.Helper()
+	eng := faults.New(prof, seed)
+	if eng == nil {
+		t.Fatal("profile did not enable the engine")
+	}
+	env := testEnv(t, lab, false, seed)
+	in := cloud.New()
+	in.SetFaults(eng)
+	in.SetSeed(seed)
+	env.Lookup = func(fqdn string, ts time.Time, attempt int) (cloud.Resolution, error) {
+		return in.Resolve(fqdn, lab, cloud.ResolveOpts{Time: ts, Attempt: attempt})
+	}
+	env.Peer = in.ResidentialPeer
+	env.Faults = eng
+	return env
+}
+
+// segKey identifies a TCP segment the way a capture analyst would spot a
+// retransmission: same flow, same sequence number, same length.
+type segKey struct {
+	sp, dp uint16
+	seq    uint32
+	plen   int
+	up     bool
+}
+
+func countDupSegments(pkts []*netx.Packet) int {
+	seen := map[segKey]int{}
+	dups := 0
+	for _, p := range pkts {
+		if p.TCP == nil || len(p.Payload) == 0 {
+			continue
+		}
+		k := segKey{p.TCP.SrcPort, p.TCP.DstPort, p.TCP.Seq, len(p.Payload), p.TCP.DstPort > p.TCP.SrcPort}
+		if seen[k] > 0 {
+			dups++
+		}
+		seen[k]++
+	}
+	return dups
+}
+
+func TestLossEmitsRetransmittedDuplicates(t *testing.T) {
+	prof := faults.Profile{
+		Name: "test-heavy-loss",
+		Loss: faults.LossSpec{PGoodBad: 0.3, PBadGood: 0.2, Good: 0.15, Bad: 0.6},
+	}
+	p, _ := ByName("Samsung TV")
+	inst := NewInstance(p, LabUS)
+	g := NewGen(inst, faultEnv(t, LabUS, 7, prof))
+	pkts, _ := g.Power(synthStart)
+	if countDupSegments(pkts) == 0 {
+		t.Fatal("heavy loss produced no retransmitted segments")
+	}
+	// Timestamps must still be monotone: the RTO-delayed copies are
+	// merged into the timeline, not appended out of order.
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].Meta.Timestamp.Before(pkts[i-1].Meta.Timestamp) {
+			t.Fatalf("packet %d out of order under loss", i)
+		}
+	}
+}
+
+func TestCleanEngineEmitsNoDuplicates(t *testing.T) {
+	p, _ := ByName("Samsung TV")
+	inst := NewInstance(p, LabUS)
+	g := NewGen(inst, testEnv(t, LabUS, false, 7))
+	pkts, _ := g.Power(synthStart)
+	if n := countDupSegments(pkts); n != 0 {
+		t.Fatalf("clean synthesis emitted %d duplicate segments", n)
+	}
+}
+
+func TestDNSServFailRetriesWithBackoff(t *testing.T) {
+	prof := faults.Profile{
+		Name: "test-servfail",
+		DNS:  faults.DNSSpec{ServFail: 1.0},
+	}
+	p, _ := ByName("Samsung TV")
+	inst := NewInstance(p, LabUS)
+	g := NewGen(inst, faultEnv(t, LabUS, 3, prof))
+	pkts, _ := g.Power(synthStart)
+
+	var queries, servfails int
+	var queryNames []string
+	var queryTimes []time.Time
+	for _, pk := range pkts {
+		if pk.UDP == nil {
+			continue
+		}
+		switch {
+		case pk.UDP.DstPort == 53:
+			queries++
+			queryTimes = append(queryTimes, pk.Meta.Timestamp)
+			if m, err := dnsmsg.Parse(pk.Payload); err == nil && len(m.Questions) > 0 {
+				queryNames = append(queryNames, m.Questions[0].Name)
+			}
+		case pk.UDP.SrcPort == 53:
+			m, err := dnsmsg.Parse(pk.Payload)
+			if err != nil {
+				t.Fatalf("unparseable DNS response: %v", err)
+			}
+			if m.RCode == dnsmsg.RCodeServFail {
+				servfails++
+			}
+		}
+	}
+	// Every resolver attempt fails: the stub retries dnsMaxAttempts
+	// times and each query earns a SERVFAIL answer.
+	if queries < dnsMaxAttempts || servfails != queries {
+		t.Fatalf("queries = %d, servfails = %d; want %d+ matched pairs", queries, servfails, dnsMaxAttempts)
+	}
+	// After exhausting the primary name the device tries its vendor
+	// fallback endpoint.
+	foundFallback := false
+	for _, name := range queryNames {
+		if strings.HasPrefix(name, "fallback.") {
+			foundFallback = true
+		}
+	}
+	if !foundFallback {
+		t.Fatalf("no fallback query after exhausted retries; queried %v", queryNames)
+	}
+	// Backoff: retries of the same name must be spaced increasingly far
+	// apart (250ms, 500ms, ...).
+	if len(queryTimes) >= 3 {
+		d1 := queryTimes[1].Sub(queryTimes[0])
+		d2 := queryTimes[2].Sub(queryTimes[1])
+		if d2 <= d1 {
+			t.Errorf("no exponential backoff: gaps %v then %v", d1, d2)
+		}
+	}
+}
+
+func TestDNSTimeoutEmitsUnansweredQueries(t *testing.T) {
+	prof := faults.Profile{
+		Name: "test-dns-timeout",
+		DNS:  faults.DNSSpec{Timeout: 1.0},
+	}
+	p, _ := ByName("TP-Link Plug")
+	inst := NewInstance(p, LabUS)
+	g := NewGen(inst, faultEnv(t, LabUS, 3, prof))
+	pkts, _ := g.Power(synthStart)
+
+	queries, answers := 0, 0
+	for _, pk := range pkts {
+		if pk.UDP == nil {
+			continue
+		}
+		if pk.UDP.DstPort == 53 {
+			queries++
+		}
+		if pk.UDP.SrcPort == 53 {
+			answers++
+		}
+	}
+	if queries == 0 {
+		t.Fatal("no DNS queries emitted")
+	}
+	if answers != 0 {
+		t.Fatalf("timeouts must leave queries unanswered; got %d answers", answers)
+	}
+}
+
+func TestImpairedSynthesisDeterministic(t *testing.T) {
+	prof, err := faults.ByName("lossy-home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := ByName("Samsung TV")
+	run := func() []*netx.Packet {
+		inst := NewInstance(p, LabUS)
+		g := NewGen(inst, faultEnv(t, LabUS, 11, prof))
+		pkts, _ := g.Power(synthStart)
+		return pkts
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("packet counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Meta.Timestamp.Equal(b[i].Meta.Timestamp) || string(a[i].Serialize()) != string(b[i].Serialize()) {
+			t.Fatalf("packet %d differs between identical runs", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package devices
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -8,16 +9,23 @@ import (
 
 	"github.com/neu-sns/intl-iot-go/internal/cloud"
 	"github.com/neu-sns/intl-iot-go/internal/dnsmsg"
+	"github.com/neu-sns/intl-iot-go/internal/faults"
 	"github.com/neu-sns/intl-iot-go/internal/netx"
 )
 
 // Env is the network environment the generator emits traffic into; the
 // testbed provides it.
 type Env struct {
-	// Lookup resolves a FQDN as seen from the lab's current egress.
-	Lookup func(fqdn string) (cloud.Resolution, error)
+	// Lookup resolves a FQDN as seen from the lab's current egress. The
+	// time and attempt number give the fault engine (if any) the context
+	// of the query; fault-free environments may ignore them.
+	Lookup func(fqdn string, t time.Time, attempt int) (cloud.Resolution, error)
 	// Peer returns a residential peer address in an ISP's network.
 	Peer func(isp string, n int) (netip.Addr, error)
+
+	// Faults injects network impairments into the synthesized traffic;
+	// nil means a perfect network and changes nothing.
+	Faults *faults.Engine
 
 	DeviceIP   netip.Addr
 	GatewayIP  netip.Addr
@@ -322,19 +330,73 @@ func (g *Gen) resolveEndpoint(ep *Endpoint, now time.Time) (netip.Addr, []*netx.
 	if res, ok := g.resolved[ep.Domain]; ok {
 		return res.Addr, nil, now, nil
 	}
-	res, err := g.Env.Lookup(ep.Domain)
-	if err != nil {
-		return netip.Addr{}, nil, now, fmt.Errorf("devices: resolving %q for %s: %w", ep.Domain, g.Inst.ID(), err)
+	return g.resolveDomain(ep.Domain, now, true)
+}
+
+// dnsMaxAttempts is how many times a device queries before falling back
+// to a secondary cloud endpoint (and then giving up).
+const dnsMaxAttempts = 3
+
+// resolveDomain resolves one FQDN, emitting the wire traffic real
+// stub resolvers produce under faults: a query per attempt, a SERVFAIL
+// answer when the resolver fails, silence on timeouts, exponential
+// backoff between attempts, and finally one shot at the vendor's
+// fallback endpoint ("fallback.<domain>", same org) before giving up.
+// On a fault-free environment attempt 0 succeeds and the emitted
+// packets are byte-identical to the historical single-exchange path.
+func (g *Gen) resolveDomain(domain string, now time.Time, allowFallback bool) (netip.Addr, []*netx.Packet, time.Time, error) {
+	var pkts []*netx.Packet
+	for attempt := 0; attempt < dnsMaxAttempts; attempt++ {
+		res, err := g.Env.Lookup(domain, now, attempt)
+		if err == nil {
+			g.resolved[domain] = res
+			g.dnsID++
+			q := dnsmsg.NewQuery(g.dnsID, domain, dnsmsg.TypeA)
+			resp := dnsmsg.NewResponse(q, res.Answers)
+			qp := g.udpPacket(now, g.Env.DNSAddr, g.nextPort(), 53, q.Pack(), true)
+			now = now.Add(g.jitterDur(12*time.Millisecond, 4*time.Millisecond) + g.Env.Faults.ExtraRTT("dns|"+domain))
+			rp := g.udpPacket(now, g.Env.DNSAddr, qp.UDP.SrcPort, 53, resp.Pack(), false)
+			now = now.Add(g.jitterDur(3*time.Millisecond, time.Millisecond))
+			return res.Addr, append(pkts, qp, rp), now, nil
+		}
+		var de *faults.DNSError
+		if !errors.As(err, &de) {
+			// NXDOMAIN and friends: the query would be answered
+			// negatively; keep the historical behaviour (no packets).
+			return netip.Addr{}, pkts, now, fmt.Errorf("devices: resolving %q for %s: %w", domain, g.Inst.ID(), err)
+		}
+		// The query went out and the answer went missing (or came back
+		// SERVFAIL); emit what the capture would show and back off.
+		g.dnsID++
+		q := dnsmsg.NewQuery(g.dnsID, domain, dnsmsg.TypeA)
+		qp := g.udpPacket(now, g.Env.DNSAddr, g.nextPort(), 53, q.Pack(), true)
+		pkts = append(pkts, qp)
+		if de.Outcome == faults.DNSServFail {
+			now = now.Add(g.jitterDur(12*time.Millisecond, 4*time.Millisecond))
+			fail := dnsmsg.NewResponse(q, nil)
+			fail.RCode = dnsmsg.RCodeServFail
+			pkts = append(pkts, g.udpPacket(now, g.Env.DNSAddr, qp.UDP.SrcPort, 53, fail.Pack(), false))
+			now = now.Add(250 * time.Millisecond << attempt)
+		} else {
+			// Timeout: the stub waits out its timer, doubling each try.
+			now = now.Add(time.Second << attempt)
+		}
 	}
-	g.resolved[ep.Domain] = res
-	g.dnsID++
-	q := dnsmsg.NewQuery(g.dnsID, ep.Domain, dnsmsg.TypeA)
-	resp := dnsmsg.NewResponse(q, res.Answers)
-	qp := g.udpPacket(now, g.Env.DNSAddr, g.nextPort(), 53, q.Pack(), true)
-	now = now.Add(g.jitterDur(12*time.Millisecond, 4*time.Millisecond))
-	rp := g.udpPacket(now, g.Env.DNSAddr, qp.UDP.SrcPort, 53, resp.Pack(), false)
-	now = now.Add(g.jitterDur(3*time.Millisecond, time.Millisecond))
-	return res.Addr, []*netx.Packet{qp, rp}, now, nil
+	if allowFallback {
+		// Exhausted retries: try the vendor's hard-coded fallback
+		// endpoint (same SLD, so it reaches the same organisation).
+		g.Env.Faults.CountDNSFallback()
+		addr, fpkts, end, err := g.resolveDomain("fallback."+domain, now, false)
+		pkts = append(pkts, fpkts...)
+		if err == nil {
+			// Future flows to the primary name reuse this answer, as a
+			// device caching its fallback would.
+			g.resolved[domain] = g.resolved["fallback."+domain]
+			return addr, pkts, end, nil
+		}
+		now = end
+	}
+	return netip.Addr{}, pkts, now, fmt.Errorf("devices: resolving %q for %s: DNS retries exhausted", domain, g.Inst.ID())
 }
 
 // udpPacket builds one UDP packet between device and a remote address.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/neu-sns/intl-iot-go/internal/faults"
 	"github.com/neu-sns/intl-iot-go/internal/httpmsg"
 	"github.com/neu-sns/intl-iot-go/internal/netx"
 	"github.com/neu-sns/intl-iot-go/internal/tlsmsg"
@@ -59,9 +60,17 @@ func (g *Gen) ntpFlow(addr netipAddr, now time.Time) ([]*netx.Packet, time.Time)
 	return []*netx.Packet{q, r}, now.Add(time.Millisecond)
 }
 
+// flowKey identifies one flow for the fault engine; it folds in enough
+// context (instance, column, endpoint, port, start time) that every flow
+// in a campaign gets its own deterministic fault stream.
+func (g *Gen) flowKey(epKey string, port uint16, start time.Time) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%d", g.Inst.ID(), g.Env.Column(), epKey, port, start.UnixNano())
+}
+
 func (g *Gen) udpFlow(ep *Endpoint, addr netipAddr, s Signature, now time.Time, leak string) ([]*netx.Packet, time.Time) {
 	port := g.nextPort()
 	n := g.drawCount(s)
+	loss := g.Env.Faults.Loss(g.flowKey(ep.Key, port, now))
 	var pkts []*netx.Packet
 	for i := 0; i < n; i++ {
 		size := g.drawSize(s)
@@ -81,7 +90,11 @@ func (g *Gen) udpFlow(ep *Endpoint, addr netipAddr, s Signature, now time.Time, 
 			} else {
 				resp = g.randomPayload(respSize)
 			}
-			pkts = append(pkts, g.udpPacket(now, addr, port, ep.Port, resp, false))
+			// A dropped UDP response simply never arrives: no
+			// retransmission, the device capture just misses it.
+			if !loss.Drop() {
+				pkts = append(pkts, g.udpPacket(now, addr, port, ep.Port, resp, false))
+			}
 			now = now.Add(g.drawIAT(s) / 2)
 		}
 	}
@@ -102,6 +115,7 @@ func (g *Gen) quicFlow(ep *Endpoint, addr netipAddr, s Signature, now time.Time)
 	pkts = append(pkts, g.udpPacket(now, addr, port, ep.Port, resp, false))
 	now = now.Add(g.drawIAT(s) / 2)
 	n := g.drawCount(s)
+	loss := g.Env.Faults.Loss(g.flowKey(ep.Key, port, now))
 	for i := 0; i < n; i++ {
 		d := g.randomPayload(g.drawSize(s))
 		d[0] = 0x43 // short header
@@ -110,7 +124,11 @@ func (g *Gen) quicFlow(ep *Endpoint, addr netipAddr, s Signature, now time.Time)
 		if g.Env.Rng.Float64() < minF(s.DownFactor, 1) {
 			r := g.randomPayload(g.drawSize(s))
 			r[0] = 0x43
-			pkts = append(pkts, g.udpPacket(now, addr, port, ep.Port, r, false))
+			// QUIC recovers lost data internally; the capture just
+			// misses the dropped datagram.
+			if !loss.Drop() {
+				pkts = append(pkts, g.udpPacket(now, addr, port, ep.Port, r, false))
+			}
 			now = now.Add(g.drawIAT(s) / 2)
 		}
 	}
@@ -118,31 +136,96 @@ func (g *Gen) quicFlow(ep *Endpoint, addr netipAddr, s Signature, now time.Time)
 }
 
 // tcpFlow emits handshake, protocol-specific data phase, and teardown.
+// Under a fault engine it also emits the failure signatures real captures
+// contain: refused/blackholed connection attempts with SYN retries,
+// RTO-spaced duplicate segments where packets were lost, and mid-flow
+// server resets answered by a fresh TCP (and, for TLS wires, TLS)
+// handshake. With a nil engine the output is bit-identical to the
+// fault-free generator.
 func (g *Gen) tcpFlow(ep *Endpoint, addr netipAddr, s Signature, now time.Time, leak string) ([]*netx.Packet, time.Time) {
 	port := g.nextPort()
 	var pkts []*netx.Packet
 	seqUp, seqDown := uint32(g.Env.Rng.Int31()), uint32(g.Env.Rng.Int31())
 
+	fe := g.Env.Faults
+	key := g.flowKey(ep.Key, port, now)
+	loss := fe.Loss(key)
+	rtt := 18*time.Millisecond + fe.ExtraRTT(key)
+	rto := 200*time.Millisecond + 2*rtt
+
 	add := func(flags uint8, payload []byte, up bool) {
-		var p *netx.Packet
+		build := func() *netx.Packet {
+			if up {
+				return g.tcpPacket(now, addr, port, ep.Port, flags, seqUp, seqDown, payload, true)
+			}
+			return g.tcpPacket(now, addr, port, ep.Port, flags, seqDown, seqUp, payload, false)
+		}
+		if len(payload) > 0 && loss.Drop() {
+			if up {
+				// The device's segment dies upstream: the capture holds
+				// the original and, one RTO later, a duplicate carrying
+				// the same sequence number.
+				pkts = append(pkts, build())
+				now = now.Add(rto)
+			} else {
+				// Downstream loss: only the server's retransmission
+				// ever reaches the capture point.
+				now = now.Add(rto)
+			}
+			fe.CountRetransmission()
+		}
+		pkts = append(pkts, build())
 		if up {
-			p = g.tcpPacket(now, addr, port, ep.Port, flags, seqUp, seqDown, payload, true)
 			seqUp += uint32(len(payload))
 			if flags&(netx.TCPSyn|netx.TCPFin) != 0 {
 				seqUp++
 			}
 		} else {
-			p = g.tcpPacket(now, addr, port, ep.Port, flags, seqDown, seqUp, payload, false)
 			seqDown += uint32(len(payload))
 			if flags&(netx.TCPSyn|netx.TCPFin) != 0 {
 				seqDown++
 			}
 		}
-		pkts = append(pkts, p)
 	}
 
-	rtt := 18 * time.Millisecond
 	step := func(d time.Duration) { now = now.Add(d) }
+
+	// Connection attempts: a down or refusing server answers the SYN
+	// with a RST (or nothing); the device backs off, re-tries from a
+	// fresh port, and after three attempts gives up, leaving only the
+	// half-open flow in the capture.
+	if fe.Enabled() {
+		dom := ep.Domain
+		if dom == "" {
+			dom = ep.Key
+		}
+		for attempt := 0; ; attempt++ {
+			out := fe.Conn(dom, g.Env.VPN, now, attempt)
+			if out == faults.ConnOK {
+				break
+			}
+			pkts = append(pkts, g.tcpPacket(now, addr, port, ep.Port, netx.TCPSyn, seqUp, 0, nil, true))
+			if out == faults.ConnRefused {
+				step(rtt)
+				pkts = append(pkts, g.tcpPacket(now, addr, port, ep.Port, netx.TCPRst|netx.TCPAck, 0, seqUp+1, nil, false))
+				step(500 * time.Millisecond << attempt)
+			} else {
+				// Blackholed: kernel-style SYN retransmissions, then
+				// this attempt times out.
+				for _, d := range []time.Duration{time.Second, 2 * time.Second} {
+					step(d)
+					pkts = append(pkts, g.tcpPacket(now, addr, port, ep.Port, netx.TCPSyn, seqUp, 0, nil, true))
+					fe.CountRetransmission()
+				}
+				step(2 * time.Second)
+			}
+			if attempt == 2 {
+				return pkts, now
+			}
+			port = g.nextPort()
+			seqUp = uint32(g.Env.Rng.Int31())
+		}
+	}
 
 	// Handshake.
 	add(netx.TCPSyn, nil, true)
@@ -152,7 +235,43 @@ func (g *Gen) tcpFlow(ep *Endpoint, addr netipAddr, s Signature, now time.Time, 
 	add(netx.TCPAck, nil, true)
 	step(2 * time.Millisecond)
 
+	n := g.drawCount(s)
+
+	// Mid-flow server reset: after resetAt uplink segments the server
+	// aborts and the device reconnects — new port, new handshake, and an
+	// abbreviated TLS resumption on TLS wires.
+	resetAt, hasReset := fe.ResetAfter(key, n)
+	ups := 0
+	maybeReset := func() {
+		if !hasReset || ups != resetAt {
+			return
+		}
+		hasReset = false
+		add(netx.TCPRst|netx.TCPAck, nil, false)
+		step(200 * time.Millisecond)
+		port = g.nextPort()
+		seqUp, seqDown = uint32(g.Env.Rng.Int31()), uint32(g.Env.Rng.Int31())
+		add(netx.TCPSyn, nil, true)
+		step(rtt)
+		add(netx.TCPSyn|netx.TCPAck, nil, false)
+		step(2 * time.Millisecond)
+		add(netx.TCPAck, nil, true)
+		step(2 * time.Millisecond)
+		if ep.Wire == WireTLS || ep.Wire == WireHTTPS {
+			ch := &tlsmsg.ClientHello{ServerName: ep.Domain}
+			g.Env.Rng.Read(ch.Random[:])
+			add(netx.TCPPsh|netx.TCPAck, ch.Marshal(), true)
+			step(rtt)
+			sh := &tlsmsg.ServerHello{CipherSuite: 0xc02f}
+			g.Env.Rng.Read(sh.Random[:])
+			add(netx.TCPPsh|netx.TCPAck, sh.Marshal(), false)
+			step(2 * time.Millisecond)
+		}
+	}
+
 	emitUp := func(payload []byte) {
+		maybeReset()
+		ups++
 		add(netx.TCPPsh|netx.TCPAck, payload, true)
 		step(g.drawIAT(s))
 	}
@@ -160,8 +279,6 @@ func (g *Gen) tcpFlow(ep *Endpoint, addr netipAddr, s Signature, now time.Time, 
 		add(netx.TCPPsh|netx.TCPAck, payload, false)
 		step(g.drawIAT(s) / 2)
 	}
-
-	n := g.drawCount(s)
 	switch ep.Wire {
 	case WireTLS, WireHTTPS:
 		g.tlsPhase(ep, s, n, leak, emitUp, emitDown)

@@ -10,6 +10,7 @@ import (
 
 	"github.com/neu-sns/intl-iot-go/internal/cloud"
 	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/faults"
 	"github.com/neu-sns/intl-iot-go/internal/obs"
 	"github.com/neu-sns/intl-iot-go/internal/testbed"
 )
@@ -36,6 +37,15 @@ type Config struct {
 	// Results stream to the visitor in a deterministic order regardless
 	// of the worker count, so analyses are reproducible.
 	Workers int
+	// FaultProfile names a built-in network-impairment profile
+	// (faults.ByName); empty or "clean" runs the campaign over a
+	// perfect network, byte-identical to campaigns from before fault
+	// injection existed.
+	FaultProfile string
+	// FaultSeed seeds the impairment engine; 0 reuses Seed. For a fixed
+	// (FaultProfile, FaultSeed) pair the campaign is byte-identical
+	// run-to-run.
+	FaultSeed int64
 }
 
 // PaperConfig reproduces the paper's experiment counts.
@@ -78,6 +88,9 @@ type Runner struct {
 	// instrumentation site below is nil-safe, so a disabled runner pays
 	// only nil checks.
 	metrics *obs.Registry
+
+	// faultEng is nil unless Cfg names a non-clean fault profile.
+	faultEng *faults.Engine
 }
 
 // SetObs attaches a metrics registry to the runner, both labs and the
@@ -90,15 +103,31 @@ func (r *Runner) SetObs(reg *obs.Registry) {
 	r.US.SetObs(reg)
 	r.UK.SetObs(reg)
 	r.US.Internet.SetObs(reg) // shared with r.UK
+	r.faultEng.SetObs(reg)    // nil-safe: no-op without a fault profile
 }
+
+// Faults returns the campaign's impairment engine (nil for a clean run).
+func (r *Runner) Faults() *faults.Engine { return r.faultEng }
 
 // Internet exposes the simulated server side both labs talk to; the
 // analysis pipeline needs it to geolocate and classify destinations.
 func (r *Runner) Internet() *cloud.Internet { return r.US.Internet }
 
-// NewRunner builds both labs over a shared simulated Internet.
+// NewRunner builds both labs over a shared simulated Internet. A
+// non-clean Cfg.FaultProfile attaches a deterministic impairment engine
+// to the Internet and both labs; the clean profile attaches nothing and
+// leaves every code path byte-identical to a pre-fault-injection run.
 func NewRunner(cfg Config) (*Runner, error) {
 	internet := cloud.New()
+	prof, err := faults.ByName(cfg.FaultProfile)
+	if err != nil {
+		return nil, err
+	}
+	fseed := cfg.FaultSeed
+	if fseed == 0 {
+		fseed = cfg.Seed
+	}
+	eng := faults.New(prof, fseed)
 	us, err := testbed.NewLab(devices.LabUS, internet, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -107,7 +136,13 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{US: us, UK: uk, Cfg: cfg}, nil
+	if eng.Enabled() {
+		internet.SetFaults(eng)
+		internet.SetSeed(fseed)
+		us.SetFaults(eng)
+		uk.SetFaults(eng)
+	}
+	return &Runner{US: us, UK: uk, Cfg: cfg, faultEng: eng}, nil
 }
 
 // Visitor consumes one experiment at a time.

@@ -1,0 +1,30 @@
+// Package faults is a seeded, deterministic network-impairment engine
+// for the simulated measurement campaign.
+//
+// The paper's measurements ran over real, imperfect networks: lossy home
+// uplinks, a site-to-site VPN that can flap, cloud endpoints that time
+// out or refuse connections. This package reproduces those conditions as
+// composable fault profiles — Gilbert–Elliott burst packet loss, added
+// latency and jitter, DNS SERVFAIL/timeouts, per-organisation server
+// outages, mid-flow connection resets and VPN tunnel flaps — which the
+// simulated Internet (internal/cloud), the device traffic generators
+// (internal/devices) and the WAN eavesdropper view (internal/testbed)
+// consult on every simulated exchange.
+//
+// Two properties are load-bearing:
+//
+//   - Determinism. Every decision is a pure hash of (seed, decision key):
+//     no shared mutable RNG, no wall clock. A fixed (profile, seed) pair
+//     produces byte-identical captures and report tables on every run,
+//     regardless of how the campaign's worker pool schedules synthesis.
+//
+//   - Nil safety. New returns a nil *Engine for the zero (clean) profile
+//     and every method is a no-op on nil, mirroring internal/obs. The
+//     fault-free pipeline therefore takes exactly its historical code
+//     path and stays byte-identical to output from before this package
+//     existed.
+//
+// Fault decisions are counted per kind in an internal/obs registry
+// (faults_* counters) when SetObs is called, so a campaign's metrics
+// snapshot shows how much impairment it actually experienced.
+package faults

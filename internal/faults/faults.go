@@ -1,0 +1,379 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/obs"
+)
+
+// Engine is a seeded, deterministic network-impairment engine. The
+// simulated Internet, the testbed WAN and the device traffic generators
+// consult it on every simulated exchange; it answers from pure hashes of
+// (seed, decision key), so outcomes are reproducible run-to-run and
+// independent of goroutine scheduling — the parallel campaign runner can
+// synthesize device legs in any order and still produce byte-identical
+// captures for a fixed (profile, seed) pair.
+//
+// A nil *Engine is valid everywhere and disables every impairment, the
+// same convention internal/obs uses for its registry: fault-free runs pay
+// only nil checks and keep their historical byte-identical output.
+type Engine struct {
+	prof Profile
+	seed int64
+
+	// Per-fault-kind counters (nil until SetObs; nil-safe).
+	dnsServFail *obs.Counter
+	dnsTimeout  *obs.Counter
+	connRefused *obs.Counter
+	connTimeout *obs.Counter
+	connReset   *obs.Counter
+	pktsDropped *obs.Counter
+	retx        *obs.Counter
+	vpnDown     *obs.Counter
+	dnsFallback *obs.Counter
+	wanDropped  *obs.Counter
+	extraRTTNS  *obs.Counter
+}
+
+// New builds an engine for a profile. A zero (clean) profile returns nil:
+// the disabled engine, guaranteeing the no-faults code path bit for bit.
+func New(prof Profile, seed int64) *Engine {
+	if prof.Zero() {
+		return nil
+	}
+	return &Engine{prof: prof, seed: seed}
+}
+
+// Enabled reports whether any impairment is active.
+func (e *Engine) Enabled() bool { return e != nil }
+
+// Profile returns the engine's profile (the zero Profile when disabled).
+func (e *Engine) Profile() Profile {
+	if e == nil {
+		return Profile{}
+	}
+	return e.prof
+}
+
+// Seed returns the engine's seed (0 when disabled).
+func (e *Engine) Seed() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.seed
+}
+
+// SetObs attaches a metrics registry; every fault decision is then
+// counted under the faults_* names. Call before running experiments (the
+// counters are written concurrently by synthesis workers).
+func (e *Engine) SetObs(reg *obs.Registry) {
+	if e == nil {
+		return
+	}
+	e.dnsServFail = reg.Counter("faults_dns_servfail_total")
+	e.dnsTimeout = reg.Counter("faults_dns_timeout_total")
+	e.connRefused = reg.Counter("faults_conn_refused_total")
+	e.connTimeout = reg.Counter("faults_conn_timeout_total")
+	e.connReset = reg.Counter("faults_conn_reset_total")
+	e.pktsDropped = reg.Counter("faults_pkts_dropped_total")
+	e.retx = reg.Counter("faults_retransmissions_total")
+	e.vpnDown = reg.Counter("faults_vpn_down_exchanges_total")
+	e.dnsFallback = reg.Counter("faults_dns_fallback_total")
+	e.wanDropped = reg.Counter("faults_wan_pkts_dropped_total")
+	e.extraRTTNS = reg.Counter("faults_extra_rtt_ns_total")
+}
+
+// --- deterministic draw machinery ---
+
+// hash64 folds the seed and a set of string keys into one 64-bit value
+// (FNV-1a over the seed bytes then each key, separated so "ab","c" and
+// "a","bc" differ).
+func (e *Engine) hash64(keys ...string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	s := uint64(e.seed)
+	for i := 0; i < 8; i++ {
+		h ^= (s >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= prime64
+		}
+		h ^= 0x1f // key separator
+		h *= prime64
+	}
+	return h
+}
+
+// u01 returns a deterministic draw in [0, 1) for a decision key.
+func (e *Engine) u01(keys ...string) float64 {
+	return float64(e.hash64(keys...)>>11) / float64(1<<53)
+}
+
+// splitmix64 advances a 64-bit PRNG state; used for per-flow loss chains.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// --- DNS faults ---
+
+// DNSOutcome is the fate of one DNS query attempt.
+type DNSOutcome int
+
+const (
+	DNSOK DNSOutcome = iota
+	// DNSServFail means the resolver answered SERVFAIL.
+	DNSServFail
+	// DNSTimeout means no answer came back at all.
+	DNSTimeout
+)
+
+// String names the outcome.
+func (o DNSOutcome) String() string {
+	switch o {
+	case DNSServFail:
+		return "servfail"
+	case DNSTimeout:
+		return "timeout"
+	}
+	return "ok"
+}
+
+// DNSError is the typed resolution failure the simulated Internet returns
+// when the engine faults a query; device generators recognise it and
+// retry with backoff.
+type DNSError struct {
+	Query   string
+	Outcome DNSOutcome
+}
+
+func (e *DNSError) Error() string {
+	return fmt.Sprintf("faults: DNS %s for %q", e.Outcome, e.Query)
+}
+
+// DNS decides the fate of one query attempt for fqdn at time t. A VPN leg
+// whose tunnel is down at t times out regardless of the DNS spec.
+func (e *Engine) DNS(fqdn string, vpn bool, t time.Time, attempt int) DNSOutcome {
+	if e == nil {
+		return DNSOK
+	}
+	if vpn && e.TunnelDown(t) {
+		e.vpnDown.Inc()
+		e.dnsTimeout.Inc()
+		return DNSTimeout
+	}
+	key := fmt.Sprintf("%s|%d|%d", fqdn, t.UnixNano(), attempt)
+	u := e.u01("dns", key)
+	switch {
+	case u < e.prof.DNS.ServFail:
+		e.dnsServFail.Inc()
+		return DNSServFail
+	case u < e.prof.DNS.ServFail+e.prof.DNS.Timeout:
+		e.dnsTimeout.Inc()
+		return DNSTimeout
+	}
+	return DNSOK
+}
+
+// --- connection faults ---
+
+// ConnOutcome is the fate of one connection attempt.
+type ConnOutcome int
+
+const (
+	ConnOK ConnOutcome = iota
+	// ConnRefused means the server answered the SYN with a RST.
+	ConnRefused
+	// ConnTimeout means the SYN (or its answer) was blackholed.
+	ConnTimeout
+)
+
+// String names the outcome.
+func (o ConnOutcome) String() string {
+	switch o {
+	case ConnRefused:
+		return "refused"
+	case ConnTimeout:
+		return "timeout"
+	}
+	return "ok"
+}
+
+// Conn decides the fate of one connection attempt to a server keyed by
+// its domain. Outages are modelled per organisation key: an affected key
+// is down for OutageSpec.Down out of every OutageSpec.Period, with a
+// deterministic per-key phase, so repeated attempts during the same
+// window keep failing — exactly what drives realistic retry traces.
+func (e *Engine) Conn(domain string, vpn bool, t time.Time, attempt int) ConnOutcome {
+	if e == nil {
+		return ConnOK
+	}
+	if vpn && e.TunnelDown(t) {
+		e.vpnDown.Inc()
+		e.connTimeout.Inc()
+		return ConnTimeout
+	}
+	o := e.prof.Outage
+	if o.Frac <= 0 || o.Period <= 0 || o.Down <= 0 {
+		return ConnOK
+	}
+	if e.u01("outage-org", domain) >= o.Frac {
+		return ConnOK
+	}
+	phase := time.Duration(e.u01("outage-phase", domain) * float64(o.Period))
+	offset := (time.Duration(t.UnixNano()) + phase) % o.Period
+	if offset >= o.Down {
+		return ConnOK
+	}
+	_ = attempt // attempts within one window share its fate
+	window := int64(time.Duration(t.UnixNano())+phase) / int64(o.Period)
+	if e.u01("outage-mode", domain, fmt.Sprint(window)) < o.Refuse {
+		e.connRefused.Inc()
+		return ConnRefused
+	}
+	e.connTimeout.Inc()
+	return ConnTimeout
+}
+
+// ResetAfter reports whether the connection identified by flowKey is
+// reset by the server mid-flow, and after how many data exchanges. The
+// device reacts with a fresh TCP (and, for TLS endpoints, TLS) handshake
+// — the reconnect signature real captures contain. n is the planned
+// number of data exchanges.
+func (e *Engine) ResetAfter(flowKey string, n int) (int, bool) {
+	if e == nil || n < 2 || e.prof.ConnReset <= 0 {
+		return 0, false
+	}
+	if e.u01("reset", flowKey) >= e.prof.ConnReset {
+		return 0, false
+	}
+	at := 1 + int(e.u01("reset-at", flowKey)*float64(n-1))
+	e.connReset.Inc()
+	return at, true
+}
+
+// --- latency ---
+
+// ExtraRTT returns the additional round-trip latency injected into the
+// exchange identified by key: the profile's base plus a uniform jitter
+// draw. Returns 0 on a disabled engine.
+func (e *Engine) ExtraRTT(key string) time.Duration {
+	if e == nil {
+		return 0
+	}
+	l := e.prof.Latency
+	if l.Base <= 0 && l.Jitter <= 0 {
+		return 0
+	}
+	d := l.Base + time.Duration(e.u01("rtt", key)*float64(l.Jitter))
+	e.extraRTTNS.Add(int64(d))
+	return d
+}
+
+// --- packet loss ---
+
+// LossProc is a per-flow Gilbert–Elliott loss process: two states (good
+// and bad/burst) with per-packet transition probabilities and per-state
+// drop rates. Obtain one per flow via Engine.Loss; Drop must be called
+// once per data packet, in order. A nil *LossProc never drops.
+type LossProc struct {
+	e     *Engine
+	state uint64 // PRNG state
+	bad   bool
+}
+
+// Loss returns the loss process for a flow key. The chain is seeded by
+// (engine seed, flowKey), so the same flow sees the same drop pattern in
+// every run regardless of which worker synthesizes it.
+func (e *Engine) Loss(flowKey string) *LossProc {
+	if e == nil {
+		return nil
+	}
+	l := e.prof.Loss
+	if l.Good <= 0 && l.Bad <= 0 {
+		return nil
+	}
+	return &LossProc{e: e, state: e.hash64("loss", flowKey)}
+}
+
+// Drop decides the fate of the next data packet in the flow.
+func (p *LossProc) Drop() bool {
+	if p == nil {
+		return false
+	}
+	l := p.e.prof.Loss
+	u := func() float64 { return float64(splitmix64(&p.state)>>11) / float64(1<<53) }
+	if p.bad {
+		if u() < l.PBadGood {
+			p.bad = false
+		}
+	} else {
+		if u() < l.PGoodBad {
+			p.bad = true
+		}
+	}
+	rate := l.Good
+	if p.bad {
+		rate = l.Bad
+	}
+	if u() < rate {
+		p.e.pktsDropped.Inc()
+		return true
+	}
+	return false
+}
+
+// CountRetransmission records that a device emitted a retransmitted
+// segment in reaction to a drop.
+func (e *Engine) CountRetransmission() {
+	if e == nil {
+		return
+	}
+	e.retx.Inc()
+}
+
+// CountDNSFallback records that a device fell back to a secondary cloud
+// endpoint after exhausting DNS retries.
+func (e *Engine) CountDNSFallback() {
+	if e == nil {
+		return
+	}
+	e.dnsFallback.Inc()
+}
+
+// CountWANDrop records a packet lost between the gateway and the WAN
+// observer (it exists in the LAN capture but not in the eavesdropper's).
+func (e *Engine) CountWANDrop() {
+	if e == nil {
+		return
+	}
+	e.wanDropped.Inc()
+}
+
+// --- VPN tunnel flaps ---
+
+// TunnelDown reports whether the site-to-site VPN tunnel is down at t.
+// The flap schedule is periodic with a seed-derived phase, so both ends
+// (and both the synthesis and WAN-view sides) agree on the tunnel state.
+func (e *Engine) TunnelDown(t time.Time) bool {
+	if e == nil {
+		return false
+	}
+	v := e.prof.VPN
+	if v.Period <= 0 || v.Down <= 0 {
+		return false
+	}
+	phase := time.Duration(e.u01("vpn-phase") * float64(v.Period))
+	offset := (time.Duration(t.UnixNano()) + phase) % v.Period
+	return offset < v.Down
+}

@@ -1,0 +1,263 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/obs"
+)
+
+func TestCleanProfileDisablesEngine(t *testing.T) {
+	for _, name := range []string{"", "clean"} {
+		prof, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if !prof.Zero() {
+			t.Fatalf("ByName(%q) not zero: %+v", name, prof)
+		}
+		if e := New(prof, 42); e != nil {
+			t.Fatalf("New(clean) = %v, want nil", e)
+		}
+	}
+}
+
+func TestNilEngineIsInert(t *testing.T) {
+	var e *Engine
+	if e.Enabled() {
+		t.Fatal("nil engine reports enabled")
+	}
+	now := time.Unix(1000, 0)
+	if got := e.DNS("x.example.com", true, now, 0); got != DNSOK {
+		t.Fatalf("nil DNS = %v", got)
+	}
+	if got := e.Conn("x.example.com", true, now, 0); got != ConnOK {
+		t.Fatalf("nil Conn = %v", got)
+	}
+	if d := e.ExtraRTT("k"); d != 0 {
+		t.Fatalf("nil ExtraRTT = %v", d)
+	}
+	if p := e.Loss("k"); p != nil {
+		t.Fatalf("nil Loss = %v", p)
+	}
+	var lp *LossProc
+	if lp.Drop() {
+		t.Fatal("nil LossProc drops")
+	}
+	if _, ok := e.ResetAfter("k", 10); ok {
+		t.Fatal("nil ResetAfter fires")
+	}
+	if e.TunnelDown(now) {
+		t.Fatal("nil TunnelDown")
+	}
+	e.SetObs(nil)
+	e.CountRetransmission()
+	e.CountDNSFallback()
+	e.CountWANDrop()
+}
+
+func TestUnknownProfile(t *testing.T) {
+	if _, err := ByName("perfect-storm"); err == nil {
+		t.Fatal("ByName on unknown profile did not error")
+	}
+}
+
+func TestBuiltinsNonZero(t *testing.T) {
+	for _, name := range []string{"lossy-home", "flaky-vpn", "outage"} {
+		prof, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prof.Zero() {
+			t.Fatalf("%s is a zero profile", name)
+		}
+		if New(prof, 1) == nil {
+			t.Fatalf("New(%s) = nil", name)
+		}
+	}
+}
+
+// All decisions must be pure functions of (seed, key): same inputs, same
+// answers, across engines and across goroutines.
+func TestDeterminism(t *testing.T) {
+	prof, _ := ByName("lossy-home")
+	a := New(prof, 7)
+	b := New(prof, 7)
+	now := time.Unix(1234, 567)
+	for i := 0; i < 100; i++ {
+		key := string(rune('a' + i%26))
+		if a.DNS(key, false, now, i) != b.DNS(key, false, now, i) {
+			t.Fatal("DNS diverged")
+		}
+		if a.ExtraRTT(key) != b.ExtraRTT(key) {
+			t.Fatal("ExtraRTT diverged")
+		}
+	}
+	la, lb := a.Loss("flow-1"), b.Loss("flow-1")
+	for i := 0; i < 1000; i++ {
+		if la.Drop() != lb.Drop() {
+			t.Fatalf("loss chain diverged at packet %d", i)
+		}
+	}
+}
+
+func TestSeedChangesOutcomes(t *testing.T) {
+	prof, _ := ByName("lossy-home")
+	a, b := New(prof, 1), New(prof, 2)
+	same := 0
+	const n = 256
+	for i := 0; i < n; i++ {
+		if a.ExtraRTT(string(rune(i))) == b.ExtraRTT(string(rune(i))) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical jitter draws")
+	}
+}
+
+// Concurrent callers must see the same decisions as a serial caller —
+// the property that keeps the parallel campaign byte-identical.
+func TestConcurrentDeterminism(t *testing.T) {
+	prof, _ := ByName("outage")
+	e := New(prof, 99)
+	now := time.Unix(5000, 0)
+	serial := make([]ConnOutcome, 200)
+	for i := range serial {
+		serial[i] = e.Conn("org"+string(rune('a'+i%7))+".com", false, now.Add(time.Duration(i)*time.Second), 0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range serial {
+				got := e.Conn("org"+string(rune('a'+i%7))+".com", false, now.Add(time.Duration(i)*time.Second), 0)
+				if got != serial[i] {
+					t.Errorf("Conn(%d) = %v, want %v", i, got, serial[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// The Gilbert–Elliott chain must actually burst: drops under lossy-home
+// should cluster far more than independent loss at the same mean rate.
+func TestLossBurstiness(t *testing.T) {
+	prof, _ := ByName("lossy-home")
+	e := New(prof, 3)
+	const n = 200000
+	p := e.Loss("burst-test")
+	drops, runs, inRun, maxRun, run := 0, 0, false, 0, 0
+	for i := 0; i < n; i++ {
+		if p.Drop() {
+			drops++
+			run++
+			if !inRun {
+				runs++
+				inRun = true
+			}
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			inRun = false
+			run = 0
+		}
+	}
+	rate := float64(drops) / n
+	if rate < 0.005 || rate > 0.20 {
+		t.Fatalf("overall loss rate %.4f outside sane band", rate)
+	}
+	meanRun := float64(drops) / float64(runs)
+	if meanRun < 1.2 {
+		t.Fatalf("mean drop-run length %.2f — loss is not bursty", meanRun)
+	}
+	if maxRun < 3 {
+		t.Fatalf("max drop run %d — no bursts seen in %d packets", maxRun, n)
+	}
+}
+
+func TestOutageWindowsPersist(t *testing.T) {
+	prof, _ := ByName("outage")
+	e := New(prof, 11)
+	// Find a (domain, time) that is down, then verify nearby attempts in
+	// the same window fail identically.
+	base := time.Unix(0, 0)
+	for d := 0; d < 200; d++ {
+		dom := "dom" + string(rune('a'+d%26)) + string(rune('a'+d/26)) + ".com"
+		for s := 0; s < 1000; s += 10 {
+			at := base.Add(time.Duration(s) * time.Second)
+			if out := e.Conn(dom, false, at, 0); out != ConnOK {
+				for a := 1; a < 4; a++ {
+					if e.Conn(dom, false, at.Add(time.Duration(a)*time.Second), a) == ConnOK {
+						t.Fatalf("outage for %s cleared after %ds inside a 90s window", dom, a)
+					}
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no outage window found in 200 domains x 1000s")
+}
+
+func TestVPNFlapSchedule(t *testing.T) {
+	prof, _ := ByName("flaky-vpn")
+	e := New(prof, 5)
+	down := 0
+	const steps = 10000
+	for i := 0; i < steps; i++ {
+		if e.TunnelDown(time.Unix(int64(i*6), 0)) { // 6s steps over ~16h40m
+			down++
+		}
+	}
+	frac := float64(down) / steps
+	want := float64(prof.VPN.Down) / float64(prof.VPN.Period)
+	if frac < want/2 || frac > want*2 {
+		t.Fatalf("tunnel down %.3f of the time, want ~%.3f", frac, want)
+	}
+}
+
+func TestResetAfterBounds(t *testing.T) {
+	prof, _ := ByName("outage")
+	e := New(prof, 17)
+	fired := 0
+	for i := 0; i < 5000; i++ {
+		key := "flow" + string(rune(i))
+		if at, ok := e.ResetAfter(key, 8); ok {
+			fired++
+			if at < 1 || at >= 8 {
+				t.Fatalf("ResetAfter returned %d, want in [1,8)", at)
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("ConnReset=0.02 never fired in 5000 flows")
+	}
+}
+
+func TestObsCounters(t *testing.T) {
+	prof, _ := ByName("lossy-home")
+	e := New(prof, 23)
+	reg := obs.NewRegistry()
+	e.SetObs(reg)
+	now := time.Unix(777, 0)
+	for i := 0; i < 2000; i++ {
+		e.DNS("host.example.com", false, now.Add(time.Duration(i)*time.Second), 0)
+	}
+	p := e.Loss("ctr")
+	for i := 0; i < 2000; i++ {
+		p.Drop()
+	}
+	total := reg.Counter("faults_dns_servfail_total").Value() +
+		reg.Counter("faults_dns_timeout_total").Value()
+	if total == 0 {
+		t.Fatal("no DNS faults counted in 2000 draws at 4% rate")
+	}
+	if reg.Counter("faults_pkts_dropped_total").Value() == 0 {
+		t.Fatal("no packet drops counted")
+	}
+}

@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// LossSpec parameterises a Gilbert–Elliott packet-loss process: two
+// states, good and bad (burst), with per-packet transition probabilities
+// and a per-state drop rate. Independent (uncorrelated) loss is the
+// special case PGoodBad = 0 with Good > 0.
+type LossSpec struct {
+	PGoodBad float64 // P(good → bad) per packet
+	PBadGood float64 // P(bad → good) per packet
+	Good     float64 // drop rate in the good state
+	Bad      float64 // drop rate in the bad state
+}
+
+// LatencySpec adds latency to every affected exchange: a fixed base plus
+// a uniform per-flow jitter in [0, Jitter).
+type LatencySpec struct {
+	Base   time.Duration
+	Jitter time.Duration
+}
+
+// DNSSpec gives per-query-attempt fault probabilities.
+type DNSSpec struct {
+	ServFail float64 // resolver answers SERVFAIL
+	Timeout  float64 // no answer at all
+}
+
+// OutageSpec models per-organisation server outages: Frac of the org keys
+// are affected; an affected key is down for Down out of every Period,
+// with a deterministic per-key phase. Refuse is the probability a down
+// window answers connections with RST instead of blackholing them.
+type OutageSpec struct {
+	Frac   float64
+	Period time.Duration
+	Down   time.Duration
+	Refuse float64
+}
+
+// VPNSpec models site-to-site tunnel flaps: the tunnel is down for Down
+// out of every Period (phase derived from the seed).
+type VPNSpec struct {
+	Period time.Duration
+	Down   time.Duration
+}
+
+// Profile is a composable set of impairments. The zero value means a
+// perfect network; New returns a nil (disabled) Engine for it.
+type Profile struct {
+	Name      string
+	Loss      LossSpec
+	Latency   LatencySpec
+	DNS       DNSSpec
+	Outage    OutageSpec
+	ConnReset float64 // per-flow probability of a mid-flow server reset
+	VPN       VPNSpec
+}
+
+// Zero reports whether the profile impairs nothing (the name is ignored:
+// a named clean profile is still clean).
+func (p Profile) Zero() bool {
+	return p.Loss == LossSpec{} &&
+		p.Latency == LatencySpec{} &&
+		p.DNS == DNSSpec{} &&
+		p.Outage == OutageSpec{} &&
+		p.ConnReset == 0 &&
+		p.VPN == VPNSpec{}
+}
+
+// Built-in profiles. Rates are chosen so that a tiny/quick campaign sees
+// each fault kind in action without drowning the signal the analyses
+// measure: devices still reach their clouds, the report tables still
+// fill, but the captures carry retransmissions, SERVFAIL retries,
+// reconnects and (under flaky-vpn) tunnel gaps.
+var builtins = []Profile{
+	{
+		// clean: the explicit no-impairment profile; byte-identical to
+		// running without -faults at all.
+		Name: "clean",
+	},
+	{
+		// lossy-home: a congested residential uplink. Bursty loss
+		// (~1% background, ~30% in bursts that last ~10 packets),
+		// moderate bufferbloat latency, occasional resolver hiccups.
+		Name: "lossy-home",
+		Loss: LossSpec{PGoodBad: 0.02, PBadGood: 0.10, Good: 0.01, Bad: 0.30},
+		Latency: LatencySpec{
+			Base:   8 * time.Millisecond,
+			Jitter: 40 * time.Millisecond,
+		},
+		DNS:       DNSSpec{ServFail: 0.02, Timeout: 0.02},
+		ConnReset: 0.01,
+	},
+	{
+		// flaky-vpn: the site-to-site tunnel drops for ~45 s out of
+		// every 10 min; light loss rides along on the re-established
+		// path.
+		Name: "flaky-vpn",
+		Loss: LossSpec{PGoodBad: 0.005, PBadGood: 0.20, Good: 0.002, Bad: 0.10},
+		VPN: VPNSpec{
+			Period: 10 * time.Minute,
+			Down:   45 * time.Second,
+		},
+	},
+	{
+		// outage: a quarter of cloud organisations suffer rolling
+		// outages (90 s down per 15 min window, half refusing and half
+		// blackholing), plus matching resolver trouble.
+		Name: "outage",
+		Outage: OutageSpec{
+			Frac:   0.25,
+			Period: 15 * time.Minute,
+			Down:   90 * time.Second,
+			Refuse: 0.5,
+		},
+		DNS:       DNSSpec{ServFail: 0.03, Timeout: 0.03},
+		ConnReset: 0.02,
+	},
+}
+
+// ByName returns a built-in profile. The empty name is the clean profile.
+func ByName(name string) (Profile, error) {
+	if name == "" {
+		return Profile{Name: "clean"}, nil
+	}
+	for _, p := range builtins {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("faults: unknown profile %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names lists the built-in profile names, sorted.
+func Names() []string {
+	names := make([]string, len(builtins))
+	for i, p := range builtins {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -71,6 +71,29 @@ func (r Report) String() string {
 		r.Skips.DecodeErrors, r.Skips.BadFiles)
 }
 
+// Strict returns an error when the run skipped anything CI should not
+// silently accept — truncated files, unidentifiable devices, unlabeled
+// packets, undecodable records or unreadable files — listing every
+// non-zero reason with its count. cmd/moniotr's -strict flag promotes
+// this to a non-zero exit.
+func (r Report) Strict() error {
+	var parts []string
+	add := func(n int, reason string) {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, reason))
+		}
+	}
+	add(r.Skips.TruncatedFiles, "truncated file(s)")
+	add(r.Skips.UnknownDevice, "unknown-device file(s)")
+	add(r.Skips.UnlabeledPackets, "unlabeled packet(s)")
+	add(r.Skips.DecodeErrors, "undecodable record(s)")
+	add(r.Skips.BadFiles, "unreadable file(s)")
+	if len(parts) == 0 {
+		return nil
+	}
+	return fmt.Errorf("ingest: strict mode: skipped %s", strings.Join(parts, ", "))
+}
+
 // Source replays a capture directory as an experiment stream. It
 // implements analysis.Source; hand it to analysis.NewPipeline (or
 // intliot.NewStudyFromSource) in place of the synthesis runner. Each

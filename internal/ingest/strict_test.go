@@ -1,0 +1,40 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStrictCleanReportIsNil(t *testing.T) {
+	rep := Report{Files: 12, Records: 3400, Experiments: 12}
+	if err := rep.Strict(); err != nil {
+		t.Fatalf("clean report must pass strict mode, got %v", err)
+	}
+}
+
+func TestStrictListsEveryNonZeroReason(t *testing.T) {
+	rep := Report{
+		Files: 5,
+		Skips: SkipReport{
+			TruncatedFiles:   2,
+			UnlabeledPackets: 17,
+			BadFiles:         1,
+		},
+	}
+	err := rep.Strict()
+	if err == nil {
+		t.Fatal("report with skips must fail strict mode")
+	}
+	msg := err.Error()
+	for _, want := range []string{"2 truncated", "17 unlabeled", "1 unreadable"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("strict error %q missing %q", msg, want)
+		}
+	}
+	// Zero-count reasons must not clutter the summary.
+	for _, absent := range []string{"unknown-device", "undecodable"} {
+		if strings.Contains(msg, absent) {
+			t.Errorf("strict error %q lists zero-count reason %q", msg, absent)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"github.com/neu-sns/intl-iot-go/internal/cloud"
 	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/faults"
 	"github.com/neu-sns/intl-iot-go/internal/netx"
 	"github.com/neu-sns/intl-iot-go/internal/obs"
 	"github.com/neu-sns/intl-iot-go/internal/pcapio"
@@ -37,6 +38,10 @@ type Lab struct {
 
 	slots []*DeviceSlot
 	seed  int64
+
+	// faultEng injects network impairments into synthesis and the WAN
+	// view; nil means a perfect network (the historical behaviour).
+	faultEng *faults.Engine
 
 	// Synthesis volume counters (nil until SetObs; nil-safe).
 	pktsSynth  *obs.Counter
@@ -105,6 +110,14 @@ func (l *Lab) countSynth(exp *Experiment) {
 	l.bytesSynth.Add(int64(exp.Bytes()))
 }
 
+// SetFaults attaches a network-impairment engine to the lab; device
+// generators and the WAN view then consult it on every exchange. Call
+// before running experiments. A nil engine restores the perfect network.
+func (l *Lab) SetFaults(e *faults.Engine) { l.faultEng = e }
+
+// Faults returns the lab's impairment engine (nil when disabled).
+func (l *Lab) Faults() *faults.Engine { return l.faultEng }
+
 // Slots returns the attached devices.
 func (l *Lab) Slots() []*DeviceSlot { return l.slots }
 
@@ -138,10 +151,11 @@ func (l *Lab) Column(vpn bool) string {
 func (l *Lab) env(slot *DeviceSlot, vpn bool, rng *rand.Rand) *devices.Env {
 	egress := l.Egress(vpn)
 	return &devices.Env{
-		Lookup: func(fqdn string) (cloud.Resolution, error) {
-			return l.Internet.Lookup(fqdn, egress)
+		Lookup: func(fqdn string, t time.Time, attempt int) (cloud.Resolution, error) {
+			return l.Internet.Resolve(fqdn, egress, cloud.ResolveOpts{VPN: vpn, Time: t, Attempt: attempt})
 		},
 		Peer:       l.Internet.ResidentialPeer,
+		Faults:     l.faultEng,
 		DeviceIP:   slot.IP,
 		GatewayIP:  l.GatewayIP,
 		DNSAddr:    l.GatewayIP,

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"net/netip"
 
+	"github.com/neu-sns/intl-iot-go/internal/faults"
 	"github.com/neu-sns/intl-iot-go/internal/netx"
 )
 
@@ -52,8 +53,18 @@ func natPort(devIP netip.Addr, devPort uint16, proto uint8) uint16 {
 //     and timing — destinations are hidden, but the traffic *shape*
 //     survives, which is exactly why the paper's timing-feature
 //     classifier still works across egress configurations (§6.1).
+//
+// With a fault engine attached to the lab, the WAN view is additionally
+// impaired: datagrams vanish while the VPN tunnel is flapped down, and a
+// WAN-side Gilbert–Elliott loss process thins the observer's capture —
+// packets the LAN capture holds that never reached the ISP's tap.
 func WANView(l *Lab, exp *Experiment) []*netx.Packet {
 	pub := l.PublicIP()
+	var wanLoss *faults.LossProc
+	if l.faultEng.Enabled() {
+		wanLoss = l.faultEng.Loss(fmt.Sprintf("wan|%s|%s|%s|%d",
+			l.Name, exp.Device.ID(), exp.Activity, exp.Start.UnixNano()))
+	}
 	var out []*netx.Packet
 	for _, p := range exp.Packets {
 		dst, ok := p.NetworkDst()
@@ -66,7 +77,16 @@ func WANView(l *Lab, exp *Experiment) []*netx.Packet {
 		}
 		up := l.Subnet.Contains(src)
 		if exp.VPN {
+			if l.faultEng.TunnelDown(p.Meta.Timestamp) {
+				// Tunnel flapped: the datagram never crosses the WAN.
+				l.faultEng.CountWANDrop()
+				continue
+			}
 			out = append(out, l.tunnelPacket(p, up))
+			continue
+		}
+		if len(p.Payload) > 0 && wanLoss.Drop() {
+			l.faultEng.CountWANDrop()
 			continue
 		}
 		q := clonePacket(p)
