@@ -25,12 +25,18 @@ race:
 
 # Focused race gate over the concurrency-heavy packages: the impairment
 # engine (consulted from parallel lab goroutines), the shared cloud
-# model, and the campaign runner that fans out across labs.
+# model, the campaign runner that fans out across labs, the parallel
+# forest trainer, and the sharded collector stage.
 racecore:
-	$(GO) test -race ./internal/faults/... ./internal/cloud/... ./internal/experiments/...
+	$(GO) test -race ./internal/faults/... ./internal/cloud/... ./internal/experiments/... \
+		./internal/ml/... ./internal/analysis/...
 
+# Benchmark sweep (-run '^$$' skips the test suites): the root table
+# harness — which also refreshes BENCH_pipeline.json with the campaign's
+# stage wall times and throughput — plus the forest-training and
+# collector-stage benchmarks that record the parallel speedup.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/ml ./internal/analysis
 
 # Run every pcap-parsing fuzzer briefly; the seed corpus plus a few
 # seconds of mutation catches framing regressions without CI-scale cost.

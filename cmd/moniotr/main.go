@@ -6,7 +6,7 @@
 //
 //	moniotr [-scale tiny|quick|bench|paper] [-csv dir] [-tables 2,5,11] [-skip-uncontrolled]
 //	        [-export-captures dir] [-ingest dir] [-strict] [-metrics out.json] [-pprof :6060]
-//	        [-faults clean|lossy-home|flaky-vpn|outage] [-fault-seed n]
+//	        [-faults clean|lossy-home|flaky-vpn|outage] [-fault-seed n] [-analysis-workers n]
 //
 // With -export-captures the campaign is additionally written to disk as
 // a Mon(IoT)r-style capture directory (per-device pcaps + label
@@ -29,6 +29,11 @@
 // the flag. With -strict an ingest run exits non-zero if anything was
 // count-and-skipped (truncated files, unknown devices, unlabeled
 // packets), for CI gating.
+//
+// -analysis-workers bounds the analysis-side parallelism (sharded
+// collectors, forest training, model evaluation); 0 means one worker per
+// core and 1 forces the historical serial pipeline. Every table is
+// byte-identical for any value — the flag trades wall time only.
 package main
 
 import (
@@ -59,6 +64,7 @@ func main() {
 	faultProfile := flag.String("faults", "", "run the campaign under a network-impairment profile (clean, lossy-home, flaky-vpn, outage)")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the impairment engine (0 = campaign seed)")
 	strict := flag.Bool("strict", false, "with -ingest: exit non-zero if any capture content was skipped")
+	analysisWorkers := flag.Int("analysis-workers", 0, "analysis parallelism: 0 = one worker per core, 1 = serial; output is identical for any value")
 	flag.Parse()
 
 	if _, err := faults.ByName(*faultProfile); err != nil {
@@ -137,6 +143,7 @@ func main() {
 		}
 		study = s
 	}
+	study.SetAnalysisWorkers(*analysisWorkers)
 	var reg *intliot.Metrics
 	stopProgress := func() {}
 	if *metricsOut != "" {

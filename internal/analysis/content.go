@@ -29,8 +29,15 @@ type ContentCollector struct {
 	FeatureSet features.Set
 
 	scanners map[string]*pii.Scanner
+	// pending holds first-seen findings tagged with their discovery
+	// position — the experiment's delivery sequence plus the rank within
+	// that experiment. Findings() sorts by that position before the
+	// global dedup, so shard-parallel visits reproduce the serial
+	// insertion order exactly (ties in the report sort depend on it).
+	pending  []seqFinding
 	findings []PIIFinding
 	findSeen map[PIIFinding]bool
+	autoSeq  int64
 
 	// datasets maps (device instance, column) to its labelled dataset.
 	datasets map[instColKey]*ml.Dataset
@@ -38,6 +45,12 @@ type ContentCollector struct {
 	devCategory map[instColKey]string
 	devCommon   map[instColKey]bool
 	devName     map[instColKey]string
+}
+
+type seqFinding struct {
+	seq int64
+	ord int
+	f   PIIFinding
 }
 
 type instColKey struct {
@@ -60,6 +73,14 @@ func NewContentCollector() *ContentCollector {
 
 // Visit consumes one experiment: PII scan plus one dataset row.
 func (c *ContentCollector) Visit(exp *testbed.Experiment) {
+	c.visitAt(c.autoSeq, exp)
+	c.autoSeq++
+}
+
+// visitAt is Visit with an explicit delivery sequence number, used by the
+// sharded stage so findings discovered on different workers can be
+// re-interleaved into delivery order afterwards.
+func (c *ContentCollector) visitAt(seq int64, exp *testbed.Experiment) {
 	devID := exp.Device.ID()
 	// PII scan over every payload (ciphertext can't match, so scanning
 	// everything is equivalent to scanning plaintext only).
@@ -68,6 +89,7 @@ func (c *ContentCollector) Visit(exp *testbed.Experiment) {
 		sc = pii.NewScanner(exp.Device.PII)
 		c.scanners[devID] = sc
 	}
+	ord := 0
 	for _, p := range exp.Packets {
 		if len(p.Payload) == 0 {
 			continue
@@ -79,7 +101,8 @@ func (c *ContentCollector) Visit(exp *testbed.Experiment) {
 			}
 			if !c.findSeen[f] {
 				c.findSeen[f] = true
-				c.findings = append(c.findings, f)
+				c.pending = append(c.pending, seqFinding{seq, ord, f})
+				ord++
 			}
 		}
 	}
@@ -104,8 +127,71 @@ func (c *ContentCollector) Visit(exp *testbed.Experiment) {
 	ds.Labels = append(ds.Labels, exp.Activity)
 }
 
+// finalize materializes pending findings into c.findings in delivery
+// order. Entries are sorted by (sequence, within-experiment rank) — a
+// total order, since each sequence number belongs to one experiment —
+// then deduplicated first-seen, reproducing exactly the list a serial
+// run builds online. Serial visits enqueue in order already, so their
+// sort is a no-op and the dedup drops nothing.
+func (c *ContentCollector) finalize() {
+	if len(c.pending) == 0 {
+		return
+	}
+	sort.Slice(c.pending, func(i, j int) bool {
+		if c.pending[i].seq != c.pending[j].seq {
+			return c.pending[i].seq < c.pending[j].seq
+		}
+		return c.pending[i].ord < c.pending[j].ord
+	})
+	seen := make(map[PIIFinding]bool, len(c.findings))
+	for _, f := range c.findings {
+		seen[f] = true
+	}
+	for _, sf := range c.pending {
+		if seen[sf.f] {
+			continue
+		}
+		seen[sf.f] = true
+		c.findings = append(c.findings, sf.f)
+	}
+	c.pending = nil
+}
+
+// newShard returns an empty collector with c's feature set.
+func (c *ContentCollector) newShard() *ContentCollector {
+	s := NewContentCollector()
+	s.FeatureSet = c.FeatureSet
+	return s
+}
+
+// merge folds a shard into c. Datasets, metadata and scanners are keyed
+// by device instance, which routes to exactly one shard, so their unions
+// are disjoint and dataset row order matches serial delivery. Pending
+// findings concatenate and are re-interleaved by finalize.
+func (c *ContentCollector) merge(o *ContentCollector) {
+	for dev, sc := range o.scanners {
+		c.scanners[dev] = sc
+	}
+	c.pending = append(c.pending, o.pending...)
+	for f := range o.findSeen {
+		c.findSeen[f] = true
+	}
+	if n := len(o.pending); n > 0 {
+		if last := o.pending[n-1].seq + 1; last > c.autoSeq {
+			c.autoSeq = last
+		}
+	}
+	for k, ds := range o.datasets {
+		c.datasets[k] = ds
+		c.devCategory[k] = o.devCategory[k]
+		c.devCommon[k] = o.devCommon[k]
+		c.devName[k] = o.devName[k]
+	}
+}
+
 // Findings returns the deduplicated PII exposures sorted by device.
 func (c *ContentCollector) Findings() []PIIFinding {
+	c.finalize()
 	out := append([]PIIFinding(nil), c.findings...)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Device != out[j].Device {
@@ -145,6 +231,12 @@ const HighAccuracyThreshold = 0.9
 // InferConfig controls the evaluation.
 type InferConfig struct {
 	CV ml.CVConfig
+	// Workers bounds model-evaluation parallelism across datasets (0
+	// means GOMAXPROCS, 1 is serial); cross-validation inside each
+	// dataset then runs serially. Results are identical for any value:
+	// each dataset's evaluation is an independent pure function of its
+	// rows and the CV seed, and results are placed by dataset index.
+	Workers int
 }
 
 // DefaultInferConfig mirrors §6.3: 7/3 split, 10 repeats.
@@ -167,14 +259,24 @@ func (c *ContentCollector) Infer(cfg InferConfig) []InferenceResult {
 		}
 		return keys[i].Column < keys[j].Column
 	})
-	var out []InferenceResult
+	eligible := keys[:0]
 	for _, k := range keys {
 		ds := c.datasets[k]
 		if ds.NumExamples() < 6 || len(ds.Classes()) < 2 {
 			continue
 		}
-		res := ml.CrossValidate(ds, cfg.CV)
-		out = append(out, InferenceResult{
+		eligible = append(eligible, k)
+	}
+	// Evaluate datasets in parallel; each result lands in its own slot,
+	// so the output order matches the serial sorted-key loop exactly.
+	cvCfg := cfg.CV
+	cvCfg.Workers = 1 // the datasets already saturate the worker pool
+	out := make([]InferenceResult, len(eligible))
+	parallelFor(len(eligible), workerCount(cfg.Workers), func(i int) {
+		k := eligible[i]
+		ds := c.datasets[k]
+		res := ml.CrossValidate(ds, cvCfg)
+		out[i] = InferenceResult{
 			DeviceID:   k.Device,
 			DeviceName: c.devName[k],
 			Category:   c.devCategory[k],
@@ -183,7 +285,10 @@ func (c *ContentCollector) Infer(cfg InferConfig) []InferenceResult {
 			DeviceF1:   res.DeviceF1,
 			ActivityF1: res.ActivityF1,
 			Samples:    ds.NumExamples(),
-		})
+		}
+	})
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

@@ -35,6 +35,13 @@ type DestCollector struct {
 	// Passport from each lab's vantage point).
 	Locators map[string]*geo.Locator
 
+	// parent is set on shard collectors (newShard): state accumulated in
+	// earlier stages is read through it — DNS maps copy-on-write per
+	// device, geo lookups read-through — so a shard resumes exactly where
+	// the merged collector left off. The parent is never written while
+	// shards run.
+	parent *DestCollector
+
 	// ipDomains caches DNS-derived ip→name mappings per device (DNS
 	// replay is per capture file in the original pipeline; devices
 	// re-resolve rarely so a per-device cache is equivalent).
@@ -103,6 +110,15 @@ func (c *DestCollector) Visit(exp *testbed.Experiment) {
 	dnsMap := c.ipDomains[devID]
 	if dnsMap == nil {
 		dnsMap = make(map[netip.Addr]string)
+		// A shard's first visit of a device inherits the DNS replay cache
+		// the previous stage accumulated, as a copy: cross-stage lookups
+		// behave exactly as in a serial run, while the parent map stays
+		// untouched for concurrent readers on other shards.
+		if c.parent != nil {
+			for a, n := range c.parent.ipDomains[devID] {
+				dnsMap[a] = n
+			}
+		}
 		c.ipDomains[devID] = dnsMap
 	}
 	// Pass 1: replay DNS answers.
@@ -208,6 +224,15 @@ func (c *DestCollector) country(addr netip.Addr, egress string) string {
 	if v, ok := c.geoCache[key]; ok {
 		return v
 	}
+	// The geo cache memoizes a pure function of (egress, addr), so a
+	// shard can read the parent's entries without copying: any shard that
+	// misses recomputes the identical value.
+	if c.parent != nil {
+		if v, ok := c.parent.geoCache[key]; ok {
+			c.geoCache[key] = v
+			return v
+		}
+	}
 	country := ""
 	if loc, ok := c.Locators[egress]; ok {
 		if res, err := loc.Locate(addr); err == nil {
@@ -267,6 +292,62 @@ func (c *DestCollector) record(exp *testbed.Experiment, d Destination, bytes int
 	}
 	if !exp.VPN && d.Country != "" && d.Country != exp.Lab {
 		c.outOfRegion[devID] = addSet(c.outOfRegion[devID], d.FQDN)
+	}
+}
+
+// newShard returns an empty collector sharing c's immutable inputs
+// (registry, locators) that reads c's caches through the parent link.
+func (c *DestCollector) newShard() *DestCollector {
+	s := NewDestCollector(c.Registry, c.Locators)
+	s.parent = c
+	return s
+}
+
+// mergeStringSet unions src's set values into dst.
+func mergeStringSet[K comparable](dst, src map[K]map[string]bool) {
+	for k, set := range src {
+		d := dst[k]
+		if d == nil {
+			dst[k] = set
+			continue
+		}
+		for s := range set {
+			d[s] = true
+		}
+	}
+}
+
+// merge folds a shard's accumulators into c. Every operation commutes —
+// set union, integer addition, or replacement of a per-device map that
+// only one shard can own (experiments route by device) — so the merged
+// state is identical for any shard count and merge order, which is what
+// keeps the parallel pipeline's tables byte-identical to a serial run.
+func (c *DestCollector) merge(o *DestCollector) {
+	for dev, m := range o.ipDomains {
+		// The shard's map is a superset of the parent's (copy-on-write at
+		// first visit), and device affinity means no other shard touched
+		// this device: replacement is exact.
+		c.ipDomains[dev] = m
+	}
+	for k, v := range o.geoCache {
+		// Memoized pure function: duplicate keys carry identical values.
+		c.geoCache[k] = v
+	}
+	mergeStringSet(c.byExpParty, o.byExpParty)
+	mergeStringSet(c.byCatParty, o.byCatParty)
+	mergeStringSet(c.orgDevices, o.orgDevices)
+	mergeStringSet(c.devNonFirst, o.devNonFirst)
+	mergeStringSet(c.devAllDest, o.devAllDest)
+	mergeStringSet(c.outOfRegion, o.outOfRegion)
+	for k, v := range o.volume {
+		c.volume[k] += v
+	}
+	for col, parties := range o.partyTotals {
+		if c.partyTotals[col] == nil {
+			c.partyTotals[col] = parties
+			continue
+		}
+		mergeStringSet(c.partyTotals[col], parties)
 	}
 }
 

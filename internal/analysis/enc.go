@@ -185,6 +185,70 @@ func (c *EncCollector) Visit(exp *testbed.Experiment) {
 	}
 }
 
+// newShard returns an empty collector with c's thresholds.
+func (c *EncCollector) newShard() *EncCollector {
+	s := NewEncCollector()
+	s.Thresholds = c.Thresholds
+	return s
+}
+
+// merge folds a shard's accumulators into c. Byte counters add, device
+// sets union, metadata rewrites with identical values — all commutative.
+// The one order-sensitive structure, devSamples (float slices feeding
+// Welch t-tests), is keyed by (device model, column, label): experiments
+// route to shards by device, so each key lives on exactly one shard and
+// appending the shard's slice reproduces the serial append order.
+func (c *EncCollector) merge(o *EncCollector) {
+	for k, v := range o.devBytes {
+		cur := c.devBytes[k]
+		for i := range cur {
+			cur[i] += v[i]
+		}
+		c.devBytes[k] = cur
+	}
+	for k, v := range o.catBytes {
+		cur := c.catBytes[k]
+		for i := range cur {
+			cur[i] += v[i]
+		}
+		c.catBytes[k] = cur
+	}
+	for k, v := range o.expBytes {
+		cur := c.expBytes[k]
+		for i := range cur {
+			cur[i] += v[i]
+		}
+		c.expBytes[k] = cur
+	}
+	for k, samples := range o.devSamples {
+		c.devSamples[k] = append(c.devSamples[k], samples...)
+	}
+	mergeStringSet(c.devLabels, o.devLabels)
+	for k, v := range o.devCategory {
+		c.devCategory[k] = v
+	}
+	for k, v := range o.devCommon {
+		c.devCommon[k] = v
+	}
+	for k, v := range o.devName {
+		c.devName[k] = v
+	}
+	for k, v := range o.devLab {
+		// Informational only (never read back); shard order decides ties
+		// for common models deployed in both labs.
+		c.devLab[k] = v
+	}
+	for t, set := range o.expDevices {
+		if c.expDevices[t] == nil {
+			c.expDevices[t] = set
+			continue
+		}
+		for dev := range set {
+			c.expDevices[t][dev] = true
+		}
+	}
+}
+
 // share returns the byte share of one class in a counter.
 func share(v [3]int64, class EncClass) float64 {
 	total := v[0] + v[1] + v[2]

@@ -23,9 +23,28 @@ import (
 type IdentifyCollector struct {
 	// FeatureSet must match the activity models for comparability.
 	FeatureSet features.Set
-	// ByCategory additionally evaluates a category-level classifier.
+
+	// rows buffers one entry per training experiment, tagged with its
+	// delivery sequence. The per-column datasets interleave rows from
+	// every device, so — unlike the device-keyed collectors — their row
+	// order cannot be reconstructed shard-locally; build sorts the rows
+	// by sequence instead, which reproduces the serial append order for
+	// any shard count (serial visits number 0,1,2,… already).
+	rows    []identRow
+	autoSeq int64
+
+	// built lazily from rows; also evaluates a category-level classifier.
 	datasets map[string]*ml.Dataset // column → global dataset
 	category map[string]*ml.Dataset
+	built    bool
+}
+
+type identRow struct {
+	seq      int64
+	column   string
+	device   string
+	category string
+	vec      []float64
 }
 
 // NewIdentifyCollector builds a collector.
@@ -39,28 +58,74 @@ func NewIdentifyCollector() *IdentifyCollector {
 
 // Visit adds one experiment as a (traffic → device) training row.
 func (c *IdentifyCollector) Visit(exp *testbed.Experiment) {
+	c.visitAt(c.autoSeq, exp)
+	c.autoSeq++
+}
+
+// visitAt is Visit with an explicit delivery sequence, for sharded runs.
+func (c *IdentifyCollector) visitAt(seq int64, exp *testbed.Experiment) {
 	if exp.Kind != testbed.KindPower && exp.Kind != testbed.KindInteraction {
 		return
 	}
 	if len(exp.Packets) < 2 {
 		return
 	}
-	vec := features.Vector(exp.Packets, c.FeatureSet)
-	ds := c.datasets[exp.Column]
-	if ds == nil {
-		ds = &ml.Dataset{FeatureNames: features.Names(c.FeatureSet)}
-		c.datasets[exp.Column] = ds
-	}
-	ds.Features = append(ds.Features, vec)
-	ds.Labels = append(ds.Labels, exp.Device.Profile.Name)
+	c.rows = append(c.rows, identRow{
+		seq:      seq,
+		column:   exp.Column,
+		device:   exp.Device.Profile.Name,
+		category: string(exp.Device.Profile.Category),
+		vec:      features.Vector(exp.Packets, c.FeatureSet),
+	})
+	c.built = false
+}
 
-	cs := c.category[exp.Column]
-	if cs == nil {
-		cs = &ml.Dataset{FeatureNames: features.Names(c.FeatureSet)}
-		c.category[exp.Column] = cs
+// newShard returns an empty collector with c's feature set.
+func (c *IdentifyCollector) newShard() *IdentifyCollector {
+	s := NewIdentifyCollector()
+	s.FeatureSet = c.FeatureSet
+	return s
+}
+
+// merge appends a shard's rows; build re-sorts by sequence, so merge
+// order cannot affect the datasets.
+func (c *IdentifyCollector) merge(o *IdentifyCollector) {
+	c.rows = append(c.rows, o.rows...)
+	c.built = false
+	if n := len(o.rows); n > 0 {
+		if last := o.rows[n-1].seq + 1; last > c.autoSeq {
+			c.autoSeq = last
+		}
 	}
-	cs.Features = append(cs.Features, vec)
-	cs.Labels = append(cs.Labels, string(exp.Device.Profile.Category))
+}
+
+// build materializes the per-column datasets from the buffered rows in
+// delivery order.
+func (c *IdentifyCollector) build() {
+	if c.built {
+		return
+	}
+	sort.Slice(c.rows, func(i, j int) bool { return c.rows[i].seq < c.rows[j].seq })
+	c.datasets = make(map[string]*ml.Dataset)
+	c.category = make(map[string]*ml.Dataset)
+	for _, row := range c.rows {
+		ds := c.datasets[row.column]
+		if ds == nil {
+			ds = &ml.Dataset{FeatureNames: features.Names(c.FeatureSet)}
+			c.datasets[row.column] = ds
+		}
+		ds.Features = append(ds.Features, row.vec)
+		ds.Labels = append(ds.Labels, row.device)
+
+		cs := c.category[row.column]
+		if cs == nil {
+			cs = &ml.Dataset{FeatureNames: features.Names(c.FeatureSet)}
+			c.category[row.column] = cs
+		}
+		cs.Features = append(cs.Features, row.vec)
+		cs.Labels = append(cs.Labels, row.category)
+	}
+	c.built = true
 }
 
 // IdentifyResult is the outcome for one column.
@@ -79,6 +144,7 @@ type IdentifyResult struct {
 
 // Evaluate cross-validates the identification classifiers per column.
 func (c *IdentifyCollector) Evaluate(cv ml.CVConfig) []IdentifyResult {
+	c.build()
 	cols := make([]string, 0, len(c.datasets))
 	for col := range c.datasets {
 		cols = append(cols, col)

@@ -20,6 +20,17 @@ type Pipeline struct {
 	Content  *ContentCollector
 	Identify *IdentifyCollector
 
+	// Workers bounds the analysis-side parallelism: the sharded collector
+	// stage (shard.go) and model training/evaluation. 0 means GOMAXPROCS,
+	// 1 forces the serial pipeline. Every table, model and detection is
+	// byte-identical for any value.
+	Workers int
+
+	// assign pins each device instance to one shard across stages
+	// (device affinity); nextShard round-robins first sightings.
+	assign    map[string]int
+	nextShard int
+
 	// Filled by Run:
 	Stats     experiments.Stats
 	IdleStats experiments.Stats
@@ -91,22 +102,38 @@ func NewPipeline(src Source) *Pipeline {
 // trains the inference models, and applies them to the idle captures.
 // Models train on controlled data only, so idle captures stream through
 // detection without buffering — memory stays flat at paper scale.
+//
+// With more than one worker (see Workers) the collector stages run
+// sharded (shard.go) and training fans out; output is byte-identical to
+// the serial pipeline either way.
 func (p *Pipeline) Run(cfg InferConfig) {
-	var (
-		degrade  = p.timedVisitor("degrade", p.degradeExp)
-		dest     = p.timedVisitor("dest", p.Dest.Visit)
-		enc      = p.timedVisitor("enc", p.Enc.Visit)
-		content  = p.timedVisitor("content", p.Content.Visit)
-		identify = p.timedVisitor("identify", p.Identify.Visit)
-	)
+	workers := workerCount(p.Workers)
+	if cfg.Workers == 0 {
+		// A pipeline forced serial evaluates models serially too, so
+		// -analysis-workers=1 reproduces the historical single-threaded
+		// run end to end.
+		cfg.Workers = workers
+	}
+
 	span := p.metrics.StartSpan("stage:controlled")
-	p.Stats = p.Source.RunControlled(func(exp *testbed.Experiment) {
-		degrade(exp)
-		dest(exp)
-		enc(exp)
-		content(exp)
-		identify(exp)
-	})
+	if workers > 1 {
+		p.Stats = p.runShardedStage("controlled", workers, true, p.Source.RunControlled)
+	} else {
+		var (
+			degrade  = p.timedVisitor("degrade", p.degradeExp)
+			dest     = p.timedVisitor("dest", p.Dest.Visit)
+			enc      = p.timedVisitor("enc", p.Enc.Visit)
+			content  = p.timedVisitor("content", p.Content.Visit)
+			identify = p.timedVisitor("identify", p.Identify.Visit)
+		)
+		p.Stats = p.Source.RunControlled(func(exp *testbed.Experiment) {
+			degrade(exp)
+			dest(exp)
+			enc(exp)
+			content(exp)
+			identify(exp)
+		})
+	}
 	span.End()
 
 	span = p.metrics.StartSpan("stage:train")
@@ -116,16 +143,25 @@ func (p *Pipeline) Run(cfg InferConfig) {
 	span.End()
 
 	p.IdleHits = NewDetectResult()
-	detect := p.timedVisitor("detector", func(exp *testbed.Experiment) {
-		p.Detector.VisitIdle(exp, p.IdleHits)
-	})
 	span = p.metrics.StartSpan("stage:idle")
-	p.IdleStats = p.Source.RunIdle(func(exp *testbed.Experiment) {
-		degrade(exp)
-		dest(exp)
-		enc(exp)
-		detect(exp)
-	})
+	if workers > 1 {
+		p.IdleStats = p.runShardedStage("idle", workers, false, p.Source.RunIdle)
+	} else {
+		var (
+			degrade = p.timedVisitor("degrade", p.degradeExp)
+			dest    = p.timedVisitor("dest", p.Dest.Visit)
+			enc     = p.timedVisitor("enc", p.Enc.Visit)
+			detect  = p.timedVisitor("detector", func(exp *testbed.Experiment) {
+				p.Detector.VisitIdle(exp, p.IdleHits)
+			})
+		)
+		p.IdleStats = p.Source.RunIdle(func(exp *testbed.Experiment) {
+			degrade(exp)
+			dest(exp)
+			enc(exp)
+			detect(exp)
+		})
+	}
 	span.End()
 }
 

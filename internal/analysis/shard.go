@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/experiments"
+	"github.com/neu-sns/intl-iot-go/internal/obs"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// Sharded collector stage.
+//
+// With Workers > 1, Pipeline.Run stops visiting collectors on the
+// source's delivery goroutine. Instead each worker owns a private shard —
+// a full set of empty collectors — and experiments are dispatched to
+// workers over bounded channels. When the stage drains, the shards merge
+// back into the pipeline's primary collectors.
+//
+// Byte-identity with the serial run rests on three invariants:
+//
+//  1. Device affinity: every experiment of a device instance goes to the
+//     same shard, in delivery order. State that is order-sensitive but
+//     device-local — DNS replay caches, Welch-test sample slices, idle
+//     hour accumulations — therefore sees exactly the serial order.
+//  2. Commutative merges: cross-device accumulators are integer sums and
+//     set unions, which are independent of shard count and merge order
+//     (the same canonicalization PR 1 applied to gini accumulation).
+//  3. Sequence tags: the few cross-device, order-sensitive structures
+//     (PII finding insertion order, identification dataset rows,
+//     detection lists) carry the experiment's global delivery sequence
+//     and are re-interleaved into delivery order before use.
+//
+// Stages are themselves barriers: controlled merges completely before
+// training starts, and the idle stage starts with fully merged collectors.
+
+// workerCount resolves a Workers knob: n > 0 is taken literally,
+// anything else means one worker per core.
+func workerCount(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(i) for i in [0, n) on at most workers goroutines;
+// with one worker it degenerates to a plain loop. Determinism is the
+// caller's contract: fn(i) writes only to slot i of pre-sized outputs.
+func parallelFor(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// shardQueueDepth bounds each worker's in-flight experiments so memory
+// stays proportional to workers, not campaign size, when synthesis
+// outruns analysis.
+const shardQueueDepth = 64
+
+// seqExp pairs an experiment with its global delivery sequence number.
+type seqExp struct {
+	seq int64
+	exp *testbed.Experiment
+}
+
+// shard is one worker's private accumulator set. Controlled stages use
+// dest/enc/content/identify; idle stages use dest/enc/detect.
+type shard struct {
+	ch       chan seqExp
+	dest     *DestCollector
+	enc      *EncCollector
+	content  *ContentCollector
+	identify *IdentifyCollector
+	detect   *DetectResult
+}
+
+// shardMetrics tallies per-shard visit counts and latencies without
+// contending on shared counters; tallies flush into the registry under
+// the same names the serial timedVisitor uses, after workers quiesce.
+// A nil *shardMetrics (metrics disabled) times nothing.
+type shardMetrics struct {
+	names  []string
+	visits map[string]*obs.ShardedCounter
+	ns     map[string]*obs.ShardedCounter
+	routed *obs.ShardedCounter
+}
+
+func newShardMetrics(reg *obs.Registry, workers int, names []string) *shardMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &shardMetrics{
+		names:  names,
+		visits: make(map[string]*obs.ShardedCounter, len(names)),
+		ns:     make(map[string]*obs.ShardedCounter, len(names)),
+		routed: obs.NewShardedCounter(workers),
+	}
+	for _, n := range names {
+		m.visits[n] = obs.NewShardedCounter(workers)
+		m.ns[n] = obs.NewShardedCounter(workers)
+	}
+	return m
+}
+
+// timed runs f, attributing its latency to (shard, name).
+func (m *shardMetrics) timed(shard int, name string, f func()) {
+	if m == nil {
+		f()
+		return
+	}
+	t0 := time.Now()
+	f()
+	m.ns[name].Add(shard, int64(time.Since(t0)))
+	m.visits[name].Inc(shard)
+}
+
+// flush folds the tallies into the registry. Totals are exact integer
+// sums, so the snapshot matches what a serial run would have counted;
+// the per-shard experiment gauges additionally expose routing balance.
+func (m *shardMetrics) flush(reg *obs.Registry, stage string) {
+	if m == nil {
+		return
+	}
+	for _, n := range m.names {
+		m.visits[n].FlushTo(reg.Counter("collector_visits." + n))
+		m.ns[n].FlushTo(reg.Counter("collector_visit_ns." + n))
+	}
+	for i := 0; i < m.routed.Shards(); i++ {
+		reg.Gauge("analysis_shard_experiments." + strconv.Itoa(i)).
+			Set(float64(m.routed.ShardValue(i)))
+	}
+	m.routed.FlushTo(reg.Counter(stage + "_sharded_experiments_total"))
+}
+
+// shardFor returns the shard owning a device, assigning round-robin on
+// first sight. The assignment map persists across stages so a device's
+// idle experiments land on the shard holding its controlled-stage state.
+func (p *Pipeline) shardFor(devID string, workers int) int {
+	if id, ok := p.assign[devID]; ok {
+		return id
+	}
+	id := p.nextShard % workers
+	p.nextShard++
+	p.assign[devID] = id
+	return id
+}
+
+// runShardedStage drives one source stage through worker-owned shards
+// and merges them back in shard order. controlled selects the collector
+// set; for idle stages each shard detects into its own DetectResult and
+// the merged detections land in p.IdleHits.
+func (p *Pipeline) runShardedStage(stage string, workers int, controlled bool,
+	run func(experiments.Visitor) experiments.Stats) experiments.Stats {
+
+	if p.assign == nil {
+		p.assign = make(map[string]int)
+	}
+	names := []string{"degrade", "dest", "enc", "content", "identify"}
+	if !controlled {
+		names = []string{"degrade", "dest", "enc", "detector"}
+	}
+	metrics := newShardMetrics(p.metrics, workers, names)
+	p.metrics.Gauge("analysis_workers").Set(float64(workers))
+
+	shards := make([]*shard, workers)
+	var wg sync.WaitGroup
+	for i := range shards {
+		s := &shard{
+			ch:   make(chan seqExp, shardQueueDepth),
+			dest: p.Dest.newShard(),
+			enc:  p.Enc.newShard(),
+		}
+		if controlled {
+			s.content = p.Content.newShard()
+			s.identify = p.Identify.newShard()
+		} else {
+			s.detect = NewDetectResult()
+		}
+		shards[i] = s
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			for se := range s.ch {
+				metrics.timed(i, "degrade", func() { p.degradeExp(se.exp) })
+				metrics.timed(i, "dest", func() { s.dest.Visit(se.exp) })
+				metrics.timed(i, "enc", func() { s.enc.Visit(se.exp) })
+				if controlled {
+					metrics.timed(i, "content", func() { s.content.visitAt(se.seq, se.exp) })
+					metrics.timed(i, "identify", func() { s.identify.visitAt(se.seq, se.exp) })
+				} else {
+					metrics.timed(i, "detector", func() { p.Detector.visitIdleAt(se.seq, se.exp, s.detect) })
+				}
+			}
+		}(i, s)
+	}
+
+	var seq int64
+	stats := run(func(exp *testbed.Experiment) {
+		i := p.shardFor(exp.Device.ID(), workers)
+		if metrics != nil {
+			metrics.routed.Inc(i)
+		}
+		shards[i].ch <- seqExp{seq, exp}
+		seq++
+	})
+	for _, s := range shards {
+		close(s.ch)
+	}
+	wg.Wait()
+
+	// Deterministic merge in shard order; order only matters for the
+	// sequence-tagged structures, which re-sort by sequence anyway.
+	for _, s := range shards {
+		p.Dest.merge(s.dest)
+		p.Enc.merge(s.enc)
+		if controlled {
+			p.Content.merge(s.content)
+			p.Identify.merge(s.identify)
+		} else {
+			p.IdleHits.merge(s.detect)
+		}
+	}
+	if !controlled {
+		p.IdleHits.finalize()
+	}
+	metrics.flush(p.metrics, stage)
+	return stats
+}

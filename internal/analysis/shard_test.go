@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/experiments"
+	"github.com/neu-sns/intl-iot-go/internal/ml"
+	"github.com/neu-sns/intl-iot-go/internal/obs"
+	"github.com/neu-sns/intl-iot-go/internal/orgdb"
+)
+
+// pipelineFingerprint freezes everything report tables read from a run:
+// destination counters, encryption rows (including the order-sensitive
+// Welch-test significance flags), PII findings in insertion order,
+// inference and identification results, and the idle detections. Two
+// fingerprints are reflect.DeepEqual only if every table would render
+// byte-identically.
+type pipelineFingerprint struct {
+	ExpParty   map[string]int
+	Orgs       []OrgRow
+	Bands      []VolumeBand
+	NFP        [2]int
+	EncRows    []DeviceRow
+	Findings   []PIIFinding
+	Inference  []InferenceResult
+	Identify   []IdentifyResult
+	Detections []Detection
+	Counts     map[DetectKey]int
+	Hours      map[string]float64
+	Stats      [2]experiments.Stats
+}
+
+func fingerprint(p *Pipeline, cv ml.CVConfig) pipelineFingerprint {
+	fp := pipelineFingerprint{
+		ExpParty:   map[string]int{},
+		Orgs:       p.Dest.TopOrganizations(0),
+		Bands:      p.Dest.TrafficBands(0),
+		EncRows:    p.Enc.DeviceRows(nil),
+		Findings:   p.Content.Findings(),
+		Inference:  p.Inference,
+		Identify:   p.Identify.Evaluate(cv),
+		Detections: p.IdleHits.Detections,
+		Counts:     p.IdleHits.Counts,
+		Hours:      p.IdleHits.Hours,
+		Stats:      [2]experiments.Stats{p.Stats, p.IdleStats},
+	}
+	fp.NFP[0], fp.NFP[1] = p.Dest.DevicesWithNonFirstParty()
+	for _, typ := range append(ExpTypesForTable2, ExpOther) {
+		for _, col := range Columns {
+			for _, party := range []orgdb.PartyType{orgdb.PartyFirst, orgdb.PartySupport, orgdb.PartyThird} {
+				k := string(typ) + "|" + col + "|" + party.String()
+				fp.ExpParty[k] = p.Dest.CountByExpParty(typ, party, col, false)
+				fp.ExpParty[k+"|common"] = p.Dest.CountByExpParty(typ, party, col, true)
+			}
+		}
+	}
+	return fp
+}
+
+// The tentpole guarantee end to end inside the analysis layer: a sharded
+// run on N workers produces bit-identical collector state, models and
+// detections to the serial pipeline — including float-valued results,
+// whose accumulation order the shards preserve or canonicalize.
+func TestShardedPipelineMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaigns skipped in -short")
+	}
+	cfg := experiments.Config{
+		Seed:          1,
+		AutomatedReps: 6,
+		ManualReps:    2,
+		PowerReps:     2,
+		IdleHours:     map[string]float64{"US": 2, "GB": 1},
+		VPN:           true,
+		Workers:       1,
+	}
+	icfg := InferConfig{CV: ml.CVConfig{
+		TrainFrac: 0.7, Repeats: 3, Seed: 42,
+		Forest: ml.ForestConfig{NumTrees: 8},
+	}}
+	run := func(workers int) pipelineFingerprint {
+		r, err := experiments.NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewPipeline(r)
+		p.Workers = workers
+		// Attach a registry so the sharded metric paths run under -race
+		// too; instrumentation must change no output.
+		p.SetObs(obs.NewRegistry())
+		c := icfg
+		p.Run(c)
+		return fingerprint(p, icfg.CV)
+	}
+
+	serial := run(1)
+	if len(serial.Findings) == 0 || len(serial.Inference) == 0 {
+		t.Fatal("campaign produced no findings/inference; fingerprint is vacuous")
+	}
+	for _, workers := range []int{2, 3, 5} {
+		got := run(workers)
+		if !reflect.DeepEqual(got, serial) {
+			for i, name := range []string{"dest", "orgs", "bands", "nfp", "enc", "findings", "inference", "identify", "detections", "counts", "hours", "stats"} {
+				a := reflect.ValueOf(got).Field(i).Interface()
+				b := reflect.ValueOf(serial).Field(i).Interface()
+				if !reflect.DeepEqual(a, b) {
+					t.Errorf("workers=%d: %s differs from serial run", workers, name)
+				}
+			}
+		}
+	}
+}

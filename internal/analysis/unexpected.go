@@ -103,7 +103,10 @@ func absF(v float64) float64 {
 }
 
 // NewDetector trains detectors from a content collector's datasets using
-// the given inference results to select high-accuracy models.
+// the given inference results to select high-accuracy models. Model
+// training fans out across cfg.Workers goroutines; each model is a pure
+// function of its dataset and the CV seed, so the detector is identical
+// for any worker count.
 func NewDetector(c *ContentCollector, results []InferenceResult, cfg InferConfig) *Detector {
 	d := &Detector{
 		Gap:            features.DefaultUnitGap,
@@ -112,6 +115,11 @@ func NewDetector(c *ContentCollector, results []InferenceResult, cfg InferConfig
 		FeatureSet:     c.FeatureSet,
 		models:         make(map[instColKey]*deviceModel),
 	}
+	type pick struct {
+		r  InferenceResult
+		ds *ml.Dataset
+	}
+	var picks []pick
 	for _, r := range results {
 		if r.DeviceF1 <= HighAccuracyThreshold {
 			continue
@@ -120,13 +128,21 @@ func NewDetector(c *ContentCollector, results []InferenceResult, cfg InferConfig
 		if ds == nil {
 			continue
 		}
-		fcfg := cfg.CV.Forest
-		fcfg.Seed = cfg.CV.Seed
-		d.models[instColKey{r.DeviceID, r.Column}] = &deviceModel{
-			forest:    ml.TrainForest(ds, fcfg),
-			f1:        r.DeviceF1,
-			envelopes: buildEnvelopes(ds),
+		picks = append(picks, pick{r, ds})
+	}
+	models := make([]*deviceModel, len(picks))
+	fcfg := cfg.CV.Forest
+	fcfg.Seed = cfg.CV.Seed
+	fcfg.Workers = 1 // the models already saturate the worker pool
+	parallelFor(len(picks), workerCount(cfg.Workers), func(i int) {
+		models[i] = &deviceModel{
+			forest:    ml.TrainForest(picks[i].ds, fcfg),
+			f1:        picks[i].r.DeviceF1,
+			envelopes: buildEnvelopes(picks[i].ds),
 		}
+	})
+	for i, p := range picks {
+		d.models[instColKey{p.r.DeviceID, p.r.Column}] = models[i]
 	}
 	return d
 }
@@ -172,6 +188,16 @@ type DetectResult struct {
 	Hours map[string]float64
 	// deviceHours accumulates per (column, device) to derive Hours.
 	deviceHours map[string]map[string]float64
+	// tagged buffers shard-local detections with their experiment's
+	// delivery sequence; finalize re-interleaves them into Detections in
+	// delivery order. Serial visits append to Detections directly and
+	// never populate it.
+	tagged []taggedDetection
+}
+
+type taggedDetection struct {
+	seq int64
+	det Detection
 }
 
 // DetectKey identifies a Table 11 cell.
@@ -193,6 +219,14 @@ func NewDetectResult() *DetectResult {
 
 // VisitIdle classifies one idle experiment's traffic.
 func (d *Detector) VisitIdle(exp *testbed.Experiment, res *DetectResult) {
+	d.visitIdleAt(-1, exp, res)
+}
+
+// visitIdleAt is VisitIdle with an explicit delivery sequence. A
+// non-negative seq tags each detection for later re-interleaving
+// (sharded stages call finalize after merging); seq -1 appends directly,
+// which is the serial path.
+func (d *Detector) visitIdleAt(seq int64, exp *testbed.Experiment, res *DetectResult) {
 	model, ok := d.models[instColKey{exp.Device.ID(), exp.Column}]
 	if !ok {
 		return
@@ -215,34 +249,74 @@ func (d *Detector) VisitIdle(exp *testbed.Experiment, res *DetectResult) {
 			continue
 		}
 		vec := features.Vector(unit.Packets, d.FeatureSet)
-		proba := model.forest.PredictProba(vec)
-		label, vote := argmax(proba)
+		label, vote := model.forest.PredictTop(vec)
 		if vote < d.MinVote || !model.withinEnvelope(label, vec) {
 			continue
 		}
 		us.Classified++
-		res.Detections = append(res.Detections, Detection{
+		det := Detection{
 			DeviceID: exp.Device.ID(), DeviceName: exp.Device.Profile.Name,
 			Column: exp.Column, Activity: label,
 			Start: unit.Start, End: unit.End,
-		})
+		}
+		if seq >= 0 {
+			res.tagged = append(res.tagged, taggedDetection{seq, det})
+		} else {
+			res.Detections = append(res.Detections, det)
+		}
 		res.Counts[DetectKey{exp.Device.Profile.Name, label, exp.Column}]++
 	}
 }
 
-func argmax(m map[string]float64) (string, float64) {
-	best, bestV := "", -1.0
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// merge folds a shard's result into r: counts and unit totals add,
+// per-device hours add over disjoint devices (experiments route by
+// device), per-column Hours takes the max — each device's full
+// accumulation lives on one shard, so the max over shard maxima equals
+// the serial running max. Tagged detections concatenate; finalize
+// re-interleaves them.
+func (r *DetectResult) merge(o *DetectResult) {
+	r.tagged = append(r.tagged, o.tagged...)
+	for k, n := range o.Counts {
+		r.Counts[k] += n
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		if m[k] > bestV {
-			best, bestV = k, m[k]
+	for col, us := range o.Units {
+		cur := r.Units[col]
+		if cur == nil {
+			r.Units[col] = us
+			continue
+		}
+		cur.Total += us.Total
+		cur.Classified += us.Classified
+	}
+	for col, devs := range o.deviceHours {
+		cur := r.deviceHours[col]
+		if cur == nil {
+			r.deviceHours[col] = devs
+			continue
+		}
+		for dev, h := range devs {
+			cur[dev] += h
 		}
 	}
-	return best, bestV
+	for col, h := range o.Hours {
+		if h > r.Hours[col] {
+			r.Hours[col] = h
+		}
+	}
+}
+
+// finalize moves tagged detections into Detections in delivery order.
+// The sort is stable so the within-experiment unit order each shard
+// produced survives; serial runs have nothing tagged and skip out.
+func (r *DetectResult) finalize() {
+	if len(r.tagged) == 0 {
+		return
+	}
+	sort.SliceStable(r.tagged, func(i, j int) bool { return r.tagged[i].seq < r.tagged[j].seq })
+	for _, td := range r.tagged {
+		r.Detections = append(r.Detections, td.det)
+	}
+	r.tagged = nil
 }
 
 // Table11Row is one row of Table 11.
@@ -319,7 +393,7 @@ func (d *Detector) VisitUncontrolled(res *experiments.UncontrolledResult, out *D
 			continue
 		}
 		vec := features.Vector(unit.Packets, d.FeatureSet)
-		label, vote := argmax(model.forest.PredictProba(vec))
+		label, vote := model.forest.PredictTop(vec)
 		if vote < d.MinVote || !model.withinEnvelope(label, vec) {
 			continue
 		}

@@ -216,16 +216,19 @@ func (r *Runner) runControlledJob(j controlledJob) []*testbed.Experiment {
 }
 
 // fanOut executes numJobs synthesis jobs on the configured worker count
-// and hands every produced experiment to deliver in submission order, so
+// and hands every produced item to deliver in submission order, so
 // analyses see a deterministic stream regardless of parallelism. Memory
 // stays bounded at ~workers in-flight legs: each job gets a result
-// channel, workers fill them, the consumer drains them in order.
+// channel, workers fill them, the consumer drains them in order. It is a
+// free function because methods cannot take type parameters; the element
+// type T is *testbed.Experiment for the controlled/idle legs and
+// *UncontrolledResult for the user-study leg.
 //
 // When a metrics registry is attached, fanOut reports per-leg synthesis
 // latency (<stage>_leg_seconds), live queue depth (<stage>_queue_depth),
 // throughput (<stage>_experiments_per_sec) and worker utilization — the
 // share of worker wall time spent synthesizing (<stage>_worker_utilization).
-func (r *Runner) fanOut(stage string, numJobs int, run func(int) []*testbed.Experiment, deliver func(int, *testbed.Experiment)) {
+func fanOut[T any](r *Runner, stage string, numJobs int, run func(int) []T, deliver func(int, T)) {
 	workers := r.Cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -247,9 +250,9 @@ func (r *Runner) fanOut(stage string, numJobs int, run func(int) []*testbed.Expe
 		r.metrics.Gauge(stage + "_workers").Set(float64(workers))
 	}
 
-	results := make([]chan []*testbed.Experiment, numJobs)
+	results := make([]chan []T, numJobs)
 	for i := range results {
-		results[i] = make(chan []*testbed.Experiment, 1)
+		results[i] = make(chan []T, 1)
 	}
 	next := make(chan int)
 	go func() {
@@ -310,7 +313,7 @@ func (r *Runner) RunControlled(visit Visitor) Stats {
 	}
 	var stats Stats
 	expTotal := r.metrics.Counter("experiments_total")
-	r.fanOut("controlled", len(jobs),
+	fanOut(r, "controlled", len(jobs),
 		func(i int) []*testbed.Experiment { return r.runControlledJob(jobs[i]) },
 		func(i int, exp *testbed.Experiment) {
 			automated := false
@@ -395,7 +398,7 @@ func (r *Runner) RunIdle(visit Visitor) Stats {
 
 	var stats Stats
 	expTotal := r.metrics.Counter("experiments_total")
-	r.fanOut("idle", len(jobs),
+	fanOut(r, "idle", len(jobs),
 		func(i int) []*testbed.Experiment { return runJob(jobs[i]) },
 		func(_ int, exp *testbed.Experiment) {
 			stats.absorb(exp, false)

@@ -62,60 +62,78 @@ var activeChoices = []struct {
 	{"Behmor Brewer", "start", devices.MethodLocal, 1},
 }
 
+// planned is one scheduled device trigger within a study day.
+type planned struct {
+	device, activity string
+	method           devices.Method
+	intended         bool
+	at               time.Time
+}
+
+// planDay draws one day's schedule from the campaign RNG. All randomness
+// in the uncontrolled study lives here; synthesis from a plan is pure
+// (per-experiment RNGs derive from (device, label, rep) tags), which is
+// what lets the days fan out across workers after serial planning.
+func planDay(rng interface{ Intn(int) int }, dayStart time.Time) []planned {
+	accesses := 20 + rng.Intn(11)
+	var plan []planned
+	for a := 0; a < accesses; a++ {
+		at := dayStart.Add(time.Duration(8+rng.Intn(14))*time.Hour +
+			time.Duration(rng.Intn(3600))*time.Second)
+		// Passive triggers: every always-on sensor sees the person.
+		for _, pd := range passiveDevices {
+			plan = append(plan, planned{pd.name, pd.activity, devices.MethodLocal, false, at})
+		}
+		// One or two active uses.
+		uses := 1 + rng.Intn(2)
+		for u := 0; u < uses; u++ {
+			c := weightedChoice(rng, activeChoices)
+			plan = append(plan, planned{c.name, c.activity, c.method, true,
+				at.Add(time.Duration(1+rng.Intn(5)) * time.Minute)})
+		}
+	}
+	// Accidental Alexa activations: conversation fragments that sound
+	// like the wake word, streamed to Amazon before rejection.
+	for i := 0; i < 2+rng.Intn(4); i++ {
+		at := dayStart.Add(time.Duration(9+rng.Intn(12)) * time.Hour)
+		plan = append(plan, planned{"Echo Dot", "voice", devices.MethodLocal, false, at})
+	}
+	return plan
+}
+
 // RunUncontrolled simulates Cfg.UncontrolledDays of the US user study and
 // streams one result per (device, day). Participants trigger 20–30 lab
 // accesses per day; Alexa devices also produce accidental activations
 // (§7.3's "I like Star Trek" problem).
+//
+// Planning is serial — every RNG draw happens in day order, exactly as
+// the historical single-threaded loop drew them — and the packet
+// synthesis for each day then fans out across Cfg.Workers like the
+// controlled and idle legs. Delivery order is per-day, per-slot, so
+// results are byte-identical for any worker count.
 func (r *Runner) RunUncontrolled(visit func(*UncontrolledResult)) Stats {
 	var stats Stats
 	lab := r.US
 	rng := rngFor(r.Cfg.Seed, "uncontrolled")
-	r.metrics.SetLabel("stage", "uncontrolled")
 	expTotal := r.metrics.Counter("experiments_total")
-	uncTotal := r.metrics.Counter("uncontrolled_experiments_total")
 
 	// The study ran September 2018 – February 2019.
 	studyStart := time.Date(2018, 9, 1, 0, 0, 0, 0, time.UTC)
 
-	for day := 0; day < r.Cfg.UncontrolledDays; day++ {
+	days := r.Cfg.UncontrolledDays
+	plans := make([][]planned, days)
+	for day := 0; day < days; day++ {
+		plans[day] = planDay(rng, studyStart.AddDate(0, 0, day))
+	}
+
+	runDay := func(day int) []*UncontrolledResult {
 		dayStart := studyStart.AddDate(0, 0, day)
-		accesses := 20 + rng.Intn(11)
-
-		// Plan the day: for each access, which devices fire and when.
-		type planned struct {
-			device, activity string
-			method           devices.Method
-			intended         bool
-			at               time.Time
-		}
-		var plan []planned
-		for a := 0; a < accesses; a++ {
-			at := dayStart.Add(time.Duration(8+rng.Intn(14))*time.Hour +
-				time.Duration(rng.Intn(3600))*time.Second)
-			// Passive triggers: every always-on sensor sees the person.
-			for _, pd := range passiveDevices {
-				plan = append(plan, planned{pd.name, pd.activity, devices.MethodLocal, false, at})
-			}
-			// One or two active uses.
-			uses := 1 + rng.Intn(2)
-			for u := 0; u < uses; u++ {
-				c := weightedChoice(rng, activeChoices)
-				plan = append(plan, planned{c.name, c.activity, c.method, true,
-					at.Add(time.Duration(1+rng.Intn(5)) * time.Minute)})
-			}
-		}
-		// Accidental Alexa activations: conversation fragments that sound
-		// like the wake word, streamed to Amazon before rejection.
-		for i := 0; i < 2+rng.Intn(4); i++ {
-			at := dayStart.Add(time.Duration(9+rng.Intn(12)) * time.Hour)
-			plan = append(plan, planned{"Echo Dot", "voice", devices.MethodLocal, false, at})
-		}
-
-		// Execute per device so each result is one device-day capture.
+		// Group per device so each result is one device-day capture.
 		byDevice := map[string][]planned{}
-		for _, p := range plan {
+		for _, p := range plans[day] {
 			byDevice[p.device] = append(byDevice[p.device], p)
 		}
+		var out []*UncontrolledResult
 		for _, slot := range lab.Slots() {
 			events, ok := byDevice[slot.Inst.Profile.Name]
 			if !ok {
@@ -145,14 +163,19 @@ func (r *Runner) RunUncontrolled(visit func(*UncontrolledResult)) Stats {
 				})
 			}
 			sortExperiment(res.Experiment)
+			out = append(out, res)
+		}
+		return out
+	}
+
+	fanOut(r, "uncontrolled", days, runDay,
+		func(_ int, res *UncontrolledResult) {
 			stats.Experiments++
 			stats.Packets += int64(len(res.Experiment.Packets))
 			stats.Bytes += int64(res.Experiment.Bytes())
 			expTotal.Inc()
-			uncTotal.Inc()
 			visit(res)
-		}
-	}
+		})
 	return stats
 }
 

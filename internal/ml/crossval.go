@@ -13,6 +13,11 @@ type CVConfig struct {
 	Repeats   int
 	Forest    ForestConfig
 	Seed      int64
+	// Workers bounds repeat-evaluation parallelism: 0 means GOMAXPROCS, 1
+	// is serial. Results are bit-identical for every worker count: every
+	// split and forest seed is pre-drawn sequentially from Seed, repeats
+	// evaluate into per-index slots, and metrics fold in repeat order.
+	Workers int
 }
 
 // PaperCVConfig is the §6.3 protocol.
@@ -49,18 +54,41 @@ func CrossValidate(d *Dataset, cfg CVConfig) CVResult {
 	activityCounts := make(map[string]int)
 	var sumWeighted, sumMacro, sumAcc float64
 
+	// Pre-draw each repeat's split and forest seed in the order the
+	// serial loop consumed them. Repeats whose split degenerates draw no
+	// forest seed — exactly like the serial `continue` did — so the RNG
+	// stream lines up draw for draw.
+	type repeat struct {
+		train, test []int
+		seed        int64
+	}
+	reps := make([]repeat, 0, cfg.Repeats)
 	for r := 0; r < cfg.Repeats; r++ {
 		trainIdx, testIdx := StratifiedSplit(d, cfg.TrainFrac, rng)
 		if len(testIdx) == 0 || len(trainIdx) == 0 {
 			continue
 		}
+		reps = append(reps, repeat{trainIdx, testIdx, rng.Int63()})
+	}
+
+	// Evaluate repeats in parallel; each confusion matrix lands in its
+	// own slot and the float metrics fold in repeat order below, so the
+	// accumulation order matches the serial loop exactly. Inner forests
+	// train serially — the repeats already saturate the worker pool.
+	cms := make([]*stats.ConfusionMatrix, len(reps))
+	parallelFor(len(reps), workerCount(cfg.Workers), func(i int) {
 		fcfg := cfg.Forest
-		fcfg.Seed = rng.Int63()
-		forest := TrainForest(d.Subset(trainIdx), fcfg)
+		fcfg.Seed = reps[i].seed
+		fcfg.Workers = 1
+		forest := TrainForest(d.Subset(reps[i].train), fcfg)
 		cm := stats.NewConfusionMatrix()
-		for _, i := range testIdx {
-			cm.Add(d.Labels[i], forest.Predict(d.Features[i]))
+		for _, j := range reps[i].test {
+			cm.Add(d.Labels[j], forest.Predict(d.Features[j]))
 		}
+		cms[i] = cm
+	})
+
+	for _, cm := range cms {
 		sumWeighted += cm.WeightedF1()
 		sumMacro += cm.MacroF1()
 		sumAcc += cm.Accuracy()

@@ -3,4 +3,11 @@
 // with per-split feature subsampling, and stratified repeated
 // cross-validation. Everything is deterministic given a seed and built on
 // the standard library only.
+//
+// Training and cross-validation parallelize across trees and folds
+// (ForestConfig.Workers, CVConfig.Workers) without changing a single
+// prediction: all bootstrap index sets and per-tree seeds are pre-drawn
+// sequentially from the seeded RNG — the exact draw sequence of a
+// serial run — and workers grow trees placed by index. Forest.Predict
+// and PredictTop are allocation-free and safe for concurrent use.
 package ml

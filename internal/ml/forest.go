@@ -15,6 +15,12 @@ type ForestConfig struct {
 	Tree TreeConfig
 	// Seed drives bootstrap sampling and feature subsampling.
 	Seed int64
+	// Workers bounds tree-growing parallelism: 0 means GOMAXPROCS, 1 is
+	// serial. The trained forest is bit-identical for every worker count:
+	// all bootstrap index sets and per-tree seeds are drawn sequentially
+	// from Seed before any tree grows, and finished trees are placed by
+	// index.
+	Workers int
 }
 
 // DefaultForestConfig matches the scale the paper's classifiers used.
@@ -25,8 +31,12 @@ var DefaultForestConfig = ForestConfig{
 
 // Forest is a trained random-forest classifier.
 type Forest struct {
-	trees   []*Tree
-	classes []string
+	trees []*Tree
+	// classes holds the training set's class labels in sorted order;
+	// classIdx inverts it. Predict votes into a slice indexed by this
+	// table instead of a per-call map.
+	classes  []string
+	classIdx map[string]int
 }
 
 // TrainForest fits a bagged forest on d.
@@ -45,42 +55,76 @@ func TrainForest(d *Dataset, cfg ForestConfig) *Forest {
 		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	f := &Forest{classes: d.Classes()}
+	classes := append([]string(nil), d.Classes()...)
+	sort.Strings(classes)
+	f := &Forest{
+		trees:    make([]*Tree, cfg.NumTrees),
+		classes:  classes,
+		classIdx: make(map[string]int, len(classes)),
+	}
+	for i, c := range classes {
+		f.classIdx[c] = i
+	}
 	n := d.NumExamples()
-	for t := 0; t < cfg.NumTrees; t++ {
-		// Bootstrap sample with replacement.
+	// Pre-draw every random decision in the exact order the serial
+	// trainer consumed them — bootstrap indices then the tree's seed, per
+	// tree — so the ensemble is bit-identical for any worker count.
+	boots := make([][]int, cfg.NumTrees)
+	seeds := make([]int64, cfg.NumTrees)
+	for t := range boots {
 		idx := make([]int, n)
 		for i := range idx {
 			idx[i] = rng.Intn(n)
 		}
-		boot := d.Subset(idx)
-		treeRng := rand.New(rand.NewSource(rng.Int63()))
-		f.trees = append(f.trees, TrainTree(boot, tcfg, treeRng))
+		boots[t] = idx
+		seeds[t] = rng.Int63()
 	}
+	parallelFor(cfg.NumTrees, workerCount(cfg.Workers), func(t int) {
+		treeRng := rand.New(rand.NewSource(seeds[t]))
+		f.trees[t] = TrainTree(d.Subset(boots[t]), tcfg, treeRng)
+	})
 	return f
 }
 
 // NumTrees is the ensemble size.
 func (f *Forest) NumTrees() int { return len(f.trees) }
 
-// Predict returns the majority-vote class for x.
+// predictStackClasses bounds the vote buffer Predict keeps on the stack;
+// forests over more classes fall back to a heap slice per call.
+const predictStackClasses = 64
+
+// Predict returns the majority-vote class for x; ties break toward the
+// lexicographically smallest class. It allocates nothing for forests up
+// to predictStackClasses classes and is safe for concurrent use.
 func (f *Forest) Predict(x []float64) string {
-	votes := make(map[string]int)
+	label, _ := f.PredictTop(x)
+	return label
+}
+
+// PredictTop returns the majority-vote class and its vote share (votes
+// divided by ensemble size), with the same tie-break as Predict. It is
+// the allocation-free replacement for argmax(PredictProba(x)).
+func (f *Forest) PredictTop(x []float64) (string, float64) {
+	if len(f.trees) == 0 || len(f.classes) == 0 {
+		return "", 0
+	}
+	var stack [predictStackClasses]int
+	var votes []int
+	if len(f.classes) <= len(stack) {
+		votes = stack[:len(f.classes)]
+	} else {
+		votes = make([]int, len(f.classes))
+	}
 	for _, t := range f.trees {
-		votes[t.Predict(x)]++
+		votes[f.classIdx[t.Predict(x)]]++
 	}
-	best, bestN := "", -1
-	keys := make([]string, 0, len(votes))
-	for k := range votes {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		if votes[k] > bestN {
-			best, bestN = k, votes[k]
+	best := 0
+	for i := 1; i < len(votes); i++ {
+		if votes[i] > votes[best] {
+			best = i
 		}
 	}
-	return best
+	return f.classes[best], float64(votes[best]) / float64(len(f.trees))
 }
 
 // PredictProba returns the per-class vote share for x.

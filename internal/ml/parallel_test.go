@@ -1,0 +1,104 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// synthMulticlass builds a k-class separable problem so tie-breaks and
+// per-class metrics get exercised, not just binary votes.
+func synthMulticlass(n, features, k int, seed int64) *Dataset {
+	d := synthDataset(n, features, 0, seed)
+	for i := range d.Labels {
+		c := i % k
+		d.Labels[i] = fmt.Sprintf("class%02d", c)
+		for j := range d.Features[i] {
+			d.Features[i][j] += float64(c) * 6
+		}
+	}
+	return d
+}
+
+// forestFingerprint captures everything downstream code can observe about
+// a trained forest: its prediction and vote share on every probe row.
+func forestFingerprint(f *Forest, probes [][]float64) string {
+	out := ""
+	for _, x := range probes {
+		label, share := f.PredictTop(x)
+		out += fmt.Sprintf("%s/%.9f;", label, share)
+	}
+	return out
+}
+
+// The tentpole guarantee: a forest trained on N workers is bit-identical
+// to the serial build, because bootstrap indices and tree seeds are
+// pre-drawn from the same RNG stream and trees are placed by index.
+func TestTrainForestParallelBitIdentical(t *testing.T) {
+	d := synthMulticlass(90, 5, 3, 21)
+	serial := TrainForest(d, ForestConfig{NumTrees: 20, Seed: 7, Workers: 1})
+	for _, workers := range []int{2, 3, 8} {
+		par := TrainForest(d, ForestConfig{NumTrees: 20, Seed: 7, Workers: workers})
+		if got, want := forestFingerprint(par, d.Features), forestFingerprint(serial, d.Features); got != want {
+			t.Errorf("workers=%d forest differs from serial build", workers)
+		}
+	}
+}
+
+func TestCrossValidateParallelBitIdentical(t *testing.T) {
+	d := synthMulticlass(60, 4, 3, 33)
+	cfg := CVConfig{TrainFrac: 0.7, Repeats: 6, Seed: 13,
+		Forest: ForestConfig{NumTrees: 8}, Workers: 1}
+	serial := CrossValidate(d, cfg)
+	for _, workers := range []int{2, 4} {
+		cfg.Workers = workers
+		par := CrossValidate(d, cfg)
+		if par.DeviceF1 != serial.DeviceF1 || par.MacroF1 != serial.MacroF1 ||
+			par.Accuracy != serial.Accuracy || par.Repeats != serial.Repeats {
+			t.Errorf("workers=%d: aggregate metrics differ from serial run", workers)
+		}
+		if len(par.ActivityF1) != len(serial.ActivityF1) {
+			t.Fatalf("workers=%d: ActivityF1 size %d != %d", workers, len(par.ActivityF1), len(serial.ActivityF1))
+		}
+		for k, v := range serial.ActivityF1 {
+			if pv, ok := par.ActivityF1[k]; !ok || pv != v {
+				t.Errorf("workers=%d: ActivityF1[%q] = %v, serial %v", workers, k, pv, v)
+			}
+		}
+	}
+}
+
+// PredictTop must agree with the historical map-and-sort argmax over
+// PredictProba, including the lexicographically-smallest tie-break.
+func TestPredictTopMatchesProbaArgmax(t *testing.T) {
+	d := synthMulticlass(80, 4, 4, 5)
+	f := TrainForest(d, ForestConfig{NumTrees: 9, Seed: 3})
+	for i, x := range d.Features {
+		proba := f.PredictProba(x)
+		bestLabel, bestV := "", -1.0
+		for k, v := range proba {
+			if v > bestV || (v == bestV && k < bestLabel) {
+				bestLabel, bestV = k, v
+			}
+		}
+		label, share := f.PredictTop(x)
+		if label != bestLabel || math.Abs(share-bestV) > 0 {
+			t.Fatalf("row %d: PredictTop = (%s, %v), proba argmax = (%s, %v)",
+				i, label, share, bestLabel, bestV)
+		}
+	}
+}
+
+// The prediction hot loop runs once per traffic unit per model; it must
+// not allocate (it used to build and sort a map per call).
+func TestPredictZeroAllocs(t *testing.T) {
+	d := synthMulticlass(60, 4, 3, 9)
+	f := TrainForest(d, ForestConfig{NumTrees: 10, Seed: 2})
+	x := d.Features[0]
+	if avg := testing.AllocsPerRun(100, func() { f.Predict(x) }); avg != 0 {
+		t.Errorf("Predict allocates %v times per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { f.PredictTop(x) }); avg != 0 {
+		t.Errorf("PredictTop allocates %v times per call, want 0", avg)
+	}
+}

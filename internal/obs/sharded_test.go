@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardedCounterDeterministicTotal(t *testing.T) {
+	const shards, perShard = 8, 1000
+	sc := NewShardedCounter(shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perShard; i++ {
+				sc.Inc(w)
+			}
+			sc.Add(w, 2)
+		}(w)
+	}
+	wg.Wait()
+	want := int64(shards * (perShard + 2))
+	if got := sc.Total(); got != want {
+		t.Fatalf("Total = %d, want %d", got, want)
+	}
+	if got := sc.ShardValue(3); got != perShard+2 {
+		t.Fatalf("ShardValue(3) = %d, want %d", got, perShard+2)
+	}
+
+	c := &Counter{}
+	if got := sc.FlushTo(c); got != want {
+		t.Fatalf("FlushTo = %d, want %d", got, want)
+	}
+	if c.Value() != want {
+		t.Fatalf("flushed counter = %d, want %d", c.Value(), want)
+	}
+	if sc.Total() != 0 {
+		t.Fatalf("slots not zeroed after flush: %d", sc.Total())
+	}
+}
+
+func TestShardedCounterNilSafe(t *testing.T) {
+	var sc *ShardedCounter
+	sc.Inc(0)
+	sc.Add(2, 5)
+	if sc.Total() != 0 || sc.Shards() != 0 || sc.ShardValue(0) != 0 {
+		t.Fatal("nil ShardedCounter not inert")
+	}
+	if sc.FlushTo(nil) != 0 {
+		t.Fatal("nil FlushTo not inert")
+	}
+	// Out-of-range shards fold into slot 0 rather than dropping.
+	real := NewShardedCounter(2)
+	real.Inc(-1)
+	real.Inc(7)
+	if real.ShardValue(0) != 2 {
+		t.Fatalf("out-of-range increments lost: slot0 = %d", real.ShardValue(0))
+	}
+}

@@ -49,6 +49,11 @@ func (e *ErrTruncated) Error() string {
 
 // Record is one captured packet: its timestamp, the bytes captured and the
 // original wire length.
+//
+// Data returned by Reader.Next is carved from a shared arena slab with a
+// capped capacity (len == cap), so records are safe to retain and append
+// to — growing one reallocates rather than scribbling on a neighbour —
+// while the reader amortizes one allocation across many packets.
 type Record struct {
 	Time    time.Time
 	Data    []byte
@@ -61,6 +66,9 @@ type Writer struct {
 	nano    bool
 	snaplen int
 	count   int
+	// hdr is the per-packet header scratch buffer; bufio copies it on
+	// Write, so reusing it across WritePacket calls is safe.
+	hdr [packetHeaderLen]byte
 }
 
 // WriterOptions configure a Writer.
@@ -105,7 +113,7 @@ func (w *Writer) WritePacket(ts time.Time, data []byte) error {
 	if len(data) > w.snaplen {
 		data = data[:w.snaplen]
 	}
-	hdr := make([]byte, packetHeaderLen)
+	hdr := w.hdr[:]
 	sec := ts.Unix()
 	var sub int64
 	if w.nano {
@@ -133,6 +141,11 @@ func (w *Writer) Count() int { return w.count }
 // Flush flushes buffered bytes to the underlying writer.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
+// arenaChunk sizes the Reader's payload slab. IoT packets average well
+// under 1 KiB, so one chunk typically serves hundreds of records with a
+// single allocation.
+const arenaChunk = 64 * 1024
+
 // Reader reads a classic pcap stream.
 type Reader struct {
 	r        *bufio.Reader
@@ -142,6 +155,33 @@ type Reader struct {
 	linkType uint32
 	// offset is the byte position of the next unread record header.
 	offset int64
+	// hdr is the per-record header scratch; its bytes are fully decoded
+	// before the next read, so a single buffer serves every record.
+	hdr [packetHeaderLen]byte
+	// slab is the remaining tail of the current payload arena chunk.
+	// Record payloads are carved off its front with capacity capped at
+	// their length, so retained records never alias each other.
+	slab []byte
+}
+
+// alloc carves an n-byte payload buffer. Small requests share arena
+// chunks; outsized ones (≥ a quarter chunk) get their own allocation so a
+// few jumbo frames don't strand mostly-unused slabs.
+func (r *Reader) alloc(n int) []byte {
+	if n == 0 {
+		// Keep zero-length payloads non-nil: round-trip tests compare
+		// records with reflect.DeepEqual, which separates nil from empty.
+		return []byte{}
+	}
+	if n >= arenaChunk/4 {
+		return make([]byte, n)
+	}
+	if len(r.slab) < n {
+		r.slab = make([]byte, arenaChunk)
+	}
+	buf := r.slab[:n:n]
+	r.slab = r.slab[n:]
+	return buf
 }
 
 // NewReader parses the file header from r.
@@ -190,7 +230,7 @@ func (r *Reader) Nanosecond() bool { return r.nano }
 // written trailing records.
 func (r *Reader) Next() (Record, error) {
 	start := r.offset
-	hdr := make([]byte, packetHeaderLen)
+	hdr := r.hdr[:]
 	if n, err := io.ReadFull(r.r, hdr); err != nil {
 		if err == io.EOF {
 			return Record{}, io.EOF
@@ -216,7 +256,7 @@ func (r *Reader) Next() (Record, error) {
 	if capLen < 0 || capLen > bound+packetHeaderLen+65536 {
 		return Record{}, fmt.Errorf("pcapio: implausible capture length %d", capLen)
 	}
-	data := make([]byte, capLen)
+	data := r.alloc(capLen)
 	if n, err := io.ReadFull(r.r, data); err != nil {
 		r.offset += int64(n)
 		if err == io.EOF || err == io.ErrUnexpectedEOF {

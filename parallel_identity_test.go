@@ -1,0 +1,34 @@
+package intliot
+
+import "testing"
+
+// The tentpole guarantee through the public API: the full study — every
+// report table, the PII report, and the §7.3 unexpected-behavior report —
+// renders byte-identically whether synthesis and analysis run serial or
+// on any number of workers.
+func TestParallelStudyByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full studies skipped in -short")
+	}
+	run := func(workers int) string {
+		cfg := tinyFaultConfig("", 0)
+		cfg.UncontrolledDays = 2
+		cfg.Workers = workers
+		s, err := NewStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetAnalysisWorkers(workers)
+		s.Run()
+		if err := s.RunUncontrolled(); err != nil {
+			t.Fatal(err)
+		}
+		return renderAll(s) + s.UnexpectedReport().String()
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 7} {
+		if got := run(workers); got != serial {
+			t.Errorf("workers=%d: study output differs from serial run", workers)
+		}
+	}
+}
