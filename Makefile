@@ -26,10 +26,11 @@ race:
 # Focused race gate over the concurrency-heavy packages: the impairment
 # engine (consulted from parallel lab goroutines), the shared cloud
 # model, the campaign runner that fans out across labs, the parallel
-# forest trainer, and the sharded collector stage.
+# forest trainer, the sharded collector stage, and the streaming
+# ingest dispatcher with its bounded reorder window.
 racecore:
 	$(GO) test -race ./internal/faults/... ./internal/cloud/... ./internal/experiments/... \
-		./internal/ml/... ./internal/analysis/...
+		./internal/ml/... ./internal/analysis/... ./internal/ingest/...
 
 # Benchmark sweep (-run '^$$' skips the test suites): the root table
 # harness — which also refreshes BENCH_pipeline.json with the campaign's
@@ -47,7 +48,8 @@ fuzz:
 	done
 
 # End-to-end capture round trip: export a tiny campaign as per-device
-# pcaps, re-ingest it, and require byte-identical table output.
+# pcaps, re-ingest it — buffered and streamed through a small reorder
+# window — and require byte-identical table output from all three runs.
 smoke:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
 	$(GO) build -o "$$tmp/moniotr" ./cmd/moniotr && \
@@ -55,8 +57,11 @@ smoke:
 		> "$$tmp/direct.out" 2> "$$tmp/direct.err" && \
 	"$$tmp/moniotr" -ingest "$$tmp/caps" \
 		> "$$tmp/ingested.out" 2> "$$tmp/ingested.err" && \
+	"$$tmp/moniotr" -ingest "$$tmp/caps" -stream -ingest-window 16 \
+		> "$$tmp/streamed.out" 2> "$$tmp/streamed.err" && \
 	cmp "$$tmp/direct.out" "$$tmp/ingested.out" && \
-	echo "smoke: export->ingest tables byte-identical"
+	cmp "$$tmp/direct.out" "$$tmp/streamed.out" && \
+	echo "smoke: export->ingest tables byte-identical (buffered + streamed)"
 
 # Chaos smoke: a tiny campaign over an impaired network must complete
 # with no fatal errors, reproduce byte-identically under the same seed,

@@ -25,6 +25,7 @@ import (
 	"github.com/neu-sns/intl-iot-go/internal/entropy"
 	"github.com/neu-sns/intl-iot-go/internal/experiments"
 	"github.com/neu-sns/intl-iot-go/internal/features"
+	"github.com/neu-sns/intl-iot-go/internal/ingest"
 	"github.com/neu-sns/intl-iot-go/internal/ml"
 	"github.com/neu-sns/intl-iot-go/internal/mud"
 	"github.com/neu-sns/intl-iot-go/internal/netx"
@@ -79,6 +80,72 @@ func sharedStudy(b *testing.B) *intliot.Study {
 		study = s
 	})
 	return study
+}
+
+var (
+	captureDirOnce sync.Once
+	captureDir     string
+)
+
+// sharedCaptureDir exports a tiny-scale campaign once, giving the ingest
+// benchmarks a real on-disk capture tree to replay.
+func sharedCaptureDir(b *testing.B) string {
+	b.Helper()
+	captureDirOnce.Do(func() {
+		cfg := intliot.Config{
+			Seed:          1,
+			AutomatedReps: 1,
+			ManualReps:    1,
+			PowerReps:     1,
+			IdleHours:     map[string]float64{"US": 1, "GB": 1, "US->GB": 1, "GB->US": 1},
+			VPN:           true,
+		}
+		s, err := intliot.NewStudy(cfg)
+		if err != nil {
+			panic(err)
+		}
+		dir, err := os.MkdirTemp("", "moniotr-bench-captures")
+		if err != nil {
+			panic(err)
+		}
+		if err := ingest.Export(dir, s.Pipeline().Runner()); err != nil {
+			panic(err)
+		}
+		captureDir = dir
+	})
+	return captureDir
+}
+
+// benchIngest replays the shared capture tree end to end (decode,
+// identify, window-slice, deliver) in the given mode; b.SetBytes turns
+// the result into capture MB/s.
+func benchIngest(b *testing.B, opts ingest.Options) {
+	dir := sharedCaptureDir(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := ingest.Open(dir, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src.RunControlled(func(*testbed.Experiment) {})
+		src.RunIdle(func(*testbed.Experiment) {})
+		if i == 0 {
+			b.SetBytes(src.Report().Bytes)
+		}
+	}
+}
+
+// BenchmarkIngestBuffered is the buffer-everything baseline: the whole
+// campaign is decoded and held before the first experiment is delivered.
+func BenchmarkIngestBuffered(b *testing.B) {
+	benchIngest(b, ingest.Options{})
+}
+
+// BenchmarkIngestStream replays through the bounded reorder window;
+// captures are decoded twice (index + replay), trading throughput for an
+// O(window) memory high-water mark.
+func BenchmarkIngestStream(b *testing.B) {
+	benchIngest(b, ingest.Options{Stream: true})
 }
 
 var printedOnce sync.Map

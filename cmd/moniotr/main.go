@@ -5,7 +5,8 @@
 // Usage:
 //
 //	moniotr [-scale tiny|quick|bench|paper] [-csv dir] [-tables 2,5,11] [-skip-uncontrolled]
-//	        [-export-captures dir] [-ingest dir] [-strict] [-metrics out.json] [-pprof :6060]
+//	        [-export-captures dir] [-ingest dir] [-stream] [-ingest-window n] [-strict]
+//	        [-metrics out.json] [-pprof :6060]
 //	        [-faults clean|lossy-home|flaky-vpn|outage] [-fault-seed n] [-analysis-workers n]
 //
 // With -export-captures the campaign is additionally written to disk as
@@ -13,7 +14,11 @@
 // sidecars). With -ingest the campaign is not synthesized at all:
 // experiments are read back from such a directory and analysed,
 // producing the same tables — byte-identical for a directory written by
-// -export-captures at the same scale.
+// -export-captures at the same scale. -stream switches the ingest to the
+// bounded-memory streaming replayer: files are indexed first, then
+// re-decoded on demand through a reorder window of at most -ingest-window
+// experiments (default 256). Output stays byte-identical to buffered
+// ingest; only the memory high-water mark and wall time change.
 //
 // With -metrics the campaign is instrumented end to end (stage wall
 // times, per-collector visit counts, synthesis throughput, DNS and pcap
@@ -64,6 +69,8 @@ func main() {
 	faultProfile := flag.String("faults", "", "run the campaign under a network-impairment profile (clean, lossy-home, flaky-vpn, outage)")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the impairment engine (0 = campaign seed)")
 	strict := flag.Bool("strict", false, "with -ingest: exit non-zero if any capture content was skipped")
+	stream := flag.Bool("stream", false, "with -ingest: stream captures through a bounded reorder window instead of buffering the campaign")
+	ingestWindow := flag.Int("ingest-window", 0, "with -stream: reorder window capacity in experiments (0 = default)")
 	analysisWorkers := flag.Int("analysis-workers", 0, "analysis parallelism: 0 = one worker per core, 1 = serial; output is identical for any value")
 	flag.Parse()
 
@@ -122,9 +129,13 @@ func main() {
 		if *faultProfile != "" && *faultProfile != "clean" {
 			fmt.Fprintln(os.Stderr, "moniotr: -faults shapes synthesis only and is ignored with -ingest")
 		}
-		fmt.Fprintf(os.Stderr, "moniotr: ingesting captures from %s...\n", *ingestDir)
+		if *stream {
+			fmt.Fprintf(os.Stderr, "moniotr: streaming captures from %s...\n", *ingestDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "moniotr: ingesting captures from %s...\n", *ingestDir)
+		}
 		var err error
-		src, err = ingest.Open(*ingestDir, ingest.Options{})
+		src, err = ingest.Open(*ingestDir, ingest.Options{Stream: *stream, Window: *ingestWindow})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
 			os.Exit(1)
@@ -253,11 +264,11 @@ func progressLoop(reg *intliot.Metrics) func() {
 				return
 			case <-tick.C:
 				fmt.Fprintf(os.Stderr,
-					"moniotr: progress: stage=%s experiments=%d packets=%.1fM bytes=%.1fMB dns=%d\n",
+					"moniotr: progress: stage=%s experiments=%d packets=%.1fM bytes=%s dns=%d\n",
 					reg.Label("stage"),
 					reg.Counter("experiments_total").Value(),
 					float64(reg.Counter("packets_synthesized_total").Value())/1e6,
-					float64(reg.Counter("bytes_synthesized_total").Value())/1e6,
+					obs.HumanBytes(reg.Counter("bytes_synthesized_total").Value()),
 					reg.Counter("dns_queries_total").Value())
 			}
 		}

@@ -23,14 +23,27 @@
 //
 // Analyses must not depend on which worker parsed which file, and the
 // random-forest training is sensitive to dataset row order, so delivery
-// order is made deterministic: experiments are buffered during the
-// parallel parse, sorted by (lab, vpn leg, device catalog position,
-// capture path, window start) — the same order the synthesis runner
-// emits — and then replayed. Re-ingesting a directory written by Export
+// order is made deterministic: experiments are sorted by (lab, vpn leg,
+// device catalog position, capture path, window start) — the same order
+// the synthesis runner emits. Re-ingesting a directory written by Export
 // therefore reproduces the direct pipeline's tables byte for byte.
-// Buffering whole experiments trades peak memory for that guarantee;
-// packets are released file by file as the replay advances, so the
-// high-water mark is one campaign, same as the collectors themselves.
+//
+// Two delivery modes realize that order with different memory profiles:
+//
+//   - Buffered (the default): every file is parsed once with bounded
+//     parallelism, the decoded experiments are sorted and then replayed.
+//     Peak memory is the whole campaign, same as the collectors
+//     themselves at synthesis time.
+//
+//   - Streaming (Options.Stream): an index pass decodes every file but
+//     keeps only replay keys, recycling payload memory through a
+//     per-worker pcapio.Arena; each Run* leg then re-decodes files on
+//     demand, in first-use order, delivering through a reorder window of
+//     at most Options.Window experiments. Peak memory is O(window) — the
+//     campaign can be arbitrarily larger than RAM — at the cost of
+//     decoding each capture twice. Delivery order, stats, Report and all
+//     downstream tables are byte-identical to buffered mode; see
+//     stream.go for the scheduling argument.
 //
 // # Resilience
 //

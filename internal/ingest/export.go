@@ -26,6 +26,7 @@ import (
 // captures are identical to the ones any other pass produced.
 func Export(dir string, r *experiments.Runner) error {
 	seq := make(map[string]int)
+	var recs []pcapio.Record // serialization buffer, reused across captures
 	var firstErr error
 	save := func(top string) experiments.Visitor {
 		return func(exp *testbed.Experiment) {
@@ -35,7 +36,11 @@ func Export(dir string, r *experiments.Runner) error {
 			devDir := filepath.Join(dir, top, filepath.FromSlash(exp.Device.ID()))
 			n := seq[devDir]
 			seq[devDir] = n + 1
-			if err := writeCapture(devDir, n, exp); err != nil {
+			recs = recs[:0]
+			for _, p := range exp.Packets {
+				recs = append(recs, pcapio.Record{Time: p.Meta.Timestamp, Data: p.Serialize()})
+			}
+			if err := writeCapture(devDir, n, exp, recs); err != nil {
 				firstErr = err
 			}
 		}
@@ -52,8 +57,10 @@ func Export(dir string, r *experiments.Runner) error {
 }
 
 // writeCapture stores one experiment as "<devDir>/<n>.pcap" plus its
-// ".labels" sidecar.
-func writeCapture(devDir string, n int, exp *testbed.Experiment) error {
+// ".labels" sidecar. The pre-serialized records go down the coalesced
+// batch write path, one vectored write per chunk instead of two small
+// writes per packet.
+func writeCapture(devDir string, n int, exp *testbed.Experiment, recs []pcapio.Record) error {
 	if err := os.MkdirAll(devDir, 0o755); err != nil {
 		return err
 	}
@@ -67,11 +74,9 @@ func writeCapture(devDir string, n int, exp *testbed.Experiment) error {
 		f.Close()
 		return err
 	}
-	for _, p := range exp.Packets {
-		if err := pw.WritePacket(p.Meta.Timestamp, p.Serialize()); err != nil {
-			f.Close()
-			return err
-		}
+	if err := pw.WriteBatch(recs); err != nil {
+		f.Close()
+		return err
 	}
 	if err := pw.Flush(); err != nil {
 		f.Close()

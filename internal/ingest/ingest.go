@@ -22,6 +22,12 @@ import (
 	"github.com/neu-sns/intl-iot-go/internal/testbed"
 )
 
+// DefaultWindow is the streaming reorder window's default capacity, in
+// experiments. It comfortably covers the decode lookahead of any sane
+// worker count while keeping the window's packet footprint a rounding
+// error next to a buffered campaign.
+const DefaultWindow = 256
+
 // Options configure a capture-directory source.
 type Options struct {
 	// Workers bounds the per-file parse parallelism (0 = GOMAXPROCS).
@@ -34,6 +40,19 @@ type Options struct {
 	// allocation-deterministic and therefore matches the model the
 	// captures were synthesized against.
 	Internet *cloud.Internet
+	// Stream selects the bounded-memory delivery mode: instead of
+	// buffering every decoded experiment before replay, the source
+	// indexes the tree first (decoding files but keeping only replay
+	// keys), then re-decodes files on demand and delivers experiments
+	// through a bounded reorder window. Replay order — and therefore
+	// every downstream table — is byte-identical to buffered mode; peak
+	// memory is O(window), not O(campaign). See stream.go.
+	Stream bool
+	// Window caps the experiments held in the streaming reorder window
+	// (0 = DefaultWindow). It is a soft bound: delivery-order progress
+	// is never sacrificed to it, so the window can briefly overshoot by
+	// the contents of files already being decoded.
+	Window int
 }
 
 // SkipReport counts traffic dropped during ingestion, by reason.
@@ -65,8 +84,8 @@ type Report struct {
 // String renders the report compactly for log output.
 func (r Report) String() string {
 	return fmt.Sprintf(
-		"%d files, %d records (%.1f MB) -> %d experiments; skipped: %d truncated, %d unknown-device, %d unlabeled pkts, %d undecodable, %d bad files",
-		r.Files, r.Records, float64(r.Bytes)/1e6, r.Experiments,
+		"%d files, %d records (%s) -> %d experiments; skipped: %d truncated, %d unknown-device, %d unlabeled pkts, %d undecodable, %d bad files",
+		r.Files, r.Records, obs.HumanBytes(r.Bytes), r.Experiments,
 		r.Skips.TruncatedFiles, r.Skips.UnknownDevice, r.Skips.UnlabeledPackets,
 		r.Skips.DecodeErrors, r.Skips.BadFiles)
 }
@@ -108,10 +127,19 @@ type Source struct {
 
 	metrics *obs.Registry
 
-	once       sync.Once
-	report     Report
+	once   sync.Once
+	report Report
+
+	// Buffered mode: the decoded campaign, split by leg.
 	controlled []*entry
 	idle       []*entry
+
+	// Streaming mode: replay keys only, split by leg; packets are
+	// re-decoded on demand during replay (see stream.go).
+	ctlIndex  []streamEntry
+	idleIndex []streamEntry
+
+	slots map[string]slotPos
 }
 
 var _ analysis.Source = (*Source)(nil)
@@ -184,6 +212,7 @@ func Open(root string, opts Options) (*Source, error) {
 	if s.catalog == nil {
 		s.catalog = devices.Instances()
 	}
+	s.slots = slotIndex(s.catalog)
 	return s, nil
 }
 
@@ -195,22 +224,34 @@ func (s *Source) Internet() *cloud.Internet { return s.internet }
 // per-reason skip counts under the ingest_* names.
 func (s *Source) SetObs(reg *obs.Registry) { s.metrics = reg }
 
-// Report returns the ingestion counts; valid after the first Run*.
+// Report returns the ingestion counts; valid after the first Run*. In
+// streaming mode the counts come from the index pass, so they cover the
+// whole tree even before any experiment has been replayed.
 func (s *Source) Report() Report {
-	s.load()
+	s.prepare()
 	return s.report
 }
 
 // RunControlled replays the controlled (power + interaction) experiments
 // in campaign order.
 func (s *Source) RunControlled(visit experiments.Visitor) experiments.Stats {
-	s.load()
+	s.prepare()
+	if s.opts.Stream {
+		leg := s.ctlIndex
+		s.ctlIndex = nil // the tape is consumed as it plays
+		return s.streamReplay(leg, func(k testbed.ExperimentKind) bool { return k != testbed.KindIdle }, visit)
+	}
 	return s.replay(s.controlled, visit)
 }
 
 // RunIdle replays the idle capture windows in campaign order.
 func (s *Source) RunIdle(visit experiments.Visitor) experiments.Stats {
-	s.load()
+	s.prepare()
+	if s.opts.Stream {
+		leg := s.idleIndex
+		s.idleIndex = nil // the tape is consumed as it plays
+		return s.streamReplay(leg, func(k testbed.ExperimentKind) bool { return k == testbed.KindIdle }, visit)
+	}
 	return s.replay(s.idle, visit)
 }
 
@@ -221,111 +262,153 @@ func (s *Source) replay(entries []*entry, visit experiments.Visitor) experiments
 		if e == nil {
 			continue
 		}
-		exp := e.exp
-		stats.Experiments++
-		switch exp.Kind {
-		case testbed.KindPower:
-			stats.Power++
-		case testbed.KindInteraction:
-			if experiments.ActivityAutomated(exp.Device, exp.Activity) {
-				stats.Automated++
-			} else {
-				stats.Manual++
-			}
-		}
-		stats.Packets += int64(len(exp.Packets))
-		stats.Bytes += int64(exp.Bytes())
+		account(&stats, e.exp)
 		expTotal.Inc()
-		visit(exp)
+		visit(e.exp)
 		entries[i] = nil // the tape is consumed as it plays
 	}
 	return stats
 }
 
+// account folds one delivered experiment into the replay stats, exactly
+// the way the synthesis runner counts its own deliveries.
+func account(stats *experiments.Stats, exp *testbed.Experiment) {
+	stats.Experiments++
+	switch exp.Kind {
+	case testbed.KindPower:
+		stats.Power++
+	case testbed.KindInteraction:
+		if experiments.ActivityAutomated(exp.Device, exp.Activity) {
+			stats.Automated++
+		} else {
+			stats.Manual++
+		}
+	}
+	stats.Packets += int64(len(exp.Packets))
+	stats.Bytes += int64(exp.Bytes())
+}
+
 // fileResult carries one worker's output back to the merge step.
 type fileResult struct {
-	entries []*entry
+	entries []*entry      // decoded experiments (buffered mode, replay pass)
+	index   []streamEntry // replay keys only (streaming index pass)
 	report  Report
 }
 
-// load parses every capture file once, with bounded parallelism, then
-// sorts the buffered experiments into campaign replay order.
-func (s *Source) load() {
+// prepare runs the one-time ingestion pass for the configured mode:
+// buffered mode decodes and holds the whole campaign, streaming mode
+// builds the replay-order index and defers packet data to replay time.
+func (s *Source) prepare() {
 	s.once.Do(func() {
-		workers := s.opts.Workers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
+		if s.opts.Stream {
+			s.buildIndex()
+		} else {
+			s.loadBuffered()
 		}
-		if workers > len(s.files) {
-			workers = len(s.files)
-		}
-
-		var (
-			filesC   = s.metrics.Counter("ingest_files_total")
-			recordsC = s.metrics.Counter("ingest_records_total")
-			bytesC   = s.metrics.Counter("ingest_bytes_total")
-			expC     = s.metrics.Counter("ingest_experiments_total")
-			decodeH  = s.metrics.Histogram("ingest_file_decode_seconds", obs.DurationBuckets)
-		)
-
-		slots := slotIndex(s.catalog)
-		next := make(chan string)
-		results := make(chan fileResult)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for rel := range next {
-					t0 := time.Now()
-					res := s.parseFile(rel, slots)
-					decodeH.ObserveDuration(time.Since(t0))
-					results <- res
-				}
-			}()
-		}
-		go func() {
-			for _, rel := range s.files {
-				next <- rel
-			}
-			close(next)
-			wg.Wait()
-			close(results)
-		}()
-
-		var all []*entry
-		for res := range results {
-			all = append(all, res.entries...)
-			s.report.Files += res.report.Files
-			s.report.Records += res.report.Records
-			s.report.Bytes += res.report.Bytes
-			s.report.Experiments += res.report.Experiments
-			s.report.Skips.TruncatedFiles += res.report.Skips.TruncatedFiles
-			s.report.Skips.UnknownDevice += res.report.Skips.UnknownDevice
-			s.report.Skips.UnlabeledPackets += res.report.Skips.UnlabeledPackets
-			s.report.Skips.DecodeErrors += res.report.Skips.DecodeErrors
-			s.report.Skips.BadFiles += res.report.Skips.BadFiles
-		}
-		sort.Slice(all, func(i, j int) bool { return all[i].key.less(all[j].key) })
-		for _, e := range all {
-			switch e.exp.Kind {
-			case testbed.KindIdle:
-				s.idle = append(s.idle, e)
-			default:
-				s.controlled = append(s.controlled, e)
-			}
-		}
-
-		filesC.Add(int64(s.report.Files))
-		recordsC.Add(int64(s.report.Records))
-		bytesC.Add(s.report.Bytes)
-		expC.Add(int64(s.report.Experiments))
-		s.metrics.Counter("ingest_skips.truncated").Add(int64(s.report.Skips.TruncatedFiles))
-		s.metrics.Counter("ingest_skips.unknown_device").Add(int64(s.report.Skips.UnknownDevice))
-		s.metrics.Counter("ingest_skips.unlabeled").Add(int64(s.report.Skips.UnlabeledPackets))
-		s.metrics.Counter("ingest_skips.decode").Add(int64(s.report.Skips.DecodeErrors))
-		s.metrics.Counter("ingest_skips.bad_file").Add(int64(s.report.Skips.BadFiles))
 	})
+}
+
+// loadBuffered parses every capture file once, with bounded parallelism,
+// then sorts the buffered experiments into campaign replay order.
+func (s *Source) loadBuffered() {
+	var all []*entry
+	s.parsePass(false, func(res fileResult) { all = append(all, res.entries...) })
+	sort.Slice(all, func(i, j int) bool { return all[i].key.less(all[j].key) })
+	for _, e := range all {
+		switch e.exp.Kind {
+		case testbed.KindIdle:
+			s.idle = append(s.idle, e)
+		default:
+			s.controlled = append(s.controlled, e)
+		}
+	}
+	s.publishReport()
+}
+
+// parsePass runs the bounded-worker decode over every capture file,
+// merging per-file reports into s.report and handing each result to
+// collect on a single goroutine. With strip set, each worker decodes
+// through a reusable payload arena and keeps only the replay keys, so
+// the pass holds at most workers× one file's packets at a time.
+func (s *Source) parsePass(strip bool, collect func(fileResult)) {
+	workers := s.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.files) {
+		workers = len(s.files)
+	}
+	decodeH := s.metrics.Histogram("ingest_file_decode_seconds", obs.DurationBuckets)
+
+	next := make(chan string)
+	results := make(chan fileResult)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var arena *pcapio.Arena
+			if strip {
+				arena = pcapio.NewArena()
+			}
+			for rel := range next {
+				t0 := time.Now()
+				res := s.parseFile(rel, arena)
+				decodeH.ObserveDuration(time.Since(t0))
+				if strip {
+					res.index = make([]streamEntry, len(res.entries))
+					for i, e := range res.entries {
+						res.index[i] = streamEntry{key: e.key, kind: e.exp.Kind}
+					}
+					// Decoded packets alias the arena's chunks; drop them
+					// before recycling the memory for the next file.
+					res.entries = nil
+					arena.Reset()
+				}
+				results <- res
+			}
+		}()
+	}
+	go func() {
+		for _, rel := range s.files {
+			next <- rel
+		}
+		close(next)
+		wg.Wait()
+		close(results)
+	}()
+
+	for res := range results {
+		addReport(&s.report, res.report)
+		collect(res)
+	}
+}
+
+// addReport folds one per-file report into a running total.
+func addReport(dst *Report, src Report) {
+	dst.Files += src.Files
+	dst.Records += src.Records
+	dst.Bytes += src.Bytes
+	dst.Experiments += src.Experiments
+	dst.Skips.TruncatedFiles += src.Skips.TruncatedFiles
+	dst.Skips.UnknownDevice += src.Skips.UnknownDevice
+	dst.Skips.UnlabeledPackets += src.Skips.UnlabeledPackets
+	dst.Skips.DecodeErrors += src.Skips.DecodeErrors
+	dst.Skips.BadFiles += src.Skips.BadFiles
+}
+
+// publishReport mirrors the final ingestion counts into the metrics
+// registry, once, after the load/index pass completes.
+func (s *Source) publishReport() {
+	s.metrics.Counter("ingest_files_total").Add(int64(s.report.Files))
+	s.metrics.Counter("ingest_records_total").Add(int64(s.report.Records))
+	s.metrics.Counter("ingest_bytes_total").Add(s.report.Bytes)
+	s.metrics.Counter("ingest_experiments_total").Add(int64(s.report.Experiments))
+	s.metrics.Counter("ingest_skips.truncated").Add(int64(s.report.Skips.TruncatedFiles))
+	s.metrics.Counter("ingest_skips.unknown_device").Add(int64(s.report.Skips.UnknownDevice))
+	s.metrics.Counter("ingest_skips.unlabeled").Add(int64(s.report.Skips.UnlabeledPackets))
+	s.metrics.Counter("ingest_skips.decode").Add(int64(s.report.Skips.DecodeErrors))
+	s.metrics.Counter("ingest_skips.bad_file").Add(int64(s.report.Skips.BadFiles))
 }
 
 // slotPos locates an instance in the campaign order: lab index in
@@ -349,7 +432,11 @@ func slotIndex(catalog []*devices.Instance) map[string]slotPos {
 
 // parseFile ingests one capture: decode, identify, slice into windows.
 // Every failure mode is a counted skip; parseFile never aborts the run.
-func (s *Source) parseFile(rel string, slots map[string]slotPos) fileResult {
+// It is deterministic in rel alone, which is what lets streaming mode
+// re-parse a file during replay and recover the exact entries the index
+// pass saw. A non-nil arena backs packet payloads with recyclable
+// memory; the caller owns the reset and must discard the entries first.
+func (s *Source) parseFile(rel string, arena *pcapio.Arena) fileResult {
 	var res fileResult
 	res.report.Files = 1
 
@@ -364,6 +451,7 @@ func (s *Source) parseFile(rel string, slots map[string]slotPos) fileResult {
 		res.report.Skips.BadFiles++
 		return res
 	}
+	rd.SetArena(arena)
 
 	var pkts []*netx.Packet
 	for {
@@ -406,7 +494,7 @@ func (s *Source) parseFile(rel string, slots map[string]slotPos) fileResult {
 		res.report.Skips.UnknownDevice++
 		return res
 	}
-	pos, ok := slots[inst.ID()]
+	pos, ok := s.slots[inst.ID()]
 	if !ok {
 		res.report.Skips.UnknownDevice++
 		return res

@@ -36,9 +36,23 @@ func writeLabels(t *testing.T, path string, labels []pcapio.Label) {
 	}
 }
 
+// writeTestCapture serializes one experiment and stores it the way
+// Export does: "<devDir>/<n>.pcap" plus the ".labels" sidecar.
+func writeTestCapture(t *testing.T, devDir string, n int, exp *testbed.Experiment) {
+	t.Helper()
+	recs := make([]pcapio.Record, 0, len(exp.Packets))
+	for _, p := range exp.Packets {
+		recs = append(recs, pcapio.Record{Time: p.Meta.Timestamp, Data: p.Serialize()})
+	}
+	if err := writeCapture(devDir, n, exp, recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestIngestRobustness builds a capture tree exercising every failure
 // mode at once and checks that ingestion completes, keeps the good
-// experiments, and reports every skip reason as nonzero.
+// experiments, and reports every skip reason as nonzero — in both
+// buffered and streaming delivery modes.
 func TestIngestRobustness(t *testing.T) {
 	lab := makeLab(t)
 	slot := lab.Slots()[0]
@@ -51,9 +65,7 @@ func TestIngestRobustness(t *testing.T) {
 	devDir := filepath.Join(root, "controlled", filepath.FromSlash(slot.Inst.ID()))
 
 	// 000000: a healthy capture.
-	if err := writeCapture(devDir, 0, exp); err != nil {
-		t.Fatal(err)
-	}
+	writeTestCapture(t, devDir, 0, exp)
 
 	// 000001: the same capture cut mid-record -> truncated, prefix kept.
 	raw, err := os.ReadFile(filepath.Join(devDir, "000000.pcap"))
@@ -129,71 +141,92 @@ func TestIngestRobustness(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	src, err := Open(root, Options{Workers: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	reg := obs.NewRegistry()
-	src.SetObs(reg)
-
-	var got []*testbed.Experiment
-	stats := src.RunControlled(func(e *testbed.Experiment) { got = append(got, e) })
-	src.RunIdle(func(*testbed.Experiment) {})
-
-	// The healthy, truncated and decode-skip files each yield one
-	// experiment for the same device.
-	if len(got) != 3 {
-		t.Fatalf("delivered %d experiments, want 3", len(got))
-	}
-	if stats.Power != 3 || stats.Experiments != 3 {
-		t.Fatalf("stats = %+v, want 3 power experiments", stats)
-	}
-	full := got[0]
-	if full.Device.ID() != slot.Inst.ID() || full.Kind != testbed.KindPower {
-		t.Fatalf("experiment = (%s, %s), want (%s, power)", full.Device.ID(), full.Kind, slot.Inst.ID())
-	}
-	if len(full.Packets) != len(exp.Packets) {
-		t.Fatalf("healthy capture delivered %d packets, want %d", len(full.Packets), len(exp.Packets))
-	}
-	if len(got[1].Packets) >= len(exp.Packets) || len(got[1].Packets) == 0 {
-		t.Fatalf("truncated capture delivered %d packets, want a nonempty strict prefix of %d",
-			len(got[1].Packets), len(exp.Packets))
-	}
-
-	rep := src.Report()
-	if rep.Files != 6 {
-		t.Fatalf("report.Files = %d, want 6", rep.Files)
-	}
-	checks := map[string]int{
-		"truncated files":   rep.Skips.TruncatedFiles,
-		"unknown device":    rep.Skips.UnknownDevice,
-		"unlabeled packets": rep.Skips.UnlabeledPackets,
-		"decode errors":     rep.Skips.DecodeErrors,
-		"bad files":         rep.Skips.BadFiles,
-	}
-	for name, n := range checks {
-		if n == 0 {
-			t.Errorf("skip reason %s = 0, want nonzero (report: %s)", name, rep)
-		}
-	}
-
-	// The obs snapshot mirrors the report.
-	for counter, want := range map[string]int{
-		"ingest_files_total":          rep.Files,
-		"ingest_records_total":        rep.Records,
-		"ingest_experiments_total":    rep.Experiments,
-		"ingest_skips.truncated":      rep.Skips.TruncatedFiles,
-		"ingest_skips.unknown_device": rep.Skips.UnknownDevice,
-		"ingest_skips.unlabeled":      rep.Skips.UnlabeledPackets,
-		"ingest_skips.decode":         rep.Skips.DecodeErrors,
-		"ingest_skips.bad_file":       rep.Skips.BadFiles,
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"buffered", Options{Workers: 2}},
+		// Window 1 forces the reorder window through its stall path on
+		// any multi-experiment file ordering.
+		{"streaming", Options{Workers: 2, Stream: true, Window: 1}},
 	} {
-		if got := reg.Counter(counter).Value(); got != int64(want) {
-			t.Errorf("%s = %d, want %d", counter, got, want)
-		}
-	}
-	if reg.Histogram("ingest_file_decode_seconds", obs.DurationBuckets).Count() != 6 {
-		t.Error("decode latency histogram should have one observation per file")
+		t.Run(mode.name, func(t *testing.T) {
+			src, err := Open(root, mode.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := obs.NewRegistry()
+			src.SetObs(reg)
+
+			var got []*testbed.Experiment
+			stats := src.RunControlled(func(e *testbed.Experiment) { got = append(got, e) })
+			src.RunIdle(func(*testbed.Experiment) {})
+
+			// The healthy, truncated and decode-skip files each yield one
+			// experiment for the same device.
+			if len(got) != 3 {
+				t.Fatalf("delivered %d experiments, want 3", len(got))
+			}
+			if stats.Power != 3 || stats.Experiments != 3 {
+				t.Fatalf("stats = %+v, want 3 power experiments", stats)
+			}
+			full := got[0]
+			if full.Device.ID() != slot.Inst.ID() || full.Kind != testbed.KindPower {
+				t.Fatalf("experiment = (%s, %s), want (%s, power)", full.Device.ID(), full.Kind, slot.Inst.ID())
+			}
+			if len(full.Packets) != len(exp.Packets) {
+				t.Fatalf("healthy capture delivered %d packets, want %d", len(full.Packets), len(exp.Packets))
+			}
+			if len(got[1].Packets) >= len(exp.Packets) || len(got[1].Packets) == 0 {
+				t.Fatalf("truncated capture delivered %d packets, want a nonempty strict prefix of %d",
+					len(got[1].Packets), len(exp.Packets))
+			}
+
+			rep := src.Report()
+			if rep.Files != 6 {
+				t.Fatalf("report.Files = %d, want 6", rep.Files)
+			}
+			checks := map[string]int{
+				"truncated files":   rep.Skips.TruncatedFiles,
+				"unknown device":    rep.Skips.UnknownDevice,
+				"unlabeled packets": rep.Skips.UnlabeledPackets,
+				"decode errors":     rep.Skips.DecodeErrors,
+				"bad files":         rep.Skips.BadFiles,
+			}
+			for name, n := range checks {
+				if n == 0 {
+					t.Errorf("skip reason %s = 0, want nonzero (report: %s)", name, rep)
+				}
+			}
+
+			// The obs snapshot mirrors the report; the skip counts must not
+			// double-count streaming's replay re-parse.
+			for counter, want := range map[string]int{
+				"ingest_files_total":          rep.Files,
+				"ingest_records_total":        rep.Records,
+				"ingest_experiments_total":    rep.Experiments,
+				"ingest_skips.truncated":      rep.Skips.TruncatedFiles,
+				"ingest_skips.unknown_device": rep.Skips.UnknownDevice,
+				"ingest_skips.unlabeled":      rep.Skips.UnlabeledPackets,
+				"ingest_skips.decode":         rep.Skips.DecodeErrors,
+				"ingest_skips.bad_file":       rep.Skips.BadFiles,
+			} {
+				if got := reg.Counter(counter).Value(); got != int64(want) {
+					t.Errorf("%s = %d, want %d", counter, got, want)
+				}
+			}
+			if reg.Histogram("ingest_file_decode_seconds", obs.DurationBuckets).Count() != 6 {
+				t.Error("decode latency histogram should have one observation per file")
+			}
+			if mode.opts.Stream {
+				if hw := reg.Gauge("ingest_window_high_water").Value(); hw < 1 {
+					t.Errorf("ingest_window_high_water = %v, want >= 1", hw)
+				}
+				if occ := reg.Gauge("ingest_window_occupancy").Value(); occ != 0 {
+					t.Errorf("ingest_window_occupancy = %v after replay, want 0", occ)
+				}
+			}
+		})
 	}
 }
 
@@ -255,9 +288,7 @@ func TestIngestVPNTagRestoresColumn(t *testing.T) {
 	}
 	root := t.TempDir()
 	devDir := filepath.Join(root, "controlled", filepath.FromSlash(slot.Inst.ID()))
-	if err := writeCapture(devDir, 0, exp); err != nil {
-		t.Fatal(err)
-	}
+	writeTestCapture(t, devDir, 0, exp)
 	src, err := Open(root, Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,78 @@
+package ingest_test
+
+import (
+	"runtime"
+	"testing"
+
+	intliot "github.com/neu-sns/intl-iot-go"
+	"github.com/neu-sns/intl-iot-go/internal/ingest"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// TestStreamingMemoryHighWater guards the point of streaming mode: the
+// peak heap while replaying a tiny-scale exported campaign through a
+// small reorder window must stay below buffered mode's, which holds the
+// whole decoded campaign at its first delivery. Both peaks are sampled
+// the same way (forced GC + HeapAlloc at delivery points), so the
+// comparison is apples to apples even though the absolute numbers move
+// with the runtime.
+func TestStreamingMemoryHighWater(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second campaign round trip")
+	}
+	cfg := intliot.Config{
+		Seed:          1,
+		AutomatedReps: 1,
+		ManualReps:    1,
+		PowerReps:     1,
+		IdleHours:     map[string]float64{"US": 1, "GB": 1, "US->GB": 1, "GB->US": 1},
+		VPN:           true,
+	}
+	direct, err := intliot.NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := ingest.Export(dir, direct.Pipeline().Runner()); err != nil {
+		t.Fatal(err)
+	}
+
+	peak := func(opts ingest.Options) uint64 {
+		src, err := ingest.Open(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ms runtime.MemStats
+		var max uint64
+		visits := 0
+		visit := func(*testbed.Experiment) {
+			visits++
+			// GC on every visit would drown the test in collections;
+			// sampling the first delivery (buffered mode's peak — the
+			// whole campaign is resident) plus every 16th catches both
+			// profiles' steady state.
+			if visits != 1 && visits%16 != 0 {
+				return
+			}
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > max {
+				max = ms.HeapAlloc
+			}
+		}
+		src.RunControlled(visit)
+		src.RunIdle(visit)
+		if visits == 0 {
+			t.Fatal("no experiments replayed")
+		}
+		return max
+	}
+
+	buffered := peak(ingest.Options{})
+	streamed := peak(ingest.Options{Stream: true, Window: 8})
+	t.Logf("peak heap: buffered=%d streamed=%d (%.0f%%)",
+		buffered, streamed, 100*float64(streamed)/float64(buffered))
+	if streamed >= buffered {
+		t.Errorf("streaming peak heap %d B is not below buffered %d B", streamed, buffered)
+	}
+}

@@ -1,0 +1,80 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportString(t *testing.T) {
+	r := Report{
+		Files:       6,
+		Records:     1200,
+		Bytes:       1_234_567,
+		Experiments: 3,
+		Skips: SkipReport{
+			TruncatedFiles:   1,
+			UnknownDevice:    2,
+			UnlabeledPackets: 3,
+			DecodeErrors:     4,
+			BadFiles:         5,
+		},
+	}
+	got := r.String()
+	want := "6 files, 1200 records (1.2 MB) -> 3 experiments; " +
+		"skipped: 1 truncated, 2 unknown-device, 3 unlabeled pkts, 4 undecodable, 5 bad files"
+	if got != want {
+		t.Errorf("Report.String() = %q, want %q", got, want)
+	}
+
+	zero := Report{}.String()
+	if !strings.Contains(zero, "(0 B)") {
+		t.Errorf("zero report should render an exact byte count, got %q", zero)
+	}
+}
+
+func TestReportStrict(t *testing.T) {
+	if err := (Report{Files: 10, Records: 5000}).Strict(); err != nil {
+		t.Errorf("clean report should pass strict mode, got %v", err)
+	}
+
+	// Each skip reason alone must trip strict mode and be named in the
+	// error.
+	cases := []struct {
+		name  string
+		skips SkipReport
+		want  string
+	}{
+		{"truncated", SkipReport{TruncatedFiles: 2}, "2 truncated file(s)"},
+		{"unknown device", SkipReport{UnknownDevice: 1}, "1 unknown-device file(s)"},
+		{"unlabeled", SkipReport{UnlabeledPackets: 7}, "7 unlabeled packet(s)"},
+		{"decode", SkipReport{DecodeErrors: 3}, "3 undecodable record(s)"},
+		{"bad file", SkipReport{BadFiles: 4}, "4 unreadable file(s)"},
+	}
+	for _, c := range cases {
+		err := (Report{Skips: c.skips}).Strict()
+		if err == nil {
+			t.Errorf("%s: strict mode should fail", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q should mention %q", c.name, err, c.want)
+		}
+	}
+
+	// All reasons at once are listed together, in declaration order.
+	err := (Report{Skips: SkipReport{
+		TruncatedFiles: 1, UnknownDevice: 1, UnlabeledPackets: 1, DecodeErrors: 1, BadFiles: 1,
+	}}).Strict()
+	if err == nil {
+		t.Fatal("strict mode should fail with every skip reason set")
+	}
+	msg := err.Error()
+	for _, part := range []string{
+		"1 truncated file(s)", "1 unknown-device file(s)", "1 unlabeled packet(s)",
+		"1 undecodable record(s)", "1 unreadable file(s)",
+	} {
+		if !strings.Contains(msg, part) {
+			t.Errorf("combined error %q should mention %q", msg, part)
+		}
+	}
+}

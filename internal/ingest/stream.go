@@ -1,0 +1,219 @@
+package ingest
+
+// Streaming replay: bounded-memory delivery of a capture tree in exact
+// campaign order.
+//
+// Buffered mode decodes every file and holds the whole campaign before
+// the first experiment is delivered, so peak memory is O(campaign).
+// Streaming mode splits the work in two passes:
+//
+//  1. Index pass (buildIndex, via parsePass with strip=true): decode
+//     every file once with the usual bounded worker pool, but keep only
+//     each experiment's replay key and kind — a few dozen bytes per
+//     experiment instead of its packets. Payloads come out of a
+//     per-worker arena that is recycled after every file, so the pass
+//     holds at most workers× one file's packets. The ingestion Report
+//     and ingest_* metrics are accumulated here, once.
+//
+//  2. Replay pass (streamReplay, once per Run* leg): walk the sorted leg
+//     index and re-decode files on demand, dispatching them to the same
+//     worker pool in first-occurrence-in-replay-order and parking
+//     decoded experiments in a bounded reorder window until their turn.
+//     Because parseFile is deterministic in the file path alone, the
+//     re-parse recovers byte-identical experiments with byte-identical
+//     keys, so delivery order — and every downstream table — matches
+//     buffered mode exactly.
+//
+// The window is a soft bound chosen for progress, not a hard cap:
+// dispatch is gated while the window is full, but when nothing is in
+// flight the next scheduled file is decoded anyway (counted in
+// ingest_window_stalls_total), because the next-needed experiment can
+// only be inside it. Scheduling files by first occurrence in the sorted
+// leg index guarantees the entry at the delivery cursor always lives in
+// a file that is delivered, in flight, or at the head of the schedule —
+// so the replay can never deadlock.
+//
+// The price of O(window) memory is decoding every file twice (index +
+// replay legs); the EXPERIMENTS.md "Streaming ingestion" section
+// quantifies both sides of that trade.
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/neu-sns/intl-iot-go/internal/experiments"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// streamEntry is one experiment's slot in the replay-order index: its
+// deterministic sort key (which also names the capture file, key.dir +
+// key.file) and its kind, for splitting the index into Run* legs.
+type streamEntry struct {
+	key  sortKey
+	kind testbed.ExperimentKind
+}
+
+// buildIndex runs the index pass: a full strip-mode parse of the tree,
+// sorted into campaign order and split into the controlled and idle
+// legs. Packet data is discarded; replay re-decodes it on demand.
+func (s *Source) buildIndex() {
+	var all []streamEntry
+	s.parsePass(true, func(res fileResult) { all = append(all, res.index...) })
+	sort.Slice(all, func(i, j int) bool { return all[i].key.less(all[j].key) })
+	for _, e := range all {
+		switch e.kind {
+		case testbed.KindIdle:
+			s.idleIndex = append(s.idleIndex, e)
+		default:
+			s.ctlIndex = append(s.ctlIndex, e)
+		}
+	}
+	s.publishReport()
+}
+
+// fileSchedule lists a leg's capture files in first-occurrence order of
+// the sorted index — the dispatch order that makes the reorder window
+// small: by the time the delivery cursor reaches a key, its file is
+// always already dispatched or next in line.
+func fileSchedule(leg []streamEntry) []string {
+	var files []string
+	seen := make(map[string]bool)
+	for _, e := range leg {
+		rel := e.key.dir + e.key.file
+		if !seen[rel] {
+			seen[rel] = true
+			files = append(files, rel)
+		}
+	}
+	return files
+}
+
+// streamReplay delivers one leg of the campaign in exact index order,
+// re-decoding files with a bounded worker pool and holding at most
+// ~Window experiments in the reorder window. keep filters a re-parsed
+// file's experiments down to this leg (a file can hold both controlled
+// and idle windows); dropped ones are re-decoded again when their own
+// leg replays.
+func (s *Source) streamReplay(leg []streamEntry, keep func(testbed.ExperimentKind) bool, visit experiments.Visitor) experiments.Stats {
+	var stats experiments.Stats
+	if len(leg) == 0 {
+		return stats
+	}
+	window := s.opts.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	schedule := fileSchedule(leg)
+	workers := s.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(schedule) {
+		workers = len(schedule)
+	}
+
+	var (
+		expTotal  = s.metrics.Counter("experiments_total")
+		occupancy = s.metrics.Gauge("ingest_window_occupancy")
+		highWater = s.metrics.Gauge("ingest_window_high_water")
+		byteWater = s.metrics.Gauge("ingest_pending_bytes_high_water")
+		stalls    = s.metrics.Counter("ingest_window_stalls_total")
+	)
+	// High-water marks persist across legs: start from the registry's
+	// current value so the idle leg can only raise what the controlled
+	// leg recorded.
+	maxOcc := int(highWater.Value())
+	maxBytes := int64(byteWater.Value())
+
+	next := make(chan string)
+	results := make(chan []*entry)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rel := range next {
+				res := s.parseFile(rel, nil)
+				kept := res.entries[:0]
+				for _, e := range res.entries {
+					if keep(e.exp.Kind) {
+						kept = append(kept, e)
+					}
+				}
+				results <- kept
+			}
+		}()
+	}
+
+	pending := make(map[sortKey]*testbed.Experiment, window+workers)
+	var pendBytes int64
+	admit := func(kept []*entry) {
+		for _, e := range kept {
+			pending[e.key] = e.exp
+			pendBytes += int64(e.exp.Bytes())
+		}
+		if n := len(pending); n > maxOcc {
+			maxOcc = n
+			highWater.Set(float64(n))
+		}
+		if pendBytes > maxBytes {
+			maxBytes = pendBytes
+			byteWater.Set(float64(pendBytes))
+		}
+		occupancy.Set(float64(len(pending)))
+	}
+
+	dispatched, inflight := 0, 0
+	for pos := 0; pos < len(leg); {
+		// Deliver every experiment the window can satisfy in order.
+		if exp, ok := pending[leg[pos].key]; ok {
+			delete(pending, leg[pos].key)
+			pendBytes -= int64(exp.Bytes())
+			occupancy.Set(float64(len(pending)))
+			account(&stats, exp)
+			expTotal.Inc()
+			visit(exp)
+			pos++
+			continue
+		}
+		// The next-needed experiment is not decoded yet. Feed the pool
+		// if the window has room; once it fills, drain results until it
+		// drains — unless nothing is in flight, in which case the needed
+		// entry can only be in the next scheduled file, so decode it
+		// anyway (soft bound) and count the overshoot.
+		if dispatched < len(schedule) && (len(pending) < window || inflight == 0) {
+			if len(pending) >= window {
+				stalls.Inc()
+			}
+			select {
+			case next <- schedule[dispatched]:
+				dispatched++
+				inflight++
+			case kept := <-results:
+				inflight--
+				admit(kept)
+			}
+			continue
+		}
+		if inflight == 0 {
+			// Unreachable by construction: the schedule covers every key
+			// in the leg exactly once, so an undeliverable cursor with an
+			// idle pool means the index and re-parse disagree.
+			panic("ingest: streaming replay stalled; index/re-parse determinism violated")
+		}
+		kept := <-results
+		inflight--
+		admit(kept)
+	}
+	close(next)
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	for range results {
+		// Drain any in-flight decodes past the last needed entry.
+	}
+	occupancy.Set(0)
+	return stats
+}

@@ -1,0 +1,23 @@
+package obs
+
+import "fmt"
+
+// HumanBytes renders a byte count with a decimal-SI unit (kB, MB, …),
+// the scale pcap tooling and the paper's tables use. Values under 1 kB
+// print exact ("342 B"); larger ones keep one decimal ("1.2 MB"). It is
+// the one formatter shared by ingest reports and progress lines, so
+// operator-facing sizes always read the same way.
+func HumanBytes(n int64) string {
+	const unit = 1000
+	if n > -unit && n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	v := float64(n)
+	for _, u := range []string{"kB", "MB", "GB", "TB", "PB"} {
+		v /= unit
+		if v > -unit && v < unit {
+			return fmt.Sprintf("%.1f %s", v, u)
+		}
+	}
+	return fmt.Sprintf("%.1f EB", v/unit)
+}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHumanBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0 B"},
+		{1, "1 B"},
+		{999, "999 B"},
+		{1000, "1.0 kB"},
+		{1536, "1.5 kB"},
+		{999_949, "999.9 kB"},
+		{1_000_000, "1.0 MB"},
+		{1_234_567, "1.2 MB"},
+		{5_000_000_000, "5.0 GB"},
+		{7_200_000_000_000, "7.2 TB"},
+		{3_000_000_000_000_000, "3.0 PB"},
+		{math.MaxInt64, "9.2 EB"},
+		{-42, "-42 B"},
+		{-1_234_567, "-1.2 MB"},
+	}
+	for _, c := range cases {
+		if got := HumanBytes(c.n); got != c.want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

@@ -4,6 +4,15 @@
 // (0xa1b2c3d4) and nanosecond (0xa1b23c4d) variants are supported, as is
 // byte-swapped reading for files written on opposite-endian machines.
 //
+// The write path is built for campaign-scale export: WritePacket stages
+// each record's header and payload into one buffer so a partial write
+// can never desynchronize the stream from Count(), and WriteBatch
+// coalesces whole pre-serialized experiments into large record-aligned
+// chunks that bypass the bufio copy entirely. The read path pairs with
+// Arena, a recyclable payload allocator that makes repeated
+// decode-and-discard loops (the streaming ingest's index pass)
+// allocation-free at steady state.
+//
 // The package also implements the label sidecar files the testbed uses to
 // mark which experiment produced a window of traffic (§3.2 of the paper).
 package pcapio

@@ -61,14 +61,25 @@ type Record struct {
 }
 
 // Writer writes a classic pcap stream.
+//
+// Error handling: every record is staged (header and payload coalesced)
+// and handed to the underlying stream with a single Write, and Count
+// advances only when that write is accepted in full. After any error from
+// WritePacket, WriteBatch or Flush the stream is poisoned — the buffered
+// writer underneath fails every subsequent call with the same error — and
+// the bytes on the wire end at an arbitrary point inside the failed
+// record, so a reader of the output sees at most Count complete records
+// followed by an ErrTruncated tail.
 type Writer struct {
 	w       *bufio.Writer
 	nano    bool
 	snaplen int
 	count   int
-	// hdr is the per-packet header scratch buffer; bufio copies it on
-	// Write, so reusing it across WritePacket calls is safe.
-	hdr [packetHeaderLen]byte
+	// rec stages one record (or one WriteBatch chunk) — header and
+	// payload back to back — so each record reaches the underlying
+	// writer as a single coalesced Write; the buffer's capacity is
+	// reused across calls.
+	rec []byte
 }
 
 // WriterOptions configure a Writer.
@@ -107,13 +118,16 @@ func NewWriter(w io.Writer, opts WriterOptions) (*Writer, error) {
 	return &Writer{w: bw, nano: opts.Nanosecond, snaplen: opts.SnapLen}, nil
 }
 
-// WritePacket appends one record, truncating to the snap length.
-func (w *Writer) WritePacket(ts time.Time, data []byte) error {
-	origLen := len(data)
+// appendRecord stages one record — packet header plus payload, truncated
+// to the snap length — onto buf. origLen <= 0 means len(data).
+func (w *Writer) appendRecord(buf []byte, ts time.Time, data []byte, origLen int) []byte {
+	if origLen <= 0 {
+		origLen = len(data)
+	}
 	if len(data) > w.snaplen {
 		data = data[:w.snaplen]
 	}
-	hdr := w.hdr[:]
+	var hdr [packetHeaderLen]byte
 	sec := ts.Unix()
 	var sub int64
 	if w.nano {
@@ -125,17 +139,72 @@ func (w *Writer) WritePacket(ts time.Time, data []byte) error {
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(sub))
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data)))
 	binary.LittleEndian.PutUint32(hdr[12:16], uint32(origLen))
-	if _, err := w.w.Write(hdr); err != nil {
+	buf = append(buf, hdr[:]...)
+	return append(buf, data...)
+}
+
+// WritePacket appends one record, truncating to the snap length. The
+// header and payload reach the stream as one coalesced write, and Count
+// advances only if that write succeeds; see the Writer doc for the state
+// of the stream after an error.
+func (w *Writer) WritePacket(ts time.Time, data []byte) error {
+	w.rec = w.appendRecord(w.rec[:0], ts, data, 0)
+	if _, err := w.w.Write(w.rec); err != nil {
 		return err
 	}
-	_, err := w.w.Write(data)
-	if err == nil {
-		w.count++
+	w.count++
+	return nil
+}
+
+// batchChunk bounds WriteBatch's staging buffer: records are coalesced
+// into chunks of roughly this size (always ending on a record boundary)
+// before being flushed, so batching a huge slice does not stage it all
+// at once. It exceeds bufio's default buffer, so steady-state batch
+// chunks bypass the intermediate copy entirely.
+const batchChunk = 256 * 1024
+
+// WriteBatch appends records iovec-style: headers and payloads are
+// coalesced into large record-aligned chunks and each chunk reaches the
+// underlying stream as a single write, amortizing both the per-record
+// call overhead and (for chunks larger than the internal buffer) the
+// intermediate copy that per-packet writes pay. A record's OrigLen of 0
+// means len(Data), matching WritePacket. Count advances per chunk, by
+// the number of records the chunk carried; after an error the stream
+// state is as documented on Writer.
+func (w *Writer) WriteBatch(recs []Record) error {
+	buf := w.rec[:0]
+	staged := 0
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, err := w.w.Write(buf); err != nil {
+			return err
+		}
+		w.count += staged
+		staged = 0
+		buf = buf[:0]
+		return nil
 	}
+	for i := range recs {
+		buf = w.appendRecord(buf, recs[i].Time, recs[i].Data, recs[i].OrigLen)
+		staged++
+		if len(buf) >= batchChunk {
+			if err := flush(); err != nil {
+				w.rec = buf[:0]
+				return err
+			}
+		}
+	}
+	err := flush()
+	w.rec = buf[:0] // keep the grown capacity for the next batch
 	return err
 }
 
-// Count is the number of packets written so far.
+// Count is the number of records fully accepted by the writer so far.
+// It counts acceptance, not durability: bytes may still sit in the
+// internal buffer until Flush, and a Flush error invalidates the tail of
+// the stream without rolling Count back.
 func (w *Writer) Count() int { return w.count }
 
 // Flush flushes buffered bytes to the underlying writer.
@@ -145,6 +214,48 @@ func (w *Writer) Flush() error { return w.w.Flush() }
 // under 1 KiB, so one chunk typically serves hundreds of records with a
 // single allocation.
 const arenaChunk = 64 * 1024
+
+// Arena is a reusable payload allocator for Readers. By default every
+// Reader grows fresh slab chunks and abandons them to the garbage
+// collector; ingestion loops that decode a file, use its records, and
+// discard them before moving on can instead share one Arena across
+// files (Reader.SetArena) and Reset it between them, making the
+// steady-state decode path allocation-free.
+//
+// Reset recycles every chunk, so all record Data previously carved from
+// the arena is invalidated — callers must be done with the records (or
+// have copied what they keep) before resetting. An Arena is not safe for
+// concurrent use; give each decoding goroutine its own.
+type Arena struct {
+	chunks [][]byte
+	cur    int // chunk currently being carved
+	off    int // carve offset within chunks[cur]
+}
+
+// NewArena returns an empty arena; chunks are grown on demand.
+func NewArena() *Arena { return &Arena{} }
+
+// alloc carves an n-byte buffer (n < arenaChunk) with capacity capped at
+// its length, so retained records never alias each other.
+func (a *Arena) alloc(n int) []byte {
+	if a.cur < len(a.chunks) && len(a.chunks[a.cur])-a.off < n {
+		a.cur++
+		a.off = 0
+	}
+	if a.cur >= len(a.chunks) {
+		a.chunks = append(a.chunks, make([]byte, arenaChunk))
+		a.off = 0
+	}
+	buf := a.chunks[a.cur][a.off : a.off+n : a.off+n]
+	a.off += n
+	return buf
+}
+
+// Reset makes every chunk available for carving again. All previously
+// returned buffers are invalidated; see the type doc.
+func (a *Arena) Reset() {
+	a.cur, a.off = 0, 0
+}
 
 // Reader reads a classic pcap stream.
 type Reader struct {
@@ -162,7 +273,15 @@ type Reader struct {
 	// Record payloads are carved off its front with capacity capped at
 	// their length, so retained records never alias each other.
 	slab []byte
+	// arena, when set via SetArena, replaces slab as the payload source,
+	// letting callers recycle decode memory across files.
+	arena *Arena
 }
+
+// SetArena makes the reader carve record payloads from a caller-owned
+// reusable arena instead of growing private slab chunks. Records stay
+// valid until the arena is Reset; see Arena for the recycling contract.
+func (r *Reader) SetArena(a *Arena) { r.arena = a }
 
 // alloc carves an n-byte payload buffer. Small requests share arena
 // chunks; outsized ones (≥ a quarter chunk) get their own allocation so a
@@ -175,6 +294,9 @@ func (r *Reader) alloc(n int) []byte {
 	}
 	if n >= arenaChunk/4 {
 		return make([]byte, n)
+	}
+	if r.arena != nil {
+		return r.arena.alloc(n)
 	}
 	if len(r.slab) < n {
 		r.slab = make([]byte, arenaChunk)

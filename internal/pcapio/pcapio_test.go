@@ -395,6 +395,238 @@ func TestLabelsNaiveTimestampsUseDeclaredOffset(t *testing.T) {
 	}
 }
 
+// TestWriteBatchMatchesWritePacket locks the batch path's byte layout to
+// the per-packet path: same records, identical stream, consistent Count.
+func TestWriteBatchMatchesWritePacket(t *testing.T) {
+	frames := [][]byte{
+		{1, 2, 3, 4, 5},
+		bytes.Repeat([]byte{0xaa}, 1500),
+		{},
+		bytes.Repeat([]byte{0x42}, 300*1024), // larger than one batch chunk
+	}
+	var single, batched bytes.Buffer
+	ws, _ := NewWriter(&single, WriterOptions{Nanosecond: true})
+	wb, _ := NewWriter(&batched, WriterOptions{Nanosecond: true})
+	var recs []Record
+	for i, f := range frames {
+		ts := t0.Add(time.Duration(i) * time.Second)
+		if err := ws.WritePacket(ts, f); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, Record{Time: ts, Data: f})
+	}
+	if err := wb.WriteBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ws.Count() != wb.Count() || wb.Count() != len(frames) {
+		t.Fatalf("Count: per-packet %d, batch %d, want %d", ws.Count(), wb.Count(), len(frames))
+	}
+	if !bytes.Equal(single.Bytes(), batched.Bytes()) {
+		t.Fatal("batch write produced different bytes than per-packet writes")
+	}
+	// A second batch on a reused writer must keep appending correctly.
+	if err := wb.WriteBatch(recs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if wb.Count() != len(frames)+2 {
+		t.Fatalf("Count after second batch = %d, want %d", wb.Count(), len(frames)+2)
+	}
+}
+
+// TestWriteBatchHonorsOrigLen checks that reader-produced records (whose
+// OrigLen exceeds the captured bytes) survive a rewrite.
+func TestWriteBatchHonorsOrigLen(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, WriterOptions{})
+	if err := w.WriteBatch([]Record{{Time: t0, Data: []byte{1, 2, 3}, OrigLen: 99}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r, _ := NewReader(&buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.OrigLen != 99 || len(rec.Data) != 3 {
+		t.Fatalf("rec = (%d bytes, OrigLen %d), want (3, 99)", len(rec.Data), rec.OrigLen)
+	}
+}
+
+// failAfterWriter accepts n bytes, then fails every write.
+type failAfterWriter struct {
+	n       int
+	written int
+}
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		accepted := f.n - f.written
+		if accepted < 0 {
+			accepted = 0
+		}
+		f.written += accepted
+		return accepted, errors.New("disk full")
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+// TestWriteErrorKeepsCountConsistent is the accounting contract: a failed
+// record never advances Count, on either write path, and the writer stays
+// poisoned afterwards.
+func TestWriteErrorKeepsCountConsistent(t *testing.T) {
+	// Room for the file header and the first record only; the second
+	// record is large enough to force a flush through bufio, so the
+	// write error surfaces inside WritePacket rather than at Flush.
+	big := bytes.Repeat([]byte{0x7e}, 8192)
+	fw := &failAfterWriter{n: fileHeaderLen + packetHeaderLen + len(big)}
+	w, err := NewWriter(fw, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(t0, big); err != nil {
+		t.Fatalf("first record should fit: %v", err)
+	}
+	if err := w.WritePacket(t0.Add(time.Second), big); err == nil {
+		t.Fatal("expected write error for second record")
+	}
+	if w.Count() != 1 {
+		t.Fatalf("Count after failed record = %d, want 1", w.Count())
+	}
+	// The stream is poisoned: later writes and Flush keep failing and
+	// Count stays frozen.
+	if err := w.WritePacket(t0.Add(2*time.Second), []byte{1}); err == nil {
+		t.Fatal("poisoned writer accepted a record")
+	}
+	if err := w.WriteBatch([]Record{{Time: t0, Data: []byte{1}}}); err == nil {
+		t.Fatal("poisoned writer accepted a batch")
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("poisoned writer flushed cleanly")
+	}
+	if w.Count() != 1 {
+		t.Fatalf("Count moved after poisoning: %d", w.Count())
+	}
+}
+
+// TestWriteBatchErrorMidBatch: records in chunks flushed before the error
+// are counted, the failing chunk's are not.
+func TestWriteBatchErrorMidBatch(t *testing.T) {
+	rec := Record{Time: t0, Data: bytes.Repeat([]byte{9}, 64*1024)}
+	// Four records = one full batch chunk (256 KiB) plus a remainder;
+	// allow the first chunk through and fail the remainder.
+	perRec := packetHeaderLen + len(rec.Data)
+	fw := &failAfterWriter{n: fileHeaderLen + 4*perRec}
+	w, err := NewWriter(fw, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{rec, rec, rec, rec, rec, rec}
+	if err := w.WriteBatch(recs); err == nil {
+		t.Fatal("expected mid-batch write error")
+	}
+	if w.Count() != 4 {
+		t.Fatalf("Count = %d, want 4 (the flushed chunk)", w.Count())
+	}
+}
+
+// TestArenaReuse: a reader fed from a shared arena reuses its chunks
+// after Reset instead of growing, and records stay non-aliasing within
+// one decode pass.
+func TestArenaReuse(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, WriterOptions{})
+	for i := 0; i < 50; i++ {
+		w.WritePacket(t0.Add(time.Duration(i)*time.Millisecond), bytes.Repeat([]byte{byte(i)}, 512))
+	}
+	w.Flush()
+	raw := buf.Bytes()
+
+	arena := NewArena()
+	decode := func() []Record {
+		r, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.SetArena(arena)
+		recs, err := r.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+
+	recs := decode()
+	for i, rec := range recs {
+		if len(rec.Data) != 512 || rec.Data[0] != byte(i) {
+			t.Fatalf("record %d corrupted", i)
+		}
+		if cap(rec.Data) != len(rec.Data) {
+			t.Fatalf("record %d capacity not capped: cap=%d", i, cap(rec.Data))
+		}
+	}
+
+	arena.Reset()
+	chunksAfterFirst := len(arena.chunks)
+	first := recs[0].Data
+	recs2 := decode()
+	if len(arena.chunks) != chunksAfterFirst {
+		t.Fatalf("arena grew across Reset: %d -> %d chunks", chunksAfterFirst, len(arena.chunks))
+	}
+	// The recycled pass carves the same memory: the pre-Reset record now
+	// aliases the new pass's data, which is exactly the documented
+	// invalidation contract.
+	if &first[0] != &recs2[0].Data[0] {
+		t.Error("Reset did not recycle the first chunk")
+	}
+}
+
+// TestArenaAllocationFreeSteadyState: after the first file grows the
+// chunks, repeated decode+Reset cycles allocate nothing in the payload
+// path.
+func TestArenaAllocationFreeSteadyState(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, WriterOptions{})
+	for i := 0; i < 100; i++ {
+		w.WritePacket(t0.Add(time.Duration(i)*time.Millisecond), bytes.Repeat([]byte{1}, 700))
+	}
+	w.Flush()
+	raw := buf.Bytes()
+
+	arena := NewArena()
+	reader := bytes.NewReader(raw)
+	allocs := testing.AllocsPerRun(20, func() {
+		arena.Reset()
+		reader.Reset(raw)
+		r, err := NewReader(reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.SetArena(arena)
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	// NewReader itself allocates (Reader struct, bufio, file header);
+	// the per-record payload path must not. ~100 records per pass would
+	// show up as ≥100 allocs/op if the arena failed to recycle.
+	if allocs > 10 {
+		t.Fatalf("steady-state decode allocates %.0f/op, want ≤10 (arena not recycling)", allocs)
+	}
+}
+
 func TestLabelTagsRoundTrip(t *testing.T) {
 	labels := []Label{{
 		Start: t0, End: t0.Add(time.Minute),

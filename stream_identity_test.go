@@ -1,0 +1,63 @@
+package intliot
+
+import (
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/analysis"
+	"github.com/neu-sns/intl-iot-go/internal/ingest"
+	"github.com/neu-sns/intl-iot-go/internal/ml"
+)
+
+// The streaming-ingest guarantee through the public API: replaying an
+// exported campaign through the bounded reorder window — at any window
+// size, including the degenerate window of one — renders every report
+// table byte-identically to the buffer-everything ingest, and the
+// ingestion report (which streaming accumulates during its index pass)
+// matches count for count.
+func TestStreamingIngestByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign round trips skipped in -short")
+	}
+	cfg := tinyFaultConfig("", 0)
+	cfg.VPN = true
+	inferCfg := analysis.InferConfig{CV: ml.CVConfig{
+		TrainFrac: 0.7, Repeats: 2, Seed: 42,
+		Forest: ml.ForestConfig{NumTrees: 5},
+	}}
+
+	direct, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct.SetInferenceConfig(inferCfg)
+	direct.Run()
+	dir := t.TempDir()
+	if err := ingest.Export(dir, direct.Pipeline().Runner()); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(opts ingest.Options) (string, ingest.Report) {
+		src, err := ingest.Open(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewStudyFromSource(src)
+		s.SetInferenceConfig(inferCfg)
+		s.Run()
+		return renderAll(s), src.Report()
+	}
+
+	buffered, bufRep := run(ingest.Options{})
+	if bufRep.Experiments == 0 {
+		t.Fatal("no experiments ingested")
+	}
+	for _, window := range []int{1, 8, 0} { // 0 = DefaultWindow
+		got, rep := run(ingest.Options{Stream: true, Window: window})
+		if got != buffered {
+			t.Errorf("window=%d: streamed study output differs from buffered ingest", window)
+		}
+		if rep != bufRep {
+			t.Errorf("window=%d: streamed report = %+v, buffered = %+v", window, rep, bufRep)
+		}
+	}
+}
