@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet fmt build test race racecore bench fuzz smoke chaos
+.PHONY: check vet fmt build test race racecore bench fuzz smoke chaos serve-smoke
 
 # Pre-PR gate: everything here must pass before sending a change.
 # racecore runs first: the packages that juggle goroutines and the fault
 # engine fail fast before the full -race sweep.
-check: vet fmt build racecore race smoke chaos
+check: vet fmt build racecore race smoke chaos serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,7 +30,8 @@ race:
 # ingest dispatcher with its bounded reorder window.
 racecore:
 	$(GO) test -race ./internal/faults/... ./internal/cloud/... ./internal/experiments/... \
-		./internal/ml/... ./internal/analysis/... ./internal/ingest/...
+		./internal/ml/... ./internal/analysis/... ./internal/ingest/... \
+		./internal/service/...
 
 # Benchmark sweep (-run '^$$' skips the test suites): the root table
 # harness — which also refreshes BENCH_pipeline.json with the campaign's
@@ -62,6 +63,39 @@ smoke:
 	cmp "$$tmp/direct.out" "$$tmp/ingested.out" && \
 	cmp "$$tmp/direct.out" "$$tmp/streamed.out" && \
 	echo "smoke: export->ingest tables byte-identical (buffered + streamed)"
+
+# Daemon smoke: start moniotrd on an ephemeral port, upload a tiny
+# exported campaign as a tar archive, wait for the streaming-ingest job,
+# and require the daemon's JSON report to be byte-identical to the CLI's
+# `moniotr -json` output for the same campaign. SIGTERM must drain the
+# daemon cleanly (exit 0).
+serve-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o "$$tmp/moniotr" ./cmd/moniotr && \
+	$(GO) build -o "$$tmp/moniotrd" ./cmd/moniotrd && \
+	"$$tmp/moniotr" -scale tiny -skip-uncontrolled -export-captures "$$tmp/caps" -json \
+		> "$$tmp/cli.json" 2> "$$tmp/cli.err" || exit 1; \
+	"$$tmp/moniotrd" -addr 127.0.0.1:0 -port-file "$$tmp/port" -data "$$tmp/spool" \
+		-grace 30s > "$$tmp/daemon.log" 2>&1 & \
+	pid=$$!; \
+	trap 'kill "$$pid" 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	for i in $$(seq 100); do [ -s "$$tmp/port" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/port" ] || { echo "serve-smoke: daemon never listened"; cat "$$tmp/daemon.log"; exit 1; }; \
+	port=$$(cat "$$tmp/port"); \
+	tar -cf - -C "$$tmp/caps" . | \
+		curl -sf -X POST --data-binary @- "http://127.0.0.1:$$port/api/upload?stream=1" \
+		> "$$tmp/submit.json" || { echo "serve-smoke: upload failed"; cat "$$tmp/daemon.log"; exit 1; }; \
+	grep -q '"id": "job-0001"' "$$tmp/submit.json" || { echo "serve-smoke: bad submit response"; cat "$$tmp/submit.json"; exit 1; }; \
+	state=""; \
+	for i in $$(seq 600); do \
+		state=$$(curl -sf "http://127.0.0.1:$$port/api/jobs/job-0001" | grep -o '"state": "[a-z]*"'); \
+		case "$$state" in *done*|*failed*|*canceled*) break;; esac; sleep 0.5; \
+	done; \
+	case "$$state" in *done*) ;; *) echo "serve-smoke: job ended as $$state"; cat "$$tmp/daemon.log"; exit 1;; esac; \
+	curl -sf "http://127.0.0.1:$$port/api/jobs/job-0001/report" > "$$tmp/daemon.json" && \
+	cmp "$$tmp/cli.json" "$$tmp/daemon.json" || { echo "serve-smoke: reports differ"; exit 1; }; \
+	kill -TERM "$$pid" && wait "$$pid" || { echo "serve-smoke: daemon exited non-zero"; cat "$$tmp/daemon.log"; exit 1; }; \
+	echo "serve-smoke: upload->report byte-identical to moniotr -json; clean SIGTERM drain"
 
 # Chaos smoke: a tiny campaign over an impaired network must complete
 # with no fatal errors, reproduce byte-identically under the same seed,

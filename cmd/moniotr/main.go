@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	moniotr [-scale tiny|quick|bench|paper] [-csv dir] [-tables 2,5,11] [-skip-uncontrolled]
+//	moniotr [-scale tiny|quick|bench|paper] [-csv dir] [-json] [-tables 2,5,11]
+//	        [-skip-uncontrolled]
 //	        [-export-captures dir] [-ingest dir] [-stream] [-ingest-window n] [-strict]
 //	        [-metrics out.json] [-pprof :6060]
 //	        [-faults clean|lossy-home|flaky-vpn|outage] [-fault-seed n] [-analysis-workers n]
@@ -39,6 +40,11 @@
 // collectors, forest training, model evaluation); 0 means one worker per
 // core and 1 forces the historical serial pipeline. Every table is
 // byte-identical for any value — the flag trades wall time only.
+//
+// With -json the selected tables are written to stdout as one canonical
+// JSON document (the same renderer the moniotrd report API uses, so the
+// two are byte-identical for the same campaign) instead of aligned
+// text. -csv continues to work alongside it.
 package main
 
 import (
@@ -60,6 +66,7 @@ import (
 func main() {
 	scale := flag.String("scale", "quick", "campaign scale: tiny, quick, bench or paper")
 	csvDir := flag.String("csv", "", "also export tables as CSV into this directory")
+	jsonOut := flag.Bool("json", false, "write the tables to stdout as one canonical JSON document instead of aligned text")
 	exportDir := flag.String("export-captures", "", "write the campaign to this directory as per-device pcaps + label sidecars")
 	ingestDir := flag.String("ingest", "", "skip synthesis and ingest a capture directory (as written by -export-captures)")
 	tables := flag.String("tables", "all", "comma-separated table list (1-11, fig2, pii, unexpected) or 'all'")
@@ -88,28 +95,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "moniotr: pprof listening on %s\n", *pprofAddr)
 	}
 
-	var cfg intliot.Config
-	switch *scale {
-	case "tiny":
-		cfg = intliot.QuickConfig()
-		cfg.AutomatedReps = 1
-		cfg.ManualReps = 1
-		cfg.PowerReps = 1
-		cfg.IdleHours = map[string]float64{"US": 1, "GB": 1, "US->GB": 1, "GB->US": 1}
-		cfg.UncontrolledDays = 1
-	case "quick":
-		cfg = intliot.QuickConfig()
-	case "bench":
-		cfg = intliot.QuickConfig()
-		cfg.AutomatedReps = 12
-		cfg.ManualReps = 3
-		cfg.PowerReps = 3
-		cfg.IdleHours = map[string]float64{"US": 6, "GB": 6, "US->GB": 4, "GB->US": 4}
-		cfg.UncontrolledDays = 4
-	case "paper":
-		cfg = intliot.PaperConfig()
-	default:
-		fmt.Fprintf(os.Stderr, "moniotr: unknown scale %q\n", *scale)
+	cfg, err := intliot.ScaleConfig(*scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -202,38 +190,21 @@ func main() {
 	study.Summary(os.Stderr)
 	fmt.Fprintf(os.Stderr, "moniotr: campaign done in %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	type entry struct {
-		key   string
-		build func() *intliot.Table
-	}
-	entries := []entry{
-		{"headline", study.Headline},
-		{"1", study.Table1},
-		{"2", study.Table2},
-		{"3", study.Table3},
-		{"4", study.Table4},
-		{"fig2", study.Figure2},
-		{"5", study.Table5},
-		{"6", study.Table6},
-		{"7", func() *intliot.Table { return study.Table7(nil) }},
-		{"8", study.Table8},
-		{"9", study.Table9},
-		{"10", study.Table10},
-		{"11", func() *intliot.Table { return study.Table11(3) }},
-		{"pii", study.PIIReport},
-	}
-	if !*skipUncontrolled {
-		entries = append(entries, entry{"unexpected", study.UnexpectedReport})
-	}
-	for _, e := range entries {
-		if !selected(e.key) {
-			continue
+	doc := study.ReportDocument().Filter(selected)
+	if *jsonOut {
+		if err := doc.RenderJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: json render: %v\n", err)
+			os.Exit(1)
 		}
-		tbl := e.build()
-		tbl.Render(os.Stdout)
-		fmt.Println()
-		if *csvDir != "" {
-			if err := exportCSV(*csvDir, e.key, tbl); err != nil {
+	} else {
+		for _, e := range doc.Entries {
+			e.Table.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if *csvDir != "" {
+		for _, e := range doc.Entries {
+			if err := exportCSV(*csvDir, e.Key, e.Table); err != nil {
 				fmt.Fprintf(os.Stderr, "moniotr: csv export: %v\n", err)
 				os.Exit(1)
 			}

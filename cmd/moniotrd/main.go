@@ -1,0 +1,263 @@
+// Command moniotrd is the long-running face of the reproduction: where
+// moniotr runs one campaign and exits, moniotrd keeps campaigns running
+// on a schedule, accepts capture uploads for streaming ingestion, and
+// serves every paper table over HTTP as canonical JSON — byte-identical
+// to `moniotr -json` for the same campaign.
+//
+// Usage:
+//
+//	moniotrd [-addr host:port] [-port-file path]
+//	         [-schedule "NAME=SPEC[;scale=S][;faults=P][;fault-seed=N][;workers=N]"]...
+//	         [-scale tiny|quick|bench|paper] [-faults P] [-fault-seed N]
+//	         [-analysis-workers n] [-max-jobs n] [-queue n] [-grace d]
+//	         [-data dir] [-tz zone] [-simulate d]
+//
+// Each -schedule (repeatable) registers a recurring campaign. SPEC is
+// one of:
+//
+//	every DURATION        e.g. "every 6h"
+//	daily HH:MM           e.g. "daily 03:30"
+//	on DAYS HH:MM         e.g. "on mon,thu 03:30"
+//
+// Wall-clock times are interpreted in -tz (an IANA zone name, default
+// UTC); daily schedules fire once per civil day across DST transitions.
+// Per-schedule ;key=value overrides replace the daemon-wide -scale,
+// -faults, -fault-seed and -analysis-workers defaults, so one schedule
+// can run clean while another runs lossy.
+//
+// At most -max-jobs campaigns run concurrently; up to -queue more wait,
+// and beyond that submissions are rejected (HTTP 503) rather than
+// buffered without bound. On SIGINT/SIGTERM the daemon stops accepting
+// work, cancels queued jobs, gives in-flight jobs -grace to drain, then
+// cancels their context — the analysis pipeline aborts mid-stage — and
+// exits 0.
+//
+// With -simulate the daemon does not listen at all: it fast-forwards a
+// simulated clock through the given horizon (e.g. -simulate 168h for a
+// week), runs every scheduled fire for real in order, prints the final
+// status as JSON, and exits — a deterministic dry run of a schedule
+// configuration.
+//
+// Endpoints: / (dashboard), /healthz, /metrics, /api/status,
+// /api/schedules, /api/jobs (GET list, POST submit), /api/jobs/{id},
+// /api/jobs/{id}/report, /api/upload (POST tar of a capture
+// directory). See docs/OPERATIONS.md for the full reference and curl
+// examples.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+	_ "time/tzdata" // schedules must work without a host zoneinfo dir
+
+	"github.com/neu-sns/intl-iot-go/internal/obs"
+	"github.com/neu-sns/intl-iot-go/internal/service"
+)
+
+// repeatable collects a repeatable string flag.
+type repeatable []string
+
+func (r *repeatable) String() string     { return strings.Join(*r, ", ") }
+func (r *repeatable) Set(v string) error { *r = append(*r, v); return nil }
+
+type namedSchedule struct {
+	name  string
+	sched service.Schedule
+	spec  service.JobSpec
+}
+
+// parseScheduleFlag parses one -schedule value:
+// NAME=SPEC[;scale=S][;faults=P][;fault-seed=N][;workers=N], where the
+// defaults fill whatever the overrides don't set.
+func parseScheduleFlag(v string, loc *time.Location, defaults service.JobSpec) (namedSchedule, error) {
+	fail := func(format string, args ...any) (namedSchedule, error) {
+		return namedSchedule{}, fmt.Errorf("-schedule %q: %s", v, fmt.Sprintf(format, args...))
+	}
+	name, rest, ok := strings.Cut(v, "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return fail("want NAME=SPEC")
+	}
+	parts := strings.Split(rest, ";")
+	sched, err := service.ParseSchedule(strings.TrimSpace(parts[0]), loc)
+	if err != nil {
+		return fail("%v", err)
+	}
+	spec := defaults
+	for _, opt := range parts[1:] {
+		key, val, ok := strings.Cut(strings.TrimSpace(opt), "=")
+		if !ok {
+			return fail("bad option %q (want key=value)", opt)
+		}
+		switch key {
+		case "scale":
+			spec.Scale = val
+		case "faults":
+			spec.FaultProfile = val
+		case "fault-seed":
+			if spec.FaultSeed, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return fail("bad fault-seed: %v", err)
+			}
+		case "workers":
+			if spec.Workers, err = strconv.Atoi(val); err != nil {
+				return fail("bad workers: %v", err)
+			}
+		default:
+			return fail("unknown option %q (want scale/faults/fault-seed/workers)", key)
+		}
+	}
+	return namedSchedule{name: name, sched: sched, spec: spec}, nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8799", "listen address (use :0 for an ephemeral port)")
+	portFile := flag.String("port-file", "", "write the bound TCP port to this file after listening")
+	var schedules repeatable
+	flag.Var(&schedules, "schedule", "recurring campaign, NAME=SPEC[;scale=S][;faults=P][;fault-seed=N][;workers=N] (repeatable)")
+	scale := flag.String("scale", "quick", "default campaign scale for scheduled and API jobs")
+	faultProfile := flag.String("faults", "", "default network-impairment profile for scheduled jobs (clean, lossy-home, flaky-vpn, outage)")
+	faultSeed := flag.Int64("fault-seed", 0, "default seed for the impairment engine (0 = campaign seed)")
+	analysisWorkers := flag.Int("analysis-workers", 0, "default analysis parallelism per job: 0 = one worker per core")
+	maxJobs := flag.Int("max-jobs", 1, "campaigns run concurrently")
+	queueLen := flag.Int("queue", 8, "jobs waiting beyond the running ones before submissions are rejected")
+	grace := flag.Duration("grace", 30*time.Second, "how long in-flight jobs may drain on shutdown before their context is cancelled")
+	dataDir := flag.String("data", "", "spool directory for capture uploads (default: the system temp dir)")
+	tz := flag.String("tz", "UTC", "IANA time zone for wall-clock schedules (e.g. America/New_York)")
+	simulate := flag.Duration("simulate", 0, "do not listen; fast-forward the schedules through this horizon and exit")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "moniotrd: ", log.LstdFlags|log.Lmicroseconds)
+
+	loc, err := time.LoadLocation(*tz)
+	if err != nil {
+		logger.Fatalf("-tz: %v", err)
+	}
+	defaults := service.JobSpec{
+		Scale:        *scale,
+		FaultProfile: *faultProfile,
+		FaultSeed:    *faultSeed,
+		Workers:      *analysisWorkers,
+	}
+	var named []namedSchedule
+	for _, v := range schedules {
+		ns, err := parseScheduleFlag(v, loc, defaults)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		named = append(named, ns)
+	}
+
+	var clock service.Clock = service.RealClock()
+	var sim *service.SimClock
+	if *simulate > 0 {
+		sim = service.NewSimClock(time.Now())
+		clock = sim
+	}
+
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg) // pcap round-trip counters from uploaded captures
+
+	mgr := service.NewManager(service.ManagerConfig{
+		Workers: *maxJobs,
+		Queue:   *queueLen,
+		Clock:   clock,
+		Metrics: reg,
+		Logf:    logger.Printf,
+	})
+	sched := service.NewScheduler(clock, mgr, logger.Printf)
+	for _, ns := range named {
+		sched.Add(ns.name, ns.sched, ns.spec)
+	}
+	mgr.Start()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if sim != nil {
+		runSimulation(ctx, logger, mgr, sched, sim, *simulate, reg)
+		return
+	}
+
+	srv := service.NewServer(service.ServerConfig{
+		Manager:   mgr,
+		Scheduler: sched,
+		Metrics:   reg,
+		Clock:     clock,
+		DataDir:   *dataDir,
+		Logf:      logger.Printf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *portFile != "" {
+		port := ln.Addr().(*net.TCPAddr).Port
+		if err := os.WriteFile(*portFile, []byte(strconv.Itoa(port)+"\n"), 0o644); err != nil {
+			logger.Fatalf("port-file: %v", err)
+		}
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatalf("serve: %v", err)
+		}
+	}()
+	go sched.Run(ctx)
+	logger.Printf("listening on http://%s (%d schedule(s), max %d concurrent job(s))",
+		ln.Addr(), len(named), *maxJobs)
+
+	<-ctx.Done()
+	stop() // restore default signal handling: a second signal kills immediately
+	logger.Printf("signal received; draining (grace %v)", *grace)
+	mgr.Shutdown(*grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	counts := mgr.Counts()
+	logger.Printf("bye: %d done, %d failed, %d canceled",
+		counts[service.JobDone], counts[service.JobFailed], counts[service.JobCanceled])
+}
+
+// runSimulation is the -simulate path: fast-forward the simulated clock
+// through the horizon, running each scheduled fire for real, then print
+// a status summary as JSON.
+func runSimulation(ctx context.Context, logger *log.Logger, mgr *service.Manager,
+	sched *service.Scheduler, sim *service.SimClock, horizon time.Duration, reg *obs.Registry) {
+	start := sim.Now()
+	logger.Printf("simulating %v of schedule time from %s", horizon, start.Format(time.RFC3339))
+	jobs, err := sched.Simulate(ctx, sim, start.Add(horizon))
+	mgr.Shutdown(0)
+	if err != nil {
+		logger.Fatalf("simulate: %v", err)
+	}
+	logger.Printf("simulation fired %d job(s) across %v", len(jobs), horizon)
+	srv := service.NewServer(service.ServerConfig{Manager: mgr, Scheduler: sched, Clock: sim, Metrics: reg})
+	payload := struct {
+		Status service.DaemonStatus `json:"status"`
+		Jobs   []service.JobStatus  `json:"jobs"`
+	}{Status: srv.Status(), Jobs: mgr.Jobs()}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(payload); err != nil {
+		logger.Fatalf("status: %v", err)
+	}
+}

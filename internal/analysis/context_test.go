@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"context"
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/cloud"
+	"github.com/neu-sns/intl-iot-go/internal/experiments"
+	"github.com/neu-sns/intl-iot-go/internal/obs"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// emptySource cancels the pipeline's context before delivering a batch
+// of empty experiments. Visits after cancellation must be skipped — an
+// empty experiment would panic any collector that touched it — and no
+// later stage may start.
+type emptySource struct {
+	internet *cloud.Internet
+	cancel   context.CancelFunc
+	idleRan  bool
+}
+
+func (s *emptySource) Internet() *cloud.Internet { return s.internet }
+func (s *emptySource) SetObs(*obs.Registry)      {}
+
+func (s *emptySource) RunControlled(v experiments.Visitor) experiments.Stats {
+	s.cancel()
+	for i := 0; i < 8; i++ {
+		v(&testbed.Experiment{})
+	}
+	return experiments.Stats{Experiments: 8}
+}
+
+func (s *emptySource) RunIdle(experiments.Visitor) experiments.Stats {
+	s.idleRan = true
+	return experiments.Stats{}
+}
+
+func TestPipelineSkipsVisitsAfterCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		src := &emptySource{internet: cloud.New(), cancel: cancel}
+		p := NewPipeline(src)
+		p.Workers = workers
+		p.SetContext(ctx)
+		p.Run(DefaultInferConfig()) // must not panic on the empty experiments
+		if !p.Aborted() {
+			t.Fatalf("workers=%d: pipeline did not record the abort", workers)
+		}
+		if src.idleRan {
+			t.Fatalf("workers=%d: idle stage ran after cancellation", workers)
+		}
+		if p.Inference != nil || p.Detector != nil {
+			t.Fatalf("workers=%d: training stage ran after cancellation", workers)
+		}
+		p.RunUncontrolled() // runner-less and cancelled: must be a no-op
+		if p.Unexpected != nil {
+			t.Fatalf("workers=%d: uncontrolled stage ran after cancellation", workers)
+		}
+	}
+}
+
+// midCancelSource wraps a real synthesis runner and cancels the context
+// after the first controlled experiment has been visited, so the
+// pipeline observes cancellation mid-stage with real traffic in flight.
+type midCancelSource struct {
+	r      *experiments.Runner
+	cancel context.CancelFunc
+}
+
+func (s *midCancelSource) Internet() *cloud.Internet { return s.r.Internet() }
+func (s *midCancelSource) SetObs(reg *obs.Registry)  { s.r.SetObs(reg) }
+
+func (s *midCancelSource) RunControlled(v experiments.Visitor) experiments.Stats {
+	n := 0
+	return s.r.RunControlled(func(exp *testbed.Experiment) {
+		v(exp)
+		if n == 0 {
+			s.cancel()
+		}
+		n++
+	})
+}
+
+func (s *midCancelSource) RunIdle(v experiments.Visitor) experiments.Stats {
+	return s.r.RunIdle(v)
+}
+
+func TestPipelineAbortsMidStage(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		r, err := experiments.NewRunner(experiments.Config{
+			Seed: 1, AutomatedReps: 1, ManualReps: 1, PowerReps: 1,
+			IdleHours: map[string]float64{"US": 0.25}, Workers: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		p := NewPipeline(&midCancelSource{r: r, cancel: cancel})
+		p.Workers = workers
+		p.SetContext(ctx)
+		p.Run(DefaultInferConfig())
+		if !p.Aborted() {
+			t.Fatalf("workers=%d: mid-stage cancellation not observed", workers)
+		}
+		if p.Inference != nil || p.IdleHits != nil {
+			t.Fatalf("workers=%d: stages after the cancelled one ran", workers)
+		}
+	}
+}
+
+// TestPipelineNilContext proves the default path is untouched: no
+// context means no cancellation checks fire and Run completes fully.
+func TestPipelineNilContext(t *testing.T) {
+	r, err := experiments.NewRunner(experiments.Config{
+		Seed: 1, AutomatedReps: 1, ManualReps: 1, PowerReps: 1,
+		IdleHours: map[string]float64{"US": 0.25}, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(r)
+	p.Workers = 1
+	p.Run(DefaultInferConfig())
+	if p.Aborted() {
+		t.Fatal("unexpected abort without a context")
+	}
+	if p.Stats.Experiments == 0 || p.Detector == nil {
+		t.Fatal("run did not complete")
+	}
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"time"
 
 	"github.com/neu-sns/intl-iot-go/internal/experiments"
@@ -43,6 +44,38 @@ type Pipeline struct {
 
 	// metrics is nil unless SetObs attached a registry.
 	metrics *obs.Registry
+
+	// ctx is nil unless SetContext attached a cancellation context;
+	// aborted records that Run (or RunUncontrolled) observed it.
+	ctx     context.Context
+	aborted bool
+}
+
+// SetContext attaches a cancellation context, for services that must
+// stop a campaign mid-flight (moniotrd's graceful shutdown). Once ctx
+// is cancelled the pipeline stops visiting experiments — sources keep
+// delivering, but every visit returns immediately — and no further
+// stage starts, so Run returns as soon as the current source leg
+// drains. Results are partial after an abort; check Aborted before
+// using them. Call before Run; a nil context (the default) disables
+// cancellation entirely.
+func (p *Pipeline) SetContext(ctx context.Context) { p.ctx = ctx }
+
+// Aborted reports whether the last Run or RunUncontrolled observed a
+// cancelled context and returned early.
+func (p *Pipeline) Aborted() bool { return p.aborted }
+
+// canceled reports whether the attached context has been cancelled. It
+// is consulted on every experiment visit, from shard workers too; ctx
+// is written once before Run, so the concurrent reads are safe.
+func (p *Pipeline) canceled() bool { return p.ctx != nil && p.ctx.Err() != nil }
+
+// abortIfCanceled latches the abort flag between stages.
+func (p *Pipeline) abortIfCanceled() bool {
+	if p.canceled() {
+		p.aborted = true
+	}
+	return p.aborted
 }
 
 // Runner returns the synthesis runner when the pipeline's source is one,
@@ -107,6 +140,10 @@ func NewPipeline(src Source) *Pipeline {
 // sharded (shard.go) and training fans out; output is byte-identical to
 // the serial pipeline either way.
 func (p *Pipeline) Run(cfg InferConfig) {
+	p.aborted = false
+	if p.abortIfCanceled() {
+		return
+	}
 	workers := workerCount(p.Workers)
 	if cfg.Workers == 0 {
 		// A pipeline forced serial evaluates models serially too, so
@@ -127,6 +164,9 @@ func (p *Pipeline) Run(cfg InferConfig) {
 			identify = p.timedVisitor("identify", p.Identify.Visit)
 		)
 		p.Stats = p.Source.RunControlled(func(exp *testbed.Experiment) {
+			if p.canceled() {
+				return
+			}
 			degrade(exp)
 			dest(exp)
 			enc(exp)
@@ -135,12 +175,18 @@ func (p *Pipeline) Run(cfg InferConfig) {
 		})
 	}
 	span.End()
+	if p.abortIfCanceled() {
+		return
+	}
 
 	span = p.metrics.StartSpan("stage:train")
 	p.metrics.SetLabel("stage", "train")
 	p.Inference = p.Content.Infer(cfg)
 	p.Detector = NewDetector(p.Content, p.Inference, cfg)
 	span.End()
+	if p.abortIfCanceled() {
+		return
+	}
 
 	p.IdleHits = NewDetectResult()
 	span = p.metrics.StartSpan("stage:idle")
@@ -156,6 +202,9 @@ func (p *Pipeline) Run(cfg InferConfig) {
 			})
 		)
 		p.IdleStats = p.Source.RunIdle(func(exp *testbed.Experiment) {
+			if p.canceled() {
+				return
+			}
 			degrade(exp)
 			dest(exp)
 			enc(exp)
@@ -163,6 +212,7 @@ func (p *Pipeline) Run(cfg InferConfig) {
 		})
 	}
 	span.End()
+	p.abortIfCanceled()
 }
 
 // RunUncontrolled executes the §7.3 user-study analysis; Run must have
@@ -174,12 +224,19 @@ func (p *Pipeline) RunUncontrolled() {
 	if r == nil {
 		return
 	}
+	if p.abortIfCanceled() {
+		return
+	}
 	p.UncontrolledHits = NewDetectResult()
 	p.Unexpected = make(map[string]int)
 	span := p.metrics.StartSpan("stage:uncontrolled")
 	r.RunUncontrolled(func(res *experiments.UncontrolledResult) {
+		if p.canceled() {
+			return
+		}
 		p.degradeExp(res.Experiment)
 		p.Detector.VisitUncontrolled(res, p.UncontrolledHits, p.Unexpected)
 	})
 	span.End()
+	p.abortIfCanceled()
 }

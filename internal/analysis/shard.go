@@ -205,6 +205,9 @@ func (p *Pipeline) runShardedStage(stage string, workers int, controlled bool,
 		go func(i int, s *shard) {
 			defer wg.Done()
 			for se := range s.ch {
+				if p.canceled() {
+					continue // drain the channel without visiting
+				}
 				metrics.timed(i, "degrade", func() { p.degradeExp(se.exp) })
 				metrics.timed(i, "dest", func() { s.dest.Visit(se.exp) })
 				metrics.timed(i, "enc", func() { s.enc.Visit(se.exp) })
@@ -220,6 +223,9 @@ func (p *Pipeline) runShardedStage(stage string, workers int, controlled bool,
 
 	var seq int64
 	stats := run(func(exp *testbed.Experiment) {
+		if p.canceled() {
+			return
+		}
 		i := p.shardFor(exp.Device.ID(), workers)
 		if metrics != nil {
 			metrics.routed.Inc(i)

@@ -1,0 +1,135 @@
+package ingest
+
+import (
+	"archive/tar"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/pcapio"
+)
+
+// emptyPcap returns the bytes of a valid, empty nanosecond pcap.
+func emptyPcap(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	pw, err := pcapio.NewWriter(&buf, pcapio.WriterOptions{Nanosecond: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// tarOf builds an in-memory tar archive from name→content pairs; a name
+// ending in "/" becomes a directory entry, a name starting with "@" a
+// symlink.
+func tarOf(t *testing.T, entries map[string]string) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	// Stable iteration keeps failures reproducible.
+	for _, name := range names {
+		content := entries[name]
+		switch {
+		case strings.HasSuffix(name, "/"):
+			if err := tw.WriteHeader(&tar.Header{Name: name, Typeflag: tar.TypeDir, Mode: 0o755}); err != nil {
+				t.Fatal(err)
+			}
+		case strings.HasPrefix(name, "@"):
+			if err := tw.WriteHeader(&tar.Header{
+				Name: name[1:], Typeflag: tar.TypeSymlink, Linkname: content, Mode: 0o777,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := tw.WriteHeader(&tar.Header{
+				Name: name, Typeflag: tar.TypeReg, Mode: 0o644, Size: int64(len(content)),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tw.Write([]byte(content)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestUnpackTar(t *testing.T) {
+	dst := t.TempDir()
+	archive := tarOf(t, map[string]string{
+		"./idle/":                             "",
+		"./idle/us/amcrest-cam/000000.pcap":   "PCAP",
+		"./idle/us/amcrest-cam/000000.labels": "LABELS",
+		"./README.txt":                        "not a capture",
+	})
+	files, n, skipped, err := UnpackTar(dst, archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 2 || n != int64(len("PCAP")+len("LABELS")) || skipped != 1 {
+		t.Fatalf("files=%d bytes=%d skipped=%d", files, n, skipped)
+	}
+	got, err := os.ReadFile(filepath.Join(dst, "idle/us/amcrest-cam/000000.pcap"))
+	if err != nil || string(got) != "PCAP" {
+		t.Fatalf("pcap content %q err %v", got, err)
+	}
+	if _, err := os.Stat(filepath.Join(dst, "README.txt")); !os.IsNotExist(err) {
+		t.Fatal("non-capture file was materialized")
+	}
+}
+
+func TestUnpackTarRejectsTraversal(t *testing.T) {
+	for _, name := range []string{"../evil.pcap", "/abs/evil.pcap", "a/../../evil.pcap"} {
+		dst := t.TempDir()
+		_, _, _, err := UnpackTar(dst, tarOf(t, map[string]string{name: "x"}))
+		if err == nil {
+			t.Fatalf("traversal path %q accepted", name)
+		}
+		if _, statErr := os.Stat(filepath.Join(dst, "..", "evil.pcap")); statErr == nil {
+			t.Fatalf("traversal path %q escaped the destination", name)
+		}
+	}
+}
+
+func TestUnpackTarSkipsSymlinks(t *testing.T) {
+	dst := t.TempDir()
+	files, _, skipped, err := UnpackTar(dst, tarOf(t, map[string]string{
+		"@link.pcap": "/etc/passwd",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 0 || skipped != 1 {
+		t.Fatalf("files=%d skipped=%d", files, skipped)
+	}
+}
+
+// TestUnpackTarRoundTrip unpacks an archive of a real (tiny) capture
+// tree and re-opens it through the normal ingest path.
+func TestUnpackTarRoundTrip(t *testing.T) {
+	archive := tarOf(t, map[string]string{
+		"idle/us/amcrest-cam/000000.pcap":   emptyPcap(t),
+		"idle/us/amcrest-cam/000000.labels": "# offset: +00:00\n",
+	})
+	dst := t.TempDir()
+	files, _, _, err := UnpackTar(dst, archive)
+	if err != nil || files != 2 {
+		t.Fatalf("files=%d err=%v", files, err)
+	}
+	if _, err := Open(dst, Options{Stream: true}); err != nil {
+		t.Fatalf("Open after unpack: %v", err)
+	}
+}

@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// Handler returns an http.Handler that serves point-in-time snapshots of
+// the registry: indented JSON by default (the same shape WriteJSONFile
+// writes), or the human-readable text report with ?format=text. The
+// moniotrd daemon mounts it at /api/v1/metrics; it is also handy under
+// net/http/pprof-style debug muxes in long-running tools.
+//
+// A nil registry serves empty snapshots, keeping the endpoint total even
+// when observability is disabled.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = snap.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = snap.WriteJSON(w)
+	})
+}

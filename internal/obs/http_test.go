@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total").Add(3)
+	reg.Gauge("queue_depth").Set(2)
+	reg.SetLabel("stage", "idle")
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/api/v1/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["jobs_total"] != 3 || snap.Gauges["queue_depth"] != 2 || snap.Labels["stage"] != "idle" {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestHandlerText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("http_requests_total").Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/api/v1/metrics?format=text", nil))
+	if !strings.Contains(rec.Body.String(), "http_requests_total") {
+		t.Fatalf("text snapshot missing counter:\n%s", rec.Body.String())
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	var reg *Registry
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if got := strings.TrimSpace(rec.Body.String()); got != "{}" {
+		t.Fatalf("nil registry served %q", got)
+	}
+}

@@ -1,0 +1,256 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// JSON rendering.
+//
+// JSON is the native wire format of the moniotrd HTTP API, and the text
+// tables are the paper-facing format the CLI prints. Both render the
+// same Table values, whose cells are already formatted strings, so the
+// two views agree on column order and float formatting by construction:
+// there is no second formatting pass that could drift. ParseText closes
+// the loop — it inverts Render — and the round-trip tests in this
+// package and at the repository root hold the two renderers together.
+
+// jsonTable is the serialized shape of one table.
+type jsonTable struct {
+	Key     string     `json:"key,omitempty"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON serializes the table as
+// {"title":..., "headers":[...], "rows":[[...],...]}.
+// Cells stay strings: the JSON view inherits the text tables' exact
+// float formatting instead of re-rounding values.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.jsonShape(""))
+}
+
+func (t *Table) jsonShape(key string) jsonTable {
+	j := jsonTable{Key: key, Title: t.Title, Headers: t.Headers, Rows: t.Rows}
+	if j.Headers == nil {
+		j.Headers = []string{}
+	}
+	if j.Rows == nil {
+		j.Rows = [][]string{}
+	}
+	return j
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var j jsonTable
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*t = tableFromJSON(j)
+	return nil
+}
+
+func tableFromJSON(j jsonTable) Table {
+	t := Table{Title: j.Title, Headers: j.Headers, Rows: j.Rows}
+	if len(t.Headers) == 0 {
+		t.Headers = nil
+	}
+	if len(t.Rows) == 0 {
+		t.Rows = nil
+	}
+	return t
+}
+
+// RenderJSON writes the table as indented JSON, terminated by a newline.
+func (t *Table) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Document is an ordered collection of tables keyed by the CLI's table
+// names ("headline", "1".."11", "fig2", "pii", "unexpected"). It is the
+// unit the moniotrd API serves and cmd/moniotr -json prints; both call
+// RenderJSON on the same value, so the daemon's report bytes are
+// identical to the CLI's for the same campaign.
+type Document struct {
+	Entries []DocEntry
+}
+
+// DocEntry is one keyed table of a Document.
+type DocEntry struct {
+	Key   string
+	Table *Table
+}
+
+// Add appends a keyed table.
+func (d *Document) Add(key string, t *Table) {
+	d.Entries = append(d.Entries, DocEntry{Key: key, Table: t})
+}
+
+// Get returns the table with the given key, or nil.
+func (d *Document) Get(key string) *Table {
+	for _, e := range d.Entries {
+		if e.Key == key {
+			return e.Table
+		}
+	}
+	return nil
+}
+
+// Filter returns a new document holding only the entries whose key the
+// predicate keeps, preserving order.
+func (d *Document) Filter(keep func(key string) bool) *Document {
+	out := &Document{}
+	for _, e := range d.Entries {
+		if keep(e.Key) {
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	return out
+}
+
+// jsonDocument is the serialized shape of a Document.
+type jsonDocument struct {
+	Tables []jsonTable `json:"tables"`
+}
+
+// MarshalJSON serializes the document as {"tables":[{"key":...},...]}.
+func (d *Document) MarshalJSON() ([]byte, error) {
+	j := jsonDocument{Tables: make([]jsonTable, 0, len(d.Entries))}
+	for _, e := range d.Entries {
+		j.Tables = append(j.Tables, e.Table.jsonShape(e.Key))
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (d *Document) UnmarshalJSON(data []byte) error {
+	var j jsonDocument
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	d.Entries = nil
+	for _, jt := range j.Tables {
+		t := tableFromJSON(jt)
+		d.Add(jt.Key, &t)
+	}
+	return nil
+}
+
+// RenderJSON writes the document as indented JSON, terminated by a
+// newline. The byte stream is canonical: a document rendered twice, or
+// rendered by two processes holding equal tables, compares equal.
+func (d *Document) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// DecodeDocument reads a document rendered by RenderJSON.
+func DecodeDocument(r io.Reader) (*Document, error) {
+	var d Document
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("report: decode document: %w", err)
+	}
+	return &d, nil
+}
+
+// ParseText inverts Render: it reconstructs a Table from its aligned
+// text form. Column boundaries are recovered as the maximal runs of two
+// or more character positions that are blank on every header and data
+// line — exactly the two-space separators Render emits, since in every
+// column at least one line (the one that set the column width) fills
+// the column to its last character. The one precondition is that no
+// cell contains two adjacent spaces, which holds for every renderer in
+// this package; the round-trip tests enforce it.
+func ParseText(s string) (*Table, error) {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	dash := -1
+	for i, ln := range lines {
+		if len(ln) > 0 && strings.Count(ln, "-") == len(ln) {
+			dash = i
+			break
+		}
+	}
+	if dash < 1 {
+		return nil, fmt.Errorf("report: parse text: no header separator line")
+	}
+	t := &Table{Title: strings.Join(lines[:dash-1], "\n")}
+	cells := append([]string{lines[dash-1]}, lines[dash+1:]...)
+
+	// A position is blank iff every cell line is past its end or holds a
+	// space there.
+	width := 0
+	for _, ln := range cells {
+		if len(ln) > width {
+			width = len(ln)
+		}
+	}
+	blank := make([]bool, width)
+	for p := range blank {
+		blank[p] = true
+		for _, ln := range cells {
+			if p < len(ln) && ln[p] != ' ' {
+				blank[p] = false
+				break
+			}
+		}
+	}
+
+	// Column spans: the non-blank runs, absorbing single blank positions
+	// (spaces inside a cell).
+	type span struct{ start, end int }
+	var cols []span
+	p := 0
+	for p < width {
+		if blank[p] {
+			p++
+			continue
+		}
+		start := p
+		for p < width {
+			if !blank[p] {
+				p++
+				continue
+			}
+			// Blank run: one position is interior, two or more separate.
+			q := p
+			for q < width && blank[q] {
+				q++
+			}
+			if q-p >= 2 {
+				break
+			}
+			p = q + 1
+		}
+		cols = append(cols, span{start, p})
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("report: parse text: no columns")
+	}
+
+	extract := func(ln string) []string {
+		out := make([]string, len(cols))
+		for i, c := range cols {
+			if c.start >= len(ln) {
+				continue
+			}
+			end := c.end
+			if end > len(ln) {
+				end = len(ln)
+			}
+			out[i] = strings.TrimRight(ln[c.start:end], " ")
+		}
+		return out
+	}
+	t.Headers = extract(cells[0])
+	for _, ln := range cells[1:] {
+		t.Rows = append(t.Rows, extract(ln))
+	}
+	return t, nil
+}

@@ -1,0 +1,113 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sample builds a table shaped like the real renderers' output: formatted
+// floats, names with single interior spaces, empty trailing cells.
+func sample() *Table {
+	t := &Table{
+		Title:   "Table X: sample (quick campaign)",
+		Headers: []string{"Device", "Dest", "Traffic (MB)", "F1"},
+	}
+	t.AddRow("Amazon Echo Spot", "amazon.com", ftoa(12.349), ftoa(0.81))
+	t.AddRow("tplink-plug", "tplinkcloud.com", mb(1234567), "")
+	t.AddRow("x", "long-organisation-name.example", itoa(7), ftoa(100.0))
+	return t
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tbl := sample()
+	data, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tbl, &back) {
+		t.Fatalf("JSON round trip changed the table:\nhave %#v\nwant %#v", back, *tbl)
+	}
+	// The JSON view must carry the text view's exact cell strings — same
+	// column order, same float formatting.
+	if back.String() != tbl.String() {
+		t.Fatalf("text render drifted across JSON:\n%s\nvs\n%s", back.String(), tbl.String())
+	}
+}
+
+func TestParseTextInvertsRender(t *testing.T) {
+	cases := []*Table{
+		sample(),
+		{Title: "", Headers: []string{"only"}}, // no title, no rows
+		{Title: "one col", Headers: []string{"h"}, Rows: [][]string{{"cell"}}},
+	}
+	for _, tbl := range cases {
+		text := tbl.String()
+		parsed, err := ParseText(text)
+		if err != nil {
+			t.Fatalf("ParseText(%q): %v", text, err)
+		}
+		if !reflect.DeepEqual(parsed, tbl) {
+			t.Fatalf("ParseText did not invert Render:\nhave %#v\nwant %#v\ntext:\n%s", parsed, tbl, text)
+		}
+	}
+}
+
+// TestTextAndJSONAgree is the drift guard in miniature: the text table
+// parsed back and the JSON document decoded back must be the same table.
+func TestTextAndJSONAgree(t *testing.T) {
+	tbl := sample()
+	parsed, err := ParseText(tbl.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var fromJSON Table
+	if err := json.Unmarshal(buf.Bytes(), &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, &fromJSON) {
+		t.Fatalf("text and JSON views disagree:\ntext  %#v\njson  %#v", parsed, fromJSON)
+	}
+}
+
+func TestDocumentRoundTrip(t *testing.T) {
+	d := &Document{}
+	d.Add("headline", sample())
+	d.Add("7", &Table{Title: "empty", Headers: []string{"a", "b"}})
+	var buf bytes.Buffer
+	if err := d.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	back, err := DecodeDocument(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, d) {
+		t.Fatalf("document round trip changed entries:\nhave %#v\nwant %#v", back, d)
+	}
+	var again bytes.Buffer
+	if err := back.RenderJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != first {
+		t.Fatalf("RenderJSON is not canonical:\n%s\nvs\n%s", again.String(), first)
+	}
+	if d.Get("7") == nil || d.Get("missing") != nil {
+		t.Fatal("Get lookup broken")
+	}
+	kept := d.Filter(func(k string) bool { return k == "7" })
+	if len(kept.Entries) != 1 || kept.Entries[0].Key != "7" {
+		t.Fatalf("Filter kept %v", kept.Entries)
+	}
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time for the scheduler and job manager. The real
+// implementation delegates to package time; SimClock replaces it in
+// tests and under moniotrd's -simulate flag, where schedule horizons of
+// days are crossed in microseconds of real time.
+type Clock interface {
+	// Now returns the current (possibly simulated) time.
+	Now() time.Time
+	// After returns a channel that delivers the time once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }
+
+// SimClock is a manually advanced clock. Time moves only when Advance
+// or AdvanceTo is called; waiters registered through After fire — in
+// deadline order, ties in registration order — as the clock passes
+// their deadlines. The zero value is not usable; create one with
+// NewSimClock.
+type SimClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	seq     int
+	waiters []*simWaiter
+}
+
+type simWaiter struct {
+	at  time.Time
+	seq int
+	ch  chan time.Time
+}
+
+// NewSimClock returns a simulated clock frozen at start.
+func NewSimClock(start time.Time) *SimClock {
+	return &SimClock{now: start}
+}
+
+// Now returns the simulated time.
+func (c *SimClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After registers a waiter due at Now()+d. A non-positive d fires
+// immediately.
+func (c *SimClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.seq++
+	c.waiters = append(c.waiters, &simWaiter{at: c.now.Add(d), seq: c.seq, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, firing due waiters.
+func (c *SimClock) Advance(d time.Duration) { c.AdvanceTo(c.Now().Add(d)) }
+
+// AdvanceTo moves the clock to t (never backwards), firing every waiter
+// whose deadline is at or before t, in deadline order.
+func (c *SimClock) AdvanceTo(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Before(c.now) {
+		return
+	}
+	due := c.waiters[:0:0]
+	rest := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(t) {
+			due = append(due, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	c.waiters = rest
+	sort.Slice(due, func(i, j int) bool {
+		if !due[i].at.Equal(due[j].at) {
+			return due[i].at.Before(due[j].at)
+		}
+		return due[i].seq < due[j].seq
+	})
+	for _, w := range due {
+		w.ch <- w.at
+	}
+	c.now = t
+}

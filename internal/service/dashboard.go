@@ -1,0 +1,18 @@
+package service
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// The dashboard is a single self-contained HTML page — no external
+// assets, no build step — that polls the JSON API the daemon already
+// serves. It is embedded so the moniotrd binary stays a single file.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(dashboardHTML)
+}

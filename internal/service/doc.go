@@ -1,0 +1,37 @@
+// Package service is the long-running half of the paper reproduction:
+// the engine behind the moniotrd daemon. Where cmd/moniotr runs one
+// campaign and exits, this package runs campaigns continuously — on
+// calendar schedules, on demand over HTTP, or against uploaded capture
+// archives — and serves the resulting paper tables as JSON.
+//
+// The package is built from four pieces, each usable on its own:
+//
+//   - Clock abstracts time. RealClock delegates to package time;
+//     SimClock is manually advanced, which makes every time-dependent
+//     component here simulation-testable: a week of daily fires runs in
+//     microseconds, with no sleeps and no flakiness.
+//
+//   - Schedule (Every, DailyAt, OnDays, ParseSchedule) decides when a
+//     recurring campaign fires. Schedules are pure functions of time;
+//     daily schedules do calendar arithmetic in a time.Location, so
+//     they fire once per civil day across DST transitions.
+//
+//   - Manager owns the job queue: a bounded channel feeding a fixed
+//     worker pool, so at most -max-jobs campaigns run concurrently and
+//     a full queue rejects rather than buffering without bound. Jobs
+//     run the same pipeline as the CLI — synthesis or capture ingestion
+//     (streaming included), per-job fault profiles, parallel analysis —
+//     under a context that Shutdown cancels after a grace period, which
+//     the pipeline observes mid-stage.
+//
+//   - Server is the HTTP layer: JSON endpoints for campaigns, jobs and
+//     reports, tar capture uploads feeding streaming ingestion, the
+//     obs metrics snapshot, and a small embedded HTML dashboard. Report
+//     JSON comes from the same report.Document renderer as
+//     `moniotr -json`, so the two are byte-identical for the same
+//     campaign.
+//
+// The Scheduler ties the first three together: its core is the pure
+// Tick(now) step, wrapped by Run (real daemon) or Simulate (tests and
+// moniotrd -simulate).
+package service

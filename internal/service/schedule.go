@@ -1,0 +1,177 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schedule decides when a recurring campaign fires. Implementations are
+// pure functions of time — no goroutines, no clocks — which is what
+// makes the scheduler simulation-testable: tests (and moniotrd
+// -simulate) walk Next from a simulated instant without sleeping.
+type Schedule interface {
+	// Next returns the first fire time strictly after the given instant.
+	Next(after time.Time) time.Time
+	// String renders the schedule in the syntax ParseSchedule accepts.
+	String() string
+}
+
+// every fires at a fixed interval, anchored to the previous fire.
+type every struct{ d time.Duration }
+
+// Every returns an interval schedule; d must be positive.
+func Every(d time.Duration) Schedule { return every{d} }
+
+func (e every) Next(after time.Time) time.Time { return after.Add(e.d) }
+func (e every) String() string                 { return "every " + e.d.String() }
+
+// daily fires once per calendar day at a wall-clock time in a location.
+// Day arithmetic goes through time.Date in that location, so the
+// schedule tracks civil time across DST transitions: a nonexistent
+// fire time (spring forward) normalizes into the following hour, an
+// ambiguous one (fall back) resolves to a single instant — exactly one
+// fire per calendar day either way, even when the day is 23 or 25
+// hours long.
+type daily struct {
+	hh, mm int
+	loc    *time.Location
+}
+
+// DailyAt returns a schedule firing at hh:mm each day in loc.
+func DailyAt(hh, mm int, loc *time.Location) Schedule {
+	return daily{hh: hh, mm: mm, loc: loc}
+}
+
+func (d daily) Next(after time.Time) time.Time {
+	t := after.In(d.loc)
+	cand := time.Date(t.Year(), t.Month(), t.Day(), d.hh, d.mm, 0, 0, d.loc)
+	for !cand.After(after) {
+		cand = time.Date(cand.Year(), cand.Month(), cand.Day()+1, d.hh, d.mm, 0, 0, d.loc)
+	}
+	return cand
+}
+
+func (d daily) String() string {
+	return fmt.Sprintf("daily %02d:%02d %s", d.hh, d.mm, d.loc)
+}
+
+// calendar fires at a wall-clock time on selected weekdays.
+type calendar struct {
+	days   map[time.Weekday]bool
+	hh, mm int
+	loc    *time.Location
+}
+
+// OnDays returns a schedule firing at hh:mm in loc on the given
+// weekdays; days must be non-empty.
+func OnDays(days []time.Weekday, hh, mm int, loc *time.Location) Schedule {
+	set := make(map[time.Weekday]bool, len(days))
+	for _, d := range days {
+		set[d] = true
+	}
+	return calendar{days: set, hh: hh, mm: mm, loc: loc}
+}
+
+func (c calendar) Next(after time.Time) time.Time {
+	cand := daily{hh: c.hh, mm: c.mm, loc: c.loc}.Next(after)
+	for i := 0; i < 8 && !c.days[cand.In(c.loc).Weekday()]; i++ {
+		t := cand.In(c.loc)
+		cand = time.Date(t.Year(), t.Month(), t.Day()+1, c.hh, c.mm, 0, 0, c.loc)
+	}
+	return cand
+}
+
+func (c calendar) String() string {
+	names := make([]string, 0, len(c.days))
+	for d := range c.days {
+		names = append(names, strings.ToLower(d.String()[:3]))
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return weekdayNames[names[i]] < weekdayNames[names[j]]
+	})
+	return fmt.Sprintf("on %s %02d:%02d %s", strings.Join(names, ","), c.hh, c.mm, c.loc)
+}
+
+var weekdayNames = map[string]time.Weekday{
+	"sun": time.Sunday, "mon": time.Monday, "tue": time.Tuesday,
+	"wed": time.Wednesday, "thu": time.Thursday, "fri": time.Friday,
+	"sat": time.Saturday,
+}
+
+// ParseSchedule parses the moniotrd schedule syntax in a location:
+//
+//	every DURATION        e.g. "every 6h", "every 90m" (minimum 1s)
+//	daily HH:MM           e.g. "daily 03:30"
+//	on DAYS HH:MM         e.g. "on mon,thu 03:30" (3-letter weekday names)
+//
+// Wall-clock times are interpreted in loc (moniotrd's -tz flag).
+func ParseSchedule(spec string, loc *time.Location) (Schedule, error) {
+	if loc == nil {
+		loc = time.UTC
+	}
+	f := strings.Fields(spec)
+	fail := func(format string, args ...any) (Schedule, error) {
+		return nil, fmt.Errorf("service: schedule %q: %s", spec, fmt.Sprintf(format, args...))
+	}
+	if len(f) == 0 {
+		return fail("empty")
+	}
+	switch f[0] {
+	case "every":
+		if len(f) != 2 {
+			return fail("want \"every DURATION\"")
+		}
+		d, err := time.ParseDuration(f[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		if d < time.Second {
+			return fail("interval %v below 1s", d)
+		}
+		return Every(d), nil
+	case "daily":
+		if len(f) != 2 {
+			return fail("want \"daily HH:MM\"")
+		}
+		hh, mm, err := parseHHMM(f[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return DailyAt(hh, mm, loc), nil
+	case "on":
+		if len(f) != 3 {
+			return fail("want \"on DAYS HH:MM\"")
+		}
+		var days []time.Weekday
+		for _, name := range strings.Split(f[1], ",") {
+			d, ok := weekdayNames[strings.ToLower(name)]
+			if !ok {
+				return fail("unknown weekday %q", name)
+			}
+			days = append(days, d)
+		}
+		hh, mm, err := parseHHMM(f[2])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return OnDays(days, hh, mm, loc), nil
+	}
+	return fail("unknown form %q (want every/daily/on)", f[0])
+}
+
+func parseHHMM(s string) (hh, mm int, err error) {
+	h, m, ok := strings.Cut(s, ":")
+	if ok {
+		hh, err = strconv.Atoi(h)
+		if err == nil {
+			mm, err = strconv.Atoi(m)
+		}
+	}
+	if !ok || err != nil || hh < 0 || hh > 23 || mm < 0 || mm > 59 {
+		return 0, 0, fmt.Errorf("bad time %q (want HH:MM)", s)
+	}
+	return hh, mm, nil
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"testing"
+	"time"
+	_ "time/tzdata" // DST tests must not depend on a host zoneinfo dir
+)
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	ny, err := time.LoadLocation("America/New_York")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// String() appends the location for wall-clock forms; ParseSchedule
+	// takes it separately.
+	for _, tc := range []struct{ in, want string }{
+		{"every 6h", "every 6h0m0s"},
+		{"every 90s", "every 1m30s"},
+		{"daily 03:30", "daily 03:30 America/New_York"},
+		{"on thu,mon 03:30", "on mon,thu 03:30 America/New_York"},
+		{"on SUN 00:00", "on sun 00:00 America/New_York"},
+	} {
+		s, err := ParseSchedule(tc.in, ny)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", tc.in, err)
+		}
+		if got := s.String(); got != tc.want {
+			t.Errorf("ParseSchedule(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "hourly", "every", "every bananas", "every 500ms",
+		"daily", "daily 3:61", "daily 24:00", "daily 03:30 extra",
+		"on mon", "on monday 03:30", "on mon,xyz 03:30",
+	} {
+		if _, err := ParseSchedule(spec, time.UTC); err == nil {
+			t.Errorf("ParseSchedule(%q): want error", spec)
+		}
+	}
+}
+
+func TestEveryAnchorsToPreviousFire(t *testing.T) {
+	t0 := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	s := Every(6 * time.Hour)
+	if got := s.Next(t0); !got.Equal(t0.Add(6 * time.Hour)) {
+		t.Fatalf("Next = %v", got)
+	}
+}
+
+func TestOnDaysSkipsToSelectedWeekday(t *testing.T) {
+	// 2026-03-02 is a Monday.
+	mon := time.Date(2026, 3, 2, 12, 0, 0, 0, time.UTC)
+	s := OnDays([]time.Weekday{time.Thursday}, 9, 0, time.UTC)
+	got := s.Next(mon)
+	want := time.Date(2026, 3, 5, 9, 0, 0, 0, time.UTC)
+	if !got.Equal(want) {
+		t.Fatalf("Next = %v, want %v", got, want)
+	}
+	// From just before Thursday's fire, the same Thursday fires.
+	if got := s.Next(want.Add(-time.Minute)); !got.Equal(want) {
+		t.Fatalf("Next = %v, want %v", got, want)
+	}
+	// From the fire itself, next week's Thursday.
+	if got := s.Next(want); !got.Equal(want.AddDate(0, 0, 7)) {
+		t.Fatalf("Next = %v, want %v", got, want.AddDate(0, 0, 7))
+	}
+}
+
+// The DST test the scheduler's correctness hangs on: a daily schedule
+// must fire exactly once per calendar day through both transitions —
+// the 23-hour day when 02:30 does not exist (America/New_York springs
+// forward 2026-03-08) and the 25-hour day when 01:30 happens twice
+// (falls back 2026-11-01).
+func TestDailyFiresOncePerDayAcrossDST(t *testing.T) {
+	ny, err := time.LoadLocation("America/New_York")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		start  time.Time
+		hh, mm int
+	}{
+		{"spring-forward-nonexistent-time", time.Date(2026, 3, 6, 0, 0, 0, 0, ny), 2, 30},
+		{"spring-forward-unaffected-time", time.Date(2026, 3, 6, 0, 0, 0, 0, ny), 12, 0},
+		{"fall-back-ambiguous-time", time.Date(2026, 10, 30, 0, 0, 0, 0, ny), 1, 30},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := DailyAt(tc.hh, tc.mm, ny)
+			now := tc.start
+			seen := map[string]int{} // civil date -> fires
+			for i := 0; i < 7; i++ {
+				next := s.Next(now)
+				if !next.After(now) {
+					t.Fatalf("fire %d: Next(%v) = %v not after", i, now, next)
+				}
+				seen[next.In(ny).Format("2006-01-02")]++
+				now = next
+			}
+			if len(seen) != 7 {
+				t.Fatalf("7 fires covered %d days: %v", len(seen), seen)
+			}
+			for day, n := range seen {
+				if n != 1 {
+					t.Errorf("day %s fired %d times", day, n)
+				}
+			}
+		})
+	}
+
+	// The nonexistent 02:30 on 2026-03-08 must normalize into that same
+	// civil day (Go maps it to an adjacent real instant), not skip the
+	// day — and the following fire must land back on 02:30 the next day.
+	s := DailyAt(2, 30, ny)
+	fire := s.Next(time.Date(2026, 3, 7, 12, 0, 0, 0, ny))
+	if got := fire.In(ny).Format("2006-01-02"); got != "2026-03-08" {
+		t.Fatalf("spring-forward fire landed on %s, want 2026-03-08 (at %v)", got, fire.In(ny))
+	}
+	after := s.Next(fire)
+	want := time.Date(2026, 3, 9, 2, 30, 0, 0, ny)
+	if !after.Equal(want) {
+		t.Fatalf("post-DST fire = %v, want %v", after.In(ny), want)
+	}
+}
+
+func TestSimClockFiresWaitersInDeadlineOrder(t *testing.T) {
+	c := NewSimClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	late := c.After(2 * time.Hour)
+	early := c.After(time.Hour)
+	none := c.After(3 * time.Hour)
+	c.Advance(2 * time.Hour)
+	if got := <-early; !got.Equal(c.Now().Add(-time.Hour)) {
+		t.Fatalf("early waiter fired at %v", got)
+	}
+	if got := <-late; !got.Equal(c.Now()) {
+		t.Fatalf("late waiter fired at %v", got)
+	}
+	select {
+	case <-none:
+		t.Fatal("waiter fired before its deadline")
+	default:
+	}
+	// Never backwards.
+	c.AdvanceTo(c.Now().Add(-time.Hour))
+	if got := c.Now(); !got.Equal(time.Date(2026, 1, 1, 2, 0, 0, 0, time.UTC)) {
+		t.Fatalf("clock moved backwards to %v", got)
+	}
+}

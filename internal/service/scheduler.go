@@ -1,0 +1,202 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Entry is one named schedule driving a job spec.
+type Entry struct {
+	Name     string
+	Schedule Schedule
+	Spec     JobSpec
+
+	mu    sync.Mutex
+	next  time.Time
+	fires int
+	last  time.Time
+}
+
+// EntryStatus is the JSON-facing snapshot of a schedule entry.
+type EntryStatus struct {
+	Name     string `json:"name"`
+	Schedule string `json:"schedule"`
+	Next     string `json:"next"`
+	Fires    int    `json:"fires"`
+	Last     string `json:"last,omitempty"`
+}
+
+func (e *Entry) status() EntryStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EntryStatus{
+		Name:     e.Name,
+		Schedule: e.Schedule.String(),
+		Next:     rfc3339(e.next),
+		Fires:    e.fires,
+		Last:     rfc3339(e.last),
+	}
+}
+
+// Scheduler fires schedule entries into a job manager. Its core is the
+// pure Tick(now) step — fire everything due, compute the next horizon —
+// so tests and moniotrd -simulate drive it from a SimClock without
+// sleeping, while Run wraps the same step in a clock.After wait loop
+// for the real daemon.
+type Scheduler struct {
+	clock Clock
+	mgr   *Manager
+	logf  func(string, ...any)
+
+	mu      sync.Mutex
+	entries []*Entry
+}
+
+// NewScheduler builds a scheduler firing into mgr. logf may be nil.
+func NewScheduler(clock Clock, mgr *Manager, logf func(string, ...any)) *Scheduler {
+	if clock == nil {
+		clock = RealClock()
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Scheduler{clock: clock, mgr: mgr, logf: logf}
+}
+
+// Add registers a schedule entry; its first fire is the schedule's
+// Next after the current clock time.
+func (s *Scheduler) Add(name string, sched Schedule, spec JobSpec) *Entry {
+	e := &Entry{Name: name, Schedule: sched, Spec: spec}
+	e.next = sched.Next(s.clock.Now())
+	s.mu.Lock()
+	s.entries = append(s.entries, e)
+	s.mu.Unlock()
+	s.logf("schedule %q (%s): first fire %s", name, sched, e.next.Format(time.RFC3339))
+	return e
+}
+
+// Entries snapshots every schedule entry in registration order.
+func (s *Scheduler) Entries() []EntryStatus {
+	s.mu.Lock()
+	entries := append([]*Entry(nil), s.entries...)
+	s.mu.Unlock()
+	out := make([]EntryStatus, len(entries))
+	for i, e := range entries {
+		out[i] = e.status()
+	}
+	return out
+}
+
+// Tick fires every entry due at or before now and advances its next
+// fire time past now. Each fire submits one job with Origin
+// "schedule:<name>"; a full queue drops that fire (logged and counted)
+// rather than stacking jobs the manager can't absorb. Tick returns the
+// jobs it submitted. It is pure with respect to time: no clock reads,
+// no sleeping.
+func (s *Scheduler) Tick(now time.Time) []*Job {
+	s.mu.Lock()
+	entries := append([]*Entry(nil), s.entries...)
+	s.mu.Unlock()
+	var jobs []*Job
+	for _, e := range entries {
+		e.mu.Lock()
+		due := !e.next.IsZero() && !e.next.After(now)
+		at := e.next
+		if due {
+			e.next = e.Schedule.Next(now)
+			e.fires++
+			e.last = at
+		}
+		e.mu.Unlock()
+		if !due {
+			continue
+		}
+		spec := e.Spec
+		spec.Origin = "schedule:" + e.Name
+		job, err := s.mgr.Submit(spec)
+		if err != nil {
+			s.mgr.metrics.Counter("schedule_fires_dropped_total").Inc()
+			s.logf("schedule %q: fire at %s dropped: %v", e.Name, at.Format(time.RFC3339), err)
+			continue
+		}
+		s.logf("schedule %q fired at %s -> %s", e.Name, at.Format(time.RFC3339), job.ID)
+		jobs = append(jobs, job)
+	}
+	return jobs
+}
+
+// NextFire returns the earliest pending fire time, or zero if no
+// entries are registered.
+func (s *Scheduler) NextFire() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var min time.Time
+	for _, e := range s.entries {
+		e.mu.Lock()
+		next := e.next
+		e.mu.Unlock()
+		if next.IsZero() {
+			continue
+		}
+		if min.IsZero() || next.Before(min) {
+			min = next
+		}
+	}
+	return min
+}
+
+// Run ticks the scheduler until ctx is done, sleeping via the injected
+// clock between fires. With no entries it re-checks every minute (a new
+// entry added through the API shortens the next wait naturally).
+func (s *Scheduler) Run(ctx context.Context) {
+	for {
+		now := s.clock.Now()
+		s.Tick(now)
+		next := s.NextFire()
+		wait := time.Minute
+		if !next.IsZero() {
+			if d := next.Sub(s.clock.Now()); d < wait {
+				wait = d
+			}
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.clock.After(wait):
+		}
+	}
+}
+
+// Simulate fast-forwards a SimClock through every fire up to until,
+// waiting for each fired job to finish before advancing further — the
+// engine behind moniotrd -simulate, and a deterministic way to exercise
+// a long schedule horizon in tests. It returns the jobs fired, in
+// order.
+func (s *Scheduler) Simulate(ctx context.Context, clock *SimClock, until time.Time) ([]*Job, error) {
+	var fired []*Job
+	for {
+		next := s.NextFire()
+		if next.IsZero() || next.After(until) {
+			clock.AdvanceTo(until)
+			return fired, nil
+		}
+		clock.AdvanceTo(next)
+		jobs := s.Tick(clock.Now())
+		for _, job := range jobs {
+			select {
+			case <-job.Done():
+			case <-ctx.Done():
+				return fired, ctx.Err()
+			}
+			fired = append(fired, job)
+			if job.State() == JobFailed {
+				return fired, fmt.Errorf("service: simulated job %s failed: %s", job.ID, job.Err())
+			}
+		}
+	}
+}

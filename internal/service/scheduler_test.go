@@ -1,0 +1,192 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+	_ "time/tzdata"
+)
+
+func instantRun(ctx context.Context, job *Job) error { return nil }
+
+func newTestScheduler(t *testing.T, clock Clock, workers, queue int) (*Scheduler, *Manager) {
+	t.Helper()
+	m := NewManager(ManagerConfig{Workers: workers, Queue: queue, Clock: clock, Run: instantRun})
+	m.Start()
+	t.Cleanup(func() { m.Shutdown(0) })
+	return NewScheduler(clock, m, nil), m
+}
+
+func TestTickFiresDueEntriesOnce(t *testing.T) {
+	t0 := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	clock := NewSimClock(t0)
+	s, _ := newTestScheduler(t, clock, 1, 8)
+	s.Add("hourly", Every(time.Hour), JobSpec{Scale: "tiny"})
+
+	if jobs := s.Tick(t0.Add(30 * time.Minute)); len(jobs) != 0 {
+		t.Fatalf("fired %d jobs before due", len(jobs))
+	}
+	jobs := s.Tick(t0.Add(time.Hour))
+	if len(jobs) != 1 {
+		t.Fatalf("fired %d jobs at due time, want 1", len(jobs))
+	}
+	if got := jobs[0].Spec.Origin; got != "schedule:hourly" {
+		t.Fatalf("origin = %q", got)
+	}
+	// The same instant must not double-fire.
+	if jobs := s.Tick(t0.Add(time.Hour)); len(jobs) != 0 {
+		t.Fatalf("re-tick fired %d jobs", len(jobs))
+	}
+	if next := s.NextFire(); !next.Equal(t0.Add(2 * time.Hour)) {
+		t.Fatalf("next fire = %v", next)
+	}
+}
+
+// A tick that lands long after several missed fires coalesces them into
+// one job (next is computed from now, not stacked per missed interval).
+func TestTickCoalescesMissedFires(t *testing.T) {
+	t0 := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	clock := NewSimClock(t0)
+	s, _ := newTestScheduler(t, clock, 1, 8)
+	s.Add("hourly", Every(time.Hour), JobSpec{})
+	if jobs := s.Tick(t0.Add(10 * time.Hour)); len(jobs) != 1 {
+		t.Fatalf("fired %d jobs after 10 missed hours, want 1", len(jobs))
+	}
+	if next := s.NextFire(); !next.Equal(t0.Add(11 * time.Hour)) {
+		t.Fatalf("next fire = %v", next)
+	}
+}
+
+// The headline scheduler property: simulated across a week that
+// contains the spring-forward transition, a daily schedule fires
+// exactly once per calendar day — 7 jobs, 7 distinct civil dates —
+// without the test ever sleeping.
+func TestSimulateDailyAcrossDSTWeek(t *testing.T) {
+	ny, err := time.LoadLocation("America/New_York")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2026, 3, 6, 0, 0, 0, 0, ny) // DST starts 2026-03-08 02:00
+	clock := NewSimClock(start)
+	s, _ := newTestScheduler(t, clock, 1, 8)
+	entry := s.Add("nightly", DailyAt(2, 30, ny), JobSpec{Scale: "tiny"})
+
+	jobs, err := s.Simulate(context.Background(), clock, start.AddDate(0, 0, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 7 {
+		t.Fatalf("fired %d jobs over 7 days, want 7", len(jobs))
+	}
+	days := map[string]int{}
+	for _, job := range jobs {
+		if job.State() != JobDone {
+			t.Fatalf("job %s = %s", job.ID, job.State())
+		}
+		st := job.Status()
+		fired, err := time.Parse(time.RFC3339Nano, st.Submitted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		days[fired.In(ny).Format("2006-01-02")]++
+	}
+	if len(days) != 7 {
+		t.Fatalf("7 fires covered %d civil days: %v", len(days), days)
+	}
+	for day, n := range days {
+		if n != 1 {
+			t.Errorf("day %s fired %d times", day, n)
+		}
+	}
+	if st := entry.status(); st.Fires != 7 {
+		t.Fatalf("entry recorded %d fires", st.Fires)
+	}
+}
+
+// Two schedules, one manager: fires interleave in time order and every
+// job completes.
+func TestSimulateInterleavesSchedules(t *testing.T) {
+	t0 := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	clock := NewSimClock(t0)
+	s, m := newTestScheduler(t, clock, 2, 8)
+	s.Add("fast", Every(4*time.Hour), JobSpec{})
+	s.Add("slow", DailyAt(12, 0, time.UTC), JobSpec{})
+
+	jobs, err := s.Simulate(context.Background(), clock, t0.AddDate(0, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 four-hourly fires + 2 daily fires over 48h.
+	if len(jobs) != 14 {
+		t.Fatalf("fired %d jobs, want 14", len(jobs))
+	}
+	if got := m.Counts()[JobDone]; got != 14 {
+		t.Fatalf("done = %d, want 14", got)
+	}
+	var prev time.Time
+	for _, job := range jobs {
+		at, err := time.Parse(time.RFC3339Nano, job.Status().Submitted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if at.Before(prev) {
+			t.Fatalf("fires out of order: %v after %v", at, prev)
+		}
+		prev = at
+	}
+}
+
+// A full queue drops the fire (logged + counted) instead of wedging the
+// scheduler.
+func TestTickDropsFireWhenQueueFull(t *testing.T) {
+	t0 := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	clock := NewSimClock(t0)
+	block := make(chan struct{})
+	m := NewManager(ManagerConfig{Workers: 1, Queue: 1, Clock: clock,
+		Run: func(ctx context.Context, job *Job) error { <-block; return nil }})
+	m.Start()
+	defer func() {
+		close(block)
+		m.Shutdown(0)
+	}()
+	s := NewScheduler(clock, m, nil)
+	s.Add("hourly", Every(time.Hour), JobSpec{})
+
+	first := s.Tick(t0.Add(time.Hour))
+	if len(first) != 1 {
+		t.Fatalf("first tick fired %d", len(first))
+	}
+	waitState(t, first[0], JobRunning)
+	if jobs := s.Tick(t0.Add(2 * time.Hour)); len(jobs) != 1 {
+		t.Fatalf("second tick fired %d (queue has room for 1)", len(jobs))
+	}
+	// Queue now full; the next fire is dropped but the schedule advances.
+	if jobs := s.Tick(t0.Add(3 * time.Hour)); len(jobs) != 0 {
+		t.Fatalf("third tick fired %d, want drop", len(jobs))
+	}
+	if next := s.NextFire(); !next.Equal(t0.Add(4 * time.Hour)) {
+		t.Fatalf("schedule wedged: next = %v", next)
+	}
+}
+
+// Run ticks off the injected clock: advancing simulated time fires the
+// schedule with no real sleeping.
+func TestRunFiresOffInjectedClock(t *testing.T) {
+	t0 := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	clock := NewSimClock(t0)
+	s, _ := newTestScheduler(t, clock, 1, 8)
+	entry := s.Add("minutely", Every(time.Minute), JobSpec{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.Run(ctx)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for entry.status().Fires < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d fires", entry.status().Fires)
+		}
+		clock.Advance(time.Minute)
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -26,6 +26,7 @@
 package intliot
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -46,6 +47,37 @@ func PaperConfig() Config { return experiments.PaperConfig() }
 // QuickConfig is a scaled-down campaign that preserves every analysis
 // shape while running in seconds; examples and tests use it.
 func QuickConfig() Config { return experiments.QuickConfig() }
+
+// ScaleConfig maps a named campaign scale to its Config. The names are
+// the ones cmd/moniotr and cmd/moniotrd accept: "tiny" (single
+// repetitions, one idle hour per leg — the smoke-test scale), "quick"
+// (QuickConfig), "bench" (a mid-sized campaign for benchmarking) and
+// "paper" (the full §3.3 experiment counts).
+func ScaleConfig(scale string) (Config, error) {
+	switch scale {
+	case "tiny":
+		cfg := QuickConfig()
+		cfg.AutomatedReps = 1
+		cfg.ManualReps = 1
+		cfg.PowerReps = 1
+		cfg.IdleHours = map[string]float64{"US": 1, "GB": 1, "US->GB": 1, "GB->US": 1}
+		cfg.UncontrolledDays = 1
+		return cfg, nil
+	case "quick":
+		return QuickConfig(), nil
+	case "bench":
+		cfg := QuickConfig()
+		cfg.AutomatedReps = 12
+		cfg.ManualReps = 3
+		cfg.PowerReps = 3
+		cfg.IdleHours = map[string]float64{"US": 6, "GB": 6, "US->GB": 4, "GB->US": 4}
+		cfg.UncontrolledDays = 4
+		return cfg, nil
+	case "paper":
+		return PaperConfig(), nil
+	}
+	return Config{}, fmt.Errorf("intliot: unknown scale %q (have tiny, quick, bench, paper)", scale)
+}
 
 // Table is a rendered result table; see its Render and RenderCSV methods.
 type Table = report.Table
@@ -98,6 +130,16 @@ func (s *Study) SetInferenceConfig(cfg analysis.InferConfig) { s.inferCfg = cfg 
 // report table and detection is byte-identical for any value; call
 // before Run.
 func (s *Study) SetAnalysisWorkers(n int) { s.pipeline.Workers = n }
+
+// SetContext attaches a cancellation context to the analysis pipeline.
+// Once cancelled, the running campaign stops visiting experiments and
+// no further stage starts; Run returns promptly with partial results.
+// Check Aborted before using them. Call before Run; moniotrd uses this
+// for graceful shutdown.
+func (s *Study) SetContext(ctx context.Context) { s.pipeline.SetContext(ctx) }
+
+// Aborted reports whether the last Run observed a cancelled context.
+func (s *Study) Aborted() bool { return s.pipeline.Aborted() }
 
 // Metrics is the observability registry; see internal/obs.
 type Metrics = obs.Registry
@@ -183,6 +225,39 @@ func (s *Study) Table11(minInstances int) *Table {
 
 // Headline renders the §1/§9 summary statistics next to the paper's.
 func (s *Study) Headline() *Table { return report.Headline(s.pipeline.Dest) }
+
+// Document is an ordered, keyed collection of tables; see
+// internal/report. Its RenderJSON output is canonical, which is what
+// lets the moniotrd API serve reports byte-identical to the CLI's.
+type Document = report.Document
+
+// ReportDocument builds the canonical report: every table of the
+// evaluation in the CLI's order, keyed by the CLI's table names
+// ("headline", "1".."11", "fig2", "pii", and — when RunUncontrolled has
+// completed — "unexpected"). cmd/moniotr -json and the moniotrd report
+// API both serve exactly this document, so the two render byte-identical
+// JSON for the same campaign.
+func (s *Study) ReportDocument() *Document {
+	d := &Document{}
+	d.Add("headline", s.Headline())
+	d.Add("1", s.Table1())
+	d.Add("2", s.Table2())
+	d.Add("3", s.Table3())
+	d.Add("4", s.Table4())
+	d.Add("fig2", s.Figure2())
+	d.Add("5", s.Table5())
+	d.Add("6", s.Table6())
+	d.Add("7", s.Table7(nil))
+	d.Add("8", s.Table8())
+	d.Add("9", s.Table9())
+	d.Add("10", s.Table10())
+	d.Add("11", s.Table11(3))
+	d.Add("pii", s.PIIReport())
+	if s.pipeline.Unexpected != nil {
+		d.Add("unexpected", s.UnexpectedReport())
+	}
+	return d
+}
 
 // PIIReport renders the plaintext PII findings.
 func (s *Study) PIIReport() *Table { return report.PIIReport(s.pipeline.Content.Findings()) }

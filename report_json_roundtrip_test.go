@@ -1,0 +1,71 @@
+package intliot
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/report"
+)
+
+// The API-drift guard over real tables: for every paper-facing table of
+// a real (tiny) campaign, the aligned-text rendering parsed back must
+// equal the JSON rendering decoded back — same column order, same float
+// formatting, cell for cell. This is what keeps the moniotrd JSON API
+// pinned to the tables the paper reproduction prints; if a renderer
+// ever formats a column differently in one view, this test fails.
+func TestReportTextAndJSONAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign skipped in -short")
+	}
+	s, err := NewStudy(tinyFaultConfig("", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+
+	doc := s.ReportDocument()
+	if len(doc.Entries) != 14 { // headline, 1-11, fig2, pii (no uncontrolled)
+		t.Fatalf("document has %d entries", len(doc.Entries))
+	}
+	for _, e := range doc.Entries {
+		fromText, err := report.ParseText(e.Table.String())
+		if err != nil {
+			t.Fatalf("table %q: parse text: %v", e.Key, err)
+		}
+		data, err := json.Marshal(e.Table)
+		if err != nil {
+			t.Fatalf("table %q: marshal: %v", e.Key, err)
+		}
+		var fromJSON report.Table
+		if err := json.Unmarshal(data, &fromJSON); err != nil {
+			t.Fatalf("table %q: unmarshal: %v", e.Key, err)
+		}
+		if !reflect.DeepEqual(fromText, &fromJSON) {
+			t.Errorf("table %q: text and JSON views disagree\ntext: %#v\njson: %#v",
+				e.Key, fromText, fromJSON)
+		}
+		// And the text view itself must survive the JSON round trip.
+		if fromJSON.String() != e.Table.String() {
+			t.Errorf("table %q: render drifted across JSON round trip", e.Key)
+		}
+	}
+
+	// The document as a whole round-trips canonically.
+	var buf bytes.Buffer
+	if err := doc.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := report.DecodeDocument(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := back.RenderJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("document JSON is not canonical across a round trip")
+	}
+}
