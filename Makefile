@@ -26,19 +26,22 @@ race:
 # Focused race gate over the concurrency-heavy packages: the impairment
 # engine (consulted from parallel lab goroutines), the shared cloud
 # model, the campaign runner that fans out across labs, the parallel
-# forest trainer, the sharded collector stage, and the streaming
-# ingest dispatcher with its bounded reorder window.
+# forest trainer, the sharded collector stage, the streaming ingest
+# dispatcher with its bounded reorder window, and the fleet runner's
+# bounded-lead home pool folding into shared-seed sketches.
 racecore:
 	$(GO) test -race ./internal/faults/... ./internal/cloud/... ./internal/experiments/... \
 		./internal/ml/... ./internal/analysis/... ./internal/ingest/... \
-		./internal/service/...
+		./internal/service/... ./internal/fleet/... ./internal/sketch/...
 
 # Benchmark sweep (-run '^$$' skips the test suites): the root table
 # harness — which also refreshes BENCH_pipeline.json with the campaign's
 # stage wall times and throughput — plus the forest-training and
-# collector-stage benchmarks that record the parallel speedup.
+# collector-stage benchmarks that record the parallel speedup, the
+# fleet synthesis throughput and the sketch merge/ingest hot paths.
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/ml ./internal/analysis
+	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/ml ./internal/analysis \
+		./internal/fleet ./internal/sketch
 
 # Run every pcap-parsing fuzzer briefly; the seed corpus plus a few
 # seconds of mutation catches framing regressions without CI-scale cost.

@@ -9,6 +9,7 @@
 //	        [-export-captures dir] [-ingest dir] [-stream] [-ingest-window n] [-strict]
 //	        [-metrics out.json] [-pprof :6060]
 //	        [-faults clean|lossy-home|flaky-vpn|outage] [-fault-seed n] [-analysis-workers n]
+//	        [-fleet n] [-fleet-seed n]
 //
 // With -export-captures the campaign is additionally written to disk as
 // a Mon(IoT)r-style capture directory (per-device pcaps + label
@@ -45,9 +46,19 @@
 // JSON document (the same renderer the moniotrd report API uses, so the
 // two are byte-identical for the same campaign) instead of aligned
 // text. -csv continues to work alongside it.
+//
+// With -fleet N the two-lab study is replaced by a fleet-scale campaign:
+// N simulated homes, each with a deterministically drawn device mix,
+// region, fault profile and staggered clock, folded home-by-home into
+// sketch-backed aggregates (see internal/fleet). -fleet-seed derives the
+// whole fleet; -analysis-workers bounds cross-home parallelism, and the
+// fleet tables are byte-identical for any value. -json, -csv, -tables
+// and -metrics work as in study mode; the other campaign flags do not
+// apply.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -59,8 +70,10 @@ import (
 
 	intliot "github.com/neu-sns/intl-iot-go"
 	"github.com/neu-sns/intl-iot-go/internal/faults"
+	"github.com/neu-sns/intl-iot-go/internal/fleet"
 	"github.com/neu-sns/intl-iot-go/internal/ingest"
 	"github.com/neu-sns/intl-iot-go/internal/obs"
+	"github.com/neu-sns/intl-iot-go/internal/report"
 )
 
 func main() {
@@ -79,6 +92,8 @@ func main() {
 	stream := flag.Bool("stream", false, "with -ingest: stream captures through a bounded reorder window instead of buffering the campaign")
 	ingestWindow := flag.Int("ingest-window", 0, "with -stream: reorder window capacity in experiments (0 = default)")
 	analysisWorkers := flag.Int("analysis-workers", 0, "analysis parallelism: 0 = one worker per core, 1 = serial; output is identical for any value")
+	fleetHomes := flag.Int("fleet", 0, "run a fleet-scale campaign of N simulated homes instead of the two-lab study")
+	fleetSeed := flag.Int64("fleet-seed", 1, "seed deriving the whole fleet (device mixes, fault profiles, clocks)")
 	flag.Parse()
 
 	if _, err := faults.ByName(*faultProfile); err != nil {
@@ -93,6 +108,14 @@ func main() {
 			}
 		}()
 		fmt.Fprintf(os.Stderr, "moniotr: pprof listening on %s\n", *pprofAddr)
+	}
+
+	if *fleetHomes > 0 {
+		if *faultProfile != "" {
+			fmt.Fprintln(os.Stderr, "moniotr: -faults is ignored with -fleet (homes draw their own fault profiles)")
+		}
+		runFleet(*fleetHomes, *fleetSeed, *analysisWorkers, *tables, *jsonOut, *csvDir, *metricsOut)
+		return
 	}
 
 	cfg, err := intliot.ScaleConfig(*scale)
@@ -217,6 +240,77 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "moniotr: wrote metrics to %s\n", *metricsOut)
+	}
+}
+
+// runFleet executes the -fleet campaign mode: plan N homes, drive each
+// through synthesis + analysis, fold into sketch-backed aggregates, and
+// render the fleet report document through the same -json/-csv/-tables
+// machinery as study mode.
+func runFleet(homes int, seed int64, workers int, tables string, jsonOut bool, csvDir, metricsOut string) {
+	want := map[string]bool{}
+	for _, t := range strings.Split(tables, ",") {
+		want[strings.TrimSpace(t)] = true
+	}
+	selected := func(key string) bool { return want["all"] || want[key] }
+
+	var reg *intliot.Metrics
+	if metricsOut != "" {
+		probe, err := os.Create(metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: metrics export: %v\n", err)
+			os.Exit(1)
+		}
+		probe.Close()
+		reg = intliot.NewMetrics()
+	}
+
+	fmt.Fprintf(os.Stderr, "moniotr: running a %d-home fleet campaign (seed %d)...\n", homes, seed)
+	start := time.Now()
+	lastLine := time.Now()
+	agg, err := fleet.Run(context.Background(), fleet.Config{
+		Homes:   homes,
+		Seed:    seed,
+		Workers: workers,
+		Progress: func(done, total int) {
+			if time.Since(lastLine) >= 2*time.Second || done == total {
+				fmt.Fprintf(os.Stderr, "moniotr: fleet progress: %d/%d homes\n", done, total)
+				lastLine = time.Now()
+			}
+		},
+	}, reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moniotr: fleet: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "moniotr: fleet campaign done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	doc := report.FleetDocument(agg).Filter(selected)
+	if jsonOut {
+		if err := doc.RenderJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: json render: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, e := range doc.Entries {
+			e.Table.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if csvDir != "" {
+		for _, e := range doc.Entries {
+			if err := exportCSV(csvDir, e.Key, e.Table); err != nil {
+				fmt.Fprintf(os.Stderr, "moniotr: csv export: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if metricsOut != "" {
+		if err := reg.WriteJSONFile(metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: metrics export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "moniotr: wrote metrics to %s\n", metricsOut)
 	}
 }
 

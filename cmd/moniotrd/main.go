@@ -7,7 +7,7 @@
 // Usage:
 //
 //	moniotrd [-addr host:port] [-port-file path]
-//	         [-schedule "NAME=SPEC[;scale=S][;faults=P][;fault-seed=N][;workers=N]"]...
+//	         [-schedule "NAME=SPEC[;scale=S][;faults=P][;fault-seed=N][;workers=N][;fleet=N][;fleet-seed=N]"]...
 //	         [-scale tiny|quick|bench|paper] [-faults P] [-fault-seed N]
 //	         [-analysis-workers n] [-max-jobs n] [-queue n] [-grace d]
 //	         [-data dir] [-tz zone] [-simulate d]
@@ -114,8 +114,16 @@ func parseScheduleFlag(v string, loc *time.Location, defaults service.JobSpec) (
 			if spec.Workers, err = strconv.Atoi(val); err != nil {
 				return fail("bad workers: %v", err)
 			}
+		case "fleet":
+			if spec.FleetHomes, err = strconv.Atoi(val); err != nil {
+				return fail("bad fleet: %v", err)
+			}
+		case "fleet-seed":
+			if spec.FleetSeed, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return fail("bad fleet-seed: %v", err)
+			}
 		default:
-			return fail("unknown option %q (want scale/faults/fault-seed/workers)", key)
+			return fail("unknown option %q (want scale/faults/fault-seed/workers/fleet/fleet-seed)", key)
 		}
 	}
 	return namedSchedule{name: name, sched: sched, spec: spec}, nil
@@ -125,7 +133,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8799", "listen address (use :0 for an ephemeral port)")
 	portFile := flag.String("port-file", "", "write the bound TCP port to this file after listening")
 	var schedules repeatable
-	flag.Var(&schedules, "schedule", "recurring campaign, NAME=SPEC[;scale=S][;faults=P][;fault-seed=N][;workers=N] (repeatable)")
+	flag.Var(&schedules, "schedule", "recurring campaign, NAME=SPEC[;scale=S][;faults=P][;fault-seed=N][;workers=N][;fleet=N][;fleet-seed=N] (repeatable)")
 	scale := flag.String("scale", "quick", "default campaign scale for scheduled and API jobs")
 	faultProfile := flag.String("faults", "", "default network-impairment profile for scheduled jobs (clean, lossy-home, flaky-vpn, outage)")
 	faultSeed := flag.Int64("fault-seed", 0, "default seed for the impairment engine (0 = campaign seed)")

@@ -35,6 +35,12 @@ type DestCollector struct {
 	// Passport from each lab's vantage point).
 	Locators map[string]*geo.Locator
 
+	// OnDestination, when set, observes every labelled non-LAN flow as it
+	// is recorded: the fleet runner taps it to feed sketch aggregates
+	// without buffering flows. Serial pipelines only — shard collectors do
+	// not inherit the hook.
+	OnDestination func(exp *testbed.Experiment, d Destination, port uint16, wireBytes int64)
+
 	// parent is set on shard collectors (newShard): state accumulated in
 	// earlier stages is read through it — DNS maps copy-on-write per
 	// device, geo lookups read-through — so a shard resumes exactly where
@@ -166,6 +172,9 @@ func (c *DestCollector) Visit(exp *testbed.Experiment) {
 		}
 		dest := c.label(devID, exp.Device.Profile.Manufacturer, exp.Device.Profile.Related, f, dnsMap, egress)
 		c.record(exp, dest, f.TotalWireBytes())
+		if c.OnDestination != nil {
+			c.OnDestination(exp, dest, f.Responder.Port, int64(f.TotalWireBytes()))
+		}
 	}
 }
 

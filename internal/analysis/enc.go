@@ -52,6 +52,12 @@ func bucketOf(class entropy.Class) EncClass {
 type EncCollector struct {
 	Thresholds entropy.Thresholds
 
+	// OnFlow, when set, observes every classified non-LAN flow: the fleet
+	// runner taps it to fold encryption volumes into its aggregate without
+	// buffering. Serial pipelines only — shard collectors do not inherit
+	// the hook.
+	OnFlow func(exp *testbed.Experiment, class EncClass, wireBytes int64)
+
 	// byte counters
 	devBytes map[devColKey][3]int64
 	catBytes map[catColKey][3]int64
@@ -130,6 +136,9 @@ func (c *EncCollector) Visit(exp *testbed.Experiment) {
 		v := entropy.ClassifyFlow(f, c.Thresholds)
 		b := bucketOf(v.Class)
 		perExp[b] += int64(f.TotalWireBytes())
+		if c.OnFlow != nil {
+			c.OnFlow(exp, b, int64(f.TotalWireBytes()))
+		}
 	}
 	total := perExp[0] + perExp[1] + perExp[2]
 	if total == 0 {

@@ -1,0 +1,286 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"github.com/neu-sns/intl-iot-go/internal/analysis"
+	"github.com/neu-sns/intl-iot-go/internal/orgdb"
+	"github.com/neu-sns/intl-iot-go/internal/sketch"
+)
+
+// sketchSeed keys every fleet sketch's hash function; fixed so any two
+// fleet aggregates (from any campaign) can merge.
+const sketchSeed = 0x696f74666c656574 // "iotfleet"
+
+// topSLDCap bounds the heavy-hitter candidate set kept alongside the
+// count-min sketch.
+const topSLDCap = 256
+
+// Aggregate is the fleet-level fold of per-home analysis results. The
+// bounded dimensions (party, encryption class, PII kind, region, fault
+// profile) stay exact; the unbounded keyspaces live in sketches, so an
+// Aggregate's size depends on its sketch parameters, never on fleet
+// size. Merge is commutative and associative in every field except the
+// bounded top-SLD candidate set, whose evictions depend on fold order —
+// which is why Run folds homes in index order regardless of worker
+// count.
+type Aggregate struct {
+	// Campaign volume (exact).
+	Homes          int
+	Devices        int
+	Experiments    int
+	Packets        int64
+	WireBytes      int64
+	RetransDropped int64
+	RegionHomes    map[string]int
+	FaultHomes     map[string]int
+
+	// Destination exposure (bounded dimensions exact, keyspaces sketched).
+	PartyFlows map[orgdb.PartyType]int64
+	PartyBytes map[orgdb.PartyType]int64
+	FQDNs      *sketch.HLL
+	SLDs       *sketch.HLL
+	Ports      *sketch.HLL
+	Orgs       *sketch.HLL
+	SLDFlows   *sketch.CountMin // flows per SLD
+	SLDHomes   *sketch.CountMin // homes contacting each SLD
+
+	// Encryption classes, indexed by analysis.EncClass.
+	EncFlows [3]int64
+	EncBytes [3]int64
+
+	// Plaintext PII exposures by pii.Kind string.
+	PIIKinds map[string]int
+
+	// Exact shadow sets, kept only under Config.TrackExact for
+	// error-bound validation.
+	ExactFQDNs map[string]bool
+	ExactSLDs  map[string]bool
+	ExactPorts map[string]bool
+
+	// topSLDs is the bounded heavy-hitter candidate set; sldSeen is
+	// per-home scratch folded into SLDHomes by finalizeHome.
+	topSLDs map[string]bool
+	sldSeen map[string]bool
+}
+
+// NewAggregate builds an empty aggregate; precision 0 means
+// sketch.DefaultPrecision. Aggregates only merge when built with the
+// same precision.
+func NewAggregate(precision int, trackExact bool) (*Aggregate, error) {
+	if precision == 0 {
+		precision = sketch.DefaultPrecision
+	}
+	a := &Aggregate{
+		RegionHomes: make(map[string]int),
+		FaultHomes:  make(map[string]int),
+		PartyFlows:  make(map[orgdb.PartyType]int64),
+		PartyBytes:  make(map[orgdb.PartyType]int64),
+		PIIKinds:    make(map[string]int),
+		topSLDs:     make(map[string]bool),
+		sldSeen:     make(map[string]bool),
+	}
+	var err error
+	if a.FQDNs, err = sketch.NewHLL(precision, sketchSeed); err != nil {
+		return nil, err
+	}
+	a.SLDs, _ = sketch.NewHLL(precision, sketchSeed)
+	a.Ports, _ = sketch.NewHLL(precision, sketchSeed)
+	a.Orgs, _ = sketch.NewHLL(precision, sketchSeed)
+	if a.SLDFlows, err = sketch.NewCountMin(sketch.DefaultCMWidth, sketch.DefaultCMDepth, sketchSeed); err != nil {
+		return nil, err
+	}
+	a.SLDHomes, _ = sketch.NewCountMin(sketch.DefaultCMWidth, sketch.DefaultCMDepth, sketchSeed)
+	if trackExact {
+		a.ExactFQDNs = make(map[string]bool)
+		a.ExactSLDs = make(map[string]bool)
+		a.ExactPorts = make(map[string]bool)
+	}
+	return a, nil
+}
+
+// observeDest folds one labelled non-LAN flow (the DestCollector tap).
+func (a *Aggregate) observeDest(d analysis.Destination, port uint16, wireBytes int64) {
+	a.PartyFlows[d.Party]++
+	a.PartyBytes[d.Party] += wireBytes
+	if d.FQDN != "" {
+		a.FQDNs.Add(d.FQDN)
+		if a.ExactFQDNs != nil {
+			a.ExactFQDNs[d.FQDN] = true
+		}
+	}
+	if d.SLD != "" {
+		a.SLDs.Add(d.SLD)
+		a.SLDFlows.Add(d.SLD, 1)
+		a.sldSeen[d.SLD] = true
+		a.topSLDs[d.SLD] = true
+		if a.ExactSLDs != nil {
+			a.ExactSLDs[d.SLD] = true
+		}
+	}
+	p := strconv.Itoa(int(port))
+	a.Ports.Add(p)
+	if a.ExactPorts != nil {
+		a.ExactPorts[p] = true
+	}
+	if d.Org != "" {
+		a.Orgs.Add(d.Org)
+	}
+	a.pruneTopSLDs()
+}
+
+// observeEnc folds one classified non-LAN flow (the EncCollector tap).
+func (a *Aggregate) observeEnc(class analysis.EncClass, wireBytes int64) {
+	a.EncFlows[class]++
+	a.EncBytes[class] += wireBytes
+}
+
+// addFindings folds a home's plaintext PII exposures.
+func (a *Aggregate) addFindings(findings []analysis.PIIFinding) {
+	for _, f := range findings {
+		a.PIIKinds[string(f.Kind)]++
+	}
+}
+
+// finalizeHome folds the home's distinct-SLD scratch into the
+// homes-per-SLD sketch; call once, after the home's last visit.
+func (a *Aggregate) finalizeHome() {
+	for sld := range a.sldSeen {
+		a.SLDHomes.Add(sld, 1)
+	}
+	a.sldSeen = make(map[string]bool)
+}
+
+// pruneTopSLDs keeps the candidate set bounded: when over cap, the
+// lowest-estimate candidates are evicted deterministically (ties break
+// toward evicting the lexicographically greater name).
+func (a *Aggregate) pruneTopSLDs() {
+	if len(a.topSLDs) <= topSLDCap {
+		return
+	}
+	keys := make([]string, 0, len(a.topSLDs))
+	for k := range a.topSLDs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ei, ej := a.SLDFlows.Estimate(keys[i]), a.SLDFlows.Estimate(keys[j])
+		if ei != ej {
+			return ei > ej
+		}
+		return keys[i] < keys[j]
+	})
+	for _, k := range keys[topSLDCap:] {
+		delete(a.topSLDs, k)
+	}
+}
+
+// Merge folds o into a. Bounded counters add, sketches merge
+// register-wise, and the top-SLD candidate union is re-pruned against
+// the merged count-min, so folding homes in a fixed order yields the
+// same bytes for any worker count.
+func (a *Aggregate) Merge(o *Aggregate) error {
+	if o == nil {
+		return nil
+	}
+	if err := a.FQDNs.Merge(o.FQDNs); err != nil {
+		return fmt.Errorf("fleet: aggregate merge: %w", err)
+	}
+	a.SLDs.Merge(o.SLDs)
+	a.Ports.Merge(o.Ports)
+	a.Orgs.Merge(o.Orgs)
+	if err := a.SLDFlows.Merge(o.SLDFlows); err != nil {
+		return fmt.Errorf("fleet: aggregate merge: %w", err)
+	}
+	a.SLDHomes.Merge(o.SLDHomes)
+
+	a.Homes += o.Homes
+	a.Devices += o.Devices
+	a.Experiments += o.Experiments
+	a.Packets += o.Packets
+	a.WireBytes += o.WireBytes
+	a.RetransDropped += o.RetransDropped
+	for k, v := range o.RegionHomes {
+		a.RegionHomes[k] += v
+	}
+	for k, v := range o.FaultHomes {
+		a.FaultHomes[k] += v
+	}
+	for k, v := range o.PartyFlows {
+		a.PartyFlows[k] += v
+	}
+	for k, v := range o.PartyBytes {
+		a.PartyBytes[k] += v
+	}
+	for i := range a.EncFlows {
+		a.EncFlows[i] += o.EncFlows[i]
+		a.EncBytes[i] += o.EncBytes[i]
+	}
+	for k, v := range o.PIIKinds {
+		a.PIIKinds[k] += v
+	}
+	for k := range o.topSLDs {
+		a.topSLDs[k] = true
+	}
+	a.pruneTopSLDs()
+	mergeExact := func(dst, src map[string]bool) map[string]bool {
+		if dst == nil || src == nil {
+			return dst
+		}
+		for k := range src {
+			dst[k] = true
+		}
+		return dst
+	}
+	a.ExactFQDNs = mergeExact(a.ExactFQDNs, o.ExactFQDNs)
+	a.ExactSLDs = mergeExact(a.ExactSLDs, o.ExactSLDs)
+	a.ExactPorts = mergeExact(a.ExactPorts, o.ExactPorts)
+	return nil
+}
+
+// SLDStat is one heavy-hitter row: count-min estimates, so Flows and
+// Homes may overestimate by the sketch's ε·N slack but never
+// underestimate.
+type SLDStat struct {
+	Name  string
+	Flows uint64
+	Homes uint64
+}
+
+// TopSLDs returns the n highest-traffic second-level domains among the
+// bounded candidate set, ordered by estimated flows (descending, ties
+// by name).
+func (a *Aggregate) TopSLDs(n int) []SLDStat {
+	keys := make([]string, 0, len(a.topSLDs))
+	for k := range a.topSLDs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ei, ej := a.SLDFlows.Estimate(keys[i]), a.SLDFlows.Estimate(keys[j])
+		if ei != ej {
+			return ei > ej
+		}
+		return keys[i] < keys[j]
+	})
+	if n > len(keys) {
+		n = len(keys)
+	}
+	out := make([]SLDStat, n)
+	for i, k := range keys[:n] {
+		out[i] = SLDStat{Name: k, Flows: a.SLDFlows.Estimate(k), Homes: a.SLDHomes.Estimate(k)}
+	}
+	return out
+}
+
+// SizeBytes approximates the aggregate's heap footprint — what the
+// fleet_aggregate_bytes_high_water gauge reports. Sketches dominate;
+// the bounded maps are charged a flat per-entry cost.
+func (a *Aggregate) SizeBytes() int {
+	size := a.FQDNs.SizeBytes() + a.SLDs.SizeBytes() + a.Ports.SizeBytes() + a.Orgs.SizeBytes() +
+		a.SLDFlows.SizeBytes() + a.SLDHomes.SizeBytes()
+	size += 64 * (len(a.RegionHomes) + len(a.FaultHomes) + len(a.PIIKinds) +
+		len(a.PartyFlows) + len(a.PartyBytes) + len(a.topSLDs) + len(a.sldSeen))
+	size += 64 * (len(a.ExactFQDNs) + len(a.ExactSLDs) + len(a.ExactPorts))
+	return size
+}

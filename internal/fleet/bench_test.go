@@ -1,0 +1,26 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkFleetSynthesis measures end-to-end fleet throughput —
+// synthesis plus analysis plus fold — in homes per second at full
+// parallelism. b.N counts homes.
+func BenchmarkFleetSynthesis(b *testing.B) {
+	agg, err := Run(context.Background(), Config{Homes: b.N, Seed: 42, Workers: 0}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(agg.Packets)/float64(b.N), "packets/home")
+	b.ReportMetric(float64(agg.Experiments)/float64(b.N), "experiments/home")
+}
+
+// BenchmarkFleetSynthesisSerial is the 1-worker baseline for the
+// near-linear-scaling comparison in EXPERIMENTS.md.
+func BenchmarkFleetSynthesisSerial(b *testing.B) {
+	if _, err := Run(context.Background(), Config{Homes: b.N, Seed: 42, Workers: 1}, nil); err != nil {
+		b.Fatal(err)
+	}
+}

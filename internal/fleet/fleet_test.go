@@ -1,0 +1,202 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// fingerprint serializes an aggregate deterministically for
+// byte-identity comparisons: sketch bytes plus sorted renderings of
+// every exact counter.
+func fingerprint(t *testing.T, a *Aggregate) string {
+	t.Helper()
+	out := fmt.Sprintf("homes=%d devices=%d exps=%d pkts=%d bytes=%d retrans=%d\n",
+		a.Homes, a.Devices, a.Experiments, a.Packets, a.WireBytes, a.RetransDropped)
+	sortedInts := func(m map[string]int) string {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		s := ""
+		for _, k := range keys {
+			s += fmt.Sprintf("%s=%d ", k, m[k])
+		}
+		return s
+	}
+	out += "regions: " + sortedInts(a.RegionHomes) + "\n"
+	out += "faults: " + sortedInts(a.FaultHomes) + "\n"
+	out += "pii: " + sortedInts(a.PIIKinds) + "\n"
+	out += fmt.Sprintf("party flows=%v bytes=%v\n",
+		[]int64{a.PartyFlows[0], a.PartyFlows[1], a.PartyFlows[2]},
+		[]int64{a.PartyBytes[0], a.PartyBytes[1], a.PartyBytes[2]})
+	out += fmt.Sprintf("enc flows=%v bytes=%v\n", a.EncFlows, a.EncBytes)
+	for _, h := range []struct {
+		name string
+		m    interface{ MarshalBinary() ([]byte, error) }
+	}{{"fqdns", a.FQDNs}, {"slds", a.SLDs}, {"ports", a.Ports}, {"orgs", a.Orgs},
+		{"sldflows", a.SLDFlows}, {"sldhomes", a.SLDHomes}} {
+		b, err := h.m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out += fmt.Sprintf("%s=%x\n", h.name, b)
+	}
+	out += fmt.Sprintf("top=%v\n", a.TopSLDs(topSLDCap))
+	return out
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	a, err := Plan(Config{Homes: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(Config{Homes: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed planned different fleets")
+	}
+	c, _ := Plan(Config{Homes: 40, Seed: 8})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds planned identical fleets")
+	}
+	regions := map[string]int{}
+	faulted := 0
+	for i, s := range a {
+		regions[s.Region]++
+		if s.FaultProfile != "" {
+			faulted++
+		}
+		if len(s.Devices) < 3 || len(s.Devices) > 8 {
+			t.Fatalf("home %d has %d devices, want 3–8", i, len(s.Devices))
+		}
+		seen := map[string]bool{}
+		for _, d := range s.Devices {
+			if seen[d] {
+				t.Fatalf("home %d deploys %q twice", i, d)
+			}
+			seen[d] = true
+		}
+		if !s.Subnet.Addr().Is4() {
+			t.Fatalf("home %d subnet %v not IPv4", i, s.Subnet)
+		}
+	}
+	if regions["US"] == 0 || regions["GB"] == 0 {
+		t.Fatalf("want homes in both regions, got %v", regions)
+	}
+	if faulted == 0 || faulted == len(a) {
+		t.Fatalf("want a mix of clean and impaired homes, got %d/%d impaired", faulted, len(a))
+	}
+	// Subnets must be disjoint.
+	subnets := map[string]bool{}
+	for _, s := range a {
+		k := s.Subnet.String()
+		if subnets[k] {
+			t.Fatalf("subnet %s reused", k)
+		}
+		subnets[k] = true
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	if _, err := Plan(Config{Homes: 0}); err == nil {
+		t.Error("0 homes accepted")
+	}
+	if _, err := Plan(Config{Homes: MaxHomes + 1}); err == nil {
+		t.Error("oversized fleet accepted")
+	}
+	if _, err := Plan(Config{Homes: 5, Precision: 2}); err == nil {
+		t.Error("invalid precision accepted")
+	}
+}
+
+// TestRunWorkerByteIdentity is the package-level half of the ISSUE's
+// determinism requirement: the same fleet folded by 1, 2 and 5 workers
+// must serialize byte-identically.
+func TestRunWorkerByteIdentity(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 5} {
+		agg, err := Run(context.Background(), Config{Homes: 12, Seed: 99, Workers: workers}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fingerprint(t, agg)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d produced a different aggregate", workers)
+		}
+	}
+}
+
+// TestSketchWithinBounds validates the sketch estimates against the
+// exact shadow sets on a small fleet — the acceptance criterion's
+// error-bound check.
+func TestSketchWithinBounds(t *testing.T) {
+	agg, err := Run(context.Background(), Config{Homes: 15, Seed: 3, Workers: 0, TrackExact: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, est float64, exact int, sigma float64) {
+		relErr := math.Abs(est-float64(exact)) / float64(exact)
+		t.Logf("%s: est=%.1f exact=%d err=%.2f%%", name, est, exact, 100*relErr)
+		if relErr > 3*sigma {
+			t.Errorf("%s estimate %.1f vs exact %d: error %.2f%% beyond 3σ=%.2f%%",
+				name, est, exact, 100*relErr, 300*sigma)
+		}
+	}
+	check("fqdns", agg.FQDNs.Estimate(), len(agg.ExactFQDNs), agg.FQDNs.RelativeError())
+	check("slds", agg.SLDs.Estimate(), len(agg.ExactSLDs), agg.SLDs.RelativeError())
+	check("ports", agg.Ports.Estimate(), len(agg.ExactPorts), agg.Ports.RelativeError())
+	if agg.Homes != 15 {
+		t.Errorf("folded %d homes, want 15", agg.Homes)
+	}
+	if len(agg.TopSLDs(5)) == 0 {
+		t.Error("no heavy hitters collected")
+	}
+	var encFlows int64
+	for _, v := range agg.EncFlows {
+		encFlows += v
+	}
+	if encFlows == 0 {
+		t.Error("no flows classified")
+	}
+}
+
+// TestRunCancel: a cancelled context stops the fleet promptly with
+// partial results, never a deadlock.
+func TestRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, err = Run(ctx, Config{Homes: 100, Seed: 1, Workers: 2, Progress: func(n, total int) {
+			if n == 2 {
+				cancel()
+			}
+		}}, nil)
+	}()
+	<-done
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestAggregateMergePrecisionMismatch: aggregates built with different
+// sketch parameters refuse to merge rather than silently corrupting.
+func TestAggregateMergePrecisionMismatch(t *testing.T) {
+	a, _ := NewAggregate(12, false)
+	b, _ := NewAggregate(10, false)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("precision mismatch merged silently")
+	}
+}

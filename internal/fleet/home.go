@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/analysis"
+	"github.com/neu-sns/intl-iot-go/internal/cloud"
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/faults"
+	"github.com/neu-sns/intl-iot-go/internal/geo"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// Per-home campaign shape: one power cycle and up to two interactions
+// per device, then a short idle window. Kept deliberately small so a
+// -fleet 200 campaign stays test-friendly; the fleet's statistical
+// power comes from breadth, not per-home depth.
+const (
+	maxActivitiesPerDevice = 2
+	idleWindow             = 5 * time.Minute
+	interExperimentGap     = 30 * time.Second
+)
+
+// runHome synthesizes one home's campaign and analyzes it into a fresh
+// per-home Aggregate: a pure function of (spec, cfg) given the shared
+// Internet's order-independent resolution, which is what makes the
+// cross-home fold byte-identical for any worker count. Experiments are
+// released as soon as they are visited, so a home's peak heap is one
+// capture window.
+func runHome(spec HomeSpec, internet *cloud.Internet, eng *faults.Engine, cfg Config) (*Aggregate, error) {
+	insts := make([]*devices.Instance, 0, len(spec.Devices))
+	for _, name := range spec.Devices {
+		p, ok := devices.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("fleet: home %d: unknown device %q", spec.Index, name)
+		}
+		insts = append(insts, devices.NewInstance(p, spec.Region))
+	}
+	lab, err := testbed.NewHomeLab(spec.Region, internet, spec.Seed, insts, spec.Subnet)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: home %d: %w", spec.Index, err)
+	}
+	lab.SetFaults(eng)
+
+	agg, err := NewAggregate(cfg.Precision, cfg.TrackExact)
+	if err != nil {
+		return nil, err
+	}
+	dest := analysis.NewDestCollector(internet.Registry, map[string]*geo.Locator{
+		"US": internet.Locator("US"),
+		"GB": internet.Locator("GB"),
+	})
+	dest.OnDestination = func(_ *testbed.Experiment, d analysis.Destination, port uint16, wireBytes int64) {
+		agg.observeDest(d, port, wireBytes)
+	}
+	enc := analysis.NewEncCollector()
+	enc.OnFlow = func(_ *testbed.Experiment, class analysis.EncClass, wireBytes int64) {
+		agg.observeEnc(class, wireBytes)
+	}
+	content := analysis.NewContentCollector()
+
+	visit := func(exp *testbed.Experiment) {
+		if eng.Enabled() {
+			// Impaired homes retransmit; dedup before analysis so the
+			// byte aggregates count goodput, like the ingest path does
+			// for real captures.
+			var dropped int
+			exp.Packets, dropped = analysis.DedupRetransmissions(exp.Packets)
+			agg.RetransDropped += int64(dropped)
+		}
+		dest.Visit(exp)
+		enc.Visit(exp)
+		content.Visit(exp)
+		agg.Experiments++
+		agg.Packets += int64(len(exp.Packets))
+		agg.WireBytes += int64(exp.Bytes())
+		exp.Packets = nil // release the window before the next one
+	}
+
+	t := testbed.StudyEpoch.Add(spec.ClockOffset)
+	for _, slot := range lab.Slots() {
+		exp := lab.RunPower(slot, false, t, 0)
+		t = exp.End.Add(interExperimentGap)
+		visit(exp)
+
+		ran := 0
+		for i := range slot.Inst.Profile.Activities {
+			if ran == maxActivitiesPerDevice {
+				break
+			}
+			act := &slot.Inst.Profile.Activities[i]
+			if len(act.Methods) == 0 {
+				continue
+			}
+			exp := lab.RunInteraction(slot, act, act.Methods[0], false, t, 0)
+			t = exp.End.Add(interExperimentGap)
+			visit(exp)
+			ran++
+		}
+
+		exp = lab.RunIdle(slot, false, t, idleWindow, 0)
+		t = exp.End.Add(interExperimentGap)
+		visit(exp)
+	}
+
+	agg.addFindings(content.Findings())
+	agg.finalizeHome()
+	agg.Homes = 1
+	agg.Devices = len(lab.Slots())
+	agg.RegionHomes[spec.Region] = 1
+	profile := spec.FaultProfile
+	if profile == "" {
+		profile = "clean"
+	}
+	agg.FaultHomes[profile] = 1
+	return agg, nil
+}

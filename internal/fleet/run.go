@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/cloud"
+	"github.com/neu-sns/intl-iot-go/internal/faults"
+	"github.com/neu-sns/intl-iot-go/internal/obs"
+)
+
+// homeResult carries one home's fold input back to the consumer.
+type homeResult struct {
+	agg *Aggregate
+	dur time.Duration
+	err error
+}
+
+// Run plans and executes a fleet campaign, returning the merged
+// fleet-level Aggregate. Homes run on Workers goroutines with a bounded
+// lead — at most `workers` homes in flight — and fold into the
+// aggregate in home-index order on the calling goroutine, so the result
+// is byte-identical for any worker count and peak heap stays
+// O(workers × window + aggregate).
+//
+// A nil registry disables instrumentation; otherwise Run maintains the
+// fleet_homes_completed and fleet_aggregate_bytes_high_water gauges and
+// the fleet_home_duration histogram as homes complete. On context
+// cancellation Run returns the partial aggregate with ctx.Err().
+func Run(ctx context.Context, cfg Config, reg *obs.Registry) (*Aggregate, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	specs, err := Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	// One simulated Internet per distinct fault profile: a clean home
+	// must never share an Internet with one riding cloud outages, but
+	// every home on the same profile can — resolution is
+	// order-independent by construction (the geo DB pre-allocates) and
+	// fault decisions are pure hashes.
+	type backend struct {
+		internet *cloud.Internet
+		eng      *faults.Engine
+	}
+	profiles := map[string]bool{}
+	for _, s := range specs {
+		profiles[s.FaultProfile] = true
+	}
+	names := make([]string, 0, len(profiles))
+	for name := range profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	backends := make(map[string]backend, len(names))
+	for _, name := range names {
+		prof, err := faults.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		internet := cloud.New()
+		eng := faults.New(prof, cfg.Seed)
+		if eng.Enabled() {
+			internet.SetFaults(eng)
+			internet.SetSeed(cfg.Seed)
+		}
+		backends[name] = backend{internet: internet, eng: eng}
+	}
+
+	homesDone := reg.Gauge("fleet_homes_completed")
+	aggHighWater := reg.Gauge("fleet_aggregate_bytes_high_water")
+	homeDur := reg.Histogram("fleet_home_duration", obs.DurationBuckets)
+
+	total, err := NewAggregate(cfg.Precision, cfg.TrackExact)
+	if err != nil {
+		return nil, err
+	}
+
+	// Bounded-lead dispatch: the dispatcher takes a semaphore slot
+	// before feeding each home index, the consumer releases it after
+	// folding that home. Dispatch is in index order, so the smallest
+	// unfolded index is always in flight — the in-order fold can never
+	// deadlock, and a fast worker can never buffer O(fleet) results.
+	sem := make(chan struct{}, workers)
+	next := make(chan int)
+	results := make([]chan homeResult, len(specs))
+	for i := range results {
+		results[i] = make(chan homeResult, 1)
+	}
+	go func() {
+		defer close(next)
+		for i := range specs {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range next {
+				spec := specs[i]
+				be := backends[spec.FaultProfile]
+				start := time.Now()
+				agg, err := runHome(spec, be.internet, be.eng, cfg)
+				results[i] <- homeResult{agg: agg, dur: time.Since(start), err: err}
+			}
+		}()
+	}
+
+	highWater := 0
+	for i := range specs {
+		var res homeResult
+		select {
+		case res = <-results[i]:
+		case <-ctx.Done():
+			return total, ctx.Err()
+		}
+		<-sem
+		if res.err != nil {
+			return total, res.err
+		}
+		if err := total.Merge(res.agg); err != nil {
+			return total, err
+		}
+		homeDur.ObserveDuration(res.dur)
+		homesDone.Set(float64(i + 1))
+		if sz := total.SizeBytes(); sz > highWater {
+			highWater = sz
+			aggHighWater.Set(float64(sz))
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(i+1, len(specs))
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,113 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/neu-sns/intl-iot-go/internal/fleet"
+	"github.com/neu-sns/intl-iot-go/internal/orgdb"
+)
+
+// FleetSummary renders the campaign-volume half of a fleet run.
+func FleetSummary(a *fleet.Aggregate) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Fleet campaign summary (%d homes)", a.Homes),
+		Headers: []string{"Metric", "Value"},
+	}
+	t.AddRow("Homes", itoa(a.Homes))
+	for _, region := range []string{"US", "GB"} {
+		t.AddRow("  in "+region, itoa(a.RegionHomes[region]))
+	}
+	profiles := make([]string, 0, len(a.FaultHomes))
+	for p := range a.FaultHomes {
+		profiles = append(profiles, p)
+	}
+	sort.Strings(profiles)
+	for _, p := range profiles {
+		t.AddRow("  on "+p+" network", itoa(a.FaultHomes[p]))
+	}
+	t.AddRow("Devices", itoa(a.Devices))
+	t.AddRow("Experiments", itoa(a.Experiments))
+	t.AddRow("Packets", fmt.Sprintf("%d", a.Packets))
+	t.AddRow("Wire MB", mb(a.WireBytes))
+	t.AddRow("Retransmissions deduped", fmt.Sprintf("%d", a.RetransDropped))
+	return t
+}
+
+// FleetExposure renders the destination-exposure aggregates: distinct
+// keyspaces from the HyperLogLogs (with their standard-error
+// annotation) and the exact bounded party split.
+func FleetExposure(a *fleet.Aggregate) *Table {
+	t := &Table{
+		Title:   "Fleet destination exposure",
+		Headers: []string{"Metric", "Value", "Error"},
+	}
+	sigma := fmt.Sprintf("±%.1f%% (σ)", 100*a.FQDNs.RelativeError())
+	t.AddRow("Distinct FQDNs", fmt.Sprintf("%.0f", a.FQDNs.Estimate()), sigma)
+	t.AddRow("Distinct SLDs", fmt.Sprintf("%.0f", a.SLDs.Estimate()), sigma)
+	t.AddRow("Distinct ports", fmt.Sprintf("%.0f", a.Ports.Estimate()), sigma)
+	t.AddRow("Distinct organisations", fmt.Sprintf("%.0f", a.Orgs.Estimate()), sigma)
+	for _, p := range []orgdb.PartyType{orgdb.PartyFirst, orgdb.PartySupport, orgdb.PartyThird} {
+		t.AddRow(fmt.Sprintf("%s-party flows", p), fmt.Sprintf("%d", a.PartyFlows[p]), "exact")
+		t.AddRow(fmt.Sprintf("%s-party MB", p), mb(a.PartyBytes[p]), "exact")
+	}
+	return t
+}
+
+// FleetTopSLDs renders the count-min heavy hitters: estimates never
+// undercount, and overcount by more than the slack only with the
+// sketch's documented probability.
+func FleetTopSLDs(a *fleet.Aggregate, n int) *Table {
+	slack, delta := a.SLDFlows.ErrorBound()
+	t := &Table{
+		Title: fmt.Sprintf("Fleet top second-level domains (count-min estimates; ≤ +%d flows slack, δ=%.1f%%)",
+			slack, 100*delta),
+		Headers: []string{"SLD", "Flows (est)", "Homes (est)"},
+	}
+	for _, s := range a.TopSLDs(n) {
+		t.AddRow(s.Name, fmt.Sprintf("%d", s.Flows), fmt.Sprintf("%d", s.Homes))
+	}
+	return t
+}
+
+// FleetEncryption renders the fleet-wide encryption-class split.
+func FleetEncryption(a *fleet.Aggregate) *Table {
+	t := &Table{
+		Title:   "Fleet encryption classes",
+		Headers: []string{"Class", "Flows", "MB"},
+	}
+	for i, name := range []string{"Unencrypted", "Encrypted", "Unknown"} {
+		t.AddRow(name, fmt.Sprintf("%d", a.EncFlows[i]), mb(a.EncBytes[i]))
+	}
+	return t
+}
+
+// FleetPII renders the fleet-wide plaintext PII exposures by kind.
+func FleetPII(a *fleet.Aggregate) *Table {
+	t := &Table{
+		Title:   "Fleet plaintext PII exposures",
+		Headers: []string{"Kind", "Findings"},
+	}
+	kinds := make([]string, 0, len(a.PIIKinds))
+	for k := range a.PIIKinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		t.AddRow(k, itoa(a.PIIKinds[k]))
+	}
+	return t
+}
+
+// FleetDocument builds the canonical fleet report: the same keyed
+// Document machinery as the study report, so cmd/moniotr -json and the
+// moniotrd report API render fleet campaigns byte-identically too.
+func FleetDocument(a *fleet.Aggregate) *Document {
+	d := &Document{}
+	d.Add("fleet", FleetSummary(a))
+	d.Add("fleet-exposure", FleetExposure(a))
+	d.Add("fleet-slds", FleetTopSLDs(a, 10))
+	d.Add("fleet-enc", FleetEncryption(a))
+	d.Add("fleet-pii", FleetPII(a))
+	return d
+}

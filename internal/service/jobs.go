@@ -10,6 +10,7 @@ import (
 
 	intliot "github.com/neu-sns/intl-iot-go"
 	"github.com/neu-sns/intl-iot-go/internal/faults"
+	"github.com/neu-sns/intl-iot-go/internal/fleet"
 	"github.com/neu-sns/intl-iot-go/internal/ingest"
 	"github.com/neu-sns/intl-iot-go/internal/obs"
 	"github.com/neu-sns/intl-iot-go/internal/report"
@@ -43,10 +44,18 @@ type JobSpec struct {
 	// and another lossy.
 	FaultProfile string `json:"faults,omitempty"`
 	FaultSeed    int64  `json:"fault_seed,omitempty"`
-	// Workers bounds analysis parallelism (0 = one per core).
+	// Workers bounds analysis parallelism (0 = one per core). Fleet
+	// jobs reuse it as cross-home parallelism.
 	Workers int `json:"workers,omitempty"`
 	// Uncontrolled adds the §7.3 user-study leg (synthesis jobs only).
 	Uncontrolled bool `json:"uncontrolled,omitempty"`
+	// FleetHomes, when positive, replaces the two-lab study with a
+	// fleet-scale campaign of N simulated homes (internal/fleet);
+	// FleetSeed derives the whole fleet (0 means seed 1). Scale,
+	// FaultProfile and Uncontrolled do not apply — homes draw their own
+	// fault profiles.
+	FleetHomes int   `json:"fleet,omitempty"`
+	FleetSeed  int64 `json:"fleet_seed,omitempty"`
 }
 
 // validate rejects specs that would only fail after queueing.
@@ -65,6 +74,12 @@ func (s JobSpec) validate() error {
 	}
 	if s.Window < 0 || s.Workers < 0 {
 		return fmt.Errorf("service: negative window/workers")
+	}
+	if s.FleetHomes < 0 || s.FleetHomes > fleet.MaxHomes {
+		return fmt.Errorf("service: fleet size %d out of range [0, %d]", s.FleetHomes, fleet.MaxHomes)
+	}
+	if s.FleetHomes > 0 && s.CaptureDir != "" {
+		return fmt.Errorf("service: a job is either a fleet campaign or a capture ingest, not both")
 	}
 	return nil
 }
@@ -142,6 +157,7 @@ type JobStatus struct {
 	State           JobState `json:"state"`
 	Error           string   `json:"error,omitempty"`
 	Scale           string   `json:"scale,omitempty"`
+	Fleet           int      `json:"fleet,omitempty"`
 	Ingesting       bool     `json:"ingesting,omitempty"`
 	Submitted       string   `json:"submitted"`
 	Started         string   `json:"started,omitempty"`
@@ -160,6 +176,7 @@ func (j *Job) Status() JobStatus {
 		State:     j.state,
 		Error:     j.errMsg,
 		Scale:     j.Spec.Scale,
+		Fleet:     j.Spec.FleetHomes,
 		Ingesting: j.Spec.CaptureDir != "",
 		Submitted: rfc3339(j.submitted),
 		Started:   rfc3339(j.started),
@@ -445,6 +462,22 @@ func (m *Manager) runOne(job *Job) {
 // document. It is the default ManagerConfig.Run.
 func (m *Manager) runStudy(ctx context.Context, job *Job) error {
 	spec := job.Spec
+	if spec.FleetHomes > 0 {
+		seed := spec.FleetSeed
+		if seed == 0 {
+			seed = 1
+		}
+		agg, err := fleet.Run(ctx, fleet.Config{
+			Homes:   spec.FleetHomes,
+			Seed:    seed,
+			Workers: spec.Workers,
+		}, m.metrics)
+		if err != nil {
+			return err
+		}
+		job.SetDocument(report.FleetDocument(agg))
+		return nil
+	}
 	var study *intliot.Study
 	var src *ingest.Source
 	if spec.CaptureDir != "" {
@@ -504,6 +537,9 @@ func (m *Manager) runStudy(ctx context.Context, job *Job) error {
 }
 
 func describe(spec JobSpec) string {
+	if spec.FleetHomes > 0 {
+		return fmt.Sprintf("fleet of %d homes", spec.FleetHomes)
+	}
 	if spec.CaptureDir != "" {
 		mode := "buffered"
 		if spec.Stream {

@@ -235,3 +235,42 @@ func TestShutdownCancelsRealPipeline(t *testing.T) {
 		t.Fatal("cancelled job produced a report document")
 	}
 }
+
+func TestFleetJobProducesFleetDocument(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fleet campaign skipped in -short")
+	}
+	m := NewManager(ManagerConfig{Workers: 1})
+	m.Start()
+	defer m.Shutdown(time.Minute)
+	job, err := m.Submit(JobSpec{FleetHomes: 3, FleetSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	if st := job.State(); st != JobDone {
+		t.Fatalf("job = %s (%s), want done", st, job.Err())
+	}
+	doc := job.Document()
+	if doc == nil {
+		t.Fatal("fleet job produced no document")
+	}
+	for _, key := range []string{"fleet", "fleet-exposure", "fleet-slds", "fleet-enc", "fleet-pii"} {
+		if doc.Get(key) == nil {
+			t.Fatalf("fleet document missing table %q", key)
+		}
+	}
+	if st := job.Status(); st.Fleet != 3 {
+		t.Fatalf("status fleet = %d, want 3", st.Fleet)
+	}
+}
+
+func TestFleetSpecValidation(t *testing.T) {
+	m := NewManager(ManagerConfig{})
+	if _, err := m.Submit(JobSpec{FleetHomes: -1}); err == nil {
+		t.Error("negative fleet size accepted")
+	}
+	if _, err := m.Submit(JobSpec{FleetHomes: 5, CaptureDir: "/tmp/x"}); err == nil {
+		t.Error("fleet+ingest spec accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package sketch
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSketchMerge measures folding one populated per-home aggregate
+// (an HLL plus a count-min) into a fleet-level accumulator — the hot
+// operation on the fleet consumer goroutine.
+func BenchmarkSketchMerge(b *testing.B) {
+	src, _ := NewHLL(DefaultPrecision, 1)
+	srcCM, _ := NewCountMin(DefaultCMWidth, DefaultCMDepth, 1)
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("dest-%d.example.com", i)
+		src.Add(key)
+		srcCM.Add(key, uint64(1+i%7))
+	}
+	acc, _ := NewHLL(DefaultPrecision, 1)
+	accCM, _ := NewCountMin(DefaultCMWidth, DefaultCMDepth, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := acc.Merge(src); err != nil {
+			b.Fatal(err)
+		}
+		if err := accCM.Merge(srcCM); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSketchAdd measures the per-key ingest cost paid on every
+// flow tap during a fleet campaign.
+func BenchmarkSketchAdd(b *testing.B) {
+	h, _ := NewHLL(DefaultPrecision, 1)
+	cm, _ := NewCountMin(DefaultCMWidth, DefaultCMDepth, 1)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("dest-%d.example.com", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		h.Add(k)
+		cm.Add(k, 1)
+	}
+}

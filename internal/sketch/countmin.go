@@ -1,0 +1,114 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Default count-min geometry: ε = e/2048 ≈ 0.13% of the total count,
+// exceeded with probability δ = e^-4 ≈ 1.8%.
+const (
+	DefaultCMWidth = 2048
+	DefaultCMDepth = 4
+)
+
+// CountMin is a count-min frequency sketch: Estimate never
+// underestimates a key's true count, and overestimates by more than
+// ε·Total (ε = e/width) with probability at most δ = e^-depth. Build
+// with NewCountMin; not safe for concurrent use.
+type CountMin struct {
+	width, depth int
+	seed         uint64
+	rows         []uint64 // depth rows of width counters, row-major
+	total        uint64
+}
+
+// NewCountMin builds a sketch of depth rows with width counters each.
+// Sketches can only merge when they share width, depth and seed.
+func NewCountMin(width, depth int, seed uint64) (*CountMin, error) {
+	if width < 2 || depth < 1 {
+		return nil, fmt.Errorf("sketch: count-min needs width ≥ 2 and depth ≥ 1 (got %d×%d)", width, depth)
+	}
+	return &CountMin{
+		width: width,
+		depth: depth,
+		seed:  seed,
+		rows:  make([]uint64, width*depth),
+	}, nil
+}
+
+// Add counts n occurrences of key.
+func (c *CountMin) Add(key string, n uint64) {
+	h := hashKey(key, c.seed)
+	for d := 0; d < c.depth; d++ {
+		c.rows[d*c.width+c.slot(h, d)] += n
+	}
+	c.total += n
+}
+
+// Estimate returns the key's count estimate: the minimum over rows,
+// which is ≥ the true count always (counters only ever add).
+func (c *CountMin) Estimate(key string) uint64 {
+	h := hashKey(key, c.seed)
+	min := uint64(math.MaxUint64)
+	for d := 0; d < c.depth; d++ {
+		if v := c.rows[d*c.width+c.slot(h, d)]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// slot derives row d's counter index from the key's base hash: an
+// independent-enough per-row remix of the same 64-bit hash.
+func (c *CountMin) slot(h uint64, d int) int {
+	return int(mix64(h+uint64(d)*0x9e3779b97f4a7c15) % uint64(c.width))
+}
+
+// Total is the sum of all counts added (the N in the ε·N error bound).
+func (c *CountMin) Total() uint64 { return c.total }
+
+// ErrorBound returns the documented overestimate bound: any Estimate
+// exceeds the true count by more than the returned slack with
+// probability at most the returned delta.
+func (c *CountMin) ErrorBound() (slack uint64, delta float64) {
+	eps := math.E / float64(c.width)
+	return uint64(math.Ceil(eps * float64(c.total))), math.Exp(-float64(c.depth))
+}
+
+// Merge folds o into c by element-wise counter addition — commutative
+// and associative, so fold order never changes the serialized bytes.
+// The sketches must share geometry and seed.
+func (c *CountMin) Merge(o *CountMin) error {
+	if o == nil {
+		return nil
+	}
+	if c.width != o.width || c.depth != o.depth || c.seed != o.seed {
+		return fmt.Errorf("sketch: count-min merge mismatch (%d×%d seed=%#x vs %d×%d seed=%#x)",
+			c.width, c.depth, c.seed, o.width, o.depth, o.seed)
+	}
+	for i, v := range o.rows {
+		c.rows[i] += v
+	}
+	c.total += o.total
+	return nil
+}
+
+// MarshalBinary serializes the sketch deterministically (fixed-width
+// big-endian counters in row-major order).
+func (c *CountMin) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 32+8*len(c.rows))
+	out = append(out, 'C', 'M', 'S', '1')
+	out = binary.BigEndian.AppendUint32(out, uint32(c.width))
+	out = binary.BigEndian.AppendUint32(out, uint32(c.depth))
+	out = binary.BigEndian.AppendUint64(out, c.seed)
+	out = binary.BigEndian.AppendUint64(out, c.total)
+	for _, v := range c.rows {
+		out = binary.BigEndian.AppendUint64(out, v)
+	}
+	return out, nil
+}
+
+// SizeBytes is the sketch's in-memory footprint.
+func (c *CountMin) SizeBytes() int { return 8*len(c.rows) + 32 }

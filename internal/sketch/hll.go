@@ -1,0 +1,157 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Precision limits for NewHLL; m = 2^p registers.
+const (
+	MinPrecision = 4
+	MaxPrecision = 16
+)
+
+// DefaultPrecision is the fleet default: 4096 registers, σ ≈ 1.6%.
+const DefaultPrecision = 12
+
+// HLL is a HyperLogLog distinct-count sketch. The zero value is not
+// usable; build one with NewHLL. Add, Estimate and Merge are not safe
+// for concurrent use — the fleet folds per-home sketches from a single
+// goroutine, like every collector merge.
+type HLL struct {
+	precision uint8
+	seed      uint64
+	regs      []uint8
+}
+
+// NewHLL builds a sketch with 2^precision registers. Sketches can only
+// merge when they share precision and seed.
+func NewHLL(precision int, seed uint64) (*HLL, error) {
+	if precision < MinPrecision || precision > MaxPrecision {
+		return nil, fmt.Errorf("sketch: HLL precision %d out of range [%d, %d]", precision, MinPrecision, MaxPrecision)
+	}
+	return &HLL{
+		precision: uint8(precision),
+		seed:      seed,
+		regs:      make([]uint8, 1<<precision),
+	}, nil
+}
+
+// Add observes one key. Adding the same key again never changes the
+// sketch, so Add is idempotent per key.
+func (h *HLL) Add(key string) { h.addHash(hashKey(key, h.seed)) }
+
+func (h *HLL) addHash(x uint64) {
+	p := h.precision
+	idx := x >> (64 - p)
+	w := x << p
+	var rank uint8
+	if w == 0 {
+		rank = uint8(64 - p + 1)
+	} else {
+		rank = uint8(bits.LeadingZeros64(w) + 1)
+	}
+	if rank > h.regs[idx] {
+		h.regs[idx] = rank
+	}
+}
+
+// Estimate returns the approximate number of distinct keys added. Below
+// ~2.5m it switches to linear counting over the empty registers, which
+// is near-exact; above that the standard error is RelativeError.
+func (h *HLL) Estimate() float64 {
+	m := float64(len(h.regs))
+	sum := 0.0
+	zeros := 0
+	for _, r := range h.regs {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	est := alpha(m) * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		est = m * math.Log(m/float64(zeros))
+	}
+	return est
+}
+
+// RelativeError is the documented standard error σ = 1.04/√m of the raw
+// HyperLogLog estimator; actual error at small cardinalities (linear
+// counting) is far below it.
+func (h *HLL) RelativeError() float64 { return 1.04 / math.Sqrt(float64(len(h.regs))) }
+
+// Precision returns p (m = 2^p registers).
+func (h *HLL) Precision() int { return int(h.precision) }
+
+// Merge folds o into h: the register-wise max, which makes Merge
+// commutative, associative and idempotent. The sketches must share
+// precision and seed.
+func (h *HLL) Merge(o *HLL) error {
+	if o == nil {
+		return nil
+	}
+	if h.precision != o.precision || h.seed != o.seed {
+		return fmt.Errorf("sketch: HLL merge mismatch (p=%d seed=%#x vs p=%d seed=%#x)",
+			h.precision, h.seed, o.precision, o.seed)
+	}
+	for i, r := range o.regs {
+		if r > h.regs[i] {
+			h.regs[i] = r
+		}
+	}
+	return nil
+}
+
+// MarshalBinary serializes the sketch deterministically: the same
+// register state always yields the same bytes, so merge order can be
+// audited byte-for-byte.
+func (h *HLL) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 16+len(h.regs))
+	out = append(out, 'H', 'L', 'L', '1', h.precision)
+	out = binary.BigEndian.AppendUint64(out, h.seed)
+	out = append(out, h.regs...)
+	return out, nil
+}
+
+// SizeBytes is the sketch's in-memory footprint, for the fleet's
+// aggregate high-water gauge.
+func (h *HLL) SizeBytes() int { return len(h.regs) + 16 }
+
+func alpha(m float64) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	}
+	return 0.7213 / (1 + 1.079/m)
+}
+
+// hashKey is the shared seeded 64-bit hash: FNV-1a over the key, seed
+// folded in, then a splitmix64-style finalizer for the avalanche quality
+// HLL's leading-zero ranks and count-min's row indices both need. A pure
+// function of (seed, key) — never of call order — so sketches built on
+// different workers agree bit for bit.
+func hashKey(key string, seed uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return mix64(h ^ seed)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z ^= z >> 33
+	z *= 0xff51afd7ed558ccd
+	z ^= z >> 33
+	z *= 0xc4ceb9fe1a85ec53
+	z ^= z >> 33
+	return z
+}

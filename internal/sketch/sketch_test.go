@@ -1,0 +1,235 @@
+package sketch
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestHLLErrorBound asserts the documented accuracy across seeds and
+// cardinalities: within 3σ of the theoretical standard error
+// σ = 1.04/√m (plus linear counting's near-exactness at the low end).
+func TestHLLErrorBound(t *testing.T) {
+	for _, p := range []int{10, 12, 14} {
+		for _, seed := range []uint64{1, 7, 42} {
+			for _, n := range []int{100, 1000, 10000, 100000} {
+				h, err := NewHLL(p, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					h.Add(fmt.Sprintf("key-%d", i))
+				}
+				est := h.Estimate()
+				relErr := math.Abs(est-float64(n)) / float64(n)
+				bound := 3 * h.RelativeError()
+				t.Logf("p=%d seed=%d n=%d est=%.0f err=%.3f%% (3σ=%.3f%%)",
+					p, seed, n, est, 100*relErr, 100*bound)
+				if relErr > bound {
+					t.Errorf("p=%d seed=%d n=%d: estimate %.0f off by %.2f%%, beyond 3σ=%.2f%%",
+						p, seed, n, est, 100*relErr, 100*bound)
+				}
+			}
+		}
+	}
+}
+
+// TestHLLIdempotent: re-adding keys never moves the estimate.
+func TestHLLIdempotent(t *testing.T) {
+	h, _ := NewHLL(12, 9)
+	for i := 0; i < 5000; i++ {
+		h.Add(fmt.Sprintf("k%d", i))
+	}
+	before, _ := h.MarshalBinary()
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 5000; i++ {
+			h.Add(fmt.Sprintf("k%d", i))
+		}
+	}
+	after, _ := h.MarshalBinary()
+	if !bytes.Equal(before, after) {
+		t.Fatal("re-adding existing keys changed the sketch")
+	}
+}
+
+// TestCountMinOverestimateOnly asserts the one-sided guarantee: the
+// estimate never drops below the true count, for every key of a skewed
+// stream, and stays within the documented ε·N slack for these seeds.
+func TestCountMinOverestimateOnly(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		cm, err := NewCountMin(DefaultCMWidth, DefaultCMDepth, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := map[string]uint64{}
+		rng := rand.New(rand.NewSource(int64(seed)))
+		zipf := rand.NewZipf(rng, 1.2, 1, 5000)
+		for i := 0; i < 200000; i++ {
+			key := fmt.Sprintf("sld-%d.example", zipf.Uint64())
+			exact[key]++
+			cm.Add(key, 1)
+		}
+		slack, delta := cm.ErrorBound()
+		over := 0
+		for key, want := range exact {
+			got := cm.Estimate(key)
+			if got < want {
+				t.Fatalf("seed %d: count-min underestimated %q: %d < %d", seed, key, got, want)
+			}
+			if got > want+slack {
+				over++
+			}
+		}
+		// The ε·N bound holds per key with probability ≥ 1−δ; allow the
+		// test twice that margin across the whole key population.
+		if frac := float64(over) / float64(len(exact)); frac > 2*delta {
+			t.Errorf("seed %d: %.1f%% of keys exceeded the ε·N slack (documented δ=%.1f%%)",
+				seed, 100*frac, 100*delta)
+		}
+		t.Logf("seed=%d keys=%d total=%d slack=%d over-slack=%d",
+			seed, len(exact), cm.Total(), slack, over)
+	}
+}
+
+// TestMergeCommutesAndAssociates: folding partitioned streams in any
+// order or grouping yields byte-identical serialization — for both
+// sketch types — and matches the single-sketch result exactly.
+func TestMergeCommutesAndAssociates(t *testing.T) {
+	const parts = 4
+	newHLLs := func() []*HLL {
+		out := make([]*HLL, parts)
+		for i := range out {
+			out[i], _ = NewHLL(12, 3)
+		}
+		return out
+	}
+	newCMs := func() []*CountMin {
+		out := make([]*CountMin, parts)
+		for i := range out {
+			out[i], _ = NewCountMin(512, 4, 3)
+		}
+		return out
+	}
+
+	whole, _ := NewHLL(12, 3)
+	wholeCM, _ := NewCountMin(512, 4, 3)
+	fill := func(hs []*HLL, cs []*CountMin) {
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 20000; i++ {
+			key := fmt.Sprintf("dest-%d.example.com", rng.Intn(6000))
+			p := i % parts
+			hs[p].Add(key)
+			cs[p].Add(key, 1)
+			whole.Add(key)
+			wholeCM.Add(key, 1)
+		}
+	}
+
+	orders := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}}
+	var wantHLL, wantCM []byte
+	base := newHLLs()
+	baseCM := newCMs()
+	fill(base, baseCM)
+	for oi, order := range orders {
+		// Fresh copies per order: merge mutates the receiver.
+		hs := newHLLs()
+		cs := newCMs()
+		for i := range hs {
+			hs[i].Merge(base[i])
+			cs[i].Merge(baseCM[i])
+		}
+		accH, _ := NewHLL(12, 3)
+		accC, _ := NewCountMin(512, 4, 3)
+		if oi == 2 {
+			// Associativity: merge pairs first, then the pair results.
+			a, _ := NewHLL(12, 3)
+			b, _ := NewHLL(12, 3)
+			a.Merge(hs[order[0]])
+			a.Merge(hs[order[1]])
+			b.Merge(hs[order[2]])
+			b.Merge(hs[order[3]])
+			accH.Merge(a)
+			accH.Merge(b)
+			ca, _ := NewCountMin(512, 4, 3)
+			cb, _ := NewCountMin(512, 4, 3)
+			ca.Merge(cs[order[0]])
+			ca.Merge(cs[order[1]])
+			cb.Merge(cs[order[2]])
+			cb.Merge(cs[order[3]])
+			accC.Merge(ca)
+			accC.Merge(cb)
+		} else {
+			for _, i := range order {
+				if err := accH.Merge(hs[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := accC.Merge(cs[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		gotH, _ := accH.MarshalBinary()
+		gotC, _ := accC.MarshalBinary()
+		if wantHLL == nil {
+			wantHLL, wantCM = gotH, gotC
+			continue
+		}
+		if !bytes.Equal(gotH, wantHLL) {
+			t.Errorf("HLL merge order %v changed serialized bytes", order)
+		}
+		if !bytes.Equal(gotC, wantCM) {
+			t.Errorf("count-min merge order %v changed serialized bytes", order)
+		}
+	}
+
+	// The merged partitions must equal the single sketch that saw the
+	// whole stream (count-min totals add; HLL registers max).
+	singleH, _ := whole.MarshalBinary()
+	if !bytes.Equal(singleH, wantHLL) {
+		t.Error("merged HLL partitions differ from the single-sketch state")
+	}
+	singleC, _ := wholeCM.MarshalBinary()
+	if !bytes.Equal(singleC, wantCM) {
+		t.Error("merged count-min partitions differ from the single-sketch state")
+	}
+}
+
+// TestMergeMismatch: sketches with different parameters refuse to merge.
+func TestMergeMismatch(t *testing.T) {
+	a, _ := NewHLL(12, 1)
+	b, _ := NewHLL(11, 1)
+	c, _ := NewHLL(12, 2)
+	if err := a.Merge(b); err == nil {
+		t.Error("HLL precision mismatch merged silently")
+	}
+	if err := a.Merge(c); err == nil {
+		t.Error("HLL seed mismatch merged silently")
+	}
+	x, _ := NewCountMin(512, 4, 1)
+	y, _ := NewCountMin(256, 4, 1)
+	z, _ := NewCountMin(512, 4, 2)
+	if err := x.Merge(y); err == nil {
+		t.Error("count-min width mismatch merged silently")
+	}
+	if err := x.Merge(z); err == nil {
+		t.Error("count-min seed mismatch merged silently")
+	}
+}
+
+// TestParamValidation rejects out-of-range constructors.
+func TestParamValidation(t *testing.T) {
+	if _, err := NewHLL(3, 0); err == nil {
+		t.Error("precision 3 accepted")
+	}
+	if _, err := NewHLL(17, 0); err == nil {
+		t.Error("precision 17 accepted")
+	}
+	if _, err := NewCountMin(1, 1, 0); err == nil {
+		t.Error("width 1 accepted")
+	}
+	if _, err := NewCountMin(8, 0, 0); err == nil {
+		t.Error("depth 0 accepted")
+	}
+}

@@ -92,6 +92,51 @@ func NewLab(name string, internet *cloud.Internet, seed int64) (*Lab, error) {
 	return l, nil
 }
 
+// NewHomeLab builds a single simulated home: a lab-shaped site with an
+// arbitrary subnet and an explicit device roster instead of the full
+// two-lab catalog deployment. The home's Name is its region ("US" or
+// "GB"), which keeps egress geolocation, catalog traffic rates and
+// report columns working unchanged; PeerName is set to the other region
+// but homes never raise the VPN leg, so it only names the hypothetical
+// tunnel egress. The fleet synthesizer calls this once per home with a
+// per-home subnet and seed.
+func NewHomeLab(region string, internet *cloud.Internet, seed int64, insts []*devices.Instance, subnet netip.Prefix) (*Lab, error) {
+	var peer string
+	switch region {
+	case devices.LabUS:
+		peer = devices.LabUK
+	case devices.LabUK:
+		peer = devices.LabUS
+	default:
+		return nil, fmt.Errorf("testbed: unknown home region %q", region)
+	}
+	if !subnet.Addr().Is4() || subnet.Bits() > 24 {
+		return nil, fmt.Errorf("testbed: home subnet %v must be an IPv4 prefix of /24 or wider", subnet)
+	}
+	base := subnet.Addr().As4()
+	l := &Lab{
+		Name:       region,
+		Internet:   internet,
+		Subnet:     subnet,
+		GatewayIP:  netip.AddrFrom4([4]byte{base[0], base[1], base[2], 1}),
+		GatewayMAC: netx.MAC{0x02, 0x00, 0x00, base[1], base[2], 0x01},
+		PeerName:   peer,
+		seed:       seed,
+	}
+	host := byte(10)
+	for _, inst := range insts {
+		l.slots = append(l.slots, &DeviceSlot{
+			Inst: inst,
+			IP:   netip.AddrFrom4([4]byte{base[0], base[1], base[2], host}),
+		})
+		host++
+		if host == 0 {
+			return nil, fmt.Errorf("testbed: subnet %v exhausted", subnet)
+		}
+	}
+	return l, nil
+}
+
 // SetObs attaches a metrics registry; every experiment the lab runs then
 // counts its synthesized packets and wire bytes. Call before running
 // experiments (workers read the counters concurrently afterwards).
