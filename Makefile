@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet fmt build test race racecore bench fuzz smoke chaos serve-smoke
+.PHONY: check vet fmt build test race racecore bench fuzz smoke chaos reshape-smoke serve-smoke
 
 # Pre-PR gate: everything here must pass before sending a change.
 # racecore runs first: the packages that juggle goroutines and the fault
 # engine fail fast before the full -race sweep.
-check: vet fmt build racecore race smoke chaos serve-smoke
+check: vet fmt build racecore race smoke chaos reshape-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,7 +32,8 @@ race:
 racecore:
 	$(GO) test -race ./internal/faults/... ./internal/cloud/... ./internal/experiments/... \
 		./internal/ml/... ./internal/analysis/... ./internal/ingest/... \
-		./internal/service/... ./internal/fleet/... ./internal/sketch/...
+		./internal/service/... ./internal/fleet/... ./internal/sketch/... \
+		./internal/reshape/...
 
 # Benchmark sweep (-run '^$$' skips the test suites): the root table
 # harness — which also refreshes BENCH_pipeline.json with the campaign's
@@ -41,7 +42,7 @@ racecore:
 # fleet synthesis throughput and the sketch merge/ingest hot paths.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/ml ./internal/analysis \
-		./internal/fleet ./internal/sketch
+		./internal/fleet ./internal/sketch ./internal/reshape
 
 # Run every pcap-parsing fuzzer briefly; the seed corpus plus a few
 # seconds of mutation catches framing regressions without CI-scale cost.
@@ -114,3 +115,21 @@ chaos:
 	grep -q '"faults_pkts_dropped_total"' "$$tmp/metrics.json" && \
 	grep -q '"faults_retransmissions_total"' "$$tmp/metrics.json" && \
 	echo "chaos: lossy-home campaign reproducible, faults accounted"
+
+# Reshape smoke: a tiny campaign behind a pad+dummy defense stack must
+# complete with no fatal errors, reproduce byte-identically under the
+# same seed, differ from the undefended run, and account for every
+# defense transform in the metrics snapshot.
+reshape-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o "$$tmp/moniotr" ./cmd/moniotr && \
+	"$$tmp/moniotr" -scale tiny -skip-uncontrolled -reshape pad,dummy -reshape-seed 7 \
+		-reshape-budget 0.3 -metrics "$$tmp/metrics.json" > "$$tmp/a.out" 2> "$$tmp/a.err" && \
+	"$$tmp/moniotr" -scale tiny -skip-uncontrolled -reshape pad,dummy -reshape-seed 7 \
+		-reshape-budget 0.3 > "$$tmp/b.out" 2> "$$tmp/b.err" && \
+	"$$tmp/moniotr" -scale tiny -skip-uncontrolled > "$$tmp/clean.out" 2> "$$tmp/clean.err" && \
+	cmp "$$tmp/a.out" "$$tmp/b.out" && \
+	! cmp -s "$$tmp/a.out" "$$tmp/clean.out" && \
+	grep -q '"reshape_padded_packets_total"' "$$tmp/metrics.json" && \
+	grep -q '"reshape_dummy_packets_total"' "$$tmp/metrics.json" && \
+	echo "reshape-smoke: defended campaign reproducible, distinct from clean, transforms accounted"

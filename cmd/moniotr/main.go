@@ -9,6 +9,7 @@
 //	        [-export-captures dir] [-ingest dir] [-stream] [-ingest-window n] [-strict]
 //	        [-metrics out.json] [-pprof :6060]
 //	        [-faults clean|lossy-home|flaky-vpn|outage] [-fault-seed n] [-analysis-workers n]
+//	        [-reshape pad,shape,dummy,vpn] [-reshape-seed n] [-reshape-budget f] [-reshape-matrix]
 //	        [-fleet n] [-fleet-seed n]
 //
 // With -export-captures the campaign is additionally written to disk as
@@ -36,6 +37,23 @@
 // the flag. With -strict an ingest run exits non-zero if anything was
 // count-and-skipped (truncated files, unknown devices, unlabeled
 // packets), for CI gating.
+//
+// With -reshape the campaign runs behind a traffic-reshaping defense
+// stack (internal/reshape): packet padding to length buckets ("pad"),
+// constant-rate inter-arrival shaping ("shape"), seeded dummy-traffic
+// injection ("dummy") and VPN/NAT tunnel aggregation ("vpn"), applied in
+// the given order to every experiment before any analysis sees it. The
+// stack works for synthesized and -ingest campaigns alike. -reshape-seed
+// seeds the engine (default: the campaign seed) and -reshape-budget sets
+// the overhead budget in [0, 1] — 0 is a bit-for-bit no-op, larger
+// budgets buy stronger defenses at higher byte/latency cost. A fixed
+// (stack, seed, budget) triple reshapes byte-identically run-to-run and
+// for any -analysis-workers value. -export-captures always writes the
+// raw (pre-defense) campaign, so an exported directory can be re-ingested
+// under any defense. -reshape-matrix replaces the normal report with the
+// attack/defense robustness matrix: the campaign is replayed undefended
+// and under every defense × budget cell, measuring inference F1, idle
+// detections, table drift and byte/latency overhead per cell.
 //
 // -analysis-workers bounds the analysis-side parallelism (sharded
 // collectors, forest training, model evaluation); 0 means one worker per
@@ -69,11 +87,13 @@ import (
 	"time"
 
 	intliot "github.com/neu-sns/intl-iot-go"
+	"github.com/neu-sns/intl-iot-go/internal/experiments/robustness"
 	"github.com/neu-sns/intl-iot-go/internal/faults"
 	"github.com/neu-sns/intl-iot-go/internal/fleet"
 	"github.com/neu-sns/intl-iot-go/internal/ingest"
 	"github.com/neu-sns/intl-iot-go/internal/obs"
 	"github.com/neu-sns/intl-iot-go/internal/report"
+	"github.com/neu-sns/intl-iot-go/internal/reshape"
 )
 
 func main() {
@@ -92,11 +112,19 @@ func main() {
 	stream := flag.Bool("stream", false, "with -ingest: stream captures through a bounded reorder window instead of buffering the campaign")
 	ingestWindow := flag.Int("ingest-window", 0, "with -stream: reorder window capacity in experiments (0 = default)")
 	analysisWorkers := flag.Int("analysis-workers", 0, "analysis parallelism: 0 = one worker per core, 1 = serial; output is identical for any value")
+	reshapeStack := flag.String("reshape", "", "apply a traffic-reshaping defense stack (comma-separated: pad, shape, dummy, vpn)")
+	reshapeSeed := flag.Int64("reshape-seed", 0, "seed for the defense engine (0 = campaign seed)")
+	reshapeBudget := flag.Float64("reshape-budget", 0.25, "defense overhead budget in [0, 1]; 0 disables every transform bit-for-bit")
+	reshapeMatrix := flag.Bool("reshape-matrix", false, "sweep defense x budget against the campaign and print the robustness matrix")
 	fleetHomes := flag.Int("fleet", 0, "run a fleet-scale campaign of N simulated homes instead of the two-lab study")
 	fleetSeed := flag.Int64("fleet-seed", 1, "seed deriving the whole fleet (device mixes, fault profiles, clocks)")
 	flag.Parse()
 
 	if _, err := faults.ByName(*faultProfile); err != nil {
+		fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
+		os.Exit(2)
+	}
+	if _, err := reshape.ParseStack(*reshapeStack); err != nil {
 		fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
 		os.Exit(2)
 	}
@@ -126,6 +154,14 @@ func main() {
 
 	cfg.FaultProfile = *faultProfile
 	cfg.FaultSeed = *faultSeed
+	cfg.Reshape = *reshapeStack
+	cfg.ReshapeSeed = *reshapeSeed
+	cfg.ReshapeBudget = *reshapeBudget
+
+	if *reshapeMatrix {
+		runReshapeMatrix(cfg, *analysisWorkers, *jsonOut, *csvDir)
+		return
+	}
 
 	want := map[string]bool{}
 	for _, t := range strings.Split(*tables, ",") {
@@ -151,7 +187,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
 			os.Exit(1)
 		}
-		study = intliot.NewStudyFromSource(src)
+		eng, err := intliot.NewReshapeEngine(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
+			os.Exit(2)
+		}
+		study = intliot.NewStudyFromSource(reshape.Wrap(src, eng))
 		if !*skipUncontrolled {
 			fmt.Fprintln(os.Stderr, "moniotr: capture directories carry no user-study campaign; skipping uncontrolled analysis")
 			*skipUncontrolled = true
@@ -240,6 +281,49 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "moniotr: wrote metrics to %s\n", *metricsOut)
+	}
+}
+
+// runReshapeMatrix executes the -reshape-matrix mode: replay the
+// campaign undefended and under every default defense × budget cell,
+// then render the robustness matrix through the -json/-csv machinery.
+func runReshapeMatrix(cfg intliot.Config, workers int, jsonOut bool, csvDir string) {
+	fmt.Fprintln(os.Stderr, "moniotr: sweeping defense x budget (one full campaign per cell)...")
+	start := time.Now()
+	lastLine := time.Now()
+	res, err := robustness.Sweep(robustness.Config{
+		Campaign: cfg,
+		Seed:     cfg.ReshapeSeed,
+		Workers:  workers,
+		Progress: func(done, total int) {
+			if time.Since(lastLine) >= 2*time.Second || done == total {
+				fmt.Fprintf(os.Stderr, "moniotr: matrix progress: %d/%d cells\n", done, total)
+				lastLine = time.Now()
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moniotr: reshape matrix: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "moniotr: matrix done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	tbl := res.Table()
+	if jsonOut {
+		doc := &report.Document{}
+		doc.Add("reshape-matrix", tbl)
+		if err := doc.RenderJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: json render: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		tbl.Render(os.Stdout)
+	}
+	if csvDir != "" {
+		if err := exportCSV(csvDir, "reshape-matrix", tbl); err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: csv export: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

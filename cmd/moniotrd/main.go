@@ -7,9 +7,11 @@
 // Usage:
 //
 //	moniotrd [-addr host:port] [-port-file path]
-//	         [-schedule "NAME=SPEC[;scale=S][;faults=P][;fault-seed=N][;workers=N][;fleet=N][;fleet-seed=N]"]...
+//	         [-schedule "NAME=SPEC[;scale=S][;faults=P][;fault-seed=N][;reshape=S][;reshape-seed=N][;reshape-budget=F][;workers=N][;fleet=N][;fleet-seed=N]"]...
 //	         [-scale tiny|quick|bench|paper] [-faults P] [-fault-seed N]
+//	         [-reshape stack] [-reshape-seed n] [-reshape-budget f]
 //	         [-analysis-workers n] [-max-jobs n] [-queue n] [-grace d]
+//	         [-max-upload-bytes n] [-max-upload-files n]
 //	         [-data dir] [-tz zone] [-simulate d]
 //
 // Each -schedule (repeatable) registers a recurring campaign. SPEC is
@@ -22,8 +24,9 @@
 // Wall-clock times are interpreted in -tz (an IANA zone name, default
 // UTC); daily schedules fire once per civil day across DST transitions.
 // Per-schedule ;key=value overrides replace the daemon-wide -scale,
-// -faults, -fault-seed and -analysis-workers defaults, so one schedule
-// can run clean while another runs lossy.
+// -faults, -fault-seed, -reshape, -reshape-seed, -reshape-budget and
+// -analysis-workers defaults, so one schedule can run clean while
+// another runs lossy or behind a traffic-reshaping defense stack.
 //
 // At most -max-jobs campaigns run concurrently; up to -queue more wait,
 // and beyond that submissions are rejected (HTTP 503) rather than
@@ -41,7 +44,8 @@
 // Endpoints: / (dashboard), /healthz, /metrics, /api/status,
 // /api/schedules, /api/jobs (GET list, POST submit), /api/jobs/{id},
 // /api/jobs/{id}/report, /api/upload (POST tar of a capture
-// directory). See docs/OPERATIONS.md for the full reference and curl
+// directory; archives past -max-upload-files/-max-upload-bytes get
+// HTTP 413). See docs/OPERATIONS.md for the full reference and curl
 // examples.
 package main
 
@@ -122,8 +126,18 @@ func parseScheduleFlag(v string, loc *time.Location, defaults service.JobSpec) (
 			if spec.FleetSeed, err = strconv.ParseInt(val, 10, 64); err != nil {
 				return fail("bad fleet-seed: %v", err)
 			}
+		case "reshape":
+			spec.Reshape = val
+		case "reshape-seed":
+			if spec.ReshapeSeed, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return fail("bad reshape-seed: %v", err)
+			}
+		case "reshape-budget":
+			if spec.ReshapeBudget, err = strconv.ParseFloat(val, 64); err != nil {
+				return fail("bad reshape-budget: %v", err)
+			}
 		default:
-			return fail("unknown option %q (want scale/faults/fault-seed/workers/fleet/fleet-seed)", key)
+			return fail("unknown option %q (want scale/faults/fault-seed/workers/fleet/fleet-seed/reshape/reshape-seed/reshape-budget)", key)
 		}
 	}
 	return namedSchedule{name: name, sched: sched, spec: spec}, nil
@@ -133,10 +147,15 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8799", "listen address (use :0 for an ephemeral port)")
 	portFile := flag.String("port-file", "", "write the bound TCP port to this file after listening")
 	var schedules repeatable
-	flag.Var(&schedules, "schedule", "recurring campaign, NAME=SPEC[;scale=S][;faults=P][;fault-seed=N][;workers=N][;fleet=N][;fleet-seed=N] (repeatable)")
+	flag.Var(&schedules, "schedule", "recurring campaign, NAME=SPEC[;scale=S][;faults=P][;fault-seed=N][;workers=N][;fleet=N][;fleet-seed=N][;reshape=S][;reshape-seed=N][;reshape-budget=F] (repeatable)")
 	scale := flag.String("scale", "quick", "default campaign scale for scheduled and API jobs")
 	faultProfile := flag.String("faults", "", "default network-impairment profile for scheduled jobs (clean, lossy-home, flaky-vpn, outage)")
 	faultSeed := flag.Int64("fault-seed", 0, "default seed for the impairment engine (0 = campaign seed)")
+	reshapeStack := flag.String("reshape", "", "default traffic-reshaping defense stack for scheduled jobs (comma-separated: pad, shape, dummy, vpn)")
+	reshapeSeed := flag.Int64("reshape-seed", 0, "default seed for the defense engine (0 = campaign seed)")
+	reshapeBudget := flag.Float64("reshape-budget", 0, "default defense overhead budget in [0, 1]")
+	maxUploadBytes := flag.Int64("max-upload-bytes", service.DefaultMaxUploadBytes, "largest accepted capture upload in bytes (413 beyond)")
+	maxUploadFiles := flag.Int("max-upload-files", service.DefaultMaxUploadFiles, "most files accepted in one capture upload (413 beyond)")
 	analysisWorkers := flag.Int("analysis-workers", 0, "default analysis parallelism per job: 0 = one worker per core")
 	maxJobs := flag.Int("max-jobs", 1, "campaigns run concurrently")
 	queueLen := flag.Int("queue", 8, "jobs waiting beyond the running ones before submissions are rejected")
@@ -153,10 +172,13 @@ func main() {
 		logger.Fatalf("-tz: %v", err)
 	}
 	defaults := service.JobSpec{
-		Scale:        *scale,
-		FaultProfile: *faultProfile,
-		FaultSeed:    *faultSeed,
-		Workers:      *analysisWorkers,
+		Scale:         *scale,
+		FaultProfile:  *faultProfile,
+		FaultSeed:     *faultSeed,
+		Reshape:       *reshapeStack,
+		ReshapeSeed:   *reshapeSeed,
+		ReshapeBudget: *reshapeBudget,
+		Workers:       *analysisWorkers,
 	}
 	var named []namedSchedule
 	for _, v := range schedules {
@@ -199,12 +221,14 @@ func main() {
 	}
 
 	srv := service.NewServer(service.ServerConfig{
-		Manager:   mgr,
-		Scheduler: sched,
-		Metrics:   reg,
-		Clock:     clock,
-		DataDir:   *dataDir,
-		Logf:      logger.Printf,
+		Manager:        mgr,
+		Scheduler:      sched,
+		Metrics:        reg,
+		Clock:          clock,
+		DataDir:        *dataDir,
+		MaxUploadBytes: *maxUploadBytes,
+		MaxUploadFiles: *maxUploadFiles,
+		Logf:           logger.Printf,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

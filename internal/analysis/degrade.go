@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"net/netip"
+	"time"
 
 	"github.com/neu-sns/intl-iot-go/internal/netx"
 	"github.com/neu-sns/intl-iot-go/internal/testbed"
@@ -68,6 +69,124 @@ func DedupRetransmissions(pkts []*netx.Packet) ([]*netx.Packet, int) {
 		return pkts, 0
 	}
 	return out, dropped
+}
+
+// FilterCoverFlows removes flows bearing the unmistakable signature of
+// injected cover traffic (internal/reshape's dummy transform, or any
+// real cover-traffic daemon with the same discipline): a unidirectional
+// UDP flow to port 443 of at least four constant-size datagrams on a
+// metronomic schedule. Real UDP/443 traffic (QUIC) is always
+// bidirectional and variable-size, so clean captures pass through
+// untouched — the function returns the input slice unchanged (and 0)
+// when nothing matches, preserving the clean path bit for bit. This is
+// the network-informed attacker's counter-move, and it is also what
+// keeps defense artifacts from surfacing as §7 "unexpected behavior"
+// on clean ground truth.
+func FilterCoverFlows(pkts []*netx.Packet) ([]*netx.Packet, int) {
+	type flowKey struct {
+		src, dst netip.Addr
+		sp       uint16
+	}
+	type flowStat struct {
+		count   int
+		plen    int
+		uniform bool
+		lastTS  int64
+		minIAT  int64
+		maxIAT  int64
+	}
+	var flows map[flowKey]*flowStat
+	var reverse map[flowKey]bool
+	for _, p := range pkts {
+		if p.UDP == nil {
+			continue
+		}
+		src, okS := p.NetworkSrc()
+		dst, okD := p.NetworkDst()
+		if !okS || !okD {
+			continue
+		}
+		switch {
+		case p.UDP.DstPort == 443:
+			k := flowKey{src, dst, p.UDP.SrcPort}
+			if flows == nil {
+				flows = make(map[flowKey]*flowStat)
+			}
+			st := flows[k]
+			ts := p.Meta.Timestamp.UnixNano()
+			if st == nil {
+				flows[k] = &flowStat{count: 1, plen: len(p.Payload), uniform: true, lastTS: ts, minIAT: -1}
+				continue
+			}
+			st.count++
+			if len(p.Payload) != st.plen {
+				st.uniform = false
+			}
+			iat := ts - st.lastTS
+			st.lastTS = ts
+			if st.minIAT < 0 || iat < st.minIAT {
+				st.minIAT = iat
+			}
+			if iat > st.maxIAT {
+				st.maxIAT = iat
+			}
+		case p.UDP.SrcPort == 443:
+			// Response traffic: the mirror flow is bidirectional, hence real.
+			if reverse == nil {
+				reverse = make(map[flowKey]bool)
+			}
+			reverse[flowKey{dst, src, p.UDP.DstPort}] = true
+		}
+	}
+	if flows == nil {
+		return pkts, 0
+	}
+	const (
+		minCoverPackets = 4
+		minCoverPayload = 64
+		iatJitterBudget = int64(time.Millisecond)
+	)
+	cover := make(map[flowKey]bool)
+	for k, st := range flows {
+		if reverse[k] || !st.uniform || st.count < minCoverPackets || st.plen < minCoverPayload {
+			continue
+		}
+		if st.maxIAT-st.minIAT > iatJitterBudget {
+			continue
+		}
+		cover[k] = true
+	}
+	if len(cover) == 0 {
+		return pkts, 0
+	}
+	out := make([]*netx.Packet, 0, len(pkts))
+	removed := 0
+	for _, p := range pkts {
+		if p.UDP != nil && p.UDP.DstPort == 443 {
+			if src, ok := p.NetworkSrc(); ok {
+				if dst, ok2 := p.NetworkDst(); ok2 && cover[flowKey{src, dst, p.UDP.SrcPort}] {
+					removed++
+					continue
+				}
+			}
+		}
+		out = append(out, p)
+	}
+	return out, removed
+}
+
+// CountTunnelPackets counts packets riding a NAT-T-style UDP/4500
+// tunnel — the wire view a VPN/NAT aggregation defense leaves behind.
+// The analysis cannot see inside the tunnel; the counter keeps the
+// metrics honest about how much of the capture was opaque.
+func CountTunnelPackets(pkts []*netx.Packet) int {
+	n := 0
+	for _, p := range pkts {
+		if p.UDP != nil && p.UDP.SrcPort == 4500 && p.UDP.DstPort == 4500 {
+			n++
+		}
+	}
+	return n
 }
 
 // CountUnansweredDNS counts DNS queries (UDP to port 53) that never got a
@@ -140,12 +259,19 @@ func CountHalfOpenFlows(pkts []*netx.Packet) int {
 // (nil-safe; diagnostics are skipped entirely when metrics are off).
 func (p *Pipeline) degradeExp(exp *testbed.Experiment) {
 	pkts, retx := DedupRetransmissions(exp.Packets)
+	pkts, coverPkts := FilterCoverFlows(pkts)
 	exp.Packets = pkts
 	if p.metrics == nil {
 		return
 	}
 	if retx > 0 {
 		p.metrics.Counter("degrade_retransmissions_deduped_total").Add(int64(retx))
+	}
+	if coverPkts > 0 {
+		p.metrics.Counter("degrade_cover_flow_packets_total").Add(int64(coverPkts))
+	}
+	if n := CountTunnelPackets(pkts); n > 0 {
+		p.metrics.Counter("degrade_tunnel_packets_total").Add(int64(n))
 	}
 	if n := CountUnansweredDNS(pkts); n > 0 {
 		p.metrics.Counter("degrade_dns_unanswered_total").Add(int64(n))

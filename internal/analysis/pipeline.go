@@ -7,6 +7,7 @@ import (
 	"github.com/neu-sns/intl-iot-go/internal/experiments"
 	"github.com/neu-sns/intl-iot-go/internal/geo"
 	"github.com/neu-sns/intl-iot-go/internal/obs"
+	"github.com/neu-sns/intl-iot-go/internal/reshape"
 	"github.com/neu-sns/intl-iot-go/internal/testbed"
 )
 
@@ -79,12 +80,23 @@ func (p *Pipeline) abortIfCanceled() bool {
 }
 
 // Runner returns the synthesis runner when the pipeline's source is one,
-// or nil for capture-replay sources. The §7.3 uncontrolled analysis and
-// the capture exporter need the runner itself; everything else should go
+// or nil for capture-replay sources. Defense wrappers (internal/reshape)
+// are unwrapped transparently: the §7.3 uncontrolled analysis and the
+// capture exporter need the runner itself; everything else should go
 // through Source.
 func (p *Pipeline) Runner() *experiments.Runner {
-	r, _ := p.Source.(*experiments.Runner)
-	return r
+	src := any(p.Source)
+	for src != nil {
+		if r, ok := src.(*experiments.Runner); ok {
+			return r
+		}
+		u, ok := src.(interface{ Unwrap() reshape.Stream })
+		if !ok {
+			return nil
+		}
+		src = u.Unwrap()
+	}
+	return nil
 }
 
 // SetObs attaches a metrics registry to the pipeline and its source. Run
@@ -229,10 +241,17 @@ func (p *Pipeline) RunUncontrolled() {
 	}
 	p.UncontrolledHits = NewDetectResult()
 	p.Unexpected = make(map[string]int)
+	// The uncontrolled leg bypasses the source's RunControlled/RunIdle,
+	// so a defense wrapper must be applied here explicitly: the detector
+	// has to see the same reshaped wire view it trained on.
+	transformer, _ := p.Source.(interface{ TransformExperiment(*testbed.Experiment) })
 	span := p.metrics.StartSpan("stage:uncontrolled")
 	r.RunUncontrolled(func(res *experiments.UncontrolledResult) {
 		if p.canceled() {
 			return
+		}
+		if transformer != nil {
+			transformer.TransformExperiment(res.Experiment)
 		}
 		p.degradeExp(res.Experiment)
 		p.Detector.VisitUncontrolled(res, p.UncontrolledHits, p.Unexpected)

@@ -4,6 +4,7 @@ import (
 	"github.com/neu-sns/intl-iot-go/internal/cloud"
 	"github.com/neu-sns/intl-iot-go/internal/experiments"
 	"github.com/neu-sns/intl-iot-go/internal/obs"
+	"github.com/neu-sns/intl-iot-go/internal/reshape"
 )
 
 // Source streams one campaign's labelled experiments through the
@@ -31,5 +32,9 @@ type Source interface {
 	SetObs(*obs.Registry)
 }
 
-// Statically assert that the synthesis runner feeds the pipeline.
-var _ Source = (*experiments.Runner)(nil)
+// Statically assert that the synthesis runner feeds the pipeline, and
+// that a reshape-defended wrapper around any source still does.
+var (
+	_ Source = (*experiments.Runner)(nil)
+	_ Source = (*reshape.Source)(nil)
+)

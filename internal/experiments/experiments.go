@@ -46,6 +46,21 @@ type Config struct {
 	// (FaultProfile, FaultSeed) pair the campaign is byte-identical
 	// run-to-run.
 	FaultSeed int64
+	// Reshape names a comma-separated traffic-reshaping defense stack
+	// (reshape.ParseStack — "pad,shape,dummy,vpn"); empty, "none" or
+	// "clean" runs the campaign undefended, byte-identical to campaigns
+	// from before the defense engine existed. The runner itself never
+	// reads these fields — defenses apply at delivery time via
+	// reshape.Wrap — but they live here so one Config describes a whole
+	// campaign for the CLI, the daemon and the fleet alike.
+	Reshape string
+	// ReshapeSeed seeds the defense engine; 0 reuses Seed. For a fixed
+	// (Reshape, ReshapeSeed, ReshapeBudget) triple the defended campaign
+	// is byte-identical run-to-run.
+	ReshapeSeed int64
+	// ReshapeBudget is the defense overhead budget in [0, 1]; 0 makes
+	// every configured transform a bit-for-bit identity.
+	ReshapeBudget float64
 }
 
 // PaperConfig reproduces the paper's experiment counts.

@@ -1,0 +1,60 @@
+package robustness
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/experiments"
+)
+
+func tinyCampaign() experiments.Config {
+	return experiments.Config{
+		Seed:          1,
+		AutomatedReps: 2,
+		ManualReps:    1,
+		PowerReps:     1,
+		IdleHours:     map[string]float64{"US": 0.5},
+	}
+}
+
+func sweepJSON(t *testing.T, workers int) string {
+	t.Helper()
+	res, err := Sweep(Config{
+		Campaign: tinyCampaign(),
+		Stacks:   [][]string{{"pad", "dummy"}},
+		Budgets:  []float64{0.3},
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs full campaigns; skipped in -short")
+	}
+	serial := sweepJSON(t, 1)
+	again := sweepJSON(t, 1)
+	if serial != again {
+		t.Fatal("same sweep differs run-to-run")
+	}
+	parallel := sweepJSON(t, 2)
+	if serial != parallel {
+		t.Fatalf("sweep differs across worker counts:\nserial:   %s\nparallel: %s", serial, parallel)
+	}
+}
+
+func TestDefaultGrids(t *testing.T) {
+	if len(DefaultStacks()) < 4 {
+		t.Fatal("fewer than four default defense stacks")
+	}
+	if len(DefaultBudgets()) < 3 {
+		t.Fatal("fewer than three default budgets")
+	}
+}

@@ -36,6 +36,9 @@ type Aggregate struct {
 	RetransDropped int64
 	RegionHomes    map[string]int
 	FaultHomes     map[string]int
+	// ReshapeHomes counts homes per defense profile ("undefended" or
+	// "<transform>@<budget>", e.g. "pad@0.3").
+	ReshapeHomes map[string]int
 
 	// Destination exposure (bounded dimensions exact, keyspaces sketched).
 	PartyFlows map[orgdb.PartyType]int64
@@ -74,13 +77,14 @@ func NewAggregate(precision int, trackExact bool) (*Aggregate, error) {
 		precision = sketch.DefaultPrecision
 	}
 	a := &Aggregate{
-		RegionHomes: make(map[string]int),
-		FaultHomes:  make(map[string]int),
-		PartyFlows:  make(map[orgdb.PartyType]int64),
-		PartyBytes:  make(map[orgdb.PartyType]int64),
-		PIIKinds:    make(map[string]int),
-		topSLDs:     make(map[string]bool),
-		sldSeen:     make(map[string]bool),
+		RegionHomes:  make(map[string]int),
+		FaultHomes:   make(map[string]int),
+		ReshapeHomes: make(map[string]int),
+		PartyFlows:   make(map[orgdb.PartyType]int64),
+		PartyBytes:   make(map[orgdb.PartyType]int64),
+		PIIKinds:     make(map[string]int),
+		topSLDs:      make(map[string]bool),
+		sldSeen:      make(map[string]bool),
 	}
 	var err error
 	if a.FQDNs, err = sketch.NewHLL(precision, sketchSeed); err != nil {
@@ -207,6 +211,9 @@ func (a *Aggregate) Merge(o *Aggregate) error {
 	for k, v := range o.FaultHomes {
 		a.FaultHomes[k] += v
 	}
+	for k, v := range o.ReshapeHomes {
+		a.ReshapeHomes[k] += v
+	}
 	for k, v := range o.PartyFlows {
 		a.PartyFlows[k] += v
 	}
@@ -279,7 +286,7 @@ func (a *Aggregate) TopSLDs(n int) []SLDStat {
 func (a *Aggregate) SizeBytes() int {
 	size := a.FQDNs.SizeBytes() + a.SLDs.SizeBytes() + a.Ports.SizeBytes() + a.Orgs.SizeBytes() +
 		a.SLDFlows.SizeBytes() + a.SLDHomes.SizeBytes()
-	size += 64 * (len(a.RegionHomes) + len(a.FaultHomes) + len(a.PIIKinds) +
+	size += 64 * (len(a.RegionHomes) + len(a.FaultHomes) + len(a.ReshapeHomes) + len(a.PIIKinds) +
 		len(a.PartyFlows) + len(a.PartyBytes) + len(a.topSLDs) + len(a.sldSeen))
 	size += 64 * (len(a.ExactFQDNs) + len(a.ExactSLDs) + len(a.ExactPorts))
 	return size

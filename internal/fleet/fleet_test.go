@@ -30,6 +30,7 @@ func fingerprint(t *testing.T, a *Aggregate) string {
 	}
 	out += "regions: " + sortedInts(a.RegionHomes) + "\n"
 	out += "faults: " + sortedInts(a.FaultHomes) + "\n"
+	out += "defenses: " + sortedInts(a.ReshapeHomes) + "\n"
 	out += "pii: " + sortedInts(a.PIIKinds) + "\n"
 	out += fmt.Sprintf("party flows=%v bytes=%v\n",
 		[]int64{a.PartyFlows[0], a.PartyFlows[1], a.PartyFlows[2]},
@@ -67,11 +68,19 @@ func TestPlanDeterministic(t *testing.T) {
 		t.Fatal("different seeds planned identical fleets")
 	}
 	regions := map[string]int{}
-	faulted := 0
+	faulted, defended := 0, 0
 	for i, s := range a {
 		regions[s.Region]++
 		if s.FaultProfile != "" {
 			faulted++
+		}
+		if s.ReshapeStack != "" {
+			defended++
+			if s.ReshapeBudget <= 0 || s.ReshapeBudget > 1 {
+				t.Fatalf("home %d defense %q has budget %v out of (0, 1]", i, s.ReshapeStack, s.ReshapeBudget)
+			}
+		} else if s.ReshapeBudget != 0 {
+			t.Fatalf("home %d undefended but budget %v", i, s.ReshapeBudget)
 		}
 		if len(s.Devices) < 3 || len(s.Devices) > 8 {
 			t.Fatalf("home %d has %d devices, want 3–8", i, len(s.Devices))
@@ -92,6 +101,9 @@ func TestPlanDeterministic(t *testing.T) {
 	}
 	if faulted == 0 || faulted == len(a) {
 		t.Fatalf("want a mix of clean and impaired homes, got %d/%d impaired", faulted, len(a))
+	}
+	if defended == 0 || defended == len(a) {
+		t.Fatalf("want a mix of defended and undefended homes, got %d/%d defended", defended, len(a))
 	}
 	// Subnets must be disjoint.
 	subnets := map[string]bool{}

@@ -9,6 +9,7 @@ import (
 	"github.com/neu-sns/intl-iot-go/internal/devices"
 	"github.com/neu-sns/intl-iot-go/internal/faults"
 	"github.com/neu-sns/intl-iot-go/internal/geo"
+	"github.com/neu-sns/intl-iot-go/internal/reshape"
 	"github.com/neu-sns/intl-iot-go/internal/testbed"
 )
 
@@ -43,6 +44,18 @@ func runHome(spec HomeSpec, internet *cloud.Internet, eng *faults.Engine, cfg Co
 	}
 	lab.SetFaults(eng)
 
+	var defense *reshape.Engine
+	if spec.ReshapeStack != "" {
+		defense, err = reshape.New(reshape.Config{
+			Stack:  []string{spec.ReshapeStack},
+			Seed:   spec.Seed,
+			Budget: spec.ReshapeBudget,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: home %d: %w", spec.Index, err)
+		}
+	}
+
 	agg, err := NewAggregate(cfg.Precision, cfg.TrackExact)
 	if err != nil {
 		return nil, err
@@ -61,6 +74,11 @@ func runHome(spec HomeSpec, internet *cloud.Internet, eng *faults.Engine, cfg Co
 	content := analysis.NewContentCollector()
 
 	visit := func(exp *testbed.Experiment) {
+		if defense.Enabled() {
+			// The home's reshaping box transforms the wire before any
+			// observer — including this fleet's own vantage point.
+			defense.Transform(exp)
+		}
 		if eng.Enabled() {
 			// Impaired homes retransmit; dedup before analysis so the
 			// byte aggregates count goodput, like the ingest path does
@@ -114,5 +132,10 @@ func runHome(spec HomeSpec, internet *cloud.Internet, eng *faults.Engine, cfg Co
 		profile = "clean"
 	}
 	agg.FaultHomes[profile] = 1
+	defenseKey := "undefended"
+	if spec.ReshapeStack != "" {
+		defenseKey = fmt.Sprintf("%s@%.1f", spec.ReshapeStack, spec.ReshapeBudget)
+	}
+	agg.ReshapeHomes[defenseKey] = 1
 	return agg, nil
 }

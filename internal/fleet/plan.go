@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/reshape"
 	"github.com/neu-sns/intl-iot-go/internal/sketch"
 )
 
@@ -45,6 +46,11 @@ type HomeSpec struct {
 	Seed   int64
 	// FaultProfile is a faults.ByName key; "" is a clean home.
 	FaultProfile string
+	// ReshapeStack is a single reshape transform name ("" = undefended
+	// home); ReshapeBudget is its overhead budget. Defended homes model
+	// privacy-conscious households running a traffic-reshaping box.
+	ReshapeStack  string
+	ReshapeBudget float64
 	// ClockOffset staggers the home's campaign start within 24 h of
 	// the study epoch.
 	ClockOffset time.Duration
@@ -116,13 +122,31 @@ func Plan(cfg Config) ([]HomeSpec, error) {
 			profile = "outage"
 		}
 
+		// A minority of homes run a traffic-reshaping defense. The draw
+		// comes after every other one so adding defenses did not reshuffle
+		// the fleet's existing campaign plan. 60% are undefended; the
+		// rest pick one transform and one budget tier.
+		stack := ""
+		budget := 0.0
+		if rng.Float64() >= 0.60 {
+			stacks := []string{
+				reshape.TransformPad, reshape.TransformShape,
+				reshape.TransformDummy, reshape.TransformVPN,
+			}
+			budgets := []float64{0.1, 0.3, 0.5}
+			stack = stacks[rng.Intn(len(stacks))]
+			budget = budgets[rng.Intn(len(budgets))]
+		}
+
 		specs[i] = HomeSpec{
-			Index:        i,
-			Region:       region,
-			Seed:         seed,
-			FaultProfile: profile,
-			ClockOffset:  time.Duration(rng.Int63n(int64(24 * time.Hour))),
-			Devices:      names,
+			Index:         i,
+			Region:        region,
+			Seed:          seed,
+			FaultProfile:  profile,
+			ReshapeStack:  stack,
+			ReshapeBudget: budget,
+			ClockOffset:   time.Duration(rng.Int63n(int64(24 * time.Hour))),
+			Devices:       names,
 			Subnet: netip.PrefixFrom(
 				netip.AddrFrom4([4]byte{10, byte(1 + i/200), byte(i % 200), 0}), 24),
 		}

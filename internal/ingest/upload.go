@@ -21,6 +21,11 @@ const (
 	MaxUploadBytes = 32 << 30 // 32 GiB
 )
 
+// ErrUploadTooLarge marks an archive rejected for exceeding a file or
+// byte limit; the upload API maps it to 413 Request Entity Too Large,
+// distinct from the 400 a malformed archive earns. Test with errors.Is.
+var ErrUploadTooLarge = errors.New("upload exceeds limit")
+
 // UnpackTar extracts a tar stream holding a Mon(IoT)r-style capture
 // directory (as produced by `tar -cf - -C <exportdir> .`) into dst,
 // creating dst if needed. It is the receiving half of the moniotrd
@@ -36,6 +41,20 @@ const (
 // archive fails loudly. Returns the number of capture files written,
 // their unpacked byte total, and the number of skipped entries.
 func UnpackTar(dst string, r io.Reader) (files int, bytes int64, skipped int, err error) {
+	return UnpackTarLimited(dst, r, MaxUploadFiles, MaxUploadBytes)
+}
+
+// UnpackTarLimited is UnpackTar under caller-chosen caps: at most
+// maxFiles capture files and maxBytes unpacked bytes (non-positive
+// values fall back to the package defaults). Exceeding either cap
+// returns an error wrapping ErrUploadTooLarge.
+func UnpackTarLimited(dst string, r io.Reader, maxFiles int, maxBytes int64) (files int, bytes int64, skipped int, err error) {
+	if maxFiles <= 0 {
+		maxFiles = MaxUploadFiles
+	}
+	if maxBytes <= 0 {
+		maxBytes = MaxUploadBytes
+	}
 	if err := os.MkdirAll(dst, 0o755); err != nil {
 		return 0, 0, 0, fmt.Errorf("ingest: unpack: %w", err)
 	}
@@ -67,8 +86,8 @@ func UnpackTar(dst string, r io.Reader) (files int, bytes int64, skipped int, er
 			skipped++
 			continue
 		}
-		if files >= MaxUploadFiles {
-			return files, bytes, skipped, fmt.Errorf("ingest: unpack: archive exceeds %d files", MaxUploadFiles)
+		if files >= maxFiles {
+			return files, bytes, skipped, fmt.Errorf("ingest: unpack: archive exceeds %d files: %w", maxFiles, ErrUploadTooLarge)
 		}
 		target := filepath.Join(dst, filepath.FromSlash(name))
 		if err := os.MkdirAll(filepath.Dir(target), 0o755); err != nil {
@@ -78,7 +97,7 @@ func UnpackTar(dst string, r io.Reader) (files int, bytes int64, skipped int, er
 		if err != nil {
 			return files, bytes, skipped, fmt.Errorf("ingest: unpack: %w", err)
 		}
-		n, err := io.Copy(f, io.LimitReader(tr, MaxUploadBytes-bytes+1))
+		n, err := io.Copy(f, io.LimitReader(tr, maxBytes-bytes+1))
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -86,11 +105,16 @@ func UnpackTar(dst string, r io.Reader) (files int, bytes int64, skipped int, er
 			return files, bytes, skipped, fmt.Errorf("ingest: unpack %s: %w", name, err)
 		}
 		bytes += n
-		if bytes > MaxUploadBytes {
-			return files, bytes, skipped, fmt.Errorf("ingest: unpack: archive exceeds %s unpacked", humanGiB(MaxUploadBytes))
+		if bytes > maxBytes {
+			return files, bytes, skipped, fmt.Errorf("ingest: unpack: archive exceeds %s unpacked: %w", humanBytes(maxBytes), ErrUploadTooLarge)
 		}
 		files++
 	}
 }
 
-func humanGiB(n int64) string { return fmt.Sprintf("%d GiB", n>>30) }
+func humanBytes(n int64) string {
+	if n >= 1<<30 && n%(1<<30) == 0 {
+		return fmt.Sprintf("%d GiB", n>>30)
+	}
+	return fmt.Sprintf("%d bytes", n)
+}

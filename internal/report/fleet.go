@@ -26,6 +26,14 @@ func FleetSummary(a *fleet.Aggregate) *Table {
 	for _, p := range profiles {
 		t.AddRow("  on "+p+" network", itoa(a.FaultHomes[p]))
 	}
+	defenses := make([]string, 0, len(a.ReshapeHomes))
+	for d := range a.ReshapeHomes {
+		defenses = append(defenses, d)
+	}
+	sort.Strings(defenses)
+	for _, d := range defenses {
+		t.AddRow("  defense "+d, itoa(a.ReshapeHomes[d]))
+	}
 	t.AddRow("Devices", itoa(a.Devices))
 	t.AddRow("Experiments", itoa(a.Experiments))
 	t.AddRow("Packets", fmt.Sprintf("%d", a.Packets))

@@ -1,0 +1,23 @@
+package reshape
+
+import "testing"
+
+// BenchmarkTransform measures full-stack reshaping throughput over a
+// representative small capture; `make bench` folds it into the pipeline
+// baseline alongside the synthesis and analysis numbers.
+func BenchmarkTransform(b *testing.B) {
+	eng, err := New(Config{Stack: KnownTransforms, Seed: 7, Budget: 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := testExp()
+	var bytes int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp := cloneExp(base)
+		eng.Transform(exp)
+		bytes += int64(exp.Bytes())
+	}
+	_ = bytes
+}

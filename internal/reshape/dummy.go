@@ -1,0 +1,102 @@
+package reshape
+
+import (
+	"net/netip"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// Dummy-traffic injection: a cover flow of ⌊n·Budget⌋ constant-size,
+// constant-rate UDP datagrams from the device to one of its own real
+// destinations, spread evenly across the capture window. The cover
+// packets dilute every volume statistic and land inside the §7
+// detector's traffic units; because they go to an endpoint the device
+// already talks to, they add no new destination for the §4 analysis to
+// flag. Payloads are deterministic high-entropy bytes — ciphertext to
+// the §5 classifier, exactly like a real cover-traffic daemon's output.
+
+const (
+	coverPayloadLen = 128
+	coverDstPort    = 443
+	// minCoverCount is the smallest cover flow worth emitting: below
+	// four packets the flow loses the constant-rate signature that makes
+	// it recognizable (and strippable) as cover, so tiny windows get no
+	// cover at all rather than a couple of stray packets that would read
+	// as device activity.
+	minCoverCount = 4
+)
+
+func (e *Engine) dummy(exp *testbed.Experiment, key string) {
+	pkts := exp.Packets
+	count := int(float64(len(pkts)) * e.cfg.Budget)
+	if count < minCoverCount {
+		return
+	}
+
+	// The cover flow borrows the device's own wire identity and one of
+	// its real remote endpoints, both taken from the capture itself so
+	// the transform works identically on synthesized and ingested
+	// traffic (which carries no device metadata beyond the packets).
+	var template *netx.Packet
+	var cands []netip.Addr
+	seen := map[netip.Addr]bool{}
+	for _, p := range pkts {
+		src, okS := p.NetworkSrc()
+		dst, okD := p.NetworkDst()
+		if !okS || !okD || !isLAN(src) || isLAN(dst) {
+			continue
+		}
+		if template == nil {
+			template = p
+		}
+		if !seen[dst] {
+			seen[dst] = true
+			cands = append(cands, dst)
+		}
+	}
+	if template == nil || len(cands) == 0 {
+		return
+	}
+	dst := cands[int(e.hash64(key, "dummy", "dst")%uint64(len(cands)))]
+	srcPort := uint16(40000 + e.hash64(key, "dummy", "sport")%20000)
+	src, _ := template.NetworkSrc()
+
+	start := pkts[0].Meta.Timestamp
+	window := span(pkts)
+	if window <= 0 {
+		window = time.Second
+	}
+	step := window / time.Duration(count+1)
+	if step <= 0 {
+		step = time.Nanosecond
+	}
+
+	cover := make([]*netx.Packet, 0, count)
+	for k := 0; k < count; k++ {
+		payload := make([]byte, coverPayloadLen)
+		e.fillBytes(payload, key, "dummy", itoa(k))
+		p := &netx.Packet{
+			Meta: netx.CaptureInfo{Timestamp: start.Add(step * time.Duration(k+1))},
+			Eth:  netx.Ethernet{Src: template.Eth.Src, Dst: template.Eth.Dst, EtherType: netx.EtherTypeIPv4},
+			IPv4: &netx.IPv4{TTL: 64, Protocol: netx.ProtoUDP, Src: src, Dst: dst},
+			UDP:  &netx.UDP{SrcPort: srcPort, DstPort: coverDstPort},
+		}
+		p.Payload = payload
+		refreshMeta(p)
+		cover = append(cover, p)
+		e.dummyPkts.Inc()
+		e.dummyBytes.Add(int64(p.Meta.Length))
+	}
+	exp.Packets = append(exp.Packets, cover...)
+	sortByTime(exp.Packets)
+}
+
+// isLAN mirrors the destination analysis's LAN test: cover flows and
+// tunnels only involve the WAN side of the capture.
+func isLAN(addr netip.Addr) bool {
+	return addr.IsPrivate() || addr.IsLoopback() || addr.IsMulticast() ||
+		addr.IsLinkLocalUnicast() || addr.IsUnspecified() ||
+		addr == netip.AddrFrom4([4]byte{255, 255, 255, 255})
+}

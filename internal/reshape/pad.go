@@ -1,0 +1,60 @@
+package reshape
+
+import (
+	"strconv"
+
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// Packet padding (the LLaMP/stochastic-padding family): every payload is
+// grown to the next multiple of a bucket quantum, hiding the exact
+// application message size from the §6/§7 size features. The quantum
+// scales with the budget — small budgets quantize lightly, budget 1 pads
+// everything toward a full-MTU bucket. Padding bytes are a deterministic
+// high-entropy stream, so the §5 entropy classifier sees ciphertext-like
+// trailers rather than an obvious zero-fill tell.
+//
+// DNS is exempt: real deployments pad DNS with EDNS(0) padding that a
+// resolver strips, so the messages on either side stay parseable. Every
+// other payload gains a trailer the way an in-protocol padding extension
+// (TLS record padding, ESP TFC) would.
+
+// padQuantum maps the budget to the bucket size in bytes.
+func (e *Engine) padQuantum() int {
+	q := 64 + int(e.cfg.Budget*1436)
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+func (e *Engine) pad(exp *testbed.Experiment, key string) {
+	q := e.padQuantum()
+	for i, p := range exp.Packets {
+		if len(p.Payload) == 0 || isDNS(p) {
+			continue
+		}
+		want := ((len(p.Payload) + q - 1) / q) * q
+		if want <= len(p.Payload) {
+			continue
+		}
+		// Decoded payloads alias the pcap record buffer; never grow them
+		// in place.
+		grown := make([]byte, want)
+		n := copy(grown, p.Payload)
+		e.fillBytes(grown[n:], key, "pad", itoa(i))
+		pad := int64(want - n)
+		p.Payload = grown
+		refreshMeta(p)
+		e.paddedPkts.Inc()
+		e.padBytes.Add(pad)
+	}
+}
+
+// isDNS reports whether the packet is resolver traffic on either side.
+func isDNS(p *netx.Packet) bool {
+	return p.UDP != nil && (p.UDP.SrcPort == 53 || p.UDP.DstPort == 53)
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }

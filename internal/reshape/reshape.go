@@ -1,0 +1,283 @@
+package reshape
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+	"github.com/neu-sns/intl-iot-go/internal/obs"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// Transform names, in the order a full stack applies them. The order is
+// deliberate: padding and cover traffic act on the original packets,
+// shaping re-times whatever the earlier transforms produced, and the
+// tunnel collapses the final wire view.
+const (
+	TransformPad   = "pad"
+	TransformShape = "shape"
+	TransformDummy = "dummy"
+	TransformVPN   = "vpn"
+)
+
+// KnownTransforms lists every defense in canonical stack order.
+var KnownTransforms = []string{TransformPad, TransformShape, TransformDummy, TransformVPN}
+
+// Config selects a defense stack.
+type Config struct {
+	// Stack is the ordered list of transform names to apply per
+	// experiment. An empty stack disables the engine (New returns nil).
+	Stack []string
+	// Seed drives every padding byte, cover-flow draw and tunnel nonce;
+	// a fixed (Stack, Seed, Budget) triple is byte-identical run-to-run.
+	Seed int64
+	// Budget is the overhead knob in [0, 1]: larger budgets buy coarser
+	// padding buckets, stricter shaping with a larger drop allowance,
+	// more cover packets and larger tunnel cells. Budget 0 makes every
+	// transform a bit-for-bit identity.
+	Budget float64
+}
+
+// ParseStack splits a comma-separated stack flag ("pad,dummy") into
+// transform names, validating each. Empty input, "none" and "clean"
+// yield an empty stack.
+func ParseStack(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" || s == "clean" {
+		return nil, nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		switch name {
+		case TransformPad, TransformShape, TransformDummy, TransformVPN:
+			out = append(out, name)
+		case "":
+			continue
+		default:
+			return nil, fmt.Errorf("reshape: unknown transform %q (have %s)",
+				name, strings.Join(KnownTransforms, ", "))
+		}
+	}
+	return out, nil
+}
+
+// Engine applies a stack of traffic-reshaping defenses to capture
+// windows. It is the adversarial sibling of internal/faults: every
+// decision is a pure hash of (seed, transform, experiment identity,
+// packet index), so a fixed configuration reshapes byte-identically
+// run-to-run and independently of worker scheduling.
+//
+// A nil *Engine is valid everywhere and reshapes nothing, the same
+// convention internal/faults uses for the clean profile: undefended runs
+// pay only nil checks and keep their historical byte-identical output.
+type Engine struct {
+	cfg Config
+
+	// Per-transform counters (nil until SetObs; nil-safe).
+	experiments *obs.Counter
+	paddedPkts  *obs.Counter
+	padBytes    *obs.Counter
+	shapedPkts  *obs.Counter
+	delayNS     *obs.Counter
+	droppedPkts *obs.Counter
+	dummyPkts   *obs.Counter
+	dummyBytes  *obs.Counter
+	tunnelPkts  *obs.Counter
+	encapBytes  *obs.Counter
+}
+
+// New builds an engine for a defense stack. An empty stack returns nil —
+// the disabled engine — guaranteeing the undefended code path bit for
+// bit. Unknown transform names and budgets outside [0, 1] are errors.
+func New(cfg Config) (*Engine, error) {
+	if len(cfg.Stack) == 0 {
+		return nil, nil
+	}
+	for _, name := range cfg.Stack {
+		switch name {
+		case TransformPad, TransformShape, TransformDummy, TransformVPN:
+		default:
+			return nil, fmt.Errorf("reshape: unknown transform %q (have %s)",
+				name, strings.Join(KnownTransforms, ", "))
+		}
+	}
+	if cfg.Budget < 0 || cfg.Budget > 1 {
+		return nil, fmt.Errorf("reshape: budget %v out of range [0, 1]", cfg.Budget)
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Enabled reports whether any defense is active.
+func (e *Engine) Enabled() bool { return e != nil }
+
+// Stack returns the engine's transform order (nil when disabled).
+func (e *Engine) Stack() []string {
+	if e == nil {
+		return nil
+	}
+	return e.cfg.Stack
+}
+
+// Budget returns the overhead budget (0 when disabled).
+func (e *Engine) Budget() float64 {
+	if e == nil {
+		return 0
+	}
+	return e.cfg.Budget
+}
+
+// Seed returns the engine's seed (0 when disabled).
+func (e *Engine) Seed() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.cfg.Seed
+}
+
+// DropBudget is the maximum number of packets the shaping transform may
+// drop from an n-packet capture: ⌊n·Budget⌋ when "shape" is in the
+// stack, 0 otherwise. Property tests hold every reshaped capture to
+// count ≥ n − DropBudget(n).
+func (e *Engine) DropBudget(n int) int {
+	if e == nil || e.cfg.Budget <= 0 {
+		return 0
+	}
+	for _, name := range e.cfg.Stack {
+		if name == TransformShape {
+			return int(float64(n) * e.cfg.Budget)
+		}
+	}
+	return 0
+}
+
+// SetObs attaches a metrics registry; every reshaping decision is then
+// counted under the reshape_* names. Nil-safe, like the faults engine.
+func (e *Engine) SetObs(reg *obs.Registry) {
+	if e == nil {
+		return
+	}
+	e.experiments = reg.Counter("reshape_experiments_total")
+	e.paddedPkts = reg.Counter("reshape_padded_packets_total")
+	e.padBytes = reg.Counter("reshape_pad_bytes_total")
+	e.shapedPkts = reg.Counter("reshape_shaped_packets_total")
+	e.delayNS = reg.Counter("reshape_delay_ns_total")
+	e.droppedPkts = reg.Counter("reshape_dropped_packets_total")
+	e.dummyPkts = reg.Counter("reshape_dummy_packets_total")
+	e.dummyBytes = reg.Counter("reshape_dummy_bytes_total")
+	e.tunnelPkts = reg.Counter("reshape_tunneled_packets_total")
+	e.encapBytes = reg.Counter("reshape_encap_bytes_total")
+}
+
+// Transform reshapes one experiment in place, applying the stack in its
+// declared order. It is a pure function of (config, experiment
+// identity, packet contents): callers may invoke it from any goroutine
+// at any time and still get byte-identical captures. A zero budget
+// leaves the experiment untouched.
+func (e *Engine) Transform(exp *testbed.Experiment) {
+	if e == nil || e.cfg.Budget <= 0 || len(exp.Packets) == 0 {
+		return
+	}
+	key := expKey(exp)
+	for _, name := range e.cfg.Stack {
+		switch name {
+		case TransformPad:
+			e.pad(exp, key)
+		case TransformShape:
+			e.shape(exp, key)
+		case TransformDummy:
+			e.dummy(exp, key)
+		case TransformVPN:
+			e.vpn(exp, key)
+		}
+	}
+	e.experiments.Inc()
+}
+
+// expKey folds an experiment's identity into one decision key. It uses
+// only fields that survive a capture export/ingest round trip, so a
+// defended synthesized campaign and its defended re-ingested export
+// reshape identically.
+func expKey(exp *testbed.Experiment) string {
+	vpn := "0"
+	if exp.VPN {
+		vpn = "1"
+	}
+	return exp.Lab + "|" + vpn + "|" + exp.Device.ID() + "|" + exp.Column + "|" +
+		string(exp.Kind) + "|" + exp.Activity + "|" + fmt.Sprintf("%d", exp.Start.UnixNano())
+}
+
+// --- deterministic draw machinery (mirrors internal/faults) ---
+
+// hash64 folds the seed and a set of string keys into one 64-bit value
+// (FNV-1a over the seed bytes then each key, separated so "ab","c" and
+// "a","bc" differ).
+func (e *Engine) hash64(keys ...string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	s := uint64(e.cfg.Seed)
+	for i := 0; i < 8; i++ {
+		h ^= (s >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= prime64
+		}
+		h ^= 0x1f // key separator
+		h *= prime64
+	}
+	return h
+}
+
+// splitmix64 advances a 64-bit PRNG state; used for padding and payload
+// byte streams.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fillBytes writes a deterministic high-entropy byte stream derived from
+// the keys into b; the padding and tunnel payloads use it so defended
+// traffic classifies as ciphertext, as a real defense's would.
+func (e *Engine) fillBytes(b []byte, keys ...string) {
+	state := e.hash64(keys...)
+	for i := 0; i < len(b); i += 8 {
+		v := splitmix64(&state)
+		for j := 0; j < 8 && i+j < len(b); j++ {
+			b[i+j] = byte(v >> (8 * j))
+		}
+	}
+}
+
+// refreshMeta recomputes a packet's capture metadata after a payload or
+// header change.
+func refreshMeta(p *netx.Packet) {
+	p.Meta.Length = p.WireLen()
+	p.Meta.CaptureLength = p.Meta.Length
+}
+
+// sortByTime restores timestamp order after an injection, stably so
+// same-timestamp packets keep their synthesis order.
+func sortByTime(pkts []*netx.Packet) {
+	sort.SliceStable(pkts, func(i, j int) bool {
+		return pkts[i].Meta.Timestamp.Before(pkts[j].Meta.Timestamp)
+	})
+}
+
+// span returns the capture window covered by pkts (assumed time-sorted).
+func span(pkts []*netx.Packet) time.Duration {
+	if len(pkts) < 2 {
+		return 0
+	}
+	return pkts[len(pkts)-1].Meta.Timestamp.Sub(pkts[0].Meta.Timestamp)
+}

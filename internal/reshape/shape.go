@@ -1,0 +1,63 @@
+package reshape
+
+import (
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// Inter-arrival shaping: emit the capture as a constant-rate link
+// running at the window's own average rate. Each packet waits for its
+// departure slot, so bursts — the §7 detector's segmentation signal —
+// are smeared into a steady clock tick at the cost of queueing delay.
+// The budget bounds the damage in both directions: a packet may be
+// delayed at most Budget × maxShapeDelay, and when the queue would hold
+// it longer than that the shaper drops it instead — but never more than
+// DropBudget(n) = ⌊n·Budget⌋ drops per capture, the declared floor the
+// property tests hold the engine to.
+
+// maxShapeDelay is the queueing-delay ceiling at budget 1.
+const maxShapeDelay = 30 * time.Second
+
+func (e *Engine) shape(exp *testbed.Experiment, _ string) {
+	pkts := exp.Packets
+	n := len(pkts)
+	if n < 2 {
+		return
+	}
+	slot := span(pkts) / time.Duration(n-1)
+	if slot <= 0 {
+		return
+	}
+	maxDelay := time.Duration(e.cfg.Budget * float64(maxShapeDelay))
+	dropBudget := e.DropBudget(n)
+
+	out := pkts[:0]
+	lastDep := pkts[0].Meta.Timestamp.Add(-slot)
+	dropped := 0
+	for _, p := range pkts {
+		dep := lastDep.Add(slot)
+		if p.Meta.Timestamp.After(dep) {
+			dep = p.Meta.Timestamp
+		}
+		delay := dep.Sub(p.Meta.Timestamp)
+		if delay > maxDelay && dropped < dropBudget {
+			dropped++
+			e.droppedPkts.Inc()
+			continue
+		}
+		if delay > 0 {
+			p.Meta.Timestamp = dep
+			e.shapedPkts.Inc()
+			e.delayNS.Add(int64(delay))
+		}
+		lastDep = dep
+		out = append(out, p)
+	}
+	// Clear the dropped tail so released packets aren't pinned by the
+	// backing array.
+	for i := len(out); i < n; i++ {
+		pkts[i] = nil
+	}
+	exp.Packets = out
+}

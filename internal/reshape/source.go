@@ -1,0 +1,88 @@
+package reshape
+
+import (
+	"github.com/neu-sns/intl-iot-go/internal/cloud"
+	"github.com/neu-sns/intl-iot-go/internal/experiments"
+	"github.com/neu-sns/intl-iot-go/internal/obs"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// Stream is the slice of analysis.Source the wrapper needs; it is
+// declared locally so the reshape package stays import-cycle-free
+// (analysis depends on experiments, not on reshape). *Source satisfies
+// analysis.Source structurally, for both the synthesis runner and the
+// buffered/streaming capture ingesters.
+type Stream interface {
+	Internet() *cloud.Internet
+	RunControlled(experiments.Visitor) experiments.Stats
+	RunIdle(experiments.Visitor) experiments.Stats
+	SetObs(*obs.Registry)
+}
+
+// Source decorates an experiment source with a defense stack: every
+// experiment is reshaped at delivery time, before any collector sees
+// it. Sources deliver serially in a deterministic order regardless of
+// their internal parallelism (the analysis.Source contract), and the
+// engine itself is a pure function of (config, experiment), so the
+// decorated stream is byte-identical for any worker count and for
+// buffered versus streaming ingestion alike.
+type Source struct {
+	inner Stream
+	eng   *Engine
+}
+
+// Wrap decorates src with eng. A nil (disabled) engine returns src
+// itself, keeping the undefended path bit-for-bit untouched.
+func Wrap(src Stream, eng *Engine) Stream {
+	if !eng.Enabled() {
+		return src
+	}
+	return &Source{inner: src, eng: eng}
+}
+
+// Unwrap exposes the inner source; analysis.Pipeline.Runner uses it to
+// find the synthesis runner for capture export and the §7.3 leg.
+func (s *Source) Unwrap() Stream { return s.inner }
+
+// Engine returns the defense stack applied at delivery.
+func (s *Source) Engine() *Engine { return s.eng }
+
+// TransformExperiment reshapes one experiment in place. The analysis
+// pipeline calls it on the §7.3 uncontrolled leg, which bypasses
+// RunControlled/RunIdle.
+func (s *Source) TransformExperiment(exp *testbed.Experiment) { s.eng.Transform(exp) }
+
+// Internet exposes the inner source's server-side model.
+func (s *Source) Internet() *cloud.Internet { return s.inner.Internet() }
+
+// SetObs attaches a metrics registry to the inner source and the engine.
+func (s *Source) SetObs(reg *obs.Registry) {
+	s.inner.SetObs(reg)
+	s.eng.SetObs(reg)
+}
+
+// RunControlled streams the defended controlled legs. The returned
+// statistics describe the wire view after reshaping — what an observer
+// of the defended link would count — not the original emission.
+func (s *Source) RunControlled(visit experiments.Visitor) experiments.Stats {
+	return s.run(s.inner.RunControlled, visit)
+}
+
+// RunIdle streams the defended idle windows.
+func (s *Source) RunIdle(visit experiments.Visitor) experiments.Stats {
+	return s.run(s.inner.RunIdle, visit)
+}
+
+func (s *Source) run(leg func(experiments.Visitor) experiments.Stats, visit experiments.Visitor) experiments.Stats {
+	var dPkts, dBytes int64
+	stats := leg(func(exp *testbed.Experiment) {
+		p0, b0 := int64(len(exp.Packets)), int64(exp.Bytes())
+		s.eng.Transform(exp)
+		dPkts += int64(len(exp.Packets)) - p0
+		dBytes += int64(exp.Bytes()) - b0
+		visit(exp)
+	})
+	stats.Packets += dPkts
+	stats.Bytes += dBytes
+	return stats
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/neu-sns/intl-iot-go/internal/ingest"
 	"github.com/neu-sns/intl-iot-go/internal/obs"
 	"github.com/neu-sns/intl-iot-go/internal/report"
+	"github.com/neu-sns/intl-iot-go/internal/reshape"
 )
 
 // JobSpec describes one campaign to run: either a synthesized campaign
@@ -44,6 +45,14 @@ type JobSpec struct {
 	// and another lossy.
 	FaultProfile string `json:"faults,omitempty"`
 	FaultSeed    int64  `json:"fault_seed,omitempty"`
+	// Reshape applies a traffic-reshaping defense stack
+	// (internal/reshape; comma-separated "pad,shape,dummy,vpn") to the
+	// campaign — synthesized or ingested — before any analysis sees it.
+	// ReshapeSeed seeds the engine (0 = campaign seed) and ReshapeBudget
+	// is the overhead budget in [0, 1].
+	Reshape       string  `json:"reshape,omitempty"`
+	ReshapeSeed   int64   `json:"reshape_seed,omitempty"`
+	ReshapeBudget float64 `json:"reshape_budget,omitempty"`
 	// Workers bounds analysis parallelism (0 = one per core). Fleet
 	// jobs reuse it as cross-home parallelism.
 	Workers int `json:"workers,omitempty"`
@@ -62,6 +71,12 @@ type JobSpec struct {
 func (s JobSpec) validate() error {
 	if _, err := faults.ByName(s.FaultProfile); err != nil {
 		return err
+	}
+	if _, err := reshape.ParseStack(s.Reshape); err != nil {
+		return err
+	}
+	if s.ReshapeBudget < 0 || s.ReshapeBudget > 1 {
+		return fmt.Errorf("service: reshape budget %v out of range [0, 1]", s.ReshapeBudget)
 	}
 	if s.CaptureDir == "" {
 		scale := s.Scale
@@ -489,7 +504,16 @@ func (m *Manager) runStudy(ctx context.Context, job *Job) error {
 		if err != nil {
 			return err
 		}
-		study = intliot.NewStudyFromSource(src)
+		// Ingested captures carry no campaign seed; seed 1 is the
+		// documented default for defended replays.
+		eng, err := intliot.NewReshapeEngine(intliot.Config{
+			Seed: 1, Reshape: spec.Reshape,
+			ReshapeSeed: spec.ReshapeSeed, ReshapeBudget: spec.ReshapeBudget,
+		})
+		if err != nil {
+			return err
+		}
+		study = intliot.NewStudyFromSource(reshape.Wrap(src, eng))
 	} else {
 		scale := spec.Scale
 		if scale == "" {
@@ -501,6 +525,9 @@ func (m *Manager) runStudy(ctx context.Context, job *Job) error {
 		}
 		cfg.FaultProfile = spec.FaultProfile
 		cfg.FaultSeed = spec.FaultSeed
+		cfg.Reshape = spec.Reshape
+		cfg.ReshapeSeed = spec.ReshapeSeed
+		cfg.ReshapeBudget = spec.ReshapeBudget
 		study, err = intliot.NewStudy(cfg)
 		if err != nil {
 			return err
@@ -551,8 +578,12 @@ func describe(spec JobSpec) string {
 	if scale == "" {
 		scale = "tiny"
 	}
+	desc := "synthesize " + scale
 	if spec.FaultProfile != "" && spec.FaultProfile != "clean" {
-		return fmt.Sprintf("synthesize %s, faults=%s", scale, spec.FaultProfile)
+		desc += ", faults=" + spec.FaultProfile
 	}
-	return "synthesize " + scale
+	if stack, _ := reshape.ParseStack(spec.Reshape); len(stack) > 0 {
+		desc += fmt.Sprintf(", reshape=%s@%.2f", spec.Reshape, spec.ReshapeBudget)
+	}
+	return desc
 }

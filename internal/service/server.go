@@ -26,9 +26,22 @@ type ServerConfig struct {
 	// DataDir is where capture uploads are spooled (default: a fresh
 	// directory under os.TempDir).
 	DataDir string
+	// MaxUploadBytes and MaxUploadFiles cap one /api/upload archive:
+	// unpacked bytes and capture-file count. Uploads beyond either cap
+	// are rejected with 413. Non-positive values use the package
+	// defaults (DefaultMaxUploadBytes, DefaultMaxUploadFiles).
+	MaxUploadBytes int64
+	MaxUploadFiles int
 	// Logf receives one structured line per request; nil discards.
 	Logf func(format string, args ...any)
 }
+
+// Default /api/upload caps, re-exported from internal/ingest so
+// cmd/moniotrd can print them as flag defaults.
+const (
+	DefaultMaxUploadBytes = ingest.MaxUploadBytes
+	DefaultMaxUploadFiles = ingest.MaxUploadFiles
+)
 
 // Server is moniotrd's HTTP API: campaign status and control as JSON,
 // capture uploads feeding streaming ingestion, the metrics snapshot,
@@ -314,9 +327,13 @@ func (s *Server) handleUpload(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusInternalServerError, "spool: %v", err)
 		return
 	}
-	files, bytes, skipped, err := ingest.UnpackTar(dir, req.Body)
+	files, bytes, skipped, err := ingest.UnpackTarLimited(dir, req.Body, s.cfg.MaxUploadFiles, s.cfg.MaxUploadBytes)
 	if err != nil {
 		os.RemoveAll(dir)
+		if errors.Is(err, ingest.ErrUploadTooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "unpack: %v", err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "unpack: %v", err)
 		return
 	}

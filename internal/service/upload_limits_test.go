@@ -1,0 +1,96 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/obs"
+)
+
+// newCappedDaemon is newTestDaemon with explicit upload caps.
+func newCappedDaemon(t *testing.T, maxBytes int64, maxFiles int) *testDaemon {
+	t.Helper()
+	reg := obs.NewRegistry()
+	mgr := NewManager(ManagerConfig{Workers: 1, Queue: 4, Metrics: reg, Run: cannedRun})
+	mgr.Start()
+	srv := NewServer(ServerConfig{
+		Manager:        mgr,
+		Metrics:        reg,
+		DataDir:        t.TempDir(),
+		MaxUploadBytes: maxBytes,
+		MaxUploadFiles: maxFiles,
+	})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		mgr.Shutdown(0)
+	})
+	return &testDaemon{mgr: mgr, srv: srv, http: hs, reg: reg}
+}
+
+// postUpload posts the archive and returns status code and decoded JSON
+// error (if any).
+func postUpload(t *testing.T, d *testDaemon, arch io.Reader) (int, string) {
+	t.Helper()
+	resp, err := http.Post(d.http.URL+"/api/upload", "application/x-tar", arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &apiErr); err != nil {
+			t.Fatalf("response not JSON: %v; body: %s", err, body)
+		}
+	}
+	return resp.StatusCode, apiErr.Error
+}
+
+func TestUploadRejectsOversizeArchive(t *testing.T) {
+	d := newCappedDaemon(t, 64, 0)
+	arch := tarArchive(t, map[string][]byte{
+		"cam/2026-03-01_00.00.00.pcap": bytes.Repeat([]byte("x"), 200),
+	})
+	code, msg := postUpload(t, d, arch)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize upload = %d, want 413 (error: %q)", code, msg)
+	}
+	if msg == "" {
+		t.Fatal("413 response carries no JSON error message")
+	}
+}
+
+func TestUploadRejectsTooManyFiles(t *testing.T) {
+	d := newCappedDaemon(t, 0, 2)
+	arch := tarArchive(t, map[string][]byte{
+		"cam/a.pcap": []byte("a"),
+		"cam/b.pcap": []byte("b"),
+		"cam/c.pcap": []byte("c"),
+	})
+	code, msg := postUpload(t, d, arch)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("too-many-files upload = %d, want 413 (error: %q)", code, msg)
+	}
+	if msg == "" {
+		t.Fatal("413 response carries no JSON error message")
+	}
+}
+
+func TestUploadWithinCapsAccepted(t *testing.T) {
+	d := newCappedDaemon(t, 1<<20, 10)
+	arch := tarArchive(t, map[string][]byte{
+		"cam/2026-03-01_00.00.00.pcap":   []byte("not a real pcap"),
+		"cam/2026-03-01_00.00.00.labels": []byte("labels"),
+	})
+	code, msg := postUpload(t, d, arch)
+	if code != http.StatusAccepted {
+		t.Fatalf("capped-but-small upload = %d, want 202 (error: %q)", code, msg)
+	}
+}

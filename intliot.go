@@ -34,6 +34,7 @@ import (
 	"github.com/neu-sns/intl-iot-go/internal/experiments"
 	"github.com/neu-sns/intl-iot-go/internal/obs"
 	"github.com/neu-sns/intl-iot-go/internal/report"
+	"github.com/neu-sns/intl-iot-go/internal/reshape"
 )
 
 // Config sizes a measurement campaign; see PaperConfig and QuickConfig.
@@ -95,13 +96,37 @@ type Study struct {
 	ran      bool
 }
 
-// NewStudy builds the two labs over a fresh simulated Internet.
+// NewStudy builds the two labs over a fresh simulated Internet. When
+// cfg names a traffic-reshaping defense stack (Reshape), the synthesis
+// runner is wrapped so every analysis measures the defended wire view.
 func NewStudy(cfg Config) (*Study, error) {
 	r, err := experiments.NewRunner(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return NewStudyFromSource(r), nil
+	eng, err := NewReshapeEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewStudyFromSource(reshape.Wrap(r, eng)), nil
+}
+
+// NewReshapeEngine builds the traffic-reshaping defense engine a Config
+// describes: cfg.Reshape is parsed as a transform stack, a zero
+// ReshapeSeed falls back to the campaign Seed, and an empty stack yields
+// a nil (disabled) engine — valid everywhere, reshaping nothing.
+// cmd/moniotr uses this to defend ingested capture directories with the
+// same configuration grammar as synthesized campaigns.
+func NewReshapeEngine(cfg Config) (*reshape.Engine, error) {
+	stack, err := reshape.ParseStack(cfg.Reshape)
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.ReshapeSeed
+	if seed == 0 {
+		seed = cfg.Seed
+	}
+	return reshape.New(reshape.Config{Stack: stack, Seed: seed, Budget: cfg.ReshapeBudget})
 }
 
 // Source yields labelled experiments to the analysis pipeline. The
