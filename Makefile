@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt build test race racecore bench fuzz smoke chaos reshape-smoke serve-smoke
+.PHONY: check vet fmt build test race racecore bench perfguard fuzz smoke chaos reshape-smoke serve-smoke
 
 # Pre-PR gate: everything here must pass before sending a change.
 # racecore runs first: the packages that juggle goroutines and the fault
@@ -27,8 +27,9 @@ race:
 # engine (consulted from parallel lab goroutines), the shared cloud
 # model, the campaign runner that fans out across labs, the parallel
 # forest trainer, the sharded collector stage, the streaming ingest
-# dispatcher with its bounded reorder window, and the fleet runner's
-# bounded-lead home pool folding into shared-seed sketches.
+# dispatcher with its bounded reorder window and the single-decode fold
+# pass, and the fleet runner's bounded-lead home pool folding into
+# shared-seed sketches.
 racecore:
 	$(GO) test -race ./internal/faults/... ./internal/cloud/... ./internal/experiments/... \
 		./internal/ml/... ./internal/analysis/... ./internal/ingest/... \
@@ -37,12 +38,20 @@ racecore:
 
 # Benchmark sweep (-run '^$$' skips the test suites): the root table
 # harness — which also refreshes BENCH_pipeline.json with the campaign's
-# stage wall times and throughput — plus the forest-training and
+# stage wall times and throughput — plus the ingest-mode comparison
+# (buffered vs two-pass vs single-decode), the forest-training and
 # collector-stage benchmarks that record the parallel speedup, the
-# fleet synthesis throughput and the sketch merge/ingest hot paths.
+# fleet synthesis throughput, the sketch merge/ingest hot paths and the
+# multi-metric entropy family.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/ml ./internal/analysis \
-		./internal/fleet ./internal/sketch ./internal/reshape
+		./internal/fleet ./internal/sketch ./internal/reshape ./internal/entropy
+
+# Perf regression gate: single-decode streaming must hold the checked-in
+# fraction of buffered throughput on the tiny export (floor in
+# perfguard_test.go). Wall-clock sensitive — run on a quiet machine.
+perfguard:
+	MONIOTR_PERFGUARD=1 $(GO) test -run TestStreamingThroughputFloor -count=1 -v .
 
 # Run every pcap-parsing fuzzer briefly; the seed corpus plus a few
 # seconds of mutation catches framing regressions without CI-scale cost.
@@ -53,8 +62,10 @@ fuzz:
 	done
 
 # End-to-end capture round trip: export a tiny campaign as per-device
-# pcaps, re-ingest it — buffered and streamed through a small reorder
-# window — and require byte-identical table output from all three runs.
+# pcaps, re-ingest it — buffered, streamed through the single-decode
+# fold pass, and streamed through the legacy two-pass replayer with a
+# small reorder window — and require byte-identical table output from
+# all four runs.
 smoke:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
 	$(GO) build -o "$$tmp/moniotr" ./cmd/moniotr && \
@@ -64,9 +75,12 @@ smoke:
 		> "$$tmp/ingested.out" 2> "$$tmp/ingested.err" && \
 	"$$tmp/moniotr" -ingest "$$tmp/caps" -stream -ingest-window 16 \
 		> "$$tmp/streamed.out" 2> "$$tmp/streamed.err" && \
+	"$$tmp/moniotr" -ingest "$$tmp/caps" -stream -stream-two-pass -ingest-window 16 \
+		> "$$tmp/twopass.out" 2> "$$tmp/twopass.err" && \
 	cmp "$$tmp/direct.out" "$$tmp/ingested.out" && \
 	cmp "$$tmp/direct.out" "$$tmp/streamed.out" && \
-	echo "smoke: export->ingest tables byte-identical (buffered + streamed)"
+	cmp "$$tmp/direct.out" "$$tmp/twopass.out" && \
+	echo "smoke: export->ingest tables byte-identical (buffered + single-decode + two-pass)"
 
 # Daemon smoke: start moniotrd on an ephemeral port, upload a tiny
 # exported campaign as a tar archive, wait for the streaming-ingest job,

@@ -141,11 +141,42 @@ func BenchmarkIngestBuffered(b *testing.B) {
 	benchIngest(b, ingest.Options{})
 }
 
-// BenchmarkIngestStream replays through the bounded reorder window;
-// captures are decoded twice (index + replay), trading throughput for an
-// O(window) memory high-water mark.
+// BenchmarkIngestStream replays through the bounded reorder window in
+// the legacy two-pass shape; captures are decoded three times (index +
+// one replay per leg), trading throughput for an O(window) memory
+// high-water mark.
 func BenchmarkIngestStream(b *testing.B) {
-	benchIngest(b, ingest.Options{Stream: true})
+	benchIngest(b, ingest.Options{Stream: true, TwoPass: true})
+}
+
+// noopFoldSink is the fold-mode analogue of the no-op visitor above: it
+// absorbs experiments without analysis cost, so the benchmark isolates
+// source throughput (decode + sort + run dispatch + merge).
+type noopFoldSink struct{}
+
+type noopFoldUnit struct{}
+
+func (noopFoldUnit) Fold(exp *testbed.Experiment)             { exp.Done() }
+func (noopFoldSink) NewFoldUnit(bool) experiments.FoldUnit    { return noopFoldUnit{} }
+func (noopFoldSink) MergeFoldUnit(bool, experiments.FoldUnit) {}
+
+// BenchmarkIngestSingleDecode replays the capture tree through the
+// single-decode fold pass: memory-mapped reads, one decode total, per-run
+// accumulators merged in campaign order. This is what `-stream` now runs
+// when the consumer supports folding.
+func BenchmarkIngestSingleDecode(b *testing.B) {
+	dir := sharedCaptureDir(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := ingest.Open(dir, ingest.Options{Stream: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src.RunSingleDecode(noopFoldSink{})
+		if i == 0 {
+			b.SetBytes(src.Report().Bytes)
+		}
+	}
 }
 
 var printedOnce sync.Map

@@ -6,7 +6,8 @@
 //
 //	moniotr [-scale tiny|quick|bench|paper] [-csv dir] [-json] [-tables 2,5,11]
 //	        [-skip-uncontrolled]
-//	        [-export-captures dir] [-ingest dir] [-stream] [-ingest-window n] [-strict]
+//	        [-export-captures dir] [-ingest dir] [-stream] [-ingest-window n]
+//	        [-stream-two-pass] [-strict]
 //	        [-metrics out.json] [-pprof :6060]
 //	        [-faults clean|lossy-home|flaky-vpn|outage] [-fault-seed n] [-analysis-workers n]
 //	        [-reshape pad,shape,dummy,vpn] [-reshape-seed n] [-reshape-budget f] [-reshape-matrix]
@@ -17,11 +18,17 @@
 // sidecars). With -ingest the campaign is not synthesized at all:
 // experiments are read back from such a directory and analysed,
 // producing the same tables — byte-identical for a directory written by
-// -export-captures at the same scale. -stream switches the ingest to the
-// bounded-memory streaming replayer: files are indexed first, then
-// re-decoded on demand through a reorder window of at most -ingest-window
-// experiments (default 256). Output stays byte-identical to buffered
-// ingest; only the memory high-water mark and wall time change.
+// -export-captures at the same scale. -stream switches the ingest to
+// bounded-memory streaming. By default that is the single-decode fold
+// pass: each capture file is memory-mapped and decoded exactly once,
+// experiments fold into per-worker accumulators as they decode, and the
+// accumulators merge in campaign order. -stream-two-pass forces the
+// legacy shape instead — files are indexed first, then re-decoded on
+// demand through a reorder window of at most -ingest-window experiments
+// (default 256); the fold pass also falls back to it automatically when
+// per-experiment hooks demand serial delivery. Output stays
+// byte-identical to buffered ingest in every mode; only the memory
+// high-water mark and wall time change.
 //
 // With -metrics the campaign is instrumented end to end (stage wall
 // times, per-collector visit counts, synthesis throughput, DNS and pcap
@@ -102,7 +109,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write the tables to stdout as one canonical JSON document instead of aligned text")
 	exportDir := flag.String("export-captures", "", "write the campaign to this directory as per-device pcaps + label sidecars")
 	ingestDir := flag.String("ingest", "", "skip synthesis and ingest a capture directory (as written by -export-captures)")
-	tables := flag.String("tables", "all", "comma-separated table list (1-11, fig2, pii, unexpected) or 'all'")
+	tables := flag.String("tables", "all", "comma-separated table list (1-11, fig2, enc-metrics, pii, unexpected) or 'all'")
 	skipUncontrolled := flag.Bool("skip-uncontrolled", false, "skip the §7.3 user-study simulation")
 	metricsOut := flag.String("metrics", "", "instrument the campaign and write a metrics JSON snapshot to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
@@ -111,6 +118,7 @@ func main() {
 	strict := flag.Bool("strict", false, "with -ingest: exit non-zero if any capture content was skipped")
 	stream := flag.Bool("stream", false, "with -ingest: stream captures through a bounded reorder window instead of buffering the campaign")
 	ingestWindow := flag.Int("ingest-window", 0, "with -stream: reorder window capacity in experiments (0 = default)")
+	streamTwoPass := flag.Bool("stream-two-pass", false, "with -stream: force the legacy index+replay shape instead of the single-decode fold pass")
 	analysisWorkers := flag.Int("analysis-workers", 0, "analysis parallelism: 0 = one worker per core, 1 = serial; output is identical for any value")
 	reshapeStack := flag.String("reshape", "", "apply a traffic-reshaping defense stack (comma-separated: pad, shape, dummy, vpn)")
 	reshapeSeed := flag.Int64("reshape-seed", 0, "seed for the defense engine (0 = campaign seed)")
@@ -182,7 +190,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "moniotr: ingesting captures from %s...\n", *ingestDir)
 		}
 		var err error
-		src, err = ingest.Open(*ingestDir, ingest.Options{Stream: *stream, Window: *ingestWindow})
+		src, err = ingest.Open(*ingestDir, ingest.Options{
+			Stream:  *stream,
+			Window:  *ingestWindow,
+			TwoPass: *streamTwoPass,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
 			os.Exit(1)

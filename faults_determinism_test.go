@@ -12,6 +12,7 @@ func renderAll(s *Study) string {
 	for _, tbl := range []*Table{
 		s.Headline(), s.Table2(), s.Table3(), s.Table4(), s.Figure2(),
 		s.Table5(), s.Table6(), s.Table7(nil), s.Table8(),
+		s.EncMetricsReport(),
 		s.Table9(), s.Table10(), s.Table11(1), s.PIIReport(),
 	} {
 		sb.WriteString(tbl.String())

@@ -189,6 +189,40 @@ func (c *ContentCollector) merge(o *ContentCollector) {
 	}
 }
 
+// mergeFold folds a single-decode unit into c. Unlike shard merges,
+// unit sequence numbers are unit-local (0..count-1): base — the number
+// of controlled experiments merged before this unit in campaign order —
+// rebases them onto the global delivery sequence, reproducing the seqs
+// a serial run would have assigned. Dataset rows append rather than
+// replace: one instance's rows span every unit of its files.
+func (c *ContentCollector) mergeFold(o *ContentCollector, base, count int64) {
+	for dev, sc := range o.scanners {
+		c.scanners[dev] = sc
+	}
+	for _, sf := range o.pending {
+		sf.seq += base
+		c.pending = append(c.pending, sf)
+	}
+	for f := range o.findSeen {
+		c.findSeen[f] = true
+	}
+	if base+count > c.autoSeq {
+		c.autoSeq = base + count
+	}
+	for k, ds := range o.datasets {
+		cur := c.datasets[k]
+		if cur == nil {
+			c.datasets[k] = ds
+			c.devCategory[k] = o.devCategory[k]
+			c.devCommon[k] = o.devCommon[k]
+			c.devName[k] = o.devName[k]
+			continue
+		}
+		cur.Features = append(cur.Features, ds.Features...)
+		cur.Labels = append(cur.Labels, ds.Labels...)
+	}
+}
+
 // Findings returns the deduplicated PII exposures sorted by device.
 func (c *ContentCollector) Findings() []PIIFinding {
 	c.finalize()

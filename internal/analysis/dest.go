@@ -48,6 +48,19 @@ type DestCollector struct {
 	// shards run.
 	parent *DestCollector
 
+	// foldMode marks a single-decode fold unit (newFoldUnit). A fold unit
+	// sees one contiguous run of the campaign with no parent to consult,
+	// so a flow whose address misses the unit-local DNS replay cannot be
+	// labelled yet — an earlier file's answer may exist. Such flows are
+	// deferred into pending with everything labelling needs except the
+	// name, and resolved by mergeFold against the DNS state accumulated
+	// in campaign order — exactly the map a serial visit would have seen.
+	foldMode bool
+	pending  []destPendingFlow
+
+	// scratch recycles flow-assembly state across Visit calls.
+	scratch netx.FlowScratch
+
 	// ipDomains caches DNS-derived ip→name mappings per device (DNS
 	// replay is per capture file in the original pipeline; devices
 	// re-resolve rarely so a per-device cache is equivalent).
@@ -90,6 +103,59 @@ type volKey struct {
 	Lab      string
 	Category string
 	Country  string
+}
+
+// destExpMeta is the slice of an experiment's identity that destination
+// recording needs; fold units keep one per experiment with deferred
+// flows so resolution after the merge reproduces record() exactly.
+type destExpMeta struct {
+	devID        string
+	column       string
+	lab          string
+	vpn          bool
+	common       bool
+	category     string
+	manufacturer string
+	related      []string
+	types        []ExpType
+}
+
+func destMetaOf(exp *testbed.Experiment) destExpMeta {
+	return destExpMeta{
+		devID:        exp.Device.ID(),
+		column:       exp.Column,
+		lab:          exp.Lab,
+		vpn:          exp.VPN,
+		common:       exp.Device.Profile.Common(),
+		category:     string(exp.Device.Profile.Category),
+		manufacturer: exp.Device.Profile.Manufacturer,
+		related:      exp.Device.Profile.Related,
+		types:        ExpTypes(exp),
+	}
+}
+
+// destPendingFlow is a fold-deferred flow: labelled at merge time, when
+// the campaign-ordered DNS state is known. The SNI/Host fallback name
+// and the geolocation are extracted at fold time (both are independent
+// of DNS state), so merge-time resolution touches no packet data.
+type destPendingFlow struct {
+	meta     *destExpMeta
+	addr     netip.Addr
+	fallback string
+	country  string
+	bytes    int
+}
+
+// egressOf is the country a lab's traffic exits from: the lab itself, or
+// the far side of the inter-lab tunnel on VPN legs.
+func egressOf(lab string, vpn bool) string {
+	if !vpn {
+		return lab
+	}
+	if lab == "US" {
+		return "GB"
+	}
+	return "US"
 }
 
 // NewDestCollector wires a collector to the registry and locators.
@@ -152,15 +218,10 @@ func (c *DestCollector) Visit(exp *testbed.Experiment) {
 	}
 
 	// Pass 2: flows → destinations.
-	flows := netx.AssembleFlows(exp.Packets)
-	egress := exp.Lab
-	if exp.VPN {
-		if exp.Lab == "US" {
-			egress = "GB"
-		} else {
-			egress = "US"
-		}
-	}
+	flows := c.scratch.Assemble(exp.Packets)
+	egress := egressOf(exp.Lab, exp.VPN)
+	meta := destMetaOf(exp)
+	var pendingMeta *destExpMeta
 	for _, f := range flows {
 		addr := f.Responder.Addr
 		if isLANAddr(addr) {
@@ -170,12 +231,44 @@ func (c *DestCollector) Visit(exp *testbed.Experiment) {
 			// Infrastructure chatter handled via its own domain when
 			// resolved; skip resolver-only flows to the gateway.
 		}
-		dest := c.label(devID, exp.Device.Profile.Manufacturer, exp.Device.Profile.Related, f, dnsMap, egress)
-		c.record(exp, dest, f.TotalWireBytes())
+		if c.foldMode && dnsMap[addr] == "" {
+			// An earlier file in campaign order may have resolved this
+			// address; defer labelling to mergeFold. The run-local hit
+			// path needs no deferral: a unit-prefix answer is exactly
+			// what a serial visit would use (latest answer wins, and the
+			// unit's own answers are the latest at this point).
+			if pendingMeta == nil {
+				m := meta
+				pendingMeta = &m
+			}
+			c.pending = append(c.pending, destPendingFlow{
+				meta:     pendingMeta,
+				addr:     addr,
+				fallback: fallbackName(f),
+				country:  c.country(addr, egress),
+				bytes:    f.TotalWireBytes(),
+			})
+			continue
+		}
+		dest := c.label(devID, meta.manufacturer, meta.related, f, dnsMap, egress)
+		c.record(&meta, dest, f.TotalWireBytes())
 		if c.OnDestination != nil {
 			c.OnDestination(exp, dest, f.Responder.Port, int64(f.TotalWireBytes()))
 		}
 	}
+}
+
+// fallbackName extracts the §4.1 name fallbacks (SNI, then HTTP Host)
+// from a flow's client payload.
+func fallbackName(f *netx.Flow) string {
+	up := f.PayloadUp(4096)
+	if sni, ok := tlsmsg.ExtractSNI(up); ok {
+		return sni
+	}
+	if host, ok := httpmsg.ExtractHost(up); ok {
+		return host
+	}
+	return ""
 }
 
 // label determines (SLD, org, party, country) for one flow (§4.1's
@@ -185,12 +278,15 @@ func (c *DestCollector) label(devID, manufacturer string, related []string, f *n
 	addr := f.Responder.Addr
 	name := dnsMap[addr]
 	if name == "" {
-		if sni, ok := tlsmsg.ExtractSNI(f.PayloadUp(4096)); ok {
-			name = sni
-		} else if host, ok := httpmsg.ExtractHost(f.PayloadUp(4096)); ok {
-			name = host
-		}
+		name = fallbackName(f)
 	}
+	return c.labelName(name, addr, manufacturer, related, egress, c.country(addr, egress))
+}
+
+// labelName is the flow-independent tail of labelling: given the chosen
+// name (possibly empty) and the precomputed country, resolve the owning
+// organisation and party. mergeFold uses it to finish deferred flows.
+func (c *DestCollector) labelName(name string, addr netip.Addr, manufacturer string, related []string, egress, country string) Destination {
 	var dest Destination
 	var org *orgdb.Org
 	if name != "" {
@@ -198,7 +294,6 @@ func (c *DestCollector) label(devID, manufacturer string, related []string, f *n
 		dest.SLD = dnsmsg.SLD(name)
 		org, _ = c.Registry.BySLD(dest.SLD)
 	}
-	country := c.country(addr, egress)
 	if org == nil {
 		// Fall back to the registered owner of the address block.
 		if loc, ok := c.Locators[egress]; ok {
@@ -252,10 +347,10 @@ func (c *DestCollector) country(addr netip.Addr, egress string) string {
 	return country
 }
 
-func (c *DestCollector) record(exp *testbed.Experiment, d Destination, bytes int) {
-	devID := exp.Device.ID()
-	common := exp.Device.Profile.Common()
-	col := exp.Column
+func (c *DestCollector) record(m *destExpMeta, d Destination, bytes int) {
+	devID := m.devID
+	common := m.common
+	col := m.column
 
 	addSet := func(m map[string]bool, k string) map[string]bool {
 		if m == nil {
@@ -268,7 +363,7 @@ func (c *DestCollector) record(exp *testbed.Experiment, d Destination, bytes int
 	c.devAllDest[devID] = addSet(c.devAllDest[devID], d.FQDN)
 	if d.Party != orgdb.PartyFirst {
 		c.devNonFirst[devID] = addSet(c.devNonFirst[devID], d.FQDN)
-		for _, types := range ExpTypes(exp) {
+		for _, types := range m.types {
 			k := expPartyKey{types, col, false, d.Party}
 			c.byExpParty[k] = addSet(c.byExpParty[k], d.FQDN)
 			if common {
@@ -276,10 +371,10 @@ func (c *DestCollector) record(exp *testbed.Experiment, d Destination, bytes int
 				c.byExpParty[kc] = addSet(c.byExpParty[kc], d.FQDN)
 			}
 		}
-		ck := catPartyKey{string(exp.Device.Profile.Category), col, false, d.Party}
+		ck := catPartyKey{m.category, col, false, d.Party}
 		c.byCatParty[ck] = addSet(c.byCatParty[ck], d.FQDN)
 		if common {
-			ckc := catPartyKey{string(exp.Device.Profile.Category), col, true, d.Party}
+			ckc := catPartyKey{m.category, col, true, d.Party}
 			c.byCatParty[ckc] = addSet(c.byCatParty[ckc], d.FQDN)
 		}
 		if d.Org != "" {
@@ -296,10 +391,10 @@ func (c *DestCollector) record(exp *testbed.Experiment, d Destination, bytes int
 		c.partyTotals[col][d.Party] = addSet(c.partyTotals[col][d.Party], d.FQDN)
 	}
 	// Figure 2 volumes use direct-egress traffic only.
-	if !exp.VPN && d.Country != "" {
-		c.volume[volKey{exp.Lab, string(exp.Device.Profile.Category), d.Country}] += int64(bytes)
+	if !m.vpn && d.Country != "" {
+		c.volume[volKey{m.lab, m.category, d.Country}] += int64(bytes)
 	}
-	if !exp.VPN && d.Country != "" && d.Country != exp.Lab {
+	if !m.vpn && d.Country != "" && d.Country != m.lab {
 		c.outOfRegion[devID] = addSet(c.outOfRegion[devID], d.FQDN)
 	}
 }
@@ -310,6 +405,47 @@ func (c *DestCollector) newShard() *DestCollector {
 	s := NewDestCollector(c.Registry, c.Locators)
 	s.parent = c
 	return s
+}
+
+// newFoldUnit returns an empty fold-mode collector. Unlike a shard it
+// has no parent: fold units run before any earlier state is merged, so
+// instead of inheriting DNS caches they defer unresolved flows (see
+// foldMode) and mergeFold resolves them in campaign order.
+func (c *DestCollector) newFoldUnit() *DestCollector {
+	s := NewDestCollector(c.Registry, c.Locators)
+	s.foldMode = true
+	return s
+}
+
+// mergeFold folds a single-decode unit into c, in campaign order:
+// resolve the unit's deferred flows against the DNS state of all earlier
+// units, then overlay the unit's own answers address by address (the
+// unit map covers only its run, so the shard merge's whole-map
+// replacement would lose earlier answers).
+func (c *DestCollector) mergeFold(o *DestCollector) {
+	for i := range o.pending {
+		pf := &o.pending[i]
+		name := c.ipDomains[pf.meta.devID][pf.addr]
+		if name == "" {
+			name = pf.fallback
+		}
+		dest := c.labelName(name, pf.addr, pf.meta.manufacturer, pf.meta.related,
+			egressOf(pf.meta.lab, pf.meta.vpn), pf.country)
+		c.record(pf.meta, dest, pf.bytes)
+	}
+	o.pending = nil
+	for dev, m := range o.ipDomains {
+		dst := c.ipDomains[dev]
+		if dst == nil {
+			c.ipDomains[dev] = m
+			continue
+		}
+		for a, n := range m {
+			dst[a] = n
+		}
+	}
+	o.ipDomains = nil
+	c.mergeShared(o)
 }
 
 // mergeStringSet unions src's set values into dst.
@@ -338,6 +474,12 @@ func (c *DestCollector) merge(o *DestCollector) {
 		// this device: replacement is exact.
 		c.ipDomains[dev] = m
 	}
+	c.mergeShared(o)
+}
+
+// mergeShared folds the accumulators whose merge rule is common to shard
+// and fold merges: memoized caches, set unions and integer sums.
+func (c *DestCollector) mergeShared(o *DestCollector) {
 	for k, v := range o.geoCache {
 		// Memoized pure function: duplicate keys carry identical values.
 		c.geoCache[k] = v

@@ -74,7 +74,26 @@ type EncCollector struct {
 	devLab      map[string]string
 	// per-experiment-type device sets (Table 8's "(#D)" counts)
 	expDevices map[ExpType]map[string]bool
+
+	// metric sums for the enc-metrics table: per (column, class), the
+	// entropy family summed over classified flows in fixed-point
+	// micro-units. Integer accumulation keeps the sums commutative, so
+	// the table stays byte-identical for any worker count or merge order.
+	metricSums  map[metricKey][4]int64
+	metricFlows map[metricKey]int64
+
+	// scratch recycles flow-assembly state across Visit calls.
+	scratch netx.FlowScratch
 }
+
+type metricKey struct {
+	Column string
+	Class  EncClass
+}
+
+// metricScale is the fixed-point unit of metricSums: per-flow metric
+// values in [0, 1] are rounded to micro-units before summing.
+const metricScale = 1e6
 
 type devColKey struct {
 	Device string // device model name (not instance), plus lab via column
@@ -113,6 +132,8 @@ func NewEncCollector() *EncCollector {
 		devName:     make(map[string]string),
 		devLab:      make(map[string]string),
 		expDevices:  make(map[ExpType]map[string]bool),
+		metricSums:  make(map[metricKey][4]int64),
+		metricFlows: make(map[metricKey]int64),
 	}
 }
 
@@ -128,7 +149,7 @@ func (c *EncCollector) Visit(exp *testbed.Experiment) {
 	c.devLab[name] = exp.Lab
 
 	var perExp [3]int64
-	flows := netx.AssembleFlows(exp.Packets)
+	flows := c.scratch.Assemble(exp.Packets)
 	for _, f := range flows {
 		if isLANAddr(f.Responder.Addr) {
 			continue // the encryption analysis covers Internet traffic only
@@ -136,6 +157,16 @@ func (c *EncCollector) Visit(exp *testbed.Experiment) {
 		v := entropy.ClassifyFlow(f, c.Thresholds)
 		b := bucketOf(v.Class)
 		perExp[b] += int64(f.TotalWireBytes())
+		if v.Method != "empty" {
+			mk := metricKey{col, b}
+			ms := c.metricSums[mk]
+			ms[0] += int64(v.Metrics.Shannon*metricScale + 0.5)
+			ms[1] += int64(v.Metrics.RenyiHalf*metricScale + 0.5)
+			ms[2] += int64(v.Metrics.Renyi2*metricScale + 0.5)
+			ms[3] += int64(v.Metrics.Tsallis2*metricScale + 0.5)
+			c.metricSums[mk] = ms
+			c.metricFlows[mk]++
+		}
 		if c.OnFlow != nil {
 			c.OnFlow(exp, b, int64(f.TotalWireBytes()))
 		}
@@ -231,6 +262,16 @@ func (c *EncCollector) merge(o *EncCollector) {
 	}
 	for k, samples := range o.devSamples {
 		c.devSamples[k] = append(c.devSamples[k], samples...)
+	}
+	for k, v := range o.metricSums {
+		cur := c.metricSums[k]
+		for i := range cur {
+			cur[i] += v[i]
+		}
+		c.metricSums[k] = cur
+	}
+	for k, v := range o.metricFlows {
+		c.metricFlows[k] += v
 	}
 	mergeStringSet(c.devLabels, o.devLabels)
 	for k, v := range o.devCategory {
@@ -361,6 +402,24 @@ func (c *EncCollector) DeviceRows(names []string) []DeviceRow {
 		rows = append(rows, row)
 	}
 	return rows
+}
+
+// MetricMeans returns the per-flow mean of each entropy metric — Shannon,
+// Rényi α=0.5, Rényi α=2, Tsallis q=2, in that order — over the flows of
+// one (column, class) cell, plus the number of flows measured. Flows with
+// empty head payloads carry no entropy sample and are excluded.
+func (c *EncCollector) MetricMeans(column string, class EncClass) ([4]float64, int64) {
+	k := metricKey{column, class}
+	n := c.metricFlows[k]
+	var out [4]float64
+	if n == 0 {
+		return out, 0
+	}
+	sums := c.metricSums[k]
+	for i := range out {
+		out[i] = float64(sums[i]) / metricScale / float64(n)
+	}
+	return out, n
 }
 
 // significantDiff applies the stratified Welch test between two columns

@@ -99,6 +99,21 @@ func (c *IdentifyCollector) merge(o *IdentifyCollector) {
 	}
 }
 
+// mergeFold folds a single-decode unit's rows into c, rebasing the
+// unit-local sequence numbers (0..count-1) by base — the number of
+// controlled experiments merged before this unit — so build's sort
+// reproduces serial delivery order.
+func (c *IdentifyCollector) mergeFold(o *IdentifyCollector, base, count int64) {
+	for _, r := range o.rows {
+		r.seq += base
+		c.rows = append(c.rows, r)
+	}
+	if base+count > c.autoSeq {
+		c.autoSeq = base + count
+	}
+	c.built = false
+}
+
 // build materializes the per-column datasets from the buffered rows in
 // delivery order.
 func (c *IdentifyCollector) build() {

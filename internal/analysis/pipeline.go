@@ -164,6 +164,17 @@ func (p *Pipeline) Run(cfg InferConfig) {
 		cfg.Workers = workers
 	}
 
+	// Single-decode streaming: a source that can fold the campaign into
+	// the collectors during its decode pass skips the per-leg replay
+	// decode entirely. The per-flow observation hooks are serial-only
+	// (they see flows in delivery order), so their presence forces the
+	// classic replay path.
+	if sd, ok := p.Source.(singleDecodeSource); ok && sd.SingleDecode() &&
+		p.Dest.OnDestination == nil && p.Enc.OnFlow == nil {
+		p.runSingleDecode(sd, cfg)
+		return
+	}
+
 	span := p.metrics.StartSpan("stage:controlled")
 	if workers > 1 {
 		p.Stats = p.runShardedStage("controlled", workers, true, p.Source.RunControlled)
@@ -177,6 +188,7 @@ func (p *Pipeline) Run(cfg InferConfig) {
 		)
 		p.Stats = p.Source.RunControlled(func(exp *testbed.Experiment) {
 			if p.canceled() {
+				exp.Done()
 				return
 			}
 			degrade(exp)
@@ -184,6 +196,7 @@ func (p *Pipeline) Run(cfg InferConfig) {
 			enc(exp)
 			content(exp)
 			identify(exp)
+			exp.Done()
 		})
 	}
 	span.End()
@@ -215,12 +228,14 @@ func (p *Pipeline) Run(cfg InferConfig) {
 		)
 		p.IdleStats = p.Source.RunIdle(func(exp *testbed.Experiment) {
 			if p.canceled() {
+				exp.Done()
 				return
 			}
 			degrade(exp)
 			dest(exp)
 			enc(exp)
 			detect(exp)
+			exp.Done()
 		})
 	}
 	span.End()

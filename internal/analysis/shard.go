@@ -206,7 +206,8 @@ func (p *Pipeline) runShardedStage(stage string, workers int, controlled bool,
 			defer wg.Done()
 			for se := range s.ch {
 				if p.canceled() {
-					continue // drain the channel without visiting
+					se.exp.Done() // drain the channel without visiting
+					continue
 				}
 				metrics.timed(i, "degrade", func() { p.degradeExp(se.exp) })
 				metrics.timed(i, "dest", func() { s.dest.Visit(se.exp) })
@@ -217,6 +218,7 @@ func (p *Pipeline) runShardedStage(stage string, workers int, controlled bool,
 				} else {
 					metrics.timed(i, "detector", func() { p.Detector.visitIdleAt(se.seq, se.exp, s.detect) })
 				}
+				se.exp.Done()
 			}
 		}(i, s)
 	}
@@ -224,6 +226,7 @@ func (p *Pipeline) runShardedStage(stage string, workers int, controlled bool,
 	var seq int64
 	stats := run(func(exp *testbed.Experiment) {
 		if p.canceled() {
+			exp.Done()
 			return
 		}
 		i := p.shardFor(exp.Device.ID(), workers)

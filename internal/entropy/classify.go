@@ -14,6 +14,10 @@ type FlowVerdict struct {
 	Method string
 	// Entropy is the measured payload entropy when Method == "entropy".
 	Entropy float64
+	// Metrics is the full entropy family (Shannon, Rényi α∈{0.5,2},
+	// Tsallis q=2) measured over the combined head payloads, filled for
+	// every non-empty flow regardless of which method decided the class.
+	Metrics Metrics
 }
 
 // ClassifyFlow reproduces the paper's per-flow pipeline:
@@ -25,6 +29,16 @@ type FlowVerdict struct {
 func ClassifyFlow(f *netx.Flow, t Thresholds) FlowVerdict {
 	up := f.PayloadUp(4096)
 	down := f.PayloadDown(4096)
+	v := classifyPayloads(f, t, up, down)
+	if v.Method != "empty" {
+		v.Metrics = MeasureMetrics2(up, down)
+	}
+	return v
+}
+
+// classifyPayloads runs the decision pipeline over the extracted head
+// payloads; ClassifyFlow adds the metric family afterwards.
+func classifyPayloads(f *netx.Flow, t Thresholds, up, down []byte) FlowVerdict {
 	head := up
 	if len(head) == 0 {
 		head = down

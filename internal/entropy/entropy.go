@@ -68,17 +68,28 @@ type Thresholds struct {
 	// MinPayload is the minimum payload size to attempt entropy
 	// classification; tiny payloads have unstable empirical entropy.
 	MinPayload int
+	// Metric selects which member of the entropy family (metrics.go) the
+	// cut points apply to. The zero value is MetricShannon — the §5
+	// default the paper's 0.4/0.8 thresholds were validated against —
+	// so existing Thresholds literals keep their behaviour bit for bit.
+	Metric Metric
 }
 
 // PaperThresholds are the thresholds used throughout the paper.
 var PaperThresholds = Thresholds{Encrypted: 0.8, Unencrypted: 0.4, MinPayload: 16}
 
-// ClassifyEntropy applies only the entropy thresholds.
+// ClassifyEntropy applies only the entropy thresholds, evaluated on the
+// configured Metric (Shannon unless overridden).
 func (t Thresholds) ClassifyEntropy(b []byte) Class {
 	if len(b) < t.MinPayload {
 		return ClassUnknown
 	}
-	h := Shannon(b)
+	var h float64
+	if t.Metric == MetricShannon {
+		h = Shannon(b)
+	} else {
+		h = MeasureMetrics(b).Get(t.Metric)
+	}
 	switch {
 	case h > t.Encrypted:
 		return ClassEncrypted

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/neu-sns/intl-iot-go/internal/analysis"
@@ -53,6 +55,20 @@ type Options struct {
 	// is never sacrificed to it, so the window can briefly overshoot by
 	// the contents of files already being decoded.
 	Window int
+	// TwoPass forces the legacy streaming shape — index pass plus a
+	// re-decoding replay pass per leg — even when the consumer supports
+	// single-decode folding (see fold.go). The default lets a
+	// fold-capable pipeline absorb the campaign during the one decode
+	// pass; consumers that drive RunControlled/RunIdle directly always
+	// get the two-pass replay regardless.
+	TwoPass bool
+	// DispatchSeed, when non-zero, shuffles the order files are handed
+	// to the decode workers in the order-independent passes (buffered
+	// load, streaming index, single-decode fold). Every downstream
+	// table is byte-identical for any seed — the knob exists so tests
+	// can prove that. Replay-pass scheduling is not shuffled: its
+	// first-occurrence order is what bounds the reorder window.
+	DispatchSeed int64
 }
 
 // SkipReport counts traffic dropped during ingestion, by reason.
@@ -127,8 +143,14 @@ type Source struct {
 
 	metrics *obs.Registry
 
-	once   sync.Once
-	report Report
+	once    sync.Once
+	started atomic.Bool // set once any ingestion pass has begun
+	report  Report
+
+	// arenas pools per-file payload arenas for the streaming replay
+	// workers; arenas return to the pool when every experiment decoded
+	// from their file has been released (testbed.Experiment.Done).
+	arenas sync.Pool
 
 	// Buffered mode: the decoded campaign, split by leg.
 	controlled []*entry
@@ -300,12 +322,26 @@ type fileResult struct {
 // builds the replay-order index and defers packet data to replay time.
 func (s *Source) prepare() {
 	s.once.Do(func() {
+		s.started.Store(true)
 		if s.opts.Stream {
 			s.buildIndex()
 		} else {
 			s.loadBuffered()
 		}
 	})
+}
+
+// dispatchOrder returns the file list in worker-dispatch order for the
+// order-independent decode passes: the lexical order by default, or a
+// seeded shuffle when Options.DispatchSeed asks for one.
+func (s *Source) dispatchOrder() []string {
+	if s.opts.DispatchSeed == 0 {
+		return s.files
+	}
+	out := append([]string(nil), s.files...)
+	rng := rand.New(rand.NewSource(s.opts.DispatchSeed))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
 }
 
 // loadBuffered parses every capture file once, with bounded parallelism,
@@ -328,8 +364,9 @@ func (s *Source) loadBuffered() {
 // parsePass runs the bounded-worker decode over every capture file,
 // merging per-file reports into s.report and handing each result to
 // collect on a single goroutine. With strip set, each worker decodes
-// through a reusable payload arena and keeps only the replay keys, so
-// the pass holds at most workers× one file's packets at a time.
+// straight out of a memory-mapped (or whole-file) read and keeps only
+// the replay keys, so the pass holds at most workers× one file's bytes
+// at a time.
 func (s *Source) parsePass(strip bool, collect func(fileResult)) {
 	workers := s.opts.Workers
 	if workers <= 0 {
@@ -339,6 +376,7 @@ func (s *Source) parsePass(strip bool, collect func(fileResult)) {
 		workers = len(s.files)
 	}
 	decodeH := s.metrics.Histogram("ingest_file_decode_seconds", obs.DurationBuckets)
+	s.metrics.Counter("ingest_decode_passes_total").Inc()
 
 	next := make(chan string)
 	results := make(chan fileResult)
@@ -347,30 +385,33 @@ func (s *Source) parsePass(strip bool, collect func(fileResult)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var arena *pcapio.Arena
-			if strip {
-				arena = pcapio.NewArena()
-			}
 			for rel := range next {
 				t0 := time.Now()
-				res := s.parseFile(rel, arena)
-				decodeH.ObserveDuration(time.Since(t0))
+				var res fileResult
 				if strip {
+					var release func()
+					res, release = s.parseFileMapped(rel)
+					decodeH.ObserveDuration(time.Since(t0))
 					res.index = make([]streamEntry, len(res.entries))
 					for i, e := range res.entries {
 						res.index[i] = streamEntry{key: e.key, kind: e.exp.Kind}
 					}
-					// Decoded packets alias the arena's chunks; drop them
-					// before recycling the memory for the next file.
+					// Decoded packets alias the mapping; drop them before
+					// releasing it.
 					res.entries = nil
-					arena.Reset()
+					if release != nil {
+						release()
+					}
+				} else {
+					res = s.parseFile(rel, nil)
+					decodeH.ObserveDuration(time.Since(t0))
 				}
 				results <- res
 			}
 		}()
 	}
 	go func() {
-		for _, rel := range s.files {
+		for _, rel := range s.dispatchOrder() {
 			next <- rel
 		}
 		close(next)
@@ -452,7 +493,46 @@ func (s *Source) parseFile(rel string, arena *pcapio.Arena) fileResult {
 		return res
 	}
 	rd.SetArena(arena)
+	s.decodeCapture(&res, rel, rd)
+	return res
+}
 
+// parseFileMapped is parseFile over a memory-mapped (or, where mapping
+// is unavailable, whole-file) read: records and packet payloads alias
+// the backing store zero-copy. The returned release function unmaps it
+// and must not be called until every decoded experiment has been fully
+// consumed; a nil release accompanies an unreadable file.
+func (s *Source) parseFileMapped(rel string) (fileResult, func()) {
+	var res fileResult
+	res.report.Files = 1
+
+	f, err := pcapio.OpenFile(filepath.Join(s.root, rel))
+	if err != nil {
+		res.report.Skips.BadFiles++
+		return res, nil
+	}
+	mappedBytes := s.metrics.Gauge("ingest_mmap_mapped_bytes")
+	if f.Mapped() {
+		s.metrics.Counter("ingest_mmap_files_total").Inc()
+		s.metrics.Counter("ingest_mmap_bytes_total").Add(f.Size())
+		mappedBytes.Add(float64(f.Size()))
+	}
+	s.decodeCapture(&res, rel, f.Reader)
+	size, mapped := f.Size(), f.Mapped()
+	release := func() {
+		if mapped {
+			mappedBytes.Add(-float64(size))
+		}
+		f.Close()
+	}
+	return res, release
+}
+
+// decodeCapture runs the shared decode-identify-slice body of a parse:
+// it drains rd into packets, then windows them by the sidecar labels.
+// It is deterministic in rel and the file bytes alone — the property
+// streaming replay and fold merging both rest on.
+func (s *Source) decodeCapture(res *fileResult, rel string, rd *pcapio.Reader) {
 	var pkts []*netx.Packet
 	for {
 		rec, err := rd.Next()
@@ -485,19 +565,19 @@ func (s *Source) parseFile(rel string, arena *pcapio.Arena) fileResult {
 	if len(labels) == 0 {
 		// A capture without experiment windows contributes nothing.
 		res.report.Skips.UnlabeledPackets += len(pkts)
-		return res
+		return
 	}
 	sort.Slice(labels, func(i, j int) bool { return labels[i].Start.Before(labels[j].Start) })
 
 	inst := s.identify(rel, pkts)
 	if inst == nil {
 		res.report.Skips.UnknownDevice++
-		return res
+		return
 	}
 	pos, ok := s.slots[inst.ID()]
 	if !ok {
 		res.report.Skips.UnknownDevice++
-		return res
+		return
 	}
 
 	dir, file := filepath.Split(rel)
@@ -536,7 +616,6 @@ func (s *Source) parseFile(rel string, arena *pcapio.Arena) fileResult {
 			res.report.Skips.UnlabeledPackets++
 		}
 	}
-	return res
 }
 
 // readLabels loads the sidecar next to a pcap; a missing or unreadable

@@ -2,9 +2,11 @@ package ingest_test
 
 import (
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	intliot "github.com/neu-sns/intl-iot-go"
+	"github.com/neu-sns/intl-iot-go/internal/experiments"
 	"github.com/neu-sns/intl-iot-go/internal/ingest"
 	"github.com/neu-sns/intl-iot-go/internal/testbed"
 )
@@ -68,11 +70,63 @@ func TestStreamingMemoryHighWater(t *testing.T) {
 		return max
 	}
 
-	buffered := peak(ingest.Options{})
-	streamed := peak(ingest.Options{Stream: true, Window: 8})
-	t.Logf("peak heap: buffered=%d streamed=%d (%.0f%%)",
-		buffered, streamed, 100*float64(streamed)/float64(buffered))
-	if streamed >= buffered {
-		t.Errorf("streaming peak heap %d B is not below buffered %d B", streamed, buffered)
+	// The single-decode fold pass has no replay window, but its residency
+	// bound is the same shape: only files mid-decode plus the (small)
+	// fold accumulators are live, never the whole campaign. Sample inside
+	// Fold, where in-flight decode memory is at its fullest.
+	peakFold := func() uint64 {
+		src, err := ingest.Open(dir, ingest.Options{Stream: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &samplingFoldSink{}
+		src.RunSingleDecode(s)
+		if s.folds.Load() == 0 {
+			t.Fatal("no experiments folded")
+		}
+		return s.max.Load()
 	}
+
+	buffered := peak(ingest.Options{})
+	streamed := peak(ingest.Options{Stream: true, TwoPass: true, Window: 8})
+	folded := peakFold()
+	t.Logf("peak heap: buffered=%d two-pass=%d single-decode=%d (%.0f%% / %.0f%%)",
+		buffered, streamed, folded,
+		100*float64(streamed)/float64(buffered), 100*float64(folded)/float64(buffered))
+	if streamed >= buffered {
+		t.Errorf("two-pass streaming peak heap %d B is not below buffered %d B", streamed, buffered)
+	}
+	if folded >= buffered {
+		t.Errorf("single-decode peak heap %d B is not below buffered %d B", folded, buffered)
+	}
+}
+
+// samplingFoldSink absorbs folded experiments while sampling the heap
+// the same way the visitor above does; fields are atomics because fold
+// units run on concurrent decode workers.
+type samplingFoldSink struct {
+	folds atomic.Uint64
+	max   atomic.Uint64
+}
+
+func (s *samplingFoldSink) NewFoldUnit(bool) experiments.FoldUnit    { return (*samplingFoldUnit)(s) }
+func (s *samplingFoldSink) MergeFoldUnit(bool, experiments.FoldUnit) {}
+
+type samplingFoldUnit samplingFoldSink
+
+func (u *samplingFoldUnit) Fold(exp *testbed.Experiment) {
+	s := (*samplingFoldSink)(u)
+	n := s.folds.Add(1)
+	if n == 1 || n%16 == 0 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		for {
+			cur := s.max.Load()
+			if ms.HeapAlloc <= cur || s.max.CompareAndSwap(cur, ms.HeapAlloc) {
+				break
+			}
+		}
+	}
+	exp.Done()
 }

@@ -1,0 +1,117 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/obs"
+	"github.com/neu-sns/intl-iot-go/internal/pcapio"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// stallFixture builds two header-only captures for one device, each
+// labelled with a vpn=0 and a vpn=1 power window. The sorted controlled
+// leg therefore interleaves the files — f0.vpn0, f1.vpn0, f0.vpn1,
+// f1.vpn1 — which is exactly the shape that forces the reorder window
+// to overshoot when it is too small to hold a whole file's entries.
+func stallFixture(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	devDir := filepath.Join(root, "controlled", "us", "amcrest-cam")
+	if err := os.MkdirAll(devDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	base := testbed.StudyEpoch
+	mk := func(start time.Time, vpn string) pcapio.Label {
+		return pcapio.Label{
+			Start: start, End: start.Add(time.Minute),
+			Experiment: string(testbed.KindPower), Activity: "power",
+			Tags: map[string]string{"vpn": vpn},
+		}
+	}
+	for n := 0; n < 2; n++ {
+		f, err := os.Create(filepath.Join(devDir, "00000"+string(rune('0'+n))+".pcap"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pw, err := pcapio.NewWriter(f, pcapio.WriterOptions{Nanosecond: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		writeLabels(t, filepath.Join(devDir, "00000"+string(rune('0'+n))+".labels"),
+			[]pcapio.Label{mk(base, "0"), mk(base.Add(2*time.Minute), "1")})
+	}
+	return root
+}
+
+// runStallFixture replays the fixture's controlled leg through the
+// two-pass streaming path and returns the metrics registry; done is
+// invoked per delivered experiment (nil means just count).
+func runStallFixture(t *testing.T, root string, window int, release bool) (*obs.Registry, int) {
+	t.Helper()
+	src, err := Open(root, Options{Stream: true, TwoPass: true, Window: window, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	src.SetObs(reg)
+	delivered := 0
+	stats := src.RunControlled(func(exp *testbed.Experiment) {
+		delivered++
+		if release {
+			exp.Done()
+		}
+	})
+	if stats.Experiments != delivered {
+		t.Fatalf("stats counted %d experiments, visitor saw %d", stats.Experiments, delivered)
+	}
+	return reg, delivered
+}
+
+// The window-stall counter must be exact, not approximate: with a
+// window of one and one worker, the interleaved fixture forces exactly
+// one soft-bound overshoot (the second file must decode while f0's
+// vpn=1 entry already fills the window); with a roomy window there is
+// none. One worker and unbuffered channels make the replay's
+// dispatch/deliver alternation fully deterministic, so these are
+// equalities, not bounds.
+func TestStreamStallAccountingExact(t *testing.T) {
+	root := stallFixture(t)
+
+	reg, delivered := runStallFixture(t, root, 1, false)
+	if delivered != 4 {
+		t.Fatalf("delivered %d controlled experiments, want 4", delivered)
+	}
+	if got := reg.Counter("ingest_window_stalls_total").Value(); got != 1 {
+		t.Errorf("window=1: stalls = %d, want exactly 1", got)
+	}
+
+	reg, _ = runStallFixture(t, root, 8, false)
+	if got := reg.Counter("ingest_window_stalls_total").Value(); got != 0 {
+		t.Errorf("window=8: stalls = %d, want 0", got)
+	}
+}
+
+// Replay workers must recycle their per-file arenas once the visitor
+// releases every experiment of the file — the counter equals the number
+// of files the leg decoded. A visitor that never calls Done leaves the
+// arenas to the garbage collector instead, and the counter stays put.
+func TestStreamReplayRecyclesArenas(t *testing.T) {
+	root := stallFixture(t)
+
+	reg, _ := runStallFixture(t, root, 8, true)
+	if got := reg.Counter("ingest_arena_files_recycled_total").Value(); got != 2 {
+		t.Errorf("recycled arenas = %d, want 2 (one per decoded file)", got)
+	}
+
+	reg, _ = runStallFixture(t, root, 8, false)
+	if got := reg.Counter("ingest_arena_files_recycled_total").Value(); got != 0 {
+		t.Errorf("recycled arenas without Done = %d, want 0", got)
+	}
+}

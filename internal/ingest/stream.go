@@ -5,15 +5,20 @@ package ingest
 //
 // Buffered mode decodes every file and holds the whole campaign before
 // the first experiment is delivered, so peak memory is O(campaign).
-// Streaming mode splits the work in two passes:
+// Streaming has two shapes. The default, when the consumer can fold
+// (see fold.go and analysis/fold.go), decodes every file exactly once
+// and absorbs experiments into per-run accumulators as they decode.
+// This file implements the legacy two-pass shape — still used when
+// Options.TwoPass is set, when the consumer drives RunControlled and
+// RunIdle directly, or when a pipeline hook needs serial delivery:
 //
 //  1. Index pass (buildIndex, via parsePass with strip=true): decode
 //     every file once with the usual bounded worker pool, but keep only
 //     each experiment's replay key and kind — a few dozen bytes per
-//     experiment instead of its packets. Payloads come out of a
-//     per-worker arena that is recycled after every file, so the pass
-//     holds at most workers× one file's packets. The ingestion Report
-//     and ingest_* metrics are accumulated here, once.
+//     experiment instead of its packets. Files are read through
+//     memory mappings and dropped after indexing, so the pass holds at
+//     most workers× one file's bytes. The ingestion Report and
+//     ingest_* metrics are accumulated here, once.
 //
 //  2. Replay pass (streamReplay, once per Run* leg): walk the sorted leg
 //     index and re-decode files on demand, dispatching them to the same
@@ -22,7 +27,9 @@ package ingest
 //     Because parseFile is deterministic in the file path alone, the
 //     re-parse recovers byte-identical experiments with byte-identical
 //     keys, so delivery order — and every downstream table — matches
-//     buffered mode exactly.
+//     buffered mode exactly. Payloads come from pooled per-file arenas
+//     recycled when the visitor releases the file's last experiment
+//     (testbed.Experiment.Done).
 //
 // The window is a soft bound chosen for progress, not a hard cap:
 // dispatch is gated while the window is full, but when nothing is in
@@ -33,16 +40,19 @@ package ingest
 // a file that is delivered, in flight, or at the head of the schedule —
 // so the replay can never deadlock.
 //
-// The price of O(window) memory is decoding every file twice (index +
-// replay legs); the EXPERIMENTS.md "Streaming ingestion" section
-// quantifies both sides of that trade.
+// The price of O(window) memory here is decoding every file twice
+// (index + replay legs) — the 2× decode tax single-decode folding
+// erases; the EXPERIMENTS.md "Streaming ingestion" section quantifies
+// all three modes.
 
 import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/neu-sns/intl-iot-go/internal/experiments"
+	"github.com/neu-sns/intl-iot-go/internal/pcapio"
 	"github.com/neu-sns/intl-iot-go/internal/testbed"
 )
 
@@ -119,7 +129,9 @@ func (s *Source) streamReplay(leg []streamEntry, keep func(testbed.ExperimentKin
 		highWater = s.metrics.Gauge("ingest_window_high_water")
 		byteWater = s.metrics.Gauge("ingest_pending_bytes_high_water")
 		stalls    = s.metrics.Counter("ingest_window_stalls_total")
+		recycled  = s.metrics.Counter("ingest_arena_files_recycled_total")
 	)
+	s.metrics.Counter("ingest_decode_passes_total").Inc()
 	// High-water marks persist across legs: start from the registry's
 	// current value so the idle leg can only raise what the controlled
 	// leg recorded.
@@ -134,11 +146,37 @@ func (s *Source) streamReplay(leg []streamEntry, keep func(testbed.ExperimentKin
 		go func() {
 			defer wg.Done()
 			for rel := range next {
-				res := s.parseFile(rel, nil)
+				arena, _ := s.arenas.Get().(*pcapio.Arena)
+				if arena == nil {
+					arena = pcapio.NewArena()
+				}
+				res := s.parseFile(rel, arena)
 				kept := res.entries[:0]
 				for _, e := range res.entries {
 					if keep(e.exp.Kind) {
 						kept = append(kept, e)
+					}
+				}
+				// The file's payloads alias the arena; recycle it once every
+				// kept experiment has been released by its visitor. Dropped
+				// entries (the other leg's windows) are never delivered, so
+				// they hold no claim. If a consumer never calls Done, the
+				// arena simply stays out of the pool and falls to the GC.
+				if len(kept) == 0 {
+					arena.Reset()
+					s.arenas.Put(arena)
+					recycled.Inc()
+				} else {
+					refs := int64(len(kept))
+					release := func() {
+						if atomic.AddInt64(&refs, -1) == 0 {
+							arena.Reset()
+							s.arenas.Put(arena)
+							recycled.Inc()
+						}
+					}
+					for _, e := range kept {
+						e.exp.Release = release
 					}
 				}
 				results <- kept

@@ -188,6 +188,87 @@ func AssembleFlows(pkts []*Packet) []*Flow {
 	return t.Flows()
 }
 
+// FlowScratch assembles flows like AssembleFlows but recycles the table,
+// the Flow structs and their packet slices across calls, so a collector
+// visiting thousands of experiments allocates flow state only while its
+// biggest experiment is still growing the pool. The returned slice and
+// every Flow in it are invalidated by the next Assemble; callers must
+// copy anything they keep (the analysis collectors retain only strings
+// and counters). Not safe for concurrent use — one scratch per goroutine.
+type FlowScratch struct {
+	flows map[FlowKey]*Flow
+	order []*Flow
+	pool  []*Flow
+	used  int
+}
+
+// Assemble routes pkts into bidirectional flows, returned in first-seen
+// order. See the type doc for the reuse contract.
+func (s *FlowScratch) Assemble(pkts []*Packet) []*Flow {
+	if s.flows == nil {
+		s.flows = make(map[FlowKey]*Flow)
+	} else {
+		clear(s.flows)
+	}
+	s.order = s.order[:0]
+	s.used = 0
+	for _, p := range pkts {
+		s.add(p)
+	}
+	return s.order
+}
+
+// next hands out a recycled (or pool-grown) zeroed Flow keeping its
+// packet slice capacity.
+func (s *FlowScratch) next() *Flow {
+	if s.used == len(s.pool) {
+		s.pool = append(s.pool, new(Flow))
+	}
+	f := s.pool[s.used]
+	s.used++
+	pkts := f.Packets[:0]
+	*f = Flow{Packets: pkts}
+	return f
+}
+
+// add mirrors FlowTable.Add over the recycled pool.
+func (s *FlowScratch) add(p *Packet) {
+	src, ok := p.NetworkSrc()
+	if !ok {
+		return // ARP and friends are not flows
+	}
+	dst, _ := p.NetworkDst()
+	sp, dp, proto, hasPorts := p.TransportPorts()
+	if !hasPorts {
+		if p.IPv4 != nil {
+			proto = p.IPv4.Protocol
+		} else if p.IPv6 != nil {
+			proto = p.IPv6.NextHeader
+		}
+	}
+	se := Endpoint{Addr: src, Port: sp}
+	de := Endpoint{Addr: dst, Port: dp}
+	key := NewFlowKey(se, de, proto)
+	f := s.flows[key]
+	if f == nil {
+		f = s.next()
+		f.Key, f.Initiator, f.Responder, f.FirstSeen = key, se, de, p.Meta.Timestamp
+		s.flows[key] = f
+		s.order = append(s.order, f)
+	}
+	f.Packets = append(f.Packets, p)
+	f.LastSeen = p.Meta.Timestamp
+	if se == f.Initiator {
+		f.BytesUp += len(p.Payload)
+		f.WireBytesUp += p.Meta.Length
+		f.PacketsUp++
+	} else {
+		f.BytesDown += len(p.Payload)
+		f.WireBytesDown += p.Meta.Length
+		f.PacketsDown++
+	}
+}
+
 // SortPacketsByTime orders packets by capture timestamp (stable).
 func SortPacketsByTime(pkts []*Packet) {
 	sort.SliceStable(pkts, func(i, j int) bool {

@@ -11,7 +11,11 @@
 // chunks that bypass the bufio copy entirely. The read path pairs with
 // Arena, a recyclable payload allocator that makes repeated
 // decode-and-discard loops (the streaming ingest's index pass)
-// allocation-free at steady state.
+// allocation-free at steady state. For the single-decode ingest path,
+// OpenFile memory-maps a capture (with an os.ReadFile fallback on
+// platforms without mmap) and NewReaderBytes decodes records zero-copy
+// straight off the mapping — record slices are capacity-capped so an
+// append can never write into the read-only backing store.
 //
 // The package also implements the label sidecar files the testbed uses to
 // mark which experiment produced a window of traffic (§3.2 of the paper).

@@ -1,0 +1,60 @@
+package pcapio
+
+// File is an in-memory capture opened by OpenFile: a bytes-mode Reader
+// over the whole file, backed by a read-only memory mapping where the
+// platform provides one and by a plain os.ReadFile otherwise. Records
+// alias the backing store, so Close must not be called until every
+// record read from the File has been consumed or copied.
+type File struct {
+	*Reader
+	data   []byte
+	mapped bool
+	closed bool
+}
+
+// disableMmap forces OpenFile onto the portable read path; tests flip it
+// to cover the fallback on platforms where mapping normally succeeds.
+var disableMmap = false
+
+// OpenFile maps (or reads) the named capture and returns a zero-copy
+// Reader over it. The error behaviour matches NewReader over an opened
+// file: unreadable paths fail with the I/O error, non-pcap content with
+// ErrBadMagic.
+func OpenFile(path string) (*File, error) {
+	data, mapped, err := readOrMap(path)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := NewReaderBytes(data)
+	if err != nil {
+		if mapped {
+			unmap(data)
+		}
+		return nil, err
+	}
+	return &File{Reader: rd, data: data, mapped: mapped}, nil
+}
+
+// Mapped reports whether the file is served by a memory mapping rather
+// than a heap copy.
+func (f *File) Mapped() bool { return f.mapped }
+
+// Size is the capture's length in bytes.
+func (f *File) Size() int64 { return int64(len(f.data)) }
+
+// Close releases the backing store. Every Record read from the File is
+// invalidated. Close is idempotent; a nil error is returned for the
+// read-fallback path, which has nothing to release.
+func (f *File) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	f.buf = nil
+	data := f.data
+	f.data = nil
+	if f.mapped {
+		return unmap(data)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package pcapio
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeFixture puts a two-record capture on disk and returns its path
+// and raw bytes.
+func writeFixture(t *testing.T) (string, []byte) {
+	t.Helper()
+	data := fuzzSeed(t, true)
+	path := filepath.Join(t.TempDir(), "fixture.pcap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+// drain reads every record.
+func drain(t *testing.T, rd *Reader) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// OpenFile must decode identically over the mapping and over the
+// portable read fallback, and Close must be idempotent.
+func TestOpenFileBothBackends(t *testing.T) {
+	path, data := writeFixture(t)
+	for _, disable := range []bool{false, true} {
+		disableMmap = disable
+		f, err := OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if disable && f.Mapped() {
+			t.Error("disableMmap did not force the read fallback")
+		}
+		if f.Size() != int64(len(data)) {
+			t.Errorf("Size = %d, want %d", f.Size(), len(data))
+		}
+		recs := drain(t, f.Reader)
+		if len(recs) != 2 {
+			t.Fatalf("decoded %d records, want 2", len(recs))
+		}
+		want := drain(t, mustReader(t, data))
+		for i := range recs {
+			if !recs[i].Time.Equal(want[i].Time) || !bytes.Equal(recs[i].Data, want[i].Data) {
+				t.Errorf("mapped=%v record %d differs from streamed decode", f.Mapped(), i)
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			t.Errorf("second Close: %v", err)
+		}
+	}
+	disableMmap = false
+
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "absent.pcap")); err == nil {
+		t.Error("OpenFile accepted a missing path")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.pcap")
+	if err := os.WriteFile(bad, []byte("not a pcap at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad); err == nil {
+		t.Error("OpenFile accepted a non-pcap file")
+	}
+}
+
+func mustReader(t *testing.T, data []byte) *Reader {
+	t.Helper()
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rd
+}
+
+// Bytes-mode records must be append-safe: growing a record's Data slice
+// can never scribble over the next record (the backing store may be a
+// read-only mapping, where an in-place append would fault outright).
+func TestReaderBytesRecordsAppendSafe(t *testing.T) {
+	_, data := writeFixture(t)
+	rd, err := NewReaderBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(rec.Data) != len(rec.Data) {
+		t.Fatalf("record capacity %d exceeds length %d; append would write into the backing store",
+			cap(rec.Data), len(rec.Data))
+	}
+	snapshot := append([]byte(nil), data...)
+	_ = append(rec.Data, 0xFF)
+	if !bytes.Equal(data, snapshot) {
+		t.Fatal("append through a record mutated the backing store")
+	}
+}
+
+// The zero-copy reader's whole point is allocation-free decoding: the
+// regression floor is ~zero allocations per record (the testing harness
+// itself costs a fraction). A per-record allocation creeping in would
+// cancel the mmap ingestion win.
+func TestReaderBytesAllocsPerRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WriterOptions{Nanosecond: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	payload := bytes.Repeat([]byte{0x55}, 128)
+	const records = 512
+	for i := 0; i < records; i++ {
+		if err := w.WritePacket(ts.Add(time.Duration(i)*time.Millisecond), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rd, err := NewReaderBytes(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if _, err := rd.Next(); err != nil {
+					break
+				}
+			}
+		}
+	})
+	// One Reader allocation per iteration over 512 records; anything
+	// above a handful means Next started allocating per record.
+	if allocs := res.AllocsPerOp(); allocs > 8 {
+		t.Errorf("decoding %d records cost %d allocations per pass, want <= 8", records, allocs)
+	}
+}

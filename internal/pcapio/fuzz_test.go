@@ -72,20 +72,45 @@ func FuzzReader(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
+		br, berr := NewReaderBytes(data)
 		if err != nil {
+			// The zero-copy reader must reject exactly what the streaming
+			// reader rejects.
+			if berr == nil {
+				t.Fatalf("NewReaderBytes accepted a header NewReader rejected: %v", err)
+			}
 			return
+		}
+		if berr != nil {
+			t.Fatalf("NewReaderBytes rejected a header NewReader accepted: %v", berr)
 		}
 		for {
 			rec, err := r.Next()
+			brec, berr := br.Next()
 			if err != nil {
 				var trunc *ErrTruncated
 				if errors.Is(err, io.EOF) || errors.As(err, &trunc) {
+					// Terminal condition classes must agree between readers.
+					var btrunc *ErrTruncated
+					if !errors.Is(berr, io.EOF) && !errors.As(berr, &btrunc) {
+						t.Fatalf("reader ended with %v, bytes reader with %v", err, berr)
+					}
 					return
 				}
 				if !strings.HasPrefix(err.Error(), "pcapio:") {
 					t.Fatalf("unexpected error shape: %v", err)
 				}
+				if berr == nil {
+					t.Fatalf("reader failed with %v, bytes reader kept going", err)
+				}
 				return
+			}
+			if berr != nil {
+				t.Fatalf("reader decoded a record the bytes reader rejected: %v", berr)
+			}
+			if !rec.Time.Equal(brec.Time) || rec.OrigLen != brec.OrigLen || !bytes.Equal(rec.Data, brec.Data) {
+				t.Fatalf("record mismatch: stream %v/%d/%x, bytes %v/%d/%x",
+					rec.Time, rec.OrigLen, rec.Data, brec.Time, brec.OrigLen, brec.Data)
 			}
 			if len(rec.Data) > MaxSnapLen+packetHeaderLen+65536 {
 				t.Fatalf("oversized record slipped through: %d bytes", len(rec.Data))

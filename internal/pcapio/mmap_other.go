@@ -1,0 +1,14 @@
+//go:build !linux && !darwin
+
+package pcapio
+
+import "os"
+
+// readOrMap on platforms without the mmap fast path reads the whole file;
+// OpenFile's zero-copy record framing still applies to the heap copy.
+func readOrMap(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	return data, false, err
+}
+
+func unmap(data []byte) error { return nil }

@@ -1,0 +1,44 @@
+//go:build linux || darwin
+
+package pcapio
+
+import (
+	"math"
+	"os"
+	"syscall"
+)
+
+// readOrMap returns the file's contents and whether they are served by a
+// read-only MAP_PRIVATE mapping. Anything the mmap path cannot serve —
+// empty files (zero-length mappings are an error), irregular files,
+// mapping failures, the disableMmap test toggle — falls back to
+// os.ReadFile, so callers never observe a behavioural difference beyond
+// the copy.
+func readOrMap(path string) ([]byte, bool, error) {
+	if disableMmap {
+		data, err := os.ReadFile(path)
+		return data, false, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size <= 0 || !st.Mode().IsRegular() || size > math.MaxInt-1 {
+		data, err := os.ReadFile(path)
+		return data, false, err
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		data, err := os.ReadFile(path)
+		return data, false, err
+	}
+	return data, true, nil
+}
+
+func unmap(data []byte) error { return syscall.Munmap(data) }

@@ -264,6 +264,10 @@ type Reader struct {
 	nano     bool
 	snaplen  int
 	linkType uint32
+	// buf, in bytes mode (NewReaderBytes), is the unread tail of the
+	// in-memory capture; records are zero-copy sub-slices of it.
+	buf       []byte
+	bytesMode bool
 	// offset is the byte position of the next unread record header.
 	offset int64
 	// hdr is the per-record header scratch; its bytes are fully decoded
@@ -306,14 +310,8 @@ func (r *Reader) alloc(n int) []byte {
 	return buf
 }
 
-// NewReader parses the file header from r.
-func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReader(r)
-	hdr := make([]byte, fileHeaderLen)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, fmt.Errorf("pcapio: reading file header: %w", err)
-	}
-	rd := &Reader{r: br}
+// parseFileHeader decodes the 24-byte global header into rd.
+func (rd *Reader) parseFileHeader(hdr []byte) error {
 	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
 	magicBE := binary.BigEndian.Uint32(hdr[0:4])
 	switch {
@@ -326,14 +324,47 @@ func NewReader(r io.Reader) (*Reader, error) {
 	case magicBE == MagicNanoseconds:
 		rd.order, rd.nano = binary.BigEndian, true
 	default:
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
 	rd.snaplen = int(rd.order.Uint32(hdr[16:20]))
 	if rd.snaplen > MaxSnapLen {
-		return nil, fmt.Errorf("pcapio: snap length %d exceeds sane cap %d", rd.snaplen, MaxSnapLen)
+		return fmt.Errorf("pcapio: snap length %d exceeds sane cap %d", rd.snaplen, MaxSnapLen)
 	}
 	rd.linkType = rd.order.Uint32(hdr[20:24])
 	rd.offset = fileHeaderLen
+	return nil
+}
+
+// NewReader parses the file header from r.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, fileHeaderLen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("pcapio: reading file header: %w", err)
+	}
+	rd := &Reader{r: br}
+	if err := rd.parseFileHeader(hdr); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+// NewReaderBytes reads a capture already resident in memory — typically
+// a memory-mapped file (OpenFile) — without buffering or copying: every
+// Record's Data is a capacity-capped sub-slice of data. Records are
+// therefore exactly as long-lived (and as mutable) as the backing slice;
+// callers that outlive it must copy what they keep, and a read-only
+// mapping makes the records read-only too. SetArena has no effect in
+// bytes mode.
+func NewReaderBytes(data []byte) (*Reader, error) {
+	if len(data) < fileHeaderLen {
+		return nil, fmt.Errorf("pcapio: reading file header: %w", io.ErrUnexpectedEOF)
+	}
+	rd := &Reader{bytesMode: true}
+	if err := rd.parseFileHeader(data[:fileHeaderLen]); err != nil {
+		return nil, err
+	}
+	rd.buf = data[fileHeaderLen:]
 	return rd, nil
 }
 
@@ -351,6 +382,9 @@ func (r *Reader) Nanosecond() bool { return r.nano }
 // ends inside a record, so callers can count-and-continue past partially
 // written trailing records.
 func (r *Reader) Next() (Record, error) {
+	if r.bytesMode {
+		return r.nextBytes()
+	}
 	start := r.offset
 	hdr := r.hdr[:]
 	if n, err := io.ReadFull(r.r, hdr); err != nil {
@@ -387,6 +421,49 @@ func (r *Reader) Next() (Record, error) {
 		return Record{}, fmt.Errorf("pcapio: reading packet body: %w", err)
 	}
 	r.offset += int64(capLen)
+	var ts time.Time
+	if r.nano {
+		ts = time.Unix(sec, sub).UTC()
+	} else {
+		ts = time.Unix(sec, sub*1000).UTC()
+	}
+	return Record{Time: ts, Data: data, OrigLen: origLen}, nil
+}
+
+// nextBytes is Next for in-memory captures: record framing by slicing,
+// record payloads by aliasing. No per-record allocation, no copy.
+func (r *Reader) nextBytes() (Record, error) {
+	start := r.offset
+	if len(r.buf) == 0 {
+		return Record{}, io.EOF
+	}
+	if len(r.buf) < packetHeaderLen {
+		r.offset += int64(len(r.buf))
+		r.buf = nil
+		return Record{}, &ErrTruncated{Offset: start}
+	}
+	hdr := r.buf[:packetHeaderLen]
+	sec := int64(r.order.Uint32(hdr[0:4]))
+	sub := int64(r.order.Uint32(hdr[4:8]))
+	capLen := int(r.order.Uint32(hdr[8:12]))
+	origLen := int(r.order.Uint32(hdr[12:16]))
+	bound := r.snaplen
+	if bound <= 0 {
+		bound = DefaultSnapLen
+	}
+	if capLen < 0 || capLen > bound+packetHeaderLen+65536 {
+		return Record{}, fmt.Errorf("pcapio: implausible capture length %d", capLen)
+	}
+	if len(r.buf) < packetHeaderLen+capLen {
+		r.offset += int64(len(r.buf))
+		r.buf = nil
+		return Record{}, &ErrTruncated{Offset: start}
+	}
+	// Capacity-capped so growing a retained record reallocates instead of
+	// scribbling on (or faulting in, for read-only mappings) its neighbour.
+	data := r.buf[packetHeaderLen : packetHeaderLen+capLen : packetHeaderLen+capLen]
+	r.buf = r.buf[packetHeaderLen+capLen:]
+	r.offset += int64(packetHeaderLen + capLen)
 	var ts time.Time
 	if r.nano {
 		ts = time.Unix(sec, sub).UTC()

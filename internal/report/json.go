@@ -73,7 +73,8 @@ func (t *Table) RenderJSON(w io.Writer) error {
 }
 
 // Document is an ordered collection of tables keyed by the CLI's table
-// names ("headline", "1".."11", "fig2", "pii", "unexpected"). It is the
+// names ("headline", "1".."11", "fig2", "enc-metrics", "pii",
+// "unexpected"). It is the
 // unit the moniotrd API serves and cmd/moniotr -json prints; both call
 // RenderJSON on the same value, so the daemon's report bytes are
 // identical to the CLI's for the same campaign.

@@ -1,0 +1,49 @@
+package reshape
+
+import (
+	"sync/atomic"
+
+	"github.com/neu-sns/intl-iot-go/internal/experiments"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// foldSink decorates a consumer's FoldSink so every experiment is
+// reshaped before the inner unit folds it — the single-decode analogue
+// of Source.run's per-delivery Transform. Units are goroutine-confined
+// (fold contract), so only the stats deltas need atomics.
+type foldSink struct {
+	inner experiments.FoldSink
+	eng   *Engine
+
+	ctlPkts, ctlBytes   atomic.Int64
+	idlePkts, idleBytes atomic.Int64
+}
+
+func (s *foldSink) NewFoldUnit(controlled bool) experiments.FoldUnit {
+	return &foldUnit{sink: s, controlled: controlled, inner: s.inner.NewFoldUnit(controlled)}
+}
+
+func (s *foldSink) MergeFoldUnit(controlled bool, unit experiments.FoldUnit) {
+	s.inner.MergeFoldUnit(controlled, unit.(*foldUnit).inner)
+}
+
+type foldUnit struct {
+	sink       *foldSink
+	controlled bool
+	inner      experiments.FoldUnit
+}
+
+func (u *foldUnit) Fold(exp *testbed.Experiment) {
+	p0, b0 := int64(len(exp.Packets)), int64(exp.Bytes())
+	u.sink.eng.Transform(exp)
+	dPkts := int64(len(exp.Packets)) - p0
+	dBytes := int64(exp.Bytes()) - b0
+	if u.controlled {
+		u.sink.ctlPkts.Add(dPkts)
+		u.sink.ctlBytes.Add(dBytes)
+	} else {
+		u.sink.idlePkts.Add(dPkts)
+		u.sink.idleBytes.Add(dBytes)
+	}
+	u.inner.Fold(exp)
+}

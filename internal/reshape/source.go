@@ -86,3 +86,38 @@ func (s *Source) run(leg func(experiments.Visitor) experiments.Stats, visit expe
 	stats.Bytes += dBytes
 	return stats
 }
+
+// singleDecoder is the optional fold-capable slice of an inner source
+// (internal/ingest in streaming mode), declared locally like Stream.
+type singleDecoder interface {
+	SingleDecode() bool
+	RunSingleDecode(experiments.FoldSink) (ctl, idle experiments.Stats)
+}
+
+// SingleDecode reports whether the inner source can fold the campaign
+// in its decode pass; the defended wrapper preserves the capability by
+// reshaping inside the fold (see RunSingleDecode).
+func (s *Source) SingleDecode() bool {
+	sd, ok := s.inner.(singleDecoder)
+	return ok && sd.SingleDecode()
+}
+
+// RunSingleDecode folds the defended campaign: every experiment is
+// reshaped on its decode worker before the sink's unit sees it. The
+// engine is a pure function of (config, experiment) and safe for
+// concurrent use, so folding workers transform independently; the
+// wire-view deltas accumulate atomically and adjust the returned
+// statistics exactly as the serial wrapper does.
+func (s *Source) RunSingleDecode(sink experiments.FoldSink) (ctl, idle experiments.Stats) {
+	sd, ok := s.inner.(singleDecoder)
+	if !ok {
+		return ctl, idle
+	}
+	fs := &foldSink{inner: sink, eng: s.eng}
+	ctl, idle = sd.RunSingleDecode(fs)
+	ctl.Packets += fs.ctlPkts.Load()
+	ctl.Bytes += fs.ctlBytes.Load()
+	idle.Packets += fs.idlePkts.Load()
+	idle.Bytes += fs.idleBytes.Load()
+	return ctl, idle
+}

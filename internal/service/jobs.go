@@ -35,9 +35,11 @@ type JobSpec struct {
 	// handler sets it so spooled archives don't accumulate.
 	RemoveDir bool `json:"-"`
 	// Stream and Window select bounded-memory streaming ingestion
-	// (ingest.Options); uploads default to streaming.
-	Stream bool `json:"stream,omitempty"`
-	Window int  `json:"window,omitempty"`
+	// (ingest.Options); uploads default to streaming. TwoPass forces the
+	// legacy index+replay shape instead of the single-decode fold pass.
+	Stream  bool `json:"stream,omitempty"`
+	Window  int  `json:"window,omitempty"`
+	TwoPass bool `json:"two_pass,omitempty"`
 	// Strict fails an ingest job whose report skipped anything.
 	Strict bool `json:"strict,omitempty"`
 	// FaultProfile/FaultSeed run a synthesis campaign over an impaired
@@ -500,7 +502,11 @@ func (m *Manager) runStudy(ctx context.Context, job *Job) error {
 			defer os.RemoveAll(spec.CaptureDir)
 		}
 		var err error
-		src, err = ingest.Open(spec.CaptureDir, ingest.Options{Stream: spec.Stream, Window: spec.Window})
+		src, err = ingest.Open(spec.CaptureDir, ingest.Options{
+			Stream:  spec.Stream,
+			Window:  spec.Window,
+			TwoPass: spec.TwoPass,
+		})
 		if err != nil {
 			return err
 		}

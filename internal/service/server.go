@@ -287,8 +287,9 @@ func (s *Server) lookup(w http.ResponseWriter, req *http.Request) (*Job, bool) {
 // (as written by `moniotr -export-captures`; `tar -cf - -C dir .`),
 // spools it under DataDir, and queues a streaming-ingest job over it.
 // Query parameters: stream=0 buffers instead, window=N sets the reorder
-// window, strict=1 fails the job if anything is skipped, workers=N
-// bounds analysis parallelism.
+// window, two_pass=1 forces the legacy index+replay streaming shape
+// (default is the single-decode fold pass), strict=1 fails the job if
+// anything is skipped, workers=N bounds analysis parallelism.
 func (s *Server) handleUpload(w http.ResponseWriter, req *http.Request) {
 	if s.cfg.Manager == nil {
 		writeError(w, http.StatusServiceUnavailable, "no job manager")
@@ -299,6 +300,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, req *http.Request) {
 		Origin:    "upload",
 		RemoveDir: true,
 		Stream:    q.Get("stream") != "0",
+		TwoPass:   q.Get("two_pass") == "1",
 		Strict:    q.Get("strict") == "1",
 	}
 	var err error

@@ -239,6 +239,21 @@ type Experiment struct {
 	// IdleEvents is the generator's ground truth for idle/uncontrolled
 	// windows: which activity-like emissions actually happened.
 	IdleEvents []devices.IdleEvent
+	// Release, when non-nil, returns the memory backing Packets to its
+	// owner (streaming ingest recycles decode arenas this way). The final
+	// consumer calls Done exactly once after its last touch of Packets or
+	// their payloads; never calling it is safe — the backing memory is
+	// simply left to the garbage collector.
+	Release func()
+}
+
+// Done invokes and clears Release; see that field. Safe on experiments
+// without one.
+func (e *Experiment) Done() {
+	if r := e.Release; r != nil {
+		e.Release = nil
+		r()
+	}
 }
 
 // Bytes is the total captured wire volume.

@@ -236,6 +236,10 @@ func (s *Study) Table7(names []string) *Table { return report.Table7(s.pipeline.
 // Table8 renders encryption class shares by experiment type.
 func (s *Study) Table8() *Table { return report.Table8(s.pipeline.Enc) }
 
+// EncMetricsReport renders the entropy metric family means (Shannon,
+// Rényi α∈{0.5,2}, Tsallis q=2) per encryption class and column.
+func (s *Study) EncMetricsReport() *Table { return report.EncMetrics(s.pipeline.Enc) }
+
 // Table9 renders inferrable devices by category.
 func (s *Study) Table9() *Table { return report.Table9(s.pipeline.Inference) }
 
@@ -258,8 +262,9 @@ type Document = report.Document
 
 // ReportDocument builds the canonical report: every table of the
 // evaluation in the CLI's order, keyed by the CLI's table names
-// ("headline", "1".."11", "fig2", "pii", and — when RunUncontrolled has
-// completed — "unexpected"). cmd/moniotr -json and the moniotrd report
+// ("headline", "1".."11", "fig2", "enc-metrics", "pii", and — when
+// RunUncontrolled has completed — "unexpected"). cmd/moniotr -json and
+// the moniotrd report
 // API both serve exactly this document, so the two render byte-identical
 // JSON for the same campaign.
 func (s *Study) ReportDocument() *Document {
@@ -274,6 +279,7 @@ func (s *Study) ReportDocument() *Document {
 	d.Add("6", s.Table6())
 	d.Add("7", s.Table7(nil))
 	d.Add("8", s.Table8())
+	d.Add("enc-metrics", s.EncMetricsReport())
 	d.Add("9", s.Table9())
 	d.Add("10", s.Table10())
 	d.Add("11", s.Table11(3))

@@ -26,7 +26,7 @@ func TestReportTextAndJSONAgree(t *testing.T) {
 	s.Run()
 
 	doc := s.ReportDocument()
-	if len(doc.Entries) != 14 { // headline, 1-11, fig2, pii (no uncontrolled)
+	if len(doc.Entries) != 15 { // headline, 1-11, fig2, enc-metrics, pii (no uncontrolled)
 		t.Fatalf("document has %d entries", len(doc.Entries))
 	}
 	for _, e := range doc.Entries {

@@ -36,28 +36,62 @@ func TestStreamingIngestByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	run := func(opts ingest.Options) (string, ingest.Report) {
+	run := func(opts ingest.Options, workers int) (string, ingest.Report, int64) {
 		src, err := ingest.Open(dir, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		s := NewStudyFromSource(src)
 		s.SetInferenceConfig(inferCfg)
+		s.SetAnalysisWorkers(workers)
+		reg := NewMetrics()
+		s.SetObs(reg)
 		s.Run()
-		return renderAll(s), src.Report()
+		return renderAll(s), src.Report(), reg.Counter("ingest_decode_passes_total").Value()
 	}
 
-	buffered, bufRep := run(ingest.Options{})
+	buffered, bufRep, bufPasses := run(ingest.Options{}, 0)
 	if bufRep.Experiments == 0 {
 		t.Fatal("no experiments ingested")
 	}
-	for _, window := range []int{1, 8, 0} { // 0 = DefaultWindow
-		got, rep := run(ingest.Options{Stream: true, Window: window})
+	if bufPasses != 1 {
+		t.Errorf("buffered ingest ran %d decode passes, want 1", bufPasses)
+	}
+
+	// Single-decode streaming (the default): the fold path must engage —
+	// exactly one decode pass — and stay byte-identical for any reorder
+	// window (unused by folding, but must be harmless) and worker count.
+	cases := []struct{ window, workers int }{
+		{1, 1}, {8, 2}, {0, 5}, // 0 = DefaultWindow
+	}
+	for _, tc := range cases {
+		got, rep, passes := run(ingest.Options{Stream: true, Window: tc.window}, tc.workers)
 		if got != buffered {
-			t.Errorf("window=%d: streamed study output differs from buffered ingest", window)
+			t.Errorf("window=%d workers=%d: single-decode study output differs from buffered ingest",
+				tc.window, tc.workers)
 		}
 		if rep != bufRep {
-			t.Errorf("window=%d: streamed report = %+v, buffered = %+v", window, rep, bufRep)
+			t.Errorf("window=%d workers=%d: single-decode report = %+v, buffered = %+v",
+				tc.window, tc.workers, rep, bufRep)
+		}
+		if passes != 1 {
+			t.Errorf("window=%d workers=%d: single-decode ran %d decode passes, want 1",
+				tc.window, tc.workers, passes)
+		}
+	}
+
+	// Legacy two-pass replay stays available behind Options.TwoPass and
+	// identical too; it decodes three times (index + each leg's replay).
+	for _, workers := range []int{1, 5} {
+		got, rep, passes := run(ingest.Options{Stream: true, Window: 8, TwoPass: true}, workers)
+		if got != buffered {
+			t.Errorf("two-pass workers=%d: streamed study output differs from buffered ingest", workers)
+		}
+		if rep != bufRep {
+			t.Errorf("two-pass workers=%d: streamed report = %+v, buffered = %+v", workers, rep, bufRep)
+		}
+		if passes != 3 {
+			t.Errorf("two-pass workers=%d: ran %d decode passes, want 3", workers, passes)
 		}
 	}
 }
