@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet fmt build test race racecore bench perfguard fuzz smoke chaos reshape-smoke serve-smoke
+.PHONY: check vet fmt build test race racecore bench perfguard fuzz smoke datasets-smoke chaos reshape-smoke serve-smoke
 
 # Pre-PR gate: everything here must pass before sending a change.
 # racecore runs first: the packages that juggle goroutines and the fault
 # engine fail fast before the full -race sweep.
-check: vet fmt build racecore race smoke chaos reshape-smoke serve-smoke
+check: vet fmt build racecore race smoke datasets-smoke chaos reshape-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,8 +20,11 @@ build:
 test:
 	$(GO) test ./...
 
+# The root package's byte-identity suites run multi-minute campaigns
+# that the race detector slows ~10x; give the package binary room
+# beyond go test's default 10m timeout.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 40m ./...
 
 # Focused race gate over the concurrency-heavy packages: the impairment
 # engine (consulted from parallel lab goroutines), the shared cloud
@@ -45,7 +48,8 @@ racecore:
 # multi-metric entropy family.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/ml ./internal/analysis \
-		./internal/fleet ./internal/sketch ./internal/reshape ./internal/entropy
+		./internal/fleet ./internal/sketch ./internal/reshape ./internal/entropy \
+		./internal/dataset
 
 # Perf regression gate: single-decode streaming must hold the checked-in
 # fraction of buffered throughput on the tiny export (floor in
@@ -81,6 +85,35 @@ smoke:
 	cmp "$$tmp/direct.out" "$$tmp/streamed.out" && \
 	cmp "$$tmp/direct.out" "$$tmp/twopass.out" && \
 	echo "smoke: export->ingest tables byte-identical (buffered + single-decode + two-pass)"
+
+# Foreign-dataset smoke: export a tiny campaign through every dataset
+# adapter (pcapng containers, 802.1Q trunk pcaps, Linux cooked gateway
+# dumps), ingest each foreign tree back through its adapter under
+# -strict, and require table output byte-identical to the natively
+# exported + ingested campaign. "-dataset auto" must sniff each tree.
+# Finally the cross-dataset transfer matrix must render all three
+# built-in datasets.
+datasets-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o "$$tmp/moniotr" ./cmd/moniotr && \
+	"$$tmp/moniotr" -scale tiny -skip-uncontrolled -export-captures "$$tmp/native" \
+		> "$$tmp/direct.out" 2> "$$tmp/direct.err" && \
+	for a in pcapng vlan-trunk sll-gateway; do \
+		"$$tmp/moniotr" -scale tiny -skip-uncontrolled -dataset "$$a" \
+			-export-captures "$$tmp/$$a" > /dev/null 2> "$$tmp/$$a.exp.err" || exit 1; \
+		"$$tmp/moniotr" -ingest "$$tmp/$$a" -dataset auto -strict \
+			> "$$tmp/$$a.out" 2> "$$tmp/$$a.err" || { cat "$$tmp/$$a.err"; exit 1; }; \
+		grep -q "dataset adapter $$a" "$$tmp/$$a.err" || \
+			{ echo "datasets-smoke: auto-detect picked the wrong adapter for $$a"; exit 1; }; \
+		cmp "$$tmp/direct.out" "$$tmp/$$a.out" || \
+			{ echo "datasets-smoke: $$a tables diverge from native"; exit 1; }; \
+	done && \
+	"$$tmp/moniotr" -transfer-matrix -json > "$$tmp/transfer.json" 2> "$$tmp/transfer.err" && \
+	for d in us-study uk-study post-study; do \
+		grep -q "$$d" "$$tmp/transfer.json" || \
+			{ echo "datasets-smoke: transfer matrix missing $$d"; exit 1; }; \
+	done && \
+	echo "datasets-smoke: pcapng + vlan-trunk + sll-gateway ingest byte-identical to native; transfer matrix rendered"
 
 # Daemon smoke: start moniotrd on an ephemeral port, upload a tiny
 # exported campaign as a tar archive, wait for the streaming-ingest job,

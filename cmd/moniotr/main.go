@@ -7,7 +7,8 @@
 //	moniotr [-scale tiny|quick|bench|paper] [-csv dir] [-json] [-tables 2,5,11]
 //	        [-skip-uncontrolled]
 //	        [-export-captures dir] [-ingest dir] [-stream] [-ingest-window n]
-//	        [-stream-two-pass] [-strict]
+//	        [-stream-two-pass] [-strict] [-dataset name|auto] [-infer-labels]
+//	        [-transfer-matrix]
 //	        [-metrics out.json] [-pprof :6060]
 //	        [-faults clean|lossy-home|flaky-vpn|outage] [-fault-seed n] [-analysis-workers n]
 //	        [-reshape pad,shape,dummy,vpn] [-reshape-seed n] [-reshape-budget f] [-reshape-matrix]
@@ -29,6 +30,26 @@
 // per-experiment hooks demand serial delivery. Output stays
 // byte-identical to buffered ingest in every mode; only the memory
 // high-water mark and wall time change.
+//
+// -dataset selects a foreign-capture adapter (internal/dataset): with
+// -ingest it teaches the walk a foreign directory layout — pcapng
+// containers, 802.1Q trunk captures, Linux cooked (SLL) gateway dumps —
+// and with -export-captures it writes the campaign in that foreign
+// layout instead of the native one. "-dataset auto" sniffs an ingest
+// tree against every registered adapter. Whatever the container or link
+// framing, the analysis output is byte-identical to native ingest of
+// the same campaign. -infer-labels attributes unlabeled ingest traffic
+// to catalog devices via identification evidence (MAC, OUI, DNS) and
+// synthesizes label windows for it, reported with per-device confidence
+// in an "ingest-labels" table; -strict still counts those packets as
+// inferred rather than silently delivered.
+//
+// -transfer-matrix replaces the normal report with the §6.4
+// cross-dataset experiment: the built-in dataset trio (study-era US and
+// UK rosters plus a post-study home with firmware drift and unseen
+// models) is synthesized, the device-identification forest is trained
+// on each and evaluated on every other, and the train×eval weighted-F1
+// matrix is printed with per-cell class overlap.
 //
 // With -metrics the campaign is instrumented end to end (stage wall
 // times, per-collector visit counts, synthesis throughput, DNS and pcap
@@ -94,7 +115,9 @@ import (
 	"time"
 
 	intliot "github.com/neu-sns/intl-iot-go"
+	"github.com/neu-sns/intl-iot-go/internal/dataset"
 	"github.com/neu-sns/intl-iot-go/internal/experiments/robustness"
+	"github.com/neu-sns/intl-iot-go/internal/experiments/transfer"
 	"github.com/neu-sns/intl-iot-go/internal/faults"
 	"github.com/neu-sns/intl-iot-go/internal/fleet"
 	"github.com/neu-sns/intl-iot-go/internal/ingest"
@@ -126,6 +149,9 @@ func main() {
 	reshapeMatrix := flag.Bool("reshape-matrix", false, "sweep defense x budget against the campaign and print the robustness matrix")
 	fleetHomes := flag.Int("fleet", 0, "run a fleet-scale campaign of N simulated homes instead of the two-lab study")
 	fleetSeed := flag.Int64("fleet-seed", 1, "seed deriving the whole fleet (device mixes, fault profiles, clocks)")
+	datasetName := flag.String("dataset", "", "with -ingest/-export-captures: foreign dataset adapter ("+strings.Join(dataset.Names(), ", ")+", or 'auto' to sniff an ingest tree)")
+	inferLabels := flag.Bool("infer-labels", false, "with -ingest: attribute unlabeled traffic to devices via identification evidence and synthesize label windows")
+	transferMatrix := flag.Bool("transfer-matrix", false, "train the device-identification forest on each built-in dataset, evaluate on every other, and print the cross-dataset F1 matrix")
 	flag.Parse()
 
 	if _, err := faults.ByName(*faultProfile); err != nil {
@@ -135,6 +161,29 @@ func main() {
 	if _, err := reshape.ParseStack(*reshapeStack); err != nil {
 		fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
 		os.Exit(2)
+	}
+
+	var adapter dataset.Adapter
+	if *datasetName != "" {
+		if *ingestDir == "" && *exportDir == "" {
+			fmt.Fprintln(os.Stderr, "moniotr: -dataset requires -ingest or -export-captures")
+			os.Exit(2)
+		}
+		var err error
+		if *datasetName == "auto" {
+			if *ingestDir == "" {
+				fmt.Fprintln(os.Stderr, "moniotr: -dataset auto needs an -ingest tree to sniff")
+				os.Exit(2)
+			}
+			adapter, err = dataset.Detect(*ingestDir)
+		} else {
+			adapter, err = dataset.ByName(*datasetName)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "moniotr: dataset adapter %s: %s\n", adapter.Name(), adapter.Description())
 	}
 
 	if *pprofAddr != "" {
@@ -151,6 +200,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "moniotr: -faults is ignored with -fleet (homes draw their own fault profiles)")
 		}
 		runFleet(*fleetHomes, *fleetSeed, *analysisWorkers, *tables, *jsonOut, *csvDir, *metricsOut)
+		return
+	}
+
+	if *transferMatrix {
+		runTransferMatrix(*analysisWorkers, *jsonOut, *csvDir)
 		return
 	}
 
@@ -189,12 +243,17 @@ func main() {
 		} else {
 			fmt.Fprintf(os.Stderr, "moniotr: ingesting captures from %s...\n", *ingestDir)
 		}
+		opts := ingest.Options{
+			Stream:      *stream,
+			Window:      *ingestWindow,
+			TwoPass:     *streamTwoPass,
+			InferLabels: *inferLabels,
+		}
+		if adapter != nil {
+			opts.Layout = adapter.Layout()
+		}
 		var err error
-		src, err = ingest.Open(*ingestDir, ingest.Options{
-			Stream:  *stream,
-			Window:  *ingestWindow,
-			TwoPass: *streamTwoPass,
-		})
+		src, err = ingest.Open(*ingestDir, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "moniotr: %v\n", err)
 			os.Exit(1)
@@ -249,6 +308,12 @@ func main() {
 	if *exportDir != "" {
 		if src != nil {
 			fmt.Fprintln(os.Stderr, "moniotr: -export-captures is ignored with -ingest")
+		} else if adapter != nil {
+			if err := adapter.Export(*exportDir, study.Pipeline().Runner()); err != nil {
+				fmt.Fprintf(os.Stderr, "moniotr: capture export: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "moniotr: wrote %s-layout captures to %s\n", adapter.Name(), *exportDir)
 		} else if err := ingest.Export(*exportDir, study.Pipeline().Runner()); err != nil {
 			fmt.Fprintf(os.Stderr, "moniotr: capture export: %v\n", err)
 			os.Exit(1)
@@ -266,7 +331,13 @@ func main() {
 	study.Summary(os.Stderr)
 	fmt.Fprintf(os.Stderr, "moniotr: campaign done in %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	doc := study.ReportDocument().Filter(selected)
+	doc := study.ReportDocument()
+	if src != nil {
+		if lt := src.Report().LabelTable(); lt != nil {
+			doc.Add("ingest-labels", lt)
+		}
+	}
+	doc = doc.Filter(selected)
 	if *jsonOut {
 		if err := doc.RenderJSON(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "moniotr: json render: %v\n", err)
@@ -335,6 +406,53 @@ func runReshapeMatrix(cfg intliot.Config, workers int, jsonOut bool, csvDir stri
 		if err := exportCSV(csvDir, "reshape-matrix", tbl); err != nil {
 			fmt.Fprintf(os.Stderr, "moniotr: csv export: %v\n", err)
 			os.Exit(1)
+		}
+	}
+}
+
+// runTransferMatrix executes the -transfer-matrix mode: synthesize the
+// built-in dataset trio, train the §6.1 forest on each, evaluate on
+// every other, and render the train×eval F1 matrix plus dataset sizes
+// through the -json/-csv machinery.
+func runTransferMatrix(workers int, jsonOut bool, csvDir string) {
+	fmt.Fprintln(os.Stderr, "moniotr: synthesizing transfer datasets and training one forest per cell...")
+	start := time.Now()
+	lastLine := time.Now()
+	res, err := transfer.Run(transfer.Config{
+		Workers: workers,
+		Progress: func(done, total int) {
+			if time.Since(lastLine) >= 2*time.Second || done == total {
+				fmt.Fprintf(os.Stderr, "moniotr: transfer progress: %d/%d cells\n", done, total)
+				lastLine = time.Now()
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moniotr: transfer matrix: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "moniotr: transfer matrix done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	doc := &report.Document{}
+	doc.Add("transfer-matrix", res.Matrix())
+	doc.Add("transfer-datasets", res.SizeTable())
+	if jsonOut {
+		if err := doc.RenderJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "moniotr: json render: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, e := range doc.Entries {
+			e.Table.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if csvDir != "" {
+		for _, e := range doc.Entries {
+			if err := exportCSV(csvDir, e.Key, e.Table); err != nil {
+				fmt.Fprintf(os.Stderr, "moniotr: csv export: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 }

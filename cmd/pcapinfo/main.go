@@ -1,5 +1,7 @@
-// Command pcapinfo inspects a pcap capture the way the analysis pipeline
-// sees it: per-packet summaries, flow rollups, per-flow encryption
+// Command pcapinfo inspects a capture the way the analysis pipeline
+// sees it: container format (classic pcap or pcapng, either endianness,
+// per-interface link types), per-packet summaries with 802.1Q and Linux
+// cooked (SLL) framing decoded, flow rollups, per-flow encryption
 // verdicts, and evidence of traffic-reshaping defenses (pad quantum,
 // constant-rate shaping, cover flows, VPN tunneling). It also generates
 // demo captures — optionally pre-reshaped — so the tool is usable
@@ -23,6 +25,7 @@ import (
 	"github.com/neu-sns/intl-iot-go/internal/devices"
 	"github.com/neu-sns/intl-iot-go/internal/entropy"
 	"github.com/neu-sns/intl-iot-go/internal/netx"
+	"github.com/neu-sns/intl-iot-go/internal/pcapio"
 	"github.com/neu-sns/intl-iot-go/internal/reshape"
 	"github.com/neu-sns/intl-iot-go/internal/testbed"
 )
@@ -55,12 +58,40 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
-	pkts, err := testbed.ReadPcap(f)
+	pr, err := pcapio.NewReader(f)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pcapinfo: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%d packets\n", len(pkts))
+	recs, err := pr.ReadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcapinfo: %v\n", err)
+		os.Exit(1)
+	}
+	printFormat(pr)
+	var pkts []*netx.Packet
+	vlan, sll := 0, 0
+	for _, rec := range recs {
+		link := rec.Link
+		if link == 0 {
+			link = pr.LinkType()
+		}
+		p, err := netx.DecodeLink(rec.Time, rec.Data, link)
+		if err != nil {
+			continue // tolerate malformed frames like tcpdump does
+		}
+		overhead := len(rec.Data) - p.Meta.CaptureLength
+		if p.Meta.Length = rec.OrigLen - overhead; p.Meta.Length < 0 {
+			p.Meta.Length = 0
+		}
+		if p.SLL != nil {
+			sll++
+		} else if len(p.Eth.VLAN) > 0 {
+			vlan++
+		}
+		pkts = append(pkts, p)
+	}
+	fmt.Printf("%d packets (%d vlan-tagged, %d linux-sll)\n", len(pkts), vlan, sll)
 
 	if !*flowsOnly {
 		for i, p := range pkts {
@@ -83,6 +114,44 @@ func main() {
 
 	fmt.Println()
 	printReshapeEvidence(pkts)
+}
+
+// printFormat summarizes the container before any packet is shown:
+// classic pcap vs pcapng, byte order, timestamp resolution, and (for
+// pcapng) the interface table with per-interface link types.
+func printFormat(pr *pcapio.Reader) {
+	order := "little-endian"
+	if pr.BigEndian() {
+		order = "big-endian"
+	}
+	if pr.PcapNG() {
+		fmt.Printf("format: pcapng, %s\n", order)
+		for i, ifc := range pr.Interfaces() {
+			res := "µs"
+			if ifc.Nanosecond {
+				res = "ns"
+			}
+			fmt.Printf("  if%d: %s, snaplen %d, %s timestamps\n",
+				i, linkName(ifc.LinkType), ifc.SnapLen, res)
+		}
+		return
+	}
+	res := "µs"
+	if pr.Nanosecond() {
+		res = "ns"
+	}
+	fmt.Printf("format: pcap, %s, %s, %s timestamps\n", order, linkName(pr.LinkType()), res)
+}
+
+func linkName(link uint32) string {
+	switch link {
+	case netx.LinkEthernet:
+		return "ethernet (DLT 1)"
+	case netx.LinkLinuxSLL:
+		return "linux-sll (DLT 113)"
+	default:
+		return fmt.Sprintf("DLT %d", link)
+	}
 }
 
 // printReshapeEvidence reports the wire signatures each reshape defense

@@ -1,0 +1,173 @@
+package dataset
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/neu-sns/intl-iot-go/internal/experiments"
+	"github.com/neu-sns/intl-iot-go/internal/ingest"
+	"github.com/neu-sns/intl-iot-go/internal/pcapio"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// Adapter maps one foreign dataset convention — directory layout, label
+// placement, capture container, link framing — onto ingest's campaign
+// model. Layout teaches ingest.Open how to walk and label the foreign
+// tree; Export writes a campaign in the foreign shape, so every adapter
+// doubles as its own fixture synthesizer and the Export→Open→Export
+// cycle can be held byte-identical.
+type Adapter interface {
+	// Name is the registry key, as accepted by moniotr -dataset.
+	Name() string
+	// Description is a one-line summary for listings.
+	Description() string
+	// Layout returns the ingest hooks for the adapter's on-disk shape.
+	Layout() ingest.Layout
+	// Export writes the campaign under dir in the adapter's convention.
+	Export(dir string, c Campaign) error
+}
+
+// Campaign is anything that replays a campaign's experiments in
+// delivery order: a synthesis Runner or an ingested Source. Adapters
+// export either, which is what makes the Export→Open→Export cycle — and
+// converting a native tree into a foreign one — expressible.
+type Campaign interface {
+	RunControlled(experiments.Visitor) experiments.Stats
+	RunIdle(experiments.Visitor) experiments.Stats
+}
+
+var registry = map[string]Adapter{}
+
+// Register adds an adapter under its name; duplicate names are a
+// programming error.
+func Register(a Adapter) {
+	if _, dup := registry[a.Name()]; dup {
+		panic("dataset: duplicate adapter " + a.Name())
+	}
+	registry[a.Name()] = a
+}
+
+// ByName resolves a registered adapter.
+func ByName(name string) (Adapter, error) {
+	a, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown adapter %q (have %v)", name, Names())
+	}
+	return a, nil
+}
+
+// Names lists the registered adapters, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Detect walks a capture tree and picks the adapter whose layout claims
+// the most files. It errors when no adapter claims anything or two tie —
+// ambiguity should be resolved explicitly with -dataset.
+func Detect(root string) (Adapter, error) {
+	counts := map[string]int{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for name, a := range registry {
+			if a.Layout().IsCapture(rel) {
+				counts[name]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dataset: detect: %w", err)
+	}
+	best, bestN, tied := "", 0, false
+	for name, n := range counts {
+		switch {
+		case n > bestN:
+			best, bestN, tied = name, n, false
+		case n == bestN:
+			tied = true
+		}
+	}
+	if bestN == 0 {
+		return nil, fmt.Errorf("dataset: no registered adapter recognizes captures under %s", root)
+	}
+	if tied {
+		return nil, fmt.Errorf("dataset: ambiguous tree under %s; pass -dataset explicitly", root)
+	}
+	return registry[best], nil
+}
+
+// exportTree drives the campaign in the same order and with the same
+// per-device numbering as ingest.Export, handing each experiment to the
+// adapter's save hook. seq keys match native export's directory keys, so
+// an adapter tree corresponds file-for-file with the native tree of the
+// same campaign.
+func exportTree(c Campaign, save func(top string, exp *testbed.Experiment, n int) error) error {
+	seq := make(map[string]int)
+	var firstErr error
+	visit := func(top string) experiments.Visitor {
+		return func(exp *testbed.Experiment) {
+			if firstErr != nil {
+				return
+			}
+			key := top + "/" + exp.Device.ID()
+			n := seq[key]
+			seq[key] = n + 1
+			if err := save(top, exp, n); err != nil {
+				firstErr = err
+			}
+		}
+	}
+	c.RunControlled(visit("controlled"))
+	if firstErr != nil {
+		return firstErr
+	}
+	c.RunIdle(visit("idle"))
+	return firstErr
+}
+
+// writeLabelFile stores one experiment's label sidecar, creating parent
+// directories as needed.
+func writeLabelFile(path string, exp *testbed.Experiment) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pcapio.WriteLabels(f, []pcapio.Label{exp.Label()}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// createCapture opens a capture file for writing, creating parents.
+func createCapture(path string) (*os.File, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	return os.Create(path)
+}
+
+// captureName numbers captures the way native export does.
+func captureName(n int) string { return fmt.Sprintf("%06d", n) }
+
+// sllOutgoing is the SLL packet type stamped on freshly cooked frames
+// (PACKET_OUTGOING); re-exports preserve whatever type was ingested.
+const sllOutgoing = 4

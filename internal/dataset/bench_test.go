@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/ingest"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// BenchmarkAdapterIngest measures buffered ingest throughput per
+// container/link framing: the same tiny campaign read back from the
+// native tree and from every adapter fixture. The spread quantifies
+// what pcapng block parsing, VLAN tag stripping and SLL rewriting cost
+// relative to plain Ethernet pcap (numbers live in EXPERIMENTS.md,
+// "Cross-dataset transfer").
+func BenchmarkAdapterIngest(b *testing.B) {
+	r, err := experimentsRunner()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	native := b.TempDir()
+	if err := ingest.Export(native, r); err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, dir string, opts ingest.Options) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src, err := ingest.Open(dir, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.SetBytes(src.Report().Bytes)
+			}
+		}
+	}
+
+	b.Run("native", func(b *testing.B) { run(b, native, ingest.Options{}) })
+	for _, name := range Names() {
+		a, err := ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dir := b.TempDir()
+		if err := a.Export(dir, r); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) { run(b, dir, ingest.Options{Layout: a.Layout()}) })
+	}
+}
+
+// TestInferredLabelPrecision measures what EXPERIMENTS.md reports for
+// -infer-labels: strip every sidecar from a natively exported campaign
+// and require evidence-based attribution to reassemble the exact
+// per-device packet distribution the labels carried — every packet
+// attributed, every attribution correct, all via exact catalog MAC.
+func TestInferredLabelPrecision(t *testing.T) {
+	r := tinyRunner(t)
+	dir := t.TempDir()
+	if err := ingest.Export(dir, r); err != nil {
+		t.Fatal(err)
+	}
+	labeled, err := ingest.Open(dir, ingest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDevice := func(c Campaign) map[string]int {
+		out := map[string]int{}
+		count := func(exp *testbed.Experiment) { out[exp.Device.ID()] += len(exp.Packets) }
+		c.RunControlled(count)
+		c.RunIdle(count)
+		return out
+	}
+	want := perDevice(labeled)
+
+	stripped := 0
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".labels") {
+			stripped++
+			return os.Remove(path)
+		}
+		return err
+	})
+	if err != nil || stripped == 0 {
+		t.Fatalf("stripped %d sidecars, err %v", stripped, err)
+	}
+
+	inferred, err := ingest.Open(dir, ingest.Options{InferLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := perDevice(inferred)
+	correct, total := 0, 0
+	for dev, n := range got {
+		total += n
+		if n == want[dev] {
+			correct += n
+		}
+	}
+	if total == 0 || correct != total {
+		t.Fatalf("inference attributed %d/%d packets to the labeled device (devices %d/%d)",
+			correct, total, len(got), len(want))
+	}
+	rep := inferred.Report()
+	if rep.Skips.UnlabeledPackets != 0 {
+		t.Fatalf("%d packets left unlabeled", rep.Skips.UnlabeledPackets)
+	}
+	for _, l := range rep.Inferred {
+		if l.Method != "mac" || l.Confidence != "high" {
+			t.Fatalf("attribution for %s used %s/%s, want mac/high", l.Device, l.Method, l.Confidence)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/ingest"
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+	"github.com/neu-sns/intl-iot-go/internal/pcapio"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+func init() { Register(pcapngAdapter{}) }
+
+// pcapngAdapter writes the campaign as multi-interface pcapng sections:
+// interface 0 is a nanosecond Ethernet tap, interface 1 a nanosecond
+// Linux cooked (SLL) tap that every third packet arrives on — the shape
+// of a capture rig that mirrors a switch port and the gateway's `-i any`
+// simultaneously. US-lab sections are little-endian, UK-lab sections
+// big-endian, so one dataset exercises both byte orders end to end. The
+// directory convention is the native one with ".pcapng" captures.
+type pcapngAdapter struct{}
+
+func (pcapngAdapter) Name() string { return "pcapng" }
+
+func (pcapngAdapter) Description() string {
+	return "multi-interface pcapng (Ethernet + SLL taps, mixed endianness), native directory layout"
+}
+
+func (pcapngAdapter) Layout() ingest.Layout { return pcapngLayout{} }
+
+// sllEvery routes every sllEvery-th packet of a pcapng export onto the
+// cooked interface.
+const sllEvery = 3
+
+func (pcapngAdapter) Export(dir string, c Campaign) error {
+	ifaces := []pcapio.NGInterface{
+		{LinkType: pcapio.LinkTypeEthernet, Nanosecond: true},
+		{LinkType: pcapio.LinkTypeLinuxSLL, Nanosecond: true},
+	}
+	return exportTree(c, func(top string, exp *testbed.Experiment, n int) error {
+		base := filepath.Join(dir, top, filepath.FromSlash(exp.Device.ID()),
+			captureName(n))
+		f, err := createCapture(base + ".pcapng")
+		if err != nil {
+			return err
+		}
+		w, err := pcapio.NewNGWriter(f, pcapio.NGWriterOptions{
+			BigEndian:  exp.Lab == devices.LabUK,
+			Interfaces: ifaces,
+		})
+		if err != nil {
+			f.Close()
+			return err
+		}
+		for i, p := range exp.Packets {
+			frame := p.Serialize()
+			iface := 0
+			if p.SLL != nil || (p.SLL == nil && i%sllEvery == sllEvery-1) {
+				// Already-cooked packets (an adapter re-export) keep their
+				// interface; fresh ones rotate onto it.
+				pktType := uint16(sllOutgoing)
+				if p.SLL != nil {
+					pktType = p.SLL.PacketType
+				}
+				cooked, err := netx.EthernetToSLL(frame, pktType)
+				if err != nil {
+					f.Close()
+					return err
+				}
+				frame, iface = cooked, 1
+			}
+			if err := w.WriteRecord(iface, p.Meta.Timestamp, frame, len(frame)); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return writeLabelFile(base+".labels", exp)
+	})
+}
+
+// pcapngLayout is the native Mon(IoT)r convention with ".pcapng"
+// captures and ".labels" sidecars.
+type pcapngLayout struct{}
+
+func (pcapngLayout) IsCapture(rel string) bool { return strings.HasSuffix(rel, ".pcapng") }
+
+func (pcapngLayout) Labels(root, rel string) ([]pcapio.Label, error) {
+	return readLabelsAt(filepath.Join(root, strings.TrimSuffix(rel, ".pcapng")+".labels"))
+}
+
+func (pcapngLayout) DeviceHint(rel string) string { return nativeHint(rel) }
+
+// nativeHint extracts the "<lab>/<device>" instance ID from the two path
+// segments above the file name — the native directory convention several
+// adapters reuse.
+func nativeHint(rel string) string {
+	parts := strings.Split(filepath.ToSlash(filepath.Dir(rel)), "/")
+	if len(parts) >= 2 {
+		return parts[len(parts)-2] + "/" + parts[len(parts)-1]
+	}
+	return ""
+}
+
+// readLabelsAt loads a pcapio label sidecar from an absolute path.
+func readLabelsAt(path string) ([]pcapio.Label, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return pcapio.ReadLabels(f)
+}

@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"path/filepath"
+	"strings"
+
+	"github.com/neu-sns/intl-iot-go/internal/ingest"
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+	"github.com/neu-sns/intl-iot-go/internal/pcapio"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+func init() { Register(sllAdapter{}) }
+
+// sllAdapter writes the campaign the way a `tcpdump -i any` run on the
+// gateway records it: classic nanosecond pcaps with DLT 113 (Linux
+// cooked) framing, every frame reduced to its SLL form — destination
+// MACs gone, source link address preserved. Captures keep the native
+// directory convention under a "gateway/" root with ".cap" files and
+// "annotations/" label sidecars.
+type sllAdapter struct{}
+
+func (sllAdapter) Name() string { return "sll-gateway" }
+
+func (sllAdapter) Description() string {
+	return "Linux cooked (DLT 113) gateway capture, gateway/ tree with annotations/ label sidecars"
+}
+
+func (sllAdapter) Layout() ingest.Layout { return sllLayout{} }
+
+func (sllAdapter) Export(dir string, c Campaign) error {
+	return exportTree(c, func(top string, exp *testbed.Experiment, n int) error {
+		rel := filepath.Join(top, filepath.FromSlash(exp.Device.ID()), captureName(n))
+		f, err := createCapture(filepath.Join(dir, "gateway", rel+".cap"))
+		if err != nil {
+			return err
+		}
+		w, err := pcapio.NewWriter(f, pcapio.WriterOptions{
+			Nanosecond: true,
+			LinkType:   pcapio.LinkTypeLinuxSLL,
+		})
+		if err != nil {
+			f.Close()
+			return err
+		}
+		for _, p := range exp.Packets {
+			pktType := uint16(sllOutgoing)
+			if p.SLL != nil {
+				pktType = p.SLL.PacketType
+			}
+			cooked, err := netx.EthernetToSLL(p.Serialize(), pktType)
+			if err != nil {
+				f.Close()
+				return err
+			}
+			if err := w.WritePacket(p.Meta.Timestamp, cooked); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return writeLabelFile(filepath.Join(dir, "annotations", rel+".labels"), exp)
+	})
+}
+
+// sllLayout walks the gateway convention: ".cap" captures under
+// "gateway/", label sidecars mirrored under "annotations/", native
+// "<lab>/<device>" directories inside both.
+type sllLayout struct{}
+
+func (sllLayout) IsCapture(rel string) bool {
+	return strings.HasPrefix(rel, "gateway/") && strings.HasSuffix(rel, ".cap")
+}
+
+func (sllLayout) Labels(root, rel string) ([]pcapio.Label, error) {
+	side := "annotations/" + strings.TrimPrefix(rel, "gateway/")
+	side = strings.TrimSuffix(side, ".cap") + ".labels"
+	return readLabelsAt(filepath.Join(root, filepath.FromSlash(side)))
+}
+
+func (sllLayout) DeviceHint(rel string) string {
+	return nativeHint(strings.TrimPrefix(rel, "gateway/"))
+}

@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"path/filepath"
+	"strings"
+
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/ingest"
+	"github.com/neu-sns/intl-iot-go/internal/netx"
+	"github.com/neu-sns/intl-iot-go/internal/pcapio"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+func init() { Register(vlanAdapter{}) }
+
+// Per-lab 802.1Q VLAN IDs for the trunk adapter; VPN legs carry an
+// additional 802.1ad service tag, the shape of a monitored trunk port
+// where the tunnel rides a provider bridge.
+const (
+	vlanUS  = 101
+	vlanUK  = 202
+	vlanVPN = 999
+)
+
+// vlanAdapter writes the campaign as a trunk-port capture: classic
+// nanosecond pcaps whose every frame carries the lab's 802.1Q tag (QinQ
+// under a service tag on VPN legs), in a flat "<lab>__<device>"
+// directory convention with label schedules segregated under a
+// "schedules/" tree — the shape of a dataset recorded on a monitoring
+// switch rather than per-device taps.
+type vlanAdapter struct{}
+
+func (vlanAdapter) Name() string { return "vlan-trunk" }
+
+func (vlanAdapter) Description() string {
+	return "802.1Q/QinQ-tagged trunk capture, flat lab__device directories, schedules/ label tree"
+}
+
+func (vlanAdapter) Layout() ingest.Layout { return vlanLayout{} }
+
+func (vlanAdapter) Export(dir string, c Campaign) error {
+	return exportTree(c, func(top string, exp *testbed.Experiment, n int) error {
+		flat := strings.ReplaceAll(exp.Device.ID(), "/", "__")
+		name := captureName(n)
+		f, err := createCapture(filepath.Join(dir, "trunk", top, flat, name+".pcap"))
+		if err != nil {
+			return err
+		}
+		w, err := pcapio.NewWriter(f, pcapio.WriterOptions{Nanosecond: true})
+		if err != nil {
+			f.Close()
+			return err
+		}
+		tags := trunkTags(exp)
+		for _, p := range exp.Packets {
+			frame := p.Serialize()
+			if len(p.Eth.VLAN) == 0 {
+				// Fresh native frames gain the trunk tags; re-exported
+				// frames already serialize with the chain they arrived with.
+				frame, err = netx.EncapsulateVLAN(frame, tags...)
+				if err != nil {
+					f.Close()
+					return err
+				}
+			}
+			if err := w.WritePacket(p.Meta.Timestamp, frame); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return writeLabelFile(
+			filepath.Join(dir, "schedules", top, flat, name+".tsv"), exp)
+	})
+}
+
+// trunkTags builds the tag chain for an experiment's frames: the lab's
+// customer tag, under a service tag on VPN legs.
+func trunkTags(exp *testbed.Experiment) []netx.VLANTag {
+	vid := uint16(vlanUS)
+	if exp.Lab == devices.LabUK {
+		vid = vlanUK
+	}
+	tags := []netx.VLANTag{{TPID: netx.EtherTypeVLAN, TCI: vid}}
+	if exp.VPN {
+		tags = append([]netx.VLANTag{{TPID: netx.EtherTypeQinQ, TCI: vlanVPN}}, tags...)
+	}
+	return tags
+}
+
+// vlanLayout walks the trunk convention: captures under "trunk/", label
+// schedules mirrored under "schedules/" with a ".tsv" suffix, device
+// identity flattened into the "<lab>__<device>" directory name.
+type vlanLayout struct{}
+
+func (vlanLayout) IsCapture(rel string) bool {
+	return strings.HasPrefix(rel, "trunk/") && strings.HasSuffix(rel, ".pcap")
+}
+
+func (vlanLayout) Labels(root, rel string) ([]pcapio.Label, error) {
+	sched := "schedules/" + strings.TrimPrefix(rel, "trunk/")
+	sched = strings.TrimSuffix(sched, ".pcap") + ".tsv"
+	return readLabelsAt(filepath.Join(root, filepath.FromSlash(sched)))
+}
+
+func (vlanLayout) DeviceHint(rel string) string {
+	flat := filepath.Base(filepath.Dir(filepath.FromSlash(rel)))
+	parts := strings.SplitN(flat, "__", 2)
+	if len(parts) != 2 {
+		return ""
+	}
+	return parts[0] + "/" + parts[1]
+}

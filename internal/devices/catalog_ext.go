@@ -1,0 +1,143 @@
+package devices
+
+import "time"
+
+// ExtendedCatalog returns Catalog plus the post-study inventory: device
+// models and firmware revisions that were not part of the paper's §3.1
+// deployment. They live outside Catalog so the Table 1 totals (and the
+// inventory drift check) stay frozen; the cross-dataset transfer harness
+// uses them to measure how the §6.1 models generalize to gear they never
+// trained on.
+func ExtendedCatalog() []*Profile {
+	out := Catalog()
+	out = append(out, ExtendedProfiles()...)
+	return out
+}
+
+// ExtendedProfiles returns only the post-study additions: two firmware
+// revisions of deployed hardware (same OUI, shifted traffic shape) and
+// two models the testbed never hosted.
+func ExtendedProfiles() []*Profile {
+	var out []*Profile
+
+	// Amcrest Cam firmware 2: the same hardware (identical OUI) after a
+	// vendor update that moved the stream channel onto TLS and slowed the
+	// heartbeat. Transfer models trained on the study-era signature see a
+	// familiar MAC with an unfamiliar shape.
+	amcrest2 := &Profile{
+		Name: "Amcrest Cam FW2", Category: CatCamera, Manufacturer: "Amcrest",
+		Labs: usOnly, OUI: oui(0x9c, 0x8e, 0xcd), Distinct: 0.7,
+		Endpoints: []Endpoint{
+			{Key: "api", Domain: "api.amcrestcloud.com", Port: 443, Wire: WireTLS},
+			{Key: "stream", Domain: "stream.amcrestcloud.com", Port: 443, Wire: WireTLS},
+			{Key: "media", Domain: "media.amcrestcloud.com", Port: 443, Wire: WireTCPMixed},
+			{Key: "ntp", Domain: "time.google.com", Port: 123, Wire: WireNTP},
+		},
+		PowerEndpoints: []string{"api", "ntp"},
+		PowerSig:       sig(38, 460, 150, ms(65), ms(42), 2.2),
+		Activities: []Activity{
+			{Name: "move", Methods: []Method{MethodLocal}, Endpoints: []string{"media", "api"},
+				Sig: sig(32, 990, 210, ms(38), ms(19), 0.15)},
+			{Name: "watch", Methods: []Method{MethodWAN}, Endpoints: []string{"stream", "media", "api"},
+				Sig: sig(84, 1210, 140, ms(20), ms(9), 0.08)},
+			{Name: "record", Methods: []Method{MethodLAN, MethodWAN}, Endpoints: []string{"media", "api"},
+				Sig: sig(66, 1265, 115, ms(24), ms(10), 0.05)},
+		},
+		Idle: IdleSpec{
+			HeartbeatPeriod:   61 * time.Second,
+			HeartbeatEndpoint: "stream",
+			NTPPeriod:         19 * time.Minute,
+			ReconnectsPerHour: map[string]float64{LabUS: 0.1, LabUK: 0.1, "US->GB": 0.11, "GB->US": 0.1},
+		},
+	}
+	out = append(out, amcrest2)
+
+	// TP-Link Plug firmware 2: the Table 7 plaintext offender after the
+	// vendor encrypted its local JSON-over-TCP channel.
+	tplink2 := &Profile{
+		Name: "TP-Link Plug FW2", Category: CatHomeAuto, Manufacturer: "TP-Link",
+		Labs: both, OUI: oui(0x50, 0xc7, 0xc0), Distinct: 0.25,
+		Endpoints: []Endpoint{
+			{Key: "api", Domain: "use1-api.tplinkcloud.com", Port: 443, Wire: WireTLS},
+			{Key: "ctl", Domain: "ctl.tplinkcloud.com", Port: 8886, Wire: WireTCPEnc},
+			{Key: "ntp", Domain: "time.google.com", Port: 123, Wire: WireNTP},
+		},
+		PowerEndpoints: []string{"api", "ctl", "ntp"},
+		PowerSig:       sig(28, 360, 118, ms(82), ms(46), 1.7),
+		Activities: []Activity{
+			{Name: "on", Methods: []Method{MethodLAN, MethodWAN, MethodVoice}, Endpoints: []string{"ctl", "api"},
+				Sig: sig(6, 196, 52, ms(92), ms(53), 1.0)},
+			{Name: "off", Methods: []Method{MethodLAN, MethodWAN, MethodVoice}, Endpoints: []string{"ctl", "api"},
+				Sig: sig(6, 194, 52, ms(93), ms(53), 1.0)},
+		},
+		Idle: IdleSpec{
+			HeartbeatPeriod:   79 * time.Second,
+			HeartbeatEndpoint: "ctl",
+			NTPPeriod:         31 * time.Minute,
+			ReconnectsPerHour: map[string]float64{LabUS: 0.04, LabUK: 0.05, "US->GB": 0.07, "GB->US": 0.06},
+		},
+	}
+	out = append(out, tplink2)
+
+	// Wyze Cam: a budget camera model the study never deployed.
+	wyze := &Profile{
+		Name: "Wyze Cam", Category: CatCamera, Manufacturer: "Wyze",
+		Labs: usOnly, OUI: oui(0x2c, 0xaa, 0x8e), Distinct: 0.65,
+		Endpoints: []Endpoint{
+			{Key: "api", Domain: "api.wyzecam.com", Port: 443, Wire: WireTLS},
+			{Key: "stream", Domain: "stream.wyzecam.com", Port: 8443, Wire: WireTCPMixed},
+			{Key: "media", Domain: "media.wyzecam.com", Port: 443, Wire: WireTCPMixed},
+			{Key: "ntp", Domain: "time.google.com", Port: 123, Wire: WireNTP},
+		},
+		PowerEndpoints: []string{"api", "ntp"},
+		PowerSig:       sig(36, 400, 150, ms(62), ms(41), 2.3),
+		Activities: []Activity{
+			{Name: "move", Methods: []Method{MethodLocal}, Endpoints: []string{"media", "api"},
+				Sig: sig(30, 900, 215, ms(37), ms(18), 0.16)},
+			{Name: "watch", Methods: []Method{MethodWAN}, Endpoints: []string{"stream", "media", "api"},
+				Sig: sig(80, 1120, 155, ms(19), ms(8), 0.09)},
+			{Name: "photo", Methods: []Method{MethodLAN, MethodWAN}, Endpoints: []string{"media", "api"},
+				Sig: sig(13, 980, 250, ms(46), ms(23), 0.2)},
+		},
+		Idle: IdleSpec{
+			HeartbeatPeriod:   43 * time.Second,
+			HeartbeatEndpoint: "stream",
+			NTPPeriod:         16 * time.Minute,
+			ReconnectsPerHour: map[string]float64{LabUS: 0.13, LabUK: 0.11, "US->GB": 0.13, "GB->US": 0.11},
+		},
+	}
+	out = append(out, wyze)
+
+	// Eufy Doorbell: an Anker camera-adjacent model with a chatty
+	// plaintext discovery channel, deployed in both regions.
+	eufy := &Profile{
+		Name: "Eufy Doorbell", Category: CatCamera, Manufacturer: "Anker",
+		Labs: both, OUI: oui(0x8c, 0x85, 0x80), Distinct: 0.6,
+		Endpoints: []Endpoint{
+			{Key: "api", Domain: "security-api.eufylife.com", Port: 443, Wire: WireTLS},
+			{Key: "stream", Domain: "stream.eufylife.com", Port: 8443, Wire: WireTCPMixed},
+			{Key: "push", Domain: "push.eufylife.com", Port: 8080, Wire: WireTCPPlain},
+			{Key: "ntp", Domain: "time.google.com", Port: 123, Wire: WireNTP},
+		},
+		PowerEndpoints: []string{"api", "push", "ntp"},
+		PowerSig:       sig(34, 380, 140, ms(70), ms(43), 2.0),
+		Activities: []Activity{
+			{Name: "ring", Methods: []Method{MethodLocal}, Endpoints: []string{"push", "api"},
+				Sig: sig(18, 520, 160, ms(55), ms(28), 0.6)},
+			{Name: "watch", Methods: []Method{MethodWAN}, Endpoints: []string{"stream", "api"},
+				Sig: sig(76, 1150, 150, ms(21), ms(9), 0.09)},
+		},
+		Idle: IdleSpec{
+			HeartbeatPeriod:   53 * time.Second,
+			HeartbeatEndpoint: "push",
+			NTPPeriod:         21 * time.Minute,
+			ReconnectsPerHour: map[string]float64{LabUS: 0.09, LabUK: 0.08, "US->GB": 0.1, "GB->US": 0.09},
+		},
+	}
+	out = append(out, eufy)
+
+	for _, p := range out {
+		attachInfra(p)
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+// Package transfer measures cross-dataset generalization of the §6.1
+// device-identification forest: train on the experiments of one dataset,
+// evaluate on another, and report the train×eval weighted-F1 matrix.
+//
+// A dataset here is a synthesized home deployment — a device roster, a
+// region and a seed driven through testbed.NewHomeLab — standing in for
+// the capture corpora a cross-institution study would exchange (the
+// paper's own public dataset, a partner lab's, a post-study recapture).
+// The built-in trio contrasts the study-era US and UK rosters with a
+// post-study home mixing familiar models, new firmware revisions of
+// deployed hardware, and models the study never hosted
+// (devices.ExtendedProfiles), so the off-diagonal cells show exactly how
+// much accuracy a foreign forest loses on drifted and unseen gear.
+//
+// Every cell is deterministic: dataset synthesis depends only on the
+// spec's seed, forest seeds derive from the training dataset's name, and
+// parallelism never reorders any accumulation — the matrix is
+// byte-identical for any worker count.
+package transfer
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"github.com/neu-sns/intl-iot-go/internal/cloud"
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/features"
+	"github.com/neu-sns/intl-iot-go/internal/ml"
+	"github.com/neu-sns/intl-iot-go/internal/report"
+	"github.com/neu-sns/intl-iot-go/internal/stats"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// DatasetSpec describes one synthesized dataset: a named home deployment
+// whose experiments become labeled feature vectors.
+type DatasetSpec struct {
+	// Name labels the matrix row/column.
+	Name string
+	// Region is the home's region ("US" or "GB").
+	Region string
+	// Seed drives the home's traffic synthesis.
+	Seed int64
+	// Profiles is the device roster, instantiated in Region.
+	Profiles []*devices.Profile
+	// Reps repeats every interaction experiment (0 = 2). More reps mean
+	// more examples per class.
+	Reps int
+}
+
+// hostsPerHome caps a roster so every device fits the /24 home subnet.
+const hostsPerHome = 200
+
+// Config sizes a transfer run.
+type Config struct {
+	// Datasets lists the corpora; nil means DefaultDatasets().
+	Datasets []DatasetSpec
+	// Forest configures every trained forest (zero value = ml defaults).
+	Forest ml.ForestConfig
+	// Holdout is the in-dataset train fraction for diagonal cells
+	// (0 = 0.7). Off-diagonal cells train on the full train dataset and
+	// evaluate on the full eval dataset.
+	Holdout float64
+	// Workers bounds forest-training parallelism (0 = per core); the
+	// matrix is byte-identical for any value.
+	Workers int
+	// Progress, when non-nil, runs after each completed cell.
+	Progress func(done, total int)
+}
+
+// DefaultDatasets is the built-in trio: the two study-era lab rosters
+// and a post-study home with firmware drift and unseen models.
+func DefaultDatasets() []DatasetSpec {
+	catalog := devices.Catalog()
+	inLab := func(lab string) []*devices.Profile {
+		var out []*devices.Profile
+		for _, p := range catalog {
+			if p.InLab(lab) {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	// The post-study home keeps the common study models and adds the
+	// extended inventory, so train↔eval class overlap is partial by
+	// construction.
+	post := inLab(devices.LabUS)
+	post = append(post, devices.ExtendedProfiles()...)
+	return []DatasetSpec{
+		{Name: "us-study", Region: devices.LabUS, Seed: 11, Profiles: inLab(devices.LabUS)},
+		{Name: "uk-study", Region: devices.LabUK, Seed: 23, Profiles: inLab(devices.LabUK)},
+		{Name: "post-study", Region: devices.LabUS, Seed: 37, Profiles: post},
+	}
+}
+
+// Cell is one train×eval evaluation.
+type Cell struct {
+	Train, Eval string
+	// F1 is the support-weighted per-class F1 over the eval examples.
+	F1 float64
+	// Accuracy is plain accuracy over the eval examples.
+	Accuracy float64
+	// Overlap is the fraction of eval examples whose class the training
+	// set contains at all — the ceiling any classifier can reach.
+	Overlap float64
+	// Examples is the number of evaluated examples.
+	Examples int
+}
+
+// Result is a finished transfer run.
+type Result struct {
+	// Datasets lists the dataset names in matrix order.
+	Datasets []string
+	// Sizes maps dataset name to its example count.
+	Sizes map[string]int
+	// Cells holds every train×eval cell, train-major.
+	Cells []Cell
+}
+
+// Run synthesizes every dataset and fills the train×eval matrix.
+func Run(cfg Config) (*Result, error) {
+	specs := cfg.Datasets
+	if specs == nil {
+		specs = DefaultDatasets()
+	}
+	if len(specs) < 2 {
+		return nil, fmt.Errorf("transfer: need at least 2 datasets, have %d", len(specs))
+	}
+	holdout := cfg.Holdout
+	if holdout <= 0 || holdout >= 1 {
+		holdout = 0.7
+	}
+
+	res := &Result{Sizes: make(map[string]int)}
+	data := make([]*ml.Dataset, len(specs))
+	for i, spec := range specs {
+		d, err := Synthesize(spec, i)
+		if err != nil {
+			return nil, err
+		}
+		data[i] = d
+		res.Datasets = append(res.Datasets, spec.Name)
+		res.Sizes[spec.Name] = d.NumExamples()
+	}
+
+	total := len(specs) * len(specs)
+	done := 0
+	fcfg := cfg.Forest
+	fcfg.Workers = cfg.Workers
+	for ti, train := range specs {
+		// One forest seed per training dataset, derived from its name so
+		// reordering specs never changes a cell.
+		fcfg.Seed = int64(seedOf(train.Name))
+		for ei := range specs {
+			var cell Cell
+			if ti == ei {
+				cell = diagonalCell(data[ti], fcfg, holdout)
+			} else {
+				cell = transferCell(data[ti], data[ei], fcfg)
+			}
+			cell.Train, cell.Eval = specs[ti].Name, specs[ei].Name
+			res.Cells = append(res.Cells, cell)
+			done++
+			if cfg.Progress != nil {
+				cfg.Progress(done, total)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Synthesize runs one dataset's home campaign and extracts the §6.1
+// feature vectors, labeled with the device model slug.
+func Synthesize(spec DatasetSpec, index int) (*ml.Dataset, error) {
+	if len(spec.Profiles) == 0 {
+		return nil, fmt.Errorf("transfer: dataset %q has no devices", spec.Name)
+	}
+	if len(spec.Profiles) > hostsPerHome {
+		return nil, fmt.Errorf("transfer: dataset %q has %d devices, max %d", spec.Name, len(spec.Profiles), hostsPerHome)
+	}
+	insts := make([]*devices.Instance, 0, len(spec.Profiles))
+	for _, p := range spec.Profiles {
+		insts = append(insts, devices.NewInstance(p, spec.Region))
+	}
+	subnet := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 42, byte(index), 0}), 24)
+	lab, err := testbed.NewHomeLab(spec.Region, cloud.New(), spec.Seed, insts, subnet)
+	if err != nil {
+		return nil, fmt.Errorf("transfer: dataset %q: %w", spec.Name, err)
+	}
+
+	reps := spec.Reps
+	if reps <= 0 {
+		reps = 2
+	}
+	// Row admission matches the §6.1 identification collector: power and
+	// interaction experiments with at least two packets. Idle windows are
+	// synthesized for realistic inter-experiment spacing but never become
+	// training rows — idle heartbeats look alike across devices and only
+	// dilute the shape signal the forest learns.
+	ds := &ml.Dataset{FeatureNames: features.Names(features.SetPaper)}
+	add := func(exp *testbed.Experiment) {
+		if exp.Kind != testbed.KindPower && exp.Kind != testbed.KindInteraction {
+			return
+		}
+		if len(exp.Packets) < 2 {
+			return
+		}
+		ds.Features = append(ds.Features, features.Vector(exp.Packets, features.SetPaper))
+		ds.Labels = append(ds.Labels, devices.Slug(exp.Device.Profile.Name))
+	}
+
+	t := testbed.StudyEpoch
+	const gap = 30 * time.Second
+	for _, slot := range lab.Slots() {
+		for rep := 0; rep < reps; rep++ {
+			exp := lab.RunPower(slot, false, t, rep)
+			t = exp.End.Add(gap)
+			add(exp)
+		}
+		for i := range slot.Inst.Profile.Activities {
+			act := &slot.Inst.Profile.Activities[i]
+			if len(act.Methods) == 0 {
+				continue
+			}
+			for rep := 0; rep < reps; rep++ {
+				exp := lab.RunInteraction(slot, act, act.Methods[0], false, t, rep)
+				t = exp.End.Add(gap)
+				add(exp)
+			}
+		}
+		exp := lab.RunIdle(slot, false, t, 2*time.Minute, 0)
+		t = exp.End.Add(gap)
+		add(exp)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("transfer: dataset %q: %w", spec.Name, err)
+	}
+	return ds, nil
+}
+
+// diagonalCell holds out a stratified test split inside one dataset, so
+// the diagonal reports in-dataset skill rather than memorization.
+func diagonalCell(d *ml.Dataset, fcfg ml.ForestConfig, holdout float64) Cell {
+	rng := rand.New(rand.NewSource(fcfg.Seed))
+	trainIdx, testIdx := ml.StratifiedSplit(d, holdout, rng)
+	if len(trainIdx) == 0 || len(testIdx) == 0 {
+		return Cell{}
+	}
+	return evaluate(d.Subset(trainIdx), d.Subset(testIdx), fcfg)
+}
+
+// transferCell trains on all of train and evaluates on all of eval.
+func transferCell(train, eval *ml.Dataset, fcfg ml.ForestConfig) Cell {
+	return evaluate(train, eval, fcfg)
+}
+
+func evaluate(train, eval *ml.Dataset, fcfg ml.ForestConfig) Cell {
+	forest := ml.TrainForest(train, fcfg)
+	known := make(map[string]bool, 8)
+	for _, l := range train.Labels {
+		known[l] = true
+	}
+	cm := stats.NewConfusionMatrix()
+	overlap := 0
+	for i, vec := range eval.Features {
+		cm.Add(eval.Labels[i], forest.Predict(vec))
+		if known[eval.Labels[i]] {
+			overlap++
+		}
+	}
+	n := eval.NumExamples()
+	cell := Cell{F1: cm.WeightedF1(), Accuracy: cm.Accuracy(), Examples: n}
+	if n > 0 {
+		cell.Overlap = float64(overlap) / float64(n)
+	}
+	return cell
+}
+
+// Matrix renders the train×eval weighted-F1 matrix as a report table;
+// each cell also carries the class-overlap ceiling.
+func (r *Result) Matrix() *report.Table {
+	t := &report.Table{
+		Title:   "Cross-dataset transfer: device-identification weighted F1 (train row → eval column; parenthesized: class overlap)",
+		Headers: append([]string{"train \\ eval"}, r.Datasets...),
+	}
+	byKey := make(map[string]Cell, len(r.Cells))
+	for _, c := range r.Cells {
+		byKey[c.Train+"\x00"+c.Eval] = c
+	}
+	for _, train := range r.Datasets {
+		row := []string{train}
+		for _, eval := range r.Datasets {
+			c := byKey[train+"\x00"+eval]
+			row = append(row, fmt.Sprintf("%.3f (%.0f%%)", c.F1, 100*c.Overlap))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// SizeTable reports per-dataset example counts.
+func (r *Result) SizeTable() *report.Table {
+	t := &report.Table{
+		Title:   "Transfer datasets",
+		Headers: []string{"dataset", "examples"},
+	}
+	names := append([]string(nil), r.Datasets...)
+	sort.Strings(names)
+	for _, name := range names {
+		t.AddRow(name, fmt.Sprintf("%d", r.Sizes[name]))
+	}
+	return t
+}
+
+// seedOf hashes a dataset name into a stable forest seed (FNV-1a).
+func seedOf(name string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,142 @@
+package transfer
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/devices"
+	"github.com/neu-sns/intl-iot-go/internal/ml"
+)
+
+// tinySpecs builds three small overlapping rosters: two study homes
+// (lab-b a strict subset of lab-a) and a drifted home swapping in the
+// extended (post-study) inventory.
+func tinySpecs(t *testing.T) []DatasetSpec {
+	t.Helper()
+	byName := func(names ...string) []*devices.Profile {
+		var out []*devices.Profile
+		for _, want := range names {
+			found := false
+			for _, p := range devices.ExtendedCatalog() {
+				if p.Name == want {
+					out = append(out, p)
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("profile %q not in extended catalog", want)
+			}
+		}
+		return out
+	}
+	// Rosters mix categories so the classes are separable in-dataset; the
+	// drifted home swaps in firmware revisions and unseen models.
+	return []DatasetSpec{
+		{Name: "lab-a", Region: devices.LabUS, Seed: 3,
+			Profiles: byName("Amcrest Cam", "TP-Link Plug", "Samsung TV"), Reps: 3},
+		{Name: "lab-b", Region: devices.LabUS, Seed: 5,
+			Profiles: byName("TP-Link Plug", "Amcrest Cam"), Reps: 3},
+		{Name: "drifted", Region: devices.LabUS, Seed: 9,
+			Profiles: byName("Amcrest Cam FW2", "TP-Link Plug FW2", "Samsung TV"), Reps: 3},
+	}
+}
+
+func runTiny(t *testing.T, workers int) *Result {
+	t.Helper()
+	res, err := Run(Config{
+		Datasets: tinySpecs(t),
+		Forest:   ml.ForestConfig{NumTrees: 15},
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTransferMatrix(t *testing.T) {
+	res := runTiny(t, 0)
+	if len(res.Cells) != 9 {
+		t.Fatalf("got %d cells, want 9", len(res.Cells))
+	}
+	cell := func(train, eval string) Cell {
+		for _, c := range res.Cells {
+			if c.Train == train && c.Eval == eval {
+				return c
+			}
+		}
+		t.Fatalf("missing cell %s×%s", train, eval)
+		return Cell{}
+	}
+
+	// Diagonals must evaluate a real holdout and classify well: these
+	// rosters are distinct device models.
+	for _, name := range res.Datasets {
+		d := cell(name, name)
+		if d.Examples == 0 || d.F1 <= 0.5 {
+			t.Errorf("diagonal %s = %+v, want nonempty, F1 > 0.5", name, d)
+		}
+		if d.Overlap != 1 {
+			t.Errorf("diagonal %s overlap = %v, want 1", name, d.Overlap)
+		}
+	}
+
+	// lab-a ⊇ lab-b: full class overlap, transfer should work.
+	if c := cell("lab-a", "lab-b"); c.Overlap != 1 || c.F1 <= 0.5 {
+		t.Errorf("lab-a→lab-b = %+v, want overlap 1 and F1 > 0.5", c)
+	}
+	// lab-a→drifted shares only the Samsung TV: overlap strictly < 1 and
+	// the weighted F1 must show the transfer gap.
+	gap := cell("lab-a", "drifted")
+	if gap.Overlap >= 1 || gap.Overlap <= 0 {
+		t.Errorf("lab-a→drifted overlap = %v, want partial", gap.Overlap)
+	}
+	if diag := cell("drifted", "drifted"); gap.F1 >= diag.F1 {
+		t.Errorf("transfer F1 %v should fall below in-dataset %v", gap.F1, diag.F1)
+	}
+
+	// Rendering: the matrix is |datasets| rows of |datasets|+1 cells.
+	m := res.Matrix()
+	if len(m.Rows) != 3 || len(m.Rows[0]) != 4 {
+		t.Fatalf("matrix shape = %dx%d", len(m.Rows), len(m.Rows[0]))
+	}
+	if !strings.Contains(m.String(), "lab-a") {
+		t.Fatal("matrix render missing dataset name")
+	}
+	if st := res.SizeTable(); len(st.Rows) != 3 {
+		t.Fatalf("size table rows = %d", len(st.Rows))
+	}
+}
+
+// TestTransferDeterministic: the matrix is byte-identical across runs
+// and worker counts.
+func TestTransferDeterministic(t *testing.T) {
+	base, err := json.Marshal(runTiny(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		got, err := json.Marshal(runTiny(t, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(base) {
+			t.Fatalf("workers=%d: matrix differs from workers=1", workers)
+		}
+	}
+}
+
+func TestRunRejects(t *testing.T) {
+	if _, err := Run(Config{Datasets: []DatasetSpec{{Name: "solo"}}}); err == nil {
+		t.Fatal("single dataset should be rejected")
+	}
+	if _, err := Synthesize(DatasetSpec{Name: "empty", Region: devices.LabUS}, 0); err == nil {
+		t.Fatal("empty roster should be rejected")
+	}
+	if _, err := Synthesize(DatasetSpec{Name: "bad-region", Region: "XX",
+		Profiles: devices.ExtendedProfiles(), Seed: 1}, 0); err == nil {
+		t.Fatal("unknown region should be rejected")
+	}
+}

@@ -10,8 +10,19 @@
 //	<root>/.../<lab>/<device>/<n>.pcap     packet capture (classic pcap)
 //	<root>/.../<lab>/<device>/<n>.labels   experiment windows (sidecar)
 //
-// Each pcap is decoded through internal/pcapio and internal/netx, its
-// owning device is identified — by exact catalog MAC, then by the
+// Foreign corpora that deviate from that convention — other directory
+// trees, other capture suffixes, other label formats — plug in through
+// Options.Layout (the Layout interface); internal/dataset registers
+// ready-made layouts for pcapng, 802.1Q trunk and Linux cooked (SLL)
+// corpora. Capture containers may be classic pcap (either endianness,
+// µs or ns) or pcapng, and frames may be plain Ethernet, 802.1Q/QinQ
+// tagged, or Linux cooked: netx.DecodeLink normalizes capture metadata
+// to Ethernet-equivalent lengths so size features never depend on the
+// framing (tag/SLL records are tallied in Report.VLANRecords and
+// Report.SLLRecords).
+//
+// Each capture is decoded through internal/pcapio and internal/netx,
+// its owning device is identified — by exact catalog MAC, then by the
 // device-asserted DHCP/mDNS/SSDP hostname, vendor OUI or DNS fingerprint
 // (internal/analysis.IdentifyCapture), and finally by the directory name
 // — and its packets are sliced into the labelled experiment windows. The
@@ -70,4 +81,12 @@
 // unidentifiable and unlabeled traffic is dropped, and every skip is
 // counted by reason in the Report and the attached obs registry, so a
 // lossy run is visible instead of silent.
+//
+// With Options.InferLabels, unlabeled traffic is attributed instead of
+// dropped: the identification evidence above names the device, a
+// synthetic idle window (activity "inferred") covers the attributed
+// packets, and each attribution is reported per device with its method
+// and confidence tier — mac/hostname high, oui/path medium, dns low —
+// in Report.Inferred and the LabelTable. Report.Strict still fails on
+// inferred labels; they are attributions, not ground truth.
 package ingest

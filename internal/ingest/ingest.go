@@ -69,6 +69,18 @@ type Options struct {
 	// can prove that. Replay-pass scheduling is not shuffled: its
 	// first-occurrence order is what bounds the reorder window.
 	DispatchSeed int64
+	// Layout maps a foreign capture tree's conventions (file naming,
+	// label storage, device hints) onto the campaign model; nil means
+	// the native Mon(IoT)r convention. See Layout and internal/dataset.
+	Layout Layout
+	// InferLabels attributes unlabeled traffic instead of skipping it:
+	// captures without usable experiment windows (and the unclaimed tail
+	// of partially labeled ones) become synthesized idle windows,
+	// attributed by the same MAC/hostname/OUI/DNS evidence tiers the
+	// identifier uses and tallied per device with a confidence grade in
+	// Report.Inferred. Off by default: inference trades ground truth for
+	// coverage, and strict mode flags whatever it admits.
+	InferLabels bool
 }
 
 // SkipReport counts traffic dropped during ingestion, by reason.
@@ -95,15 +107,42 @@ type Report struct {
 	Bytes       int64
 	Experiments int
 	Skips       SkipReport
+	// VLANRecords and SLLRecords count records that arrived with 802.1Q
+	// tags or linux-SLL framing — foreign capture shapes the decoder
+	// normalized to the Ethernet-equivalent view.
+	VLANRecords int
+	SLLRecords  int
+	// Inferred tallies label inference per (device, method), sorted;
+	// empty unless Options.InferLabels attributed something.
+	Inferred []InferredLabel
+}
+
+// InferredPackets is the total number of packets that carry an inferred
+// rather than ground-truth label.
+func (r Report) InferredPackets() int {
+	n := 0
+	for _, l := range r.Inferred {
+		n += l.Packets
+	}
+	return n
 }
 
 // String renders the report compactly for log output.
 func (r Report) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"%d files, %d records (%s) -> %d experiments; skipped: %d truncated, %d unknown-device, %d unlabeled pkts, %d undecodable, %d bad files",
 		r.Files, r.Records, obs.HumanBytes(r.Bytes), r.Experiments,
 		r.Skips.TruncatedFiles, r.Skips.UnknownDevice, r.Skips.UnlabeledPackets,
 		r.Skips.DecodeErrors, r.Skips.BadFiles)
+	if len(r.Inferred) > 0 {
+		var parts []string
+		for _, l := range r.Inferred {
+			parts = append(parts, fmt.Sprintf("%s %d pkts/%d win (%s, %s)",
+				l.Device, l.Packets, l.Windows, l.Method, l.Confidence))
+		}
+		s += "; inferred labels: " + strings.Join(parts, ", ")
+	}
+	return s
 }
 
 // Strict returns an error when the run skipped anything CI should not
@@ -123,6 +162,9 @@ func (r Report) Strict() error {
 	add(r.Skips.UnlabeledPackets, "unlabeled packet(s)")
 	add(r.Skips.DecodeErrors, "undecodable record(s)")
 	add(r.Skips.BadFiles, "unreadable file(s)")
+	// Inferred labels are admitted traffic, but not ground truth: CI
+	// runs that demand fully labeled input must fail on them too.
+	add(r.InferredPackets(), "inferred-label packet(s)")
 	if len(parts) == 0 {
 		return nil
 	}
@@ -137,9 +179,10 @@ func (r Report) Strict() error {
 type Source struct {
 	root     string
 	opts     Options
+	layout   Layout
 	internet *cloud.Internet
 	catalog  []*devices.Instance
-	files    []string // root-relative pcap paths, lexically sorted
+	files    []string // root-relative capture paths, lexically sorted
 
 	metrics *obs.Registry
 
@@ -201,20 +244,28 @@ func (a sortKey) less(b sortKey) bool {
 	return a.window < b.window
 }
 
-// Open scans root for capture files. It fails only when the directory
-// itself is unusable or holds no pcaps at all; per-file problems are
-// deferred to ingestion, where they are counted and skipped.
+// Open scans root for capture files (as defined by Options.Layout; the
+// default is the native ".pcap" convention). It fails only when the
+// directory itself is unusable or holds no captures at all; per-file
+// problems are deferred to ingestion, where they are counted and
+// skipped.
 func Open(root string, opts Options) (*Source, error) {
-	s := &Source{root: root, opts: opts}
+	s := &Source{root: root, opts: opts, layout: opts.Layout}
+	if s.layout == nil {
+		s.layout = nativeLayout{}
+	}
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
-		if !d.IsDir() && strings.HasSuffix(d.Name(), ".pcap") {
-			rel, err := filepath.Rel(root, path)
-			if err != nil {
-				return err
-			}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if s.layout.IsCapture(filepath.ToSlash(rel)) {
 			s.files = append(s.files, rel)
 		}
 		return nil
@@ -223,7 +274,7 @@ func Open(root string, opts Options) (*Source, error) {
 		return nil, fmt.Errorf("ingest: %w", err)
 	}
 	if len(s.files) == 0 {
-		return nil, fmt.Errorf("ingest: no .pcap files under %s", root)
+		return nil, fmt.Errorf("ingest: no capture files under %s", root)
 	}
 	sort.Strings(s.files)
 	s.internet = opts.Internet
@@ -436,6 +487,9 @@ func addReport(dst *Report, src Report) {
 	dst.Skips.UnlabeledPackets += src.Skips.UnlabeledPackets
 	dst.Skips.DecodeErrors += src.Skips.DecodeErrors
 	dst.Skips.BadFiles += src.Skips.BadFiles
+	dst.VLANRecords += src.VLANRecords
+	dst.SLLRecords += src.SLLRecords
+	dst.Inferred = mergeInferred(dst.Inferred, src.Inferred)
 }
 
 // publishReport mirrors the final ingestion counts into the metrics
@@ -450,6 +504,14 @@ func (s *Source) publishReport() {
 	s.metrics.Counter("ingest_skips.unlabeled").Add(int64(s.report.Skips.UnlabeledPackets))
 	s.metrics.Counter("ingest_skips.decode").Add(int64(s.report.Skips.DecodeErrors))
 	s.metrics.Counter("ingest_skips.bad_file").Add(int64(s.report.Skips.BadFiles))
+	s.metrics.Counter("ingest_link_records.vlan").Add(int64(s.report.VLANRecords))
+	s.metrics.Counter("ingest_link_records.sll").Add(int64(s.report.SLLRecords))
+	s.metrics.Counter("ingest_labels_inferred_total").Add(int64(s.report.InferredPackets()))
+	var infWindows int
+	for _, l := range s.report.Inferred {
+		infWindows += l.Windows
+	}
+	s.metrics.Counter("ingest_labels_inferred_windows_total").Add(int64(infWindows))
 }
 
 // slotPos locates an instance in the campaign order: lab index in
@@ -552,24 +614,46 @@ func (s *Source) decodeCapture(res *fileResult, rel string, rd *pcapio.Reader) {
 		}
 		res.report.Records++
 		res.report.Bytes += int64(len(rec.Data))
-		p, err := netx.Decode(rec.Time, rec.Data)
+		link := rec.Link
+		if link == 0 {
+			link = rd.LinkType()
+		}
+		p, err := netx.DecodeLink(rec.Time, rec.Data, link)
 		if err != nil {
 			res.report.Skips.DecodeErrors++
 			continue
 		}
-		p.Meta.Length = rec.OrigLen
+		// DecodeLink normalizes CaptureLength to the frame's
+		// Ethernet-equivalent size; apply the same framing overhead to the
+		// original wire length so size features over VLAN/SLL captures
+		// match the same traffic captured natively.
+		overhead := len(rec.Data) - p.Meta.CaptureLength
+		if n := rec.OrigLen - overhead; n >= 0 {
+			p.Meta.Length = n
+		} else {
+			p.Meta.Length = 0 // corrupt header: OrigLen below the framing
+		}
+		if p.SLL != nil {
+			res.report.SLLRecords++
+		} else if len(p.Eth.VLAN) > 0 {
+			res.report.VLANRecords++
+		}
 		pkts = append(pkts, p)
 	}
 
 	labels := s.readLabels(rel)
 	if len(labels) == 0 {
+		if s.opts.InferLabels && len(pkts) > 0 {
+			s.inferWindows(res, rel, pkts, nil, 0)
+			return
+		}
 		// A capture without experiment windows contributes nothing.
 		res.report.Skips.UnlabeledPackets += len(pkts)
 		return
 	}
 	sort.Slice(labels, func(i, j int) bool { return labels[i].Start.Before(labels[j].Start) })
 
-	inst := s.identify(rel, pkts)
+	inst, method := s.identify(rel, pkts)
 	if inst == nil {
 		res.report.Skips.UnknownDevice++
 		return
@@ -611,36 +695,104 @@ func (s *Source) decodeCapture(res *fileResult, rel string, rd *pcapio.Reader) {
 		})
 		res.report.Experiments++
 	}
-	for _, c := range claimed {
+	var unclaimed []*netx.Packet
+	for i, c := range claimed {
 		if !c {
-			res.report.Skips.UnlabeledPackets++
+			unclaimed = append(unclaimed, pkts[i])
 		}
+	}
+	if len(unclaimed) > 0 {
+		if s.opts.InferLabels {
+			// The device is already known from the labeled windows; the
+			// unclaimed tail becomes one inferred idle window after them.
+			s.inferredEntry(res, rel, unclaimed, inst, method, len(labels))
+			return
+		}
+		res.report.Skips.UnlabeledPackets += len(unclaimed)
 	}
 }
 
-// readLabels loads the sidecar next to a pcap; a missing or unreadable
-// sidecar is the same as an unlabeled capture.
-func (s *Source) readLabels(rel string) []pcapio.Label {
-	path := filepath.Join(s.root, strings.TrimSuffix(rel, ".pcap")+".labels")
-	f, err := os.Open(path)
-	if err != nil {
-		return nil
+// inferWindows attributes a fully unlabeled capture: identification
+// evidence picks the device, and the packets become one synthesized idle
+// window spanning their time range.
+func (s *Source) inferWindows(res *fileResult, rel string, pkts []*netx.Packet, known *devices.Instance, windowBase int) {
+	inst, method := known, ""
+	if inst == nil {
+		inst, method = s.identify(rel, pkts)
 	}
-	defer f.Close()
-	labels, err := pcapio.ReadLabels(f)
+	if inst == nil {
+		res.report.Skips.UnknownDevice++
+		res.report.Skips.UnlabeledPackets += len(pkts)
+		return
+	}
+	s.inferredEntry(res, rel, pkts, inst, method, windowBase)
+}
+
+// inferredEntry appends one synthesized idle window holding pkts,
+// attributed to inst by method, and tallies it in the report.
+func (s *Source) inferredEntry(res *fileResult, rel string, pkts []*netx.Packet, inst *devices.Instance, method string, windowBase int) {
+	pos, ok := s.slots[inst.ID()]
+	if !ok {
+		res.report.Skips.UnknownDevice++
+		res.report.Skips.UnlabeledPackets += len(pkts)
+		return
+	}
+	start, end := pkts[0].Meta.Timestamp, pkts[0].Meta.Timestamp
+	for _, p := range pkts[1:] {
+		if p.Meta.Timestamp.Before(start) {
+			start = p.Meta.Timestamp
+		}
+		if p.Meta.Timestamp.After(end) {
+			end = p.Meta.Timestamp
+		}
+	}
+	dir, file := filepath.Split(rel)
+	res.entries = append(res.entries, &entry{
+		exp: &testbed.Experiment{
+			Lab:      inst.Lab,
+			Column:   column(inst.Lab, false),
+			Device:   inst,
+			Kind:     testbed.KindIdle,
+			Activity: "inferred",
+			Start:    start,
+			End:      end.Add(time.Nanosecond),
+			Packets:  pkts,
+		},
+		key: sortKey{lab: pos.lab, slot: pos.slot, dir: dir, file: file, window: windowBase},
+	})
+	res.report.Experiments++
+	res.report.Inferred = mergeInferred(res.report.Inferred, []InferredLabel{{
+		Device:     inst.ID(),
+		Method:     method,
+		Confidence: inferConfidence(method),
+		Packets:    len(pkts),
+		Windows:    1,
+	}})
+}
+
+// readLabels loads a capture's labels through the layout; a missing or
+// unreadable sidecar is the same as an unlabeled capture.
+func (s *Source) readLabels(rel string) []pcapio.Label {
+	labels, err := s.layout.Labels(s.root, filepath.ToSlash(rel))
 	if err != nil {
 		return nil
 	}
 	return labels
 }
 
-// identify resolves a capture file to its device: traffic evidence
-// first (exact MAC, asserted hostname, OUI, DNS fingerprint), then the
-// Mon(IoT)r directory convention "<lab>/<device>/" as a last resort —
-// needed for idle windows of devices quiet enough to emit nothing.
-func (s *Source) identify(rel string, pkts []*netx.Packet) *devices.Instance {
+// identify resolves a capture file to its device and the method that
+// decided it: traffic evidence first (exact MAC, asserted hostname, OUI,
+// DNS fingerprint), then the layout's device hint — the Mon(IoT)r
+// "<lab>/<device>/" convention by default — as a last resort, needed for
+// idle windows of devices quiet enough to emit nothing.
+func (s *Source) identify(rel string, pkts []*netx.Packet) (*devices.Instance, string) {
+	hint := s.layout.DeviceHint(filepath.ToSlash(rel))
 	catalog := s.catalog
-	if lab, ok := labFromPath(rel); ok {
+	lab, scopedOK := labFromPath(rel)
+	if !scopedOK && hint != "" {
+		lab, scopedOK = labFromPath(hint)
+	}
+	if scopedOK {
 		scoped := catalog[:0:0]
 		for _, inst := range catalog {
 			if inst.Lab == lab {
@@ -652,22 +804,18 @@ func (s *Source) identify(rel string, pkts []*netx.Packet) *devices.Instance {
 		}
 	}
 	if len(pkts) > 0 {
-		if inst, _, err := analysis.IdentifyCapture(analysis.GatherCaptureEvidence(pkts), catalog); err == nil {
-			return inst
+		if inst, method, err := analysis.IdentifyCapture(analysis.GatherCaptureEvidence(pkts), catalog); err == nil {
+			return inst, method
 		}
 	}
-	// Directory fallback: the two path segments above the file name form
-	// the instance ID ("us/amcrest-cam").
-	parts := strings.Split(filepath.ToSlash(filepath.Dir(rel)), "/")
-	if len(parts) >= 2 {
-		id := parts[len(parts)-2] + "/" + parts[len(parts)-1]
+	if hint != "" {
 		for _, inst := range catalog {
-			if inst.ID() == id {
-				return inst
+			if inst.ID() == hint {
+				return inst, "path"
 			}
 		}
 	}
-	return nil
+	return nil, ""
 }
 
 // labFromPath finds a lab directory segment ("us", "gb") in the path.

@@ -1,0 +1,237 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/neu-sns/intl-iot-go/internal/pcapio"
+	"github.com/neu-sns/intl-iot-go/internal/testbed"
+)
+
+// writeUnlabeledCapture stores an experiment's packets as a bare pcap
+// with no sidecar, at an arbitrary path.
+func writeUnlabeledCapture(t *testing.T, path string, exp *testbed.Experiment) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pw, err := pcapio.NewWriter(f, pcapio.WriterOptions{Nanosecond: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range exp.Packets {
+		if err := pw.WritePacket(p.Meta.Timestamp, p.Serialize()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInferLabels: a capture with no sidecar is dead weight by default,
+// but with Options.InferLabels the identification evidence attributes it
+// and the packets arrive as one synthesized idle window — with the tally
+// surfaced through Report.Inferred, String, Strict and LabelTable, and
+// identically for any worker count.
+func TestInferLabels(t *testing.T) {
+	lab := makeLab(t)
+	slot := lab.Slots()[0]
+	exp := lab.RunPower(slot, false, testbed.StudyEpoch, 0)
+	if len(exp.Packets) == 0 {
+		t.Fatal("power experiment synthesized no packets")
+	}
+
+	root := t.TempDir()
+	devDir := filepath.Join(root, "unattended", filepath.FromSlash(slot.Inst.ID()))
+	writeUnlabeledCapture(t, filepath.Join(devDir, "000000.pcap"), exp)
+
+	// Default: counted and skipped, nothing inferred.
+	src, err := Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	src.RunControlled(func(*testbed.Experiment) { delivered++ })
+	src.RunIdle(func(*testbed.Experiment) { delivered++ })
+	rep := src.Report()
+	if delivered != 0 || rep.Skips.UnlabeledPackets != len(exp.Packets) || len(rep.Inferred) != 0 {
+		t.Fatalf("default ingest delivered %d experiments, skipped %d packets, inferred %v",
+			delivered, rep.Skips.UnlabeledPackets, rep.Inferred)
+	}
+	if rep.LabelTable() != nil {
+		t.Fatal("LabelTable should be nil without inference")
+	}
+
+	var want Report
+	for _, workers := range []int{1, 2, 5} {
+		src, err := Open(root, Options{Workers: workers, InferLabels: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var idle []*testbed.Experiment
+		src.RunControlled(func(*testbed.Experiment) { t.Error("inferred window delivered as controlled") })
+		src.RunIdle(func(e *testbed.Experiment) { idle = append(idle, e) })
+		if len(idle) != 1 {
+			t.Fatalf("workers=%d: delivered %d idle experiments, want 1", workers, len(idle))
+		}
+		e := idle[0]
+		if e.Device.ID() != slot.Inst.ID() || e.Kind != testbed.KindIdle || e.Activity != "inferred" {
+			t.Fatalf("inferred experiment = (%s, %s, %q)", e.Device.ID(), e.Kind, e.Activity)
+		}
+		if len(e.Packets) != len(exp.Packets) {
+			t.Fatalf("inferred window holds %d packets, want %d", len(e.Packets), len(exp.Packets))
+		}
+
+		rep := src.Report()
+		if rep.Skips.UnlabeledPackets != 0 {
+			t.Fatalf("workers=%d: %d packets still counted unlabeled", workers, rep.Skips.UnlabeledPackets)
+		}
+		if len(rep.Inferred) != 1 {
+			t.Fatalf("workers=%d: inferred tally = %+v, want one row", workers, rep.Inferred)
+		}
+		inf := rep.Inferred[0]
+		if inf.Device != slot.Inst.ID() || inf.Packets != len(exp.Packets) || inf.Windows != 1 {
+			t.Fatalf("inferred row = %+v", inf)
+		}
+		if inf.Method == "" || inf.Confidence == "" {
+			t.Fatalf("inferred row missing method/confidence: %+v", inf)
+		}
+		if !strings.Contains(rep.String(), "inferred labels") {
+			t.Fatalf("report string hides the inference: %s", rep)
+		}
+		if err := rep.Strict(); err == nil || !strings.Contains(err.Error(), "inferred-label") {
+			t.Fatalf("strict mode should flag inferred labels, got %v", err)
+		}
+		if tab := rep.LabelTable(); tab == nil || len(tab.Rows) != 1 {
+			t.Fatalf("LabelTable = %+v", tab)
+		}
+		if workers == 1 {
+			want = rep
+		} else if !reflect.DeepEqual(rep, want) {
+			t.Fatalf("workers=%d: report %+v differs from workers=1 %+v", workers, rep, want)
+		}
+	}
+}
+
+// TestInferLabelsPartial: a labeled capture with a trailing unclaimed
+// burst keeps its labeled windows untouched and gains one inferred idle
+// window holding the tail.
+func TestInferLabelsPartial(t *testing.T) {
+	lab := makeLab(t)
+	slot := lab.Slots()[0]
+	exp := lab.RunPower(slot, false, testbed.StudyEpoch, 0)
+	if len(exp.Packets) < 4 {
+		t.Fatal("need a multi-packet experiment")
+	}
+
+	// The label covers only the first half of the packets.
+	cut := exp.Packets[len(exp.Packets)/2].Meta.Timestamp
+	label := exp.Label()
+	label.End = cut
+
+	root := t.TempDir()
+	devDir := filepath.Join(root, "controlled", filepath.FromSlash(slot.Inst.ID()))
+	writeUnlabeledCapture(t, filepath.Join(devDir, "000000.pcap"), exp)
+	writeLabels(t, filepath.Join(devDir, "000000.labels"), []pcapio.Label{label})
+
+	src, err := Open(root, Options{InferLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var controlled, idle []*testbed.Experiment
+	src.RunControlled(func(e *testbed.Experiment) { controlled = append(controlled, e) })
+	src.RunIdle(func(e *testbed.Experiment) { idle = append(idle, e) })
+	if len(controlled) != 1 || len(idle) != 1 {
+		t.Fatalf("delivered %d controlled + %d idle, want 1 + 1", len(controlled), len(idle))
+	}
+	tail := idle[0]
+	if tail.Activity != "inferred" || tail.Device.ID() != slot.Inst.ID() {
+		t.Fatalf("tail window = (%s, %q)", tail.Device.ID(), tail.Activity)
+	}
+	if got := len(controlled[0].Packets) + len(tail.Packets); got != len(exp.Packets) {
+		t.Fatalf("windows hold %d packets total, want %d", got, len(exp.Packets))
+	}
+	if len(tail.Packets) == 0 {
+		t.Fatal("inferred tail window is empty")
+	}
+	rep := src.Report()
+	if rep.Skips.UnlabeledPackets != 0 || len(rep.Inferred) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Inferred[0].Packets != len(tail.Packets) {
+		t.Fatalf("inferred tally %d packets, window has %d", rep.Inferred[0].Packets, len(tail.Packets))
+	}
+}
+
+// flatLayout is a minimal foreign convention for testing the Layout
+// hook: captures are "<lab>__<device>__<n>.cap" at the tree root, labels
+// sit in a "meta/" subtree.
+type flatLayout struct{}
+
+func (flatLayout) IsCapture(rel string) bool { return strings.HasSuffix(rel, ".cap") }
+
+func (flatLayout) Labels(root, rel string) ([]pcapio.Label, error) {
+	f, err := os.Open(filepath.Join(root, "meta", strings.TrimSuffix(rel, ".cap")+".labels"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return pcapio.ReadLabels(f)
+}
+
+func (flatLayout) DeviceHint(rel string) string {
+	parts := strings.SplitN(filepath.Base(rel), "__", 3)
+	if len(parts) != 3 {
+		return ""
+	}
+	return parts[0] + "/" + parts[1]
+}
+
+// TestCustomLayout drives ingest through a foreign directory convention
+// end to end: discovery, labels and the device hint all come from the
+// Layout, and the delivered experiments match the native ingest of the
+// same traffic.
+func TestCustomLayout(t *testing.T) {
+	lab := makeLab(t)
+	slot := lab.Slots()[0]
+	exp := lab.RunPower(slot, false, testbed.StudyEpoch, 0)
+
+	root := t.TempDir()
+	id := strings.ReplaceAll(slot.Inst.ID(), "/", "__")
+	writeUnlabeledCapture(t, filepath.Join(root, id+"__000000.cap"), exp)
+	if err := os.MkdirAll(filepath.Join(root, "meta"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeLabels(t, filepath.Join(root, "meta", id+"__000000.labels"), []pcapio.Label{exp.Label()})
+	// A native-looking stray that the layout must not pick up.
+	if err := os.WriteFile(filepath.Join(root, "ignored.pcap"), []byte("not a capture"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := Open(root, Options{Layout: flatLayout{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*testbed.Experiment
+	src.RunControlled(func(e *testbed.Experiment) { got = append(got, e) })
+	if len(got) != 1 {
+		t.Fatalf("delivered %d experiments, want 1", len(got))
+	}
+	if got[0].Device.ID() != slot.Inst.ID() || len(got[0].Packets) != len(exp.Packets) {
+		t.Fatalf("experiment = (%s, %d packets), want (%s, %d)",
+			got[0].Device.ID(), len(got[0].Packets), slot.Inst.ID(), len(exp.Packets))
+	}
+	rep := src.Report()
+	if rep.Files != 1 || rep.Skips.BadFiles != 0 {
+		t.Fatalf("layout leaked the stray .pcap into the walk: %+v", rep)
+	}
+}

@@ -1,5 +1,6 @@
 // Package netx implements a from-scratch packet model with wire-format
-// codecs for Ethernet, ARP, IPv4, IPv6, ICMP, TCP and UDP, plus
+// codecs for Ethernet (untagged, 802.1Q/QinQ-tagged, and linux-SLL
+// cooked framing), ARP, IPv4, IPv6, ICMP, TCP and UDP, plus
 // gopacket-style flow and endpoint abstractions.
 //
 // The package is the foundation of the testbed: simulated devices emit
@@ -8,4 +9,17 @@
 // decodes again through this same package. Round-tripping through real wire
 // bytes keeps the analysis honest: it only ever sees what tcpdump would
 // have seen.
+//
+// Foreign captures arrive through DecodeLink, which dispatches on the
+// pcap link type: Ethernet frames may carry an 802.1Q tag chain (kept
+// losslessly on Ethernet.VLAN), and Linux cooked captures (DLT 113, the
+// tcpdump -i any format) decode through a synthesized Ethernet view that
+// preserves the source MAC. DecodeLink normalizes Meta.CaptureLength and
+// Meta.Length to the frame's Ethernet-equivalent byte count — VLAN tags
+// subtract four bytes each, the 16-byte SLL header counts as the 14-byte
+// Ethernet header it replaced — so size-based features computed from a
+// foreign capture are byte-identical to the same traffic captured
+// natively. EncapsulateVLAN and EthernetToSLL perform the inverse
+// rewrites; the dataset fixtures use them to synthesize trunk-port and
+// gateway-style captures from testbed traffic.
 package netx

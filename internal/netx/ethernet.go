@@ -12,15 +12,18 @@ const (
 // EthernetHeaderLen is the length of an untagged Ethernet II header.
 const EthernetHeaderLen = 14
 
-// Ethernet is an Ethernet II frame header.
+// Ethernet is an Ethernet II frame header. VLAN holds any 802.1Q/QinQ
+// tag chain between the source MAC and the EtherType (outermost first);
+// EtherType is always the innermost, payload-describing value.
 type Ethernet struct {
 	Src       MAC
 	Dst       MAC
 	EtherType uint16
+	VLAN      []VLANTag
 }
 
-// decodeEthernet parses an Ethernet II header and returns the header and
-// the payload that follows it.
+// decodeEthernet parses an Ethernet II header — stripping any 802.1Q tag
+// chain — and returns the header and the payload that follows it.
 func decodeEthernet(b []byte) (Ethernet, []byte, error) {
 	if len(b) < EthernetHeaderLen {
 		return Ethernet{}, nil, fmt.Errorf("netx: ethernet frame too short (%d bytes)", len(b))
@@ -28,14 +31,23 @@ func decodeEthernet(b []byte) (Ethernet, []byte, error) {
 	var e Ethernet
 	copy(e.Dst[:], b[0:6])
 	copy(e.Src[:], b[6:12])
-	e.EtherType = be16(b[12:14])
-	return e, b[EthernetHeaderLen:], nil
+	var rest []byte
+	e.EtherType, e.VLAN, rest = decodeVLANs(be16(b[12:14]), b[EthernetHeaderLen:])
+	return e, rest, nil
 }
 
-// appendEthernet serializes the header, appending to dst.
+// appendEthernet serializes the header — including any VLAN tag chain —
+// appending to dst. It is the inverse of decodeEthernet.
 func appendEthernet(dst []byte, e Ethernet) []byte {
 	dst = append(dst, e.Dst[:]...)
 	dst = append(dst, e.Src[:]...)
+	for _, tag := range e.VLAN {
+		tpid := tag.TPID
+		if tpid == 0 {
+			tpid = EtherTypeVLAN
+		}
+		dst = append(dst, byte(tpid>>8), byte(tpid), byte(tag.TCI>>8), byte(tag.TCI))
+	}
 	dst = append(dst, byte(e.EtherType>>8), byte(e.EtherType))
 	return dst
 }

@@ -1,0 +1,151 @@
+package netx
+
+import (
+	"fmt"
+	"time"
+)
+
+// Link types the decoder understands, numerically equal to the pcap DLT
+// values the capture formats carry.
+const (
+	LinkEthernet uint32 = 1
+	LinkLinuxSLL uint32 = 113
+)
+
+// 802.1Q tag protocol identifiers.
+const (
+	EtherTypeVLAN uint16 = 0x8100 // customer tag
+	EtherTypeQinQ uint16 = 0x88a8 // service tag (802.1ad outer tag)
+)
+
+// VLANTagLen is the on-wire size of one 802.1Q tag.
+const VLANTagLen = 4
+
+// SLLHeaderLen is the size of the Linux "cooked" capture header that
+// replaces the Ethernet header on DLT 113 frames (tcpdump -i any).
+const SLLHeaderLen = 16
+
+// VLANTag is one 802.1Q tag, kept losslessly (TPID distinguishes
+// customer from QinQ service tags; TCI carries priority, DEI and the
+// VLAN id) so tagged frames re-serialize byte-identically.
+type VLANTag struct {
+	TPID uint16 // 0x8100 or 0x88a8; 0 serializes as 0x8100
+	TCI  uint16
+}
+
+// ID extracts the 12-bit VLAN identifier.
+func (t VLANTag) ID() uint16 { return t.TCI & 0x0fff }
+
+// SLL is the decoded Linux cooked-capture header. Only the source
+// link-layer address survives the kernel's rewrite, so the synthesized
+// Ethernet view of such a frame has a zero destination MAC; everything
+// the analysis tables consume (source MAC evidence, IP flows, payload)
+// is preserved.
+type SLL struct {
+	PacketType uint16 // 0 host, 1 broadcast, 2 multicast, 3 other-host, 4 outgoing
+	ARPHRD     uint16 // 1 for Ethernet-backed interfaces
+	HALen      uint16
+	Addr       [8]byte
+}
+
+// decodeVLANs strips an 802.1Q / QinQ tag chain. A truncated tag leaves
+// the chain as-is (graceful degrade, like every other layer).
+func decodeVLANs(etherType uint16, b []byte) (uint16, []VLANTag, []byte) {
+	var tags []VLANTag
+	for (etherType == EtherTypeVLAN || etherType == EtherTypeQinQ) && len(b) >= VLANTagLen {
+		tags = append(tags, VLANTag{TPID: etherType, TCI: be16(b[0:2])})
+		etherType = be16(b[2:4])
+		b = b[VLANTagLen:]
+	}
+	return etherType, tags, b
+}
+
+// DecodeLink decodes a captured frame of the given link type (0 means
+// Ethernet, matching pcapio.Record.Link's "file default" sentinel).
+//
+// Unlike Decode, the capture metadata is normalized to the frame's
+// Ethernet-equivalent length: VLAN tags subtract 4 bytes each and the
+// 16-byte SLL header counts as the 14-byte Ethernet header it replaced.
+// Size-based features computed over foreign captures therefore match the
+// same traffic captured natively, which is what keeps dataset-adapter
+// ingest byte-identical to native ingest. Callers that track the
+// original wire length should apply the same framing overhead:
+// Meta.CaptureLength on return is len(frame) minus that overhead.
+func DecodeLink(ts time.Time, frame []byte, link uint32) (*Packet, error) {
+	switch link {
+	case 0, LinkEthernet:
+		p, err := Decode(ts, frame)
+		if err != nil {
+			return nil, err
+		}
+		if n := VLANTagLen * len(p.Eth.VLAN); n > 0 {
+			p.Meta.CaptureLength -= n
+			p.Meta.Length = p.Meta.CaptureLength
+		}
+		return p, nil
+	case LinkLinuxSLL:
+		return decodeSLLFrame(ts, frame)
+	default:
+		return nil, fmt.Errorf("netx: unsupported link type %d", link)
+	}
+}
+
+func decodeSLLFrame(ts time.Time, frame []byte) (*Packet, error) {
+	if len(frame) < SLLHeaderLen {
+		return nil, fmt.Errorf("netx: sll frame too short (%d bytes)", len(frame))
+	}
+	s := &SLL{
+		PacketType: be16(frame[0:2]),
+		ARPHRD:     be16(frame[2:4]),
+		HALen:      be16(frame[4:6]),
+	}
+	copy(s.Addr[:], frame[6:14])
+	etherType, tags, body := decodeVLANs(be16(frame[14:16]), frame[SLLHeaderLen:])
+	ethEquiv := len(frame) - SLLHeaderLen + EthernetHeaderLen - VLANTagLen*len(tags)
+	p := &Packet{
+		Meta: CaptureInfo{Timestamp: ts, CaptureLength: ethEquiv, Length: ethEquiv},
+		Eth:  Ethernet{EtherType: etherType, VLAN: tags},
+		SLL:  s,
+	}
+	if s.HALen == 6 {
+		copy(p.Eth.Src[:], s.Addr[:6])
+	}
+	p.decodeNetwork(body)
+	return p, nil
+}
+
+// EncapsulateVLAN inserts an 802.1Q tag chain into an Ethernet frame,
+// the inverse of what decodeVLANs strips. The dataset fixtures use it to
+// synthesize trunk-port captures from testbed traffic.
+func EncapsulateVLAN(frame []byte, tags ...VLANTag) ([]byte, error) {
+	if len(frame) < EthernetHeaderLen {
+		return nil, fmt.Errorf("netx: ethernet frame too short (%d bytes)", len(frame))
+	}
+	out := make([]byte, 0, len(frame)+VLANTagLen*len(tags))
+	out = append(out, frame[:12]...)
+	for _, tag := range tags {
+		tpid := tag.TPID
+		if tpid == 0 {
+			tpid = EtherTypeVLAN
+		}
+		out = append(out, byte(tpid>>8), byte(tpid), byte(tag.TCI>>8), byte(tag.TCI))
+	}
+	return append(out, frame[12:]...), nil
+}
+
+// EthernetToSLL rewrites an Ethernet frame (tagged or not) as a Linux
+// cooked-capture frame: the source MAC becomes the SLL address and the
+// destination MAC is dropped, exactly as the kernel's any-interface
+// capture path does.
+func EthernetToSLL(frame []byte, packetType uint16) ([]byte, error) {
+	if len(frame) < EthernetHeaderLen {
+		return nil, fmt.Errorf("netx: ethernet frame too short (%d bytes)", len(frame))
+	}
+	out := make([]byte, 0, len(frame)-EthernetHeaderLen+SLLHeaderLen)
+	out = append(out, byte(packetType>>8), byte(packetType))
+	out = append(out, 0, 1)           // ARPHRD_ETHER
+	out = append(out, 0, 6)           // address length
+	out = append(out, frame[6:12]...) // source MAC
+	out = append(out, 0, 0)           // address padding
+	return append(out, frame[12:]...), nil
+}

@@ -1,0 +1,133 @@
+package netx
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// testFrame builds a plain Ethernet UDP frame via the serializer.
+func testFrame(t *testing.T) ([]byte, *Packet) {
+	t.Helper()
+	p := &Packet{
+		Eth: Ethernet{
+			Src:       MAC{0x02, 0x42, 0xac, 0x11, 0x00, 0x02},
+			Dst:       MAC{0x02, 0x42, 0xac, 0x11, 0x00, 0x01},
+			EtherType: EtherTypeIPv4,
+		},
+		IPv4:    &IPv4{Src: MustParseAddr("10.0.0.2"), Dst: MustParseAddr("8.8.8.8"), TTL: 64, Protocol: ProtoUDP},
+		UDP:     &UDP{SrcPort: 5000, DstPort: 53},
+		Payload: []byte("hello"),
+	}
+	return p.Serialize(), p
+}
+
+func TestVLANRoundTrip(t *testing.T) {
+	frame, _ := testFrame(t)
+	ts := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+
+	tagged, err := EncapsulateVLAN(frame, VLANTag{TCI: 0x2064}) // priority 1, VLAN 100
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tagged) != len(frame)+VLANTagLen {
+		t.Fatalf("tagged frame length %d, want %d", len(tagged), len(frame)+VLANTagLen)
+	}
+
+	p, err := DecodeLink(ts, tagged, LinkEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Eth.VLAN) != 1 || p.Eth.VLAN[0].ID() != 100 || p.Eth.VLAN[0].TPID != EtherTypeVLAN {
+		t.Fatalf("VLAN chain = %+v", p.Eth.VLAN)
+	}
+	if p.Eth.EtherType != EtherTypeIPv4 || p.UDP == nil || string(p.Payload) != "hello" {
+		t.Fatalf("inner layers lost: %v", p)
+	}
+	// Length normalization: the tagged frame must report the untagged
+	// Ethernet-equivalent size.
+	if p.Meta.Length != len(frame) || p.Meta.CaptureLength != len(frame) {
+		t.Fatalf("normalized length = %d/%d, want %d", p.Meta.Length, p.Meta.CaptureLength, len(frame))
+	}
+	// Serialize is the inverse of the tagged decode.
+	if !bytes.Equal(p.Serialize(), tagged) {
+		t.Fatal("tagged frame did not re-serialize byte-identically")
+	}
+	if p.WireLen() != len(tagged) {
+		t.Fatalf("WireLen = %d, want %d", p.WireLen(), len(tagged))
+	}
+
+	// QinQ: service tag outside a customer tag.
+	qinq, err := EncapsulateVLAN(frame, VLANTag{TPID: EtherTypeQinQ, TCI: 7}, VLANTag{TCI: 0x0064})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = DecodeLink(ts, qinq, 0) // 0 = default link means Ethernet
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []VLANTag{{TPID: EtherTypeQinQ, TCI: 7}, {TPID: EtherTypeVLAN, TCI: 0x0064}}
+	if !reflect.DeepEqual(p.Eth.VLAN, want) {
+		t.Fatalf("QinQ chain = %+v, want %+v", p.Eth.VLAN, want)
+	}
+	if p.Meta.Length != len(frame) {
+		t.Fatalf("QinQ normalized length = %d, want %d", p.Meta.Length, len(frame))
+	}
+	if !bytes.Equal(p.Serialize(), qinq) {
+		t.Fatal("QinQ frame did not re-serialize byte-identically")
+	}
+}
+
+func TestSLLRoundTrip(t *testing.T) {
+	frame, orig := testFrame(t)
+	ts := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+
+	cooked, err := EthernetToSLL(frame, 4) // outgoing
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cooked) != len(frame)-EthernetHeaderLen+SLLHeaderLen {
+		t.Fatalf("cooked frame length %d", len(cooked))
+	}
+
+	p, err := DecodeLink(ts, cooked, LinkLinuxSLL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SLL == nil || p.SLL.PacketType != 4 || p.SLL.ARPHRD != 1 || p.SLL.HALen != 6 {
+		t.Fatalf("SLL header = %+v", p.SLL)
+	}
+	if p.Eth.Src != orig.Eth.Src {
+		t.Fatalf("source MAC = %v, want %v", p.Eth.Src, orig.Eth.Src)
+	}
+	if !p.Eth.Dst.IsZero() {
+		t.Fatalf("destination MAC should be zero, got %v", p.Eth.Dst)
+	}
+	if p.UDP == nil || p.UDP.DstPort != 53 || string(p.Payload) != "hello" {
+		t.Fatalf("inner layers lost: %v", p)
+	}
+	if p.Meta.Length != len(frame) || p.Meta.CaptureLength != len(frame) {
+		t.Fatalf("normalized length = %d, want Ethernet-equivalent %d", p.Meta.Length, len(frame))
+	}
+}
+
+func TestDecodeLinkRejects(t *testing.T) {
+	ts := time.Now()
+	if _, err := DecodeLink(ts, make([]byte, 64), 12345); err == nil {
+		t.Fatal("unknown link type accepted")
+	}
+	if _, err := DecodeLink(ts, make([]byte, 8), LinkLinuxSLL); err == nil {
+		t.Fatal("short SLL frame accepted")
+	}
+	// A truncated VLAN tag degrades rather than fails.
+	frame, _ := testFrame(t)
+	tagged, err := EncapsulateVLAN(frame, VLANTag{TCI: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DecodeLink(ts, tagged[:15], LinkEthernet)
+	if err != nil || p == nil {
+		t.Fatalf("truncated tag should degrade gracefully, got %v", err)
+	}
+}

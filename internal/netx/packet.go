@@ -19,7 +19,11 @@ type CaptureInfo struct {
 type Packet struct {
 	Meta CaptureInfo
 
-	Eth  Ethernet
+	Eth Ethernet
+	// SLL is set for frames decoded from Linux cooked captures
+	// (DecodeLink with LinkLinuxSLL); Eth then holds the synthesized
+	// Ethernet view (source MAC from the SLL address, zero destination).
+	SLL  *SLL
 	ARP  *ARP
 	IPv4 *IPv4
 	IPv6 *IPv6
@@ -43,19 +47,25 @@ func Decode(ts time.Time, frame []byte) (*Packet, error) {
 		Meta: CaptureInfo{Timestamp: ts, CaptureLength: len(frame), Length: len(frame)},
 		Eth:  eth,
 	}
-	switch eth.EtherType {
+	p.decodeNetwork(rest)
+	return p, nil
+}
+
+// decodeNetwork parses the network layer selected by Eth.EtherType.
+func (p *Packet) decodeNetwork(rest []byte) {
+	switch p.Eth.EtherType {
 	case EtherTypeARP:
 		a, err := decodeARP(rest)
 		if err != nil {
 			p.Payload = rest
-			return p, nil
+			return
 		}
 		p.ARP = a
 	case EtherTypeIPv4:
 		h, body, err := decodeIPv4(rest)
 		if err != nil {
 			p.Payload = rest
-			return p, nil
+			return
 		}
 		p.IPv4 = h
 		p.decodeTransport(h.Protocol, body)
@@ -63,14 +73,13 @@ func Decode(ts time.Time, frame []byte) (*Packet, error) {
 		h, body, err := decodeIPv6(rest)
 		if err != nil {
 			p.Payload = rest
-			return p, nil
+			return
 		}
 		p.IPv6 = h
 		p.decodeTransport(h.NextHeader, body)
 	default:
 		p.Payload = rest
 	}
-	return p, nil
 }
 
 func (p *Packet) decodeTransport(proto uint8, body []byte) {
@@ -195,7 +204,7 @@ func (p *Packet) TransportPorts() (srcPort, dstPort uint16, proto uint8, ok bool
 
 // WireLen is the serialized length of the packet in bytes.
 func (p *Packet) WireLen() int {
-	n := EthernetHeaderLen
+	n := EthernetHeaderLen + VLANTagLen*len(p.Eth.VLAN)
 	switch {
 	case p.ARP != nil:
 		return n + arpLen

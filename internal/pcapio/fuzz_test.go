@@ -58,6 +58,60 @@ func byteSwapped(seed []byte) []byte {
 	return out
 }
 
+// lockstep runs the streaming and zero-copy readers over the same bytes
+// and fails on any divergence: acceptance, record contents, or terminal
+// error class. It is the shared invariant for FuzzReader (classic pcap
+// seeds) and FuzzNGReader (pcapng seeds) — NewReader sniffs the format,
+// so either fuzzer can wander into the other's parser.
+func lockstep(t *testing.T, data []byte) {
+	r, err := NewReader(bytes.NewReader(data))
+	br, berr := NewReaderBytes(data)
+	if err != nil {
+		// The zero-copy reader must reject exactly what the streaming
+		// reader rejects.
+		if berr == nil {
+			t.Fatalf("NewReaderBytes accepted a header NewReader rejected: %v", err)
+		}
+		return
+	}
+	if berr != nil {
+		t.Fatalf("NewReaderBytes rejected a header NewReader accepted: %v", berr)
+	}
+	for {
+		rec, err := r.Next()
+		brec, berr := br.Next()
+		if err != nil {
+			var trunc *ErrTruncated
+			if errors.Is(err, io.EOF) || errors.As(err, &trunc) {
+				// Terminal condition classes must agree between readers.
+				var btrunc *ErrTruncated
+				if !errors.Is(berr, io.EOF) && !errors.As(berr, &btrunc) {
+					t.Fatalf("reader ended with %v, bytes reader with %v", err, berr)
+				}
+				return
+			}
+			if !strings.HasPrefix(err.Error(), "pcapio:") {
+				t.Fatalf("unexpected error shape: %v", err)
+			}
+			if berr == nil {
+				t.Fatalf("reader failed with %v, bytes reader kept going", err)
+			}
+			return
+		}
+		if berr != nil {
+			t.Fatalf("reader decoded a record the bytes reader rejected: %v", berr)
+		}
+		if !rec.Time.Equal(brec.Time) || rec.OrigLen != brec.OrigLen ||
+			rec.Link != brec.Link || !bytes.Equal(rec.Data, brec.Data) {
+			t.Fatalf("record mismatch: stream %v/%d/%x, bytes %v/%d/%x",
+				rec.Time, rec.OrigLen, rec.Data, brec.Time, brec.OrigLen, brec.Data)
+		}
+		if len(rec.Data) > MaxSnapLen+packetHeaderLen+65536 {
+			t.Fatalf("oversized record slipped through: %d bytes", len(rec.Data))
+		}
+	}
+}
+
 // FuzzReader throws arbitrary bytes at NewReader/Next. The invariant is
 // purely defensive: no panic, no runaway allocation, and errors are
 // either io.EOF, *ErrTruncated or a descriptive parse error.
@@ -70,53 +124,49 @@ func FuzzReader(f *testing.F) {
 	f.Add(micro[:fileHeaderLen+5])
 	f.Add([]byte{})
 
-	f.Fuzz(func(t *testing.T, data []byte) {
-		r, err := NewReader(bytes.NewReader(data))
-		br, berr := NewReaderBytes(data)
-		if err != nil {
-			// The zero-copy reader must reject exactly what the streaming
-			// reader rejects.
-			if berr == nil {
-				t.Fatalf("NewReaderBytes accepted a header NewReader rejected: %v", err)
-			}
-			return
-		}
-		if berr != nil {
-			t.Fatalf("NewReaderBytes rejected a header NewReader accepted: %v", berr)
-		}
-		for {
-			rec, err := r.Next()
-			brec, berr := br.Next()
-			if err != nil {
-				var trunc *ErrTruncated
-				if errors.Is(err, io.EOF) || errors.As(err, &trunc) {
-					// Terminal condition classes must agree between readers.
-					var btrunc *ErrTruncated
-					if !errors.Is(berr, io.EOF) && !errors.As(berr, &btrunc) {
-						t.Fatalf("reader ended with %v, bytes reader with %v", err, berr)
-					}
-					return
-				}
-				if !strings.HasPrefix(err.Error(), "pcapio:") {
-					t.Fatalf("unexpected error shape: %v", err)
-				}
-				if berr == nil {
-					t.Fatalf("reader failed with %v, bytes reader kept going", err)
-				}
-				return
-			}
-			if berr != nil {
-				t.Fatalf("reader decoded a record the bytes reader rejected: %v", berr)
-			}
-			if !rec.Time.Equal(brec.Time) || rec.OrigLen != brec.OrigLen || !bytes.Equal(rec.Data, brec.Data) {
-				t.Fatalf("record mismatch: stream %v/%d/%x, bytes %v/%d/%x",
-					rec.Time, rec.OrigLen, rec.Data, brec.Time, brec.OrigLen, brec.Data)
-			}
-			if len(rec.Data) > MaxSnapLen+packetHeaderLen+65536 {
-				t.Fatalf("oversized record slipped through: %d bytes", len(rec.Data))
-			}
-		}
+	f.Fuzz(lockstep)
+}
+
+// ngFuzzSeed builds a well-formed pcapng capture with two interfaces.
+func ngFuzzSeed(f testing.TB, bigEndian bool) []byte {
+	var buf bytes.Buffer
+	w, err := NewNGWriter(&buf, NGWriterOptions{
+		BigEndian: bigEndian,
+		Interfaces: []NGInterface{
+			{LinkType: LinkTypeEthernet, Nanosecond: true},
+			{LinkType: LinkTypeLinuxSLL},
+		},
 	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ts := time.Date(2019, 4, 1, 0, 0, 0, 123456789, time.UTC)
+	if err := w.WriteRecord(0, ts, []byte{0xde, 0xad, 0xbe, 0xef}, 0); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.WriteRecord(1, ts.Add(time.Millisecond), bytes.Repeat([]byte{0x42}, 61), 0); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzNGReader grows the corpus with pcapng shapes: both endianness,
+// multi-interface, multi-section, truncation and option blobs. The
+// invariant is the same lockstep contract as FuzzReader.
+func FuzzNGReader(f *testing.F) {
+	le := ngFuzzSeed(f, false)
+	be := ngFuzzSeed(f, true)
+	f.Add(le)
+	f.Add(be)
+	f.Add(append(append([]byte{}, le...), be...)) // two sections, mixed endianness
+	f.Add(le[:len(le)-5])                         // truncated trailing block
+	f.Add(le[:10])
+	f.Add(le[:ngMinSHBLen])
+
+	f.Fuzz(lockstep)
 }
 
 // FuzzReadLabels exercises the sidecar parser with hostile text.

@@ -58,6 +58,11 @@ type Record struct {
 	Time    time.Time
 	Data    []byte
 	OrigLen int
+	// Link is the record's link type for captures that can mix them
+	// (pcapng files set it from the interface that captured the packet);
+	// 0 means "the capture's file-level link type" and is what classic
+	// pcap records carry. Resolve with Reader.LinkType when 0.
+	Link uint32
 }
 
 // Writer writes a classic pcap stream.
@@ -280,6 +285,11 @@ type Reader struct {
 	// arena, when set via SetArena, replaces slab as the payload source,
 	// letting callers recycle decode memory across files.
 	arena *Arena
+	// ngMode marks a pcapng capture; ifaces is its per-section interface
+	// table and ngBuf the stream-mode block staging buffer (see pcapng.go).
+	ngMode bool
+	ifaces []ngIface
+	ngBuf  []byte
 }
 
 // SetArena makes the reader carve record payloads from a caller-owned
@@ -335,11 +345,20 @@ func (rd *Reader) parseFileHeader(hdr []byte) error {
 	return nil
 }
 
-// NewReader parses the file header from r.
+// NewReader parses the file header from r. Both classic libpcap and
+// pcapng captures are accepted; the first four bytes decide (the pcapng
+// section-header block type is palindromic, so no byte-order guess is
+// needed to sniff it).
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	hdr := make([]byte, fileHeaderLen)
-	if _, err := io.ReadFull(br, hdr); err != nil {
+	if _, err := io.ReadFull(br, hdr[:4]); err != nil {
+		return nil, fmt.Errorf("pcapio: reading file header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[:4]) == ngBlockSHB {
+		return newNGReaderStream(br, hdr[:4])
+	}
+	if _, err := io.ReadFull(br, hdr[4:]); err != nil {
 		return nil, fmt.Errorf("pcapio: reading file header: %w", err)
 	}
 	rd := &Reader{r: br}
@@ -357,6 +376,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 // mapping makes the records read-only too. SetArena has no effect in
 // bytes mode.
 func NewReaderBytes(data []byte) (*Reader, error) {
+	if len(data) >= 4 && binary.LittleEndian.Uint32(data[:4]) == ngBlockSHB {
+		return newNGReaderBytes(data)
+	}
 	if len(data) < fileHeaderLen {
 		return nil, fmt.Errorf("pcapio: reading file header: %w", io.ErrUnexpectedEOF)
 	}
@@ -382,6 +404,12 @@ func (r *Reader) Nanosecond() bool { return r.nano }
 // ends inside a record, so callers can count-and-continue past partially
 // written trailing records.
 func (r *Reader) Next() (Record, error) {
+	if r.ngMode {
+		if r.bytesMode {
+			return r.nextNGBytes()
+		}
+		return r.nextNGStream()
+	}
 	if r.bytesMode {
 		return r.nextBytes()
 	}

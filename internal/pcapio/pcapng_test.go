@@ -1,0 +1,351 @@
+package pcapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// ngFixture writes a two-interface capture (Ethernet + linux-SLL) with
+// three packets, exercising interface dispatch and both resolutions.
+func ngFixture(t testing.TB, bigEndian bool) ([]byte, []Record) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewNGWriter(&buf, NGWriterOptions{
+		BigEndian: bigEndian,
+		Interfaces: []NGInterface{
+			{LinkType: LinkTypeEthernet, SnapLen: DefaultSnapLen, Nanosecond: true},
+			{LinkType: LinkTypeLinuxSLL, SnapLen: 4096},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Date(2019, 4, 1, 12, 0, 0, 123456789, time.UTC)
+	recs := []struct {
+		iface int
+		ts    time.Time
+		data  []byte
+		orig  int
+	}{
+		{0, ts, []byte{0xde, 0xad, 0xbe, 0xef}, 0},
+		{1, ts.Add(time.Millisecond), bytes.Repeat([]byte{0x42}, 61), 0}, // odd length: needs padding
+		{0, ts.Add(2 * time.Millisecond), []byte{0x01}, 600},             // snapped short of the wire length
+	}
+	var want []Record
+	for _, r := range recs {
+		if err := w.WriteRecord(r.iface, r.ts, r.data, r.orig); err != nil {
+			t.Fatal(err)
+		}
+		orig := r.orig
+		if orig <= 0 {
+			orig = len(r.data)
+		}
+		wts := r.ts
+		link := uint32(LinkTypeEthernet)
+		if r.iface == 1 {
+			wts = wts.Truncate(time.Microsecond) // microsecond interface
+			link = LinkTypeLinuxSLL
+		}
+		want = append(want, Record{Time: wts, Data: r.data, OrigLen: orig, Link: link})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), want
+}
+
+func checkRecords(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Time.Equal(want[i].Time) || got[i].OrigLen != want[i].OrigLen ||
+			got[i].Link != want[i].Link || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Fatalf("record %d = %v/%d/%d/%x, want %v/%d/%d/%x", i,
+				got[i].Time, got[i].OrigLen, got[i].Link, got[i].Data,
+				want[i].Time, want[i].OrigLen, want[i].Link, want[i].Data)
+		}
+	}
+}
+
+func TestNGRoundTrip(t *testing.T) {
+	for _, be := range []bool{false, true} {
+		raw, want := ngFixture(t, be)
+
+		r, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.PcapNG() {
+			t.Fatal("reader did not detect pcapng")
+		}
+		got, err := r.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRecords(t, got, want)
+		if r.BigEndian() != be {
+			t.Fatalf("BigEndian() = %v, want %v", r.BigEndian(), be)
+		}
+		ifs := r.Interfaces()
+		wantIfs := []NGInterface{
+			{LinkType: LinkTypeEthernet, SnapLen: DefaultSnapLen, Nanosecond: true},
+			{LinkType: LinkTypeLinuxSLL, SnapLen: 4096},
+		}
+		if !reflect.DeepEqual(ifs, wantIfs) {
+			t.Fatalf("Interfaces() = %+v, want %+v", ifs, wantIfs)
+		}
+		if r.LinkType() != LinkTypeEthernet {
+			t.Fatalf("LinkType() = %d, want first interface's", r.LinkType())
+		}
+
+		br, err := NewReaderBytes(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bgot, err := br.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRecords(t, bgot, want)
+
+		// Re-writing the parsed records through a fresh canonical writer
+		// with the parsed interface table must reproduce the file exactly.
+		var out bytes.Buffer
+		w, err := NewNGWriter(&out, NGWriterOptions{BigEndian: be, Interfaces: ifs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range got {
+			iface := 0
+			for i, f := range ifs {
+				if f.LinkType == rec.Link {
+					iface = i
+					break
+				}
+			}
+			if err := w.WriteRecord(iface, rec.Time, rec.Data, rec.OrigLen); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), raw) {
+			t.Fatalf("big-endian=%v: rewrite is not byte-identical (%d vs %d bytes)", be, out.Len(), len(raw))
+		}
+	}
+}
+
+func TestNGOpenFile(t *testing.T) {
+	raw, want := ngFixture(t, false)
+	path := filepath.Join(t.TempDir(), "cap.pcapng")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if !f.PcapNG() {
+		t.Fatal("OpenFile did not detect pcapng")
+	}
+	got, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, got, want)
+}
+
+func TestNGTruncated(t *testing.T) {
+	raw, _ := ngFixture(t, false)
+	for _, cut := range []int{len(raw) - 3, len(raw) - 20} {
+		for _, mode := range []string{"stream", "bytes"} {
+			var r *Reader
+			var err error
+			if mode == "stream" {
+				r, err = NewReader(bytes.NewReader(raw[:cut]))
+			} else {
+				r, err = NewReaderBytes(raw[:cut])
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			var trunc *ErrTruncated
+			for {
+				_, err = r.Next()
+				if err != nil {
+					break
+				}
+			}
+			if !errors.As(err, &trunc) {
+				t.Fatalf("%s cut=%d: got %v, want ErrTruncated", mode, cut, err)
+			}
+		}
+	}
+}
+
+// TestNGMultiSection checks that a second section header — with the
+// opposite endianness — resets the interface table and keeps records
+// flowing.
+func TestNGMultiSection(t *testing.T) {
+	le, wantLE := ngFixture(t, false)
+	be, wantBE := ngFixture(t, true)
+	raw := append(append([]byte{}, le...), be...)
+	r, err := NewReaderBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, got, append(append([]Record{}, wantLE...), wantBE...))
+}
+
+// buildNGBlocks hand-assembles a little-endian pcapng file from raw
+// blocks, for shapes the canonical writer never produces.
+func buildNGBlocks(blocks ...[]byte) []byte {
+	var out []byte
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func leBlock(typ uint32, content []byte) []byte {
+	for len(content)%4 != 0 {
+		content = append(content, 0)
+	}
+	total := uint32(len(content) + 12)
+	b := make([]byte, 8, total)
+	binary.LittleEndian.PutUint32(b[0:4], typ)
+	binary.LittleEndian.PutUint32(b[4:8], total)
+	b = append(b, content...)
+	return binary.LittleEndian.AppendUint32(b, total)
+}
+
+func leSHB() []byte {
+	content := make([]byte, 16)
+	binary.LittleEndian.PutUint32(content[0:4], ngByteOrderMagic)
+	binary.LittleEndian.PutUint16(content[4:6], 1)
+	copy(content[8:16], bytes.Repeat([]byte{0xff}, 8))
+	return leBlock(ngBlockSHB, content)
+}
+
+func leIDB(link uint32, snap uint32, opts []byte) []byte {
+	content := make([]byte, 8)
+	binary.LittleEndian.PutUint16(content[0:2], uint16(link))
+	binary.LittleEndian.PutUint32(content[4:8], snap)
+	return leBlock(ngBlockIDB, append(content, opts...))
+}
+
+// TestNGTimestampResolutions covers non-default if_tsresol values: a
+// millisecond power of 10 and a 2^-10 power of 2.
+func TestNGTimestampResolutions(t *testing.T) {
+	// Option: if_tsresol (code 9, length 1) value 3 (milliseconds).
+	msOpt := []byte{9, 0, 1, 0, 3, 0, 0, 0, 0, 0, 0, 0}
+	pow2Opt := []byte{9, 0, 1, 0, 0x80 | 10, 0, 0, 0, 0, 0, 0, 0}
+
+	epb := func(units uint64, data []byte) []byte {
+		content := make([]byte, 20)
+		binary.LittleEndian.PutUint32(content[4:8], uint32(units>>32))
+		binary.LittleEndian.PutUint32(content[8:12], uint32(units))
+		binary.LittleEndian.PutUint32(content[12:16], uint32(len(data)))
+		binary.LittleEndian.PutUint32(content[16:20], uint32(len(data)))
+		return leBlock(ngBlockEPB, append(content, data...))
+	}
+
+	base := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	msUnits := uint64(base.UnixMilli()) + 7
+	pow2Units := uint64(base.Unix())<<10 | 512 // half a second in 2^-10 ticks
+
+	raw := buildNGBlocks(leSHB(), leIDB(1, 0, msOpt), epb(msUnits, []byte{1}))
+	r, err := NewReaderBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := base.Add(7 * time.Millisecond); !rec.Time.Equal(want) {
+		t.Fatalf("millisecond resolution: got %v, want %v", rec.Time, want)
+	}
+
+	raw = buildNGBlocks(leSHB(), leIDB(1, 0, pow2Opt), epb(pow2Units, []byte{1}))
+	r, err = NewReaderBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := base.Add(500 * time.Millisecond); !rec.Time.Equal(want) {
+		t.Fatalf("2^-10 resolution: got %v, want %v", rec.Time, want)
+	}
+}
+
+// TestNGSimplePacket covers SPB handling and unknown-block skipping.
+func TestNGSimplePacket(t *testing.T) {
+	spContent := make([]byte, 4, 8)
+	binary.LittleEndian.PutUint32(spContent, 3)
+	spContent = append(spContent, 0xaa, 0xbb, 0xcc)
+	unknown := leBlock(0x0BAD, []byte{1, 2, 3, 4})
+	raw := buildNGBlocks(leSHB(), leIDB(LinkTypeLinuxSLL, 0, nil), unknown, leBlock(ngBlockSPB, spContent))
+	for _, mode := range []string{"stream", "bytes"} {
+		var r *Reader
+		var err error
+		if mode == "stream" {
+			r, err = NewReader(bytes.NewReader(raw))
+		} else {
+			r, err = NewReaderBytes(raw)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if rec.OrigLen != 3 || !bytes.Equal(rec.Data, []byte{0xaa, 0xbb, 0xcc}) || rec.Link != LinkTypeLinuxSLL {
+			t.Fatalf("%s: simple packet = %+v", mode, rec)
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("%s: want EOF after simple packet, got %v", mode, err)
+		}
+	}
+}
+
+// TestNGRejects checks hostile shapes fail identically in both modes.
+func TestNGRejects(t *testing.T) {
+	badMagic := leSHB()
+	badMagic[8] = 0x99
+	epbNoIface := buildNGBlocks(leSHB(), leBlock(ngBlockEPB, make([]byte, 20)))
+	shortSHB := leSHB()[:20]
+
+	cases := [][]byte{badMagic, epbNoIface, shortSHB}
+	for i, raw := range cases {
+		r, serr := NewReader(bytes.NewReader(raw))
+		if serr == nil {
+			_, serr = r.Next()
+		}
+		br, berr := NewReaderBytes(raw)
+		if berr == nil {
+			_, berr = br.Next()
+		}
+		if serr == nil || berr == nil {
+			t.Fatalf("case %d: accepted hostile input (stream=%v bytes=%v)", i, serr, berr)
+		}
+	}
+}

@@ -423,8 +423,11 @@ func LoadExperiment(pcapPath string) ([]*netx.Packet, []pcapio.Label, error) {
 	return pkts, labels, nil
 }
 
-// ReadPcap decodes a pcap stream back into packets (the analysis-side
-// entry point for on-disk captures).
+// ReadPcap decodes a capture stream — classic pcap or pcapng, Ethernet,
+// 802.1Q-tagged or Linux cooked (SLL) framing — back into packets (the
+// analysis-side entry point for on-disk captures). Capture metadata is
+// normalized to Ethernet-equivalent lengths so size features match the
+// same traffic captured natively.
 func ReadPcap(r io.Reader) ([]*netx.Packet, error) {
 	pr, err := pcapio.NewReader(r)
 	if err != nil {
@@ -440,12 +443,20 @@ func ReadPcap(r io.Reader) ([]*netx.Packet, error) {
 	for _, rec := range recs {
 		pktc.Inc()
 		bytec.Add(int64(len(rec.Data)))
-		p, err := netx.Decode(rec.Time, rec.Data)
+		link := rec.Link
+		if link == 0 {
+			link = pr.LinkType()
+		}
+		p, err := netx.DecodeLink(rec.Time, rec.Data, link)
 		if err != nil {
 			continue // tolerate malformed frames like tcpdump does
 		}
-		p.Meta.Length = rec.OrigLen
-		p.Meta.CaptureLength = len(rec.Data)
+		// DecodeLink normalizes CaptureLength to the Ethernet-equivalent
+		// frame size; charge the same framing overhead to the wire length.
+		overhead := len(rec.Data) - p.Meta.CaptureLength
+		if p.Meta.Length = rec.OrigLen - overhead; p.Meta.Length < 0 {
+			p.Meta.Length = 0
+		}
 		pkts = append(pkts, p)
 	}
 	return pkts, nil

@@ -1,6 +1,7 @@
 package intliot
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/neu-sns/intl-iot-go/internal/analysis"
@@ -70,7 +71,7 @@ func TestStreamingIngestByteIdentical(t *testing.T) {
 			t.Errorf("window=%d workers=%d: single-decode study output differs from buffered ingest",
 				tc.window, tc.workers)
 		}
-		if rep != bufRep {
+		if !reflect.DeepEqual(rep, bufRep) {
 			t.Errorf("window=%d workers=%d: single-decode report = %+v, buffered = %+v",
 				tc.window, tc.workers, rep, bufRep)
 		}
@@ -87,7 +88,7 @@ func TestStreamingIngestByteIdentical(t *testing.T) {
 		if got != buffered {
 			t.Errorf("two-pass workers=%d: streamed study output differs from buffered ingest", workers)
 		}
-		if rep != bufRep {
+		if !reflect.DeepEqual(rep, bufRep) {
 			t.Errorf("two-pass workers=%d: streamed report = %+v, buffered = %+v", workers, rep, bufRep)
 		}
 		if passes != 3 {
